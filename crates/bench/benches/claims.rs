@@ -1,0 +1,47 @@
+//! C2/C3/C4 claim harnesses under `cargo bench`: the parallel-DB gap, the
+//! sensitivity sweep, and the interaction factorial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_claims(c: &mut Criterion) {
+    c.bench_function("c2_hadoop_gap_untuned_row", |b| {
+        use autotune_sim::cluster::{ClusterSpec, NodeSpec};
+        use autotune_sim::hadoop::{benchmark_config, HadoopJob, HadoopSimulator};
+        use autotune_sim::paralleldb::ParallelDbBaseline;
+        use autotune_sim::NoiseModel;
+        let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+        let sim = HadoopSimulator::new(cluster.clone(), HadoopJob::wordcount(32_768.0))
+            .with_noise(NoiseModel::none());
+        let cfg = benchmark_config(&cluster);
+        let db = ParallelDbBaseline::new(cluster);
+        b.iter(|| {
+            let h = sim.simulate(black_box(&cfg)).runtime_secs;
+            let d = db.runtime_secs(
+                autotune_sim::paralleldb::AnalyticalTask::Aggregation,
+                32_768.0,
+            );
+            black_box(h / d)
+        })
+    });
+
+    c.bench_function("c3_oat_sensitivity_spark", |b| {
+        use autotune_sim::{NoiseModel, SparkSimulator};
+        b.iter(|| {
+            let mut sim =
+                SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
+            black_box(autotune_bench::sensitivity::oat_sensitivity(&mut sim))
+        })
+    });
+
+    c.bench_function("c4_interaction_factorial", |b| {
+        b.iter(|| black_box(autotune_bench::claims::interactions()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_claims
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the numerical substrate the tuners run on: GP fit
+//! and prediction, Cholesky, LHS, Lasso path, k-means.
+
+use autotune_math::gp::{GaussianProcess, Kernel, KernelKind};
+use autotune_math::matrix::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_math(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|_| (0..8).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum())
+        .collect();
+
+    c.bench_function("gp/fit_fixed_kernel_n40_d8", |b| {
+        b.iter(|| {
+            let k = Kernel::new(KernelKind::Matern52, 8, 0.5);
+            black_box(GaussianProcess::fit(k, xs.clone(), &ys).unwrap())
+        })
+    });
+
+    let gp = GaussianProcess::fit(Kernel::new(KernelKind::Matern52, 8, 0.5), xs.clone(), &ys)
+        .unwrap();
+    let q = vec![0.4; 8];
+    c.bench_function("gp/predict_n40_d8", |b| {
+        b.iter(|| black_box(gp.predict(black_box(&q))))
+    });
+    c.bench_function("gp/expected_improvement", |b| {
+        b.iter(|| black_box(gp.expected_improvement(black_box(&q), 0.1, 0.01)))
+    });
+
+    c.bench_function("cholesky/decompose_40x40", |b| {
+        let k = Kernel::new(KernelKind::SquaredExponential, 8, 0.5);
+        let cov = k.covariance(&xs);
+        b.iter(|| black_box(autotune_math::Cholesky::decompose(black_box(&cov)).unwrap()))
+    });
+
+    c.bench_function("lhs/maximin_20x8_r10", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            black_box(autotune_math::lhs::maximin_lhs(20, 8, 10, &mut r))
+        })
+    });
+
+    let design = Matrix::from_rows(
+        &(0..60)
+            .map(|_| (0..12).map(|_| rng.random_range(-1.0..1.0)).collect::<Vec<f64>>())
+            .collect::<Vec<_>>(),
+    );
+    let target: Vec<f64> = (0..60)
+        .map(|i| design[(i, 0)] * 3.0 - design[(i, 1)] + 0.1)
+        .collect();
+    c.bench_function("lasso/path_60x12", |b| {
+        b.iter(|| black_box(autotune_math::lasso::lasso_path(&design, &target, 20, 1e-3)))
+    });
+
+    let points: Vec<Vec<f64>> = (0..90)
+        .map(|_| (0..5).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    c.bench_function("kmeans/k5_n90_d5", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(4);
+            black_box(autotune_math::kmeans::kmeans(&points, 5, 3, 50, &mut r))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_math
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Substrate micro-benchmarks: one deterministic simulation of each target
+//! system. These are the unit of cost every tuner pays per "experiment".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulators(c: &mut Criterion) {
+    use autotune_sim::{DbmsSimulator, HadoopSimulator, NoiseModel, SparkSimulator};
+
+    let dbms = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+    let dbms_cfg = {
+        use autotune_core::Objective;
+        dbms.space().default_config()
+    };
+    c.bench_function("simulate/dbms_oltp_default", |b| {
+        b.iter(|| black_box(dbms.simulate(black_box(&dbms_cfg)).runtime_secs))
+    });
+
+    let hadoop = HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
+    let hadoop_cfg = {
+        use autotune_core::Objective;
+        hadoop.space().default_config()
+    };
+    c.bench_function("simulate/hadoop_terasort_default", |b| {
+        b.iter(|| black_box(hadoop.simulate(black_box(&hadoop_cfg)).runtime_secs))
+    });
+
+    let spark = SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
+    let spark_cfg = {
+        use autotune_core::Objective;
+        spark.space().default_config()
+    };
+    c.bench_function("simulate/spark_aggregation_default", |b| {
+        b.iter(|| black_box(spark.simulate(black_box(&spark_cfg)).runtime_secs))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_simulators
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Table 1's "overhead" axis as a micro-benchmark: the cost of one
+//! `propose` call for the model-based tuners at a realistic history size.
+
+use autotune_core::{History, Objective, Tuner, TuningContext};
+use autotune_sim::{DbmsSimulator, NoiseModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Builds a 20-observation history on the DBMS.
+fn prepared_history() -> (TuningContext, History) {
+    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+    let ctx = TuningContext {
+        space: sim.space().clone(),
+        profile: sim.profile(),
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut history = History::new();
+    for _ in 0..20 {
+        let c = ctx.space.random_config(&mut rng);
+        history.push(sim.evaluate(&c, &mut rng));
+    }
+    (ctx, history)
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let (ctx, history) = prepared_history();
+    let mut group = c.benchmark_group("propose");
+
+    group.bench_function("ituned_gp_ei", |b| {
+        b.iter(|| {
+            let mut t = autotune_tuners::experiment::ITunedTuner::new().with_init(2);
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(t.propose(&ctx, &history, &mut rng))
+        })
+    });
+    group.bench_function("rodd_nn", |b| {
+        b.iter(|| {
+            let mut t = autotune_tuners::ml::RoddTuner {
+                bootstrap: 2,
+                epochs: 50,
+                ..autotune_tuners::ml::RoddTuner::new()
+            };
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(t.propose(&ctx, &history, &mut rng))
+        })
+    });
+    group.bench_function("adaptive_sampling_knn", |b| {
+        b.iter(|| {
+            let mut t = autotune_tuners::experiment::AdaptiveSamplingTuner {
+                bootstrap: 2,
+                ..autotune_tuners::experiment::AdaptiveSamplingTuner::new()
+            };
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(t.propose(&ctx, &history, &mut rng))
+        })
+    });
+    group.bench_function("rule_based", |b| {
+        b.iter(|| {
+            let mut t = autotune_tuners::rule::RuleBasedTuner::new(
+                "rules",
+                autotune_tuners::rule::dbms_rulebook(),
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(t.propose(&ctx, &history, &mut rng))
+        })
+    });
+    group.bench_function("stmm_cost_model", |b| {
+        b.iter(|| {
+            let mut t = autotune_tuners::cost::StmmTuner::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(t.propose(&ctx, &history, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_propose
+}
+criterion_main!(benches);

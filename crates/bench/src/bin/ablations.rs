@@ -1,0 +1,29 @@
+//! Design-choice ablations: acquisition function, initialization, and
+//! ranking method. `cargo run --release -p autotune-bench --bin ablations`
+
+fn main() {
+    println!("== ablation: acquisition function (DBMS OLTP, 18-run budget, 5 seeds) ==");
+    let acq = autotune_bench::ablation::acquisition_ablation(18, 5);
+    for r in &acq {
+        println!(
+            "  {:<40} median {:.2}x  (range {:.2}-{:.2}x)",
+            r.arm, r.median_speedup, r.range.0, r.range.1
+        );
+    }
+    println!("\n== ablation: initialization (18-run budget, 5 seeds) ==");
+    let init = autotune_bench::ablation::init_ablation(18, 5);
+    for r in &init {
+        println!(
+            "  {:<40} median {:.2}x  (range {:.2}-{:.2}x)",
+            r.arm, r.median_speedup, r.range.0, r.range.1
+        );
+    }
+    println!("\n== ablation: knob-ranking method (top-4 overlap with ground truth) ==");
+    let rank = autotune_bench::ablation::ranking_ablation(7);
+    for r in &rank {
+        println!("  {:<40} overlap {:.0}%", r.arm, r.median_speedup * 100.0);
+    }
+    autotune_bench::write_json("ablation_acquisition", &acq);
+    autotune_bench::write_json("ablation_init", &init);
+    autotune_bench::write_json("ablation_ranking", &rank);
+}

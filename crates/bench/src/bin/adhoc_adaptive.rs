@@ -1,0 +1,18 @@
+//! Claim C5: adaptive tuners suit ad-hoc/live workloads — lowest cumulative
+//! cost while tuning. `cargo run --release -p autotune-bench --bin adhoc_adaptive`
+
+fn main() {
+    let rows = autotune_bench::claims::adhoc_comparison(30, 7);
+    println!("== C5: cumulative cost of tuning a LIVE workload (30 epochs) ==\n");
+    println!(
+        "{:<28} {:>14} {:>10} {:>10}",
+        "tuner", "cumulative(s)", "best(s)", "worst(s)"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>14.0} {:>10.0} {:>10.0}",
+            r.tuner, r.cumulative_secs, r.best_secs, r.worst_secs
+        );
+    }
+    autotune_bench::write_json("c5_adhoc", &rows);
+}

@@ -1,0 +1,51 @@
+//! Convergence curves: best-so-far runtime after each experiment for every
+//! family representative — the classic figure every surveyed tuning paper
+//! plots. Emits both a text sparkline table and JSON series.
+//! `cargo run --release -p autotune-bench --bin convergence`
+
+use autotune_bench::harness::family_representatives;
+use autotune_core::{tune, SystemKind};
+use autotune_sim::{DbmsSimulator, NoiseModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    tuner: String,
+    family: String,
+    best_so_far: Vec<f64>,
+}
+
+fn main() {
+    let budget = 40;
+    let seed = 7;
+    let mut all = Vec::new();
+    println!("== convergence on the OLTP DBMS ({budget} experiments, seed {seed}) ==\n");
+    for (label, mut tuner) in family_representatives(SystemKind::Dbms) {
+        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+        let out = tune(&mut sim, tuner.as_mut(), budget, seed);
+        let curve = out.history.best_so_far();
+        let lo = curve.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = curve[0];
+        let spark: String = curve
+            .iter()
+            .map(|v| {
+                let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+                // Log-ish bucketing into 8 glyphs.
+                const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                GLYPHS[((t * 7.0).round() as usize).min(7)]
+            })
+            .collect();
+        println!(
+            "{label:<18} {spark}  {:>8.0}s -> {:>7.0}s",
+            curve[0],
+            curve.last().unwrap()
+        );
+        all.push(Series {
+            tuner: tuner.name().to_string(),
+            family: label.to_string(),
+            best_so_far: curve,
+        });
+    }
+    autotune_bench::write_json("convergence", &all);
+    eprintln!("\nwrote bench_results/convergence.json");
+}

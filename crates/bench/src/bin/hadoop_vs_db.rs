@@ -1,0 +1,25 @@
+//! Claim C2: the Pavlo et al. comparison — untuned Hadoop is several-fold
+//! slower than a parallel DBMS; tuning closes the gap.
+//! `cargo run --release -p autotune-bench --bin hadoop_vs_db`
+
+fn main() {
+    let rows = autotune_bench::claims::hadoop_gap(7);
+    println!("== C2: Hadoop vs parallel DBMS on analytical workloads (32 GB, 8 nodes) ==\n");
+    println!(
+        "{:<12} {:>12} {:>16} {:>14} {:>12} {:>10}",
+        "workload", "parallel-db", "hadoop-untuned", "hadoop-tuned", "gap-before", "gap-after"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>11.0}s {:>15.0}s {:>13.0}s {:>11.1}x {:>9.1}x",
+            r.workload,
+            r.parallel_db_secs,
+            r.hadoop_untuned_secs,
+            r.hadoop_tuned_secs,
+            r.gap_untuned,
+            r.gap_tuned
+        );
+    }
+    println!("\npaper band for the untuned gap: 3.1x - 6.5x");
+    autotune_bench::write_json("c2_hadoop_gap", &rows);
+}

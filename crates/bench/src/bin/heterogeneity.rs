@@ -1,0 +1,21 @@
+//! Claim C7: cost models degrade on heterogeneous clusters; model-free
+//! search does not. `cargo run --release -p autotune-bench --bin heterogeneity`
+
+fn main() {
+    let rows = autotune_bench::claims::heterogeneity(7);
+    println!("== C7: cost-model accuracy vs cluster heterogeneity ==\n");
+    println!(
+        "{:<18} {:>14} {:>18} {:>16}",
+        "cluster", "heterogeneity", "model error (med)", "ituned speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>14.2} {:>17.0}% {:>15.2}x",
+            r.cluster,
+            r.heterogeneity,
+            r.cost_model_error * 100.0,
+            r.ituned_speedup
+        );
+    }
+    autotune_bench::write_json("c7_heterogeneity", &rows);
+}

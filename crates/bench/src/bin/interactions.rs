@@ -1,0 +1,18 @@
+//! Claim C4: parameters interact — a good setting for one knob depends on
+//! another. `cargo run --release -p autotune-bench --bin interactions`
+
+fn main() {
+    let rows = autotune_bench::claims::interactions();
+    println!("== C4: two-factor interactions (2^2 factorial on the real simulators) ==\n");
+    for r in &rows {
+        println!("{} — {} x {}", r.system, r.knobs.0, r.knobs.1);
+        println!(
+            "  main effects: {:.1}s and {:.1}s; interaction: {:.1}s ({:.0}% of smaller main effect)\n",
+            r.main_effects.0,
+            r.main_effects.1,
+            r.interaction,
+            r.interaction_ratio * 100.0
+        );
+    }
+    autotune_bench::write_json("c4_interactions", &rows);
+}

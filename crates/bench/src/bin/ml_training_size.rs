@@ -1,0 +1,19 @@
+//! Claim C6: ML tuners need training data and degrade on unseen workloads.
+//! `cargo run --release -p autotune-bench --bin ml_training_size`
+
+fn main() {
+    let rows = autotune_bench::claims::ml_training_size(&[5, 10, 20, 40, 80], 7);
+    println!("== C6: GP prediction accuracy vs training-set size ==");
+    println!("(rank correlation of predicted vs true runtimes on 40 held-out configs)\n");
+    println!(
+        "{:>18} {:>16} {:>20}",
+        "training samples", "seen workload", "unseen application"
+    );
+    for r in &rows {
+        println!(
+            "{:>18} {:>16.2} {:>20.2}",
+            r.repo_observations, r.accuracy_seen, r.accuracy_unseen
+        );
+    }
+    autotune_bench::write_json("c6_training_size", &rows);
+}

@@ -1,0 +1,56 @@
+//! The §2.5 cloud-provisioning challenge: Elastisizer-style cluster
+//! sizing with a time/cost Pareto frontier.
+//! `cargo run --release -p autotune-bench --bin provisioning`
+
+use autotune_core::Objective;
+use autotune_sim::hadoop::HadoopSimulator;
+use autotune_sim::NoiseModel;
+use autotune_tuners::cost::{Elastisizer, InstanceType, JobProfile};
+
+fn main() {
+    // Profile the job once on the current (8-node medium) cluster.
+    let sim = HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
+    let default = sim.space().default_config();
+    let run = sim.simulate(&default);
+    let obs = autotune_core::Observation {
+        config: default,
+        runtime_secs: run.runtime_secs,
+        cost: run.runtime_secs,
+        metrics: run.metrics,
+        failed: false,
+    };
+    let job = JobProfile::estimate(&obs, &sim.profile());
+    let tuned = autotune_sim::hadoop::benchmark_config(&sim.cluster);
+    let engine = Elastisizer::new(job, tuned);
+
+    println!("== cloud provisioning what-if: TeraSort 32 GB ==\n");
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>8}",
+        "instance", "nodes", "time (s)", "cost (¢)", "pareto"
+    );
+    let plans = engine.enumerate(&InstanceType::catalogue(), &[2, 4, 8, 16, 32]);
+    for p in &plans {
+        println!(
+            "{:<10} {:>6} {:>12.0} {:>12.1} {:>8}",
+            p.instance,
+            p.nodes,
+            p.predicted_secs,
+            p.predicted_cents,
+            if p.pareto_optimal { "*" } else { "" }
+        );
+    }
+    for deadline in [60.0, 180.0, 600.0] {
+        match engine.cheapest_within_deadline(
+            &InstanceType::catalogue(),
+            &[2, 4, 8, 16, 32],
+            deadline,
+        ) {
+            Some(p) => println!(
+                "\ncheapest plan under a {deadline:.0}s deadline: {} x{} ({:.0}s, {:.1}¢)",
+                p.instance, p.nodes, p.predicted_secs, p.predicted_cents
+            ),
+            None => println!("\nno plan meets a {deadline:.0}s deadline"),
+        }
+    }
+    autotune_bench::write_json("provisioning", &plans);
+}

@@ -1,0 +1,27 @@
+//! Claim C3: only a minority of exposed knobs significantly affect
+//! performance. `cargo run --release -p autotune-bench --bin spark_sensitivity`
+
+fn main() {
+    let reports = autotune_bench::claims::knob_sensitivity();
+    for r in &reports {
+        println!("== C3: one-at-a-time knob sensitivity — {} ==", r.system);
+        println!(
+            "{} of {} modelled knobs exceed the 5% impact threshold",
+            r.significant.len(),
+            r.total_knobs
+        );
+        let mut impacts = r.impacts.clone();
+        impacts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for (name, imp) in &impacts {
+            let bar = "#".repeat(((imp * 40.0).min(60.0)) as usize);
+            println!("  {name:<28} {:>7.1}% {bar}", imp * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "(the paper reports ~30 of Spark's 200+ knobs as significant; this\n\
+         workspace models the significant subset directly, so the claim\n\
+         appears here as: even within that subset, impact is heavy-tailed)"
+    );
+    autotune_bench::write_json("c3_sensitivity", &reports);
+}

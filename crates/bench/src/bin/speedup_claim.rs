@@ -1,0 +1,18 @@
+//! Claim C1: misconfiguration hurts; tuning wins up to an order of
+//! magnitude. `cargo run --release -p autotune-bench --bin speedup_claim`
+
+fn main() {
+    let rows = autotune_bench::claims::speedup_claim(7);
+    println!("== C1: default vs worst-random vs tuned ==\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        "system", "default", "worst", "tuned", "speedup", "misconfig"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>9.0}s {:>9.0}s {:>9.0}s {:>8.2}x {:>10.2}x",
+            r.system, r.default_secs, r.worst_secs, r.tuned_secs, r.speedup, r.misconfig_penalty
+        );
+    }
+    autotune_bench::write_json("c1_speedup_claim", &rows);
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1 of the paper as measurements.
+//! `cargo run --release -p autotune-bench --bin table1`
+
+fn main() {
+    let budget = arg_or(1, 25);
+    let seed = arg_or(2, 7);
+    eprintln!("running T1 with budget={budget} seed={seed}…");
+    let report = autotune_bench::table1::run(budget, seed);
+    println!("{}", autotune_bench::table1::render(&report));
+    autotune_bench::write_json("table1", &report);
+    eprintln!("wrote bench_results/table1.json");
+}
+
+fn arg_or<T: std::str::FromStr>(i: usize, default: T) -> T {
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2 of the paper, executed against the simulated DBMS.
+//! `cargo run --release -p autotune-bench --bin table2`
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    eprintln!("running the eleven Table 2 approaches (seed={seed})…");
+    let rows = autotune_bench::table2::run(seed);
+    println!("{}", autotune_bench::table2::render(&rows));
+    autotune_bench::write_json("table2", &rows);
+    eprintln!("wrote bench_results/table2.json");
+}

@@ -1,0 +1,35 @@
+//! # autotune-bench
+//!
+//! The benchmark harness that regenerates **every table and quantitative
+//! claim** of Lu et al. (VLDB 2019): Table 1 ([`table1`]), Table 2
+//! ([`table2`]), and the prose claims C1–C7 ([`claims`]), plus the
+//! ground-truth knob-sensitivity oracle ([`sensitivity`]) and shared
+//! session plumbing ([`harness`]).
+//!
+//! Binaries (see `src/bin/`): `table1`, `table2`, `speedup_claim`,
+//! `hadoop_vs_db`, `spark_sensitivity`, `interactions`. Criterion benches
+//! live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod claims;
+pub mod harness;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+
+use std::path::Path;
+
+/// Writes a serializable report to `bench_results/<name>.json` (relative
+/// to the workspace root), creating the directory if needed.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(path, json);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ground-truth knob sensitivity via one-at-a-time sweeps on the
+//! noise-free simulators. Used as the reference ranking for Table 2's
+//! ranking approaches (SARD, ConfNav, OtterTune's Lasso) and for claim C3
+//! ("about 30 of Spark's 200 parameters have a significant impact").
+
+use autotune_core::{KnobRanking, Objective};
+
+/// Levels probed per knob.
+const LEVELS: [f64; 7] = [0.02, 0.15, 0.3, 0.5, 0.7, 0.85, 0.98];
+
+/// One-at-a-time sensitivity of every knob: each knob is swept over
+/// seven interior levels with all others at default; impact = (max − min) / default
+/// runtime. Failure-penalty runs are included — a knob that can OOM the
+/// system *is* impactful.
+pub fn oat_sensitivity(objective: &mut dyn Objective) -> KnobRanking {
+    let space = objective.space().clone();
+    let default_point = space.encode(&space.default_config());
+    let mut rng = rand::SeedableRng::seed_from_u64(0x0A7);
+    let default_rt = objective
+        .evaluate(&space.default_config(), &mut rng)
+        .runtime_secs;
+    let mut entries = Vec::with_capacity(space.dim());
+    for (i, spec) in space.params().iter().enumerate() {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &level in &LEVELS {
+            let mut point = default_point.clone();
+            point[i] = level;
+            let cfg = space.decode(&point);
+            let rt = objective.evaluate(&cfg, &mut rng).runtime_secs;
+            lo = lo.min(rt);
+            hi = hi.max(rt);
+        }
+        entries.push((spec.name.clone(), (hi - lo) / default_rt.max(1e-9)));
+    }
+    KnobRanking::new(entries)
+}
+
+/// Counts knobs whose OAT impact is at least `threshold` (fraction of the
+/// default runtime) — the "significant knobs" statistic of §2.4.
+pub fn significant_knobs(ranking: &KnobRanking, threshold: f64) -> Vec<String> {
+    ranking
+        .entries()
+        .iter()
+        .filter(|(_, imp)| *imp >= threshold)
+        .map(|(n, _)| n.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_sim::{DbmsSimulator, NoiseModel};
+
+    #[test]
+    fn oat_ranking_is_sane_for_olap() {
+        let mut sim = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let ranking = oat_sensitivity(&mut sim);
+        assert_eq!(ranking.entries().len(), 12);
+        // Memory knobs must dominate planner trivia for OLAP.
+        let work_mem = ranking.importance("work_mem_mb");
+        let bgwriter = ranking.importance("bgwriter_delay_ms");
+        assert!(
+            work_mem > bgwriter,
+            "work_mem {work_mem} vs bgwriter {bgwriter}"
+        );
+    }
+
+    #[test]
+    fn significance_threshold_filters() {
+        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        let ranking = oat_sensitivity(&mut sim);
+        let all = significant_knobs(&ranking, 0.0);
+        let strict = significant_knobs(&ranking, 0.10);
+        assert!(strict.len() < all.len());
+        assert!(!strict.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! **Experiment T1** — Table 1 of the paper, quantified: strengths and
+//! weaknesses of the six tuning families measured head-to-head on the
+//! three simulated systems.
+//!
+//! The qualitative cells of Table 1 become measured axes:
+//! * "efficient / no runs needed" → speedup at a *tiny* budget (5 runs),
+//! * "very time consuming" → speedup at a large budget (25 runs) and the
+//!   number of distinct real runs consumed,
+//! * "risk of performance degradation" → worst runtime endured and
+//!   failure count during tuning,
+//! * "able to adjust to dynamic status" / noise robustness → speedup
+//!   degradation from mild to heavy (cloud) noise.
+
+use crate::harness::{family_representatives, run_session, SessionRow};
+use autotune_core::{Objective, SystemKind};
+use autotune_sim::{DbmsSimulator, HadoopSimulator, NoiseModel, SparkSimulator};
+use serde::Serialize;
+
+/// Everything the T1 harness measures.
+#[derive(Debug, Serialize)]
+pub struct Table1Report {
+    /// Per-system comparison at the standard budget.
+    pub per_system: Vec<SystemSection>,
+    /// Tiny-budget (5-run) vs standard-budget speedups on the DBMS.
+    pub budget_sensitivity: Vec<BudgetRow>,
+    /// Speedup under realistic vs heavy cloud noise on the DBMS.
+    pub noise_robustness: Vec<NoiseRow>,
+}
+
+/// Rows for one target system.
+#[derive(Debug, Serialize)]
+pub struct SystemSection {
+    /// System label.
+    pub system: String,
+    /// One row per family representative.
+    pub rows: Vec<SessionRow>,
+}
+
+/// Tiny- vs standard-budget speedup of one family.
+#[derive(Debug, Serialize)]
+pub struct BudgetRow {
+    /// Family label.
+    pub family: String,
+    /// Speedup after 5 evaluations.
+    pub speedup_at_5: f64,
+    /// Speedup after 25 evaluations.
+    pub speedup_at_25: f64,
+}
+
+/// Noise-robustness of one family.
+#[derive(Debug, Serialize)]
+pub struct NoiseRow {
+    /// Family label.
+    pub family: String,
+    /// Speedup under 5%-CV noise.
+    pub speedup_mild: f64,
+    /// Speedup under 20%-CV cloud noise with stragglers.
+    pub speedup_cloud: f64,
+}
+
+fn objective_factory(
+    system: SystemKind,
+    noise: NoiseModel,
+) -> Box<dyn Fn() -> Box<dyn Objective>> {
+    match system {
+        SystemKind::Dbms => Box::new(move || {
+            Box::new(DbmsSimulator::oltp_default().with_noise(noise)) as Box<dyn Objective>
+        }),
+        SystemKind::Hadoop => Box::new(move || {
+            Box::new(HadoopSimulator::terasort_default().with_noise(noise))
+                as Box<dyn Objective>
+        }),
+        SystemKind::Spark => Box::new(move || {
+            Box::new(SparkSimulator::aggregation_default().with_noise(noise))
+                as Box<dyn Objective>
+        }),
+        SystemKind::Other => unreachable!("no objective for Other"),
+    }
+}
+
+/// Runs the full T1 experiment.
+pub fn run(budget: usize, seed: u64) -> Table1Report {
+    let mut per_system = Vec::new();
+    for (label, system) in [
+        ("DBMS (OLTP)", SystemKind::Dbms),
+        ("Hadoop (TeraSort)", SystemKind::Hadoop),
+        ("Spark (aggregation)", SystemKind::Spark),
+    ] {
+        let factory = objective_factory(system, NoiseModel::realistic());
+        let mut rows = Vec::new();
+        for (_, mut tuner) in family_representatives(system) {
+            rows.push(run_session(factory.as_ref(), tuner.as_mut(), budget, seed));
+        }
+        per_system.push(SystemSection {
+            system: label.to_string(),
+            rows,
+        });
+    }
+
+    // Budget sensitivity on the DBMS.
+    let mut budget_sensitivity = Vec::new();
+    for (label, _) in family_representatives(SystemKind::Dbms) {
+        let factory = objective_factory(SystemKind::Dbms, NoiseModel::realistic());
+        let mut t5 = family_representatives(SystemKind::Dbms)
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .expect("same list")
+            .1;
+        let r5 = run_session(factory.as_ref(), t5.as_mut(), 5, seed + 1);
+        let mut t25 = family_representatives(SystemKind::Dbms)
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .expect("same list")
+            .1;
+        let r25 = run_session(factory.as_ref(), t25.as_mut(), budget, seed + 1);
+        budget_sensitivity.push(BudgetRow {
+            family: label.to_string(),
+            speedup_at_5: r5.speedup,
+            speedup_at_25: r25.speedup,
+        });
+    }
+
+    // Noise robustness on the DBMS.
+    let mut noise_robustness = Vec::new();
+    for (label, _) in family_representatives(SystemKind::Dbms) {
+        let mild_factory = objective_factory(SystemKind::Dbms, NoiseModel::realistic());
+        let cloud_factory = objective_factory(SystemKind::Dbms, NoiseModel::noisy_cloud());
+        let mut ta = family_representatives(SystemKind::Dbms)
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .expect("same list")
+            .1;
+        let mild = run_session(mild_factory.as_ref(), ta.as_mut(), budget, seed + 2);
+        let mut tb = family_representatives(SystemKind::Dbms)
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .expect("same list")
+            .1;
+        let cloud = run_session(cloud_factory.as_ref(), tb.as_mut(), budget, seed + 2);
+        noise_robustness.push(NoiseRow {
+            family: label.to_string(),
+            speedup_mild: mild.speedup,
+            speedup_cloud: cloud.speedup,
+        });
+    }
+
+    Table1Report {
+        per_system,
+        budget_sensitivity,
+        noise_robustness,
+    }
+}
+
+/// Renders the report as text.
+pub fn render(report: &Table1Report) -> String {
+    let mut out = String::new();
+    out.push_str("== Table 1 (quantified): six families head-to-head ==\n");
+    for section in &report.per_system {
+        out.push_str(&format!("\n-- {} --\n", section.system));
+        out.push_str(&crate::harness::render_rows(&section.rows));
+    }
+    out.push_str("\n-- budget sensitivity (DBMS): speedup @5 runs vs @25 runs --\n");
+    for r in &report.budget_sensitivity {
+        out.push_str(&format!(
+            "{:<20} {:>7.2}x -> {:>7.2}x\n",
+            r.family, r.speedup_at_5, r.speedup_at_25
+        ));
+    }
+    out.push_str("\n-- noise robustness (DBMS): speedup mild vs cloud noise --\n");
+    for r in &report.noise_robustness {
+        out.push_str(&format!(
+            "{:<20} {:>7.2}x -> {:>7.2}x\n",
+            r.family, r.speedup_mild, r.speedup_cloud
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_small_run_has_all_sections() {
+        let report = run(6, 3);
+        assert_eq!(report.per_system.len(), 3);
+        for s in &report.per_system {
+            assert_eq!(s.rows.len(), 7);
+        }
+        assert_eq!(report.budget_sensitivity.len(), 7);
+        assert_eq!(report.noise_robustness.len(), 7);
+        let text = render(&report);
+        assert!(text.contains("Hadoop"));
+        assert!(text.contains("budget sensitivity"));
+    }
+}

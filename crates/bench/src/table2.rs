@@ -1,0 +1,335 @@
+//! **Experiment T2** — Table 2 of the paper, executed: the eleven surveyed
+//! DBMS tuning approaches run against the simulated DBMS, each reported
+//! with its methodology, the parameters it handles, its target problem
+//! (as in the paper's table), and a *measured* outcome.
+
+use crate::harness::run_session;
+use crate::sensitivity::oat_sensitivity;
+use autotune_core::{tune, Objective};
+use autotune_math::linreg::mape;
+use autotune_sim::trace::ReplayHardware;
+use autotune_sim::{DbmsSimulator, NodeSpec, NoiseModel};
+use autotune_tuners::adaptive::ColtTuner;
+use autotune_tuners::cost::StmmTuner;
+use autotune_tuners::experiment::{AdaptiveSamplingTuner, ITunedTuner, SardTuner};
+use autotune_tuners::ml::{OtterTuneTuner, RoddTuner, WorkloadRepository};
+use autotune_tuners::rule::{ConfNavTuner, ConstraintSet, SpexTuner};
+use autotune_tuners::simulation::{AddmTuner, TraceReplayPredictor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One executed row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Approach name as in the paper.
+    pub approach: String,
+    /// Paper category.
+    pub category: String,
+    /// Methodology (paper wording).
+    pub methodology: String,
+    /// Parameters handled (paper wording).
+    pub parameters: String,
+    /// Target problem (paper wording).
+    pub target: String,
+    /// What we measured when running it here.
+    pub measured: String,
+}
+
+fn fresh_oltp() -> DbmsSimulator {
+    DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic())
+}
+
+fn make_obj() -> Box<dyn Objective> {
+    Box::new(fresh_oltp())
+}
+
+/// Runs every Table 2 approach and produces the executed table.
+pub fn run(seed: u64) -> Vec<Table2Row> {
+    let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
+    let mut rows = Vec::new();
+
+    // Ground-truth sensitivity for ranking-quality scores.
+    let truth = {
+        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        oat_sensitivity(&mut sim)
+    };
+
+    // --- SPEX (rule-based: constraint inference) -------------------------
+    {
+        let sim = fresh_oltp();
+        let set = ConstraintSet::infer_for(sim.space());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flagged = 0;
+        let total = 200;
+        for _ in 0..total {
+            let c = sim.space().random_config(&mut rng);
+            if !set.check(&c, &sim.profile()).is_empty() {
+                flagged += 1;
+            }
+        }
+        let mut spex = SpexTuner::new(sim.space());
+        let mut obj = fresh_oltp();
+        let out = tune(&mut obj, &mut spex, 25, seed);
+        let spex_fails = out.history.all().iter().filter(|o| o.failed).count();
+        // Control: the same random exploration without constraint repair.
+        let mut random = autotune_tuners::baselines::RandomSearchTuner;
+        let mut obj = fresh_oltp();
+        let out = tune(&mut obj, &mut random, 25, seed);
+        let unrepaired_fails = out.history.all().iter().filter(|o| o.failed).count();
+        rows.push(Table2Row {
+            approach: "SPEX".into(),
+            category: "Rule-based".into(),
+            methodology: "Constraint inference".into(),
+            parameters: "Several parameters".into(),
+            target: "Avoid error-prone configs".into(),
+            measured: format!(
+                "{flagged}/{total} random configs flagged as error-prone; {spex_fails} failures with repair vs {unrepaired_fails} without",
+            ),
+        });
+    }
+
+    // --- Tianyin / ConfNav (rule-based: configuration navigation) ---------
+    {
+        let mut confnav = ConfNavTuner::new(4);
+        let mut obj = fresh_oltp();
+        let probes = ConfNavTuner::probes_needed(obj.space().dim());
+        let out = tune(&mut obj, &mut confnav, probes, seed);
+        let ctx = autotune_core::TuningContext {
+            space: obj.space().clone(),
+            profile: obj.profile(),
+        };
+        let ranking = confnav.ranking(&ctx, &out.history);
+        let agreement = ranking.top_k_overlap(&truth, 4);
+        rows.push(Table2Row {
+            approach: "Tianyin (ConfNav)".into(),
+            category: "Rule-based".into(),
+            methodology: "Configuration navigation".into(),
+            parameters: "Several parameters".into(),
+            target: "Ranking the effects of parameters".into(),
+            measured: format!(
+                "top-4 overlap with ground-truth sensitivity: {:.0}% using {probes} probes",
+                agreement * 100.0
+            ),
+        });
+    }
+
+    // --- STMM (cost modeling) ---------------------------------------------
+    {
+        let mut stmm = StmmTuner::new();
+        let r = run_session(factory.as_ref(), &mut stmm, 1, seed);
+        rows.push(Table2Row {
+            approach: "STMM".into(),
+            category: "Cost Modeling".into(),
+            methodology: "Cost-benefit analysis".into(),
+            parameters: "Memory parameters".into(),
+            target: "Tuning, Recommendation".into(),
+            measured: format!("{:.2}x speedup with a single run (model-only)", r.speedup),
+        });
+    }
+
+    // --- Dushyanth (simulation-based: trace replay) -------------------------
+    {
+        let sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        let cfg = sim.space().default_config();
+        let trace = sim.record_trace(&cfg);
+        let base_hw = ReplayHardware::from_node(&NodeSpec::default());
+        let pred = TraceReplayPredictor::new(trace, base_hw);
+        // What-if scenarios: hardware changes; compare predicted speedup
+        // to re-simulated speedup.
+        let mut predicted = Vec::new();
+        let mut actual = Vec::new();
+        let scenarios: Vec<(&str, NodeSpec)> = vec![
+            ("2x disk", NodeSpec { disk_mbps: 400.0, ..NodeSpec::default() }),
+            ("4x iops", NodeSpec { disk_iops: 2400.0, ..NodeSpec::default() }),
+            ("2x cores", NodeSpec { cores: 16, ..NodeSpec::default() }),
+            ("fast cpu", NodeSpec { core_speed: 2.0, ..NodeSpec::default() }),
+        ];
+        let base_rt = sim.simulate(&cfg).runtime_secs;
+        for (_, node) in &scenarios {
+            predicted.push(pred.speedup(&ReplayHardware::from_node(node)));
+            let sim2 = DbmsSimulator::new(node.clone(), sim.workload.clone())
+                .with_noise(NoiseModel::none());
+            actual.push(base_rt / sim2.simulate(&cfg).runtime_secs);
+        }
+        rows.push(Table2Row {
+            approach: "Dushyanth".into(),
+            category: "Simulation-based".into(),
+            methodology: "Trace-based simulation".into(),
+            parameters: "CPU, memory, I/O".into(),
+            target: "Prediction".into(),
+            measured: format!(
+                "hardware what-if speedup MAPE {:.0}% over {} scenarios (bottleneck: {})",
+                mape(&predicted, &actual),
+                scenarios.len(),
+                pred.bottleneck()
+            ),
+        });
+    }
+
+    // --- ADDM (simulation-based: DAG model & diagnosis) ---------------------
+    {
+        let mut addm = AddmTuner::new();
+        let r = run_session(factory.as_ref(), &mut addm, 10, seed);
+        rows.push(Table2Row {
+            approach: "ADDM".into(),
+            category: "Simulation-based".into(),
+            methodology: "DAG model & simulation".into(),
+            parameters: "CPU, I/O, DB locks".into(),
+            target: "Profiling, Tuning".into(),
+            measured: format!(
+                "{:.2}x speedup after 10 diagnose-and-apply rounds; last findings: {}",
+                r.speedup,
+                addm.last_findings.len()
+            ),
+        });
+    }
+
+    // --- SARD (experiment-driven: P&B design) --------------------------------
+    {
+        let mut sard = SardTuner::new(4);
+        let mut obj = fresh_oltp();
+        let runs = SardTuner::design_runs(obj.space().dim());
+        let _ = tune(&mut obj, &mut sard, runs + 1, seed);
+        let agreement = sard
+            .ranking()
+            .map(|r| r.top_k_overlap(&truth, 4))
+            .unwrap_or(0.0);
+        rows.push(Table2Row {
+            approach: "SARD".into(),
+            category: "Experiment-driven".into(),
+            methodology: "P&B statistical design".into(),
+            parameters: "Several parameters".into(),
+            target: "Ranking the effects of parameters".into(),
+            measured: format!(
+                "top-4 overlap with ground truth: {:.0}% using {runs} design runs",
+                agreement * 100.0
+            ),
+        });
+    }
+
+    // --- Shivnath (experiment-driven: adaptive sampling) ----------------------
+    {
+        let mut t = AdaptiveSamplingTuner::new();
+        let r = run_session(factory.as_ref(), &mut t, 25, seed);
+        rows.push(Table2Row {
+            approach: "Shivnath".into(),
+            category: "Experiment-driven".into(),
+            methodology: "Adaptive sampling".into(),
+            parameters: "Several parameters".into(),
+            target: "Profiling, Tuning".into(),
+            measured: format!("{:.2}x speedup in 25 experiments", r.speedup),
+        });
+    }
+
+    // --- iTuned (experiment-driven: LHS + GP) ----------------------------------
+    {
+        let mut t = ITunedTuner::new();
+        let r = run_session(factory.as_ref(), &mut t, 25, seed);
+        rows.push(Table2Row {
+            approach: "iTuned".into(),
+            category: "Experiment-driven".into(),
+            methodology: "LHS & Gaussian Process".into(),
+            parameters: "Several parameters".into(),
+            target: "Profiling, Tuning".into(),
+            measured: format!("{:.2}x speedup in 25 experiments", r.speedup),
+        });
+    }
+
+    // --- Rodd (ML: neural networks) ----------------------------------------------
+    {
+        let mut t = RoddTuner::new();
+        let r = run_session(factory.as_ref(), &mut t, 25, seed);
+        rows.push(Table2Row {
+            approach: "Rodd".into(),
+            category: "Machine Learning".into(),
+            methodology: "Neural Networks".into(),
+            parameters: "Memory parameters".into(),
+            target: "Tuning, Recommendation".into(),
+            measured: format!("{:.2}x speedup in 25 experiments", r.speedup),
+        });
+    }
+
+    // --- OtterTune (ML: GP + pipeline) ---------------------------------------------
+    {
+        // Warm repository from two sibling workloads.
+        let mut repo = WorkloadRepository::new();
+        let mut rng = StdRng::seed_from_u64(seed + 77);
+        for (id, wl) in [
+            ("olap", autotune_sim::dbms::DbmsWorkload::olap()),
+            ("mixed", autotune_sim::dbms::DbmsWorkload::mixed()),
+        ] {
+            let mut s =
+                DbmsSimulator::new(NodeSpec::default(), wl).with_noise(NoiseModel::none());
+            let mut obs = vec![s.evaluate(&s.space().default_config(), &mut rng)];
+            for _ in 0..15 {
+                let c = s.space().random_config(&mut rng);
+                obs.push(s.evaluate(&c, &mut rng));
+            }
+            repo.add(id, obs);
+        }
+        let mut t = OtterTuneTuner::new(repo);
+        let r = run_session(factory.as_ref(), &mut t, 20, seed);
+        rows.push(Table2Row {
+            approach: "OtterTune".into(),
+            category: "Machine Learning".into(),
+            methodology: "Gaussian Process".into(),
+            parameters: "Several parameters".into(),
+            target: "Tuning, Recommendation".into(),
+            measured: format!(
+                "{:.2}x speedup in 20 experiments (mapped to '{}')",
+                r.speedup,
+                t.mapped_workload.as_deref().unwrap_or("none")
+            ),
+        });
+    }
+
+    // --- COLT (adaptive) ----------------------------------------------------------
+    {
+        let mut t = ColtTuner::new();
+        let r = run_session(factory.as_ref(), &mut t, 30, seed);
+        rows.push(Table2Row {
+            approach: "COLT".into(),
+            category: "Adaptive".into(),
+            methodology: "Cost vs. Gain analysis".into(),
+            parameters: "Few parameters".into(),
+            target: "Profiling, Tuning".into(),
+            measured: format!(
+                "{:.2}x speedup online; worst epoch only {:.2}x default ({} adopted)",
+                r.speedup, r.worst_over_default, t.adopted
+            ),
+        });
+    }
+
+    rows
+}
+
+/// Renders the executed table.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("== Table 2 (executed): DBMS parameter tuning approaches ==\n\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} [{}]\n  methodology : {}\n  parameters  : {}\n  target      : {}\n  measured    : {}\n\n",
+            r.approach, r.category, r.methodology, r.parameters, r.target, r.measured
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_eleven_executed_rows() {
+        let rows = run(5);
+        assert_eq!(rows.len(), 11);
+        for r in &rows {
+            assert!(!r.measured.is_empty(), "{} unmeasured", r.approach);
+        }
+        let text = render(&rows);
+        assert!(text.contains("OtterTune"));
+        assert!(text.contains("iTuned"));
+    }
+}

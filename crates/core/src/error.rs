@@ -1,0 +1,84 @@
+//! Error types for the tuning framework.
+
+use std::fmt;
+
+/// Errors surfaced by the core framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A configuration refers to a knob the space does not define.
+    UnknownParam(String),
+    /// A configuration omits a knob the space requires.
+    MissingParam(String),
+    /// A knob value falls outside its domain.
+    OutOfDomain {
+        /// Knob name.
+        param: String,
+        /// Offending value (rendered).
+        value: String,
+    },
+    /// The evaluation budget was exhausted before any observation was made.
+    EmptyBudget,
+    /// A tuner needed training history it did not have.
+    InsufficientHistory {
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        available: usize,
+    },
+    /// A numerical subroutine failed.
+    Numerical(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownParam(p) => write!(f, "unknown parameter: {p}"),
+            CoreError::MissingParam(p) => write!(f, "missing parameter: {p}"),
+            CoreError::OutOfDomain { param, value } => {
+                write!(f, "value {value} out of domain for parameter {param}")
+            }
+            CoreError::EmptyBudget => write!(f, "evaluation budget is empty"),
+            CoreError::InsufficientHistory { needed, available } => write!(
+                f,
+                "insufficient history: need {needed} observations, have {available}"
+            ),
+            CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<autotune_math::LinAlgError> for CoreError {
+    fn from(e: autotune_math::LinAlgError) -> Self {
+        CoreError::Numerical(e.to_string())
+    }
+}
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::UnknownParam("x".into()).to_string(),
+            "unknown parameter: x"
+        );
+        assert!(CoreError::InsufficientHistory {
+            needed: 5,
+            available: 2
+        }
+        .to_string()
+        .contains("need 5"));
+    }
+
+    #[test]
+    fn linalg_conversion() {
+        let e: CoreError = autotune_math::LinAlgError::NotPositiveDefinite.into();
+        assert!(matches!(e, CoreError::Numerical(_)));
+    }
+}

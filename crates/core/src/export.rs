@@ -1,0 +1,119 @@
+//! Exporting tuning artifacts: histories as CSV for analysis notebooks
+//! and configurations in `key = value` form for dropping into real config
+//! files.
+
+use crate::history::History;
+use crate::space::{ConfigSpace, Configuration};
+use std::fmt::Write as _;
+
+/// Renders a history as CSV: one row per observation with the knob
+/// columns of `space`, the runtime, cost, failure flag, and every metric
+/// seen anywhere in the history (missing values empty).
+pub fn history_to_csv(history: &History, space: &ConfigSpace) -> String {
+    let metric_names = history.metric_names();
+    let mut out = String::new();
+    // Header.
+    out.push_str("run");
+    for p in space.params() {
+        let _ = write!(out, ",{}", p.name);
+    }
+    out.push_str(",runtime_secs,cost,failed");
+    for m in &metric_names {
+        let _ = write!(out, ",{m}");
+    }
+    out.push('\n');
+    // Rows.
+    for (i, obs) in history.all().iter().enumerate() {
+        let _ = write!(out, "{i}");
+        for p in space.params() {
+            match obs.config.get(&p.name) {
+                Some(v) => {
+                    let _ = write!(out, ",{}", csv_escape(&v.to_string()));
+                }
+                None => out.push(','),
+            }
+        }
+        let _ = write!(out, ",{},{},{}", obs.runtime_secs, obs.cost, obs.failed);
+        for m in &metric_names {
+            match obs.metrics.get(m) {
+                Some(v) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a configuration as a `key = value` properties block, sorted by
+/// key — ready to paste into a `postgresql.conf`-style file.
+pub fn config_to_properties(config: &Configuration) -> String {
+    let mut out = String::new();
+    for (k, v) in config.iter() {
+        let _ = writeln!(out, "{k} = {v}");
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Observation;
+    use crate::param::ParamSpec;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            ParamSpec::int("mem", 1, 100, 10, ""),
+            ParamSpec::categorical("codec", &["a,b", "plain"], "plain", ""),
+        ])
+    }
+
+    #[test]
+    fn csv_shape_and_metrics_union() {
+        let s = space();
+        let mut h = History::new();
+        let mut o1 = Observation::ok(s.default_config(), 5.0);
+        o1.metrics.insert("hits".into(), 0.9);
+        h.push(o1);
+        let mut o2 = Observation::ok(s.default_config(), 7.0);
+        o2.metrics.insert("spills".into(), 3.0);
+        h.push(o2);
+        let csv = history_to_csv(&h, &s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "run,mem,codec,runtime_secs,cost,failed,hits,spills"
+        );
+        assert!(lines[1].starts_with("0,10,plain,5,5,false,0.9,"));
+        assert!(lines[2].ends_with(",3"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let s = space();
+        let mut cfg = s.default_config();
+        cfg.set("codec", crate::param::ParamValue::Str("a,b".into()));
+        let mut h = History::new();
+        h.push(Observation::ok(cfg, 1.0));
+        let csv = history_to_csv(&h, &s);
+        assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn properties_block_is_sorted_lines() {
+        let s = space();
+        let text = config_to_properties(&s.default_config());
+        assert_eq!(text, "codec = plain\nmem = 10\n");
+    }
+}

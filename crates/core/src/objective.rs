@@ -1,0 +1,248 @@
+//! Objectives: the thing a tuner optimizes. An objective wraps a target
+//! system (real or simulated), evaluates configurations, and reports
+//! [`Observation`]s — runtime plus the internal metric vector that
+//! metric-driven tuners (OtterTune, ADDM) consume.
+
+use crate::space::{ConfigSpace, Configuration};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Named runtime metrics collected during one evaluation (buffer hit
+/// ratios, spill counts, GC time, …).
+pub type Metrics = BTreeMap<String, f64>;
+
+/// Which class of system an objective models — mirrors the tutorial's three
+/// target platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Centralized or parallel database system.
+    Dbms,
+    /// Hadoop MapReduce.
+    Hadoop,
+    /// Spark.
+    Spark,
+    /// Anything else (synthetic test functions, …).
+    Other,
+}
+
+/// Broad workload class, used by rule-based tuners to pick rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Short transactional operations.
+    Oltp,
+    /// Analytical scans/joins/aggregations.
+    Olap,
+    /// Mixed transactional + analytical.
+    Mixed,
+    /// One-pass batch jobs (MapReduce style).
+    Batch,
+    /// Iterative computation (ML training, PageRank).
+    Iterative,
+    /// Micro-batch / streaming.
+    Streaming,
+}
+
+/// Static description of the deployment a tuner is tuning — the information
+/// a human expert (or a rule engine) would consult before touching knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemProfile {
+    /// Target platform.
+    pub system: SystemKind,
+    /// Workload class.
+    pub workload: WorkloadClass,
+    /// Total RAM per node in MB.
+    pub memory_per_node_mb: f64,
+    /// CPU cores per node.
+    pub cores_per_node: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Sequential disk bandwidth per node, MB/s.
+    pub disk_mbps: f64,
+    /// Network bandwidth per node, MB/s.
+    pub network_mbps: f64,
+    /// Input data size in MB.
+    pub input_mb: f64,
+}
+
+impl SystemProfile {
+    /// Cluster-wide memory in MB.
+    pub fn total_memory_mb(&self) -> f64 {
+        self.memory_per_node_mb * self.nodes as f64
+    }
+
+    /// Cluster-wide core count.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_node * self.nodes
+    }
+}
+
+impl Default for SystemProfile {
+    fn default() -> Self {
+        SystemProfile {
+            system: SystemKind::Other,
+            workload: WorkloadClass::Batch,
+            memory_per_node_mb: 16384.0,
+            cores_per_node: 8,
+            nodes: 1,
+            disk_mbps: 200.0,
+            network_mbps: 1000.0,
+            input_mb: 10240.0,
+        }
+    }
+}
+
+/// One measured run of the target system under a configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    /// The configuration that was run.
+    pub config: Configuration,
+    /// End-to-end runtime in seconds (the minimized objective).
+    pub runtime_secs: f64,
+    /// Monetary/abstract cost of the run (cluster-seconds by default).
+    pub cost: f64,
+    /// Internal runtime metrics exposed by the system.
+    pub metrics: Metrics,
+    /// Whether the run failed (OOM, crash); failed runs report the
+    /// timeout/penalty runtime.
+    pub failed: bool,
+}
+
+impl Observation {
+    /// Convenience constructor for successful runs.
+    pub fn ok(config: Configuration, runtime_secs: f64) -> Self {
+        Observation {
+            config,
+            runtime_secs,
+            cost: runtime_secs,
+            metrics: Metrics::new(),
+            failed: false,
+        }
+    }
+}
+
+/// A tunable target system.
+///
+/// `evaluate` is the expensive operation every tuner economizes: for
+/// experiment-driven tuners each call is a real run; for cost-model and
+/// simulation tuners the wrapped model is itself cheap but the trait is
+/// identical, letting the bench harness compare families fairly.
+pub trait Objective {
+    /// The knob space this objective exposes.
+    fn space(&self) -> &ConfigSpace;
+
+    /// Static deployment description (hardware, workload class).
+    fn profile(&self) -> SystemProfile;
+
+    /// Runs the system under `config` and reports what happened.
+    fn evaluate(&mut self, config: &Configuration, rng: &mut StdRng) -> Observation;
+
+    /// Human-readable objective name.
+    fn name(&self) -> &str {
+        "objective"
+    }
+}
+
+/// Evaluation budget for a tuning session.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum number of `evaluate` calls.
+    pub max_evaluations: usize,
+}
+
+impl Budget {
+    /// Budget with a fixed number of runs.
+    pub fn evaluations(n: usize) -> Self {
+        Budget { max_evaluations: n }
+    }
+}
+
+/// A synthetic objective wrapping a closure over the unit cube — used
+/// throughout the test suites to validate tuners against known optima.
+pub struct FunctionObjective<F: FnMut(&[f64]) -> f64> {
+    space: ConfigSpace,
+    f: F,
+    name: String,
+}
+
+impl<F: FnMut(&[f64]) -> f64> FunctionObjective<F> {
+    /// Wraps `f` (which receives the unit-cube encoding of the config).
+    pub fn new(space: ConfigSpace, name: &str, f: F) -> Self {
+        FunctionObjective {
+            space,
+            f,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl<F: FnMut(&[f64]) -> f64> Objective for FunctionObjective<F> {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn profile(&self) -> SystemProfile {
+        SystemProfile::default()
+    }
+
+    fn evaluate(&mut self, config: &Configuration, _rng: &mut StdRng) -> Observation {
+        let x = self.space.encode(config);
+        let runtime = (self.f)(&x);
+        Observation::ok(config.clone(), runtime)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSpec;
+    use rand::SeedableRng;
+
+    fn unit_space(dim: usize) -> ConfigSpace {
+        ConfigSpace::new(
+            (0..dim)
+                .map(|i| ParamSpec::float(&format!("x{i}"), 0.0, 1.0, 0.5, ""))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn function_objective_evaluates_encoding() {
+        let space = unit_space(2);
+        let mut obj = FunctionObjective::new(space, "sum", |x| x.iter().sum());
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = obj.space().default_config();
+        let obs = obj.evaluate(&cfg, &mut rng);
+        assert!((obs.runtime_secs - 1.0).abs() < 1e-12);
+        assert!(!obs.failed);
+    }
+
+    #[test]
+    fn profile_totals() {
+        let p = SystemProfile {
+            nodes: 4,
+            cores_per_node: 8,
+            memory_per_node_mb: 1024.0,
+            ..SystemProfile::default()
+        };
+        assert_eq!(p.total_cores(), 32);
+        assert!((p.total_memory_mb() - 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_ok_defaults() {
+        let obs = Observation::ok(Configuration::new(), 12.5);
+        assert_eq!(obs.cost, 12.5);
+        assert!(obs.metrics.is_empty());
+        assert!(!obs.failed);
+    }
+
+    #[test]
+    fn budget_constructor() {
+        assert_eq!(Budget::evaluations(30).max_evaluations, 30);
+    }
+}

@@ -1,0 +1,460 @@
+//! Typed configuration parameters ("knobs").
+//!
+//! Database systems expose hundreds of tuning knobs, Hadoop and Spark about
+//! 200 each (§1 of the tutorial). Each knob here carries a typed domain
+//! (integer, float, boolean, categorical), an optional logarithmic scale
+//! for knobs spanning orders of magnitude (e.g. buffer sizes), a default,
+//! and documentation — enough for every tuner family to reason about it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete value for one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Integer-valued knob (e.g. `shuffle.partitions`).
+    Int(i64),
+    /// Continuous knob (e.g. `memory.fraction`).
+    Float(f64),
+    /// On/off switch (e.g. `compress.map.output`).
+    Bool(bool),
+    /// Categorical choice (e.g. serializer = `java` | `kryo`).
+    Str(String),
+}
+
+impl ParamValue {
+    /// The value as f64 if numeric (`Int` or `Float`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Int(v) => Some(*v as f64),
+            ParamValue::Float(v) => Some(*v),
+            ParamValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            ParamValue::Str(_) => None,
+        }
+    }
+
+    /// The value as i64 if it is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as bool if it is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as &str if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v:.4}"),
+            ParamValue::Bool(b) => write!(f, "{b}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The domain a parameter ranges over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamDomain {
+    /// Integers in `[min, max]`; `log` scales the unit-interval encoding
+    /// logarithmically (for knobs like buffer sizes spanning 1 MB – 32 GB).
+    Int {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+        /// Log-scale encoding (requires `min >= 1`).
+        log: bool,
+    },
+    /// Floats in `[min, max]`, optionally log-scaled.
+    Float {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+        /// Log-scale encoding (requires `min > 0`).
+        log: bool,
+    },
+    /// Boolean switch.
+    Bool,
+    /// One of a fixed set of strings.
+    Categorical {
+        /// Allowed choices, in a stable order.
+        choices: Vec<String>,
+    },
+}
+
+impl ParamDomain {
+    /// Whether `value` lies inside this domain.
+    pub fn contains(&self, value: &ParamValue) -> bool {
+        match (self, value) {
+            (ParamDomain::Int { min, max, .. }, ParamValue::Int(v)) => v >= min && v <= max,
+            (ParamDomain::Float { min, max, .. }, ParamValue::Float(v)) => {
+                *v >= *min && *v <= *max
+            }
+            (ParamDomain::Bool, ParamValue::Bool(_)) => true,
+            (ParamDomain::Categorical { choices }, ParamValue::Str(s)) => {
+                choices.iter().any(|c| c == s)
+            }
+            _ => false,
+        }
+    }
+
+    /// Encodes a value into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the value is not in the domain (callers validate first).
+    pub fn encode(&self, value: &ParamValue) -> f64 {
+        assert!(self.contains(value), "encode: {value} not in domain");
+        match (self, value) {
+            (ParamDomain::Int { min, max, log }, ParamValue::Int(v)) => {
+                if *log {
+                    debug_assert!(*min >= 1, "log-scale int domain needs min >= 1");
+                    let lo = (*min as f64).ln();
+                    let hi = (*max as f64).ln();
+                    if hi > lo {
+                        ((*v as f64).ln() - lo) / (hi - lo)
+                    } else {
+                        0.5
+                    }
+                } else if max > min {
+                    (*v - *min) as f64 / (*max - *min) as f64
+                } else {
+                    0.5
+                }
+            }
+            (ParamDomain::Float { min, max, log }, ParamValue::Float(v)) => {
+                if *log {
+                    debug_assert!(*min > 0.0, "log-scale float domain needs min > 0");
+                    let lo = min.ln();
+                    let hi = max.ln();
+                    if hi > lo {
+                        (v.ln() - lo) / (hi - lo)
+                    } else {
+                        0.5
+                    }
+                } else if max > min {
+                    (v - min) / (max - min)
+                } else {
+                    0.5
+                }
+            }
+            (ParamDomain::Bool, ParamValue::Bool(b)) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (ParamDomain::Categorical { choices }, ParamValue::Str(s)) => {
+                let idx = choices.iter().position(|c| c == s).expect("validated");
+                if choices.len() > 1 {
+                    idx as f64 / (choices.len() - 1) as f64
+                } else {
+                    0.5
+                }
+            }
+            _ => unreachable!("contains() validated the pairing"),
+        }
+    }
+
+    /// Decodes a unit-interval coordinate (clamped) back into the domain.
+    pub fn decode(&self, u: f64) -> ParamValue {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            ParamDomain::Int { min, max, log } => {
+                let v = if *log {
+                    let lo = (*min as f64).ln();
+                    let hi = (*max as f64).ln();
+                    (lo + u * (hi - lo)).exp()
+                } else {
+                    *min as f64 + u * (*max - *min) as f64
+                };
+                ParamValue::Int((v.round() as i64).clamp(*min, *max))
+            }
+            ParamDomain::Float { min, max, log } => {
+                let v = if *log {
+                    (min.ln() + u * (max.ln() - min.ln())).exp()
+                } else {
+                    min + u * (max - min)
+                };
+                ParamValue::Float(v.clamp(*min, *max))
+            }
+            ParamDomain::Bool => ParamValue::Bool(u >= 0.5),
+            ParamDomain::Categorical { choices } => {
+                let idx = if choices.len() > 1 {
+                    ((u * (choices.len() - 1) as f64).round() as usize).min(choices.len() - 1)
+                } else {
+                    0
+                };
+                ParamValue::Str(choices[idx].clone())
+            }
+        }
+    }
+}
+
+/// Full specification of one tunable parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Knob name, e.g. `"shared_buffers_mb"`.
+    pub name: String,
+    /// Value domain.
+    pub domain: ParamDomain,
+    /// Vendor default (the "untuned" setting).
+    pub default: ParamValue,
+    /// Optional unit for display, e.g. `"MB"`.
+    pub unit: Option<String>,
+    /// Human description (what the knob controls).
+    pub description: String,
+}
+
+impl ParamSpec {
+    /// Integer knob.
+    pub fn int(name: &str, min: i64, max: i64, default: i64, desc: &str) -> Self {
+        let spec = ParamSpec {
+            name: name.to_string(),
+            domain: ParamDomain::Int {
+                min,
+                max,
+                log: false,
+            },
+            default: ParamValue::Int(default),
+            unit: None,
+            description: desc.to_string(),
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Integer knob with logarithmic encoding (e.g. memory sizes).
+    pub fn int_log(name: &str, min: i64, max: i64, default: i64, desc: &str) -> Self {
+        assert!(min >= 1, "log-scale int knob {name} needs min >= 1");
+        let spec = ParamSpec {
+            name: name.to_string(),
+            domain: ParamDomain::Int {
+                min,
+                max,
+                log: true,
+            },
+            default: ParamValue::Int(default),
+            unit: None,
+            description: desc.to_string(),
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Float knob.
+    pub fn float(name: &str, min: f64, max: f64, default: f64, desc: &str) -> Self {
+        let spec = ParamSpec {
+            name: name.to_string(),
+            domain: ParamDomain::Float {
+                min,
+                max,
+                log: false,
+            },
+            default: ParamValue::Float(default),
+            unit: None,
+            description: desc.to_string(),
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Float knob with logarithmic encoding.
+    pub fn float_log(name: &str, min: f64, max: f64, default: f64, desc: &str) -> Self {
+        assert!(min > 0.0, "log-scale float knob {name} needs min > 0");
+        let spec = ParamSpec {
+            name: name.to_string(),
+            domain: ParamDomain::Float {
+                min,
+                max,
+                log: true,
+            },
+            default: ParamValue::Float(default),
+            unit: None,
+            description: desc.to_string(),
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Boolean knob.
+    pub fn boolean(name: &str, default: bool, desc: &str) -> Self {
+        ParamSpec {
+            name: name.to_string(),
+            domain: ParamDomain::Bool,
+            default: ParamValue::Bool(default),
+            unit: None,
+            description: desc.to_string(),
+        }
+    }
+
+    /// Categorical knob.
+    pub fn categorical(name: &str, choices: &[&str], default: &str, desc: &str) -> Self {
+        let spec = ParamSpec {
+            name: name.to_string(),
+            domain: ParamDomain::Categorical {
+                choices: choices.iter().map(|s| s.to_string()).collect(),
+            },
+            default: ParamValue::Str(default.to_string()),
+            unit: None,
+            description: desc.to_string(),
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Attaches a display unit.
+    pub fn with_unit(mut self, unit: &str) -> Self {
+        self.unit = Some(unit.to_string());
+        self
+    }
+
+    /// Asserts internal consistency (default inside domain, sane bounds).
+    pub fn validate(&self) {
+        match &self.domain {
+            ParamDomain::Int { min, max, .. } => {
+                assert!(min <= max, "knob {}: min > max", self.name)
+            }
+            ParamDomain::Float { min, max, .. } => {
+                assert!(min <= max, "knob {}: min > max", self.name)
+            }
+            ParamDomain::Bool => {}
+            ParamDomain::Categorical { choices } => {
+                assert!(!choices.is_empty(), "knob {}: no choices", self.name)
+            }
+        }
+        assert!(
+            self.domain.contains(&self.default),
+            "knob {}: default {} outside domain",
+            self.name,
+            self.default
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_encode_decode_roundtrip() {
+        let d = ParamDomain::Int {
+            min: 10,
+            max: 110,
+            log: false,
+        };
+        for v in [10i64, 35, 60, 110] {
+            let u = d.encode(&ParamValue::Int(v));
+            assert_eq!(d.decode(u), ParamValue::Int(v));
+        }
+    }
+
+    #[test]
+    fn log_scale_centers_geometric_mean() {
+        let d = ParamDomain::Int {
+            min: 1,
+            max: 1024,
+            log: true,
+        };
+        // u = 0.5 should decode to ~32 (geometric midpoint), not ~512.
+        let mid = d.decode(0.5);
+        assert_eq!(mid, ParamValue::Int(32));
+    }
+
+    #[test]
+    fn float_roundtrip_and_clamp() {
+        let d = ParamDomain::Float {
+            min: 0.1,
+            max: 0.9,
+            log: false,
+        };
+        let u = d.encode(&ParamValue::Float(0.5));
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(d.decode(-3.0), ParamValue::Float(0.1));
+        assert_eq!(d.decode(9.0), ParamValue::Float(0.9));
+    }
+
+    #[test]
+    fn bool_encoding() {
+        let d = ParamDomain::Bool;
+        assert_eq!(d.encode(&ParamValue::Bool(true)), 1.0);
+        assert_eq!(d.decode(0.2), ParamValue::Bool(false));
+        assert_eq!(d.decode(0.8), ParamValue::Bool(true));
+    }
+
+    #[test]
+    fn categorical_roundtrip() {
+        let d = ParamDomain::Categorical {
+            choices: vec!["java".into(), "kryo".into(), "custom".into()],
+        };
+        for c in ["java", "kryo", "custom"] {
+            let u = d.encode(&ParamValue::Str(c.to_string()));
+            assert_eq!(d.decode(u), ParamValue::Str(c.to_string()));
+        }
+    }
+
+    #[test]
+    fn contains_rejects_wrong_type_and_range() {
+        let d = ParamDomain::Int {
+            min: 0,
+            max: 10,
+            log: false,
+        };
+        assert!(!d.contains(&ParamValue::Int(11)));
+        assert!(!d.contains(&ParamValue::Float(5.0)));
+        assert!(!d.contains(&ParamValue::Str("5".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn builder_rejects_bad_default() {
+        ParamSpec::int("x", 0, 10, 42, "bad");
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(ParamValue::Int(7).to_string(), "7");
+        assert_eq!(ParamValue::Bool(true).to_string(), "true");
+        assert_eq!(ParamValue::Str("kryo".into()).to_string(), "kryo");
+    }
+
+    #[test]
+    fn singleton_domains_encode_to_half() {
+        let d = ParamDomain::Int {
+            min: 5,
+            max: 5,
+            log: false,
+        };
+        assert_eq!(d.encode(&ParamValue::Int(5)), 0.5);
+        assert_eq!(d.decode(0.9), ParamValue::Int(5));
+    }
+
+    #[test]
+    fn as_accessors() {
+        assert_eq!(ParamValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(ParamValue::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(ParamValue::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(ParamValue::Str("x".into()).as_f64(), None);
+        assert_eq!(ParamValue::Int(3).as_i64(), Some(3));
+        assert_eq!(ParamValue::Bool(false).as_bool(), Some(false));
+        assert_eq!(ParamValue::Str("y".into()).as_str(), Some("y"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Multi-objective (time vs. cost) utilities — the §2.5 "cloud computing"
+//! challenge framed as data: in a pay-per-use setting a tuner should not
+//! return one configuration but the *Pareto frontier* over runtime and
+//! monetary cost, and let policy (deadline, budget) pick the point.
+
+use crate::history::History;
+use crate::objective::Observation;
+use serde::Serialize;
+
+/// A point considered for the frontier.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParetoPoint {
+    /// Index into the history it came from.
+    pub index: usize,
+    /// Runtime objective (seconds).
+    pub runtime_secs: f64,
+    /// Cost objective (e.g. node-seconds or cents).
+    pub cost: f64,
+}
+
+/// Indices of the Pareto-optimal (non-dominated) observations of a
+/// history over (runtime, cost), failures excluded. Lower is better on
+/// both axes.
+pub fn pareto_front(history: &History) -> Vec<ParetoPoint> {
+    let obs: Vec<(usize, &Observation)> = history
+        .all()
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| !o.failed)
+        .collect();
+    let mut front = Vec::new();
+    for &(i, a) in &obs {
+        let dominated = obs.iter().any(|&(j, b)| {
+            j != i
+                && b.runtime_secs <= a.runtime_secs
+                && b.cost <= a.cost
+                && (b.runtime_secs < a.runtime_secs || b.cost < a.cost)
+        });
+        if !dominated {
+            front.push(ParetoPoint {
+                index: i,
+                runtime_secs: a.runtime_secs,
+                cost: a.cost,
+            });
+        }
+    }
+    front.sort_by(|x, y| {
+        x.runtime_secs
+            .partial_cmp(&y.runtime_secs)
+            .expect("finite runtimes")
+    });
+    front
+}
+
+/// The cheapest frontier point whose runtime meets `deadline_secs`, if any.
+pub fn cheapest_within_deadline(history: &History, deadline_secs: f64) -> Option<ParetoPoint> {
+    pareto_front(history)
+        .into_iter()
+        .filter(|p| p.runtime_secs <= deadline_secs)
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+}
+
+/// Hypervolume indicator w.r.t. a reference point (larger = better
+/// front). Standard 2-D sweep.
+pub fn hypervolume(front: &[ParetoPoint], ref_runtime: f64, ref_cost: f64) -> f64 {
+    let mut pts: Vec<&ParetoPoint> = front
+        .iter()
+        .filter(|p| p.runtime_secs <= ref_runtime && p.cost <= ref_cost)
+        .collect();
+    pts.sort_by(|a, b| {
+        a.runtime_secs
+            .partial_cmp(&b.runtime_secs)
+            .expect("finite runtimes")
+    });
+    let mut volume = 0.0;
+    let mut prev_cost = ref_cost;
+    for p in pts {
+        let width = ref_runtime - p.runtime_secs;
+        let height = (prev_cost - p.cost).max(0.0);
+        volume += width * height;
+        prev_cost = prev_cost.min(p.cost);
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSpec;
+    use crate::space::ConfigSpace;
+
+    fn history_with(points: &[(f64, f64)]) -> History {
+        let space = ConfigSpace::new(vec![ParamSpec::float("x", 0.0, 1.0, 0.5, "")]);
+        let mut h = History::new();
+        for (i, &(rt, cost)) in points.iter().enumerate() {
+            let mut o = Observation::ok(space.decode(&[i as f64 / points.len() as f64]), rt);
+            o.cost = cost;
+            h.push(o);
+        }
+        h
+    }
+
+    #[test]
+    fn front_excludes_dominated_points() {
+        // (10, 1) and (1, 10) are frontier; (5, 5) is frontier; (6, 6) is
+        // dominated by (5, 5); (12, 12) dominated by everything.
+        let h = history_with(&[(10.0, 1.0), (1.0, 10.0), (5.0, 5.0), (6.0, 6.0), (12.0, 12.0)]);
+        let front = pareto_front(&h);
+        let indices: Vec<usize> = front.iter().map(|p| p.index).collect();
+        assert_eq!(indices, vec![1, 2, 0], "sorted by runtime");
+    }
+
+    #[test]
+    fn failures_never_on_front() {
+        let space = ConfigSpace::new(vec![ParamSpec::float("x", 0.0, 1.0, 0.5, "")]);
+        let mut h = History::new();
+        let mut fast_but_failed = Observation::ok(space.decode(&[0.1]), 0.001);
+        fast_but_failed.failed = true;
+        h.push(fast_but_failed);
+        h.push(Observation::ok(space.decode(&[0.2]), 5.0));
+        let front = pareto_front(&h);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].index, 1);
+    }
+
+    #[test]
+    fn deadline_query() {
+        let h = history_with(&[(10.0, 1.0), (1.0, 10.0), (5.0, 5.0)]);
+        let p = cheapest_within_deadline(&h, 6.0).unwrap();
+        assert_eq!(p.index, 2, "cheapest meeting the 6s deadline is (5,5)");
+        assert!(cheapest_within_deadline(&h, 0.5).is_none());
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let weak = pareto_front(&history_with(&[(8.0, 8.0)]));
+        let strong = pareto_front(&history_with(&[(2.0, 2.0)]));
+        let hv_weak = hypervolume(&weak, 10.0, 10.0);
+        let hv_strong = hypervolume(&strong, 10.0, 10.0);
+        assert!(hv_strong > hv_weak);
+        assert!((hv_weak - 4.0).abs() < 1e-12);
+        assert!((hv_strong - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_of_multi_point_front() {
+        let front = pareto_front(&history_with(&[(2.0, 8.0), (8.0, 2.0)]));
+        // (10-2)*(10-8) + (10-8)*(8-2) = 16 + 12 = 28
+        assert!((hypervolume(&front, 10.0, 10.0) - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_is_whole_front() {
+        let h = history_with(&[(3.0, 3.0)]);
+        assert_eq!(pareto_front(&h).len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Knob-importance rankings — the common output format of SARD,
+//! OtterTune's Lasso stage, ConfNav, and the ANOVA sensitivity experiments,
+//! with agreement metrics for comparing rankers.
+
+use autotune_math::stats::spearman;
+use serde::{Deserialize, Serialize};
+
+/// A ranking of knobs by importance (most important first).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnobRanking {
+    entries: Vec<(String, f64)>,
+}
+
+impl KnobRanking {
+    /// Builds a ranking from (knob, importance) pairs; sorts by descending
+    /// importance internally.
+    pub fn new(mut entries: Vec<(String, f64)>) -> Self {
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        KnobRanking { entries }
+    }
+
+    /// (knob, importance) pairs, most important first.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Knob names, most important first.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The `k` most important knob names.
+    pub fn top_k(&self, k: usize) -> Vec<&str> {
+        self.entries
+            .iter()
+            .take(k)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Importance of a knob (0.0 if absent).
+    pub fn importance(&self, name: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Rank position of a knob (0 = most important), if present.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|(n, _)| n == name)
+    }
+
+    /// Number of knobs whose importance is at least `threshold` times the
+    /// top importance — the "significant knobs" count.
+    pub fn significant_count(&self, threshold: f64) -> usize {
+        let top = self.entries.first().map(|(_, v)| *v).unwrap_or(0.0);
+        if top <= 0.0 {
+            return 0;
+        }
+        self.entries
+            .iter()
+            .filter(|(_, v)| *v >= threshold * top)
+            .count()
+    }
+
+    /// Spearman rank agreement with another ranking over the knobs both
+    /// share. Returns 0.0 if fewer than 2 knobs are shared.
+    pub fn agreement(&self, other: &KnobRanking) -> f64 {
+        let shared: Vec<&str> = self
+            .entries
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| other.position(n).is_some())
+            .collect();
+        if shared.len() < 2 {
+            return 0.0;
+        }
+        let a: Vec<f64> = shared
+            .iter()
+            .map(|n| self.position(n).expect("shared") as f64)
+            .collect();
+        let b: Vec<f64> = shared
+            .iter()
+            .map(|n| other.position(n).expect("shared") as f64)
+            .collect();
+        spearman(&a, &b)
+    }
+
+    /// Overlap fraction of the top-`k` sets of two rankings (`|∩| / k`).
+    pub fn top_k_overlap(&self, other: &KnobRanking, k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        let mine: std::collections::HashSet<&str> = self.top_k(k).into_iter().collect();
+        let theirs: std::collections::HashSet<&str> = other.top_k(k).into_iter().collect();
+        mine.intersection(&theirs).count() as f64 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(pairs: &[(&str, f64)]) -> KnobRanking {
+        KnobRanking::new(pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+    }
+
+    #[test]
+    fn sorted_on_construction() {
+        let r = ranking(&[("a", 1.0), ("b", 5.0), ("c", 3.0)]);
+        assert_eq!(r.names(), vec!["b", "c", "a"]);
+        assert_eq!(r.position("b"), Some(0));
+        assert_eq!(r.top_k(2), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn importance_lookup() {
+        let r = ranking(&[("a", 1.0), ("b", 2.0)]);
+        assert_eq!(r.importance("a"), 1.0);
+        assert_eq!(r.importance("zzz"), 0.0);
+    }
+
+    #[test]
+    fn significant_count_relative_to_top() {
+        let r = ranking(&[("a", 10.0), ("b", 5.0), ("c", 0.4), ("d", 0.1)]);
+        assert_eq!(r.significant_count(0.3), 2);
+        assert_eq!(r.significant_count(0.01), 4);
+    }
+
+    #[test]
+    fn agreement_perfect_and_reversed() {
+        let r1 = ranking(&[("a", 3.0), ("b", 2.0), ("c", 1.0)]);
+        let r2 = ranking(&[("a", 30.0), ("b", 20.0), ("c", 10.0)]);
+        assert!((r1.agreement(&r2) - 1.0).abs() < 1e-12);
+        let r3 = ranking(&[("a", 1.0), ("b", 2.0), ("c", 3.0)]);
+        assert!((r1.agreement(&r3) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_over_shared_subset_only() {
+        let r1 = ranking(&[("a", 3.0), ("b", 2.0), ("x", 1.5), ("c", 1.0)]);
+        let r2 = ranking(&[("a", 9.0), ("b", 8.0), ("c", 7.0), ("y", 1.0)]);
+        assert!(r1.agreement(&r2) > 0.9);
+    }
+
+    #[test]
+    fn top_k_overlap_fraction() {
+        let r1 = ranking(&[("a", 3.0), ("b", 2.0), ("c", 1.0)]);
+        let r2 = ranking(&[("a", 9.0), ("c", 8.0), ("b", 7.0)]);
+        assert!((r1.top_k_overlap(&r2, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(r1.top_k_overlap(&r2, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_importance_means_none_significant() {
+        let r = ranking(&[("a", 0.0), ("b", 0.0)]);
+        assert_eq!(r.significant_count(0.5), 0);
+    }
+}

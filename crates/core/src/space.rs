@@ -1,0 +1,397 @@
+//! Configuration spaces: an ordered set of [`ParamSpec`]s together with
+//! encoding into (and decoding out of) the unit hypercube `[0,1]^d` that
+//! the search algorithms operate in.
+
+use crate::error::CoreError;
+use crate::param::{ParamSpec, ParamValue};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A complete assignment of values to every knob of a [`ConfigSpace`].
+///
+/// Stored as a name → value map so configurations are self-describing,
+/// serializable, and independent of parameter ordering.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Configuration {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl Configuration {
+    /// Empty configuration (used as a builder).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a knob value (builder style).
+    pub fn with(mut self, name: &str, value: ParamValue) -> Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// Sets a knob value in place.
+    pub fn set(&mut self, name: &str, value: ParamValue) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Gets a knob value.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Gets a numeric knob as f64 (panics with a clear message if absent —
+    /// simulators use this for knobs they define themselves).
+    pub fn f64(&self, name: &str) -> f64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("knob {name} missing or non-numeric"))
+    }
+
+    /// Gets an integer knob (panics if absent/mistyped; see [`Self::f64`]).
+    pub fn i64(&self, name: &str) -> i64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.as_i64())
+            .unwrap_or_else(|| panic!("knob {name} missing or not an int"))
+    }
+
+    /// Gets a boolean knob (panics if absent/mistyped).
+    pub fn bool(&self, name: &str) -> bool {
+        self.values
+            .get(name)
+            .and_then(|v| v.as_bool())
+            .unwrap_or_else(|| panic!("knob {name} missing or not a bool"))
+    }
+
+    /// Gets a categorical knob (panics if absent/mistyped).
+    pub fn str(&self, name: &str) -> &str {
+        self.values
+            .get(name)
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("knob {name} missing or not categorical"))
+    }
+
+    /// Iterates over (name, value) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &ParamValue)> {
+        self.values.iter()
+    }
+
+    /// Number of knobs set.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no knobs are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (k, v) in &self.values {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An ordered collection of knobs forming the search space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    params: Vec<ParamSpec>,
+}
+
+impl ConfigSpace {
+    /// Builds a space from specs.
+    ///
+    /// # Panics
+    /// Panics on duplicate knob names or invalid specs.
+    pub fn new(params: Vec<ParamSpec>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for p in &params {
+            p.validate();
+            assert!(seen.insert(p.name.clone()), "duplicate knob {}", p.name);
+        }
+        ConfigSpace { params }
+    }
+
+    /// Number of knobs (the dimensionality of the unit-cube encoding).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Knob specs in order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Looks up a spec by name.
+    pub fn spec(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Position of a knob in the encoding order.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Knob names in encoding order.
+    pub fn names(&self) -> Vec<&str> {
+        self.params.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// The vendor-default configuration.
+    pub fn default_config(&self) -> Configuration {
+        let mut c = Configuration::new();
+        for p in &self.params {
+            c.set(&p.name, p.default.clone());
+        }
+        c
+    }
+
+    /// Validates that `config` assigns an in-domain value to every knob.
+    pub fn validate_config(&self, config: &Configuration) -> Result<(), CoreError> {
+        for p in &self.params {
+            match config.get(&p.name) {
+                None => return Err(CoreError::MissingParam(p.name.clone())),
+                Some(v) if !p.domain.contains(v) => {
+                    return Err(CoreError::OutOfDomain {
+                        param: p.name.clone(),
+                        value: v.to_string(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        for (name, _) in config.iter() {
+            if self.spec(name).is_none() {
+                return Err(CoreError::UnknownParam(name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes a configuration into `[0,1]^dim`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid for this space (call
+    /// [`Self::validate_config`] at trust boundaries).
+    pub fn encode(&self, config: &Configuration) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| {
+                let v = config
+                    .get(&p.name)
+                    .unwrap_or_else(|| panic!("encode: knob {} missing", p.name));
+                p.domain.encode(v)
+            })
+            .collect()
+    }
+
+    /// Decodes a unit-cube point into a configuration (coordinates are
+    /// clamped; integers and categoricals snap to the nearest level).
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.dim()`.
+    pub fn decode(&self, point: &[f64]) -> Configuration {
+        assert_eq!(point.len(), self.dim(), "decode: wrong dimension");
+        let mut c = Configuration::new();
+        for (p, &u) in self.params.iter().zip(point) {
+            c.set(&p.name, p.domain.decode(u));
+        }
+        c
+    }
+
+    /// Uniform random configuration.
+    pub fn random_config(&self, rng: &mut StdRng) -> Configuration {
+        let point: Vec<f64> = (0..self.dim()).map(|_| rng.random_range(0.0..1.0)).collect();
+        self.decode(&point)
+    }
+
+    /// A random neighbour of `config`: each coordinate is perturbed by
+    /// uniform noise in `±step` with probability `flip_prob`, then decoded
+    /// back (so at least one coordinate always moves).
+    pub fn neighbor(
+        &self,
+        config: &Configuration,
+        step: f64,
+        flip_prob: f64,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        let mut point = self.encode(config);
+        let forced = rng.random_range(0..point.len());
+        for (i, u) in point.iter_mut().enumerate() {
+            if i == forced || rng.random_range(0.0..1.0) < flip_prob {
+                *u = (*u + rng.random_range(-step..step)).clamp(0.0, 1.0);
+            }
+        }
+        self.decode(&point)
+    }
+
+    /// Restricted copy of this space containing only the named knobs (in
+    /// the given order). Used by tuners that first *rank* knobs and then
+    /// search only the top-k (SARD → iTuned pipelines).
+    ///
+    /// # Panics
+    /// Panics if a name is unknown.
+    pub fn subspace(&self, names: &[&str]) -> ConfigSpace {
+        let params = names
+            .iter()
+            .map(|n| {
+                self.spec(n)
+                    .unwrap_or_else(|| panic!("subspace: unknown knob {n}"))
+                    .clone()
+            })
+            .collect();
+        ConfigSpace::new(params)
+    }
+
+    /// Completes a partial configuration with defaults for missing knobs.
+    pub fn complete_with_defaults(&self, partial: &Configuration) -> Configuration {
+        let mut c = self.default_config();
+        for (k, v) in partial.iter() {
+            if self.spec(k).is_some() {
+                c.set(k, v.clone());
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSpec;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            ParamSpec::int_log("mem_mb", 64, 65536, 1024, "memory"),
+            ParamSpec::float("fraction", 0.0, 1.0, 0.6, "fraction"),
+            ParamSpec::boolean("compress", false, "compression"),
+            ParamSpec::categorical("codec", &["lz4", "snappy", "zstd"], "lz4", "codec"),
+        ])
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        let s = space();
+        let d = s.default_config();
+        assert!(s.validate_config(&d).is_ok());
+        assert_eq!(d.i64("mem_mb"), 1024);
+        assert_eq!(d.str("codec"), "lz4");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_default() {
+        let s = space();
+        let d = s.default_config();
+        let enc = s.encode(&d);
+        assert_eq!(enc.len(), 4);
+        let back = s.decode(&enc);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn random_configs_valid_and_diverse() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let c = s.random_config(&mut rng);
+            assert!(s.validate_config(&c).is_ok());
+            distinct.insert(format!("{c}"));
+        }
+        assert!(distinct.len() > 25, "only {} distinct configs", distinct.len());
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_unknown() {
+        let s = space();
+        let mut c = s.default_config();
+        c.set("bogus", ParamValue::Int(1));
+        assert!(matches!(
+            s.validate_config(&c),
+            Err(CoreError::UnknownParam(_))
+        ));
+        let c2 = Configuration::new().with("mem_mb", ParamValue::Int(128));
+        assert!(matches!(
+            s.validate_config(&c2),
+            Err(CoreError::MissingParam(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_domain() {
+        let s = space();
+        let mut c = s.default_config();
+        c.set("fraction", ParamValue::Float(1.5));
+        assert!(matches!(
+            s.validate_config(&c),
+            Err(CoreError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbor_changes_at_least_one_knob_encoding() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = s.default_config();
+        let mut moved = 0;
+        for _ in 0..20 {
+            let n = s.neighbor(&d, 0.3, 0.5, &mut rng);
+            assert!(s.validate_config(&n).is_ok());
+            if n != d {
+                moved += 1;
+            }
+        }
+        assert!(moved >= 15, "neighbor rarely moved: {moved}/20");
+    }
+
+    #[test]
+    fn subspace_preserves_specs() {
+        let s = space();
+        let sub = s.subspace(&["fraction", "codec"]);
+        assert_eq!(sub.dim(), 2);
+        assert_eq!(sub.names(), vec!["fraction", "codec"]);
+    }
+
+    #[test]
+    fn complete_with_defaults_fills_gaps() {
+        let s = space();
+        let partial = Configuration::new().with("compress", ParamValue::Bool(true));
+        let full = s.complete_with_defaults(&partial);
+        assert!(s.validate_config(&full).is_ok());
+        assert!(full.bool("compress"));
+        assert_eq!(full.i64("mem_mb"), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate knob")]
+    fn duplicate_names_rejected() {
+        ConfigSpace::new(vec![
+            ParamSpec::int("x", 0, 1, 0, ""),
+            ParamSpec::int("x", 0, 2, 1, ""),
+        ]);
+    }
+
+    #[test]
+    fn index_and_names_align_with_encoding() {
+        let s = space();
+        assert_eq!(s.index_of("fraction"), Some(1));
+        let d = s.default_config();
+        let enc = s.encode(&d);
+        // fraction default 0.6 encodes to 0.6 at index 1.
+        assert!((enc[1] - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Effect-size analysis for two-level experiments: main effects,
+//! two-factor interactions, and a variance-explained decomposition.
+//!
+//! Backs the parameter-interdependence experiment (C4 in DESIGN.md) and the
+//! Spark knob-sensitivity study (C3): the paper's challenge (i) is that
+//! "certain groups of parameters may have dependent effects", which shows
+//! up here as large interaction terms.
+
+use crate::design::TwoLevelDesign;
+
+/// Decomposition of response variance into main effects and pairwise
+/// interactions for a two-level design.
+#[derive(Debug, Clone)]
+pub struct EffectDecomposition {
+    /// Main effect per factor (high-mean minus low-mean).
+    pub main_effects: Vec<f64>,
+    /// Interaction effect for each factor pair `(i, j)`, `i < j`.
+    pub interactions: Vec<((usize, usize), f64)>,
+    /// Fraction of total sum-of-squares attributed to each factor's main
+    /// effect (only meaningful for orthogonal designs such as full
+    /// factorials).
+    pub main_ss_fraction: Vec<f64>,
+}
+
+/// Computes main and two-factor-interaction effects from a design and one
+/// response per run. Interaction contrast for `(i, j)` is the mean response
+/// where levels agree minus the mean where they disagree.
+///
+/// # Panics
+/// Panics if `responses.len() != design.runs()`.
+pub fn effect_decomposition(
+    design: &TwoLevelDesign,
+    responses: &[f64],
+) -> EffectDecomposition {
+    assert_eq!(responses.len(), design.runs(), "response/run mismatch");
+    let runs = design.runs();
+    let factors = design.factors();
+    let main_effects = design.main_effects(responses);
+
+    let mut interactions = Vec::new();
+    for i in 0..factors {
+        for j in i + 1..factors {
+            let mut same_sum = 0.0;
+            let mut same_n = 0.0;
+            let mut diff_sum = 0.0;
+            let mut diff_n = 0.0;
+            for r in 0..runs {
+                if design.level(r, i) == design.level(r, j) {
+                    same_sum += responses[r];
+                    same_n += 1.0;
+                } else {
+                    diff_sum += responses[r];
+                    diff_n += 1.0;
+                }
+            }
+            let effect = if same_n > 0.0 && diff_n > 0.0 {
+                same_sum / same_n - diff_sum / diff_n
+            } else {
+                0.0
+            };
+            interactions.push(((i, j), effect));
+        }
+    }
+
+    // Sum-of-squares decomposition: for a balanced orthogonal design the SS
+    // of a contrast with effect e over n runs is n * e^2 / 4.
+    let grand_mean: f64 = responses.iter().sum::<f64>() / runs as f64;
+    let total_ss: f64 = responses
+        .iter()
+        .map(|y| (y - grand_mean) * (y - grand_mean))
+        .sum();
+    let main_ss_fraction = main_effects
+        .iter()
+        .map(|e| {
+            if total_ss > 0.0 {
+                (runs as f64 * e * e / 4.0) / total_ss
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    EffectDecomposition {
+        main_effects,
+        interactions,
+        main_ss_fraction,
+    }
+}
+
+impl EffectDecomposition {
+    /// The strongest pairwise interaction `((i, j), |effect|)`, if any.
+    pub fn strongest_interaction(&self) -> Option<((usize, usize), f64)> {
+        self.interactions
+            .iter()
+            .map(|&(pair, e)| (pair, e.abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite effects"))
+    }
+
+    /// Count of factors whose main effect explains at least `threshold`
+    /// (fraction of total variance). This is how the "about 30 of Spark's
+    /// 200 parameters have a significant impact" claim is quantified.
+    pub fn significant_factors(&self, threshold: f64) -> usize {
+        self.main_ss_fraction
+            .iter()
+            .filter(|&&f| f >= threshold)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_main_effects_no_interaction() {
+        let d = TwoLevelDesign::full_factorial(3);
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|r| 2.0 * d.level(r, 0) + 1.0 * d.level(r, 1))
+            .collect();
+        let dec = effect_decomposition(&d, &responses);
+        assert!((dec.main_effects[0] - 4.0).abs() < 1e-9);
+        assert!((dec.main_effects[1] - 2.0).abs() < 1e-9);
+        assert!(dec.main_effects[2].abs() < 1e-9);
+        for (_, e) in &dec.interactions {
+            assert!(e.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_interaction_detected() {
+        let d = TwoLevelDesign::full_factorial(2);
+        // y = x0 * x1: no main effects, pure interaction.
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|r| d.level(r, 0) * d.level(r, 1))
+            .collect();
+        let dec = effect_decomposition(&d, &responses);
+        assert!(dec.main_effects[0].abs() < 1e-9);
+        assert!(dec.main_effects[1].abs() < 1e-9);
+        let ((i, j), e) = dec.strongest_interaction().unwrap();
+        assert_eq!((i, j), (0, 1));
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ss_fractions_sum_to_one_for_additive_model() {
+        let d = TwoLevelDesign::full_factorial(3);
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|r| 3.0 * d.level(r, 0) - 2.0 * d.level(r, 1) + 0.5 * d.level(r, 2))
+            .collect();
+        let dec = effect_decomposition(&d, &responses);
+        let total: f64 = dec.main_ss_fraction.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn significant_factor_count() {
+        let d = TwoLevelDesign::full_factorial(4);
+        // Two strong factors, two negligible.
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|r| 10.0 * d.level(r, 0) + 8.0 * d.level(r, 1) + 0.01 * d.level(r, 2))
+            .collect();
+        let dec = effect_decomposition(&d, &responses);
+        assert_eq!(dec.significant_factors(0.05), 2);
+    }
+
+    #[test]
+    fn constant_response_all_zero() {
+        let d = TwoLevelDesign::full_factorial(2);
+        let responses = vec![5.0; d.runs()];
+        let dec = effect_decomposition(&d, &responses);
+        assert!(dec.main_effects.iter().all(|e| e.abs() < 1e-12));
+        assert!(dec.main_ss_fraction.iter().all(|f| *f == 0.0));
+    }
+}

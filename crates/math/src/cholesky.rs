@@ -1,0 +1,313 @@
+//! Cholesky decomposition and solves for symmetric positive-definite
+//! systems — the workhorse behind Gaussian-process regression (iTuned,
+//! OtterTune) and ridge regression.
+
+use crate::matrix::{LinAlgError, Matrix};
+
+/// Lower-triangular Cholesky factor `L` with `L * L^T = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Decomposes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinAlgError::NotPositiveDefinite`] if a non-positive pivot
+    /// is encountered; callers that work with near-singular kernels should
+    /// prefer [`Cholesky::decompose_with_jitter`].
+    pub fn decompose(a: &Matrix) -> Result<Self, LinAlgError> {
+        if !a.is_square() {
+            return Err(LinAlgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinAlgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Decomposes `A + jitter * I`, growing the jitter geometrically until
+    /// the decomposition succeeds (up to `max_tries`). Returns the factor
+    /// together with the jitter that was finally applied.
+    ///
+    /// Gaussian-process kernel matrices become numerically indefinite when
+    /// two sampled configurations are nearly identical; the standard remedy
+    /// is diagonal jitter.
+    pub fn decompose_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64), LinAlgError> {
+        match Self::decompose(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(LinAlgError::NotSquare { shape }) => {
+                return Err(LinAlgError::NotSquare { shape })
+            }
+            Err(_) => {}
+        }
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal_mut(jitter);
+            if let Ok(c) = Self::decompose(&aj) {
+                return Ok((c, jitter));
+            }
+            jitter *= 10.0;
+        }
+        Err(LinAlgError::NotPositiveDefinite)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `L^T x = y` (backward substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper: length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log(det(A)) = 2 * sum(log(diag(L)))`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Inverse of `A` (use sparingly; prefer `solve`).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+/// Solves a general (small) linear system `A x = b` by Gaussian elimination
+/// with partial pivoting. Used where symmetry is not guaranteed (e.g. the
+/// normal equations of non-symmetric design matrices are avoided, but
+/// Nelder–Mead restarts and ADDM models occasionally need a general solve).
+pub fn solve_linear(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+    if !a.is_square() {
+        return Err(LinAlgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    assert_eq!(b.len(), n, "solve_linear: length mismatch");
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[(col, col)].abs();
+        for r in col + 1..n {
+            let v = m[(r, col)].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return Err(LinAlgError::NotPositiveDefinite);
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot, j)];
+                m[(pivot, j)] = tmp;
+            }
+            x.swap(col, pivot);
+        }
+        let d = m[(col, col)];
+        for r in col + 1..n {
+            let f = m[(r, col)] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = m[(col, j)];
+                m[(r, j)] -= f * v;
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    let mut out = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in i + 1..n {
+            sum -= m[(i, j)] * out[j];
+        }
+        out[i] = sum / m[(i, i)];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ])
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        let c = Cholesky::decompose(&spd_example()).unwrap();
+        let expect = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![6.0, 1.0, 0.0],
+            vec![-8.0, 5.0, 3.0],
+        ]);
+        assert!(c.l().max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd_example();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let c = Cholesky::decompose(&a).unwrap();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        // det = (2*1*3)^2 = 36
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinAlgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 matrix: xx^T is PSD but not PD.
+        let x = [1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(3, 3, |i, j| x[i] * x[j]);
+        let (c, jitter) = Cholesky::decompose_with_jitter(&a, 1e-10, 20).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd_example();
+        let inv = Cholesky::decompose(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-9);
+    }
+
+    #[test]
+    fn general_solver_handles_nonsymmetric() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ]);
+        let x_true = vec![1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true);
+        let x = solve_linear(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn general_solver_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve_linear(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn triangular_solves_consistent() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = vec![1.0, 0.5, -0.25];
+        let y = c.solve_lower(&b);
+        // L y should equal b
+        for i in 0..3 {
+            let li: Vec<f64> = (0..3).map(|j| c.l()[(i, j)]).collect();
+            assert!((dot(&li, &y) - b[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Two-level screening designs: Plackett–Burman and full factorial.
+//!
+//! SARD (Debnath et al., ICDE'08 workshop) ranks database knobs by running a
+//! Plackett–Burman design — `n` runs for up to `n - 1` factors at two levels
+//! each — and comparing main-effect magnitudes. The same machinery backs the
+//! Spark sensitivity experiment (claim C3 in DESIGN.md).
+
+use crate::matrix::Matrix;
+
+/// Plackett–Burman generator rows (first row of the cyclic construction)
+/// for run counts 8, 12, 16, 20, 24. `true` = high level.
+fn pb_generator(runs: usize) -> Option<Vec<bool>> {
+    let s = match runs {
+        8 => "+++-+--",
+        12 => "++-+++---+-",
+        16 => "++++-+-++--+---",
+        20 => "++--++++-+-+----++-",
+        24 => "+++++-+-++--++--+-+----",
+        _ => return None,
+    };
+    Some(s.chars().map(|c| c == '+').collect())
+}
+
+/// The smallest supported Plackett–Burman run count that can screen
+/// `factors` factors, or `None` if more than 23 factors are requested.
+pub fn pb_runs_for(factors: usize) -> Option<usize> {
+    [8usize, 12, 16, 20, 24]
+        .into_iter()
+        .find(|&r| r > factors)
+}
+
+/// A two-level design matrix: `runs x factors`, entries `-1.0` or `+1.0`.
+#[derive(Debug, Clone)]
+pub struct TwoLevelDesign {
+    matrix: Matrix,
+}
+
+impl TwoLevelDesign {
+    /// Builds a Plackett–Burman design for the given number of factors.
+    ///
+    /// Returns `None` when `factors` exceeds 23 (the largest built-in
+    /// generator) or is zero.
+    pub fn plackett_burman(factors: usize) -> Option<Self> {
+        if factors == 0 {
+            return None;
+        }
+        let runs = pb_runs_for(factors)?;
+        let gen = pb_generator(runs).expect("generator exists for chosen runs");
+        let width = runs - 1;
+        let mut m = Matrix::zeros(runs, factors);
+        // Cyclic rows, plus an all-minus final run.
+        for r in 0..runs - 1 {
+            for f in 0..factors {
+                let v = gen[(f + r) % width];
+                m[(r, f)] = if v { 1.0 } else { -1.0 };
+            }
+        }
+        for f in 0..factors {
+            m[(runs - 1, f)] = -1.0;
+        }
+        Some(TwoLevelDesign { matrix: m })
+    }
+
+    /// Full 2^k factorial design (use only for small `k`).
+    ///
+    /// # Panics
+    /// Panics if `factors > 20` (over a million runs).
+    pub fn full_factorial(factors: usize) -> Self {
+        assert!(factors <= 20, "full factorial too large");
+        let runs = 1usize << factors;
+        let mut m = Matrix::zeros(runs, factors);
+        for r in 0..runs {
+            for f in 0..factors {
+                m[(r, f)] = if (r >> f) & 1 == 1 { 1.0 } else { -1.0 };
+            }
+        }
+        TwoLevelDesign { matrix: m }
+    }
+
+    /// Number of runs (rows).
+    pub fn runs(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of factors (columns).
+    pub fn factors(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The raw ±1 design matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Level (`-1.0` or `+1.0`) of factor `f` in run `r`.
+    pub fn level(&self, r: usize, f: usize) -> f64 {
+        self.matrix[(r, f)]
+    }
+
+    /// Maps run `r` to a point in `[0,1]^factors` using the given low/high
+    /// coordinates (typically 0.1 and 0.9 so levels stay interior).
+    pub fn run_to_unit(&self, r: usize, low: f64, high: f64) -> Vec<f64> {
+        (0..self.factors())
+            .map(|f| if self.level(r, f) > 0.0 { high } else { low })
+            .collect()
+    }
+
+    /// Main effect of each factor given one response per run:
+    /// `effect_f = mean(y | f high) - mean(y | f low)`.
+    ///
+    /// # Panics
+    /// Panics if `responses.len() != self.runs()`.
+    pub fn main_effects(&self, responses: &[f64]) -> Vec<f64> {
+        assert_eq!(responses.len(), self.runs(), "main_effects: run mismatch");
+        let mut effects = vec![0.0; self.factors()];
+        for f in 0..self.factors() {
+            let mut hi_sum = 0.0;
+            let mut hi_n = 0.0;
+            let mut lo_sum = 0.0;
+            let mut lo_n = 0.0;
+            for r in 0..self.runs() {
+                if self.level(r, f) > 0.0 {
+                    hi_sum += responses[r];
+                    hi_n += 1.0;
+                } else {
+                    lo_sum += responses[r];
+                    lo_n += 1.0;
+                }
+            }
+            let hi_mean = if hi_n > 0.0 { hi_sum / hi_n } else { 0.0 };
+            let lo_mean = if lo_n > 0.0 { lo_sum / lo_n } else { 0.0 };
+            effects[f] = hi_mean - lo_mean;
+        }
+        effects
+    }
+
+    /// Factors ranked by decreasing absolute main effect; returns
+    /// `(factor index, |effect|)` pairs.
+    pub fn rank_factors(&self, responses: &[f64]) -> Vec<(usize, f64)> {
+        let effects = self.main_effects(responses);
+        let mut ranked: Vec<(usize, f64)> = effects
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.abs()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN effect"));
+        ranked
+    }
+}
+
+/// Checks near-orthogonality of a two-level design: every pair of distinct
+/// columns should have inner product 0 (PB designs) or ±runs is forbidden.
+pub fn column_orthogonality_defect(design: &TwoLevelDesign) -> f64 {
+    let m = design.matrix();
+    let mut worst = 0.0f64;
+    for a in 0..m.cols() {
+        for b in a + 1..m.cols() {
+            let ip: f64 = (0..m.rows()).map(|r| m[(r, a)] * m[(r, b)]).sum();
+            worst = worst.max(ip.abs() / m.rows() as f64);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pb_run_counts() {
+        assert_eq!(pb_runs_for(7), Some(8));
+        assert_eq!(pb_runs_for(8), Some(12));
+        assert_eq!(pb_runs_for(11), Some(12));
+        assert_eq!(pb_runs_for(12), Some(16));
+        assert_eq!(pb_runs_for(23), Some(24));
+        assert_eq!(pb_runs_for(24), None);
+    }
+
+    #[test]
+    fn pb_designs_balanced() {
+        for factors in [3, 7, 11, 15, 19, 23] {
+            let d = TwoLevelDesign::plackett_burman(factors).unwrap();
+            assert_eq!(d.factors(), factors);
+            // Each column has equal high/low counts in the cyclic part + the
+            // all-minus run making lows = highs + ... PB property: each column
+            // has runs/2 highs.
+            for f in 0..factors {
+                let highs: usize = (0..d.runs()).filter(|&r| d.level(r, f) > 0.0).count();
+                assert_eq!(highs, d.runs() / 2, "factors={factors} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn pb_columns_orthogonal() {
+        for factors in [7, 11, 15, 23] {
+            let d = TwoLevelDesign::plackett_burman(factors).unwrap();
+            assert!(
+                column_orthogonality_defect(&d) < 1e-12,
+                "factors={factors}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_factorial_enumerates_all() {
+        let d = TwoLevelDesign::full_factorial(3);
+        assert_eq!(d.runs(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..8 {
+            let key: Vec<i8> = (0..3).map(|f| d.level(r, f) as i8).collect();
+            seen.insert(key);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn main_effects_recover_linear_model() {
+        // y = 3*x0 - 2*x1 + 0*x2, x in {-1, +1}
+        let d = TwoLevelDesign::plackett_burman(3).unwrap();
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|r| 3.0 * d.level(r, 0) - 2.0 * d.level(r, 1))
+            .collect();
+        let effects = d.main_effects(&responses);
+        assert!((effects[0] - 6.0).abs() < 1e-9); // hi-lo spans 2 units
+        assert!((effects[1] + 4.0).abs() < 1e-9);
+        assert!(effects[2].abs() < 1e-9);
+        let ranked = d.rank_factors(&responses);
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[1].0, 1);
+        assert_eq!(ranked[2].0, 2);
+    }
+
+    #[test]
+    fn run_to_unit_maps_levels() {
+        let d = TwoLevelDesign::plackett_burman(2).unwrap();
+        for r in 0..d.runs() {
+            let p = d.run_to_unit(r, 0.1, 0.9);
+            for (f, &v) in p.iter().enumerate() {
+                if d.level(r, f) > 0.0 {
+                    assert_eq!(v, 0.9);
+                } else {
+                    assert_eq!(v, 0.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_factors_rejected() {
+        assert!(TwoLevelDesign::plackett_burman(0).is_none());
+    }
+}

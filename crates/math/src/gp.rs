@@ -1,0 +1,427 @@
+//! Gaussian-process regression with ARD kernels, plus the Expected
+//! Improvement and UCB acquisition functions.
+//!
+//! This is the statistical core of two surveyed tuners: **iTuned** (Duan et
+//! al., PVLDB 2009 — LHS initialization, GP response surface, Expected
+//! Improvement to pick the next experiment) and **OtterTune** (Van Aken et
+//! al., SIGMOD 2017 — GP recommendation with noise-aware exploration).
+
+use crate::cholesky::Cholesky;
+use crate::matrix::{dot, LinAlgError, Matrix};
+use crate::optimize::nelder_mead;
+use crate::stats::{mean, normal_cdf, normal_pdf, std_dev};
+
+/// Kernel families supported by [`GaussianProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Squared exponential (RBF): smooth, infinitely differentiable.
+    SquaredExponential,
+    /// Matérn 5/2: the standard choice for hyper-parameter tuning surfaces
+    /// (twice differentiable, less over-smooth than RBF).
+    Matern52,
+}
+
+/// Kernel with automatic relevance determination (one length-scale per
+/// input dimension), signal variance, and observation noise.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    kind: KernelKind,
+    /// Per-dimension length scales (positive).
+    pub length_scales: Vec<f64>,
+    /// Signal variance σ_f².
+    pub signal_variance: f64,
+    /// Observation noise variance σ_n².
+    pub noise_variance: f64,
+}
+
+impl Kernel {
+    /// Creates a kernel with uniform length scales.
+    pub fn new(kind: KernelKind, dim: usize, length_scale: f64) -> Self {
+        assert!(dim > 0 && length_scale > 0.0);
+        Kernel {
+            kind,
+            length_scales: vec![length_scale; dim],
+            signal_variance: 1.0,
+            noise_variance: 1e-6,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.length_scales.len()
+    }
+
+    /// Scaled squared distance `sum(((a_d - b_d) / l_d)^2)`.
+    fn r2(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dim());
+        debug_assert_eq!(b.len(), self.dim());
+        a.iter()
+            .zip(b)
+            .zip(&self.length_scales)
+            .map(|((x, y), l)| {
+                let d = (x - y) / l;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Covariance between two points (noise excluded).
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r2 = self.r2(a, b);
+        let base = match self.kind {
+            KernelKind::SquaredExponential => (-0.5 * r2).exp(),
+            KernelKind::Matern52 => {
+                let r = r2.sqrt();
+                let s = (5.0f64).sqrt() * r;
+                (1.0 + s + 5.0 * r2 / 3.0) * (-s).exp()
+            }
+        };
+        self.signal_variance * base
+    }
+
+    /// Full covariance matrix over a point set, noise added on diagonal.
+    pub fn covariance(&self, xs: &[Vec<f64>]) -> Matrix {
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k.add_diagonal_mut(self.noise_variance);
+        k
+    }
+}
+
+/// A fitted Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    xs: Vec<Vec<f64>>,
+    y_mean: f64,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    log_marginal: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP with the given (fixed) kernel to centred targets.
+    pub fn fit(kernel: Kernel, xs: Vec<Vec<f64>>, ys: &[f64]) -> Result<Self, LinAlgError> {
+        assert_eq!(xs.len(), ys.len(), "GP fit: x/y length mismatch");
+        assert!(!xs.is_empty(), "GP fit: empty training set");
+        for x in &xs {
+            assert_eq!(x.len(), kernel.dim(), "GP fit: dim mismatch");
+        }
+        let y_mean = mean(ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let k = kernel.covariance(&xs);
+        let (chol, _jitter) = Cholesky::decompose_with_jitter(&k, 1e-10, 12)?;
+        let alpha = chol.solve(&centred);
+        // log p(y|X) = -1/2 yᵀα - 1/2 log|K| - n/2 log 2π
+        let n = xs.len() as f64;
+        let log_marginal = -0.5 * dot(&centred, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        Ok(GaussianProcess {
+            kernel,
+            xs,
+            y_mean,
+            alpha,
+            chol,
+            log_marginal,
+        })
+    }
+
+    /// Fits a GP and tunes kernel hyper-parameters (shared log length
+    /// scale, log signal variance, log noise variance) by maximizing the
+    /// log marginal likelihood with Nelder–Mead. Targets are standardized
+    /// internally via the signal-variance parameter.
+    pub fn fit_auto(
+        kind: KernelKind,
+        xs: Vec<Vec<f64>>,
+        ys: &[f64],
+    ) -> Result<Self, LinAlgError> {
+        assert!(!xs.is_empty());
+        let dim = xs[0].len();
+        let y_sd = std_dev(ys).max(1e-6);
+        let objective = |theta: &[f64]| -> f64 {
+            let ls = theta[0].exp().clamp(1e-3, 1e3);
+            let sv = theta[1].exp().clamp(1e-8, 1e6);
+            let nv = theta[2].exp().clamp(1e-10, 1e4);
+            let mut k = Kernel::new(kind, dim, ls);
+            k.signal_variance = sv;
+            k.noise_variance = nv;
+            match GaussianProcess::fit(k, xs.clone(), ys) {
+                Ok(gp) => -gp.log_marginal,
+                Err(_) => f64::INFINITY,
+            }
+        };
+        // Three deterministic starts spanning short/medium/long correlation.
+        let starts = [
+            vec![(0.2f64).ln(), (y_sd * y_sd).ln(), (y_sd * y_sd * 0.01).ln()],
+            vec![(0.5f64).ln(), (y_sd * y_sd).ln(), (y_sd * y_sd * 0.1).ln()],
+            vec![(1.5f64).ln(), (y_sd * y_sd).ln(), (y_sd * y_sd * 0.001).ln()],
+        ];
+        let mut best: Option<Vec<f64>> = None;
+        let mut best_v = f64::INFINITY;
+        for s in &starts {
+            let r = nelder_mead(objective, s, 0.4, 120, 1e-7);
+            if r.value < best_v {
+                best_v = r.value;
+                best = Some(r.x);
+            }
+        }
+        let theta = best.ok_or(LinAlgError::NoConvergence { iterations: 0 })?;
+        let mut kernel = Kernel::new(kind, dim, theta[0].exp().clamp(1e-3, 1e3));
+        kernel.signal_variance = theta[1].exp().clamp(1e-8, 1e6);
+        kernel.noise_variance = theta[2].exp().clamp(1e-10, 1e4);
+        GaussianProcess::fit(kernel, xs, ys)
+    }
+
+    /// Fits a GP with **automatic relevance determination**: a separate
+    /// length scale per input dimension, seeded from the isotropic
+    /// [`GaussianProcess::fit_auto`] solution and refined by coordinate
+    /// descent on the log marginal likelihood. Irrelevant knobs drift to
+    /// long length scales (the kernel ignores them) — the GP-side
+    /// equivalent of knob ranking.
+    pub fn fit_auto_ard(
+        kind: KernelKind,
+        xs: Vec<Vec<f64>>,
+        ys: &[f64],
+    ) -> Result<Self, LinAlgError> {
+        let iso = Self::fit_auto(kind, xs.clone(), ys)?;
+        let dim = iso.kernel.dim();
+        let mut kernel = iso.kernel.clone();
+        let mut best_lml = iso.log_marginal;
+        // Coordinate descent: each dimension tries a few multiplicative
+        // adjustments of its length scale, keeping improvements.
+        for _sweep in 0..2 {
+            for d in 0..dim {
+                let current = kernel.length_scales[d];
+                for factor in [0.25, 0.5, 2.0, 4.0] {
+                    let mut k = kernel.clone();
+                    k.length_scales[d] = (current * factor).clamp(1e-3, 1e3);
+                    if let Ok(gp) = GaussianProcess::fit(k.clone(), xs.clone(), ys) {
+                        if gp.log_marginal > best_lml {
+                            best_lml = gp.log_marginal;
+                            kernel = k;
+                        }
+                    }
+                }
+            }
+        }
+        GaussianProcess::fit(kernel, xs, ys)
+    }
+
+    /// Relevance of each input dimension: inverse length scale, normalized
+    /// so the most relevant dimension scores 1.0.
+    pub fn relevance(&self) -> Vec<f64> {
+        let inv: Vec<f64> = self.kernel.length_scales.iter().map(|l| 1.0 / l).collect();
+        let max = inv.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+        inv.iter().map(|v| v / max).collect()
+    }
+
+    /// Predictive mean and variance at a query point.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.kernel.dim(), "GP predict: dim mismatch");
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mu = self.y_mean + dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let var = (self.kernel.eval(x, x) + self.kernel.noise_variance - dot(&v, &v)).max(0.0);
+        (mu, var)
+    }
+
+    /// Predictive mean only.
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        self.predict(x).0
+    }
+
+    /// Log marginal likelihood of the fit.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Training inputs.
+    pub fn training_inputs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Expected Improvement for *minimization* at `x`, given the incumbent
+    /// best observed value `y_best` and an exploration jitter `xi >= 0`.
+    pub fn expected_improvement(&self, x: &[f64], y_best: f64, xi: f64) -> f64 {
+        let (mu, var) = self.predict(x);
+        let sigma = var.sqrt();
+        if sigma < 1e-12 {
+            return (y_best - mu - xi).max(0.0);
+        }
+        let z = (y_best - mu - xi) / sigma;
+        // Clamp at zero: the erf approximation inside `normal_cdf` can
+        // return an epsilon-negative tail for hopeless candidates.
+        ((y_best - mu - xi) * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
+    }
+
+    /// Lower confidence bound `mu - beta * sigma` (for minimization).
+    pub fn lower_confidence_bound(&self, x: &[f64], beta: f64) -> f64 {
+        let (mu, var) = self.predict(x);
+        mu - beta * var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lhs::latin_hypercube;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_function(x: &[f64]) -> f64 {
+        (3.0 * x[0]).sin() + 0.5 * x[1]
+    }
+
+    fn training_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = latin_hypercube(n, 2, &mut rng);
+        let ys = xs.iter().map(|x| toy_function(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let (xs, ys) = training_data(15, 1);
+        let mut k = Kernel::new(KernelKind::SquaredExponential, 2, 0.4);
+        k.noise_variance = 1e-8;
+        let gp = GaussianProcess::fit(k, xs.clone(), &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mu, var) = gp.predict(x);
+            assert!((mu - y).abs() < 1e-3, "mu={mu} y={y}");
+            assert!(var < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gp_generalizes_nearby() {
+        let (xs, ys) = training_data(40, 2);
+        let gp = GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys).unwrap();
+        let mut max_err: f64 = 0.0;
+        for i in 0..10 {
+            let t = i as f64 / 10.0 + 0.05;
+            let q = [t, 1.0 - t];
+            let (mu, _) = gp.predict(&q);
+            max_err = max_err.max((mu - toy_function(&q)).abs());
+        }
+        assert!(max_err < 0.25, "max_err={max_err}");
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let xs = vec![vec![0.5, 0.5]];
+        let ys = vec![1.0];
+        let k = Kernel::new(KernelKind::SquaredExponential, 2, 0.2);
+        let gp = GaussianProcess::fit(k, xs, &ys).unwrap();
+        let (_, near_var) = gp.predict(&[0.5, 0.5]);
+        let (_, far_var) = gp.predict(&[0.0, 0.0]);
+        assert!(far_var > near_var * 10.0);
+    }
+
+    #[test]
+    fn matern_and_rbf_agree_at_zero_distance() {
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = Kernel::new(kind, 3, 0.7);
+            let x = [0.3, 0.3, 0.3];
+            assert!((k.eval(&x, &x) - k.signal_variance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_decreases_with_distance() {
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = Kernel::new(kind, 1, 0.5);
+            let v1 = k.eval(&[0.0], &[0.1]);
+            let v2 = k.eval(&[0.0], &[0.5]);
+            let v3 = k.eval(&[0.0], &[1.0]);
+            assert!(v1 > v2 && v2 > v3);
+        }
+    }
+
+    #[test]
+    fn ei_positive_in_unexplored_regions_zero_at_bad_known() {
+        let xs = vec![vec![0.1], vec![0.9]];
+        let ys = vec![0.0, 5.0];
+        let mut k = Kernel::new(KernelKind::SquaredExponential, 1, 0.15);
+        k.noise_variance = 1e-8;
+        let gp = GaussianProcess::fit(k, xs, &ys).unwrap();
+        let y_best = 0.0;
+        let ei_unexplored = gp.expected_improvement(&[0.5], y_best, 0.0);
+        let ei_at_bad = gp.expected_improvement(&[0.9], y_best, 0.0);
+        assert!(ei_unexplored > ei_at_bad);
+        assert!(ei_at_bad < 1e-6);
+    }
+
+    #[test]
+    fn lcb_below_mean() {
+        let (xs, ys) = training_data(10, 3);
+        let gp = GaussianProcess::fit(
+            Kernel::new(KernelKind::Matern52, 2, 0.4),
+            xs,
+            &ys,
+        )
+        .unwrap();
+        let q = [0.33, 0.77];
+        let (mu, _) = gp.predict(&q);
+        assert!(gp.lower_confidence_bound(&q, 2.0) <= mu);
+    }
+
+    #[test]
+    fn log_marginal_prefers_reasonable_noise() {
+        // Fitting noiseless data: tiny-noise kernel should have higher
+        // marginal likelihood than huge-noise kernel.
+        let (xs, ys) = training_data(20, 4);
+        let mut k_good = Kernel::new(KernelKind::SquaredExponential, 2, 0.5);
+        k_good.noise_variance = 1e-6;
+        let mut k_bad = k_good.clone();
+        k_bad.noise_variance = 10.0;
+        let g1 = GaussianProcess::fit(k_good, xs.clone(), &ys).unwrap();
+        let g2 = GaussianProcess::fit(k_bad, xs, &ys).unwrap();
+        assert!(g1.log_marginal_likelihood() > g2.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn ard_identifies_the_relevant_dimension() {
+        // y depends only on x0; ARD should give x0 the shortest length
+        // scale (highest relevance).
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs = latin_hypercube(35, 3, &mut rng);
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+        let gp = GaussianProcess::fit_auto_ard(KernelKind::SquaredExponential, xs, &ys)
+            .unwrap();
+        let rel = gp.relevance();
+        assert!((rel[0] - 1.0).abs() < 1e-12, "x0 most relevant: {rel:?}");
+        assert!(rel[1] < 0.7 && rel[2] < 0.7, "irrelevant dims: {rel:?}");
+    }
+
+    #[test]
+    fn ard_marginal_likelihood_at_least_isotropic() {
+        let (xs, ys) = training_data(25, 13);
+        let iso = GaussianProcess::fit_auto(KernelKind::Matern52, xs.clone(), &ys).unwrap();
+        let ard = GaussianProcess::fit_auto_ard(KernelKind::Matern52, xs, &ys).unwrap();
+        assert!(ard.log_marginal_likelihood() >= iso.log_marginal_likelihood() - 1e-9);
+    }
+
+    #[test]
+    fn fit_auto_beats_fixed_bad_kernel() {
+        let (xs, ys) = training_data(25, 5);
+        let auto = GaussianProcess::fit_auto(KernelKind::SquaredExponential, xs.clone(), &ys)
+            .unwrap();
+        let mut bad = Kernel::new(KernelKind::SquaredExponential, 2, 100.0);
+        bad.noise_variance = 1.0;
+        let fixed = GaussianProcess::fit(bad, xs, &ys).unwrap();
+        assert!(auto.log_marginal_likelihood() >= fixed.log_marginal_likelihood());
+    }
+}

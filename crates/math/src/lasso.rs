@@ -1,0 +1,318 @@
+//! Lasso (L1-penalized least squares) via cyclic coordinate descent, plus a
+//! regularization path.
+//!
+//! OtterTune ranks configuration knobs by running Lasso over
+//! (knob-settings → performance) observations and watching the order in
+//! which knob coefficients become non-zero as the penalty decreases — knobs
+//! that "enter the path" first matter most.
+
+use crate::matrix::Matrix;
+use crate::stats::{mean, std_dev};
+
+/// A fitted lasso model in the *standardized* feature space.
+#[derive(Debug, Clone)]
+pub struct LassoFit {
+    /// Coefficients for standardized features.
+    pub coefficients: Vec<f64>,
+    /// Intercept in original target units.
+    pub intercept: f64,
+    /// Penalty used.
+    pub lambda: f64,
+    /// Coordinate-descent sweeps performed.
+    pub iterations: usize,
+    feature_means: Vec<f64>,
+    feature_sds: Vec<f64>,
+}
+
+impl LassoFit {
+    /// Predicts the target for a raw (unstandardized) feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len());
+        let mut y = self.intercept;
+        for j in 0..x.len() {
+            let sd = self.feature_sds[j];
+            if sd > 0.0 {
+                y += self.coefficients[j] * (x[j] - self.feature_means[j]) / sd;
+            }
+        }
+        y
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn support_size(&self) -> usize {
+        self.coefficients.iter().filter(|c| **c != 0.0).count()
+    }
+}
+
+fn soft_threshold(z: f64, gamma: f64) -> f64 {
+    if z > gamma {
+        z - gamma
+    } else if z < -gamma {
+        z + gamma
+    } else {
+        0.0
+    }
+}
+
+/// Fits lasso `min 1/(2n) ||y - Xb||² + lambda ||b||₁` with features
+/// standardized internally. `x` is `n x p` (rows = observations).
+pub fn lasso(x: &Matrix, y: &[f64], lambda: f64, max_iter: usize, tol: f64) -> LassoFit {
+    let n = x.rows();
+    let p = x.cols();
+    assert_eq!(y.len(), n, "lasso: row mismatch");
+    assert!(n > 0 && p > 0, "lasso: empty design");
+    assert!(lambda >= 0.0, "lasso: negative lambda");
+
+    // Standardize columns; constant columns get sd 0 and are frozen at 0.
+    let mut means = vec![0.0; p];
+    let mut sds = vec![0.0; p];
+    let mut xs = Matrix::zeros(n, p);
+    for j in 0..p {
+        let col = x.col(j);
+        means[j] = mean(&col);
+        sds[j] = std_dev(&col);
+        if sds[j] > 0.0 {
+            for i in 0..n {
+                xs[(i, j)] = (col[i] - means[j]) / sds[j];
+            }
+        }
+    }
+    let y_mean = mean(y);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+    let mut beta = vec![0.0; p];
+    let mut residual = yc.clone();
+    // Column squared norms / n (constant columns excluded from updates).
+    let col_sq: Vec<f64> = (0..p)
+        .map(|j| (0..n).map(|i| xs[(i, j)] * xs[(i, j)]).sum::<f64>() / n as f64)
+        .collect();
+
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        let mut max_delta = 0.0f64;
+        for j in 0..p {
+            if col_sq[j] <= 0.0 {
+                continue;
+            }
+            let old = beta[j];
+            // rho = (1/n) x_jᵀ (residual + x_j * old)
+            let mut rho = 0.0;
+            for i in 0..n {
+                rho += xs[(i, j)] * residual[i];
+            }
+            rho = rho / n as f64 + col_sq[j] * old;
+            let new = soft_threshold(rho, lambda) / col_sq[j];
+            if new != old {
+                let delta = new - old;
+                for i in 0..n {
+                    residual[i] -= delta * xs[(i, j)];
+                }
+                beta[j] = new;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < tol {
+            break;
+        }
+    }
+
+    LassoFit {
+        coefficients: beta,
+        intercept: y_mean,
+        lambda,
+        iterations,
+        feature_means: means,
+        feature_sds: sds,
+    }
+}
+
+/// The smallest lambda at which all coefficients are zero.
+pub fn lambda_max(x: &Matrix, y: &[f64]) -> f64 {
+    let n = x.rows();
+    let p = x.cols();
+    let y_mean = mean(y);
+    let mut best = 0.0f64;
+    for j in 0..p {
+        let col = x.col(j);
+        let m = mean(&col);
+        let sd = std_dev(&col);
+        if sd <= 0.0 {
+            continue;
+        }
+        let mut corr = 0.0;
+        for i in 0..n {
+            corr += (col[i] - m) / sd * (y[i] - y_mean);
+        }
+        best = best.max((corr / n as f64).abs());
+    }
+    best
+}
+
+/// One point on the lasso regularization path.
+#[derive(Debug, Clone)]
+pub struct PathPoint {
+    /// Penalty for this fit.
+    pub lambda: f64,
+    /// Coefficients at this penalty.
+    pub coefficients: Vec<f64>,
+}
+
+/// Computes a geometric lasso path from `lambda_max` down to
+/// `lambda_max * ratio` over `steps` points (warm-started).
+pub fn lasso_path(x: &Matrix, y: &[f64], steps: usize, ratio: f64) -> Vec<PathPoint> {
+    assert!(steps >= 2, "lasso_path: need at least 2 steps");
+    assert!(ratio > 0.0 && ratio < 1.0, "lasso_path: ratio in (0,1)");
+    let lmax = lambda_max(x, y).max(1e-12);
+    let lmin = lmax * ratio;
+    (0..steps)
+        .map(|s| {
+            let t = s as f64 / (steps - 1) as f64;
+            let lambda = (lmax.ln() + t * (lmin.ln() - lmax.ln())).exp();
+            let fit = lasso(x, y, lambda, 500, 1e-7);
+            PathPoint {
+                lambda,
+                coefficients: fit.coefficients,
+            }
+        })
+        .collect()
+}
+
+/// Ranks features by the order in which they first become non-zero along a
+/// lasso path (earlier = more important). Features that never activate are
+/// ranked last by final |coefficient|. Returns feature indices, most
+/// important first.
+pub fn rank_by_path(x: &Matrix, y: &[f64]) -> Vec<usize> {
+    let p = x.cols();
+    let path = lasso_path(x, y, 30, 1e-3);
+    let mut entry_step = vec![usize::MAX; p];
+    for (s, point) in path.iter().enumerate() {
+        for j in 0..p {
+            if entry_step[j] == usize::MAX && point.coefficients[j].abs() > 1e-10 {
+                entry_step[j] = s;
+            }
+        }
+    }
+    let final_coefs = &path.last().expect("non-empty path").coefficients;
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&a, &b| {
+        entry_step[a]
+            .cmp(&entry_step[b])
+            .then_with(|| {
+                final_coefs[b]
+                    .abs()
+                    .partial_cmp(&final_coefs[a].abs())
+                    .expect("finite coefficients")
+            })
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    /// y = 5*x0 - 3*x1 + noise; x2..x4 irrelevant.
+    fn synthetic(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..5).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let noise: f64 = rng.random_range(-0.05..0.05);
+            ys.push(5.0 * x[0] - 3.0 * x[1] + noise);
+            rows.push(x);
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn zero_lambda_recovers_ols_fit() {
+        let (x, y) = synthetic(200, 1);
+        let fit = lasso(&x, &y, 0.0, 2000, 1e-10);
+        // Check predictions, not raw coefficients (standardized space).
+        let mut max_err: f64 = 0.0;
+        for i in 0..x.rows() {
+            max_err = max_err.max((fit.predict(x.row(i)) - y[i]).abs());
+        }
+        assert!(max_err < 0.2, "max_err={max_err}");
+    }
+
+    #[test]
+    fn heavy_lambda_zeroes_everything() {
+        let (x, y) = synthetic(100, 2);
+        let lmax = lambda_max(&x, &y);
+        let fit = lasso(&x, &y, lmax * 1.01, 500, 1e-9);
+        assert_eq!(fit.support_size(), 0);
+    }
+
+    #[test]
+    fn moderate_lambda_selects_true_support() {
+        let (x, y) = synthetic(300, 3);
+        let lmax = lambda_max(&x, &y);
+        let fit = lasso(&x, &y, lmax * 0.1, 1000, 1e-9);
+        assert!(fit.coefficients[0].abs() > 0.1);
+        assert!(fit.coefficients[1].abs() > 0.1);
+        for j in 2..5 {
+            assert!(
+                fit.coefficients[j].abs() < 0.05,
+                "noise feature {j} active: {}",
+                fit.coefficients[j]
+            );
+        }
+    }
+
+    #[test]
+    fn path_is_monotone_in_support() {
+        let (x, y) = synthetic(200, 4);
+        let path = lasso_path(&x, &y, 20, 1e-3);
+        let first_support = path[0]
+            .coefficients
+            .iter()
+            .filter(|c| c.abs() > 1e-10)
+            .count();
+        let last_support = path
+            .last()
+            .unwrap()
+            .coefficients
+            .iter()
+            .filter(|c| c.abs() > 1e-10)
+            .count();
+        assert!(first_support <= last_support);
+        assert_eq!(first_support, 0, "path should start empty at lambda_max");
+    }
+
+    #[test]
+    fn ranking_puts_true_features_first() {
+        let (x, y) = synthetic(300, 5);
+        let order = rank_by_path(&x, &y);
+        let top2: Vec<usize> = order[..2].to_vec();
+        assert!(top2.contains(&0), "order={order:?}");
+        assert!(top2.contains(&1), "order={order:?}");
+    }
+
+    #[test]
+    fn constant_column_stays_zero() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let a: f64 = rng.random_range(-1.0..1.0);
+            rows.push(vec![a, 7.0]); // second column constant
+            ys.push(2.0 * a);
+        }
+        let x = Matrix::from_rows(&rows);
+        let fit = lasso(&x, &ys, 0.01, 500, 1e-9);
+        assert_eq!(fit.coefficients[1], 0.0);
+        assert!(fit.coefficients[0].abs() > 0.1);
+    }
+
+    #[test]
+    fn soft_threshold_properties() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Latin hypercube sampling (LHS) in the unit hypercube.
+//!
+//! iTuned (Duan et al., PVLDB 2009) initializes its Gaussian-process loop
+//! with LHS samples so that every knob's range is stratified even with few
+//! experiments; OtterTune uses the same trick for its initial observation
+//! pool. `maximin_lhs` additionally spreads points apart by re-sampling.
+
+use crate::matrix::dist2;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// Draws `n` Latin-hypercube points in `[0, 1]^dim`.
+///
+/// Every dimension is divided into `n` equal strata and each stratum is hit
+/// exactly once, with uniform jitter inside the stratum.
+///
+/// # Panics
+/// Panics if `n == 0` or `dim == 0`.
+pub fn latin_hypercube(n: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    assert!(n > 0, "latin_hypercube: n must be positive");
+    assert!(dim > 0, "latin_hypercube: dim must be positive");
+    let mut points = vec![vec![0.0; dim]; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for d in 0..dim {
+        perm.shuffle(rng);
+        for (i, point) in points.iter_mut().enumerate() {
+            let stratum = perm[i] as f64;
+            let jitter: f64 = rng.random_range(0.0..1.0);
+            point[d] = (stratum + jitter) / n as f64;
+        }
+    }
+    points
+}
+
+/// Minimum pairwise squared distance of a point set (`inf` for < 2 points).
+pub fn min_pairwise_dist2(points: &[Vec<f64>]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            best = best.min(dist2(&points[i], &points[j]));
+        }
+    }
+    best
+}
+
+/// Maximin LHS: draws `restarts` independent hypercubes and keeps the one
+/// whose closest pair of points is furthest apart.
+pub fn maximin_lhs(n: usize, dim: usize, restarts: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    assert!(restarts > 0, "maximin_lhs: restarts must be positive");
+    let mut best = latin_hypercube(n, dim, rng);
+    let mut best_score = min_pairwise_dist2(&best);
+    for _ in 1..restarts {
+        let cand = latin_hypercube(n, dim, rng);
+        let score = min_pairwise_dist2(&cand);
+        if score > best_score {
+            best_score = score;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Uniform i.i.d. samples in `[0,1]^dim` — the non-stratified baseline the
+/// LHS-vs-uniform ablation compares against.
+pub fn uniform_samples(n: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect()
+}
+
+/// Verifies the Latin property: in each dimension, each of the `n` strata
+/// contains exactly one point. Exposed for tests and property checks.
+pub fn is_latin(points: &[Vec<f64>]) -> bool {
+    if points.is_empty() {
+        return false;
+    }
+    let n = points.len();
+    let dim = points[0].len();
+    for d in 0..dim {
+        let mut seen = vec![false; n];
+        for p in points {
+            if p.len() != dim {
+                return false;
+            }
+            let stratum = ((p[d] * n as f64).floor() as usize).min(n - 1);
+            if seen[stratum] {
+                return false;
+            }
+            seen[stratum] = true;
+        }
+        if seen.iter().any(|s| !s) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lhs_is_latin() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, dim) in [(1, 1), (5, 2), (16, 4), (50, 10)] {
+            let pts = latin_hypercube(n, dim, &mut rng);
+            assert_eq!(pts.len(), n);
+            assert!(is_latin(&pts), "n={n} dim={dim}");
+        }
+    }
+
+    #[test]
+    fn lhs_points_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in latin_hypercube(20, 3, &mut rng) {
+            for &v in &p {
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn maximin_no_worse_than_single_draw() {
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let single = latin_hypercube(12, 3, &mut rng_a);
+        let multi = maximin_lhs(12, 3, 20, &mut rng_b);
+        assert!(min_pairwise_dist2(&multi) >= min_pairwise_dist2(&single));
+        assert!(is_latin(&multi));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(123));
+        let b = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(123));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_samples_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = uniform_samples(9, 4, &mut rng);
+        assert_eq!(pts.len(), 9);
+        assert!(pts.iter().all(|p| p.len() == 4));
+    }
+
+    #[test]
+    fn is_latin_rejects_clumped() {
+        let pts = vec![vec![0.1, 0.1], vec![0.15, 0.9]]; // both in stratum 0 of dim 0
+        assert!(!is_latin(&pts));
+    }
+}

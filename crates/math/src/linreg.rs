@@ -1,0 +1,202 @@
+//! Ordinary least squares / ridge regression and non-negative least
+//! squares (NNLS).
+//!
+//! Ernest (Venkataraman et al., NSDI 2016) predicts large-scale analytics
+//! runtimes from a handful of small training runs by fitting an NNLS model
+//! over interpretable scale features (serial term, per-machine work,
+//! log-machines term, all-to-all communication term).
+
+use crate::cholesky::Cholesky;
+use crate::matrix::{LinAlgError, Matrix};
+
+/// Fitted linear model `y ≈ X w` (no implicit intercept; callers add a
+/// constant column if wanted).
+#[derive(Debug, Clone)]
+pub struct LinearFit {
+    /// Weight vector.
+    pub weights: Vec<f64>,
+}
+
+impl LinearFit {
+    /// Predicts the target for one feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        crate::matrix::dot(&self.weights, x)
+    }
+}
+
+/// Ridge regression `w = (XᵀX + λI)⁻¹ Xᵀ y` (λ = 0 gives OLS).
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<LinearFit, LinAlgError> {
+    assert_eq!(x.rows(), y.len(), "ridge: row mismatch");
+    assert!(lambda >= 0.0);
+    let mut gram = x.gram();
+    gram.add_diagonal_mut(lambda.max(1e-12));
+    let xty = x.transpose().matvec(y);
+    let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 10)?.0;
+    Ok(LinearFit {
+        weights: chol.solve(&xty),
+    })
+}
+
+/// Coefficient of determination R² of a fit on given data.
+pub fn r_squared(fit: &LinearFit, x: &Matrix, y: &[f64]) -> f64 {
+    let n = x.rows();
+    assert_eq!(y.len(), n);
+    let y_mean = crate::stats::mean(y);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..n {
+        let pred = fit.predict(x.row(i));
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+    }
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Non-negative least squares via projected gradient descent with
+/// Nesterov-free but adaptive step size. Small problems only (p ≲ 100).
+pub fn nnls(x: &Matrix, y: &[f64], max_iter: usize, tol: f64) -> LinearFit {
+    let n = x.rows();
+    let p = x.cols();
+    assert_eq!(y.len(), n, "nnls: row mismatch");
+    let gram = x.gram();
+    let xty = x.transpose().matvec(y);
+    // Lipschitz constant upper bound: trace of gram (>= max eigenvalue).
+    let lip: f64 = (0..p).map(|j| gram[(j, j)]).sum::<f64>().max(1e-12);
+    let step = 1.0 / lip;
+    let mut w = vec![0.0; p];
+    for _ in 0..max_iter {
+        // gradient = gram * w - xty
+        let gw = gram.matvec(&w);
+        let mut max_delta = 0.0f64;
+        for j in 0..p {
+            let g = gw[j] - xty[j];
+            let new = (w[j] - step * g).max(0.0);
+            max_delta = max_delta.max((new - w[j]).abs());
+            w[j] = new;
+        }
+        if max_delta < tol {
+            break;
+        }
+    }
+    LinearFit { weights: w }
+}
+
+/// Mean absolute percentage error of predictions vs. actuals (%).
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in pred.iter().zip(actual) {
+        if a.abs() > 1e-12 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    fn design(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random_range(0.0..2.0);
+            let b: f64 = rng.random_range(0.0..2.0);
+            rows.push(vec![1.0, a, b]);
+            ys.push(0.5 + 2.0 * a + 3.0 * b);
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn ols_recovers_coefficients() {
+        let (x, y) = design(100, 1);
+        let fit = ridge(&x, &y, 0.0).unwrap();
+        assert!((fit.weights[0] - 0.5).abs() < 1e-6);
+        assert!((fit.weights[1] - 2.0).abs() < 1e-6);
+        assert!((fit.weights[2] - 3.0).abs() < 1e-6);
+        assert!(r_squared(&fit, &x, &y) > 0.999999);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let (x, y) = design(100, 2);
+        let ols = ridge(&x, &y, 0.0).unwrap();
+        let heavy = ridge(&x, &y, 1e4).unwrap();
+        let ols_norm: f64 = ols.weights.iter().map(|w| w * w).sum();
+        let heavy_norm: f64 = heavy.weights.iter().map(|w| w * w).sum();
+        assert!(heavy_norm < ols_norm);
+    }
+
+    #[test]
+    fn nnls_nonnegative_and_accurate() {
+        let (x, y) = design(150, 3);
+        let fit = nnls(&x, &y, 20_000, 1e-10);
+        for w in &fit.weights {
+            assert!(*w >= 0.0);
+        }
+        assert!((fit.weights[1] - 2.0).abs() < 0.05, "{:?}", fit.weights);
+        assert!((fit.weights[2] - 3.0).abs() < 0.05, "{:?}", fit.weights);
+    }
+
+    #[test]
+    fn nnls_clamps_negative_truth_to_zero() {
+        // y = -2*x0 + 1*x1: best nonnegative solution has w0 = 0.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..100 {
+            let a: f64 = rng.random_range(0.0..1.0);
+            let b: f64 = rng.random_range(0.0..1.0);
+            rows.push(vec![a, b]);
+            ys.push(-2.0 * a + b);
+        }
+        let fit = nnls(&Matrix::from_rows(&rows), &ys, 20_000, 1e-12);
+        assert!(fit.weights[0] < 1e-6, "{:?}", fit.weights);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let pred = [110.0, 90.0];
+        let act = [100.0, 100.0];
+        assert!((mape(&pred, &act) - 10.0).abs() < 1e-9);
+        assert!((rmse(&pred, &act) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_zero_for_mean_model() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let y = [1.0, 2.0, 3.0];
+        let fit = ridge(&x, &y, 0.0).unwrap();
+        // Intercept-only model predicts the mean => R² = 0.
+        assert!(r_squared(&fit, &x, &y).abs() < 1e-9);
+    }
+}

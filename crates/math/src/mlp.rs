@@ -1,0 +1,345 @@
+//! A small feed-forward neural network (multi-layer perceptron) trained by
+//! mini-batch stochastic gradient descent with backpropagation.
+//!
+//! Rodd & Kulkarni (IJCSIS 2010) tune DBMS memory parameters with a neural
+//! network that maps observed workload features to recommended settings;
+//! this module supplies that regressor (and doubles as a baseline ML
+//! performance predictor for the C6 experiment).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Activation used in hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    fn derivative(self, pre: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = pre.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+}
+
+/// One dense layer: `out = W x + b`.
+#[derive(Debug, Clone)]
+struct Layer {
+    weights: Vec<Vec<f64>>, // out x in
+    biases: Vec<f64>,
+}
+
+impl Layer {
+    fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        // Xavier-style initialization.
+        let scale = (2.0 / (input + output) as f64).sqrt();
+        Layer {
+            weights: (0..output)
+                .map(|_| (0..input).map(|_| rng.random_range(-scale..scale)).collect())
+                .collect(),
+            biases: vec![0.0; output],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, b)| crate::matrix::dot(w, x) + b)
+            .collect()
+    }
+}
+
+/// Multi-layer perceptron regressor with a linear output layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    activation: Activation,
+}
+
+/// Training hyper-parameters for [`Mlp::train`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// SGD step size.
+    pub learning_rate: f64,
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.01,
+            epochs: 400,
+            batch_size: 16,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[4, 16, 16, 1]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are supplied.
+    pub fn new(sizes: &[usize], activation: Activation, rng: &mut StdRng) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].weights[0].len()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").biases.len()
+    }
+
+    /// Forward pass.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "MLP predict: dim mismatch");
+        let mut h = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&h);
+            h = if i == last {
+                pre
+            } else {
+                pre.iter().map(|&p| self.activation.apply(p)).collect()
+            };
+        }
+        h
+    }
+
+    /// Scalar convenience for single-output networks.
+    pub fn predict_scalar(&self, x: &[f64]) -> f64 {
+        self.predict(x)[0]
+    }
+
+    /// Trains with mini-batch SGD on squared error; returns per-epoch mean
+    /// training loss.
+    pub fn train(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        cfg: &TrainConfig,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        assert_eq!(xs.len(), ys.len(), "MLP train: x/y mismatch");
+        assert!(!xs.is_empty(), "MLP train: empty data");
+        let n = xs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(cfg.batch_size.max(1)) {
+                epoch_loss += self.sgd_step(xs, ys, batch, cfg);
+            }
+            losses.push(epoch_loss / n as f64);
+        }
+        losses
+    }
+
+    /// One gradient step over a mini-batch; returns summed sample loss.
+    fn sgd_step(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        batch: &[usize],
+        cfg: &TrainConfig,
+    ) -> f64 {
+        let l = self.layers.len();
+        // Accumulated gradients.
+        let mut gw: Vec<Vec<Vec<f64>>> = self
+            .layers
+            .iter()
+            .map(|layer| vec![vec![0.0; layer.weights[0].len()]; layer.weights.len()])
+            .collect();
+        let mut gb: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|layer| vec![0.0; layer.biases.len()])
+            .collect();
+        let mut total_loss = 0.0;
+
+        for &idx in batch {
+            let x = &xs[idx];
+            let target = &ys[idx];
+            // Forward, keeping pre-activations and activations.
+            let mut acts: Vec<Vec<f64>> = vec![x.clone()];
+            let mut pres: Vec<Vec<f64>> = Vec::with_capacity(l);
+            for (i, layer) in self.layers.iter().enumerate() {
+                let pre = layer.forward(acts.last().expect("nonempty"));
+                let act = if i == l - 1 {
+                    pre.clone()
+                } else {
+                    pre.iter().map(|&p| self.activation.apply(p)).collect()
+                };
+                pres.push(pre);
+                acts.push(act);
+            }
+            let out = acts.last().expect("nonempty");
+            // dL/dout for 1/2 squared error.
+            let mut delta: Vec<f64> = out.iter().zip(target).map(|(o, t)| o - t).collect();
+            total_loss += delta.iter().map(|d| 0.5 * d * d).sum::<f64>();
+            // Backward.
+            for i in (0..l).rev() {
+                if i != l - 1 {
+                    for (d, &p) in delta.iter_mut().zip(&pres[i]) {
+                        *d *= self.activation.derivative(p);
+                    }
+                }
+                let input = &acts[i];
+                for (o, d) in delta.iter().enumerate() {
+                    gb[i][o] += d;
+                    for (j, inp) in input.iter().enumerate() {
+                        gw[i][o][j] += d * inp;
+                    }
+                }
+                if i > 0 {
+                    let mut prev = vec![0.0; input.len()];
+                    for (o, d) in delta.iter().enumerate() {
+                        for (j, p) in prev.iter_mut().enumerate() {
+                            *p += self.layers[i].weights[o][j] * d;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+
+        let lr = cfg.learning_rate / batch.len() as f64;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            for (o, row) in layer.weights.iter_mut().enumerate() {
+                for (j, w) in row.iter_mut().enumerate() {
+                    *w -= lr * (gw[i][o][j] + cfg.weight_decay * *w * batch.len() as f64);
+                }
+            }
+            for (o, b) in layer.biases.iter_mut().enumerate() {
+                *b -= lr * gb[i][o];
+            }
+        }
+        total_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_linear_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![2.0 * x[0] - x[1]]).collect();
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, &mut rng);
+        let losses = net.train(&xs, &ys, &TrainConfig::default(), &mut rng);
+        assert!(losses.last().unwrap() < &0.01, "loss={:?}", losses.last());
+        let err = (net.predict_scalar(&[0.5, -0.5]) - 1.5).abs();
+        assert!(err < 0.25, "err={err}");
+    }
+
+    #[test]
+    fn learns_nonlinear_xor_like_surface() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![if (x[0] > 0.5) != (x[1] > 0.5) { 1.0 } else { 0.0 }])
+            .collect();
+        let mut net = Mlp::new(&[2, 16, 16, 1], Activation::Relu, &mut rng);
+        let cfg = TrainConfig {
+            learning_rate: 0.05,
+            epochs: 600,
+            batch_size: 32,
+            weight_decay: 0.0,
+        };
+        net.train(&xs, &ys, &cfg, &mut rng);
+        let mut correct = 0;
+        for (x, y) in xs.iter().zip(&ys) {
+            let pred = if net.predict_scalar(x) > 0.5 { 1.0 } else { 0.0 };
+            if pred == y[0] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / xs.len() as f64;
+        assert!(acc > 0.9, "accuracy={acc}");
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![(x[0] * 3.0).sin()]).collect();
+        let mut net = Mlp::new(&[1, 12, 1], Activation::Tanh, &mut rng);
+        let losses = net.train(&xs, &ys, &TrainConfig::default(), &mut rng);
+        assert!(losses.last().unwrap() < &losses[0]);
+    }
+
+    #[test]
+    fn shapes_validated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.predict(&[0.0, 0.0, 0.0]).len(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut net = Mlp::new(&[1, 4, 1], Activation::Tanh, &mut rng);
+            let xs = vec![vec![0.1], vec![0.9]];
+            let ys = vec![vec![1.0], vec![0.0]];
+            let cfg = TrainConfig {
+                epochs: 50,
+                ..TrainConfig::default()
+            };
+            net.train(&xs, &ys, &cfg, &mut rng);
+            net.predict_scalar(&[0.5])
+        };
+        assert_eq!(build(), build());
+    }
+}

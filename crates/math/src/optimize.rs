@@ -1,0 +1,348 @@
+//! Derivative-free optimizers used across the tuners: Nelder–Mead simplex
+//! (GP hyper-parameter fitting, acquisition maximization), plain random
+//! search, and Recursive Random Search (a strong experiment-driven baseline
+//! from the Hadoop-tuning literature).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Nelder–Mead simplex minimization of `f` starting from `x0`.
+///
+/// `scale` sets the initial simplex edge length per dimension. Runs until
+/// `max_iter` iterations or the simplex collapses below `tol` in value
+/// spread. Standard coefficients (reflection 1, expansion 2, contraction
+/// 0.5, shrink 0.5).
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    scale: f64,
+    max_iter: usize,
+    tol: f64,
+) -> OptResult {
+    let dim = x0.len();
+    assert!(dim > 0, "nelder_mead: empty start point");
+    let mut evals = 0usize;
+    let eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus unit perturbation along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+    let v0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), v0));
+    for d in 0..dim {
+        let mut x = x0.to_vec();
+        x[d] += if x[d].abs() > 1e-12 {
+            scale * x[d].abs()
+        } else {
+            scale
+        };
+        let v = eval(&x, &mut evals);
+        simplex.push((x, v));
+    }
+
+    for _ in 0..max_iter {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN handled above"));
+        let best = simplex[0].1;
+        let worst = simplex[dim].1;
+        if (worst - best).abs() <= tol * (1.0 + best.abs()) {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; dim];
+        for (x, _) in simplex.iter().take(dim) {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / dim as f64;
+            }
+        }
+        let worst_x = simplex[dim].0.clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst_x)
+            .map(|(c, w)| c + (c - w))
+            .collect();
+        let fr = eval(&reflect, &mut evals);
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + 2.0 * (c - w))
+                .collect();
+            let fe = eval(&expand, &mut evals);
+            simplex[dim] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[dim - 1].1 {
+            simplex[dim] = (reflect, fr);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + 0.5 * (w - c))
+                .collect();
+            let fc = eval(&contract, &mut evals);
+            if fc < simplex[dim].1 {
+                simplex[dim] = (contract, fc);
+            } else {
+                // Shrink toward best.
+                let best_x = simplex[0].0.clone();
+                for item in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = best_x
+                        .iter()
+                        .zip(&item.0)
+                        .map(|(b, xi)| b + 0.5 * (xi - b))
+                        .collect();
+                    let v = eval(&x, &mut evals);
+                    *item = (x, v);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN handled above"));
+    OptResult {
+        x: simplex[0].0.clone(),
+        value: simplex[0].1,
+        evaluations: evals,
+    }
+}
+
+/// Multi-start Nelder–Mead inside a box: restarts from random points and
+/// clamps iterates into `[lo, hi]` per dimension.
+pub fn nelder_mead_box(
+    f: impl Fn(&[f64]) -> f64,
+    lo: &[f64],
+    hi: &[f64],
+    starts: usize,
+    max_iter: usize,
+    rng: &mut StdRng,
+) -> OptResult {
+    assert_eq!(lo.len(), hi.len());
+    let dim = lo.len();
+    let clamped = |x: &[f64]| -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(d, &v)| v.clamp(lo[d], hi[d]))
+            .collect()
+    };
+    let g = |x: &[f64]| f(&clamped(x));
+    let mut best: Option<OptResult> = None;
+    for _ in 0..starts.max(1) {
+        let x0: Vec<f64> = (0..dim).map(|d| rng.random_range(lo[d]..=hi[d])).collect();
+        let mut r = nelder_mead(g, &x0, 0.15, max_iter, 1e-8);
+        r.x = clamped(&r.x);
+        let better = match &best {
+            None => true,
+            Some(b) => r.value < b.value,
+        };
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one start")
+}
+
+/// Uniform random search minimization over a unit box `[0,1]^dim`.
+pub fn random_search(
+    f: impl Fn(&[f64]) -> f64,
+    dim: usize,
+    budget: usize,
+    rng: &mut StdRng,
+) -> OptResult {
+    assert!(budget > 0);
+    let mut best_x = vec![0.0; dim];
+    let mut best_v = f64::INFINITY;
+    for _ in 0..budget {
+        let x: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..1.0)).collect();
+        let v = f(&x);
+        if v < best_v {
+            best_v = v;
+            best_x = x;
+        }
+    }
+    OptResult {
+        x: best_x,
+        value: best_v,
+        evaluations: budget,
+    }
+}
+
+/// Recursive Random Search (Ye & Kalyanaraman): alternate *explore* (global
+/// uniform sampling until a promising region is found) and *exploit*
+/// (shrinking box around the incumbent). A robust, assumption-free search
+/// widely used in black-box system tuning.
+pub fn recursive_random_search(
+    f: impl Fn(&[f64]) -> f64,
+    dim: usize,
+    budget: usize,
+    rng: &mut StdRng,
+) -> OptResult {
+    assert!(budget > 0);
+    let explore_samples = (dim * 4).clamp(8, 40).min(budget);
+    let mut spent = 0usize;
+    let mut best_x: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..1.0)).collect();
+    let mut best_v = f(&best_x);
+    spent += 1;
+
+    while spent < budget {
+        // Explore phase.
+        let mut local_best = best_x.clone();
+        let mut local_v = f64::INFINITY;
+        for _ in 0..explore_samples {
+            if spent >= budget {
+                break;
+            }
+            let x: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..1.0)).collect();
+            let v = f(&x);
+            spent += 1;
+            if v < local_v {
+                local_v = v;
+                local_best = x;
+            }
+        }
+        // Exploit phase: shrink around the explore incumbent.
+        let mut radius = 0.25;
+        let mut center = local_best;
+        let mut center_v = local_v;
+        let mut fails = 0;
+        while spent < budget && radius > 1e-3 {
+            let x: Vec<f64> = center
+                .iter()
+                .map(|&c| (c + rng.random_range(-radius..radius)).clamp(0.0, 1.0))
+                .collect();
+            let v = f(&x);
+            spent += 1;
+            if v < center_v {
+                center_v = v;
+                center = x;
+                fails = 0;
+            } else {
+                fails += 1;
+                if fails >= 4 {
+                    radius *= 0.5;
+                    fails = 0;
+                }
+            }
+        }
+        if center_v < best_v {
+            best_v = center_v;
+            best_x = center;
+        }
+    }
+    OptResult {
+        x: best_x,
+        value: best_v,
+        evaluations: spent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum()
+    }
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        let a = 1.0 - x[0];
+        let b = x[1] - x[0] * x[0];
+        a * a + 100.0 * b * b
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_sphere() {
+        let r = nelder_mead(sphere, &[0.9, 0.9, 0.9], 0.2, 500, 1e-12);
+        assert!(r.value < 1e-8, "value={}", r.value);
+        for v in &r.x {
+            assert!((v - 0.3).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let r = nelder_mead(rosenbrock, &[-1.2, 1.0], 0.3, 2000, 1e-14);
+        assert!(r.value < 1e-6, "value={}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn nelder_mead_handles_nan() {
+        let f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                (x[0] - 2.0) * (x[0] - 2.0)
+            }
+        };
+        // Start feasible; the search will probe x < 0 (NaN) and must treat
+        // it as infeasible rather than propagating NaN.
+        let r = nelder_mead(f, &[0.5], 2.0, 400, 1e-12);
+        assert!(r.value.is_finite());
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn box_search_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = nelder_mead_box(
+            |x| (x[0] - 5.0).powi(2),
+            &[0.0],
+            &[1.0],
+            4,
+            200,
+            &mut rng,
+        );
+        assert!(r.x[0] >= 0.0 && r.x[0] <= 1.0);
+        assert!((r.x[0] - 1.0).abs() < 1e-6, "should hit upper bound");
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = random_search(sphere, 3, 10, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let large = random_search(sphere, 3, 500, &mut rng);
+        assert!(large.value <= small.value);
+        assert_eq!(large.evaluations, 500);
+    }
+
+    #[test]
+    fn rrs_beats_pure_random_on_average() {
+        let mut wins = 0;
+        for seed in 0..10u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed + 1000);
+            let rrs = recursive_random_search(sphere, 5, 150, &mut r1);
+            let rs = random_search(sphere, 5, 150, &mut r2);
+            if rrs.value <= rs.value {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 7, "RRS won only {wins}/10");
+    }
+
+    #[test]
+    fn rrs_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let r = recursive_random_search(sphere, 2, 77, &mut rng);
+        assert!(r.evaluations <= 77);
+    }
+}

@@ -1,0 +1,289 @@
+//! Principal component analysis via cyclic Jacobi eigen-decomposition of
+//! the covariance matrix.
+//!
+//! OtterTune's metric-pruning stage runs factor analysis over the DBMS
+//! runtime metrics and clusters the resulting factor loadings; PCA factor
+//! scores are the standard practical stand-in and are what we use here.
+
+use crate::matrix::{LinAlgError, Matrix};
+use crate::stats::mean;
+
+/// Eigen-decomposition of a symmetric matrix: `values[i]` ↔ `vectors` col i,
+/// sorted by decreasing eigenvalue.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Column-eigenvector matrix (orthonormal).
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigen-decomposition for symmetric matrices.
+pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymEigen, LinAlgError> {
+    if !a.is_square() {
+        return Err(LinAlgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    for sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (newcol, &oldcol) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, newcol)] = v[(r, oldcol)];
+        }
+    }
+    Ok(SymEigen { values, vectors })
+}
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means of the training data.
+    pub means: Vec<f64>,
+    /// Principal axes as rows (`components x dim`), unit length.
+    pub components: Matrix,
+    /// Variance explained by each retained component.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on `data` (`n x dim`), retaining `n_components` axes.
+    ///
+    /// # Panics
+    /// Panics if `n_components` is zero or exceeds the data dimension.
+    pub fn fit(data: &Matrix, n_components: usize) -> Result<Self, LinAlgError> {
+        let n = data.rows();
+        let d = data.cols();
+        assert!(n_components >= 1 && n_components <= d, "bad n_components");
+        assert!(n >= 2, "PCA needs at least two rows");
+        let means: Vec<f64> = (0..d).map(|j| mean(&data.col(j))).collect();
+        // Covariance matrix.
+        let mut cov = Matrix::zeros(d, d);
+        for i in 0..n {
+            let row = data.row(i);
+            for a in 0..d {
+                let da = row[a] - means[a];
+                for b in a..d {
+                    cov[(a, b)] += da * (row[b] - means[b]);
+                }
+            }
+        }
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[(a, b)] / (n - 1) as f64;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+        let eig = jacobi_eigen(&cov, 50)?;
+        let mut components = Matrix::zeros(n_components, d);
+        for c in 0..n_components {
+            for j in 0..d {
+                components[(c, j)] = eig.vectors[(j, c)];
+            }
+        }
+        Ok(Pca {
+            means,
+            components,
+            explained_variance: eig.values[..n_components].to_vec(),
+        })
+    }
+
+    /// Projects a raw row onto the retained components.
+    pub fn transform_row(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.means.len());
+        let centred: Vec<f64> = x.iter().zip(&self.means).map(|(v, m)| v - m).collect();
+        (0..self.components.rows())
+            .map(|c| {
+                self.components
+                    .row(c)
+                    .iter()
+                    .zip(&centred)
+                    .map(|(w, v)| w * v)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects every row of a matrix; returns `n x components`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..data.rows())
+            .map(|i| self.transform_row(data.row(i)))
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Fraction of total variance captured by the retained components
+    /// (clamped to `[0, 1]`; returns 1.0 for zero-variance data).
+    pub fn explained_ratio(&self, total_variance: f64) -> f64 {
+        if total_variance <= 0.0 {
+            return 1.0;
+        }
+        (self.explained_variance.iter().sum::<f64>() / total_variance).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    #[test]
+    fn jacobi_diagonal_passthrough() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let e = jacobi_eigen(&a, 30).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 30).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Matrix::from_fn(5, 5, |_, _| rng.random_range(-1.0..1.0));
+        let a = &b + &b.transpose(); // symmetric
+        let e = jacobi_eigen(&a, 60).unwrap();
+        // A = V diag(w) V^T
+        let mut d = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            d[(i, i)] = e.values[i];
+        }
+        let recon = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let ip = dot(&e.vectors.col(i), &e.vectors.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((ip - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Data stretched along (1, 1) direction.
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| {
+                let t: f64 = rng.random_range(-5.0..5.0);
+                let noise: f64 = rng.random_range(-0.1..0.1);
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 1).unwrap();
+        let c = pca.components.row(0);
+        // Direction ±(1,1)/√2.
+        assert!((c[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((c[0] - c[1]).abs() < 0.1 || (c[0] + c[1]).abs() < 0.1);
+    }
+
+    #[test]
+    fn pca_transform_decorrelates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| {
+                let t: f64 = rng.random_range(-2.0..2.0);
+                let u: f64 = rng.random_range(-0.5..0.5);
+                vec![t, t + u, u]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 2).unwrap();
+        let proj = pca.transform(&data);
+        let c0 = proj.col(0);
+        let c1 = proj.col(1);
+        let r = crate::stats::pearson(&c0, &c1);
+        assert!(r.abs() < 0.05, "projected correlation {r}");
+    }
+
+    #[test]
+    fn explained_variance_descending() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..4).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let pca = Pca::fit(&Matrix::from_rows(&rows), 4).unwrap();
+        for w in pca.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

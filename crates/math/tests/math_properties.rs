@@ -1,0 +1,120 @@
+//! Property-based tests for the numerical substrate: Cholesky on random
+//! SPD matrices, GP posterior sanity, design orthogonality across all
+//! supported factor counts, Lasso shrinkage monotonicity, and rank
+//! statistics invariances.
+
+use autotune_math::cholesky::Cholesky;
+use autotune_math::design::TwoLevelDesign;
+use autotune_math::gp::{GaussianProcess, Kernel, KernelKind};
+use autotune_math::lasso::{lambda_max, lasso};
+use autotune_math::matrix::Matrix;
+use autotune_math::stats::{ranks, spearman};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random SPD matrix A = BᵀB + εI.
+fn random_spd(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    let mut a = b.gram();
+    a.add_diagonal_mut(0.5);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_solves_random_spd_systems(n in 1usize..12, seed in 0u64..10_000) {
+        let a = random_spd(n, seed);
+        let chol = Cholesky::decompose(&a).expect("SPD by construction");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let x_true: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
+        let b = a.matvec(&x_true);
+        let x = chol.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-6, "{} vs {}", xi, ti);
+        }
+        // Reconstruction L Lᵀ ≈ A.
+        let recon = chol.l().matmul(&chol.l().transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn gp_posterior_variance_nonnegative_and_ei_nonnegative(
+        n in 2usize..15,
+        seed in 0u64..5_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.random_range(0.0..1.0)).collect())
+            .collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let gp = GaussianProcess::fit(
+            Kernel::new(KernelKind::Matern52, 3, 0.4),
+            xs,
+            &ys,
+        )
+        .expect("jittered fit succeeds");
+        let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        for _ in 0..10 {
+            let q: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let (mu, var) = gp.predict(&q);
+            prop_assert!(mu.is_finite());
+            prop_assert!(var >= 0.0);
+            prop_assert!(gp.expected_improvement(&q, y_best, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pb_designs_balanced_and_orthogonal(factors in 1usize..=23) {
+        let d = TwoLevelDesign::plackett_burman(factors).expect("<=23 factors");
+        for f in 0..factors {
+            let highs = (0..d.runs()).filter(|&r| d.level(r, f) > 0.0).count();
+            prop_assert_eq!(highs * 2, d.runs(), "factor {} unbalanced", f);
+        }
+        prop_assert!(
+            autotune_math::design::column_orthogonality_defect(&d) < 1e-12
+        );
+    }
+
+    #[test]
+    fn lasso_support_shrinks_with_lambda(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|_| (0..6).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.01 * rng.random_range(-1.0..1.0))
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let lmax = lambda_max(&x, &y);
+        let loose = lasso(&x, &y, lmax * 0.01, 800, 1e-9);
+        let tight = lasso(&x, &y, lmax * 0.5, 800, 1e-9);
+        prop_assert!(tight.support_size() <= loose.support_size());
+        let all_zero = lasso(&x, &y, lmax * 1.001, 800, 1e-9);
+        prop_assert_eq!(all_zero.support_size(), 0);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..20).map(|_| rng.random_range(-3.0..3.0)).collect();
+        let y: Vec<f64> = (0..20).map(|_| rng.random_range(-3.0..3.0)).collect();
+        let base = spearman(&x, &y);
+        let y_exp: Vec<f64> = y.iter().map(|v: &f64| v.exp()).collect();
+        prop_assert!((spearman(&x, &y_exp) - base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_statistic(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..15).map(|_| rng.random_range(-9.0..9.0)).collect();
+        let r = ranks(&x);
+        // Ranks sum to n(n+1)/2 regardless of values (ties average).
+        let expect = 15.0 * 16.0 / 2.0;
+        prop_assert!((r.iter().sum::<f64>() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,244 @@
+//! Cluster hardware models: node specs, homogeneous and heterogeneous
+//! clusters.
+//!
+//! Challenge (ii) of the tutorial is "system scale and complexity …
+//! hundreds to thousands of nodes, some provisioned with different CPU,
+//! storage, memory, and network technologies". The heterogeneity
+//! experiment (C7 in DESIGN.md) contrasts cost-model accuracy on
+//! [`ClusterSpec::homogeneous`] vs [`ClusterSpec::heterogeneous`] clusters.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU cores.
+    pub cores: usize,
+    /// Relative per-core speed (1.0 = baseline).
+    pub core_speed: f64,
+    /// RAM in MB.
+    pub memory_mb: f64,
+    /// Sequential disk bandwidth, MB/s.
+    pub disk_mbps: f64,
+    /// Random-I/O operations per second.
+    pub disk_iops: f64,
+    /// Network bandwidth, MB/s.
+    pub network_mbps: f64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec {
+            cores: 8,
+            core_speed: 1.0,
+            memory_mb: 16384.0,
+            disk_mbps: 200.0,
+            disk_iops: 600.0,
+            network_mbps: 1000.0,
+        }
+    }
+}
+
+impl NodeSpec {
+    /// A beefier node (16 cores, 64 GB, SSD-class disk).
+    pub fn large() -> Self {
+        NodeSpec {
+            cores: 16,
+            core_speed: 1.2,
+            memory_mb: 65536.0,
+            disk_mbps: 500.0,
+            disk_iops: 50000.0,
+            network_mbps: 10000.0,
+        }
+    }
+
+    /// A weak node (4 cores, 8 GB, slow disk) — the straggler-prone kind.
+    pub fn small() -> Self {
+        NodeSpec {
+            cores: 4,
+            core_speed: 0.8,
+            memory_mb: 8192.0,
+            disk_mbps: 100.0,
+            disk_iops: 150.0,
+            network_mbps: 1000.0,
+        }
+    }
+
+    /// Effective compute rate (cores × speed).
+    pub fn compute_rate(&self) -> f64 {
+        self.cores as f64 * self.core_speed
+    }
+}
+
+/// A collection of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-node hardware.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// `n` identical nodes.
+    pub fn homogeneous(n: usize, node: NodeSpec) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        ClusterSpec {
+            nodes: vec![node; n],
+        }
+    }
+
+    /// A mixed cluster: alternating large/default/small nodes, a common
+    /// shape after several hardware generations.
+    pub fn heterogeneous(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        let nodes = (0..n)
+            .map(|i| match i % 3 {
+                0 => NodeSpec::large(),
+                1 => NodeSpec::default(),
+                _ => NodeSpec::small(),
+            })
+            .collect();
+        ClusterSpec { nodes }
+    }
+
+    /// Randomly perturbed cluster: each node's rates jittered ±`spread`.
+    pub fn jittered(n: usize, base: NodeSpec, spread: f64, rng: &mut StdRng) -> Self {
+        assert!(n > 0 && (0.0..1.0).contains(&spread));
+        let nodes = (0..n)
+            .map(|_| {
+                let j = |v: f64, rng: &mut StdRng| v * (1.0 + rng.random_range(-spread..spread));
+                NodeSpec {
+                    cores: base.cores,
+                    core_speed: j(base.core_speed, rng),
+                    memory_mb: j(base.memory_mb, rng),
+                    disk_mbps: j(base.disk_mbps, rng),
+                    disk_iops: j(base.disk_iops, rng),
+                    network_mbps: j(base.network_mbps, rng),
+                }
+            })
+            .collect();
+        ClusterSpec { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never true for constructed clusters).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    /// Total compute rate.
+    pub fn total_compute(&self) -> f64 {
+        self.nodes.iter().map(|n| n.compute_rate()).sum()
+    }
+
+    /// Total memory in MB.
+    pub fn total_memory_mb(&self) -> f64 {
+        self.nodes.iter().map(|n| n.memory_mb).sum()
+    }
+
+    /// Aggregate disk bandwidth in MB/s.
+    pub fn total_disk_mbps(&self) -> f64 {
+        self.nodes.iter().map(|n| n.disk_mbps).sum()
+    }
+
+    /// The *slowest* node — parallel phases finish when it does.
+    pub fn slowest_node(&self) -> &NodeSpec {
+        self.nodes
+            .iter()
+            .min_by(|a, b| {
+                a.compute_rate()
+                    .partial_cmp(&b.compute_rate())
+                    .expect("finite rates")
+            })
+            .expect("non-empty cluster")
+    }
+
+    /// Heterogeneity index: coefficient of variation of node compute rates
+    /// (0 for homogeneous clusters).
+    pub fn heterogeneity(&self) -> f64 {
+        let rates: Vec<f64> = self.nodes.iter().map(|n| n.compute_rate()).collect();
+        let m = autotune_math::stats::mean(&rates);
+        if m <= 0.0 {
+            return 0.0;
+        }
+        autotune_math::stats::std_dev(&rates) / m
+    }
+
+    /// Straggler penalty for a perfectly-divided parallel phase: the ratio
+    /// between finishing on the slowest node vs. the mean node
+    /// (1.0 when homogeneous, > 1.0 otherwise).
+    pub fn straggler_factor(&self) -> f64 {
+        let mean_rate = self.total_compute() / self.len() as f64;
+        let slowest = self.slowest_node().compute_rate();
+        if slowest <= 0.0 {
+            return 1.0;
+        }
+        (mean_rate / slowest).max(1.0)
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::homogeneous(4, NodeSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn homogeneous_totals() {
+        let c = ClusterSpec::homogeneous(4, NodeSpec::default());
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.total_cores(), 32);
+        assert!((c.total_memory_mb() - 4.0 * 16384.0).abs() < 1e-9);
+        assert!(c.heterogeneity() < 1e-12);
+        assert!((c.straggler_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_has_spread() {
+        let c = ClusterSpec::heterogeneous(6);
+        assert!(c.heterogeneity() > 0.1);
+        assert!(c.straggler_factor() > 1.2);
+        assert_eq!(c.slowest_node().cores, 4);
+    }
+
+    #[test]
+    fn jittered_respects_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = ClusterSpec::jittered(10, NodeSpec::default(), 0.2, &mut rng);
+        for n in &c.nodes {
+            assert!(n.disk_mbps >= 200.0 * 0.8 - 1e-9 && n.disk_mbps <= 200.0 * 1.2 + 1e-9);
+        }
+        assert!(c.heterogeneity() > 0.0);
+    }
+
+    #[test]
+    fn compute_rate_scales_with_speed() {
+        let n = NodeSpec {
+            cores: 4,
+            core_speed: 2.0,
+            ..NodeSpec::default()
+        };
+        assert_eq!(n.compute_rate(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        ClusterSpec::homogeneous(0, NodeSpec::default());
+    }
+}

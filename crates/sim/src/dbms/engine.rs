@@ -1,0 +1,630 @@
+//! The analytical + stochastic DBMS simulator.
+//!
+//! This is the "real system" the DBMS tuners of Table 2 are evaluated
+//! against. It is an *analytical* model — buffer-pool hit curves, external
+//! sort/hash spill passes, WAL group commit, checkpoint bursts, lock
+//! waits, parallel-scan Amdahl scaling, planner mis-costing — composed so
+//! that the documented pathologies of real engines appear:
+//!
+//! * concave diminishing returns on `shared_buffers`;
+//! * a *cliff* when configured memory overcommits physical RAM
+//!   (swapping, then OOM-kill for severe overcommit — "improper settings
+//!   … cause significant performance degradation and stability issues");
+//! * interaction between `work_mem` and `shared_buffers` (they compete
+//!   for the same RAM — challenge (i) of the tutorial);
+//! * U-shaped responses for `deadlock_timeout` and `checkpoint_timeout`;
+//! * hardware-dependent optima (`random_page_cost`,
+//!   `effective_io_concurrency` depend on disk class).
+
+use crate::cluster::NodeSpec;
+use crate::dbms::params::{dbms_space, knobs::*};
+use crate::dbms::workload::{DbmsWorkload, QueryKind};
+use crate::noise::NoiseModel;
+use crate::trace::{PhaseTrace, ResourceTrace};
+use autotune_core::{
+    ConfigSpace, Configuration, Metrics, Objective, Observation, SystemKind, SystemProfile,
+    WorkloadClass,
+};
+use rand::rngs::StdRng;
+
+/// Penalty multiplier applied to the deterministic runtime when a run
+/// fails (OOM): models "job killed at timeout".
+const FAILURE_PENALTY: f64 = 10.0;
+
+/// Page size assumed by the random-I/O model (KB).
+const PAGE_KB: f64 = 8.0;
+
+/// Detailed, deterministic result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct DbmsRun {
+    /// Total runtime in seconds (before measurement noise).
+    pub runtime_secs: f64,
+    /// Whether the configuration OOM-killed the server.
+    pub failed: bool,
+    /// ~20 internal metrics.
+    pub metrics: Metrics,
+    /// Per-phase resource trace.
+    pub trace: ResourceTrace,
+}
+
+/// The simulated DBMS: one node, one workload, one knob space.
+#[derive(Debug, Clone)]
+pub struct DbmsSimulator {
+    space: ConfigSpace,
+    /// Host hardware.
+    pub node: NodeSpec,
+    /// Workload being served.
+    pub workload: DbmsWorkload,
+    /// Measurement noise applied on `evaluate`.
+    pub noise: NoiseModel,
+}
+
+impl DbmsSimulator {
+    /// Creates a simulator for the given node and workload.
+    pub fn new(node: NodeSpec, workload: DbmsWorkload) -> Self {
+        DbmsSimulator {
+            space: dbms_space(),
+            node,
+            workload,
+            noise: NoiseModel::realistic(),
+        }
+    }
+
+    /// Default OLTP instance on default hardware.
+    pub fn oltp_default() -> Self {
+        DbmsSimulator::new(NodeSpec::default(), DbmsWorkload::oltp())
+    }
+
+    /// Default OLAP instance on default hardware.
+    pub fn olap_default() -> Self {
+        DbmsSimulator::new(NodeSpec::default(), DbmsWorkload::olap())
+    }
+
+    /// Replaces the noise model (builder style).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The "true" random-page-cost of the host disk: SSD-class storage
+    /// (high IOPS) wants a low planner `random_page_cost`, spinning disks
+    /// a high one. The planner-quality penalty compares the knob to this.
+    pub fn true_random_page_cost(&self) -> f64 {
+        // 8 KB pages: sequential reads deliver disk_mbps, random reads
+        // deliver iops pages; ratio of per-page costs.
+        let seq_pages_per_sec = self.node.disk_mbps * 1024.0 / PAGE_KB;
+        (seq_pages_per_sec / self.node.disk_iops).clamp(1.0, 10.0)
+    }
+
+    /// Buffer-pool hit ratio for point accesses: concave saturating curve
+    /// in `shared_buffers / working_set`.
+    fn hit_ratio(&self, shared_buffers_mb: f64) -> f64 {
+        let ws = self.workload.working_set_mb.max(1.0);
+        1.0 - 0.95 * (-2.2 * shared_buffers_mb / ws).exp()
+    }
+
+    /// Deterministic simulation of one run. This is the ground-truth cost
+    /// model; [`Objective::evaluate`] adds measurement noise on top.
+    pub fn simulate(&self, config: &Configuration) -> DbmsRun {
+        let w = &self.workload;
+        let node = &self.node;
+        let mut metrics = Metrics::new();
+        let mut trace = ResourceTrace::default();
+
+        // ---- knob values -------------------------------------------------
+        let shared_buffers = config.f64(SHARED_BUFFERS_MB);
+        let work_mem = config.f64(WORK_MEM_MB);
+        let maintenance_mem = config.f64(MAINTENANCE_WORK_MEM_MB);
+        let wal_buffers = config.f64(WAL_BUFFERS_MB);
+        let checkpoint_timeout = config.f64(CHECKPOINT_TIMEOUT_S);
+        let parallel_workers = config.f64(MAX_PARALLEL_WORKERS);
+        let eio = config.f64(EFFECTIVE_IO_CONCURRENCY);
+        let rpc = config.f64(RANDOM_PAGE_COST);
+        let bgwriter_delay = config.f64(BGWRITER_DELAY_MS);
+        let deadlock_timeout = config.f64(DEADLOCK_TIMEOUT_MS);
+        let temp_buffers = config.f64(TEMP_BUFFERS_MB);
+        let stats_target = config.f64(STATS_TARGET);
+
+        // ---- memory pressure (the cliff) ---------------------------------
+        // Sorts/hashes are active on a fraction of sessions at once.
+        let active_sorts = (w.concurrency as f64 * 0.5).max(1.0);
+        let committed = shared_buffers
+            + work_mem * active_sorts
+            + maintenance_mem
+            + wal_buffers
+            + temp_buffers * (w.concurrency as f64 * 0.25).max(1.0)
+            + 512.0; // fixed server overhead
+        let overcommit = committed / node.memory_mb;
+        metrics.insert("mem_committed_mb".into(), committed);
+        metrics.insert("mem_overcommit".into(), overcommit);
+        let failed = overcommit > 1.5;
+        // Swap penalty ramps quadratically once past physical RAM.
+        let swap_penalty = if overcommit > 1.0 {
+            1.0 + 8.0 * (overcommit - 1.0).powi(2)
+        } else {
+            1.0
+        };
+        metrics.insert(
+            "swap_activity".into(),
+            if overcommit > 1.0 { overcommit - 1.0 } else { 0.0 },
+        );
+
+        // ---- planner quality ---------------------------------------------
+        let rpc_true = self.true_random_page_cost();
+        let plan_penalty = 1.0 + 0.25 * (rpc / rpc_true).ln().abs();
+        // Cardinality misestimates hurt joins when statistics are coarse.
+        let stats_penalty = 1.0 + 0.35 * ((100.0 / stats_target).ln()).max(0.0);
+        metrics.insert("plan_quality".into(), 1.0 / plan_penalty);
+
+        let hit = self.hit_ratio(shared_buffers);
+        metrics.insert("buffer_hit_ratio".into(), hit);
+
+        // Effective IOPS: async I/O depth helps only up to what the device
+        // can actually overlap (SSDs overlap a lot, HDDs barely).
+        let device_depth = (node.disk_iops / 1000.0).clamp(1.0, 64.0);
+        let io_depth = eio.min(device_depth).max(1.0);
+        // Rated IOPS assume the device's full queue depth; delivered IOPS
+        // grow with the square root of the granted depth.
+        let eff_iops = (node.disk_iops * (io_depth / device_depth).sqrt()).max(1.0);
+        metrics.insert("effective_iops".into(), eff_iops);
+
+        // ---- per-kind costs ----------------------------------------------
+        let mut cpu_secs = 0.0;
+        let mut rand_ops = 0.0f64;
+        let mut seq_mb = 0.0f64;
+        let mut write_mb = 0.0f64;
+        let mut sort_spills = 0u64;
+        let mut hash_spills = 0u64;
+        let mut temp_mb = 0.0f64;
+
+        // Point selects: ~3 page touches each.
+        let n_point = w.count(QueryKind::PointSelect) as f64;
+        {
+            let misses = 3.0 * (1.0 - hit);
+            rand_ops += n_point * misses;
+            cpu_secs += n_point * 20e-6;
+        }
+
+        // Updates: point read + dirty page + WAL append/flush.
+        let n_upd = w.count(QueryKind::Update) as f64;
+        let wal_mb_total;
+        {
+            let misses = 2.0 * (1.0 - hit);
+            rand_ops += n_upd * misses;
+            cpu_secs += n_upd * 35e-6;
+            // WAL: each update writes ~1 KB; full-page writes inflate WAL
+            // right after each checkpoint (more checkpoints → more FPWs).
+            let fpw_factor = 1.0 + 1.5 * (300.0 / checkpoint_timeout).min(4.0) * 0.2;
+            wal_mb_total = n_upd * 1.0 / 1024.0 * fpw_factor;
+            write_mb += wal_mb_total;
+            // Group commit: flushes = updates / batch where batch grows
+            // with WAL buffer (bounded by concurrency).
+            let batch = (wal_buffers * 4.0).min(w.concurrency as f64).max(1.0);
+            let flushes = n_upd / batch;
+            rand_ops += flushes;
+            metrics.insert("wal_flushes".into(), flushes);
+        }
+        metrics.insert("wal_mb".into(), wal_mb_total);
+
+        // Scans: sequential read of the table; parallel workers help via
+        // Amdahl with per-worker coordination overhead.
+        let n_scan = w.count(QueryKind::Scan) as f64;
+        let analytic_mb = w.analytic_mb.max(1.0);
+        let scan_secs_serial;
+        {
+            // Large inputs mostly bypass the buffer pool; caching only
+            // helps when the pool rivals the data size.
+            let cached_frac = (shared_buffers / analytic_mb).min(0.9) * 0.9;
+            let io_mb = analytic_mb * (1.0 - cached_frac);
+            let workers = parallel_workers.min((node.cores - 1) as f64).max(0.0) + 1.0;
+            let serial_frac = 0.05;
+            let amdahl = serial_frac + (1.0 - serial_frac) / workers;
+            let coord = 1.0 + 0.01 * (workers - 1.0);
+            let io_secs = io_mb / node.disk_mbps;
+            let cpu = analytic_mb * 0.002 / node.core_speed; // 2 ms per MB
+            scan_secs_serial = (io_secs.max(cpu)) * plan_penalty;
+            let per_scan = scan_secs_serial * amdahl * coord;
+            seq_mb += n_scan * io_mb;
+            cpu_secs += n_scan * cpu * amdahl * coord;
+            metrics.insert("parallel_efficiency".into(), 1.0 / (workers * amdahl * coord));
+            metrics.insert("scan_secs_each".into(), per_scan);
+        }
+
+        // Joins: hash join; build side spills when it exceeds work_mem.
+        let n_join = w.count(QueryKind::Join) as f64;
+        {
+            let build_mb = analytic_mb * 0.25;
+            let probe_mb = analytic_mb * 0.5;
+            let read_mb =
+                (build_mb + probe_mb) * (1.0 - (shared_buffers / analytic_mb).min(0.8));
+            let mut io_mb = read_mb;
+            if build_mb > work_mem {
+                // Grace hash join: extra write+read of both sides per pass.
+                let passes = ((build_mb / work_mem).ln() / 8.0f64.ln()).ceil().max(1.0);
+                io_mb += 2.0 * (build_mb + probe_mb) * passes * 0.5;
+                hash_spills += (n_join * passes) as u64;
+                temp_mb += n_join * build_mb * passes * 0.5;
+            }
+            let cpu = (build_mb + probe_mb) * 0.004 / node.core_speed;
+            let workers = (parallel_workers * 0.5).min((node.cores - 1) as f64).max(0.0) + 1.0;
+            seq_mb += n_join * io_mb;
+            cpu_secs += n_join * cpu / workers * plan_penalty * stats_penalty;
+        }
+
+        // Sort/aggregate: external merge sort when input exceeds work_mem.
+        let n_sort = w.count(QueryKind::SortAgg) as f64;
+        {
+            let sort_mb = analytic_mb * 0.4;
+            let mut io_mb = sort_mb * (1.0 - (shared_buffers / analytic_mb).min(0.8));
+            if sort_mb > work_mem {
+                let runs = (sort_mb / work_mem).max(2.0);
+                let merge_width = work_mem.clamp(2.0, 256.0);
+                let passes = (runs.ln() / merge_width.ln()).ceil().max(1.0);
+                io_mb += 2.0 * sort_mb * passes;
+                sort_spills += (n_sort * runs) as u64;
+                temp_mb += n_sort * sort_mb;
+            }
+            let cpu = sort_mb * 0.005 / node.core_speed;
+            seq_mb += n_sort * io_mb;
+            cpu_secs += n_sort * cpu;
+        }
+
+        metrics.insert("sort_spills".into(), sort_spills as f64);
+        metrics.insert("hash_spills".into(), hash_spills as f64);
+        metrics.insert("temp_files_mb".into(), temp_mb);
+
+        // ---- background activity ------------------------------------------
+        // Checkpoints: dirty-page flush tax; short timeouts re-write hot
+        // pages over and over, long timeouts accumulate a burst that stalls
+        // foreground I/O. The background writer smooths the burst at a
+        // small CPU cost.
+        let dirty_rate_mb = n_upd * (PAGE_KB / 1024.0) / 600.0; // per sec over nominal 10-min run
+        let rewrite_tax = 1.0 + (300.0 / checkpoint_timeout).min(8.0) * 0.15;
+        let ckpt_write_mb = dirty_rate_mb * 600.0 * rewrite_tax;
+        let burst_mb = (dirty_rate_mb * checkpoint_timeout).min(shared_buffers * 0.5);
+        let bg_smoothing = bgwriter_delay / (bgwriter_delay + 100.0); // small delay → strong smoothing
+        let burst_stall_secs = burst_mb * bg_smoothing / node.disk_mbps * 0.5;
+        let bgwriter_cpu = 0.5 * (200.0 / bgwriter_delay);
+        write_mb += ckpt_write_mb;
+        cpu_secs += bgwriter_cpu;
+        metrics.insert("checkpoint_write_mb".into(), ckpt_write_mb);
+        metrics.insert("checkpoint_burst_secs".into(), burst_stall_secs);
+
+        // Locking: false-positive deadlock checks vs. real deadlock stalls
+        // produce a U-shaped response in deadlock_timeout.
+        let contention_load = w.contention * w.write_fraction() * w.concurrency as f64;
+        let expected_wait_ms = 50.0 * (1.0 + contention_load * 0.2);
+        let check_rate = n_upd * w.contention; // waits that trigger the timer
+        let false_checks = check_rate * (-deadlock_timeout / expected_wait_ms.max(1.0)).exp();
+        let check_cost_secs = false_checks * 2e-4;
+        let real_deadlocks = contention_load * 0.01 * n_upd * 1e-4;
+        let stall_secs = real_deadlocks * (deadlock_timeout / 1000.0);
+        let lock_wait_secs = check_cost_secs + stall_secs + contention_load * 0.02;
+        metrics.insert("deadlocks".into(), real_deadlocks);
+        metrics.insert("lock_wait_secs".into(), lock_wait_secs);
+
+        // Maintenance (vacuum/analyze): cheaper with more memory, but
+        // higher stats targets make analyze proportionally pricier.
+        let vacuum_secs = (w.table_mb / node.disk_mbps) * 0.1
+            * (1.0 + (256.0 / maintenance_mem.max(16.0)).min(4.0) * 0.25)
+            + stats_target / 1000.0;
+        cpu_secs += vacuum_secs * 0.3;
+        seq_mb += w.table_mb * 0.05;
+        metrics.insert("vacuum_secs".into(), vacuum_secs);
+
+        // ---- assemble total time ------------------------------------------
+        let rand_secs = rand_ops / eff_iops;
+        let seq_secs = seq_mb / node.disk_mbps;
+        let write_secs = write_mb / node.disk_mbps;
+        let cpu_wall = cpu_secs / (node.cores as f64 * node.core_speed).max(1.0)
+            * (1.0 + (w.concurrency as f64 / (node.cores as f64 * 4.0)).max(0.0) * 0.1);
+
+        let base = cpu_wall + rand_secs + seq_secs + write_secs + burst_stall_secs
+            + lock_wait_secs
+            + vacuum_secs * 0.2;
+        let runtime = base * swap_penalty * if failed { FAILURE_PENALTY } else { 1.0 };
+
+        metrics.insert("cpu_secs".into(), cpu_secs);
+        metrics.insert("io_rand_secs".into(), rand_secs);
+        metrics.insert("io_seq_secs".into(), seq_secs + write_secs);
+        metrics.insert("disk_read_mb".into(), seq_mb);
+        metrics.insert("disk_write_mb".into(), write_mb);
+        metrics.insert(
+            "throughput_qps".into(),
+            w.total_queries() as f64 / runtime.max(1e-9),
+        );
+        metrics.insert(
+            "avg_latency_ms".into(),
+            runtime * 1000.0 * w.concurrency as f64 / w.total_queries().max(1) as f64,
+        );
+        metrics.insert(
+            "p99_latency_ms".into(),
+            runtime * 1000.0 * w.concurrency as f64 / w.total_queries().max(1) as f64
+                * (3.0 + burst_stall_secs / runtime.max(1e-9) * 20.0),
+        );
+
+        // ---- trace ---------------------------------------------------------
+        trace.push(PhaseTrace {
+            name: "oltp".into(),
+            cpu_core_secs: cpu_secs * 0.4,
+            seq_io_mb: 0.0,
+            rand_io_ops: rand_ops,
+            net_mb: 0.0,
+            parallelism: w.concurrency.max(1),
+        });
+        trace.push(PhaseTrace {
+            name: "analytic".into(),
+            cpu_core_secs: cpu_secs * 0.6,
+            seq_io_mb: seq_mb,
+            rand_io_ops: 0.0,
+            net_mb: 0.0,
+            parallelism: (parallel_workers as usize + 1).max(1),
+        });
+        trace.push(PhaseTrace {
+            name: "background".into(),
+            cpu_core_secs: bgwriter_cpu,
+            seq_io_mb: write_mb,
+            rand_io_ops: 0.0,
+            net_mb: 0.0,
+            parallelism: 1,
+        });
+
+        let _ = scan_secs_serial;
+        DbmsRun {
+            runtime_secs: runtime,
+            failed,
+            metrics,
+            trace,
+        }
+    }
+
+    /// Simulates and returns the resource trace (used by the
+    /// simulation-based tuners as "recorded monitoring data").
+    pub fn record_trace(&self, config: &Configuration) -> ResourceTrace {
+        self.simulate(config).trace
+    }
+}
+
+impl Objective for DbmsSimulator {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn profile(&self) -> SystemProfile {
+        SystemProfile {
+            system: SystemKind::Dbms,
+            workload: match self.workload.write_fraction() {
+                f if f > 0.15 => WorkloadClass::Oltp,
+                f if f > 0.01 => WorkloadClass::Mixed,
+                _ => WorkloadClass::Olap,
+            },
+            memory_per_node_mb: self.node.memory_mb,
+            cores_per_node: self.node.cores,
+            nodes: 1,
+            disk_mbps: self.node.disk_mbps,
+            network_mbps: self.node.network_mbps,
+            input_mb: self.workload.table_mb,
+        }
+    }
+
+    fn evaluate(&mut self, config: &Configuration, rng: &mut StdRng) -> Observation {
+        let run = self.simulate(config);
+        let runtime = self.noise.apply(run.runtime_secs, rng);
+        Observation {
+            config: config.clone(),
+            runtime_secs: runtime,
+            cost: runtime,
+            metrics: run.metrics,
+            failed: run.failed,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "dbms-simulator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::ParamValue;
+    use rand::SeedableRng;
+
+    fn sim() -> DbmsSimulator {
+        DbmsSimulator::oltp_default().with_noise(NoiseModel::none())
+    }
+
+    fn with(cfg: &Configuration, name: &str, v: i64) -> Configuration {
+        let mut c = cfg.clone();
+        c.set(name, ParamValue::Int(v));
+        c
+    }
+
+    #[test]
+    fn bigger_buffer_pool_helps_oltp() {
+        let s = sim();
+        let d = s.space.default_config();
+        let small = s.simulate(&d).runtime_secs;
+        let big = s
+            .simulate(&with(&d, SHARED_BUFFERS_MB, 4096))
+            .runtime_secs;
+        assert!(big < small * 0.8, "small={small} big={big}");
+    }
+
+    #[test]
+    fn diminishing_returns_on_buffer_pool() {
+        let s = sim();
+        let d = s.space.default_config();
+        let t1 = s.simulate(&with(&d, SHARED_BUFFERS_MB, 256)).runtime_secs;
+        let t2 = s.simulate(&with(&d, SHARED_BUFFERS_MB, 1024)).runtime_secs;
+        let t3 = s.simulate(&with(&d, SHARED_BUFFERS_MB, 4096)).runtime_secs;
+        let gain1 = t1 - t2;
+        let gain2 = t2 - t3;
+        assert!(gain1 > gain2, "gains: {gain1} then {gain2}");
+    }
+
+    #[test]
+    fn overcommit_is_a_cliff_and_extreme_fails() {
+        let s = sim();
+        let d = s.space.default_config();
+        // 16 GB node, work_mem 400 MB * 32 active sorts ≈ 12.8 GB. With a
+        // 2 GB buffer pool everything fits; with 8 GB it overcommits and
+        // swaps. The buffer-pool hit ratio is saturated in both cases, so
+        // the comparison isolates the swap penalty.
+        let mut fits = with(&d, SHARED_BUFFERS_MB, 2048);
+        fits.set(WORK_MEM_MB, ParamValue::Int(400));
+        let mut swaps = with(&d, SHARED_BUFFERS_MB, 8192);
+        swaps.set(WORK_MEM_MB, ParamValue::Int(400));
+        let r_fits = s.simulate(&fits);
+        let r_swap = s.simulate(&swaps);
+        assert!(!r_fits.failed && !r_swap.failed);
+        assert!(r_swap.metrics["mem_overcommit"] > 1.0);
+        assert!(
+            r_swap.runtime_secs > r_fits.runtime_secs * 1.05,
+            "swap penalty should apply: fits={} swaps={}",
+            r_fits.runtime_secs,
+            r_swap.runtime_secs
+        );
+
+        let mut oom = with(&d, SHARED_BUFFERS_MB, 32768);
+        oom.set(WORK_MEM_MB, ParamValue::Int(1024));
+        let r_oom = s.simulate(&oom);
+        assert!(r_oom.failed, "severe overcommit should fail");
+        assert!(r_oom.runtime_secs > r_swap.runtime_secs * 2.0);
+    }
+
+    #[test]
+    fn work_mem_fixes_spills_for_olap() {
+        let s = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let d = s.space.default_config();
+        let spilly = s.simulate(&d);
+        assert!(spilly.metrics["sort_spills"] > 0.0);
+        let roomy = s.simulate(&with(&d, WORK_MEM_MB, 4096));
+        assert!(roomy.metrics["sort_spills"] < spilly.metrics["sort_spills"]);
+        assert!(roomy.runtime_secs < spilly.runtime_secs);
+    }
+
+    #[test]
+    fn parallel_workers_help_olap_scans() {
+        let s = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let d = s.space.default_config();
+        let serial = s.simulate(&with(&d, MAX_PARALLEL_WORKERS, 0)).runtime_secs;
+        let par = s.simulate(&with(&d, MAX_PARALLEL_WORKERS, 7)).runtime_secs;
+        assert!(par < serial, "serial={serial} par={par}");
+    }
+
+    #[test]
+    fn deadlock_timeout_is_u_shaped() {
+        let s = sim();
+        let d = s.space.default_config();
+        let lo = s.simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 100)).runtime_secs;
+        let mid = s.simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 2000)).runtime_secs;
+        let hi = s
+            .simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 10000))
+            .runtime_secs;
+        assert!(mid <= lo, "lo={lo} mid={mid}");
+        assert!(mid <= hi, "mid={mid} hi={hi}");
+    }
+
+    #[test]
+    fn planner_mis_costing_hurts() {
+        let s = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let d = s.space.default_config();
+        let rpc_true = s.true_random_page_cost();
+        let mut good = d.clone();
+        good.set(RANDOM_PAGE_COST, ParamValue::Float(rpc_true));
+        let mut bad = d.clone();
+        bad.set(
+            RANDOM_PAGE_COST,
+            ParamValue::Float(if rpc_true < 5.0 { 10.0 } else { 1.0 }),
+        );
+        assert!(s.simulate(&good).runtime_secs < s.simulate(&bad).runtime_secs);
+    }
+
+    #[test]
+    fn metrics_are_rich() {
+        let s = sim();
+        let run = s.simulate(&s.space.default_config());
+        assert!(run.metrics.len() >= 18, "only {} metrics", run.metrics.len());
+        assert!(run.metrics["buffer_hit_ratio"] > 0.0);
+        assert!(run.metrics["buffer_hit_ratio"] <= 1.0);
+    }
+
+    #[test]
+    fn trace_replay_close_to_runtime_shape() {
+        let s = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let d = s.space.default_config();
+        let trace = s.record_trace(&d);
+        assert_eq!(trace.phases.len(), 3);
+        assert!(trace.total_seq_io() > 0.0);
+    }
+
+    #[test]
+    fn evaluate_is_noisy_but_near_simulate() {
+        let mut s = DbmsSimulator::oltp_default(); // realistic noise
+        let d = s.space.default_config();
+        let det = s.simulate(&d).runtime_secs;
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = s.evaluate(&d, &mut rng);
+        assert!((obs.runtime_secs / det - 1.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn wal_buffers_batch_commit_flushes() {
+        let s = sim();
+        let d = s.space.default_config();
+        let tiny = s.simulate(&with(&d, WAL_BUFFERS_MB, 1));
+        let roomy = s.simulate(&with(&d, WAL_BUFFERS_MB, 64));
+        assert!(roomy.metrics["wal_flushes"] < tiny.metrics["wal_flushes"]);
+        assert!(roomy.runtime_secs <= tiny.runtime_secs);
+    }
+
+    #[test]
+    fn checkpoint_timeout_tradeoff() {
+        // Short timeouts re-write hot pages; long ones build bursts. Both
+        // directions should be measurable in the metrics.
+        let s = sim();
+        let d = s.space.default_config();
+        let short = s.simulate(&with(&d, CHECKPOINT_TIMEOUT_S, 30));
+        let long = s.simulate(&with(&d, CHECKPOINT_TIMEOUT_S, 3600));
+        assert!(
+            short.metrics["checkpoint_write_mb"] > long.metrics["checkpoint_write_mb"],
+            "short timeouts re-write more"
+        );
+        assert!(
+            long.metrics["checkpoint_burst_secs"] >= short.metrics["checkpoint_burst_secs"],
+            "long timeouts burst more"
+        );
+    }
+
+    #[test]
+    fn io_concurrency_helps_only_on_ssd() {
+        let hdd = sim();
+        let d = hdd.space.default_config();
+        let hdd_gain = hdd.simulate(&with(&d, EFFECTIVE_IO_CONCURRENCY, 1)).runtime_secs
+            - hdd.simulate(&with(&d, EFFECTIVE_IO_CONCURRENCY, 128)).runtime_secs;
+        let ssd = DbmsSimulator::new(NodeSpec::large(), DbmsWorkload::oltp())
+            .with_noise(NoiseModel::none());
+        let d2 = ssd.space.default_config();
+        let ssd_gain = ssd.simulate(&with(&d2, EFFECTIVE_IO_CONCURRENCY, 1)).runtime_secs
+            - ssd.simulate(&with(&d2, EFFECTIVE_IO_CONCURRENCY, 128)).runtime_secs;
+        assert!(hdd_gain.abs() < 1e-6, "HDD should be insensitive: {hdd_gain}");
+        assert!(ssd_gain > 0.0, "SSD should benefit: {ssd_gain}");
+    }
+
+    #[test]
+    fn throughput_and_latency_metrics_consistent() {
+        let s = sim();
+        let run = s.simulate(&s.space.default_config());
+        let qps = run.metrics["throughput_qps"];
+        assert!((qps * run.runtime_secs - s.workload.total_queries() as f64).abs() < 1.0);
+        assert!(run.metrics["p99_latency_ms"] > run.metrics["avg_latency_ms"]);
+    }
+
+    #[test]
+    fn true_rpc_depends_on_disk() {
+        let hdd = DbmsSimulator::new(NodeSpec::default(), DbmsWorkload::olap());
+        let ssd = DbmsSimulator::new(NodeSpec::large(), DbmsWorkload::olap());
+        assert!(hdd.true_random_page_cost() > ssd.true_random_page_cost());
+    }
+}

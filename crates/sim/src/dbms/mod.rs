@@ -1,0 +1,13 @@
+//! The simulated DBMS target: knob space ([`params`]), workloads
+//! ([`workload`]), and the analytical engine ([`engine`]).
+//!
+//! Reproduces the substrate the Table 2 tuners ran against (PostgreSQL /
+//! DB2 / Oracle instances in the original papers).
+
+pub mod engine;
+pub mod params;
+pub mod workload;
+
+pub use engine::{DbmsRun, DbmsSimulator};
+pub use params::{dbms_space, knobs};
+pub use workload::{DbmsWorkload, QueryKind};

@@ -1,0 +1,168 @@
+//! The DBMS knob space: twelve PostgreSQL-flavoured configuration
+//! parameters covering memory distribution, I/O, parallelism, background
+//! writing, locking, and planner statistics — the knob classes Table 2's
+//! DBMS tuners target (STMM: memory; ADDM: CPU/I-O/locks; SARD/iTuned/
+//! OtterTune: several).
+
+use autotune_core::{ConfigSpace, ParamSpec};
+
+/// Knob name constants, so simulators and tuners never typo a name.
+pub mod knobs {
+    /// Buffer pool size (MB) — the single most impactful memory knob.
+    pub const SHARED_BUFFERS_MB: &str = "shared_buffers_mb";
+    /// Per-sort/hash working memory (MB).
+    pub const WORK_MEM_MB: &str = "work_mem_mb";
+    /// Memory for maintenance operations (MB).
+    pub const MAINTENANCE_WORK_MEM_MB: &str = "maintenance_work_mem_mb";
+    /// WAL buffer size (MB), controls group-commit batching.
+    pub const WAL_BUFFERS_MB: &str = "wal_buffers_mb";
+    /// Seconds between checkpoints.
+    pub const CHECKPOINT_TIMEOUT_S: &str = "checkpoint_timeout_s";
+    /// Maximum parallel workers per query.
+    pub const MAX_PARALLEL_WORKERS: &str = "max_parallel_workers";
+    /// Concurrent async I/O requests for bitmap scans.
+    pub const EFFECTIVE_IO_CONCURRENCY: &str = "effective_io_concurrency";
+    /// Planner's relative cost of a random page read.
+    pub const RANDOM_PAGE_COST: &str = "random_page_cost";
+    /// Background writer wakeup delay (ms).
+    pub const BGWRITER_DELAY_MS: &str = "bgwriter_delay_ms";
+    /// Time to wait before checking for deadlock (ms).
+    pub const DEADLOCK_TIMEOUT_MS: &str = "deadlock_timeout_ms";
+    /// Per-session temp-table buffer (MB).
+    pub const TEMP_BUFFERS_MB: &str = "temp_buffers_mb";
+    /// Planner statistics detail (histogram buckets per column).
+    pub const STATS_TARGET: &str = "default_statistics_target";
+}
+
+/// Builds the 12-knob DBMS configuration space with PostgreSQL-like
+/// (deliberately conservative) defaults.
+pub fn dbms_space() -> ConfigSpace {
+    use knobs::*;
+    ConfigSpace::new(vec![
+        ParamSpec::int_log(
+            SHARED_BUFFERS_MB,
+            64,
+            65536,
+            128,
+            "buffer pool size; vendor default is famously tiny",
+        )
+        .with_unit("MB"),
+        ParamSpec::int_log(
+            WORK_MEM_MB,
+            1,
+            4096,
+            4,
+            "memory per sort/hash operation before spilling to disk",
+        )
+        .with_unit("MB"),
+        ParamSpec::int_log(
+            MAINTENANCE_WORK_MEM_MB,
+            16,
+            8192,
+            64,
+            "memory for vacuum/analyze/index build",
+        )
+        .with_unit("MB"),
+        ParamSpec::int_log(
+            WAL_BUFFERS_MB,
+            1,
+            1024,
+            16,
+            "write-ahead-log buffer; batches commit flushes",
+        )
+        .with_unit("MB"),
+        ParamSpec::int(
+            CHECKPOINT_TIMEOUT_S,
+            30,
+            3600,
+            300,
+            "seconds between checkpoints; short = steady write tax, long = recovery burst",
+        )
+        .with_unit("s"),
+        ParamSpec::int(
+            MAX_PARALLEL_WORKERS,
+            0,
+            32,
+            2,
+            "parallel workers available to one query",
+        ),
+        ParamSpec::int_log(
+            EFFECTIVE_IO_CONCURRENCY,
+            1,
+            256,
+            1,
+            "async random-I/O depth; only helps on SSD-class storage",
+        ),
+        ParamSpec::float(
+            RANDOM_PAGE_COST,
+            1.0,
+            10.0,
+            4.0,
+            "planner cost of random page fetch relative to sequential",
+        ),
+        ParamSpec::int(
+            BGWRITER_DELAY_MS,
+            10,
+            1000,
+            200,
+            "background writer wakeup interval",
+        )
+        .with_unit("ms"),
+        ParamSpec::int(
+            DEADLOCK_TIMEOUT_MS,
+            100,
+            10000,
+            1000,
+            "wait before running deadlock detection",
+        )
+        .with_unit("ms"),
+        ParamSpec::int_log(
+            TEMP_BUFFERS_MB,
+            1,
+            1024,
+            8,
+            "per-session temporary table buffer",
+        )
+        .with_unit("MB"),
+        ParamSpec::int(
+            STATS_TARGET,
+            10,
+            1000,
+            100,
+            "statistics detail used by the query planner",
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_twelve_knobs() {
+        let s = dbms_space();
+        assert_eq!(s.dim(), 12);
+        assert!(s.validate_config(&s.default_config()).is_ok());
+    }
+
+    #[test]
+    fn defaults_are_conservative() {
+        let s = dbms_space();
+        let d = s.default_config();
+        assert_eq!(d.i64(knobs::SHARED_BUFFERS_MB), 128);
+        assert_eq!(d.i64(knobs::WORK_MEM_MB), 4);
+        assert_eq!(d.i64(knobs::MAX_PARALLEL_WORKERS), 2);
+    }
+
+    #[test]
+    fn memory_knobs_are_log_scaled() {
+        let s = dbms_space();
+        // Log scaling: the midpoint of shared_buffers should be near the
+        // geometric mean sqrt(64 * 65536) = 2048, far below the arithmetic
+        // midpoint ~32800.
+        let spec = s.spec(knobs::SHARED_BUFFERS_MB).unwrap();
+        let mid = spec.domain.decode(0.5);
+        let v = mid.as_i64().unwrap();
+        assert!((1500..3000).contains(&v), "midpoint {v}");
+    }
+}

@@ -1,0 +1,166 @@
+//! DBMS workload descriptions: query mixes over a synthetic schema.
+
+use serde::{Deserialize, Serialize};
+
+/// The query archetypes the engine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Primary-key point lookup.
+    PointSelect,
+    /// Single-row update (read + write + WAL flush).
+    Update,
+    /// Full table scan with predicate.
+    Scan,
+    /// Two-table hash join.
+    Join,
+    /// Sort + aggregation (GROUP BY / ORDER BY).
+    SortAgg,
+}
+
+impl QueryKind {
+    /// All archetypes.
+    pub fn all() -> [QueryKind; 5] {
+        [
+            QueryKind::PointSelect,
+            QueryKind::Update,
+            QueryKind::Scan,
+            QueryKind::Join,
+            QueryKind::SortAgg,
+        ]
+    }
+}
+
+/// A weighted query mix plus data-set shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbmsWorkload {
+    /// Human-readable name.
+    pub name: String,
+    /// (kind, count) pairs: how many queries of each kind one run executes.
+    pub mix: Vec<(QueryKind, u64)>,
+    /// Total size of the main table in MB.
+    pub table_mb: f64,
+    /// Hot working set touched by point operations, MB.
+    pub working_set_mb: f64,
+    /// Data volume touched by each analytical query (scan/join/sort), MB.
+    /// OLTP reporting queries touch small slices; OLAP queries sweep the
+    /// full table.
+    pub analytic_mb: f64,
+    /// Concurrent client sessions.
+    pub concurrency: usize,
+    /// Contention level in `[0, 1]`: fraction of updates hitting hot rows.
+    pub contention: f64,
+}
+
+impl DbmsWorkload {
+    /// TPC-C-flavoured OLTP: dominated by point reads/updates, high
+    /// concurrency, meaningful contention.
+    pub fn oltp() -> Self {
+        DbmsWorkload {
+            name: "oltp".to_string(),
+            mix: vec![
+                (QueryKind::PointSelect, 60_000),
+                (QueryKind::Update, 30_000),
+                (QueryKind::Join, 200),
+                (QueryKind::SortAgg, 100),
+            ],
+            table_mb: 20_480.0,
+            working_set_mb: 2_048.0,
+            analytic_mb: 512.0,
+            concurrency: 64,
+            contention: 0.3,
+        }
+    }
+
+    /// TPC-H-flavoured OLAP: scans, joins, sorts; few clients.
+    pub fn olap() -> Self {
+        DbmsWorkload {
+            name: "olap".to_string(),
+            mix: vec![
+                (QueryKind::Scan, 30),
+                (QueryKind::Join, 20),
+                (QueryKind::SortAgg, 20),
+                (QueryKind::PointSelect, 500),
+            ],
+            table_mb: 51_200.0,
+            working_set_mb: 8_192.0,
+            analytic_mb: 51_200.0,
+            concurrency: 8,
+            contention: 0.02,
+        }
+    }
+
+    /// HTAP mix.
+    pub fn mixed() -> Self {
+        DbmsWorkload {
+            name: "mixed".to_string(),
+            mix: vec![
+                (QueryKind::PointSelect, 30_000),
+                (QueryKind::Update, 10_000),
+                (QueryKind::Scan, 10),
+                (QueryKind::Join, 10),
+                (QueryKind::SortAgg, 10),
+            ],
+            table_mb: 30_720.0,
+            working_set_mb: 4_096.0,
+            analytic_mb: 8_192.0,
+            concurrency: 32,
+            contention: 0.15,
+        }
+    }
+
+    /// Count of queries of a given kind.
+    pub fn count(&self, kind: QueryKind) -> u64 {
+        self.mix
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Total queries in one run.
+    pub fn total_queries(&self) -> u64 {
+        self.mix.iter().map(|(_, c)| *c).sum()
+    }
+
+    /// Fraction of write queries — drives WAL/checkpoint/lock pressure.
+    pub fn write_fraction(&self) -> f64 {
+        let writes = self.count(QueryKind::Update) as f64;
+        let total = self.total_queries() as f64;
+        if total > 0.0 {
+            writes / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_shapes() {
+        let oltp = DbmsWorkload::oltp();
+        let olap = DbmsWorkload::olap();
+        assert!(oltp.write_fraction() > 0.2);
+        assert!(olap.write_fraction() < 0.01);
+        assert!(olap.count(QueryKind::Scan) > oltp.count(QueryKind::Scan));
+        assert!(oltp.concurrency > olap.concurrency);
+    }
+
+    #[test]
+    fn counting() {
+        let w = DbmsWorkload::mixed();
+        assert_eq!(
+            w.total_queries(),
+            30_000 + 10_000 + 10 + 10 + 10
+        );
+        assert_eq!(w.count(QueryKind::Join), 10);
+        assert_eq!(w.count(QueryKind::Update), 10_000);
+    }
+
+    #[test]
+    fn all_kinds_enumerated() {
+        assert_eq!(QueryKind::all().len(), 5);
+    }
+}

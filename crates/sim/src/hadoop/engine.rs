@@ -1,0 +1,545 @@
+//! The MapReduce job simulator: wave-based task scheduling, map-side
+//! spills and merges, shuffle with slow-start overlap, reducer skew, and
+//! JVM-heap memory pressure — the phenomena Starfish/MRTuner-class tuners
+//! (§2.3) exploit.
+
+use crate::cluster::ClusterSpec;
+use crate::hadoop::params::{hadoop_space, knobs::*};
+use crate::hadoop::workload::HadoopJob;
+use crate::noise::NoiseModel;
+use crate::trace::{PhaseTrace, ResourceTrace};
+use autotune_core::{
+    ConfigSpace, Configuration, Metrics, Objective, Observation, SystemKind, SystemProfile,
+    WorkloadClass,
+};
+use rand::rngs::StdRng;
+
+/// Runtime multiplier for failed (OOM) jobs.
+const FAILURE_PENALTY: f64 = 10.0;
+/// Fixed per-job startup/cleanup overhead in seconds.
+const JOB_OVERHEAD_SECS: f64 = 8.0;
+/// Per-task scheduling/JVM-start overhead in seconds.
+const TASK_OVERHEAD_SECS: f64 = 1.0;
+
+/// Compression codec characteristics: (size ratio, cpu ms per MB).
+fn codec_props(codec: &str) -> (f64, f64) {
+    match codec {
+        "zlib" => (0.35, 18.0),
+        "snappy" => (0.55, 3.0),
+        "lz4" => (0.60, 1.5),
+        other => panic!("unknown codec {other}"),
+    }
+}
+
+/// Deterministic result of one simulated job.
+#[derive(Debug, Clone)]
+pub struct HadoopRun {
+    /// Total job runtime in seconds (pre-noise).
+    pub runtime_secs: f64,
+    /// Whether a task OOM-killed the job.
+    pub failed: bool,
+    /// Internal counters (spills, waves, shuffle volume, …).
+    pub metrics: Metrics,
+    /// Per-phase resource trace.
+    pub trace: ResourceTrace,
+}
+
+/// The simulated Hadoop deployment: a cluster plus one job shape.
+#[derive(Debug, Clone)]
+pub struct HadoopSimulator {
+    space: ConfigSpace,
+    /// Cluster hardware.
+    pub cluster: ClusterSpec,
+    /// Job being tuned.
+    pub job: HadoopJob,
+    /// Measurement noise.
+    pub noise: NoiseModel,
+}
+
+impl HadoopSimulator {
+    /// Creates a simulator.
+    pub fn new(cluster: ClusterSpec, job: HadoopJob) -> Self {
+        HadoopSimulator {
+            space: hadoop_space(),
+            cluster,
+            job,
+            noise: NoiseModel::realistic(),
+        }
+    }
+
+    /// 8-node default cluster running TeraSort on 32 GB.
+    pub fn terasort_default() -> Self {
+        HadoopSimulator::new(
+            ClusterSpec::homogeneous(8, crate::cluster::NodeSpec::default()),
+            HadoopJob::terasort(32_768.0),
+        )
+    }
+
+    /// Replaces the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Deterministic simulation of one job run.
+    pub fn simulate(&self, config: &Configuration) -> HadoopRun {
+        let job = &self.job;
+        let cluster = &self.cluster;
+        let nodes = cluster.len() as f64;
+        let mut metrics = Metrics::new();
+        let mut trace = ResourceTrace::default();
+
+        // ---- knobs ---------------------------------------------------------
+        let io_sort_mb = config.f64(IO_SORT_MB);
+        let io_sort_factor = config.f64(IO_SORT_FACTOR);
+        let reduce_tasks = config.f64(REDUCE_TASKS).max(1.0);
+        let map_heap = config.f64(MAP_HEAP_MB);
+        let reduce_heap = config.f64(REDUCE_HEAP_MB);
+        let map_slots = config.f64(MAP_SLOTS);
+        let reduce_slots = config.f64(REDUCE_SLOTS);
+        let compress = config.bool(COMPRESS_MAP_OUTPUT);
+        let codec = config.str(COMPRESS_CODEC);
+        let slowstart = config.f64(SLOWSTART);
+        let combiner = config.bool(USE_COMBINER);
+        let split_mb = config.f64(SPLIT_SIZE_MB);
+        let copies = config.f64(SHUFFLE_PARALLEL_COPIES);
+
+        // ---- memory feasibility ---------------------------------------------
+        let node_mem = cluster.nodes[0].memory_mb.min(
+            cluster
+                .nodes
+                .iter()
+                .map(|n| n.memory_mb)
+                .fold(f64::INFINITY, f64::min),
+        );
+        let committed = map_slots * map_heap + reduce_slots * reduce_heap + 1024.0;
+        let overcommit = committed / node_mem;
+        let sort_buffer_overflow = io_sort_mb > map_heap * 0.7;
+        let failed = overcommit > 1.3 || sort_buffer_overflow;
+        let swap_penalty = if overcommit > 1.0 {
+            1.0 + 6.0 * (overcommit - 1.0).powi(2)
+        } else {
+            1.0
+        };
+        metrics.insert("heap_overcommit".into(), overcommit);
+
+        // ---- per-round pipeline ----------------------------------------------
+        let mean_node = {
+            let n = &cluster.nodes[0];
+            n.clone()
+        };
+        let straggle = cluster.straggler_factor();
+        let (codec_ratio, codec_cpu_ms) = codec_props(codec);
+
+        let mut total_secs = JOB_OVERHEAD_SECS;
+        let mut total_spills = 0.0;
+        let mut total_shuffle_mb = 0.0;
+        let mut map_waves_out = 0.0;
+        let mut reduce_waves_out = 0.0;
+        let mut round_input = job.input_mb;
+
+        for _round in 0..job.rounds {
+            // ---------------- map phase ----------------
+            let maps = (round_input / split_mb).ceil().max(1.0);
+            let map_capacity = (map_slots * nodes).max(1.0);
+            let map_waves = (maps / map_capacity).ceil();
+            map_waves_out = map_waves;
+
+            let output_per_map_raw = split_mb * job.map_output_ratio;
+            let combiner_cpu_ms = if combiner { 2.0 } else { 0.0 };
+            let output_per_map = if combiner {
+                output_per_map_raw * (1.0 - job.combiner_reduction)
+            } else {
+                output_per_map_raw
+            };
+
+            // Spills: the sort buffer holds ~80% of io.sort.mb.
+            let buffer = io_sort_mb * 0.8;
+            let spills = (output_per_map_raw / buffer).ceil().max(1.0);
+            // Merge passes to produce one sorted map output file.
+            let merge_passes = if spills > 1.0 {
+                (spills.ln() / io_sort_factor.ln()).ceil().max(1.0)
+            } else {
+                0.0
+            };
+            total_spills += spills * maps;
+
+            let compressed_output = if compress {
+                output_per_map * codec_ratio
+            } else {
+                output_per_map
+            };
+            let compress_cpu_ms = if compress {
+                output_per_map * codec_cpu_ms
+            } else {
+                0.0
+            };
+
+            // Per-map-task time: read split, map cpu, spill+merge I/O.
+            let read_secs = split_mb / mean_node.disk_mbps;
+            let cpu_secs = (split_mb * (job.map_cpu_ms_per_mb + combiner_cpu_ms)
+                + compress_cpu_ms)
+                / 1000.0
+                / mean_node.core_speed;
+            let spill_io_mb = output_per_map_raw * (spills - 1.0).max(0.0) / spills
+                + compressed_output * (1.0 + 2.0 * merge_passes);
+            let spill_secs = spill_io_mb / mean_node.disk_mbps;
+            let map_task_secs = read_secs + cpu_secs + spill_secs + TASK_OVERHEAD_SECS;
+            let map_phase_secs = map_task_secs * map_waves * straggle;
+
+            // ---------------- shuffle ----------------
+            let shuffle_mb = compressed_output * maps;
+            total_shuffle_mb += shuffle_mb;
+            // Aggregate fetch rate: limited by cluster network and by the
+            // reducers' fetch concurrency.
+            let per_copy_mbps = 10.0;
+            let fetch_rate = (reduce_tasks * copies * per_copy_mbps)
+                .min(nodes * mean_node.network_mbps * 0.5);
+            let shuffle_secs_raw = shuffle_mb / fetch_rate.max(1.0);
+            // Overlap with map phase: reducers that started early hide
+            // shuffle time behind remaining map waves.
+            let overlap = (1.0 - slowstart).clamp(0.0, 1.0) * 0.9;
+            let shuffle_exposed = shuffle_secs_raw * (1.0 - overlap)
+                + shuffle_secs_raw * overlap * 0.1;
+
+            // ---------------- reduce phase ----------------
+            let reduce_capacity = (reduce_slots * nodes).max(1.0);
+            let reduce_waves = (reduce_tasks / reduce_capacity).ceil();
+            reduce_waves_out = reduce_waves;
+            // Skewed reducer gets a multiple of the average share.
+            let skew_factor = 1.0 + job.skew * (reduce_tasks.ln().max(0.0));
+            let per_reduce_mb = shuffle_mb / reduce_tasks * skew_factor;
+            // External merge on the reduce side when data exceeds heap.
+            let reduce_buffer = reduce_heap * 0.5;
+            let reduce_merge_passes = if per_reduce_mb > reduce_buffer {
+                ((per_reduce_mb / reduce_buffer).ln() / io_sort_factor.ln())
+                    .ceil()
+                    .max(1.0)
+            } else {
+                0.0
+            };
+            let decompress_cpu_ms = if compress { codec_cpu_ms * 0.3 } else { 0.0 };
+            let reduce_cpu_secs = per_reduce_mb
+                * (job.reduce_cpu_ms_per_mb + decompress_cpu_ms)
+                / 1000.0
+                / mean_node.core_speed;
+            let reduce_io_mb = per_reduce_mb * 2.0 * reduce_merge_passes
+                + per_reduce_mb * job.output_ratio * 2.0; // output + replication
+            let reduce_io_secs = reduce_io_mb / mean_node.disk_mbps;
+            let reduce_task_secs = reduce_cpu_secs + reduce_io_secs + TASK_OVERHEAD_SECS;
+            let reduce_phase_secs = reduce_task_secs * reduce_waves * straggle;
+
+            total_secs += map_phase_secs + shuffle_exposed + reduce_phase_secs;
+
+            trace.push(PhaseTrace {
+                name: "map".into(),
+                cpu_core_secs: cpu_secs * maps,
+                seq_io_mb: (split_mb + spill_io_mb) * maps,
+                rand_io_ops: 0.0,
+                net_mb: 0.0,
+                parallelism: map_capacity as usize,
+            });
+            trace.push(PhaseTrace {
+                name: "shuffle".into(),
+                cpu_core_secs: 0.0,
+                seq_io_mb: 0.0,
+                rand_io_ops: 0.0,
+                net_mb: shuffle_mb,
+                parallelism: reduce_tasks as usize,
+            });
+            trace.push(PhaseTrace {
+                name: "reduce".into(),
+                cpu_core_secs: reduce_cpu_secs * reduce_tasks,
+                seq_io_mb: reduce_io_mb * reduce_tasks,
+                rand_io_ops: 0.0,
+                net_mb: 0.0,
+                parallelism: reduce_capacity as usize,
+            });
+
+            metrics.insert("map_task_secs".into(), map_task_secs);
+            metrics.insert("reduce_task_secs".into(), reduce_task_secs);
+            metrics.insert("merge_passes".into(), merge_passes);
+            metrics.insert("reduce_merge_passes".into(), reduce_merge_passes);
+            metrics.insert("skew_factor".into(), skew_factor);
+
+            // Next round consumes this round's output.
+            round_input = (shuffle_mb * job.output_ratio).max(1.0);
+        }
+
+        let runtime =
+            total_secs * swap_penalty * if failed { FAILURE_PENALTY } else { 1.0 };
+
+        metrics.insert("maps".into(), (job.input_mb / split_mb).ceil());
+        metrics.insert("map_waves".into(), map_waves_out);
+        metrics.insert("reduce_waves".into(), reduce_waves_out);
+        metrics.insert("spills".into(), total_spills);
+        metrics.insert("shuffle_mb".into(), total_shuffle_mb);
+        metrics.insert("straggler_factor".into(), straggle);
+        metrics.insert(
+            "cluster_cost_node_secs".into(),
+            runtime * nodes,
+        );
+
+        HadoopRun {
+            runtime_secs: runtime,
+            failed,
+            metrics,
+            trace,
+        }
+    }
+
+    /// Records the resource trace of a run.
+    pub fn record_trace(&self, config: &Configuration) -> ResourceTrace {
+        self.simulate(config).trace
+    }
+}
+
+impl Objective for HadoopSimulator {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn profile(&self) -> SystemProfile {
+        let node = &self.cluster.nodes[0];
+        SystemProfile {
+            system: SystemKind::Hadoop,
+            workload: if self.job.rounds > 1 {
+                WorkloadClass::Iterative
+            } else {
+                WorkloadClass::Batch
+            },
+            memory_per_node_mb: node.memory_mb,
+            cores_per_node: node.cores,
+            nodes: self.cluster.len(),
+            disk_mbps: node.disk_mbps,
+            network_mbps: node.network_mbps,
+            input_mb: self.job.input_mb,
+        }
+    }
+
+    fn evaluate(&mut self, config: &Configuration, rng: &mut StdRng) -> Observation {
+        let run = self.simulate(config);
+        let runtime = self.noise.apply(run.runtime_secs, rng);
+        Observation {
+            config: config.clone(),
+            runtime_secs: runtime,
+            cost: runtime * self.cluster.len() as f64,
+            metrics: run.metrics,
+            failed: run.failed,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hadoop-simulator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::ParamValue;
+
+    fn sim() -> HadoopSimulator {
+        HadoopSimulator::terasort_default().with_noise(NoiseModel::none())
+    }
+
+    fn set(cfg: &Configuration, name: &str, v: ParamValue) -> Configuration {
+        let mut c = cfg.clone();
+        c.set(name, v);
+        c
+    }
+
+    #[test]
+    fn more_reducers_beat_the_stock_default() {
+        let s = sim();
+        let d = s.space.default_config();
+        let one = s.simulate(&d).runtime_secs;
+        let many = s
+            .simulate(&set(&d, REDUCE_TASKS, ParamValue::Int(64)))
+            .runtime_secs;
+        assert!(
+            many < one / 3.0,
+            "1 reducer: {one}s, 64 reducers: {many}s"
+        );
+    }
+
+    #[test]
+    fn too_many_reducers_add_overhead() {
+        let s = sim();
+        let d = s.space.default_config();
+        let good = s
+            .simulate(&set(&d, REDUCE_TASKS, ParamValue::Int(64)))
+            .runtime_secs;
+        let excessive = s
+            .simulate(&set(&d, REDUCE_TASKS, ParamValue::Int(512)))
+            .runtime_secs;
+        assert!(excessive > good, "good={good} excessive={excessive}");
+    }
+
+    #[test]
+    fn bigger_sort_buffer_reduces_spills() {
+        let s = sim();
+        let d = s.space.default_config();
+        let small = s.simulate(&set(&d, IO_SORT_MB, ParamValue::Int(64)));
+        let big = s.simulate(&set(&d, IO_SORT_MB, ParamValue::Int(512)));
+        assert!(big.metrics["spills"] < small.metrics["spills"]);
+        assert!(big.runtime_secs < small.runtime_secs);
+    }
+
+    #[test]
+    fn compression_helps_shuffle_heavy_jobs() {
+        let s = sim(); // terasort shuffles everything
+        let d = set(
+            &s.space.default_config(),
+            REDUCE_TASKS,
+            ParamValue::Int(64),
+        );
+        let plain = s.simulate(&d).runtime_secs;
+        let lz4 = {
+            let c = set(&d, COMPRESS_MAP_OUTPUT, ParamValue::Bool(true));
+            let c = set(&c, COMPRESS_CODEC, ParamValue::Str("lz4".into()));
+            s.simulate(&c).runtime_secs
+        };
+        assert!(lz4 < plain, "plain={plain} lz4={lz4}");
+    }
+
+    #[test]
+    fn combiner_only_helps_reducible_jobs() {
+        let mk = |job: HadoopJob| {
+            let s = HadoopSimulator::new(
+                ClusterSpec::homogeneous(8, crate::cluster::NodeSpec::default()),
+                job,
+            )
+            .with_noise(NoiseModel::none());
+            let d = set(
+                &s.space.default_config(),
+                REDUCE_TASKS,
+                ParamValue::Int(32),
+            );
+            let off = s.simulate(&d).runtime_secs;
+            let on = s
+                .simulate(&set(&d, USE_COMBINER, ParamValue::Bool(true)))
+                .runtime_secs;
+            (off, on)
+        };
+        let (wc_off, wc_on) = mk(HadoopJob::wordcount(32_768.0));
+        assert!(wc_on < wc_off, "wordcount combiner should help");
+        let (ts_off, ts_on) = mk(HadoopJob::terasort(32_768.0));
+        assert!(ts_on >= ts_off * 0.99, "terasort combiner is pure overhead");
+    }
+
+    #[test]
+    fn heap_overcommit_fails() {
+        let s = sim();
+        let d = s.space.default_config();
+        let c = set(&d, MAP_SLOTS, ParamValue::Int(16));
+        let c = set(&c, MAP_HEAP_MB, ParamValue::Int(4096)); // 64 GB on a 16 GB node
+        let run = s.simulate(&c);
+        assert!(run.failed);
+        assert!(run.runtime_secs > s.simulate(&d).runtime_secs);
+    }
+
+    #[test]
+    fn sort_buffer_exceeding_heap_fails() {
+        let s = sim();
+        let d = s.space.default_config();
+        let c = set(&d, IO_SORT_MB, ParamValue::Int(2048));
+        let c = set(&c, MAP_HEAP_MB, ParamValue::Int(1024));
+        assert!(s.simulate(&c).failed);
+    }
+
+    #[test]
+    fn slowstart_overlap_helps() {
+        let s = sim();
+        let d = set(
+            &s.space.default_config(),
+            REDUCE_TASKS,
+            ParamValue::Int(64),
+        );
+        let late = s
+            .simulate(&set(&d, SLOWSTART, ParamValue::Float(0.95)))
+            .runtime_secs;
+        let early = s
+            .simulate(&set(&d, SLOWSTART, ParamValue::Float(0.05)))
+            .runtime_secs;
+        assert!(early < late, "late={late} early={early}");
+    }
+
+    #[test]
+    fn heterogeneous_cluster_is_slower() {
+        let homo = HadoopSimulator::new(
+            ClusterSpec::homogeneous(6, crate::cluster::NodeSpec::default()),
+            HadoopJob::terasort(16_384.0),
+        )
+        .with_noise(NoiseModel::none());
+        let hetero = HadoopSimulator::new(
+            ClusterSpec::heterogeneous(6),
+            HadoopJob::terasort(16_384.0),
+        )
+        .with_noise(NoiseModel::none());
+        let d = homo.space.default_config();
+        assert!(hetero.simulate(&d).runtime_secs > homo.simulate(&d).runtime_secs);
+    }
+
+    #[test]
+    fn pagerank_rounds_multiply_work() {
+        let one = HadoopSimulator::new(
+            ClusterSpec::default(),
+            HadoopJob::pagerank(8192.0, 1),
+        )
+        .with_noise(NoiseModel::none());
+        let five = HadoopSimulator::new(
+            ClusterSpec::default(),
+            HadoopJob::pagerank(8192.0, 5),
+        )
+        .with_noise(NoiseModel::none());
+        let d = one.space.default_config();
+        assert!(five.simulate(&d).runtime_secs > one.simulate(&d).runtime_secs * 2.0);
+    }
+
+    #[test]
+    fn split_size_controls_task_granularity() {
+        let s = sim();
+        let d = set(&s.space.default_config(), REDUCE_TASKS, ParamValue::Int(64));
+        let small = s.simulate(&set(&d, SPLIT_SIZE_MB, ParamValue::Int(16)));
+        let big = s.simulate(&set(&d, SPLIT_SIZE_MB, ParamValue::Int(512)));
+        assert!(small.metrics["maps"] > big.metrics["maps"] * 8.0);
+        // Tiny splits pay task overhead; huge splits lose wave balance —
+        // both must at least differ measurably from each other.
+        assert_ne!(small.runtime_secs, big.runtime_secs);
+    }
+
+    #[test]
+    fn codec_tradeoff_zlib_smaller_but_slower_cpu() {
+        let s = sim();
+        let base = set(&s.space.default_config(), REDUCE_TASKS, ParamValue::Int(64));
+        let base = set(&base, COMPRESS_MAP_OUTPUT, ParamValue::Bool(true));
+        let zlib = s.simulate(&set(&base, COMPRESS_CODEC, ParamValue::Str("zlib".into())));
+        let lz4 = s.simulate(&set(&base, COMPRESS_CODEC, ParamValue::Str("lz4".into())));
+        assert!(
+            zlib.metrics["shuffle_mb"] < lz4.metrics["shuffle_mb"],
+            "zlib compresses harder"
+        );
+    }
+
+    #[test]
+    fn cluster_cost_scales_with_nodes() {
+        let small = HadoopSimulator::new(
+            ClusterSpec::homogeneous(2, crate::cluster::NodeSpec::default()),
+            HadoopJob::grep(4_096.0),
+        )
+        .with_noise(NoiseModel::none());
+        let run = small.simulate(&small.space.default_config());
+        assert!(
+            (run.metrics["cluster_cost_node_secs"] - run.runtime_secs * 2.0).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn trace_has_three_phases_per_round() {
+        let s = sim();
+        let t = s.record_trace(&s.space.default_config());
+        assert_eq!(t.phases.len(), 3);
+        assert!(t.phases[1].net_mb > 0.0, "shuffle phase uses network");
+    }
+}

@@ -1,0 +1,10 @@
+//! The simulated Hadoop MapReduce target (§2.3 of the tutorial): knob
+//! space, job shapes, and the wave-based job simulator.
+
+pub mod engine;
+pub mod params;
+pub mod workload;
+
+pub use engine::{HadoopRun, HadoopSimulator};
+pub use params::{benchmark_config, hadoop_space, knobs};
+pub use workload::HadoopJob;

@@ -1,0 +1,128 @@
+//! The Hadoop MapReduce knob space: twelve parameters controlling task
+//! concurrency, memory allocation, and I/O — the knob classes §2.3 of the
+//! tutorial singles out, with the notoriously bad vendor defaults
+//! (1 reduce task, 100 MB sort buffer, no compression) that made untuned
+//! Hadoop 3.1–6.5× slower than parallel DBMSs.
+
+use autotune_core::{ConfigSpace, ParamSpec};
+
+/// Knob name constants.
+pub mod knobs {
+    /// Map-side sort buffer (`mapreduce.task.io.sort.mb`).
+    pub const IO_SORT_MB: &str = "io_sort_mb";
+    /// Merge fan-in (`mapreduce.task.io.sort.factor`).
+    pub const IO_SORT_FACTOR: &str = "io_sort_factor";
+    /// Number of reduce tasks for the job.
+    pub const REDUCE_TASKS: &str = "reduce_tasks";
+    /// Map-task JVM heap (MB).
+    pub const MAP_HEAP_MB: &str = "map_heap_mb";
+    /// Reduce-task JVM heap (MB).
+    pub const REDUCE_HEAP_MB: &str = "reduce_heap_mb";
+    /// Concurrent map tasks per node.
+    pub const MAP_SLOTS: &str = "map_slots_per_node";
+    /// Concurrent reduce tasks per node.
+    pub const REDUCE_SLOTS: &str = "reduce_slots_per_node";
+    /// Compress intermediate map output.
+    pub const COMPRESS_MAP_OUTPUT: &str = "compress_map_output";
+    /// Intermediate compression codec.
+    pub const COMPRESS_CODEC: &str = "compress_codec";
+    /// Fraction of maps done before reducers start shuffling.
+    pub const SLOWSTART: &str = "slowstart_completed_maps";
+    /// Run a combiner on map output.
+    pub const USE_COMBINER: &str = "use_combiner";
+    /// Input split size (MB).
+    pub const SPLIT_SIZE_MB: &str = "split_size_mb";
+    /// Parallel fetch threads per reducer.
+    pub const SHUFFLE_PARALLEL_COPIES: &str = "shuffle_parallel_copies";
+}
+
+/// Builds the 13-knob Hadoop configuration space with stock defaults.
+pub fn hadoop_space() -> ConfigSpace {
+    use knobs::*;
+    ConfigSpace::new(vec![
+        ParamSpec::int_log(IO_SORT_MB, 32, 2048, 100, "map-side sort buffer").with_unit("MB"),
+        ParamSpec::int(IO_SORT_FACTOR, 5, 200, 10, "streams merged at once"),
+        ParamSpec::int_log(
+            REDUCE_TASKS,
+            1,
+            512,
+            1,
+            "number of reducers; the stock default of 1 serializes the reduce phase",
+        ),
+        ParamSpec::int_log(MAP_HEAP_MB, 512, 8192, 1024, "map JVM heap").with_unit("MB"),
+        ParamSpec::int_log(REDUCE_HEAP_MB, 512, 8192, 1024, "reduce JVM heap").with_unit("MB"),
+        ParamSpec::int(MAP_SLOTS, 1, 32, 2, "map slots per node"),
+        ParamSpec::int(REDUCE_SLOTS, 1, 32, 2, "reduce slots per node"),
+        ParamSpec::boolean(
+            COMPRESS_MAP_OUTPUT,
+            false,
+            "compress intermediate data before the shuffle",
+        ),
+        ParamSpec::categorical(
+            COMPRESS_CODEC,
+            &["zlib", "snappy", "lz4"],
+            "zlib",
+            "codec trade-off: zlib small/slow, lz4 fast/larger",
+        ),
+        ParamSpec::float(
+            SLOWSTART,
+            0.05,
+            1.0,
+            0.95,
+            "map completion fraction before shuffle starts; high = no overlap",
+        ),
+        ParamSpec::boolean(USE_COMBINER, false, "pre-aggregate map output"),
+        ParamSpec::int_log(SPLIT_SIZE_MB, 16, 1024, 128, "input split size").with_unit("MB"),
+        ParamSpec::int(
+            SHUFFLE_PARALLEL_COPIES,
+            5,
+            100,
+            5,
+            "parallel fetchers per reducer",
+        ),
+    ])
+}
+
+/// The "as-benchmarked" configuration of the Pavlo et al. comparison:
+/// stock defaults except for the settings any benchmarker fixes before a
+/// fair run (a reducer per node pair, slots matching cores, some shuffle
+/// overlap). Untuned in the *performance* sense — no compression, small
+/// sort buffer, no combiner — but not pathologically serialized.
+pub fn benchmark_config(cluster: &crate::cluster::ClusterSpec) -> autotune_core::Configuration {
+    use autotune_core::ParamValue;
+    let space = hadoop_space();
+    let mut c = space.default_config();
+    let nodes = cluster.len() as i64;
+    let cores = cluster.nodes[0].cores as i64;
+    c.set(knobs::REDUCE_TASKS, ParamValue::Int((2 * nodes).min(512)));
+    c.set(knobs::MAP_SLOTS, ParamValue::Int((cores / 2).max(1)));
+    c.set(knobs::REDUCE_SLOTS, ParamValue::Int((cores / 4).max(1)));
+    c.set(knobs::SLOWSTART, ParamValue::Float(0.5));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_config_is_valid_and_untuned() {
+        let cluster = crate::cluster::ClusterSpec::default();
+        let c = benchmark_config(&cluster);
+        assert!(hadoop_space().validate_config(&c).is_ok());
+        assert_eq!(c.i64(knobs::REDUCE_TASKS), 8);
+        assert!(!c.bool(knobs::COMPRESS_MAP_OUTPUT), "still untuned");
+        assert_eq!(c.i64(knobs::IO_SORT_MB), 100, "still untuned");
+    }
+
+    #[test]
+    fn space_shape_and_defaults() {
+        let s = hadoop_space();
+        assert_eq!(s.dim(), 13);
+        let d = s.default_config();
+        assert!(s.validate_config(&d).is_ok());
+        assert_eq!(d.i64(knobs::REDUCE_TASKS), 1, "stock default is 1 reducer");
+        assert!(!d.bool(knobs::COMPRESS_MAP_OUTPUT));
+        assert_eq!(d.str(knobs::COMPRESS_CODEC), "zlib");
+    }
+}

@@ -1,0 +1,137 @@
+//! MapReduce job descriptions: the data-flow shape of a job, independent
+//! of configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one MapReduce job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HadoopJob {
+    /// Job name.
+    pub name: String,
+    /// Input size in MB.
+    pub input_mb: f64,
+    /// Map CPU cost per input MB, in core-milliseconds.
+    pub map_cpu_ms_per_mb: f64,
+    /// Ratio of map output bytes to input bytes (before combiner).
+    pub map_output_ratio: f64,
+    /// Fraction of map output a combiner removes (0 = combiner useless).
+    pub combiner_reduction: f64,
+    /// Reduce CPU cost per shuffled MB, core-milliseconds.
+    pub reduce_cpu_ms_per_mb: f64,
+    /// Ratio of job output bytes to shuffled bytes.
+    pub output_ratio: f64,
+    /// Key skew in `[0, 1]`: how unevenly shuffle data lands on reducers.
+    pub skew: f64,
+    /// Chained rounds (e.g. PageRank iterations); each round re-runs the
+    /// map/shuffle/reduce pipeline on the intermediate data.
+    pub rounds: usize,
+}
+
+impl HadoopJob {
+    /// WordCount: large map-side reduction potential (combiner shines).
+    pub fn wordcount(input_mb: f64) -> Self {
+        HadoopJob {
+            name: "wordcount".into(),
+            input_mb,
+            map_cpu_ms_per_mb: 8.0,
+            map_output_ratio: 1.1,
+            combiner_reduction: 0.85,
+            reduce_cpu_ms_per_mb: 4.0,
+            output_ratio: 0.05,
+            skew: 0.2,
+            rounds: 1,
+        }
+    }
+
+    /// TeraSort: map output equals input; pure shuffle+sort stress.
+    pub fn terasort(input_mb: f64) -> Self {
+        HadoopJob {
+            name: "terasort".into(),
+            input_mb,
+            map_cpu_ms_per_mb: 3.0,
+            map_output_ratio: 1.0,
+            combiner_reduction: 0.0,
+            reduce_cpu_ms_per_mb: 5.0,
+            output_ratio: 1.0,
+            skew: 0.05,
+            rounds: 1,
+        }
+    }
+
+    /// Repartition join of two tables.
+    pub fn join(input_mb: f64) -> Self {
+        HadoopJob {
+            name: "join".into(),
+            input_mb,
+            map_cpu_ms_per_mb: 5.0,
+            map_output_ratio: 1.0,
+            combiner_reduction: 0.0,
+            reduce_cpu_ms_per_mb: 10.0,
+            output_ratio: 0.4,
+            skew: 0.4,
+            rounds: 1,
+        }
+    }
+
+    /// Grep / selection: tiny map output, map-dominated.
+    pub fn grep(input_mb: f64) -> Self {
+        HadoopJob {
+            name: "grep".into(),
+            input_mb,
+            map_cpu_ms_per_mb: 6.0,
+            map_output_ratio: 0.01,
+            combiner_reduction: 0.0,
+            reduce_cpu_ms_per_mb: 2.0,
+            output_ratio: 1.0,
+            skew: 0.0,
+            rounds: 1,
+        }
+    }
+
+    /// PageRank: several chained map/shuffle/reduce rounds.
+    pub fn pagerank(input_mb: f64, rounds: usize) -> Self {
+        HadoopJob {
+            name: "pagerank".into(),
+            input_mb,
+            map_cpu_ms_per_mb: 12.0,
+            map_output_ratio: 1.5,
+            combiner_reduction: 0.3,
+            reduce_cpu_ms_per_mb: 8.0,
+            output_ratio: 0.7,
+            skew: 0.5,
+            rounds: rounds.max(1),
+        }
+    }
+
+    /// The analytical-workload suite used in the Pavlo et al. comparison
+    /// reproduction (scan-like, aggregation-like, join-like).
+    pub fn analytical_suite(input_mb: f64) -> Vec<HadoopJob> {
+        vec![
+            HadoopJob::grep(input_mb),
+            HadoopJob::wordcount(input_mb),
+            HadoopJob::join(input_mb),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let wc = HadoopJob::wordcount(1024.0);
+        assert!(wc.combiner_reduction > 0.5);
+        let ts = HadoopJob::terasort(1024.0);
+        assert_eq!(ts.combiner_reduction, 0.0);
+        assert_eq!(ts.map_output_ratio, 1.0);
+        let pr = HadoopJob::pagerank(1024.0, 5);
+        assert_eq!(pr.rounds, 5);
+        assert_eq!(HadoopJob::pagerank(10.0, 0).rounds, 1);
+    }
+
+    #[test]
+    fn suite_has_three_jobs() {
+        assert_eq!(HadoopJob::analytical_suite(100.0).len(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # autotune-sim
+//!
+//! Simulated tuning targets for the `autotune` workspace: an analytical
+//! DBMS ([`dbms`]), Hadoop MapReduce ([`hadoop`]), and Spark ([`spark`]),
+//! plus the shared cluster hardware model ([`cluster`]), measurement noise
+//! ([`noise`]), resource traces ([`trace`]), and a tuned parallel-database
+//! baseline ([`paralleldb`]) used to reproduce the "Hadoop is 3.1–6.5×
+//! slower than parallel DBMSs until tuned" comparison from §2.3 of the
+//! tutorial.
+//!
+//! Every simulator implements [`autotune_core::Objective`], so each of the
+//! six tuner families drives them through the exact same interface they
+//! would use against a real system.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dbms;
+pub mod hadoop;
+pub mod multitenant;
+pub mod noise;
+pub mod paralleldb;
+pub mod spark;
+pub mod trace;
+
+pub use cluster::{ClusterSpec, NodeSpec};
+pub use dbms::DbmsSimulator;
+pub use hadoop::HadoopSimulator;
+pub use multitenant::{MultiTenantDbms, TenantSpec};
+pub use noise::NoiseModel;
+pub use paralleldb::ParallelDbBaseline;
+pub use spark::SparkSimulator;
+pub use trace::{PhaseTrace, ReplayHardware, ResourceTrace};

@@ -1,0 +1,143 @@
+//! Measurement noise and straggler injection.
+//!
+//! Real tuning experiments never see the same runtime twice: co-located
+//! tenants, cache state, and JIT warmup add variance, and occasional
+//! stragglers add a heavy right tail. Experiment-driven and ML tuners must
+//! be robust to this (a Table 1 comparison axis), so every simulator routes
+//! its deterministic cost through a [`NoiseModel`].
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative log-normal noise plus occasional stragglers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Coefficient of variation of the log-normal runtime noise
+    /// (0 disables noise entirely).
+    pub runtime_cv: f64,
+    /// Probability that a run is hit by a straggler.
+    pub straggler_prob: f64,
+    /// Multiplier applied to straggler runs (> 1).
+    pub straggler_factor: f64,
+}
+
+impl NoiseModel {
+    /// No noise at all — for deterministic tests and cost-model oracles.
+    pub fn none() -> Self {
+        NoiseModel {
+            runtime_cv: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        }
+    }
+
+    /// Mild production-like noise: 5% CV, 2% stragglers at 1.5×.
+    pub fn realistic() -> Self {
+        NoiseModel {
+            runtime_cv: 0.05,
+            straggler_prob: 0.02,
+            straggler_factor: 1.5,
+        }
+    }
+
+    /// Heavy noise: 20% CV, 10% stragglers at 2.5× — the multi-tenant
+    /// cloud scenario from the open-challenges section.
+    pub fn noisy_cloud() -> Self {
+        NoiseModel {
+            runtime_cv: 0.20,
+            straggler_prob: 0.10,
+            straggler_factor: 2.5,
+        }
+    }
+
+    /// Applies noise to a base runtime (seconds); always ≥ a small epsilon.
+    pub fn apply(&self, base_secs: f64, rng: &mut StdRng) -> f64 {
+        let mut t = base_secs;
+        if self.runtime_cv > 0.0 {
+            // Log-normal with unit median: exp(sigma * z).
+            let sigma = self.runtime_cv;
+            let z = sample_standard_normal(rng);
+            t *= (sigma * z).exp();
+        }
+        if self.straggler_prob > 0.0 && rng.random_range(0.0..1.0) < self.straggler_prob {
+            t *= self.straggler_factor;
+        }
+        t.max(1e-6)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::realistic()
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_math::stats::{mean, std_dev};
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = NoiseModel::none();
+        for base in [0.5, 10.0, 300.0] {
+            assert_eq!(n.apply(base, &mut rng), base);
+        }
+    }
+
+    #[test]
+    fn realistic_noise_has_expected_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = NoiseModel {
+            runtime_cv: 0.1,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        };
+        let samples: Vec<f64> = (0..5000).map(|_| n.apply(100.0, &mut rng)).collect();
+        let m = mean(&samples);
+        let cv = std_dev(&samples) / m;
+        assert!((m - 100.0).abs() / 100.0 < 0.05, "mean={m}");
+        assert!((cv - 0.1).abs() < 0.03, "cv={cv}");
+    }
+
+    #[test]
+    fn stragglers_create_right_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = NoiseModel {
+            runtime_cv: 0.0,
+            straggler_prob: 0.1,
+            straggler_factor: 3.0,
+        };
+        let samples: Vec<f64> = (0..2000).map(|_| n.apply(10.0, &mut rng)).collect();
+        let stragglers = samples.iter().filter(|&&s| s > 20.0).count();
+        let frac = stragglers as f64 / samples.len() as f64;
+        assert!((frac - 0.1).abs() < 0.03, "straggler fraction={frac}");
+    }
+
+    #[test]
+    fn output_always_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = NoiseModel::noisy_cloud();
+        for _ in 0..1000 {
+            assert!(n.apply(1e-9, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let zs: Vec<f64> = (0..20000).map(|_| sample_standard_normal(&mut rng)).collect();
+        assert!(mean(&zs).abs() < 0.03);
+        assert!((std_dev(&zs) - 1.0).abs() < 0.03);
+    }
+}

@@ -1,0 +1,537 @@
+//! The Spark job simulator: stage/wave scheduling over executor slots, the
+//! unified memory manager (execution vs. storage with borrowing), GC
+//! pressure, serializer and compression trade-offs, broadcast vs. shuffle
+//! joins, delay scheduling, and cross-iteration caching.
+//!
+//! Reproduces the knob pathologies the Spark-tuning literature (§2.4)
+//! documents: the `shuffle.partitions` sweet spot (too few → spills and
+//! idle cores; too many → scheduling overhead and tiny files), the
+//! `memory.fraction`/`storageFraction` tension between shuffle-heavy and
+//! iterative workloads, kryo vs. java serialization, and executor-sizing
+//! cliffs when requested resources exceed the cluster.
+
+use crate::cluster::ClusterSpec;
+use crate::noise::NoiseModel;
+use crate::spark::params::{knobs::*, spark_space};
+use crate::spark::workload::SparkApp;
+use crate::trace::{PhaseTrace, ResourceTrace};
+use autotune_core::{
+    ConfigSpace, Configuration, Metrics, Objective, Observation, SystemKind, SystemProfile,
+    WorkloadClass,
+};
+use rand::rngs::StdRng;
+
+/// Runtime multiplier for failed runs.
+const FAILURE_PENALTY: f64 = 10.0;
+/// Driver/app startup overhead, seconds.
+const APP_OVERHEAD_SECS: f64 = 4.0;
+/// Per-task scheduling cost, seconds.
+const TASK_LAUNCH_SECS: f64 = 0.05;
+
+/// Deterministic result of one simulated application run.
+#[derive(Debug, Clone)]
+pub struct SparkRun {
+    /// Total runtime, seconds (pre-noise).
+    pub runtime_secs: f64,
+    /// Whether the app failed (executor OOM / cannot allocate).
+    pub failed: bool,
+    /// Internal metrics.
+    pub metrics: Metrics,
+    /// Resource trace.
+    pub trace: ResourceTrace,
+}
+
+/// The simulated Spark deployment.
+#[derive(Debug, Clone)]
+pub struct SparkSimulator {
+    space: ConfigSpace,
+    /// Cluster hardware.
+    pub cluster: ClusterSpec,
+    /// Application being tuned.
+    pub app: SparkApp,
+    /// Measurement noise.
+    pub noise: NoiseModel,
+}
+
+impl SparkSimulator {
+    /// Creates a simulator.
+    pub fn new(cluster: ClusterSpec, app: SparkApp) -> Self {
+        SparkSimulator {
+            space: spark_space(),
+            cluster,
+            app,
+            noise: NoiseModel::realistic(),
+        }
+    }
+
+    /// 8-node cluster running a 16 GB aggregation.
+    pub fn aggregation_default() -> Self {
+        SparkSimulator::new(
+            ClusterSpec::homogeneous(8, crate::cluster::NodeSpec::default()),
+            SparkApp::aggregation(16_384.0),
+        )
+    }
+
+    /// Replaces the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Deterministic simulation of one application run.
+    pub fn simulate(&self, config: &Configuration) -> SparkRun {
+        let app = &self.app;
+        let cluster = &self.cluster;
+        let node = &cluster.nodes[0];
+        let mut metrics = Metrics::new();
+        let mut trace = ResourceTrace::default();
+
+        // ---- knobs -----------------------------------------------------------
+        let instances = config.f64(EXECUTOR_INSTANCES);
+        let cores = config.f64(EXECUTOR_CORES);
+        let exec_mem = config.f64(EXECUTOR_MEMORY_MB);
+        let shuffle_parts = config.f64(SHUFFLE_PARTITIONS);
+        let mem_fraction = config.f64(MEMORY_FRACTION);
+        let storage_fraction = config.f64(STORAGE_FRACTION);
+        let serializer = config.str(SERIALIZER);
+        let shuffle_compress = config.bool(SHUFFLE_COMPRESS);
+        let rdd_compress = config.bool(RDD_COMPRESS);
+        let broadcast_mb = config.f64(BROADCAST_THRESHOLD_MB);
+        let locality_wait = config.f64(LOCALITY_WAIT_MS);
+        let default_par = config.f64(DEFAULT_PARALLELISM);
+        let overhead_factor = config.f64(MEMORY_OVERHEAD_FACTOR);
+
+        // ---- allocation feasibility -----------------------------------------
+        let total_cores = cluster.total_cores() as f64;
+        let total_mem = cluster.total_memory_mb();
+        let mem_per_executor = exec_mem * (1.0 + overhead_factor);
+        let requested_cores = instances * cores;
+        let requested_mem = instances * mem_per_executor;
+        let core_overcommit = requested_cores / total_cores;
+        let mem_overcommit = requested_mem / total_mem;
+        // The cluster manager refuses allocations beyond capacity.
+        let failed_alloc = mem_overcommit > 1.0;
+        let core_contention = if core_overcommit > 1.0 {
+            core_overcommit
+        } else {
+            1.0
+        };
+        metrics.insert("core_overcommit".into(), core_overcommit);
+        metrics.insert("mem_overcommit".into(), mem_overcommit);
+
+        let slots = (instances * cores).max(1.0);
+
+        // ---- serializer & compression ----------------------------------------
+        let (ser_size, ser_cpu_ms) = match serializer {
+            "kryo" => (0.6, 2.0),
+            _ => (1.0, 6.0),
+        };
+        let (shuf_ratio, shuf_cpu_ms) = if shuffle_compress {
+            (0.45, 2.0)
+        } else {
+            (1.0, 0.0)
+        };
+
+        // ---- unified memory ----------------------------------------------------
+        let unified = exec_mem * mem_fraction;
+        let exec_share = unified * (1.0 - storage_fraction);
+        let storage_share = unified * storage_fraction;
+        // Execution can borrow half of the unused storage pool.
+        let exec_mem_per_task = (exec_share + storage_share * 0.5) / cores.max(1.0);
+        let total_storage = storage_share * instances;
+
+        // Cross-iteration caching.
+        let cache_unit = if rdd_compress { 0.5 } else { 1.0 } * ser_size;
+        let cacheable_mb: f64 = app
+            .stages
+            .iter()
+            .filter(|s| s.cacheable)
+            .map(|s| app.input_mb * s.input_factor * cache_unit)
+            .sum();
+        let cached_fraction = if cacheable_mb > 0.0 {
+            (total_storage / cacheable_mb).min(1.0)
+        } else {
+            0.0
+        };
+        metrics.insert("cached_fraction".into(), cached_fraction);
+
+        // ---- joins: broadcast decision -----------------------------------------
+        let broadcast_used = app.small_table_mb > 0.0 && app.small_table_mb <= broadcast_mb;
+        let broadcast_oom = broadcast_used && app.small_table_mb * 2.0 > exec_mem * 0.2;
+        let failed = failed_alloc || broadcast_oom;
+        metrics.insert("broadcast_used".into(), if broadcast_used { 1.0 } else { 0.0 });
+
+        // GC: java serialization and very large heaps inflate pause time.
+        let gc_tax = 1.0
+            + (if serializer == "java" { 0.12 } else { 0.04 })
+                * (1.0 + (exec_mem / 32_768.0).min(2.0));
+        metrics.insert("gc_tax".into(), gc_tax);
+
+        // Locality: waiting buys local slots, at a queueing delay.
+        let remote_frac =
+            (1.0 - app.locality_fraction) * (1.0 - (locality_wait / 3000.0).min(1.0) * 0.8);
+        let wait_delay_secs = locality_wait / 1000.0 * 0.05;
+        metrics.insert("remote_fraction".into(), remote_frac);
+
+        // ---- stage loop -----------------------------------------------------------
+        let mut total_secs = APP_OVERHEAD_SECS;
+        let mut spilled_mb_total = 0.0;
+        let mut shuffle_mb_total = 0.0;
+        let mut task_count_total = 0.0;
+
+        for iter in 0..app.iterations {
+            for (si, stage) in app.stages.iter().enumerate() {
+                let stage_mb = app.input_mb * stage.input_factor;
+                // Shuffle-consuming stages use shuffle_partitions; the first
+                // (scan) stage uses default parallelism scaled to data.
+                let is_shuffle_stage = si > 0;
+                let tasks = if is_shuffle_stage {
+                    shuffle_parts
+                } else {
+                    default_par.max(stage_mb / 512.0)
+                }
+                .max(1.0);
+                task_count_total += tasks;
+
+                let per_task_mb = stage_mb / tasks;
+                let waves = (tasks / slots).ceil();
+
+                // Read: cached, local disk, or remote.
+                let cached_here = stage.cacheable && iter > 0;
+                let effective_cache = if cached_here { cached_fraction } else { 0.0 };
+                let disk_read_mb = per_task_mb * (1.0 - effective_cache);
+                let read_secs = disk_read_mb * (1.0 - remote_frac) / node.disk_mbps
+                    + disk_read_mb * remote_frac / (node.network_mbps * 0.5).max(1.0);
+
+                // CPU incl. (de)serialization and decompression.
+                let decompress_ms = if cached_here && rdd_compress { 1.0 } else { 0.0 };
+                let cpu_secs_task = per_task_mb
+                    * (stage.cpu_ms_per_mb + ser_cpu_ms * 0.3 + decompress_ms)
+                    / 1000.0
+                    / node.core_speed
+                    * gc_tax
+                    * core_contention;
+
+                // Spill when per-task working set exceeds execution memory.
+                let working_set = per_task_mb * ser_size * 1.5;
+                let spill_mb = (working_set - exec_mem_per_task).max(0.0);
+                let spill_secs = 2.0 * spill_mb / node.disk_mbps;
+                spilled_mb_total += spill_mb * tasks;
+
+                // Shuffle write for the next stage.
+                let shuffle_out_mb = stage_mb
+                    * stage.shuffle_write_ratio
+                    * ser_size
+                    * shuf_ratio
+                    * if broadcast_used && si == 0 { 0.05 } else { 1.0 };
+                shuffle_mb_total += shuffle_out_mb;
+                let shuffle_cpu = stage_mb * stage.shuffle_write_ratio * shuf_cpu_ms / 1000.0
+                    / node.core_speed
+                    / tasks;
+                let shuffle_write_secs = shuffle_out_mb / tasks / node.disk_mbps;
+                // Shuffle read by the *next* stage crosses the network.
+                let shuffle_net_secs = if stage.shuffle_write_ratio > 0.0 {
+                    shuffle_out_mb / (cluster.len() as f64 * node.network_mbps * 0.5).max(1.0)
+                } else {
+                    0.0
+                };
+                // Tiny-file penalty: every map×reduce pair is a file.
+                let small_file_secs = if is_shuffle_stage {
+                    (shuffle_parts / 1000.0).powi(2) * 0.5
+                } else {
+                    0.0
+                };
+
+                let task_secs = read_secs
+                    + cpu_secs_task
+                    + spill_secs
+                    + shuffle_cpu
+                    + shuffle_write_secs
+                    + TASK_LAUNCH_SECS;
+                let stage_secs = task_secs * waves * cluster.straggler_factor()
+                    + shuffle_net_secs
+                    + small_file_secs
+                    + wait_delay_secs * waves;
+                total_secs += stage_secs;
+
+                trace.push(PhaseTrace {
+                    name: format!("{}-{}", stage.name, iter),
+                    cpu_core_secs: cpu_secs_task * tasks,
+                    seq_io_mb: (disk_read_mb + spill_mb) * tasks + shuffle_out_mb,
+                    rand_io_ops: if is_shuffle_stage { shuffle_parts * 2.0 } else { 0.0 },
+                    net_mb: shuffle_out_mb + disk_read_mb * remote_frac * tasks,
+                    parallelism: slots as usize,
+                });
+            }
+            // Broadcast distribution cost (once).
+            if iter == 0 && broadcast_used {
+                total_secs += app.small_table_mb * instances / node.network_mbps.max(1.0);
+            }
+        }
+
+        let runtime = total_secs * if failed { FAILURE_PENALTY } else { 1.0 };
+
+        metrics.insert("spilled_mb".into(), spilled_mb_total);
+        metrics.insert("shuffle_mb".into(), shuffle_mb_total);
+        metrics.insert("tasks".into(), task_count_total);
+        metrics.insert("slots".into(), slots);
+        metrics.insert(
+            "task_overhead_secs".into(),
+            task_count_total * TASK_LAUNCH_SECS,
+        );
+        metrics.insert(
+            "cluster_cost_node_secs".into(),
+            runtime * cluster.len() as f64,
+        );
+
+        SparkRun {
+            runtime_secs: runtime,
+            failed,
+            metrics,
+            trace,
+        }
+    }
+
+    /// Records the resource trace of one run.
+    pub fn record_trace(&self, config: &Configuration) -> ResourceTrace {
+        self.simulate(config).trace
+    }
+}
+
+impl Objective for SparkSimulator {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn profile(&self) -> SystemProfile {
+        let node = &self.cluster.nodes[0];
+        SystemProfile {
+            system: SystemKind::Spark,
+            workload: if self.app.name == "streaming" {
+                WorkloadClass::Streaming
+            } else if self.app.iterations > 1 {
+                WorkloadClass::Iterative
+            } else {
+                WorkloadClass::Batch
+            },
+            memory_per_node_mb: node.memory_mb,
+            cores_per_node: node.cores,
+            nodes: self.cluster.len(),
+            disk_mbps: node.disk_mbps,
+            network_mbps: node.network_mbps,
+            input_mb: self.app.input_mb,
+        }
+    }
+
+    fn evaluate(&mut self, config: &Configuration, rng: &mut StdRng) -> Observation {
+        let run = self.simulate(config);
+        let runtime = self.noise.apply(run.runtime_secs, rng);
+        Observation {
+            config: config.clone(),
+            runtime_secs: runtime,
+            cost: runtime * self.cluster.len() as f64,
+            metrics: run.metrics,
+            failed: run.failed,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spark-simulator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeSpec;
+    use autotune_core::ParamValue;
+
+    fn sim() -> SparkSimulator {
+        SparkSimulator::aggregation_default().with_noise(NoiseModel::none())
+    }
+
+    fn set(cfg: &Configuration, name: &str, v: ParamValue) -> Configuration {
+        let mut c = cfg.clone();
+        c.set(name, v);
+        c
+    }
+
+    fn scaled_up(cfg: &Configuration) -> Configuration {
+        let c = set(cfg, EXECUTOR_INSTANCES, ParamValue::Int(8));
+        let c = set(&c, EXECUTOR_CORES, ParamValue::Int(4));
+        set(&c, EXECUTOR_MEMORY_MB, ParamValue::Int(8192))
+    }
+
+    #[test]
+    fn more_executors_help() {
+        let s = sim();
+        let d = s.space.default_config();
+        let small = s.simulate(&d).runtime_secs;
+        let big = s.simulate(&scaled_up(&d)).runtime_secs;
+        assert!(big < small / 2.0, "small={small} big={big}");
+    }
+
+    #[test]
+    fn shuffle_partitions_have_a_sweet_spot() {
+        let s = sim();
+        let d = scaled_up(&s.space.default_config());
+        let few = s
+            .simulate(&set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(8)))
+            .runtime_secs;
+        let mid = s
+            .simulate(&set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(128)))
+            .runtime_secs;
+        let many = s
+            .simulate(&set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(4096)))
+            .runtime_secs;
+        assert!(mid < few, "few={few} mid={mid}");
+        assert!(mid < many, "mid={mid} many={many}");
+    }
+
+    #[test]
+    fn kryo_beats_java() {
+        let s = sim();
+        let d = scaled_up(&s.space.default_config());
+        let java = s.simulate(&d).runtime_secs;
+        let kryo = s
+            .simulate(&set(&d, SERIALIZER, ParamValue::Str("kryo".into())))
+            .runtime_secs;
+        assert!(kryo < java, "java={java} kryo={kryo}");
+    }
+
+    #[test]
+    fn over_allocation_fails() {
+        let s = sim();
+        let d = s.space.default_config();
+        let c = set(&d, EXECUTOR_INSTANCES, ParamValue::Int(32));
+        let c = set(&c, EXECUTOR_MEMORY_MB, ParamValue::Int(16384));
+        let run = s.simulate(&c);
+        assert!(run.failed);
+    }
+
+    #[test]
+    fn caching_accelerates_iterations() {
+        let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+        let s = SparkSimulator::new(cluster, SparkApp::logistic_regression(8192.0, 10))
+            .with_noise(NoiseModel::none());
+        let d = scaled_up(&s.space.default_config());
+        // High storage fraction: input fits in cache.
+        let cachy = set(&d, STORAGE_FRACTION, ParamValue::Float(0.8));
+        let cachy = set(&cachy, MEMORY_FRACTION, ParamValue::Float(0.85));
+        // Low storage fraction: little cache.
+        let uncachy = set(&d, STORAGE_FRACTION, ParamValue::Float(0.1));
+        let with_cache = s.simulate(&cachy);
+        let without = s.simulate(&uncachy);
+        assert!(
+            with_cache.metrics["cached_fraction"] > without.metrics["cached_fraction"]
+        );
+        assert!(with_cache.runtime_secs < without.runtime_secs);
+    }
+
+    #[test]
+    fn broadcast_join_avoids_shuffle() {
+        let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+        let mk = |threshold: i64| {
+            let s = SparkSimulator::new(cluster.clone(), SparkApp::join(16_384.0, 8.0))
+                .with_noise(NoiseModel::none());
+            let d = scaled_up(&s.space.default_config());
+            s.simulate(&set(&d, BROADCAST_THRESHOLD_MB, ParamValue::Int(threshold)))
+        };
+        let shuffled = mk(1); // 8 MB table > 1 MB threshold → shuffle join
+        let broadcast = mk(64); // 8 MB table < 64 MB → broadcast
+        assert_eq!(shuffled.metrics["broadcast_used"], 0.0);
+        assert_eq!(broadcast.metrics["broadcast_used"], 1.0);
+        assert!(broadcast.runtime_secs < shuffled.runtime_secs);
+        assert!(broadcast.metrics["shuffle_mb"] < shuffled.metrics["shuffle_mb"]);
+    }
+
+    #[test]
+    fn streaming_prefers_fewer_partitions() {
+        let cluster = ClusterSpec::homogeneous(4, NodeSpec::default());
+        let s = SparkSimulator::new(cluster, SparkApp::streaming(64.0, 50))
+            .with_noise(NoiseModel::none());
+        let d = scaled_up(&s.space.default_config());
+        let few = s
+            .simulate(&set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(16)))
+            .runtime_secs;
+        let many = s
+            .simulate(&set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(2048)))
+            .runtime_secs;
+        assert!(few < many, "few={few} many={many}");
+    }
+
+    #[test]
+    fn locality_wait_tradeoff_exists() {
+        let mut app = SparkApp::aggregation(16_384.0);
+        app.locality_fraction = 0.3; // poor locality
+        let s = SparkSimulator::new(
+            ClusterSpec::homogeneous(8, NodeSpec::default()),
+            app,
+        )
+        .with_noise(NoiseModel::none());
+        let d = scaled_up(&s.space.default_config());
+        let zero = s.simulate(&set(&d, LOCALITY_WAIT_MS, ParamValue::Int(0)));
+        let some = s.simulate(&set(&d, LOCALITY_WAIT_MS, ParamValue::Int(3000)));
+        assert!(
+            some.metrics["remote_fraction"] < zero.metrics["remote_fraction"],
+            "waiting should improve locality"
+        );
+    }
+
+    #[test]
+    fn executor_cores_add_slots() {
+        let s = sim();
+        let d = set(
+            &s.space.default_config(),
+            EXECUTOR_INSTANCES,
+            ParamValue::Int(4),
+        );
+        let one = s.simulate(&set(&d, EXECUTOR_CORES, ParamValue::Int(1)));
+        let four = s.simulate(&set(&d, EXECUTOR_CORES, ParamValue::Int(4)));
+        assert_eq!(four.metrics["slots"], 16.0);
+        assert!(four.runtime_secs < one.runtime_secs);
+    }
+
+    #[test]
+    fn memory_fraction_reduces_spills() {
+        let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+        let s = SparkSimulator::new(cluster, SparkApp::sort(32_768.0))
+            .with_noise(NoiseModel::none());
+        let d = scaled_up(&s.space.default_config());
+        let d = set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(64));
+        let starved = s.simulate(&set(&d, MEMORY_FRACTION, ParamValue::Float(0.25)));
+        let fed = s.simulate(&set(&d, MEMORY_FRACTION, ParamValue::Float(0.9)));
+        assert!(
+            fed.metrics["spilled_mb"] <= starved.metrics["spilled_mb"],
+            "more unified memory must not spill more"
+        );
+    }
+
+    #[test]
+    fn core_overcommit_slows_but_does_not_fail() {
+        let s = sim();
+        let d = s.space.default_config();
+        let c = set(&d, EXECUTOR_INSTANCES, ParamValue::Int(32));
+        let c = set(&c, EXECUTOR_CORES, ParamValue::Int(8)); // 256 > 64 cores
+        let c = set(&c, EXECUTOR_MEMORY_MB, ParamValue::Int(2048));
+        let run = s.simulate(&c);
+        assert!(!run.failed, "core oversubscription degrades, not kills");
+        assert!(run.metrics["core_overcommit"] > 1.0);
+    }
+
+    #[test]
+    fn metrics_present() {
+        let s = sim();
+        let run = s.simulate(&s.space.default_config());
+        for key in [
+            "spilled_mb",
+            "shuffle_mb",
+            "gc_tax",
+            "cached_fraction",
+            "tasks",
+            "cluster_cost_node_secs",
+        ] {
+            assert!(run.metrics.contains_key(key), "missing {key}");
+        }
+    }
+}

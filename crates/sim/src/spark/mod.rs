@@ -1,0 +1,11 @@
+//! The simulated Spark target (§2.4 of the tutorial): knob space,
+//! application DAGs, and the stage/wave simulator with a unified memory
+//! manager.
+
+pub mod engine;
+pub mod params;
+pub mod workload;
+
+pub use engine::{SparkRun, SparkSimulator};
+pub use params::{knobs, spark_space};
+pub use workload::{SparkApp, StageSpec};

@@ -1,0 +1,115 @@
+//! The Spark knob space: thirteen parameters over resource allocation,
+//! the unified memory manager, shuffle behaviour, serialization, and task
+//! locality — the subset of Spark's 200+ parameters that §2.4 of the
+//! tutorial notes actually drive performance.
+
+use autotune_core::{ConfigSpace, ParamSpec};
+
+/// Knob name constants.
+pub mod knobs {
+    /// Number of executors (`spark.executor.instances`).
+    pub const EXECUTOR_INSTANCES: &str = "executor_instances";
+    /// Cores per executor (`spark.executor.cores`).
+    pub const EXECUTOR_CORES: &str = "executor_cores";
+    /// Heap per executor (`spark.executor.memory`).
+    pub const EXECUTOR_MEMORY_MB: &str = "executor_memory_mb";
+    /// Shuffle partition count (`spark.sql.shuffle.partitions`).
+    pub const SHUFFLE_PARTITIONS: &str = "shuffle_partitions";
+    /// Fraction of heap for execution+storage (`spark.memory.fraction`).
+    pub const MEMORY_FRACTION: &str = "memory_fraction";
+    /// Storage share of unified memory (`spark.memory.storageFraction`).
+    pub const STORAGE_FRACTION: &str = "storage_fraction";
+    /// Serializer (`spark.serializer`).
+    pub const SERIALIZER: &str = "serializer";
+    /// Compress shuffle output (`spark.shuffle.compress`).
+    pub const SHUFFLE_COMPRESS: &str = "shuffle_compress";
+    /// Compress cached RDDs (`spark.rdd.compress`).
+    pub const RDD_COMPRESS: &str = "rdd_compress";
+    /// Broadcast-join threshold (`spark.sql.autoBroadcastJoinThreshold`).
+    pub const BROADCAST_THRESHOLD_MB: &str = "broadcast_threshold_mb";
+    /// Delay scheduling wait (`spark.locality.wait`).
+    pub const LOCALITY_WAIT_MS: &str = "locality_wait_ms";
+    /// Default RDD parallelism (`spark.default.parallelism`).
+    pub const DEFAULT_PARALLELISM: &str = "default_parallelism";
+    /// Fraction of executor memory reserved off-heap for overhead.
+    pub const MEMORY_OVERHEAD_FACTOR: &str = "memory_overhead_factor";
+}
+
+/// Builds the 13-knob Spark configuration space with stock defaults.
+pub fn spark_space() -> ConfigSpace {
+    use knobs::*;
+    ConfigSpace::new(vec![
+        ParamSpec::int(EXECUTOR_INSTANCES, 1, 32, 2, "executor count"),
+        ParamSpec::int(EXECUTOR_CORES, 1, 16, 1, "cores per executor"),
+        ParamSpec::int_log(EXECUTOR_MEMORY_MB, 512, 65536, 1024, "executor heap")
+            .with_unit("MB"),
+        ParamSpec::int_log(
+            SHUFFLE_PARTITIONS,
+            8,
+            4096,
+            200,
+            "partitions of every shuffle stage",
+        ),
+        ParamSpec::float(
+            MEMORY_FRACTION,
+            0.25,
+            0.9,
+            0.6,
+            "heap fraction usable for execution + storage",
+        ),
+        ParamSpec::float(
+            STORAGE_FRACTION,
+            0.1,
+            0.9,
+            0.5,
+            "storage share of unified memory (caching vs shuffle)",
+        ),
+        ParamSpec::categorical(
+            SERIALIZER,
+            &["java", "kryo"],
+            "java",
+            "object serializer; kryo is smaller and faster",
+        ),
+        ParamSpec::boolean(SHUFFLE_COMPRESS, true, "compress shuffle blocks"),
+        ParamSpec::boolean(RDD_COMPRESS, false, "compress cached partitions"),
+        ParamSpec::int(
+            BROADCAST_THRESHOLD_MB,
+            1,
+            512,
+            10,
+            "tables smaller than this are broadcast instead of shuffled",
+        )
+        .with_unit("MB"),
+        ParamSpec::int(
+            LOCALITY_WAIT_MS,
+            0,
+            10000,
+            3000,
+            "delay-scheduling wait for data-local slots",
+        )
+        .with_unit("ms"),
+        ParamSpec::int_log(DEFAULT_PARALLELISM, 8, 1024, 16, "non-shuffle stage parallelism"),
+        ParamSpec::float(
+            MEMORY_OVERHEAD_FACTOR,
+            0.05,
+            0.4,
+            0.1,
+            "off-heap overhead reserved per executor",
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_shape_and_defaults() {
+        let s = spark_space();
+        assert_eq!(s.dim(), 13);
+        let d = s.default_config();
+        assert!(s.validate_config(&d).is_ok());
+        assert_eq!(d.i64(knobs::SHUFFLE_PARTITIONS), 200);
+        assert_eq!(d.str(knobs::SERIALIZER), "java");
+    }
+}

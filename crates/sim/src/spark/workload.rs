@@ -1,0 +1,209 @@
+//! Spark application shapes: DAGs of stages with shuffle boundaries,
+//! optional caching, iteration counts, and join inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage of a Spark job DAG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage label.
+    pub name: String,
+    /// Stage input as a fraction of the application input.
+    pub input_factor: f64,
+    /// Fraction of stage input written to the next shuffle (0 = final or
+    /// narrow stage).
+    pub shuffle_write_ratio: f64,
+    /// CPU cost per MB processed, core-milliseconds.
+    pub cpu_ms_per_mb: f64,
+    /// Whether the stage input is cached across iterations.
+    pub cacheable: bool,
+}
+
+/// A Spark application: stage DAG plus iteration/caching structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparkApp {
+    /// Application name.
+    pub name: String,
+    /// Input size in MB.
+    pub input_mb: f64,
+    /// Stages executed in order (once per iteration).
+    pub stages: Vec<StageSpec>,
+    /// Number of iterations over the stage list (ML training loops).
+    pub iterations: usize,
+    /// Size of the smaller join side, MB (0 = no join).
+    pub small_table_mb: f64,
+    /// Fraction of input blocks that have a data-local executor.
+    pub locality_fraction: f64,
+}
+
+impl SparkApp {
+    /// GroupBy-aggregation query.
+    pub fn aggregation(input_mb: f64) -> Self {
+        SparkApp {
+            name: "aggregation".into(),
+            input_mb,
+            stages: vec![
+                StageSpec {
+                    name: "scan-map".into(),
+                    input_factor: 1.0,
+                    shuffle_write_ratio: 0.3,
+                    cpu_ms_per_mb: 5.0,
+                    cacheable: false,
+                },
+                StageSpec {
+                    name: "aggregate".into(),
+                    input_factor: 0.3,
+                    shuffle_write_ratio: 0.0,
+                    cpu_ms_per_mb: 6.0,
+                    cacheable: false,
+                },
+            ],
+            iterations: 1,
+            small_table_mb: 0.0,
+            locality_fraction: 0.8,
+        }
+    }
+
+    /// Full sort (sortByKey) — shuffle-dominated.
+    pub fn sort(input_mb: f64) -> Self {
+        SparkApp {
+            name: "sort".into(),
+            input_mb,
+            stages: vec![
+                StageSpec {
+                    name: "map".into(),
+                    input_factor: 1.0,
+                    shuffle_write_ratio: 1.0,
+                    cpu_ms_per_mb: 3.0,
+                    cacheable: false,
+                },
+                StageSpec {
+                    name: "sort".into(),
+                    input_factor: 1.0,
+                    shuffle_write_ratio: 0.0,
+                    cpu_ms_per_mb: 6.0,
+                    cacheable: false,
+                },
+            ],
+            iterations: 1,
+            small_table_mb: 0.0,
+            locality_fraction: 0.8,
+        }
+    }
+
+    /// Fact-dimension join: the dimension table may be broadcast.
+    pub fn join(fact_mb: f64, dim_mb: f64) -> Self {
+        SparkApp {
+            name: "join".into(),
+            input_mb: fact_mb,
+            stages: vec![
+                StageSpec {
+                    name: "join-map".into(),
+                    input_factor: 1.0,
+                    shuffle_write_ratio: 1.0,
+                    cpu_ms_per_mb: 6.0,
+                    cacheable: false,
+                },
+                StageSpec {
+                    name: "join-reduce".into(),
+                    input_factor: 1.0,
+                    shuffle_write_ratio: 0.0,
+                    cpu_ms_per_mb: 8.0,
+                    cacheable: false,
+                },
+            ],
+            iterations: 1,
+            small_table_mb: dim_mb,
+            locality_fraction: 0.8,
+        }
+    }
+
+    /// Logistic-regression training: `iters` passes over a cacheable input.
+    pub fn logistic_regression(input_mb: f64, iters: usize) -> Self {
+        SparkApp {
+            name: "logistic-regression".into(),
+            input_mb,
+            stages: vec![StageSpec {
+                name: "gradient".into(),
+                input_factor: 1.0,
+                shuffle_write_ratio: 0.001, // tiny gradient aggregation
+                cpu_ms_per_mb: 25.0,
+                cacheable: true,
+            }],
+            iterations: iters.max(1),
+            small_table_mb: 0.0,
+            locality_fraction: 0.9,
+        }
+    }
+
+    /// Streaming micro-batch pipeline: many tiny rounds, scheduling
+    /// overhead dominates.
+    pub fn streaming(batch_mb: f64, batches: usize) -> Self {
+        SparkApp {
+            name: "streaming".into(),
+            input_mb: batch_mb,
+            stages: vec![
+                StageSpec {
+                    name: "receive-map".into(),
+                    input_factor: 1.0,
+                    shuffle_write_ratio: 0.2,
+                    cpu_ms_per_mb: 4.0,
+                    cacheable: false,
+                },
+                StageSpec {
+                    name: "window-agg".into(),
+                    input_factor: 0.2,
+                    shuffle_write_ratio: 0.0,
+                    cpu_ms_per_mb: 5.0,
+                    cacheable: false,
+                },
+            ],
+            iterations: batches.max(1),
+            small_table_mb: 0.0,
+            locality_fraction: 0.95,
+        }
+    }
+
+    /// Total MB processed across all stages of one iteration.
+    pub fn work_per_iteration_mb(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| self.input_mb * s.input_factor)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_structure() {
+        let agg = SparkApp::aggregation(1024.0);
+        assert_eq!(agg.stages.len(), 2);
+        assert!(agg.stages[0].shuffle_write_ratio > 0.0);
+        assert_eq!(agg.stages[1].shuffle_write_ratio, 0.0);
+
+        let lr = SparkApp::logistic_regression(2048.0, 10);
+        assert_eq!(lr.iterations, 10);
+        assert!(lr.stages[0].cacheable);
+
+        let sort = SparkApp::sort(512.0);
+        assert_eq!(sort.stages[0].shuffle_write_ratio, 1.0);
+
+        let j = SparkApp::join(10_000.0, 8.0);
+        assert_eq!(j.small_table_mb, 8.0);
+    }
+
+    #[test]
+    fn work_per_iteration() {
+        let agg = SparkApp::aggregation(1000.0);
+        assert!((agg.work_per_iteration_mb() - 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterations_clamped_to_one() {
+        assert_eq!(SparkApp::logistic_regression(10.0, 0).iterations, 1);
+        assert_eq!(SparkApp::streaming(10.0, 0).iterations, 1);
+    }
+}

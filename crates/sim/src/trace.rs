@@ -1,0 +1,216 @@
+//! Resource traces: per-phase CPU / sequential-I/O / random-I/O / network
+//! demand recorded during a simulated run.
+//!
+//! Trace-driven prediction (Narayanan et al., MASCOTS'05 — "Dushyanth" in
+//! Table 2) answers *what-if* questions ("what if memory were doubled?")
+//! by replaying a recorded resource trace against hypothetical hardware.
+//! Our simulators emit these traces; the simulation-based tuners replay
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource demand of one execution phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTrace {
+    /// Phase label, e.g. `"map"`, `"shuffle"`, `"scan"`.
+    pub name: String,
+    /// CPU work in core-seconds (at baseline core speed).
+    pub cpu_core_secs: f64,
+    /// Sequential I/O volume in MB.
+    pub seq_io_mb: f64,
+    /// Random I/O operations.
+    pub rand_io_ops: f64,
+    /// Network transfer volume in MB.
+    pub net_mb: f64,
+    /// Degree of parallelism the phase can exploit.
+    pub parallelism: usize,
+}
+
+impl PhaseTrace {
+    /// A phase with only CPU demand.
+    pub fn cpu(name: &str, core_secs: f64, parallelism: usize) -> Self {
+        PhaseTrace {
+            name: name.to_string(),
+            cpu_core_secs: core_secs,
+            seq_io_mb: 0.0,
+            rand_io_ops: 0.0,
+            net_mb: 0.0,
+            parallelism: parallelism.max(1),
+        }
+    }
+}
+
+/// A complete run trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTrace {
+    /// Phases in execution order (phases are serial w.r.t. each other).
+    pub phases: Vec<PhaseTrace>,
+}
+
+/// Hardware rates a trace can be replayed against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayHardware {
+    /// Usable cores.
+    pub cores: usize,
+    /// Relative core speed (1.0 = trace baseline).
+    pub core_speed: f64,
+    /// Sequential disk bandwidth, MB/s.
+    pub disk_mbps: f64,
+    /// Random I/O operations per second.
+    pub disk_iops: f64,
+    /// Network bandwidth, MB/s.
+    pub network_mbps: f64,
+}
+
+impl ReplayHardware {
+    /// Builds replay hardware from a node spec.
+    pub fn from_node(node: &crate::cluster::NodeSpec) -> Self {
+        ReplayHardware {
+            cores: node.cores,
+            core_speed: node.core_speed,
+            disk_mbps: node.disk_mbps,
+            disk_iops: node.disk_iops,
+            network_mbps: node.network_mbps,
+        }
+    }
+}
+
+impl ResourceTrace {
+    /// Appends a phase.
+    pub fn push(&mut self, phase: PhaseTrace) {
+        self.phases.push(phase);
+    }
+
+    /// Total CPU core-seconds across phases.
+    pub fn total_cpu(&self) -> f64 {
+        self.phases.iter().map(|p| p.cpu_core_secs).sum()
+    }
+
+    /// Total sequential I/O in MB.
+    pub fn total_seq_io(&self) -> f64 {
+        self.phases.iter().map(|p| p.seq_io_mb).sum()
+    }
+
+    /// Predicted wall-clock time of this trace on the given hardware:
+    /// each phase takes `max(cpu, seq io, random io, network)` time
+    /// (resources overlap within a phase), phases run serially.
+    pub fn replay(&self, hw: &ReplayHardware) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| {
+                let eff_cores = (p.parallelism.min(hw.cores)) as f64 * hw.core_speed;
+                let cpu = if p.cpu_core_secs > 0.0 {
+                    p.cpu_core_secs / eff_cores.max(1e-9)
+                } else {
+                    0.0
+                };
+                let seq = p.seq_io_mb / hw.disk_mbps.max(1e-9);
+                let rand = p.rand_io_ops / hw.disk_iops.max(1e-9);
+                let net = p.net_mb / hw.network_mbps.max(1e-9);
+                cpu.max(seq).max(rand).max(net)
+            })
+            .sum()
+    }
+
+    /// The dominant resource of the whole trace at given hardware rates —
+    /// the bottleneck an ADDM-style profiler reports.
+    pub fn bottleneck(&self, hw: &ReplayHardware) -> &'static str {
+        let mut totals = [0.0f64; 4]; // cpu, seq, rand, net
+        for p in &self.phases {
+            let eff_cores = (p.parallelism.min(hw.cores)) as f64 * hw.core_speed;
+            totals[0] += p.cpu_core_secs / eff_cores.max(1e-9);
+            totals[1] += p.seq_io_mb / hw.disk_mbps.max(1e-9);
+            totals[2] += p.rand_io_ops / hw.disk_iops.max(1e-9);
+            totals[3] += p.net_mb / hw.network_mbps.max(1e-9);
+        }
+        let names = ["cpu", "sequential-io", "random-io", "network"];
+        let mut best = 0;
+        for i in 1..4 {
+            if totals[i] > totals[best] {
+                best = i;
+            }
+        }
+        names[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> ReplayHardware {
+        ReplayHardware {
+            cores: 8,
+            core_speed: 1.0,
+            disk_mbps: 100.0,
+            disk_iops: 1000.0,
+            network_mbps: 1000.0,
+        }
+    }
+
+    #[test]
+    fn replay_single_phase_bottleneck() {
+        let mut t = ResourceTrace::default();
+        t.push(PhaseTrace {
+            name: "scan".into(),
+            cpu_core_secs: 4.0,
+            seq_io_mb: 1000.0, // 10 s at 100 MB/s — dominates
+            rand_io_ops: 0.0,
+            net_mb: 0.0,
+            parallelism: 8,
+        });
+        let secs = t.replay(&hw());
+        assert!((secs - 10.0).abs() < 1e-9);
+        assert_eq!(t.bottleneck(&hw()), "sequential-io");
+    }
+
+    #[test]
+    fn replay_scales_with_hardware() {
+        let mut t = ResourceTrace::default();
+        t.push(PhaseTrace::cpu("compute", 16.0, 16));
+        let base = t.replay(&hw()); // 8 cores → 2 s
+        assert!((base - 2.0).abs() < 1e-9);
+        let fast = ReplayHardware {
+            cores: 16,
+            ..hw()
+        };
+        assert!((t.replay(&fast) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_are_serial() {
+        let mut t = ResourceTrace::default();
+        t.push(PhaseTrace::cpu("a", 8.0, 8));
+        t.push(PhaseTrace::cpu("b", 8.0, 8));
+        assert!((t.replay(&hw()) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limited_parallelism_caps_speedup() {
+        let mut t = ResourceTrace::default();
+        t.push(PhaseTrace::cpu("serial", 10.0, 1));
+        // More cores don't help a serial phase.
+        assert!((t.replay(&hw()) - 10.0).abs() < 1e-9);
+        let huge = ReplayHardware {
+            cores: 64,
+            ..hw()
+        };
+        assert!((t.replay(&huge) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = ResourceTrace::default();
+        t.push(PhaseTrace::cpu("a", 3.0, 2));
+        t.push(PhaseTrace {
+            name: "b".into(),
+            cpu_core_secs: 1.0,
+            seq_io_mb: 50.0,
+            rand_io_ops: 10.0,
+            net_mb: 5.0,
+            parallelism: 1,
+        });
+        assert!((t.total_cpu() - 4.0).abs() < 1e-12);
+        assert!((t.total_seq_io() - 50.0).abs() < 1e-12);
+    }
+}

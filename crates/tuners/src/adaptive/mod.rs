@@ -1,0 +1,18 @@
+//! **Category 6 — Adaptive tuning** (§2.1): adjust parameters while the
+//! application runs. [`colt`] reproduces COLT's cost-vs-gain online
+//! tuning; [`online_memory`] the online STMM feedback controller;
+//! [`partition`] Gounaris et al.'s dynamic Spark partitioning;
+//! [`mrmoulder`] recommendation-based adaptive tuning (Cai et al.);
+//! [`tempo`] SLO-driven multi-tenant resource management (Tan & Babu).
+
+pub mod colt;
+pub mod mrmoulder;
+pub mod online_memory;
+pub mod tempo;
+pub mod partition;
+
+pub use colt::ColtTuner;
+pub use mrmoulder::{JobSignature, MrMoulderTuner, RecommendationRepository};
+pub use online_memory::OnlineMemoryTuner;
+pub use tempo::TempoTuner;
+pub use partition::DynamicPartitionTuner;

@@ -1,0 +1,362 @@
+//! mrMoulder-style recommendation-based adaptive tuning (Cai, Qi, Wei, Wu
+//! & Li, FGCS 2019 — reference \[4\] of the tutorial).
+//!
+//! mrMoulder keeps a repository of previously tuned jobs keyed by a cheap
+//! *job signature*; a new job starts from the recommendation of its most
+//! similar predecessor (instead of vendor defaults) and then refines the
+//! configuration adaptively with low-risk one-knob trials while the job
+//! stream runs. After the session the refined configuration is folded
+//! back into the repository — the system "moulds" itself to the site's
+//! workload mix over time.
+
+use autotune_core::{
+    Configuration, History, Observation, Recommendation, SystemProfile, Tuner, TunerFamily,
+    TuningContext,
+};
+use autotune_math::matrix::dist2;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A cheap workload fingerprint computed from the deployment profile and
+/// the first probe run's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSignature(Vec<f64>);
+
+impl JobSignature {
+    /// Builds a signature from the profile and an optional probe run.
+    pub fn new(profile: &SystemProfile, probe: Option<&Observation>) -> Self {
+        let mut v = vec![
+            (profile.input_mb.max(1.0)).log10(),
+            profile.nodes as f64,
+            profile.cores_per_node as f64,
+        ];
+        if let Some(obs) = probe {
+            let m = |k: &str| obs.metrics.get(k).copied().unwrap_or(0.0);
+            // Normalized data-flow shape, robust across systems.
+            v.push((m("shuffle_mb") / profile.input_mb.max(1.0)).min(5.0));
+            v.push(m("skew_factor").min(5.0));
+            v.push((obs.runtime_secs.max(1.0)).log10());
+        } else {
+            v.extend([0.0, 0.0, 0.0]);
+        }
+        JobSignature(v)
+    }
+
+    /// Squared distance to another signature.
+    pub fn distance2(&self, other: &JobSignature) -> f64 {
+        dist2(&self.0, &other.0)
+    }
+}
+
+/// A remembered tuning outcome.
+#[derive(Debug, Clone)]
+pub struct RepositoryEntry {
+    /// Job signature.
+    pub signature: JobSignature,
+    /// The configuration that worked.
+    pub config: Configuration,
+}
+
+/// Shared recommendation repository (persisted across sessions by the
+/// caller).
+#[derive(Debug, Clone, Default)]
+pub struct RecommendationRepository {
+    entries: Vec<RepositoryEntry>,
+}
+
+impl RecommendationRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores an outcome.
+    pub fn remember(&mut self, signature: JobSignature, config: Configuration) {
+        self.entries.push(RepositoryEntry { signature, config });
+    }
+
+    /// Number of remembered jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Nearest remembered configuration, if any.
+    pub fn recommend(&self, signature: &JobSignature) -> Option<&Configuration> {
+        self.entries
+            .iter()
+            .min_by(|a, b| {
+                a.signature
+                    .distance2(signature)
+                    .partial_cmp(&b.signature.distance2(signature))
+                    .expect("finite distances")
+            })
+            .map(|e| &e.config)
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Phase {
+    Probe,
+    Adopt,
+    Refine,
+}
+
+/// The mrMoulder tuner.
+#[derive(Debug)]
+pub struct MrMoulderTuner {
+    /// Recommendation repository (pass a shared one between sessions).
+    pub repository: RecommendationRepository,
+    /// Refinement step size in unit-cube coordinates.
+    pub step: f64,
+    phase: Phase,
+    signature: Option<JobSignature>,
+    current: Option<Configuration>,
+    current_runtime: Option<f64>,
+    trial: Option<Configuration>,
+    knob_cursor: usize,
+    /// Whether the recommendation came from the repository.
+    pub recommended_from_repo: bool,
+}
+
+impl MrMoulderTuner {
+    /// Creates the tuner over a repository.
+    pub fn new(repository: RecommendationRepository) -> Self {
+        MrMoulderTuner {
+            repository,
+            step: 0.15,
+            phase: Phase::Probe,
+            signature: None,
+            current: None,
+            current_runtime: None,
+            trial: None,
+            knob_cursor: 0,
+            recommended_from_repo: false,
+        }
+    }
+
+    /// The session's signature + refined config, for folding back into a
+    /// shared repository.
+    pub fn export(&self) -> Option<(JobSignature, Configuration)> {
+        match (&self.signature, &self.current) {
+            (Some(s), Some(c)) => Some((s.clone(), c.clone())),
+            _ => None,
+        }
+    }
+}
+
+impl Tuner for MrMoulderTuner {
+    fn name(&self) -> &str {
+        "mrmoulder"
+    }
+
+    fn family(&self) -> TunerFamily {
+        TunerFamily::Adaptive
+    }
+
+    fn propose(
+        &mut self,
+        ctx: &TuningContext,
+        _history: &History,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        match self.phase {
+            Phase::Probe => {
+                // Capture the profile half of the signature now; the probe
+                // half is appended when the run's metrics arrive.
+                self.signature = Some(JobSignature::new(&ctx.profile, None));
+                ctx.space.default_config()
+            }
+            Phase::Adopt => {
+                let sig = self
+                    .signature
+                    .clone()
+                    .unwrap_or_else(|| JobSignature::new(&ctx.profile, None));
+                let rec = self.repository.recommend(&sig).cloned();
+                self.recommended_from_repo = rec.is_some();
+                let config = rec
+                    .map(|c| ctx.space.complete_with_defaults(&c))
+                    .unwrap_or_else(|| ctx.space.default_config());
+                self.current = Some(config.clone());
+                config
+            }
+            Phase::Refine => {
+                let current = self
+                    .current
+                    .clone()
+                    .unwrap_or_else(|| ctx.space.default_config());
+                let dim = ctx.space.dim();
+                let knob = self.knob_cursor % dim;
+                self.knob_cursor += 1;
+                let mut point = ctx.space.encode(&current);
+                let delta = if rng.random_range(0.0..1.0) < 0.5 {
+                    self.step
+                } else {
+                    -self.step
+                };
+                point[knob] = (point[knob] + delta).clamp(0.0, 1.0);
+                let trial = ctx.space.decode(&point);
+                self.trial = Some(trial.clone());
+                trial
+            }
+        }
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        match self.phase {
+            Phase::Probe => {
+                // Signature needs the probe metrics; profile fields are
+                // folded in at propose time via the stored profile-free
+                // constructor (we only have the observation here, which is
+                // sufficient: the profile part was already appended).
+                self.signature = Some(JobSignature(
+                    self.signature
+                        .take()
+                        .map(|s| s.0)
+                        .unwrap_or_else(|| vec![0.0; 3])
+                        .into_iter()
+                        .take(3)
+                        .chain([
+                            obs.metrics
+                                .get("shuffle_mb")
+                                .copied()
+                                .unwrap_or(0.0)
+                                .min(5.0e6)
+                                .log10()
+                                .max(0.0)
+                                / 7.0,
+                            obs.metrics.get("skew_factor").copied().unwrap_or(0.0).min(5.0),
+                            obs.runtime_secs.max(1.0).log10(),
+                        ])
+                        .collect(),
+                ));
+                self.phase = Phase::Adopt;
+            }
+            Phase::Adopt => {
+                self.current_runtime = Some(obs.runtime_secs);
+                self.phase = Phase::Refine;
+            }
+            Phase::Refine => {
+                let baseline = self.current_runtime.unwrap_or(f64::INFINITY);
+                if !obs.failed && obs.runtime_secs < baseline {
+                    self.current = self.trial.take();
+                    self.current_runtime = Some(obs.runtime_secs);
+                } else {
+                    self.trial = None;
+                }
+            }
+        }
+    }
+
+    fn recommend(&self, ctx: &TuningContext, history: &History) -> Recommendation {
+        Recommendation {
+            config: self
+                .current
+                .clone()
+                .unwrap_or_else(|| ctx.space.default_config()),
+            expected_runtime: self.current_runtime.or(history.best().map(|o| o.runtime_secs)),
+            rationale: format!(
+                "recommendation {} + {} refinement epochs",
+                if self.recommended_from_repo {
+                    "from repository twin"
+                } else {
+                    "unavailable (cold start: defaults)"
+                },
+                history.len().saturating_sub(2)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::tune;
+    use autotune_sim::cluster::ClusterSpec;
+    use autotune_sim::hadoop::{HadoopJob, HadoopSimulator};
+    use autotune_sim::noise::NoiseModel;
+
+    fn sim(input_mb: f64) -> HadoopSimulator {
+        HadoopSimulator::new(
+            ClusterSpec::homogeneous(8, autotune_sim::NodeSpec::default()),
+            HadoopJob::terasort(input_mb),
+        )
+        .with_noise(NoiseModel::none())
+    }
+
+    /// Runs one session and folds the outcome into the repository.
+    fn session(repo: RecommendationRepository, input_mb: f64, budget: usize) -> (f64, RecommendationRepository, bool) {
+        let mut s = sim(input_mb);
+        let mut t = MrMoulderTuner::new(repo);
+        let out = tune(&mut s, &mut t, budget, 3);
+        let final_rt = s.simulate(&out.recommendation.config).runtime_secs;
+        let mut repo = t.repository.clone();
+        if let Some((sig, cfg)) = t.export() {
+            repo.remember(sig, cfg);
+        }
+        (final_rt, repo, t.recommended_from_repo)
+    }
+
+    #[test]
+    fn repository_transfer_beats_cold_start_at_tiny_budget() {
+        // Session 1 (cold, generous budget) seeds the repository.
+        let (_, repo, from_repo) = session(RecommendationRepository::new(), 32_768.0, 40);
+        assert!(!from_repo, "first session has nothing to recommend");
+        assert_eq!(repo.len(), 1);
+
+        // Session 2: similar job, tiny budget, warm repository.
+        let (warm_rt, _, used_repo) = session(repo, 24_576.0, 4);
+        assert!(used_repo);
+
+        // Control: same tiny budget, cold.
+        let (cold_rt, _, _) = session(RecommendationRepository::new(), 24_576.0, 4);
+        assert!(
+            warm_rt < cold_rt * 0.6,
+            "warm start {warm_rt}s should crush cold start {cold_rt}s"
+        );
+    }
+
+    #[test]
+    fn refinement_never_regresses_the_incumbent() {
+        let (_, repo, _) = session(RecommendationRepository::new(), 32_768.0, 30);
+        let mut s = sim(32_768.0);
+        let mut t = MrMoulderTuner::new(repo);
+        let out = tune(&mut s, &mut t, 20, 9);
+        let adopted_rt = out.history.all()[1].runtime_secs; // adoption epoch
+        let final_rt = s.simulate(&out.recommendation.config).runtime_secs;
+        assert!(final_rt <= adopted_rt * 1.001);
+    }
+
+    #[test]
+    fn signature_distance_orders_similarity() {
+        let p1 = SystemProfile {
+            input_mb: 32_768.0,
+            ..SystemProfile::default()
+        };
+        let p2 = SystemProfile {
+            input_mb: 40_000.0,
+            ..SystemProfile::default()
+        };
+        let p3 = SystemProfile {
+            input_mb: 1_000.0,
+            nodes: 32,
+            ..SystemProfile::default()
+        };
+        let s1 = JobSignature::new(&p1, None);
+        let s2 = JobSignature::new(&p2, None);
+        let s3 = JobSignature::new(&p3, None);
+        assert!(s1.distance2(&s2) < s1.distance2(&s3));
+    }
+
+    #[test]
+    fn empty_repository_recommends_nothing() {
+        let repo = RecommendationRepository::new();
+        assert!(repo.is_empty());
+        let sig = JobSignature::new(&SystemProfile::default(), None);
+        assert!(repo.recommend(&sig).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Baseline tuners every comparison needs: vendor defaults (no tuning),
+//! pure random search, and uniform grid search.
+
+use autotune_core::{Configuration, History, Tuner, TunerFamily, TuningContext};
+use rand::rngs::StdRng;
+
+/// "Tuner" that always proposes the vendor defaults — the untuned
+/// baseline every speedup in the paper is measured against.
+#[derive(Debug, Default)]
+pub struct DefaultConfigTuner;
+
+impl Tuner for DefaultConfigTuner {
+    fn name(&self) -> &str {
+        "default-config"
+    }
+
+    fn family(&self) -> TunerFamily {
+        TunerFamily::RuleBased
+    }
+
+    fn propose(
+        &mut self,
+        ctx: &TuningContext,
+        _history: &History,
+        _rng: &mut StdRng,
+    ) -> Configuration {
+        ctx.space.default_config()
+    }
+}
+
+/// Uniform random search — the honest black-box baseline.
+#[derive(Debug, Default)]
+pub struct RandomSearchTuner;
+
+impl Tuner for RandomSearchTuner {
+    fn name(&self) -> &str {
+        "random-search"
+    }
+
+    fn family(&self) -> TunerFamily {
+        TunerFamily::ExperimentDriven
+    }
+
+    fn propose(
+        &mut self,
+        ctx: &TuningContext,
+        _history: &History,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        ctx.space.random_config(rng)
+    }
+}
+
+/// Axis-aligned grid search: enumerates `levels^dim` lattice points in a
+/// deterministic order (only sensible for small spaces / subspaces).
+#[derive(Debug)]
+pub struct GridSearchTuner {
+    levels: usize,
+    cursor: usize,
+}
+
+impl GridSearchTuner {
+    /// Grid with `levels` points per dimension.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "grid needs at least 2 levels");
+        GridSearchTuner { levels, cursor: 0 }
+    }
+}
+
+impl Tuner for GridSearchTuner {
+    fn name(&self) -> &str {
+        "grid-search"
+    }
+
+    fn family(&self) -> TunerFamily {
+        TunerFamily::ExperimentDriven
+    }
+
+    fn propose(
+        &mut self,
+        ctx: &TuningContext,
+        _history: &History,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        let dim = ctx.space.dim();
+        let total = self.levels.pow(dim.min(12) as u32);
+        if self.cursor >= total {
+            // Grid exhausted: fall back to random refinement.
+            return ctx.space.random_config(rng);
+        }
+        let mut idx = self.cursor;
+        self.cursor += 1;
+        let point: Vec<f64> = (0..dim)
+            .map(|_| {
+                let level = idx % self.levels;
+                idx /= self.levels;
+                level as f64 / (self.levels - 1) as f64
+            })
+            .collect();
+        ctx.space.decode(&point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::{tune, ConfigSpace, FunctionObjective, ParamSpec};
+
+    fn objective() -> FunctionObjective<impl FnMut(&[f64]) -> f64> {
+        let space = ConfigSpace::new(vec![
+            ParamSpec::float("a", 0.0, 1.0, 0.0, ""),
+            ParamSpec::float("b", 0.0, 1.0, 0.0, ""),
+        ]);
+        FunctionObjective::new(space, "bowl", |x| {
+            (x[0] - 0.6).powi(2) + (x[1] - 0.4).powi(2)
+        })
+    }
+
+    #[test]
+    fn default_tuner_never_moves() {
+        let mut obj = objective();
+        let mut t = DefaultConfigTuner;
+        let out = tune(&mut obj, &mut t, 5, 1);
+        let d = out.history.all()[0].config.clone();
+        assert!(out.history.all().iter().all(|o| o.config == d));
+    }
+
+    #[test]
+    fn random_beats_default_on_offset_bowl() {
+        let mut obj = objective();
+        let mut d = DefaultConfigTuner;
+        let base = tune(&mut obj, &mut d, 1, 1).best.unwrap().runtime_secs;
+        let mut obj = objective();
+        let mut r = RandomSearchTuner;
+        let found = tune(&mut obj, &mut r, 50, 1).best.unwrap().runtime_secs;
+        assert!(found < base);
+    }
+
+    #[test]
+    fn grid_enumerates_lattice() {
+        let mut obj = objective();
+        let mut g = GridSearchTuner::new(3);
+        let out = tune(&mut obj, &mut g, 9, 1);
+        // 9 distinct lattice points for 3 levels x 2 dims.
+        let distinct: std::collections::HashSet<String> = out
+            .history
+            .all()
+            .iter()
+            .map(|o| format!("{}", o.config))
+            .collect();
+        assert_eq!(distinct.len(), 9);
+        // Best lattice point is (0.5, 0.5).
+        assert!(out.best.unwrap().runtime_secs <= 0.021);
+    }
+
+    #[test]
+    fn grid_falls_back_after_exhaustion() {
+        let mut obj = objective();
+        let mut g = GridSearchTuner::new(2);
+        let out = tune(&mut obj, &mut g, 10, 1);
+        assert_eq!(out.evaluations, 10); // 4 lattice + 6 random
+    }
+}

@@ -1,0 +1,256 @@
+//! Cluster-sizing what-if analysis in the spirit of Herodotou's
+//! Elastisizer (the cloud-provisioning arm of the Starfish project),
+//! addressing the tutorial's §2.5 open challenge "cloud computing:
+//! decision making in resource provisioning and scheduling".
+//!
+//! Given a job profile estimated from one profiled run, enumerate cloud
+//! instance types × cluster sizes, predict time and dollar cost for each
+//! with the analytic MapReduce model, and return the Pareto frontier —
+//! the provisioning decisions that are not dominated on (time, cost).
+
+use super::whatif::{JobProfile, MrCostModel};
+use autotune_core::{Configuration, SystemProfile};
+use serde::Serialize;
+
+/// A rentable instance type (hardware + hourly price).
+#[derive(Debug, Clone, Serialize)]
+pub struct InstanceType {
+    /// Instance name, e.g. `"m.large"`.
+    pub name: String,
+    /// CPU cores.
+    pub cores: usize,
+    /// Memory in MB.
+    pub memory_mb: f64,
+    /// Disk bandwidth MB/s.
+    pub disk_mbps: f64,
+    /// Network bandwidth MB/s.
+    pub network_mbps: f64,
+    /// Price in cents per node-hour.
+    pub cents_per_hour: f64,
+}
+
+impl InstanceType {
+    /// A small/medium/large catalogue resembling 2010s cloud offerings.
+    pub fn catalogue() -> Vec<InstanceType> {
+        vec![
+            InstanceType {
+                name: "small".into(),
+                cores: 4,
+                memory_mb: 8_192.0,
+                disk_mbps: 100.0,
+                network_mbps: 500.0,
+                cents_per_hour: 10.0,
+            },
+            InstanceType {
+                name: "medium".into(),
+                cores: 8,
+                memory_mb: 16_384.0,
+                disk_mbps: 200.0,
+                network_mbps: 1_000.0,
+                cents_per_hour: 22.0,
+            },
+            InstanceType {
+                name: "large".into(),
+                cores: 16,
+                memory_mb: 65_536.0,
+                disk_mbps: 500.0,
+                network_mbps: 10_000.0,
+                cents_per_hour: 60.0,
+            },
+        ]
+    }
+}
+
+/// One provisioning option with its predictions.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProvisioningPlan {
+    /// Instance type name.
+    pub instance: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Predicted job runtime (s).
+    pub predicted_secs: f64,
+    /// Predicted cost in cents (runtime × nodes × hourly price).
+    pub predicted_cents: f64,
+    /// Whether this plan is on the time/cost Pareto frontier.
+    pub pareto_optimal: bool,
+}
+
+/// The cluster-sizing what-if engine.
+#[derive(Debug, Clone)]
+pub struct Elastisizer {
+    /// Job profile from the profiling run.
+    pub job: JobProfile,
+    /// The configuration to assume on every candidate cluster (typically a
+    /// rule-book or MRTuner output).
+    pub config: Configuration,
+}
+
+impl Elastisizer {
+    /// Creates the engine.
+    pub fn new(job: JobProfile, config: Configuration) -> Self {
+        Elastisizer { job, config }
+    }
+
+    /// Predicts runtime on a hypothetical cluster.
+    pub fn predict(&self, instance: &InstanceType, nodes: usize) -> f64 {
+        let profile = SystemProfile {
+            system: autotune_core::SystemKind::Hadoop,
+            workload: autotune_core::WorkloadClass::Batch,
+            memory_per_node_mb: instance.memory_mb,
+            cores_per_node: instance.cores,
+            nodes,
+            disk_mbps: instance.disk_mbps,
+            network_mbps: instance.network_mbps,
+            input_mb: self.job.input_mb,
+        };
+        let model = MrCostModel {
+            job: self.job.clone(),
+            profile,
+        };
+        model.predict(&self.config)
+    }
+
+    /// Enumerates the catalogue × node counts and marks the Pareto
+    /// frontier on (time, cost).
+    pub fn enumerate(
+        &self,
+        catalogue: &[InstanceType],
+        node_counts: &[usize],
+    ) -> Vec<ProvisioningPlan> {
+        let mut plans: Vec<ProvisioningPlan> = Vec::new();
+        for inst in catalogue {
+            for &n in node_counts {
+                let secs = self.predict(inst, n);
+                if secs >= 1e6 {
+                    continue; // infeasible on this hardware
+                }
+                let cents = secs / 3600.0 * n as f64 * inst.cents_per_hour;
+                plans.push(ProvisioningPlan {
+                    instance: inst.name.clone(),
+                    nodes: n,
+                    predicted_secs: secs,
+                    predicted_cents: cents,
+                    pareto_optimal: false,
+                });
+            }
+        }
+        // Pareto marking: a plan is dominated if another is at least as
+        // good on both axes and strictly better on one.
+        for i in 0..plans.len() {
+            let dominated = plans.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && other.predicted_secs <= plans[i].predicted_secs
+                    && other.predicted_cents <= plans[i].predicted_cents
+                    && (other.predicted_secs < plans[i].predicted_secs
+                        || other.predicted_cents < plans[i].predicted_cents)
+            });
+            plans[i].pareto_optimal = !dominated;
+        }
+        plans.sort_by(|a, b| {
+            a.predicted_secs
+                .partial_cmp(&b.predicted_secs)
+                .expect("finite predictions")
+        });
+        plans
+    }
+
+    /// The cheapest plan meeting a runtime deadline, if any.
+    pub fn cheapest_within_deadline(
+        &self,
+        catalogue: &[InstanceType],
+        node_counts: &[usize],
+        deadline_secs: f64,
+    ) -> Option<ProvisioningPlan> {
+        self.enumerate(catalogue, node_counts)
+            .into_iter()
+            .filter(|p| p.predicted_secs <= deadline_secs)
+            .min_by(|a, b| {
+                a.predicted_cents
+                    .partial_cmp(&b.predicted_cents)
+                    .expect("finite costs")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::Objective;
+    use autotune_sim::hadoop::HadoopSimulator;
+    use autotune_sim::noise::NoiseModel;
+
+    fn engine() -> Elastisizer {
+        let sim = HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
+        let default = sim.space().default_config();
+        let run = sim.simulate(&default);
+        let obs = autotune_core::Observation {
+            config: default,
+            runtime_secs: run.runtime_secs,
+            cost: run.runtime_secs,
+            metrics: run.metrics,
+            failed: false,
+        };
+        let job = JobProfile::estimate(&obs, &sim.profile());
+        // Assume a sensible tuned config on the candidate clusters.
+        let cfg = autotune_sim::hadoop::benchmark_config(&sim.cluster);
+        Elastisizer::new(job, cfg)
+    }
+
+    #[test]
+    fn more_nodes_predict_faster_runs() {
+        let e = engine();
+        let inst = &InstanceType::catalogue()[1];
+        let t4 = e.predict(inst, 4);
+        let t16 = e.predict(inst, 16);
+        assert!(t16 < t4, "4 nodes {t4}s vs 16 nodes {t16}s");
+    }
+
+    #[test]
+    fn pareto_frontier_is_nonempty_and_consistent() {
+        let e = engine();
+        let plans = e.enumerate(&InstanceType::catalogue(), &[2, 4, 8, 16, 32]);
+        assert!(plans.len() >= 10);
+        let frontier: Vec<&ProvisioningPlan> =
+            plans.iter().filter(|p| p.pareto_optimal).collect();
+        assert!(!frontier.is_empty());
+        // No frontier plan dominates another frontier plan.
+        for a in &frontier {
+            for b in &frontier {
+                let dominates = a.predicted_secs < b.predicted_secs
+                    && a.predicted_cents < b.predicted_cents;
+                assert!(!dominates, "{a:?} dominates {b:?}");
+            }
+        }
+        // The globally fastest plan is always on the frontier.
+        let fastest = plans
+            .iter()
+            .min_by(|a, b| a.predicted_secs.partial_cmp(&b.predicted_secs).unwrap())
+            .unwrap();
+        assert!(fastest.pareto_optimal);
+    }
+
+    #[test]
+    fn deadline_query_trades_cost_for_time() {
+        let e = engine();
+        let cat = InstanceType::catalogue();
+        let counts = [2, 4, 8, 16, 32];
+        let tight = e.cheapest_within_deadline(&cat, &counts, 120.0);
+        let loose = e.cheapest_within_deadline(&cat, &counts, 3600.0);
+        let loose = loose.expect("an hour is plenty");
+        if let Some(tight) = tight {
+            assert!(
+                tight.predicted_cents >= loose.predicted_cents,
+                "tight deadline should cost at least as much: {tight:?} vs {loose:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_returns_none() {
+        let e = engine();
+        assert!(e
+            .cheapest_within_deadline(&InstanceType::catalogue(), &[2, 4], 0.001)
+            .is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! **Category 2 — Cost modeling** (§2.1): analytical performance models
+//! built from an understanding of system internals. [`stmm`] reproduces
+//! DB2's self-tuning memory manager; [`whatif`] reproduces the Starfish
+//! profile → what-if → recommend pipeline for MapReduce; [`spark_model`]
+//! ports the same workflow to Spark; [`mrtuner`] reproduces MRTuner's
+//! Producer-Transporter-Consumer balance model.
+
+pub mod elastisizer;
+pub mod mrtuner;
+pub mod spark_model;
+pub mod stmm;
+pub mod whatif;
+
+pub use elastisizer::{Elastisizer, InstanceType, ProvisioningPlan};
+pub use mrtuner::{MrTuner, PtcModel, PtcRates};
+pub use spark_model::{SparkAppProfile, SparkCostModel, SparkCostTuner};
+pub use stmm::{MemoryPool, StmmModel, StmmTuner};
+pub use whatif::{JobProfile, MrCostModel, WhatIfTuner};

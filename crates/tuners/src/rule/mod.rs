@@ -1,0 +1,14 @@
+//! **Category 1 — Rule-based tuning** (§2.1 of the tutorial): expert
+//! knowledge encoded as typed rules ([`engine`], [`bestpractice`]),
+//! SPEX-style constraint inference against misconfiguration ([`spex`]),
+//! and ConfNav-style knob navigation/ranking ([`confnav`]).
+
+pub mod bestpractice;
+pub mod confnav;
+pub mod engine;
+pub mod spex;
+
+pub use bestpractice::{dbms_rulebook, hadoop_rulebook, rulebook_for, spark_rulebook};
+pub use confnav::ConfNavTuner;
+pub use engine::{AppliedRule, Condition, Rule, RuleBasedTuner, RuleBook, RuleValue};
+pub use spex::{Constraint, ConstraintSet, SpexTuner, Violation};

@@ -1,0 +1,12 @@
+//! **Category 3 — Simulation-based tuning** (§2.1): predict performance by
+//! simulating the system. [`tracesim`] reproduces trace-replay what-if
+//! prediction (Narayanan et al.) and the search-the-simulator workflow;
+//! [`addm`] reproduces Oracle ADDM's diagnosis-driven tuning.
+
+pub mod addm;
+pub mod tracesim;
+
+pub use addm::{diagnose_dbms, AddmTuner, Adjustment, Finding};
+pub use tracesim::{
+    DistortedShadow, ShadowSimulator, SimulationSearchTuner, TraceReplayPredictor,
+};

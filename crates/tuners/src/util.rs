@@ -1,0 +1,126 @@
+//! Shared helpers for tuner implementations: candidate-pool generation and
+//! penalized objective extraction from history.
+
+use autotune_core::{ConfigSpace, History};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Generates a candidate pool in the unit cube: uniform random points plus
+/// Gaussian-ish perturbations of `anchors` (typically the best configs so
+/// far). Standard acquisition-maximization pool for iTuned/OtterTune.
+pub fn candidate_pool(
+    dim: usize,
+    n_random: usize,
+    anchors: &[Vec<f64>],
+    per_anchor: usize,
+    radius: f64,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let mut pool = Vec::with_capacity(n_random + anchors.len() * per_anchor);
+    for _ in 0..n_random {
+        pool.push((0..dim).map(|_| rng.random_range(0.0..1.0)).collect());
+    }
+    for anchor in anchors {
+        for _ in 0..per_anchor {
+            pool.push(
+                anchor
+                    .iter()
+                    .map(|&v| (v + rng.random_range(-radius..radius)).clamp(0.0, 1.0))
+                    .collect(),
+            );
+        }
+    }
+    pool
+}
+
+/// Unit-cube encodings of the `k` best (lowest-runtime) observations.
+pub fn best_anchors(history: &History, space: &ConfigSpace, k: usize) -> Vec<Vec<f64>> {
+    let mut obs: Vec<_> = history.all().iter().collect();
+    obs.sort_by(|a, b| {
+        a.runtime_secs
+            .partial_cmp(&b.runtime_secs)
+            .expect("finite runtimes")
+    });
+    obs.iter()
+        .take(k)
+        .map(|o| space.encode(&o.config))
+        .collect()
+}
+
+/// Runtimes with failures inflated so models learn to avoid them
+/// (a failed run's measured runtime already includes the penalty, but we
+/// additionally guard against zero-runtime artifacts).
+pub fn penalized_runtimes(history: &History) -> Vec<f64> {
+    history
+        .all()
+        .iter()
+        .map(|o| {
+            if o.failed {
+                o.runtime_secs.max(1e-6) * 1.5
+            } else {
+                o.runtime_secs.max(1e-6)
+            }
+        })
+        .collect()
+}
+
+/// Log-transformed penalized runtimes — GP/Lasso targets are far better
+/// behaved in log space because runtimes span orders of magnitude.
+pub fn log_runtimes(history: &History) -> Vec<f64> {
+    penalized_runtimes(history)
+        .into_iter()
+        .map(|r| r.ln())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::{Observation, ParamSpec};
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            ParamSpec::float("x", 0.0, 1.0, 0.5, ""),
+            ParamSpec::float("y", 0.0, 1.0, 0.5, ""),
+        ])
+    }
+
+    #[test]
+    fn pool_size_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let anchors = vec![vec![0.9, 0.1]];
+        let pool = candidate_pool(2, 10, &anchors, 5, 0.2, &mut rng);
+        assert_eq!(pool.len(), 15);
+        for p in &pool {
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn anchors_are_best_observations() {
+        let s = space();
+        let mut h = History::new();
+        for (u, rt) in [(0.1, 5.0), (0.5, 1.0), (0.9, 3.0)] {
+            h.push(Observation::ok(s.decode(&[u, u]), rt));
+        }
+        let anchors = best_anchors(&h, &s, 2);
+        assert_eq!(anchors.len(), 2);
+        assert!((anchors[0][0] - 0.5).abs() < 1e-9);
+        assert!((anchors[1][0] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_are_penalized() {
+        let s = space();
+        let mut h = History::new();
+        let mut bad = Observation::ok(s.decode(&[0.5, 0.5]), 10.0);
+        bad.failed = true;
+        h.push(bad);
+        h.push(Observation::ok(s.decode(&[0.2, 0.2]), 10.0));
+        let rts = penalized_runtimes(&h);
+        assert!(rts[0] > rts[1]);
+        let lrts = log_runtimes(&h);
+        assert!((lrts[1] - 10.0f64.ln()).abs() < 1e-12);
+    }
+}

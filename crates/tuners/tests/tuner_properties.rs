@@ -1,0 +1,116 @@
+//! Property-based tests over tuner invariants: every tuner proposes only
+//! valid configurations, SPEX repair always lands in the feasible region,
+//! and rule books clamp arbitrary profiles into knob domains.
+
+use autotune_core::{History, Objective, SystemProfile, Tuner, TuningContext};
+use autotune_sim::{DbmsSimulator, HadoopSimulator, NoiseModel, SparkSimulator};
+use autotune_tuners::adaptive::{
+    ColtTuner, DynamicPartitionTuner, MrMoulderTuner, OnlineMemoryTuner,
+    RecommendationRepository, TempoTuner,
+};
+use autotune_tuners::cost::{SparkCostTuner, StmmTuner, WhatIfTuner};
+use autotune_tuners::experiment::{AdaptiveSamplingTuner, ITunedTuner, RrsTuner, SardTuner};
+use autotune_tuners::ml::{OtterTuneTuner, RoddTuner, WorkloadRepository};
+use autotune_tuners::rule::{rulebook_for, ConstraintSet, RuleBasedTuner, SpexTuner};
+use autotune_tuners::simulation::AddmTuner;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn objectives() -> Vec<Box<dyn Objective>> {
+    vec![
+        Box::new(DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic())),
+        Box::new(HadoopSimulator::terasort_default().with_noise(NoiseModel::realistic())),
+        Box::new(SparkSimulator::aggregation_default().with_noise(NoiseModel::realistic())),
+    ]
+}
+
+fn all_tuners(
+    space: &autotune_core::ConfigSpace,
+    system: autotune_core::SystemKind,
+) -> Vec<Box<dyn Tuner>> {
+    use autotune_core::SystemKind::*;
+    // System-agnostic tuners run everywhere…
+    let mut tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(RuleBasedTuner::new("rules", rulebook_for(system))),
+        Box::new(SpexTuner::new(space)),
+        Box::new(StmmTuner::new()),
+        Box::new(AddmTuner::new()),
+        Box::new(SardTuner::new(3)),
+        Box::new(AdaptiveSamplingTuner::new()),
+        Box::new(ITunedTuner::new().with_init(4)),
+        Box::new(RrsTuner::new()),
+        Box::new(OtterTuneTuner::new(WorkloadRepository::new())),
+        Box::new(RoddTuner {
+            bootstrap: 4,
+            epochs: 40,
+            ..RoddTuner::new()
+        }),
+        Box::new(ColtTuner::new()),
+        Box::new(OnlineMemoryTuner::new()),
+        Box::new(DynamicPartitionTuner::new()),
+        Box::new(MrMoulderTuner::new(RecommendationRepository::new())),
+        Box::new(TempoTuner::new()),
+    ];
+    // …while the analytic cost models speak one system's knob vocabulary.
+    match system {
+        Hadoop => tuners.push(Box::new(WhatIfTuner::new())),
+        Spark => tuners.push(Box::new(SparkCostTuner::new())),
+        Dbms | Other => {}
+    }
+    tuners
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every tuner, on every system, proposes only domain-valid
+    /// configurations for its first several rounds under arbitrary seeds.
+    #[test]
+    fn all_proposals_are_valid_configs(seed in 0u64..5000) {
+        for mut obj in objectives() {
+            let ctx = TuningContext {
+                space: obj.space().clone(),
+                profile: obj.profile(),
+            };
+            for mut tuner in all_tuners(&ctx.space, ctx.profile.system) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut history = History::new();
+                for round in 0..6 {
+                    let cfg = tuner.propose(&ctx, &history, &mut rng);
+                    prop_assert!(
+                        ctx.space.validate_config(&cfg).is_ok(),
+                        "{} round {round} on {} proposed invalid config",
+                        tuner.name(),
+                        obj.name()
+                    );
+                    let obs = obj.evaluate(&cfg, &mut rng);
+                    tuner.observe(&obs);
+                    history.push(obs);
+                }
+                let rec = tuner.recommend(&ctx, &history);
+                prop_assert!(ctx.space.validate_config(&rec.config).is_ok());
+            }
+        }
+    }
+
+    /// SPEX repair is idempotent and always reaches feasibility on the
+    /// DBMS space.
+    #[test]
+    fn spex_repair_reaches_fixpoint(seed in 0u64..5000) {
+        let sim = DbmsSimulator::oltp_default();
+        let set = ConstraintSet::infer_for(sim.space());
+        let profile = SystemProfile {
+            memory_per_node_mb: 16384.0,
+            ..SystemProfile::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.space().random_config(&mut rng);
+        let (fixed, _) = set.repair(sim.space(), &cfg, &profile);
+        prop_assert!(set.check(&fixed, &profile).is_empty());
+        let (fixed2, repairs2) = set.repair(sim.space(), &fixed, &profile);
+        prop_assert_eq!(repairs2, 0, "repair must be a fixpoint");
+        prop_assert_eq!(&fixed2, &fixed);
+        prop_assert!(sim.space().validate_config(&fixed).is_ok());
+    }
+}

@@ -1,0 +1,74 @@
+//! The §2.5 "cloud computing" open challenge end-to-end: profile a job
+//! once, then answer provisioning what-ifs — which instance type, how
+//! many nodes, what does a deadline cost — from the analytic model, and
+//! cross-check a couple of frontier plans against the "real" simulator.
+//!
+//! ```sh
+//! cargo run --release --example cloud_provisioning
+//! ```
+
+use autotune::core::Objective;
+use autotune::prelude::*;
+use autotune::sim::cluster::ClusterSpec;
+use autotune::sim::hadoop::{benchmark_config, HadoopJob, HadoopSimulator};
+use autotune::tuners::cost::{Elastisizer, InstanceType, JobProfile};
+
+fn main() {
+    // Profile TeraSort once on the current 8-node cluster.
+    let sim = HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
+    let default = sim.space().default_config();
+    let run = sim.simulate(&default);
+    let obs = autotune::core::Observation {
+        config: default,
+        runtime_secs: run.runtime_secs,
+        cost: run.runtime_secs,
+        metrics: run.metrics,
+        failed: false,
+    };
+    let job = JobProfile::estimate(&obs, &sim.profile());
+    println!(
+        "profiled job: {:.0} MB input, output ratio {:.2}, map cpu {:.1} ms/MB",
+        job.input_mb, job.map_output_ratio, job.map_cpu_ms_per_mb
+    );
+
+    let engine = Elastisizer::new(job, benchmark_config(&sim.cluster));
+    let plans = engine.enumerate(&InstanceType::catalogue(), &[2, 4, 8, 16, 32]);
+    println!("\ntime/cost Pareto frontier:");
+    for p in plans.iter().filter(|p| p.pareto_optimal) {
+        println!(
+            "  {:<8} x{:<3} predicted {:>5.0} s for {:>5.1} cents",
+            p.instance, p.nodes, p.predicted_secs, p.predicted_cents
+        );
+    }
+
+    // Cross-validate two frontier plans against the full simulator.
+    println!("\ncross-check (model vs full simulator):");
+    for p in plans.iter().filter(|p| p.pareto_optimal).take(2) {
+        let inst = InstanceType::catalogue()
+            .into_iter()
+            .find(|i| i.name == p.instance)
+            .expect("catalogue entry");
+        let node = NodeSpec {
+            cores: inst.cores,
+            core_speed: 1.0,
+            memory_mb: inst.memory_mb,
+            disk_mbps: inst.disk_mbps,
+            disk_iops: inst.disk_mbps * 3.0,
+            network_mbps: inst.network_mbps,
+        };
+        let cluster = ClusterSpec::homogeneous(p.nodes, node);
+        let check = HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(32_768.0))
+            .with_noise(NoiseModel::none());
+        let actual = check
+            .simulate(&benchmark_config(&cluster))
+            .runtime_secs;
+        println!(
+            "  {:<8} x{:<3} model {:>6.0} s   simulator {:>6.0} s   ({:+.0}% error)",
+            p.instance,
+            p.nodes,
+            p.predicted_secs,
+            actual,
+            (p.predicted_secs - actual) / actual * 100.0
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The tutorial's story in one binary: run a representative of each of the
+//! six tuning families against the same simulated DBMS and compare what
+//! they achieve, what they cost, and where they fail.
+//!
+//! ```sh
+//! cargo run --release --example compare_families
+//! ```
+
+use autotune::core::{tune, Objective, Tuner};
+use autotune::prelude::*;
+
+fn main() {
+    let budget = 25;
+    let seed = 7;
+
+    let baseline = {
+        let db = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        db.simulate(&db.space().default_config()).runtime_secs
+    };
+    println!("OLTP DBMS, default configuration: {baseline:.0} s");
+    println!("budget: {budget} evaluations per tuner\n");
+    println!(
+        "{:<22} {:<18} {:>10} {:>9} {:>7} {:>9}",
+        "tuner", "family", "best (s)", "speedup", "fails", "overhead"
+    );
+
+    // One representative per family (plus baselines). Each gets a fresh,
+    // identically-seeded simulator.
+    let mut rows: Vec<(String, String, f64, usize, f64)> = Vec::new();
+    let mut run = |name: &str, tuner: &mut dyn Tuner| {
+        let mut db = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+        let outcome = tune(&mut db, tuner, budget, seed);
+        let best = outcome
+            .best
+            .as_ref()
+            .map(|b| b.runtime_secs)
+            .unwrap_or(f64::NAN);
+        let fails = outcome.history.all().iter().filter(|o| o.failed).count();
+        rows.push((
+            name.to_string(),
+            tuner.family().to_string(),
+            best,
+            fails,
+            outcome.tuner_overhead_secs,
+        ));
+    };
+
+    run("default (untuned)", &mut DefaultConfigTuner);
+    run(
+        "best-practice rules",
+        &mut RuleBasedTuner::new("dbms-rules", dbms_rulebook()),
+    );
+    run("stmm cost model", &mut StmmTuner::new());
+    run("addm diagnosis", &mut AddmTuner::new());
+    run("ituned (GP+EI)", &mut ITunedTuner::new());
+    run("sard screening", &mut SardTuner::new(4));
+    run("ottertune (cold)", &mut OtterTuneTuner::new(WorkloadRepository::new()));
+    run("rodd neural net", &mut RoddTuner::new());
+    run("colt adaptive", &mut ColtTuner::new());
+    run("random search", &mut RandomSearchTuner);
+
+    for (name, family, best, fails, overhead) in rows {
+        println!(
+            "{name:<22} {family:<18} {best:>10.0} {:>8.2}x {fails:>7} {overhead:>8.2}s",
+            baseline / best
+        );
+    }
+
+    println!(
+        "\nReading guide: rule/cost tuners pay ~zero experiments but plateau;\n\
+         experiment-driven and ML tuners keep improving with budget; the\n\
+         adaptive tuner never strays far from the incumbent (low risk), and\n\
+         random search occasionally lands on the OOM cliff (fails > 0)."
+    );
+}

@@ -1,0 +1,92 @@
+//! The §2.3 Hadoop story: stock defaults are disastrous (one reducer, no
+//! compression, 100 MB sort buffer), rule books fix the obvious, and the
+//! Starfish-style profile→what-if→recommend pipeline gets close to optimal
+//! with a handful of real runs.
+//!
+//! ```sh
+//! cargo run --release --example hadoop_starfish
+//! ```
+
+use autotune::core::{tune, Objective};
+use autotune::prelude::*;
+use autotune::sim::hadoop::HadoopJob;
+use autotune::tuners::cost::WhatIfTuner;
+
+fn main() {
+    let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+    println!(
+        "cluster: {} nodes x {} cores / {:.0} GB",
+        cluster.len(),
+        cluster.nodes[0].cores,
+        cluster.nodes[0].memory_mb / 1024.0
+    );
+
+    for job in [
+        HadoopJob::terasort(32_768.0),
+        HadoopJob::wordcount(32_768.0),
+        HadoopJob::join(32_768.0),
+    ] {
+        let name = job.name.clone();
+        let sim = HadoopSimulator::new(cluster.clone(), job.clone())
+            .with_noise(NoiseModel::none());
+        let stock = sim.simulate(&sim.space().default_config()).runtime_secs;
+
+        // Expert rules.
+        let mut rules = RuleBasedTuner::new("hadoop-rules", hadoop_rulebook());
+        let mut sim_r = HadoopSimulator::new(cluster.clone(), job.clone())
+            .with_noise(NoiseModel::none());
+        let rules_rt = tune(&mut sim_r, &mut rules, 1, 1)
+            .best
+            .unwrap()
+            .runtime_secs;
+
+        // Starfish what-if: 1 profiling run + 5 validations.
+        let mut whatif = WhatIfTuner::new();
+        let mut sim_w = HadoopSimulator::new(cluster.clone(), job.clone())
+            .with_noise(NoiseModel::none());
+        let whatif_out = tune(&mut sim_w, &mut whatif, 6, 1);
+        let whatif_rt = whatif_out.best.unwrap().runtime_secs;
+
+        // Experiment-driven (iTuned) with a bigger budget, for reference.
+        let mut ituned = ITunedTuner::new();
+        let mut sim_i = HadoopSimulator::new(cluster.clone(), job)
+            .with_noise(NoiseModel::none());
+        let ituned_rt = tune(&mut sim_i, &mut ituned, 30, 1)
+            .best
+            .unwrap()
+            .runtime_secs;
+
+        println!("\njob: {name}");
+        println!("  stock defaults   : {stock:>8.0} s   (1 reducer, no compression)");
+        println!(
+            "  rule book        : {rules_rt:>8.0} s   ({:.1}x, 1 run)",
+            stock / rules_rt
+        );
+        println!(
+            "  starfish what-if : {whatif_rt:>8.0} s   ({:.1}x, 6 runs)",
+            stock / whatif_rt
+        );
+        println!(
+            "  ituned 30 runs   : {ituned_rt:>8.0} s   ({:.1}x, 30 runs)",
+            stock / ituned_rt
+        );
+    }
+
+    // The parallel-DB comparison (Pavlo et al. reproduction).
+    println!("\nparallel DBMS baseline vs as-benchmarked Hadoop (32 GB):");
+    let db = ParallelDbBaseline::new(cluster.clone());
+    for job in HadoopJob::analytical_suite(32_768.0) {
+        let task = ParallelDbBaseline::task_for_job(&job);
+        let sim = HadoopSimulator::new(cluster.clone(), job.clone())
+            .with_noise(NoiseModel::none());
+        let h = sim
+            .simulate(&autotune::sim::hadoop::benchmark_config(&cluster))
+            .runtime_secs;
+        let d = db.runtime_secs(task, 32_768.0);
+        println!(
+            "  {:<10} parallel-db {d:>6.0} s   hadoop {h:>6.0} s   gap {:.1}x",
+            job.name,
+            h / d
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The §2.5 multi-tenancy challenge: three tenants with SLOs share one
+//! 64 GB node; the Tempo controller (Tan & Babu, PVLDB 2016) shifts
+//! memory until the worst SLO ratio equalizes.
+//!
+//! ```sh
+//! cargo run --release --example multitenant_slo
+//! ```
+
+use autotune::core::{tune, Objective};
+use autotune::prelude::*;
+
+fn main() {
+    let mut host = MultiTenantDbms::standard_three_tenants().with_noise(NoiseModel::none());
+    let equal = host.space().default_config();
+    println!("tenants and SLOs:");
+    for (t, rt) in host.tenants.iter().zip(host.tenant_runtimes(&equal)) {
+        println!(
+            "  {:<6} slo {:>6.0}s   runtime at equal shares {:>7.0}s  ({:.2}x)",
+            t.name,
+            t.slo_secs,
+            rt,
+            rt / t.slo_secs
+        );
+    }
+    println!(
+        "worst SLO ratio at equal shares: {:.2} (>1 = violation)\n",
+        host.worst_violation(&equal)
+    );
+
+    let mut tempo = TempoTuner::new();
+    let out = tune(&mut host, &mut tempo, 25, 7);
+    let final_cfg = &out.recommendation.config;
+    println!("after {} Tempo epochs ({}):", out.evaluations, out.recommendation.rationale);
+    for (t, (rt, share)) in host.tenants.iter().zip(
+        host.tenant_runtimes(final_cfg)
+            .into_iter()
+            .zip(host.shares(final_cfg)),
+    ) {
+        println!(
+            "  {:<6} share {:>4.0}%   runtime {:>7.0}s  ({:.2}x of SLO)",
+            t.name,
+            share * 100.0,
+            rt,
+            rt / t.slo_secs
+        );
+    }
+    println!(
+        "worst SLO ratio after tuning: {:.2}",
+        host.worst_violation(final_cfg)
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: tune a simulated PostgreSQL-like DBMS with iTuned.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use autotune::prelude::*;
+
+fn main() {
+    // The target: a 16 GB / 8-core box serving a TPC-C-flavoured OLTP mix,
+    // with vendor-default knobs (128 MB buffer pool, 4 MB work_mem, …).
+    let mut db = DbmsSimulator::oltp_default();
+    let space = db.space().clone();
+    let default_cfg = space.default_config();
+    let baseline = db.simulate(&default_cfg).runtime_secs;
+
+    println!("target        : {}", db.workload.name);
+    println!("knobs         : {}", space.dim());
+    println!("default run   : {baseline:.0} s");
+    println!();
+
+    // iTuned: Latin-hypercube initialization, Gaussian-process response
+    // surface, Expected-Improvement experiment selection.
+    let budget = 30;
+    let mut tuner = ITunedTuner::new();
+    let outcome = tune(&mut db, &mut tuner, budget, 42);
+
+    let best = outcome.best.as_ref().expect("runs happened");
+    println!("experiments   : {}", outcome.evaluations);
+    println!("best runtime  : {:.0} s", best.runtime_secs);
+    println!("speedup       : {:.2}x", baseline / best.runtime_secs);
+    println!("tuner overhead: {:.2} s", outcome.tuner_overhead_secs);
+    println!();
+    println!("recommended configuration:");
+    for (knob, value) in outcome.recommendation.config.iter() {
+        let default = default_cfg.get(knob).expect("same space");
+        let marker = if default == value { " " } else { "*" };
+        println!("  {marker} {knob:<28} {value}");
+    }
+    println!("  (* = changed from default)");
+    println!();
+
+    // Convergence curve: best-so-far after each experiment.
+    println!("convergence (best-so-far):");
+    let curve = outcome.history.best_so_far();
+    for (i, v) in curve.iter().enumerate() {
+        if i % 5 == 0 || i + 1 == curve.len() {
+            println!("  run {:>3}: {v:.0} s", i + 1);
+        }
+    }
+}

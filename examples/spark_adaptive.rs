@@ -1,0 +1,82 @@
+//! Spark tuning two ways (§2.4): offline experiment-driven search for a
+//! batch aggregation, and online dynamic partitioning (Gounaris et al.)
+//! for a streaming pipeline where every micro-batch is a chance to adapt.
+//!
+//! ```sh
+//! cargo run --release --example spark_adaptive
+//! ```
+
+use autotune::core::{tune, Objective};
+use autotune::prelude::*;
+use autotune::sim::spark::SparkApp;
+
+fn main() {
+    let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+
+    // ---- batch: offline tuning --------------------------------------------
+    let mut batch = SparkSimulator::new(
+        cluster.clone(),
+        SparkApp::aggregation(16_384.0),
+    );
+    let default_rt = batch
+        .simulate(&batch.space().default_config())
+        .runtime_secs;
+    println!("batch aggregation (16 GB), default config: {default_rt:.0} s");
+
+    let mut rules = RuleBasedTuner::new("spark-rules", spark_rulebook());
+    let rules_rt = tune(&mut batch, &mut rules, 1, 3).best.unwrap().runtime_secs;
+    println!("  spark tuning-guide rules : {rules_rt:.0} s ({:.1}x)", default_rt / rules_rt);
+
+    let mut ituned = ITunedTuner::new();
+    let mut batch2 = SparkSimulator::new(
+        cluster.clone(),
+        SparkApp::aggregation(16_384.0),
+    );
+    let out = tune(&mut batch2, &mut ituned, 30, 3);
+    let tuned_rt = out.best.unwrap().runtime_secs;
+    println!(
+        "  ituned, 30 experiments   : {tuned_rt:.0} s ({:.1}x)",
+        default_rt / tuned_rt
+    );
+
+    // ---- iterative ML: Ernest right-sizes the executors --------------------
+    let mut lr = SparkSimulator::new(
+        ClusterSpec::homogeneous(16, NodeSpec::default()),
+        SparkApp::logistic_regression(8_192.0, 10),
+    );
+    let lr_default = lr.simulate(&lr.space().default_config()).runtime_secs;
+    let mut ernest = ErnestTuner::new();
+    let ernest_out = tune(&mut lr, &mut ernest, 6, 5);
+    println!(
+        "\nlogistic regression (10 iters): default {lr_default:.0} s -> ernest-sized {:.0} s",
+        ernest_out.best.unwrap().runtime_secs
+    );
+    println!("  {}", ernest_out.recommendation.rationale);
+
+    // ---- streaming: online adaptation ---------------------------------------
+    println!("\nstreaming micro-batches (64 MB each), adapting partitions online:");
+    let mut stream = SparkSimulator::new(
+        ClusterSpec::homogeneous(4, NodeSpec::default()),
+        SparkApp::streaming(64.0, 20),
+    );
+    let stream_default = stream
+        .simulate(&stream.space().default_config())
+        .runtime_secs;
+    let mut dyn_part = DynamicPartitionTuner::new();
+    let out = tune(&mut stream, &mut dyn_part, 15, 9);
+    println!("  default (200 partitions) : {stream_default:.0} s per window");
+    for (i, obs) in out.history.all().iter().enumerate() {
+        if i % 3 == 0 {
+            println!(
+                "  round {:>2}: partitions={:<5} runtime={:.0} s",
+                i + 1,
+                obs.config.i64("shuffle_partitions"),
+                obs.runtime_secs
+            );
+        }
+    }
+    println!(
+        "  adjustments applied: {:?}",
+        &dyn_part.actions[..dyn_part.actions.len().min(4)]
+    );
+}

@@ -1,0 +1,219 @@
+//! `autotune` — command-line front end: run any of the surveyed tuners
+//! against any of the simulated systems.
+//!
+//! ```sh
+//! autotune list
+//! autotune tune --system dbms-oltp --tuner ituned --budget 30 --seed 42
+//! autotune tune --system hadoop-terasort --tuner mrtuner --csv out.csv
+//! ```
+
+use autotune::core::{
+    config_to_properties, history_to_csv, pareto_front, tune, Objective, Tuner,
+};
+use autotune::prelude::*;
+use autotune::tuners::cost::MrTuner;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const SYSTEMS: &[(&str, &str)] = &[
+    ("dbms-oltp", "simulated DBMS serving a TPC-C-like OLTP mix"),
+    ("dbms-olap", "simulated DBMS serving a TPC-H-like OLAP mix"),
+    ("hadoop-terasort", "8-node Hadoop cluster sorting 32 GB"),
+    ("spark-agg", "8-node Spark cluster aggregating 16 GB"),
+];
+
+const TUNERS: &[(&str, &str)] = &[
+    ("default", "vendor defaults (no tuning)"),
+    ("random", "uniform random search"),
+    ("rules", "best-practice rule book for the target system"),
+    ("spex", "constraint-repaired random search (SPEX)"),
+    ("confnav", "one-at-a-time knob navigation (ConfNav)"),
+    ("stmm", "cost-benefit memory allocation (STMM; DBMS)"),
+    ("whatif", "profile → what-if → recommend (Starfish; Hadoop)"),
+    ("mrtuner", "PTC-balanced plan search (MRTuner; Hadoop)"),
+    ("spark-cost", "analytic Spark cost model"),
+    ("addm", "diagnosis-driven tuning (ADDM; DBMS)"),
+    ("sard", "Plackett–Burman screening + search (SARD)"),
+    ("adaptive-sampling", "k-NN exploit / distance explore (HotOS'09)"),
+    ("ituned", "LHS + Gaussian process + EI (iTuned)"),
+    ("rrs", "recursive random search"),
+    ("ottertune", "OtterTune pipeline (cold start)"),
+    ("rodd", "neural-network surrogate (Rodd)"),
+    ("ernest", "NNLS scale model for executor sizing (Ernest; Spark)"),
+    ("colt", "online cost-vs-gain tuning (COLT)"),
+    ("online-memory", "online STMM feedback controller (DBMS)"),
+    ("dyn-partition", "dynamic shuffle partitioning (Spark)"),
+];
+
+fn make_objective(name: &str, noise: NoiseModel) -> Option<Box<dyn Objective>> {
+    Some(match name {
+        "dbms-oltp" => Box::new(DbmsSimulator::oltp_default().with_noise(noise)),
+        "dbms-olap" => Box::new(DbmsSimulator::olap_default().with_noise(noise)),
+        "hadoop-terasort" => Box::new(HadoopSimulator::terasort_default().with_noise(noise)),
+        "spark-agg" => Box::new(SparkSimulator::aggregation_default().with_noise(noise)),
+        _ => return None,
+    })
+}
+
+fn make_tuner(name: &str, system: SystemKind) -> Option<Box<dyn Tuner>> {
+    use autotune::core::SystemKind;
+    Some(match name {
+        "default" => Box::new(DefaultConfigTuner),
+        "random" => Box::new(RandomSearchTuner),
+        "rules" => Box::new(RuleBasedTuner::new("rules", rulebook_for(system))),
+        "spex" => {
+            // SPEX needs the space; defer by inferring inside propose via a
+            // fresh objective of the same kind.
+            let obj = match system {
+                SystemKind::Dbms => make_objective("dbms-oltp", NoiseModel::none()),
+                SystemKind::Hadoop => make_objective("hadoop-terasort", NoiseModel::none()),
+                SystemKind::Spark => make_objective("spark-agg", NoiseModel::none()),
+                SystemKind::Other => None,
+            }?;
+            Box::new(SpexTuner::new(obj.space()))
+        }
+        "confnav" => Box::new(ConfNavTuner::new(4)),
+        "stmm" => Box::new(StmmTuner::new()),
+        "whatif" => Box::new(WhatIfTuner::new()),
+        "mrtuner" => Box::new(MrTuner::new()),
+        "spark-cost" => Box::new(SparkCostTuner::new()),
+        "addm" => Box::new(AddmTuner::new()),
+        "sard" => Box::new(SardTuner::new(4)),
+        "adaptive-sampling" => Box::new(AdaptiveSamplingTuner::new()),
+        "ituned" => Box::new(ITunedTuner::new()),
+        "rrs" => Box::new(RrsTuner::new()),
+        "ottertune" => Box::new(OtterTuneTuner::new(WorkloadRepository::new())),
+        "rodd" => Box::new(RoddTuner::new()),
+        "ernest" => Box::new(ErnestTuner::new()),
+        "colt" => Box::new(ColtTuner::new()),
+        "online-memory" => Box::new(OnlineMemoryTuner::new()),
+        "dyn-partition" => Box::new(DynamicPartitionTuner::new()),
+        _ => return None,
+    })
+}
+
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn usage() {
+    println!("autotune — parameter tuning for databases and big data systems\n");
+    println!("USAGE:");
+    println!("  autotune list");
+    println!("  autotune tune --system <SYSTEM> --tuner <TUNER>");
+    println!("                [--budget N] [--seed S] [--noise none|realistic|cloud]");
+    println!("                [--csv FILE] [--show-config] [--pareto]\n");
+    println!("Run `autotune list` for available systems and tuners.");
+}
+
+fn cmd_list() {
+    println!("systems:");
+    for (n, d) in SYSTEMS {
+        println!("  {n:<18} {d}");
+    }
+    println!("\ntuners:");
+    for (n, d) in TUNERS {
+        println!("  {n:<18} {d}");
+    }
+}
+
+fn cmd_tune(flags: &BTreeMap<String, String>) -> ExitCode {
+    let system_name = flags.get("system").map(String::as_str).unwrap_or("dbms-oltp");
+    let tuner_name = flags.get("tuner").map(String::as_str).unwrap_or("ituned");
+    let budget: usize = flags
+        .get("budget")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let noise = match flags.get("noise").map(String::as_str) {
+        Some("none") => NoiseModel::none(),
+        Some("cloud") => NoiseModel::noisy_cloud(),
+        _ => NoiseModel::realistic(),
+    };
+
+    let Some(mut objective) = make_objective(system_name, noise) else {
+        eprintln!("unknown system '{system_name}' — try `autotune list`");
+        return ExitCode::FAILURE;
+    };
+    let system = objective.profile().system;
+    let Some(mut tuner) = make_tuner(tuner_name, system) else {
+        eprintln!("unknown tuner '{tuner_name}' — try `autotune list`");
+        return ExitCode::FAILURE;
+    };
+
+    let default_cfg = objective.space().default_config();
+    let baseline = {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0xBA5E);
+        objective.evaluate(&default_cfg, &mut rng).runtime_secs
+    };
+
+    eprintln!("tuning {system_name} with {tuner_name} ({budget} evaluations, seed {seed})…");
+    let outcome = tune(objective.as_mut(), tuner.as_mut(), budget, seed);
+
+    println!("system          : {system_name}");
+    println!("tuner           : {} ({})", tuner.name(), tuner.family());
+    println!("evaluations     : {}", outcome.evaluations);
+    println!("default runtime : {baseline:.1} s");
+    match &outcome.best {
+        Some(best) => {
+            println!("best runtime    : {:.1} s", best.runtime_secs);
+            println!("speedup         : {:.2}x", baseline / best.runtime_secs);
+        }
+        None => println!("best runtime    : (no successful runs)"),
+    }
+    let failures = outcome.history.all().iter().filter(|o| o.failed).count();
+    println!("failed runs     : {failures}");
+    println!("tuner overhead  : {:.3} s", outcome.tuner_overhead_secs);
+    println!("rationale       : {}", outcome.recommendation.rationale);
+
+    if flags.contains_key("show-config") {
+        println!("\nrecommended configuration:");
+        print!("{}", config_to_properties(&outcome.recommendation.config));
+    }
+    if flags.contains_key("pareto") {
+        println!("\ntime/cost Pareto frontier of the session:");
+        for p in pareto_front(&outcome.history) {
+            println!(
+                "  run {:>3}: {:>10.1} s  {:>12.1} cost",
+                p.index, p.runtime_secs, p.cost
+            );
+        }
+    }
+    if let Some(path) = flags.get("csv") {
+        let csv = history_to_csv(&outcome.history, objective.space());
+        match std::fs::write(path, csv) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        Some("tune") => cmd_tune(&parse_flags(&args[1..])),
+        _ => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # autotune
+//!
+//! Automatic parameter tuning for databases and big data systems — a full
+//! Rust reproduction of the system landscape surveyed in *"Speedup Your
+//! Analytics: Automatic Parameter Tuning for Databases and Big Data
+//! Systems"* (Lu, Chen, Herodotou & Babu, PVLDB 12(12), 2019).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — knob spaces, objectives, the [`core::Tuner`] trait with
+//!   the paper's six-family taxonomy, tuning sessions;
+//! * [`sim`] — simulated DBMS / Hadoop MapReduce / Spark targets with
+//!   realistic response surfaces, plus cluster and noise models;
+//! * [`tuners`] — the six tuning families: rule-based, cost modeling,
+//!   simulation-based, experiment-driven, machine learning, adaptive;
+//! * [`math`] — the from-scratch numerical substrate (GP regression, LHS,
+//!   Plackett–Burman designs, Lasso, PCA, k-means, NNLS, MLP, …).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use autotune::prelude::*;
+//!
+//! // A simulated PostgreSQL-like DBMS serving an OLTP mix.
+//! let mut db = DbmsSimulator::oltp_default();
+//! let default_cfg = db.space().default_config();
+//! let baseline = db.simulate(&default_cfg).runtime_secs;
+//!
+//! // Tune it with iTuned (LHS + Gaussian process + Expected Improvement)
+//! // under a 25-experiment budget.
+//! let mut tuner = ITunedTuner::new();
+//! let outcome = tune(&mut db, &mut tuner, 25, 42);
+//!
+//! let best = outcome.best.expect("observations were made");
+//! assert!(best.runtime_secs < baseline, "tuning should beat the defaults");
+//! println!(
+//!     "default {:.0}s -> tuned {:.0}s ({:.1}x)",
+//!     baseline,
+//!     best.runtime_secs,
+//!     baseline / best.runtime_secs
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use autotune_core as core;
+pub use autotune_math as math;
+pub use autotune_sim as sim;
+pub use autotune_tuners as tuners;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use autotune_core::prelude::*;
+    pub use autotune_sim::{
+        ClusterSpec, DbmsSimulator, HadoopSimulator, MultiTenantDbms, NodeSpec, NoiseModel,
+        ParallelDbBaseline, SparkSimulator, TenantSpec,
+    };
+    pub use autotune_tuners::adaptive::{
+        ColtTuner, DynamicPartitionTuner, MrMoulderTuner, OnlineMemoryTuner,
+        RecommendationRepository, TempoTuner,
+    };
+    pub use autotune_tuners::baselines::{
+        DefaultConfigTuner, GridSearchTuner, RandomSearchTuner,
+    };
+    pub use autotune_tuners::cost::{
+        Elastisizer, InstanceType, MrTuner, SparkCostTuner, StmmTuner, WhatIfTuner,
+    };
+    pub use autotune_tuners::experiment::{
+        AdaptiveSamplingTuner, ITunedTuner, RrsTuner, SardTuner,
+    };
+    pub use autotune_tuners::ml::{
+        ErnestTuner, OtterTuneTuner, ParallelismTuner, RoddTuner, WorkloadRepository,
+    };
+    pub use autotune_tuners::rule::{
+        dbms_rulebook, hadoop_rulebook, rulebook_for, spark_rulebook, ConfNavTuner,
+        RuleBasedTuner, SpexTuner,
+    };
+    pub use autotune_tuners::simulation::{
+        AddmTuner, SimulationSearchTuner, TraceReplayPredictor,
+    };
+}

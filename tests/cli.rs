@@ -1,0 +1,116 @@
+//! End-to-end tests of the `autotune` command-line interface.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_autotune"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_names_systems_and_tuners() {
+    let (stdout, _, ok) = run(&["list"]);
+    assert!(ok);
+    for needle in ["dbms-oltp", "hadoop-terasort", "spark-agg", "ituned", "ottertune", "colt"] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (stdout, _, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_system_is_an_error() {
+    let (_, stderr, ok) = run(&["tune", "--system", "oracle-rac", "--tuner", "ituned"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown system"));
+}
+
+#[test]
+fn tune_runs_end_to_end_and_reports_speedup() {
+    let (stdout, _, ok) = run(&[
+        "tune",
+        "--system",
+        "dbms-oltp",
+        "--tuner",
+        "rules",
+        "--budget",
+        "2",
+        "--noise",
+        "none",
+        "--show-config",
+    ]);
+    assert!(ok, "tune failed: {stdout}");
+    assert!(stdout.contains("speedup"));
+    assert!(stdout.contains("shared_buffers_mb ="), "config block missing");
+    // The DBMS rule book must beat defaults.
+    let speedup_line = stdout
+        .lines()
+        .find(|l| l.starts_with("speedup"))
+        .expect("speedup line");
+    let value: f64 = speedup_line
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .trim_end_matches('x')
+        .parse()
+        .unwrap();
+    assert!(value > 1.5, "rules should beat defaults: {value}");
+}
+
+#[test]
+fn csv_export_writes_parseable_file() {
+    let dir = std::env::temp_dir().join("autotune-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("history.csv");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = run(&[
+        "tune",
+        "--system",
+        "spark-agg",
+        "--tuner",
+        "random",
+        "--budget",
+        "3",
+        "--csv",
+        path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    let csv = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 4, "header + 3 rows");
+    assert!(lines[0].contains("runtime_secs"));
+    assert!(lines[0].contains("shuffle_partitions"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pareto_flag_prints_frontier() {
+    let (stdout, _, ok) = run(&[
+        "tune",
+        "--system",
+        "hadoop-terasort",
+        "--tuner",
+        "random",
+        "--budget",
+        "5",
+        "--noise",
+        "none",
+        "--pareto",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Pareto frontier"));
+    assert!(stdout.lines().any(|l| l.trim_start().starts_with("run")));
+}

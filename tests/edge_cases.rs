@@ -1,0 +1,113 @@
+//! Edge-case behaviour across the workspace: zero budgets, degenerate
+//! spaces, failure-only histories, and export formats.
+
+use autotune::core::{
+    history_to_csv, pareto_front, tune, Budget, ConfigSpace, FunctionObjective, History,
+    Objective, Observation, ParamSpec, ParamValue, TuningSession,
+};
+use autotune::prelude::*;
+
+#[test]
+fn zero_budget_session_recommends_defaults() {
+    let space = ConfigSpace::new(vec![ParamSpec::float("x", 0.0, 1.0, 0.5, "")]);
+    let mut obj = FunctionObjective::new(space, "f", |x| x[0]);
+    let mut tuner = RandomSearchTuner;
+    let outcome = TuningSession::new(&mut obj, &mut tuner, Budget::evaluations(0), 1).run();
+    assert_eq!(outcome.evaluations, 0);
+    assert!(outcome.best.is_none());
+    assert_eq!(
+        outcome.recommendation.config,
+        obj.space().default_config()
+    );
+}
+
+#[test]
+fn single_knob_space_tunes_fine() {
+    let space = ConfigSpace::new(vec![ParamSpec::int("n", 1, 100, 1, "")]);
+    let mut obj = FunctionObjective::new(space, "vee", |x| (x[0] - 0.65).abs() + 0.1);
+    let mut tuner = ITunedTuner::new().with_init(4);
+    let out = tune(&mut obj, &mut tuner, 15, 3);
+    assert!(out.best.unwrap().runtime_secs < 0.2);
+}
+
+#[test]
+fn failure_only_history_still_produces_a_recommendation() {
+    let space = ConfigSpace::new(vec![ParamSpec::float("x", 0.0, 1.0, 0.5, "")]);
+    let mut h = History::new();
+    for u in [0.1, 0.5, 0.9] {
+        let mut o = Observation::ok(space.decode(&[u]), 100.0 + u);
+        o.failed = true;
+        h.push(o);
+    }
+    // best() falls back to the least-bad failure.
+    assert!(h.best().is_some());
+    assert!((h.best_runtime() - 100.1).abs() < 1e-9);
+    // And the Pareto front of an all-failed history is empty.
+    assert!(pareto_front(&h).is_empty());
+}
+
+#[test]
+fn csv_of_empty_history_is_header_only() {
+    let space = ConfigSpace::new(vec![ParamSpec::boolean("b", true, "")]);
+    let csv = history_to_csv(&History::new(), &space);
+    assert_eq!(csv.lines().count(), 1);
+    assert!(csv.starts_with("run,b,"));
+}
+
+#[test]
+fn grid_tuner_handles_high_dimensional_spaces() {
+    // 13 knobs would overflow levels^dim; the tuner caps the lattice and
+    // falls back to random search rather than panicking.
+    let mut sim = SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
+    let mut g = GridSearchTuner::new(2);
+    let out = tune(&mut sim, &mut g, 10, 1);
+    assert_eq!(out.evaluations, 10);
+}
+
+#[test]
+fn duplicate_heavy_tuners_do_not_rerun_the_system() {
+    // Rule-based proposes the same config every time; the session must
+    // replay the first observation (same runtime despite noise).
+    let mut sim = DbmsSimulator::oltp_default(); // noisy
+    let mut rules = RuleBasedTuner::new("rules", dbms_rulebook());
+    let out = tune(&mut sim, &mut rules, 8, 5);
+    let rts = out.history.runtimes();
+    assert!(rts.iter().all(|&r| (r - rts[0]).abs() < 1e-12));
+}
+
+#[test]
+fn extreme_but_valid_configs_do_not_panic_any_simulator() {
+    // Walk the corners of each space (all-low / all-high) through every
+    // simulator; corners may fail, but must never panic or return
+    // non-finite runtimes.
+    let mut objectives: Vec<Box<dyn Objective>> = vec![
+        Box::new(DbmsSimulator::oltp_default().with_noise(NoiseModel::none())),
+        Box::new(HadoopSimulator::terasort_default().with_noise(NoiseModel::none())),
+        Box::new(SparkSimulator::aggregation_default().with_noise(NoiseModel::none())),
+    ];
+    let mut rng = rand::SeedableRng::seed_from_u64(0);
+    for obj in objectives.iter_mut() {
+        let dim = obj.space().dim();
+        for corner in [0.0, 1.0] {
+            let cfg = obj.space().decode(&vec![corner; dim]);
+            let obs = obj.evaluate(&cfg, &mut rng);
+            assert!(
+                obs.runtime_secs.is_finite() && obs.runtime_secs > 0.0,
+                "{} corner {corner}: {}",
+                obj.name(),
+                obs.runtime_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn configuration_builder_roundtrip() {
+    let cfg = autotune::core::Configuration::new()
+        .with("a", ParamValue::Int(3))
+        .with("b", ParamValue::Str("x".into()));
+    assert_eq!(cfg.len(), 2);
+    assert_eq!(cfg.i64("a"), 3);
+    assert_eq!(cfg.str("b"), "x");
+    assert_eq!(format!("{cfg}"), "{a=3, b=x}");
+}

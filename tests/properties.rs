@@ -1,0 +1,176 @@
+//! Property-based tests over the core invariants: configuration-space
+//! encoding round-trips, domain clamping, simulator sanity, and the
+//! statistical substrate.
+
+use autotune::core::{ConfigSpace, Objective, ParamSpec, ParamValue};
+use autotune::prelude::*;
+use autotune::sim::dbms::knobs;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary small configuration space.
+fn arb_space() -> impl Strategy<Value = ConfigSpace> {
+    // Each knob is one of four shapes with generated bounds.
+    let knob = prop_oneof![
+        (1i64..1000, 1i64..1000).prop_map(|(a, b)| {
+            let (min, max) = (a.min(b), a.max(b));
+            (min, max)
+        })
+        .prop_map(|(min, max)| ("int", min as f64, max as f64)),
+        (0.0f64..10.0, 0.1f64..10.0)
+            .prop_map(|(min, w)| ("float", min, min + w)),
+        Just(("bool", 0.0, 1.0)),
+        Just(("cat", 0.0, 2.0)),
+    ];
+    proptest::collection::vec(knob, 1..6).prop_map(|specs| {
+        let params = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (kind, lo, hi))| {
+                let name = format!("p{i}");
+                match kind {
+                    "int" => {
+                        let (lo, hi) = (lo as i64, hi as i64);
+                        ParamSpec::int(&name, lo, hi, lo + (hi - lo) / 2, "")
+                    }
+                    "float" => ParamSpec::float(&name, lo, hi, (lo + hi) / 2.0, ""),
+                    "bool" => ParamSpec::boolean(&name, false, ""),
+                    _ => ParamSpec::categorical(&name, &["a", "b", "c"], "b", ""),
+                }
+            })
+            .collect();
+        ConfigSpace::new(params)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_roundtrip_random_configs(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.random_config(&mut rng);
+        prop_assert!(space.validate_config(&cfg).is_ok());
+        let enc = space.encode(&cfg);
+        prop_assert_eq!(enc.len(), space.dim());
+        for v in &enc {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        let back = space.decode(&enc);
+        // Round-trip must be the identity on valid configurations, up to
+        // float rounding in continuous knobs (encode/decode is affine, so
+        // the last ulp may wobble); discrete knobs must be exact.
+        for (p, (name, value)) in space.params().iter().zip(back.iter()) {
+            assert_eq!(&p.name, name);
+            match (value, cfg.get(name).expect("same knobs")) {
+                (autotune::core::ParamValue::Float(a), autotune::core::ParamValue::Float(b)) => {
+                    prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_total_on_unit_cube(space in arb_space(), point in proptest::collection::vec(0.0f64..=1.0, 1..6)) {
+        if point.len() == space.dim() {
+            let cfg = space.decode(&point);
+            prop_assert!(space.validate_config(&cfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn neighbors_stay_valid(space in arb_space(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = space.random_config(&mut rng);
+        for _ in 0..5 {
+            let n = space.neighbor(&base, 0.3, 0.5, &mut rng);
+            prop_assert!(space.validate_config(&n).is_ok());
+        }
+    }
+
+    #[test]
+    fn dbms_simulator_is_deterministic_and_positive(seed in 0u64..300) {
+        let sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.space().random_config(&mut rng);
+        let a = sim.simulate(&cfg);
+        let b = sim.simulate(&cfg);
+        prop_assert!(a.runtime_secs > 0.0);
+        prop_assert!((a.runtime_secs - b.runtime_secs).abs() < 1e-9);
+        prop_assert_eq!(a.failed, b.failed);
+    }
+
+    #[test]
+    fn dbms_failures_exactly_when_overcommitted(seed in 0u64..300) {
+        let sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.space().random_config(&mut rng);
+        let run = sim.simulate(&cfg);
+        let over = run.metrics["mem_overcommit"];
+        prop_assert_eq!(run.failed, over > 1.5, "overcommit={}", over);
+    }
+
+    #[test]
+    fn hadoop_runtime_scales_with_input(seed in 0u64..100) {
+        use autotune::sim::hadoop::{HadoopJob, HadoopSimulator};
+        let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let small = HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(4_096.0))
+            .with_noise(NoiseModel::none());
+        let big = HadoopSimulator::new(cluster, HadoopJob::terasort(32_768.0))
+            .with_noise(NoiseModel::none());
+        let cfg = small.space().random_config(&mut rng);
+        prop_assert!(
+            big.simulate(&cfg).runtime_secs >= small.simulate(&cfg).runtime_secs
+        );
+    }
+
+    #[test]
+    fn noise_preserves_scale(base in 1.0f64..1e5, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = NoiseModel::realistic();
+        let v = n.apply(base, &mut rng);
+        prop_assert!(v > base * 0.5 && v < base * 3.0, "v={} base={}", v, base);
+    }
+
+    #[test]
+    fn observation_serde_roundtrip(seed in 0u64..200) {
+        let mut sim = DbmsSimulator::oltp_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.space().random_config(&mut rng);
+        let obs = sim.evaluate(&cfg, &mut rng);
+        let json = serde_json::to_string(&obs).expect("serialize");
+        let back: autotune::core::Observation = serde_json::from_str(&json).expect("parse");
+        // serde_json's default float parser is not bit-exact; compare the
+        // unit-cube encodings within 1 ppb instead of bitwise equality.
+        let ea = sim.space().encode(&obs.config);
+        let eb = sim.space().encode(&back.config);
+        for (a, b) in ea.iter().zip(&eb) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let rel = (back.runtime_secs - obs.runtime_secs).abs() / obs.runtime_secs.max(1e-12);
+        prop_assert!(rel < 1e-9);
+        prop_assert_eq!(back.metrics.len(), obs.metrics.len());
+    }
+}
+
+#[test]
+fn bigger_buffer_pool_never_hurts_within_ram() {
+    // Monotonicity on the safe region: growing only shared_buffers while
+    // total memory stays under RAM never slows the OLTP workload.
+    let sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+    let base = sim.space().default_config();
+    let mut last = f64::INFINITY;
+    for mb in [128, 256, 512, 1024, 2048, 4096, 8192] {
+        let mut c = base.clone();
+        c.set(knobs::SHARED_BUFFERS_MB, ParamValue::Int(mb));
+        let rt = sim.simulate(&c).runtime_secs;
+        assert!(
+            rt <= last * 1.001,
+            "regression at {mb} MB: {rt} vs {last}"
+        );
+        last = rt;
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: the complete six-family taxonomy of the
+//! tutorial, every family exercised end-to-end against the simulated DBMS
+//! through the same session machinery.
+
+use autotune::core::{tune, Objective, Tuner, TunerFamily};
+use autotune::prelude::*;
+
+/// One representative tuner per family, boxed for uniform driving.
+fn representatives() -> Vec<Box<dyn Tuner>> {
+    vec![
+        Box::new(RuleBasedTuner::new("dbms-rules", dbms_rulebook())),
+        Box::new(StmmTuner::new()),
+        Box::new(AddmTuner::new()),
+        Box::new(ITunedTuner::new()),
+        Box::new(OtterTuneTuner::new(WorkloadRepository::new())),
+        Box::new(ColtTuner::new()),
+    ]
+}
+
+#[test]
+fn all_six_families_are_represented() {
+    let families: Vec<TunerFamily> = representatives().iter().map(|t| t.family()).collect();
+    for f in TunerFamily::all() {
+        assert!(
+            families.contains(&f),
+            "family {f} missing a representative"
+        );
+    }
+}
+
+#[test]
+fn every_family_beats_defaults_on_oltp() {
+    let baseline = {
+        let db = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        db.simulate(&db.space().default_config()).runtime_secs
+    };
+    for mut tuner in representatives() {
+        let mut db = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        let outcome = tune(&mut db, tuner.as_mut(), 25, 99);
+        let best = outcome.best.expect("ran").runtime_secs;
+        assert!(
+            best < baseline,
+            "{} ({}) failed to beat the default: {best} vs {baseline}",
+            tuner.name(),
+            tuner.family()
+        );
+    }
+}
+
+#[test]
+fn every_family_beats_defaults_on_olap() {
+    let baseline = {
+        let db = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        db.simulate(&db.space().default_config()).runtime_secs
+    };
+    for mut tuner in representatives() {
+        let mut db = DbmsSimulator::olap_default().with_noise(NoiseModel::none());
+        let outcome = tune(&mut db, tuner.as_mut(), 25, 101);
+        let best = outcome.best.expect("ran").runtime_secs;
+        assert!(
+            best < baseline,
+            "{} failed on OLAP: {best} vs {baseline}",
+            tuner.name()
+        );
+    }
+}
+
+#[test]
+fn recommendations_are_always_valid_configs() {
+    for mut tuner in representatives() {
+        let mut db = DbmsSimulator::oltp_default();
+        let outcome = tune(&mut db, tuner.as_mut(), 12, 5);
+        let space = db.space();
+        assert!(
+            space.validate_config(&outcome.recommendation.config).is_ok(),
+            "{} produced an invalid recommendation",
+            tuner.name()
+        );
+        assert!(!outcome.recommendation.rationale.is_empty());
+    }
+}
+
+#[test]
+fn sessions_are_deterministic_for_every_family() {
+    for make in 0..representatives().len() {
+        let run = |seed: u64| {
+            let mut tuner = representatives().remove(make);
+            let mut db = DbmsSimulator::oltp_default();
+            tune(&mut db, tuner.as_mut(), 10, seed)
+                .best
+                .map(|b| b.runtime_secs)
+        };
+        assert_eq!(run(123), run(123), "tuner #{make} not deterministic");
+    }
+}
+
+#[test]
+fn tuning_gains_are_order_of_magnitude_with_budget() {
+    // §2.1: tuning benefits are "sometimes measured in orders of magnitude
+    // of improvement". With a generous budget the best experiment-driven
+    // tuner should approach 10x on the badly-defaulted OLTP instance.
+    let baseline = {
+        let db = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+        db.simulate(&db.space().default_config()).runtime_secs
+    };
+    let mut db = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+    let mut tuner = ITunedTuner::new();
+    let outcome = tune(&mut db, &mut tuner, 60, 31);
+    let speedup = baseline / outcome.best.unwrap().runtime_secs;
+    assert!(speedup > 5.0, "only {speedup:.1}x with 60 experiments");
+}
