@@ -28,8 +28,7 @@ fn bench_claims(c: &mut Criterion) {
     c.bench_function("c3_oat_sensitivity_spark", |b| {
         use autotune_sim::{NoiseModel, SparkSimulator};
         b.iter(|| {
-            let mut sim =
-                SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
+            let mut sim = SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
             black_box(autotune_bench::sensitivity::oat_sensitivity(&mut sim))
         })
     });

@@ -25,8 +25,8 @@ fn bench_math(c: &mut Criterion) {
         })
     });
 
-    let gp = GaussianProcess::fit(Kernel::new(KernelKind::Matern52, 8, 0.5), xs.clone(), &ys)
-        .unwrap();
+    let gp =
+        GaussianProcess::fit(Kernel::new(KernelKind::Matern52, 8, 0.5), xs.clone(), &ys).unwrap();
     let q = vec![0.4; 8];
     c.bench_function("gp/predict_n40_d8", |b| {
         b.iter(|| black_box(gp.predict(black_box(&q))))
@@ -50,7 +50,11 @@ fn bench_math(c: &mut Criterion) {
 
     let design = Matrix::from_rows(
         &(0..60)
-            .map(|_| (0..12).map(|_| rng.random_range(-1.0..1.0)).collect::<Vec<f64>>())
+            .map(|_| {
+                (0..12)
+                    .map(|_| rng.random_range(-1.0..1.0))
+                    .collect::<Vec<f64>>()
+            })
             .collect::<Vec<_>>(),
     );
     let target: Vec<f64> = (0..60)

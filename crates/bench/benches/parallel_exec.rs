@@ -1,0 +1,84 @@
+//! The execution layer under Criterion: sequential vs parallel session
+//! fan-out, and the memoized baseline replay vs re-simulation.
+//!
+//! On a single-core machine the parallel case degenerates to one worker
+//! with pool bookkeeping — the comparison then measures that the executor
+//! adds no meaningful overhead rather than a speedup.
+
+use autotune_bench::exec::{EvalMemo, SessionExecutor};
+use autotune_bench::harness::{run_session, run_session_memo};
+use autotune_core::Objective;
+use autotune_sim::{DbmsSimulator, NoiseModel};
+use autotune_tuners::baselines::RandomSearchTuner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn make_obj() -> Box<dyn Objective> {
+    Box::new(DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic()))
+}
+
+fn session_batch(exec: &SessionExecutor, sessions: usize) -> usize {
+    let rows = exec.run(
+        (0..sessions as u64)
+            .map(|seed| {
+                move || {
+                    let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
+                    let mut tuner = RandomSearchTuner;
+                    run_session(factory.as_ref(), &mut tuner, 12, seed)
+                }
+            })
+            .collect(),
+    );
+    rows.len()
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_executor");
+    group.sample_size(10);
+
+    group.bench_function("8_sessions_sequential", |b| {
+        let exec = SessionExecutor::with_threads(1);
+        b.iter(|| black_box(session_batch(&exec, 8)))
+    });
+    group.bench_function("8_sessions_parallel", |b| {
+        let exec = SessionExecutor::from_env();
+        b.iter(|| black_box(session_batch(&exec, 8)))
+    });
+    group.finish();
+}
+
+fn bench_memo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_memo");
+    group.sample_size(10);
+
+    group.bench_function("baseline_resimulated_8x", |b| {
+        b.iter(|| {
+            let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
+            for seed in 0..8 {
+                let mut tuner = RandomSearchTuner;
+                black_box(run_session(factory.as_ref(), &mut tuner, 3, seed));
+            }
+        })
+    });
+    group.bench_function("baseline_memoized_8x", |b| {
+        b.iter(|| {
+            let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
+            let memo = EvalMemo::new();
+            for seed in 0..8 {
+                let mut tuner = RandomSearchTuner;
+                black_box(run_session_memo(
+                    factory.as_ref(),
+                    &mut tuner,
+                    3,
+                    seed,
+                    &memo,
+                    "bench/oltp/realistic",
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_memo);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! * LHS vs uniform initialization,
 //! * Lasso vs ANOVA/PB knob ranking agreement.
 
+use crate::exec::SessionExecutor;
 use autotune_core::{tune, Objective, Tuner};
 use autotune_sim::{DbmsSimulator, NoiseModel};
 use autotune_tuners::experiment::{ITunedTuner, SardTuner};
@@ -23,21 +24,28 @@ pub struct AblationRow {
 }
 
 fn median_speedup(
-    mut make_tuner: impl FnMut() -> Box<dyn Tuner>,
+    make_tuner: impl Fn() -> Box<dyn Tuner> + Sync,
     budget: usize,
     trials: u64,
 ) -> AblationRow {
-    let mut speedups = Vec::new();
-    for seed in 0..trials {
-        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
-        let base = sim.simulate(&sim.space().default_config()).runtime_secs;
-        let mut tuner = make_tuner();
-        let best = tune(&mut sim, tuner.as_mut(), budget, seed)
-            .best
-            .expect("ran")
-            .runtime_secs;
-        speedups.push(base / best);
-    }
+    // Each seed's trial is an independent session — fan them out.
+    let make_tuner = &make_tuner;
+    let speedups = SessionExecutor::from_env().run(
+        (0..trials)
+            .map(|seed| {
+                move || {
+                    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+                    let base = sim.simulate(&sim.space().default_config()).runtime_secs;
+                    let mut tuner = make_tuner();
+                    let best = tune(&mut sim, tuner.as_mut(), budget, seed)
+                        .best
+                        .expect("ran")
+                        .runtime_secs;
+                    base / best
+                }
+            })
+            .collect(),
+    );
     let med = autotune_math::stats::median(&speedups);
     let lo = speedups.iter().cloned().fold(f64::MAX, f64::min);
     let hi = speedups.iter().cloned().fold(f64::MIN, f64::max);
@@ -59,11 +67,7 @@ pub fn acquisition_ablation(budget: usize, trials: u64) -> Vec<AblationRow> {
     r.arm = "iTuned default (n0 = 2*dim: stratification-heavy)".into();
     rows.push(r);
 
-    let mut r = median_speedup(
-        || Box::new(ITunedTuner::new().with_init(8)),
-        budget,
-        trials,
-    );
+    let mut r = median_speedup(|| Box::new(ITunedTuner::new().with_init(8)), budget, trials);
     r.arm = "iTuned, 8-point init (GP/EI-heavy)".into();
     rows.push(r);
 
@@ -95,18 +99,10 @@ pub fn init_ablation(budget: usize, trials: u64) -> Vec<AblationRow> {
     // pure random phase by setting the init budget to 1 (forcing the GP to
     // learn from unstructured points it proposes itself).
     let mut rows = Vec::new();
-    let mut r = median_speedup(
-        || Box::new(ITunedTuner::new().with_init(8)),
-        budget,
-        trials,
-    );
+    let mut r = median_speedup(|| Box::new(ITunedTuner::new().with_init(8)), budget, trials);
     r.arm = "LHS init (8 stratified points)".into();
     rows.push(r);
-    let mut r = median_speedup(
-        || Box::new(ITunedTuner::new().with_init(2)),
-        budget,
-        trials,
-    );
+    let mut r = median_speedup(|| Box::new(ITunedTuner::new().with_init(2)), budget, trials);
     r.arm = "minimal init (2 points, no stratification)".into();
     rows.push(r);
     rows

@@ -3,6 +3,7 @@
 //! plots. Emits both a text sparkline table and JSON series.
 //! `cargo run --release -p autotune-bench --bin convergence`
 
+use autotune_bench::exec::SessionExecutor;
 use autotune_bench::harness::family_representatives;
 use autotune_core::{tune, SystemKind};
 use autotune_sim::{DbmsSimulator, NoiseModel};
@@ -18,12 +19,30 @@ struct Series {
 fn main() {
     let budget = 40;
     let seed = 7;
-    let mut all = Vec::new();
     println!("== convergence on the OLTP DBMS ({budget} experiments, seed {seed}) ==\n");
-    for (label, mut tuner) in family_representatives(SystemKind::Dbms) {
-        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
-        let out = tune(&mut sim, tuner.as_mut(), budget, seed);
-        let curve = out.history.best_so_far();
+    // One session per family representative, fanned over the executor;
+    // results come back in family order.
+    let all = SessionExecutor::from_env().run(
+        (0..family_representatives(SystemKind::Dbms).len())
+            .map(|fi| {
+                move || {
+                    let (label, mut tuner) = family_representatives(SystemKind::Dbms)
+                        .into_iter()
+                        .nth(fi)
+                        .expect("family index in range");
+                    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+                    let out = tune(&mut sim, tuner.as_mut(), budget, seed);
+                    Series {
+                        tuner: tuner.name().to_string(),
+                        family: label.to_string(),
+                        best_so_far: out.history.best_so_far(),
+                    }
+                }
+            })
+            .collect(),
+    );
+    for s in &all {
+        let curve = &s.best_so_far;
         let lo = curve.iter().cloned().fold(f64::MAX, f64::min);
         let hi = curve[0];
         let spark: String = curve
@@ -36,15 +55,11 @@ fn main() {
             })
             .collect();
         println!(
-            "{label:<18} {spark}  {:>8.0}s -> {:>7.0}s",
+            "{:<18} {spark}  {:>8.0}s -> {:>7.0}s",
+            s.family,
             curve[0],
             curve.last().unwrap()
         );
-        all.push(Series {
-            tuner: tuner.name().to_string(),
-            family: label.to_string(),
-            best_so_far: curve,
-        });
     }
     autotune_bench::write_json("convergence", &all);
     eprintln!("\nwrote bench_results/convergence.json");

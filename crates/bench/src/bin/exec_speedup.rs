@@ -1,0 +1,138 @@
+//! Proof artifact for the execution layer: measures the parallel-vs-
+//! sequential wall-clock ratio on a real Table 1 workload, checks that
+//! both paths produce identical (canonicalized) JSON, and quantifies the
+//! incremental-GP overhead win inside iTuned.
+//! `cargo run --release -p autotune-bench --bin exec_speedup [budget] [seed]`
+
+use autotune_bench::exec::{canonical_rows, SessionExecutor};
+use autotune_bench::table1::{self, Table1Report};
+use autotune_core::tune;
+use autotune_sim::{DbmsSimulator, NoiseModel};
+use autotune_tuners::experiment::ITunedTuner;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ExecSpeedupReport {
+    /// Cores the machine reports (available parallelism).
+    cores: usize,
+    /// Worker threads the parallel run used.
+    parallel_threads: usize,
+    /// Wall clock of the sequential Table 1 run (s).
+    sequential_secs: f64,
+    /// Wall clock of the parallel Table 1 run (s).
+    parallel_secs: f64,
+    /// sequential / parallel.
+    speedup: f64,
+    /// Whether the canonicalized parallel report is byte-identical to the
+    /// sequential one.
+    identical_json: bool,
+    /// iTuned tuner overhead at budget 60 with a full kernel re-search
+    /// every proposal (s).
+    gp_refit_overhead_secs: f64,
+    /// Same session with the incremental (rank-1 Cholesky) surrogate (s).
+    gp_incremental_overhead_secs: f64,
+    /// refit / incremental.
+    gp_overhead_ratio: f64,
+}
+
+/// Serializes a report with the wall-clock `overhead_secs` fields zeroed —
+/// the only nondeterministic bytes in it.
+fn canonical_json(report: &Table1Report) -> String {
+    let per_system: Vec<(String, Vec<autotune_bench::harness::SessionRow>)> = report
+        .per_system
+        .iter()
+        .map(|s| (s.system.clone(), canonical_rows(&s.rows)))
+        .collect();
+    let mut out = serde_json::to_string_pretty(&per_system).expect("rows serialize");
+    out.push_str(
+        &serde_json::to_string_pretty(&report.budget_sensitivity).expect("budget rows serialize"),
+    );
+    out.push_str(
+        &serde_json::to_string_pretty(&report.noise_robustness).expect("noise rows serialize"),
+    );
+    out
+}
+
+/// Tuner overhead of one budget-60 iTuned session; `hyper_interval = 1`
+/// restores the pre-incremental refit-every-proposal behaviour, the
+/// default (5) is what ships.
+fn ituned_overhead(tuner: ITunedTuner, budget: usize, seed: u64) -> f64 {
+    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+    let mut tuner = tuner;
+    tune(&mut sim, &mut tuner, budget, seed).tuner_overhead_secs
+}
+
+fn main() {
+    let budget = arg_or(1, 10);
+    let seed = arg_or(2, 3);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("sequential Table 1 (budget={budget}, seed={seed})…");
+    let t0 = Instant::now();
+    let seq = table1::run_with(&SessionExecutor::with_threads(1), budget, seed);
+    let sequential_secs = t0.elapsed().as_secs_f64();
+
+    let par_exec = SessionExecutor::from_env();
+    let parallel_threads = par_exec.threads();
+    eprintln!("parallel Table 1 ({parallel_threads} threads)…");
+    let t0 = Instant::now();
+    let par = table1::run_with(&par_exec, budget, seed);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+
+    let identical_json = canonical_json(&seq) == canonical_json(&par);
+
+    eprintln!("iTuned surrogate overhead (budget 60): refit-per-proposal vs incremental…");
+    let gp_refit = ituned_overhead(ITunedTuner::new().with_hyper_interval(1), 60, seed);
+    let gp_incr = ituned_overhead(ITunedTuner::new(), 60, seed);
+
+    let report = ExecSpeedupReport {
+        cores,
+        parallel_threads,
+        sequential_secs,
+        parallel_secs,
+        speedup: sequential_secs / parallel_secs.max(1e-9),
+        identical_json,
+        gp_refit_overhead_secs: gp_refit,
+        gp_incremental_overhead_secs: gp_incr,
+        gp_overhead_ratio: gp_refit / gp_incr.max(1e-9),
+    };
+    println!(
+        "cores={} threads={} sequential={:.2}s parallel={:.2}s speedup={:.2}x identical_json={}",
+        report.cores,
+        report.parallel_threads,
+        report.sequential_secs,
+        report.parallel_secs,
+        report.speedup,
+        report.identical_json,
+    );
+    println!(
+        "iTuned@60 overhead: refit-every-proposal={:.3}s incremental={:.3}s ratio={:.1}x",
+        report.gp_refit_overhead_secs,
+        report.gp_incremental_overhead_secs,
+        report.gp_overhead_ratio,
+    );
+    assert!(
+        report.identical_json,
+        "parallel report must match the sequential report byte-for-byte \
+         after canonicalization"
+    );
+    if cores >= 4 {
+        assert!(
+            report.speedup >= 2.0,
+            "expected >=2x wall-clock speedup on {cores} cores, got {:.2}x",
+            report.speedup
+        );
+    }
+    autotune_bench::write_json("exec_speedup", &report);
+    eprintln!("wrote bench_results/exec_speedup.json");
+}
+
+fn arg_or<T: std::str::FromStr>(i: usize, default: T) -> T {
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -2,6 +2,7 @@
 //! tutorial's prose, each regenerated as a measurement (see DESIGN.md's
 //! experiment index).
 
+use crate::exec::SessionExecutor;
 use crate::sensitivity::{oat_sensitivity, significant_knobs};
 use autotune_core::{tune, Objective};
 use autotune_math::anova::effect_decomposition;
@@ -16,6 +17,12 @@ use autotune_tuners::experiment::ITunedTuner;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+
+/// A labelled objective constructor — `fn` pointers are `Send + Copy`, so
+/// these fan out over executor jobs without cloning state.
+type ObjectiveEntry = (&'static str, fn() -> Box<dyn Objective>);
+/// A labelled tuner constructor, same fan-out idiom.
+type TunerEntry = (&'static str, fn() -> Box<dyn autotune_core::Tuner>);
 
 // ---------------------------------------------------------------------------
 // C1: misconfiguration hurts, tuning yields order-of-magnitude gains
@@ -38,48 +45,51 @@ pub struct SpeedupClaimRow {
     pub misconfig_penalty: f64,
 }
 
-/// Runs C1 across the three systems.
+/// Runs C1 across the three systems (one executor job per system).
 pub fn speedup_claim(seed: u64) -> Vec<SpeedupClaimRow> {
-    let mut rows = Vec::new();
-    let mut objectives: Vec<(&str, Box<dyn Objective>)> = vec![
-        (
-            "DBMS (OLTP)",
-            Box::new(DbmsSimulator::oltp_default().with_noise(NoiseModel::none())),
-        ),
-        (
-            "Hadoop (TeraSort)",
-            Box::new(HadoopSimulator::terasort_default().with_noise(NoiseModel::none())),
-        ),
-        (
-            "Spark (aggregation)",
-            Box::new(SparkSimulator::aggregation_default().with_noise(NoiseModel::none())),
-        ),
+    let objectives: [ObjectiveEntry; 3] = [
+        ("DBMS (OLTP)", || {
+            Box::new(DbmsSimulator::oltp_default().with_noise(NoiseModel::none()))
+        }),
+        ("Hadoop (TeraSort)", || {
+            Box::new(HadoopSimulator::terasort_default().with_noise(NoiseModel::none()))
+        }),
+        ("Spark (aggregation)", || {
+            Box::new(SparkSimulator::aggregation_default().with_noise(NoiseModel::none()))
+        }),
     ];
-    for (label, obj) in objectives.iter_mut() {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let default_secs = obj
-            .evaluate(&obj.space().default_config(), &mut rng)
-            .runtime_secs;
-        let mut worst: f64 = 0.0;
-        for _ in 0..40 {
-            let c = obj.space().random_config(&mut rng);
-            worst = worst.max(obj.evaluate(&c, &mut rng).runtime_secs);
-        }
-        let mut tuner = ITunedTuner::new();
-        let tuned_secs = tune(obj.as_mut(), &mut tuner, 40, seed)
-            .best
-            .expect("ran")
-            .runtime_secs;
-        rows.push(SpeedupClaimRow {
-            system: label.to_string(),
-            default_secs,
-            worst_secs: worst,
-            tuned_secs,
-            speedup: default_secs / tuned_secs,
-            misconfig_penalty: worst / default_secs,
-        });
-    }
-    rows
+    SessionExecutor::from_env().run(
+        objectives
+            .iter()
+            .map(|&(label, make)| {
+                move || {
+                    let mut obj = make();
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let default_secs = obj
+                        .evaluate(&obj.space().default_config(), &mut rng)
+                        .runtime_secs;
+                    let mut worst: f64 = 0.0;
+                    for _ in 0..40 {
+                        let c = obj.space().random_config(&mut rng);
+                        worst = worst.max(obj.evaluate(&c, &mut rng).runtime_secs);
+                    }
+                    let mut tuner = ITunedTuner::new();
+                    let tuned_secs = tune(obj.as_mut(), &mut tuner, 40, seed)
+                        .best
+                        .expect("ran")
+                        .runtime_secs;
+                    SpeedupClaimRow {
+                        system: label.to_string(),
+                        default_secs,
+                        worst_secs: worst,
+                        tuned_secs,
+                        speedup: default_secs / tuned_secs,
+                        misconfig_penalty: worst / default_secs,
+                    }
+                }
+            })
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -104,36 +114,45 @@ pub struct HadoopGapRow {
     pub gap_tuned: f64,
 }
 
-/// Runs C2 over the analytical suite.
+/// Runs C2 over the analytical suite (one executor job per workload).
 pub fn hadoop_gap(seed: u64) -> Vec<HadoopGapRow> {
     let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
     let data_mb = 32_768.0;
     let db = ParallelDbBaseline::new(cluster.clone());
-    HadoopJob::analytical_suite(data_mb)
+    let (cluster, db) = (&cluster, &db);
+    let jobs = HadoopJob::analytical_suite(data_mb)
         .into_iter()
         .map(|job| {
-            let task = ParallelDbBaseline::task_for_job(&job);
-            let db_secs = db.runtime_secs(task, data_mb);
-            let sim = HadoopSimulator::new(cluster.clone(), job.clone())
-                .with_noise(NoiseModel::none());
-            let untuned = sim.simulate(&benchmark_config(&cluster)).runtime_secs;
-            let mut sim = HadoopSimulator::new(cluster.clone(), job.clone())
-                .with_noise(NoiseModel::none());
-            let mut tuner = ITunedTuner::new();
-            let tuned = tune(&mut sim, &mut tuner, 30, seed)
-                .best
-                .expect("ran")
-                .runtime_secs;
-            HadoopGapRow {
-                workload: job.name,
-                parallel_db_secs: db_secs,
-                hadoop_untuned_secs: untuned,
-                hadoop_tuned_secs: tuned,
-                gap_untuned: untuned / db_secs,
-                gap_tuned: tuned / db_secs,
+            move || {
+                let task = ParallelDbBaseline::task_for_job(&job);
+                let db_secs = db.runtime_secs(task, data_mb);
+                let sim = HadoopSimulator::new(cluster.clone(), job.clone())
+                    .with_noise(NoiseModel::none());
+                let untuned = sim.simulate(&benchmark_config(cluster)).runtime_secs;
+                let mut sim = HadoopSimulator::new(cluster.clone(), job.clone())
+                    .with_noise(NoiseModel::none());
+                // Seed the design with the rule-of-thumb benchmark config —
+                // the realistic starting point a Hadoop operator already
+                // has. Most random Hadoop configs fail outright, so without
+                // the anchor a small budget can stay entirely in failure
+                // regions.
+                let mut tuner = ITunedTuner::new().with_seed_config(benchmark_config(cluster));
+                let tuned = tune(&mut sim, &mut tuner, 30, seed)
+                    .best
+                    .expect("ran")
+                    .runtime_secs;
+                HadoopGapRow {
+                    workload: job.name,
+                    parallel_db_secs: db_secs,
+                    hadoop_untuned_secs: untuned,
+                    hadoop_tuned_secs: tuned,
+                    gap_untuned: untuned / db_secs,
+                    gap_tuned: tuned / db_secs,
+                }
             }
         })
-        .collect()
+        .collect();
+    SessionExecutor::from_env().run(jobs)
 }
 
 // ---------------------------------------------------------------------------
@@ -153,34 +172,33 @@ pub struct SensitivityReport {
     pub impacts: Vec<(String, f64)>,
 }
 
-/// Runs C3 for Spark and the DBMS.
+/// Runs C3 for Spark and the DBMS (one executor job per system).
 pub fn knob_sensitivity() -> Vec<SensitivityReport> {
-    let mut out = Vec::new();
-    let mut spark = SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
-    let ranking = oat_sensitivity(&mut spark);
-    out.push(SensitivityReport {
-        system: "Spark (aggregation)".into(),
-        total_knobs: spark.space().dim(),
-        significant: significant_knobs(&ranking, 0.05),
-        impacts: ranking
-            .entries()
-            .iter()
-            .map(|(n, v)| (n.clone(), *v))
-            .collect(),
-    });
-    let mut dbms = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
-    let ranking = oat_sensitivity(&mut dbms);
-    out.push(SensitivityReport {
-        system: "DBMS (OLTP)".into(),
-        total_knobs: dbms.space().dim(),
-        significant: significant_knobs(&ranking, 0.05),
-        impacts: ranking
-            .entries()
-            .iter()
-            .map(|(n, v)| (n.clone(), *v))
-            .collect(),
-    });
-    out
+    fn report(label: &str, obj: &mut dyn Objective) -> SensitivityReport {
+        let ranking = oat_sensitivity(obj);
+        SensitivityReport {
+            system: label.into(),
+            total_knobs: obj.space().dim(),
+            significant: significant_knobs(&ranking, 0.05),
+            impacts: ranking
+                .entries()
+                .iter()
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+        }
+    }
+    type Job = Box<dyn FnOnce() -> SensitivityReport + Send>;
+    let jobs: Vec<Job> = vec![
+        Box::new(|| {
+            let mut spark = SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
+            report("Spark (aggregation)", &mut spark)
+        }),
+        Box::new(|| {
+            let mut dbms = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+            report("DBMS (OLTP)", &mut dbms)
+        }),
+    ];
+    SessionExecutor::from_env().run(jobs)
 }
 
 // ---------------------------------------------------------------------------
@@ -203,12 +221,13 @@ pub struct InteractionRow {
 }
 
 /// Measures two documented interactions with full 2² factorials embedded
-/// in the real simulators.
+/// in the real simulators (one executor job per factorial).
 pub fn interactions() -> Vec<InteractionRow> {
-    let mut rows = Vec::new();
+    type Job = Box<dyn FnOnce() -> InteractionRow + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
 
     // DBMS: shared_buffers × work_mem compete for the same RAM.
-    {
+    jobs.push(Box::new(|| {
         let sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
         let space = sim.space();
         let design = TwoLevelDesign::full_factorial(2);
@@ -227,11 +246,7 @@ pub fn interactions() -> Vec<InteractionRow> {
                 );
                 c.set(
                     kb,
-                    autotune_core::ParamValue::Int(if design.level(r, 1) > 0.0 {
-                        256
-                    } else {
-                        4
-                    }),
+                    autotune_core::ParamValue::Int(if design.level(r, 1) > 0.0 { 256 } else { 4 }),
                 );
                 sim.simulate(&c).runtime_secs
             })
@@ -239,17 +254,17 @@ pub fn interactions() -> Vec<InteractionRow> {
         let dec = effect_decomposition(&design, &responses);
         let inter = dec.strongest_interaction().map(|(_, e)| e).unwrap_or(0.0);
         let min_main = dec.main_effects[0].abs().min(dec.main_effects[1].abs());
-        rows.push(InteractionRow {
+        InteractionRow {
             system: "DBMS (OLTP)".into(),
             knobs: (ka.into(), kb.into()),
             main_effects: (dec.main_effects[0].abs(), dec.main_effects[1].abs()),
             interaction: inter,
             interaction_ratio: inter / min_main.max(1e-9),
-        });
-    }
+        }
+    }));
 
     // Hadoop: io_sort_mb × map_heap_mb (buffer must fit in heap).
-    {
+    jobs.push(Box::new(|| {
         let sim = HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
         let space = sim.space();
         let design = TwoLevelDesign::full_factorial(2);
@@ -278,16 +293,16 @@ pub fn interactions() -> Vec<InteractionRow> {
         let dec = effect_decomposition(&design, &responses);
         let inter = dec.strongest_interaction().map(|(_, e)| e).unwrap_or(0.0);
         let min_main = dec.main_effects[0].abs().min(dec.main_effects[1].abs());
-        rows.push(InteractionRow {
+        InteractionRow {
             system: "Hadoop (TeraSort)".into(),
             knobs: ("io_sort_mb".into(), "map_heap_mb".into()),
             main_effects: (dec.main_effects[0].abs(), dec.main_effects[1].abs()),
             interaction: inter,
             interaction_ratio: inter / min_main.max(1e-9),
-        });
-    }
+        }
+    }));
 
-    rows
+    SessionExecutor::from_env().run(jobs)
 }
 
 // ---------------------------------------------------------------------------
@@ -309,27 +324,37 @@ pub struct AdhocRow {
 }
 
 /// Runs C5: adaptive (COLT) vs experiment-driven (iTuned) on a live OLTP
-/// stream of `rounds` epochs.
+/// stream of `rounds` epochs (one executor job per tuner).
 pub fn adhoc_comparison(rounds: usize, seed: u64) -> Vec<AdhocRow> {
-    let mut rows = Vec::new();
-    let runs = |name: &str, tuner: &mut dyn autotune_core::Tuner| {
-        let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
-        let out = tune(&mut sim, tuner, rounds, seed);
-        let rts = out.history.runtimes();
-        AdhocRow {
-            tuner: name.to_string(),
-            cumulative_secs: rts.iter().sum(),
-            best_secs: rts.iter().cloned().fold(f64::MAX, f64::min),
-            worst_secs: rts.iter().cloned().fold(f64::MIN, f64::max),
-        }
-    };
-    rows.push(runs("colt (adaptive)", &mut ColtTuner::new()));
-    rows.push(runs("ituned (experiment-driven)", &mut ITunedTuner::new()));
-    rows.push(runs(
-        "random (control)",
-        &mut autotune_tuners::baselines::RandomSearchTuner,
-    ));
-    rows
+    let contenders: [TunerEntry; 3] = [
+        ("colt (adaptive)", || Box::new(ColtTuner::new())),
+        (
+            "ituned (experiment-driven)",
+            || Box::new(ITunedTuner::new()),
+        ),
+        ("random (control)", || {
+            Box::new(autotune_tuners::baselines::RandomSearchTuner)
+        }),
+    ];
+    SessionExecutor::from_env().run(
+        contenders
+            .iter()
+            .map(|&(name, make)| {
+                move || {
+                    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+                    let mut tuner = make();
+                    let out = tune(&mut sim, tuner.as_mut(), rounds, seed);
+                    let rts = out.history.runtimes();
+                    AdhocRow {
+                        tuner: name.to_string(),
+                        cumulative_secs: rts.iter().sum(),
+                        best_secs: rts.iter().cloned().fold(f64::MAX, f64::min),
+                        worst_secs: rts.iter().cloned().fold(f64::MIN, f64::max),
+                    }
+                }
+            })
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -375,6 +400,10 @@ pub fn ml_training_size(sizes: &[usize], seed: u64) -> Vec<TrainingSizeRow> {
     let test_x: Vec<Vec<f64>> = test.iter().map(|(x, _)| x.clone()).collect();
     let test_y: Vec<f64> = test.iter().map(|(_, y)| *y).collect();
 
+    // One replicate: sample `n` training runs from `sim`, fit an ARD GP
+    // (per-knob length scales are essential — most DBMS knobs barely move
+    // the runtime, and an isotropic kernel drowns in them), score against
+    // the held-out target-workload test set.
     let score = |sim: &DbmsSimulator, n: usize, rng: &mut StdRng| -> f64 {
         if n < 4 {
             return 0.0;
@@ -386,25 +415,41 @@ pub fn ml_training_size(sizes: &[usize], seed: u64) -> Vec<TrainingSizeRow> {
             xs.push(space.encode(&c));
             ys.push(sim.simulate(&c).runtime_secs.ln());
         }
-        let Ok(gp) = GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys) else {
+        let Ok(gp) = GaussianProcess::fit_auto_ard(KernelKind::Matern52, xs, &ys) else {
             return 0.0;
         };
         let pred: Vec<f64> = test_x.iter().map(|x| gp.predict_mean(x)).collect();
         spearman(&pred, &test_y)
     };
 
-    sizes
-        .iter()
-        .map(|&n| {
-            let mut rng_a = StdRng::seed_from_u64(seed + 1);
-            let mut rng_b = StdRng::seed_from_u64(seed + 1);
-            TrainingSizeRow {
-                repo_observations: n,
-                accuracy_seen: score(&target, n, &mut rng_a),
-                accuracy_unseen: score(&other, n, &mut rng_b),
-            }
-        })
-        .collect()
+    // Average each accuracy over a few training-set draws so the rows
+    // reflect the size effect rather than one lucky/unlucky sample.
+    const REPLICATES: u64 = 3;
+    let mean_score = |sim: &DbmsSimulator, n: usize| -> f64 {
+        (0..REPLICATES)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(seed + 1 + r);
+                score(sim, n, &mut rng)
+            })
+            .sum::<f64>()
+            / REPLICATES as f64
+    };
+
+    // Each size's six ARD fits are independent of every other size's —
+    // fan the rows out.
+    let (target, other, mean_score) = (&target, &other, &mean_score);
+    SessionExecutor::from_env().run(
+        sizes
+            .iter()
+            .map(|&n| {
+                move || TrainingSizeRow {
+                    repo_observations: n,
+                    accuracy_seen: mean_score(target, n),
+                    accuracy_unseen: mean_score(other, n),
+                }
+            })
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -425,7 +470,8 @@ pub struct HeterogeneityRow {
     pub ituned_speedup: f64,
 }
 
-/// Runs C7 on a homogeneous vs heterogeneous 6-node cluster.
+/// Runs C7 on a homogeneous vs heterogeneous 6-node cluster (one executor
+/// job per cluster shape).
 pub fn heterogeneity(seed: u64) -> Vec<HeterogeneityRow> {
     use autotune_tuners::cost::{JobProfile, MrCostModel};
     let clusters = vec![
@@ -435,68 +481,70 @@ pub fn heterogeneity(seed: u64) -> Vec<HeterogeneityRow> {
         ),
         ("heterogeneous x6", ClusterSpec::heterogeneous(6)),
     ];
-    clusters
+    let jobs = clusters
         .into_iter()
         .map(|(label, cluster)| {
-            let sim = HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(16_384.0))
-                .with_noise(NoiseModel::none());
-            // Cost-model error over feasible random configs.
-            let default = sim.space().default_config();
-            let run = sim.simulate(&default);
-            let obs = autotune_core::Observation {
-                config: default.clone(),
-                runtime_secs: run.runtime_secs,
-                cost: run.runtime_secs,
-                metrics: run.metrics,
-                failed: false,
-            };
-            let model = MrCostModel {
-                job: JobProfile::estimate(&obs, &sim.profile()),
-                profile: sim.profile(),
-            };
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut errs = Vec::new();
-            while errs.len() < 25 {
-                let mut c = sim.space().random_config(&mut rng);
-                use rand::RngExt;
-                c.set(
-                    "map_slots_per_node",
-                    autotune_core::ParamValue::Int(rng.random_range(1..=4)),
-                );
-                c.set(
-                    "reduce_slots_per_node",
-                    autotune_core::ParamValue::Int(rng.random_range(1..=2)),
-                );
-                c.set("map_heap_mb", autotune_core::ParamValue::Int(1024));
-                c.set("reduce_heap_mb", autotune_core::ParamValue::Int(1024));
-                c.set("io_sort_mb", autotune_core::ParamValue::Int(256));
-                let p = model.predict(&c);
-                let r = sim.simulate(&c);
-                if p < 1e6 && !r.failed {
-                    errs.push(((p - r.runtime_secs) / r.runtime_secs).abs());
+            move || {
+                let sim = HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(16_384.0))
+                    .with_noise(NoiseModel::none());
+                // Cost-model error over feasible random configs.
+                let default = sim.space().default_config();
+                let run = sim.simulate(&default);
+                let obs = autotune_core::Observation {
+                    config: default.clone(),
+                    runtime_secs: run.runtime_secs,
+                    cost: run.runtime_secs,
+                    metrics: run.metrics,
+                    failed: false,
+                };
+                let model = MrCostModel {
+                    job: JobProfile::estimate(&obs, &sim.profile()),
+                    profile: sim.profile(),
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut errs = Vec::new();
+                while errs.len() < 25 {
+                    let mut c = sim.space().random_config(&mut rng);
+                    use rand::RngExt;
+                    c.set(
+                        "map_slots_per_node",
+                        autotune_core::ParamValue::Int(rng.random_range(1..=4)),
+                    );
+                    c.set(
+                        "reduce_slots_per_node",
+                        autotune_core::ParamValue::Int(rng.random_range(1..=2)),
+                    );
+                    c.set("map_heap_mb", autotune_core::ParamValue::Int(1024));
+                    c.set("reduce_heap_mb", autotune_core::ParamValue::Int(1024));
+                    c.set("io_sort_mb", autotune_core::ParamValue::Int(256));
+                    let p = model.predict(&c);
+                    let r = sim.simulate(&c);
+                    if p < 1e6 && !r.failed {
+                        errs.push(((p - r.runtime_secs) / r.runtime_secs).abs());
+                    }
+                }
+                let cost_model_error = autotune_math::stats::median(&errs);
+
+                // Experiment-driven speedup is model-free.
+                let mut sim2 = HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(16_384.0))
+                    .with_noise(NoiseModel::none());
+                let base = sim2.simulate(&default).runtime_secs;
+                let mut tuner = ITunedTuner::new();
+                let best = tune(&mut sim2, &mut tuner, 35, seed)
+                    .best
+                    .expect("ran")
+                    .runtime_secs;
+
+                HeterogeneityRow {
+                    cluster: label.to_string(),
+                    heterogeneity: cluster.heterogeneity(),
+                    cost_model_error,
+                    ituned_speedup: base / best,
                 }
             }
-            let cost_model_error = autotune_math::stats::median(&errs);
-
-            // Experiment-driven speedup is model-free.
-            let mut sim2 =
-                HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(16_384.0))
-                    .with_noise(NoiseModel::none());
-            let base = sim2.simulate(&default).runtime_secs;
-            let mut tuner = ITunedTuner::new();
-            let best = tune(&mut sim2, &mut tuner, 35, seed)
-                .best
-                .expect("ran")
-                .runtime_secs;
-
-            HeterogeneityRow {
-                cluster: label.to_string(),
-                heterogeneity: cluster.heterogeneity(),
-                cost_model_error,
-                ituned_speedup: base / best,
-            }
         })
-        .collect()
+        .collect();
+    SessionExecutor::from_env().run(jobs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,284 @@
+//! Execution layer: fan independent tuning sessions over worker threads
+//! and replay recorded outcomes for duplicate evaluations.
+//!
+//! Every experiment in this crate is a bag of *independent* jobs — one
+//! tuning session per (system, tuner, budget, seed) tuple, each with its
+//! own freshly built objective and explicitly seeded RNG. That makes the
+//! fan-out embarrassingly parallel: [`SessionExecutor`] runs the jobs on
+//! scoped worker threads and returns results **in submission order**, so
+//! a report assembled from the returned `Vec` is identical to the one the
+//! sequential loop would have produced (modulo wall-clock fields such as
+//! `overhead_secs`; see [`canonical_rows`]).
+//!
+//! [`EvalMemo`] complements the executor on the harness side: evaluations
+//! that are *pure* — a fresh objective and a fresh RNG seeded from a
+//! constant, like every session's default-config baseline — are keyed by
+//! (scope, seed, configuration hash) and replayed from the memo instead of
+//! re-simulated.
+
+use autotune_core::Configuration;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for session fan-out: the
+/// `AUTOTUNE_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("AUTOTUNE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs independent jobs on a pool of scoped worker threads, collecting
+/// results in submission order.
+#[derive(Debug, Clone)]
+pub struct SessionExecutor {
+    threads: usize,
+}
+
+impl SessionExecutor {
+    /// Executor sized by [`default_threads`] (`AUTOTUNE_THREADS` override,
+    /// else available parallelism).
+    pub fn from_env() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// Executor with an explicit thread count (clamped to ≥ 1). One thread
+    /// means jobs run inline on the caller's thread, sequentially.
+    pub fn with_threads(threads: usize) -> Self {
+        SessionExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns their results in submission order.
+    ///
+    /// Jobs must be independent: each owns everything it needs or borrows
+    /// only `Sync` state. Non-`Send` values (e.g. `Box<dyn Tuner>`) are
+    /// fine as long as they are *constructed inside* the job closure.
+    /// A panicking job propagates to the caller after all threads join.
+    pub fn run<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        let n = jobs.len();
+        if self.threads == 1 || n <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("job slot lock")
+                        .take()
+                        .expect("each job index is claimed exactly once");
+                    let out = job();
+                    *results[i].lock().expect("result slot lock") = Some(out);
+                });
+            }
+        })
+        .expect("worker scope");
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot lock")
+                    .expect("every claimed job stored a result")
+            })
+            .collect()
+    }
+}
+
+impl Default for SessionExecutor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Seed-keyed memo for *pure* objective evaluations.
+///
+/// An evaluation qualifies when it is a deterministic function of
+/// (objective identity, RNG seed, configuration): a freshly built
+/// objective queried with a freshly seeded RNG, as in the harness's
+/// default-config baseline. Evaluations drawn from a *shared* RNG stream
+/// mid-session do not qualify — replaying them would shift every
+/// subsequent draw.
+///
+/// Thread-safe: sessions running under [`SessionExecutor`] share one memo
+/// by reference. Racing duplicates may both compute the (identical) value;
+/// the first write wins.
+#[derive(Debug, Default)]
+pub struct EvalMemo {
+    map: Mutex<HashMap<(u64, u64, u64), f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl EvalMemo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the recorded outcome for (`scope`, `seed`, `cfg`) or runs
+    /// `eval` and records it. `scope` names the objective identity
+    /// (system, workload, noise model) — [`autotune_core::Objective`]
+    /// implementations aren't otherwise distinguishable from the harness.
+    pub fn replay_or_eval(
+        &self,
+        scope: &str,
+        seed: u64,
+        cfg: &Configuration,
+        eval: impl FnOnce() -> f64,
+    ) -> f64 {
+        let key = (fnv1a(scope.as_bytes()), seed, cfg.stable_hash());
+        if let Some(&v) = self.map.lock().expect("memo lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Evaluate outside the lock so concurrent sessions don't serialize
+        // on one another's simulations.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = eval();
+        self.map.lock().expect("memo lock").entry(key).or_insert(v);
+        v
+    }
+
+    /// Evaluations answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that had to run.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Copies session rows with wall-clock fields zeroed.
+///
+/// `overhead_secs` measures the tuner's own compute time and therefore
+/// differs between any two runs — sequential or parallel. Comparing a
+/// parallel report against a sequential one for byte-identity requires
+/// dropping it; everything else in a [`crate::harness::SessionRow`] is a
+/// deterministic function of (objective, tuner, budget, seed).
+pub fn canonical_rows(rows: &[crate::harness::SessionRow]) -> Vec<crate::harness::SessionRow> {
+    rows.iter()
+        .map(|r| crate::harness::SessionRow {
+            overhead_secs: 0.0,
+            ..r.clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let exec = SessionExecutor::with_threads(4);
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    // Stagger completion so later jobs often finish first.
+                    std::thread::sleep(std::time::Duration::from_micros((32 - i) * 50));
+                    i * i
+                }
+            })
+            .collect();
+        let got = exec.run(jobs);
+        let want: Vec<u64> = (0..32).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let exec = SessionExecutor::with_threads(1);
+        let got = exec.run((0..5).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let exec = SessionExecutor::with_threads(8);
+        let got: Vec<u8> = exec.run(Vec::<fn() -> u8>::new());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_pure_jobs() {
+        let make_jobs = || {
+            (0..20u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9).rotate_left(13))
+                .collect::<Vec<_>>()
+        };
+        let seq = SessionExecutor::with_threads(1).run(make_jobs());
+        let par = SessionExecutor::with_threads(6).run(make_jobs());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn memo_replays_recorded_outcomes() {
+        use autotune_core::{ConfigSpace, ParamSpec};
+        let space = ConfigSpace::new(vec![ParamSpec::float("x", 0.0, 1.0, 0.5, "")]);
+        let cfg = space.default_config();
+        let memo = EvalMemo::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = memo.replay_or_eval("scope-a", 42, &cfg, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                3.25
+            });
+            assert_eq!(v, 3.25);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.hits(), 4);
+        assert_eq!(memo.misses(), 1);
+        // A different scope, seed, or config misses.
+        let v = memo.replay_or_eval("scope-b", 42, &cfg, || 7.5);
+        assert_eq!(v, 7.5);
+        let v = memo.replay_or_eval("scope-a", 43, &cfg, || 8.5);
+        assert_eq!(v, 8.5);
+        assert_eq!(memo.misses(), 3);
+    }
+
+    #[test]
+    fn threads_default_respects_env_shape() {
+        // Can't mutate the environment safely in a test binary that runs
+        // threads, but the parser itself is testable via with_threads.
+        assert_eq!(SessionExecutor::with_threads(0).threads(), 1);
+        assert!(default_threads() >= 1);
+    }
+}

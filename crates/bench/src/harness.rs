@@ -37,6 +37,9 @@ pub struct SessionRow {
     pub worst_over_default: f64,
 }
 
+/// RNG seed for the deterministic default-config baseline evaluation.
+pub const BASELINE_SEED: u64 = 0xBA5E;
+
 /// Runs one tuner against one freshly built objective.
 pub fn run_session(
     make_objective: &dyn Fn() -> Box<dyn Objective>,
@@ -45,12 +48,46 @@ pub fn run_session(
     seed: u64,
 ) -> SessionRow {
     let mut obj = make_objective();
+    let baseline = eval_default_baseline(obj.as_mut());
+    finish_session(make_objective, tuner, budget, seed, baseline)
+}
+
+/// [`run_session`] with the baseline evaluation routed through an
+/// [`EvalMemo`](crate::exec::EvalMemo): sessions sharing an objective
+/// identity (named by `scope`) replay the recorded baseline instead of
+/// re-simulating it. The baseline is pure — fresh objective, fresh RNG
+/// seeded with [`BASELINE_SEED`] — so replay is exact and the returned
+/// row is identical to [`run_session`]'s.
+pub fn run_session_memo(
+    make_objective: &dyn Fn() -> Box<dyn Objective>,
+    tuner: &mut dyn Tuner,
+    budget: usize,
+    seed: u64,
+    memo: &crate::exec::EvalMemo,
+    scope: &str,
+) -> SessionRow {
+    let mut obj = make_objective();
     let default_cfg = obj.space().default_config();
-    // Deterministic baseline: evaluate default with a fixed RNG.
-    let baseline = {
-        let mut rng = rand::SeedableRng::seed_from_u64(0xBA5E);
-        obj.evaluate(&default_cfg, &mut rng).runtime_secs
-    };
+    let baseline = memo.replay_or_eval(scope, BASELINE_SEED, &default_cfg, || {
+        eval_default_baseline(obj.as_mut())
+    });
+    finish_session(make_objective, tuner, budget, seed, baseline)
+}
+
+/// Deterministic baseline: the default config evaluated with a fixed RNG.
+fn eval_default_baseline(obj: &mut dyn Objective) -> f64 {
+    let default_cfg = obj.space().default_config();
+    let mut rng = rand::SeedableRng::seed_from_u64(BASELINE_SEED);
+    obj.evaluate(&default_cfg, &mut rng).runtime_secs
+}
+
+fn finish_session(
+    make_objective: &dyn Fn() -> Box<dyn Objective>,
+    tuner: &mut dyn Tuner,
+    budget: usize,
+    seed: u64,
+    baseline: f64,
+) -> SessionRow {
     let mut obj = make_objective();
     let outcome = tune(obj.as_mut(), tuner, budget, seed);
     let best = outcome
@@ -58,14 +95,12 @@ pub fn run_session(
         .as_ref()
         .map(|b| b.runtime_secs)
         .unwrap_or(f64::NAN);
-    let mut distinct: Vec<String> = outcome
+    let distinct: std::collections::HashSet<u64> = outcome
         .history
         .all()
         .iter()
-        .map(|o| format!("{}", o.config))
+        .map(|o| o.config.stable_hash())
         .collect();
-    distinct.sort();
-    distinct.dedup();
     let worst = outcome
         .history
         .runtimes()
@@ -107,8 +142,8 @@ pub fn family_representatives(
     let simulation: Box<dyn Tuner> = match system {
         Dbms | Other => Box::new(AddmTuner::new()),
         Hadoop => {
-            let shadow = autotune_sim::HadoopSimulator::terasort_default()
-                .with_noise(NoiseModel::none());
+            let shadow =
+                autotune_sim::HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
             let mut t = SimulationSearchTuner::new(DistortedShadow::new(
                 move |c: &autotune_core::Configuration| shadow.simulate(c).runtime_secs,
                 0.25,
@@ -117,8 +152,8 @@ pub fn family_representatives(
             Box::new(t)
         }
         Spark => {
-            let shadow = autotune_sim::SparkSimulator::aggregation_default()
-                .with_noise(NoiseModel::none());
+            let shadow =
+                autotune_sim::SparkSimulator::aggregation_default().with_noise(NoiseModel::none());
             let mut t = SimulationSearchTuner::new(DistortedShadow::new(
                 move |c: &autotune_core::Configuration| shadow.simulate(c).runtime_secs,
                 0.25,
@@ -219,10 +254,8 @@ mod tests {
     fn representatives_cover_six_families() {
         let reps = family_representatives(autotune_core::SystemKind::Dbms);
         assert_eq!(reps.len(), 7);
-        let families: std::collections::HashSet<String> = reps
-            .iter()
-            .map(|(_, t)| t.family().to_string())
-            .collect();
+        let families: std::collections::HashSet<String> =
+            reps.iter().map(|(_, t)| t.family().to_string()).collect();
         assert_eq!(families.len(), 6, "six distinct families expected");
     }
 

@@ -14,6 +14,7 @@
 
 pub mod ablation;
 pub mod claims;
+pub mod exec;
 pub mod harness;
 pub mod sensitivity;
 pub mod table1;

@@ -11,7 +11,8 @@
 //! * "able to adjust to dynamic status" / noise robustness → speedup
 //!   degradation from mild to heavy (cloud) noise.
 
-use crate::harness::{family_representatives, run_session, SessionRow};
+use crate::exec::{EvalMemo, SessionExecutor};
+use crate::harness::{family_representatives, run_session_memo, SessionRow};
 use autotune_core::{Objective, SystemKind};
 use autotune_sim::{DbmsSimulator, HadoopSimulator, NoiseModel, SparkSimulator};
 use serde::Serialize;
@@ -58,91 +59,161 @@ pub struct NoiseRow {
     pub speedup_cloud: f64,
 }
 
-fn objective_factory(
-    system: SystemKind,
-    noise: NoiseModel,
-) -> Box<dyn Fn() -> Box<dyn Objective>> {
+fn objective_factory(system: SystemKind, noise: NoiseModel) -> Box<dyn Fn() -> Box<dyn Objective>> {
     match system {
         SystemKind::Dbms => Box::new(move || {
             Box::new(DbmsSimulator::oltp_default().with_noise(noise)) as Box<dyn Objective>
         }),
         SystemKind::Hadoop => Box::new(move || {
-            Box::new(HadoopSimulator::terasort_default().with_noise(noise))
-                as Box<dyn Objective>
+            Box::new(HadoopSimulator::terasort_default().with_noise(noise)) as Box<dyn Objective>
         }),
         SystemKind::Spark => Box::new(move || {
-            Box::new(SparkSimulator::aggregation_default().with_noise(noise))
-                as Box<dyn Objective>
+            Box::new(SparkSimulator::aggregation_default().with_noise(noise)) as Box<dyn Objective>
         }),
         SystemKind::Other => unreachable!("no objective for Other"),
     }
 }
 
-/// Runs the full T1 experiment.
+/// Runs the full T1 experiment on the environment-sized executor
+/// (`AUTOTUNE_THREADS`, default: available parallelism).
 pub fn run(budget: usize, seed: u64) -> Table1Report {
-    let mut per_system = Vec::new();
-    for (label, system) in [
-        ("DBMS (OLTP)", SystemKind::Dbms),
-        ("Hadoop (TeraSort)", SystemKind::Hadoop),
-        ("Spark (aggregation)", SystemKind::Spark),
-    ] {
-        let factory = objective_factory(system, NoiseModel::realistic());
-        let mut rows = Vec::new();
-        for (_, mut tuner) in family_representatives(system) {
-            rows.push(run_session(factory.as_ref(), tuner.as_mut(), budget, seed));
-        }
-        per_system.push(SystemSection {
-            system: label.to_string(),
-            rows,
-        });
-    }
+    run_with(&SessionExecutor::from_env(), budget, seed)
+}
 
-    // Budget sensitivity on the DBMS.
-    let mut budget_sensitivity = Vec::new();
-    for (label, _) in family_representatives(SystemKind::Dbms) {
-        let factory = objective_factory(SystemKind::Dbms, NoiseModel::realistic());
-        let mut t5 = family_representatives(SystemKind::Dbms)
-            .into_iter()
-            .find(|(l, _)| *l == label)
-            .expect("same list")
-            .1;
-        let r5 = run_session(factory.as_ref(), t5.as_mut(), 5, seed + 1);
-        let mut t25 = family_representatives(SystemKind::Dbms)
-            .into_iter()
-            .find(|(l, _)| *l == label)
-            .expect("same list")
-            .1;
-        let r25 = run_session(factory.as_ref(), t25.as_mut(), budget, seed + 1);
-        budget_sensitivity.push(BudgetRow {
-            family: label.to_string(),
-            speedup_at_5: r5.speedup,
-            speedup_at_25: r25.speedup,
-        });
+/// Runs the full T1 experiment on an explicit executor. Every session is
+/// an independent job — (system, family, budget, seed) fully determines
+/// its outcome — so the report is identical for any thread count (modulo
+/// the wall-clock `overhead_secs` field, which varies run to run even
+/// sequentially).
+pub fn run_with(exec: &SessionExecutor, budget: usize, seed: u64) -> Table1Report {
+    let memo = EvalMemo::new();
+    let memo = &memo;
+    let systems: [(&str, SystemKind, &str); 3] = [
+        ("DBMS (OLTP)", SystemKind::Dbms, "t1/dbms/realistic"),
+        (
+            "Hadoop (TeraSort)",
+            SystemKind::Hadoop,
+            "t1/hadoop/realistic",
+        ),
+        (
+            "Spark (aggregation)",
+            SystemKind::Spark,
+            "t1/spark/realistic",
+        ),
+    ];
+
+    // One job per (system, family representative); tuners and factories
+    // are built inside the job (Box<dyn Tuner> is not Send).
+    let mut jobs = Vec::new();
+    for &(_, system, scope) in &systems {
+        for fi in 0..family_representatives(system).len() {
+            jobs.push(move || {
+                let factory = objective_factory(system, NoiseModel::realistic());
+                let mut tuner = family_representatives(system)
+                    .into_iter()
+                    .nth(fi)
+                    .expect("family index in range")
+                    .1;
+                run_session_memo(factory.as_ref(), tuner.as_mut(), budget, seed, memo, scope)
+            });
+        }
     }
+    let mut flat = exec.run(jobs).into_iter();
+    let per_system = systems
+        .iter()
+        .map(|&(label, system, _)| SystemSection {
+            system: label.to_string(),
+            rows: (0..family_representatives(system).len())
+                .map(|_| flat.next().expect("one row per job"))
+                .collect(),
+        })
+        .collect();
+
+    // Budget sensitivity on the DBMS: one job per family, covering both
+    // budgets (the pair shares nothing with other families).
+    let dbms_families = family_representatives(SystemKind::Dbms).len();
+    let budget_sensitivity = exec.run(
+        (0..dbms_families)
+            .map(|fi| {
+                move || {
+                    let factory = objective_factory(SystemKind::Dbms, NoiseModel::realistic());
+                    let (label, mut t5) = family_representatives(SystemKind::Dbms)
+                        .into_iter()
+                        .nth(fi)
+                        .expect("family index in range");
+                    let r5 = run_session_memo(
+                        factory.as_ref(),
+                        t5.as_mut(),
+                        5,
+                        seed + 1,
+                        memo,
+                        "t1/dbms/realistic",
+                    );
+                    let mut t25 = family_representatives(SystemKind::Dbms)
+                        .into_iter()
+                        .nth(fi)
+                        .expect("same list")
+                        .1;
+                    let r25 = run_session_memo(
+                        factory.as_ref(),
+                        t25.as_mut(),
+                        budget,
+                        seed + 1,
+                        memo,
+                        "t1/dbms/realistic",
+                    );
+                    BudgetRow {
+                        family: label.to_string(),
+                        speedup_at_5: r5.speedup,
+                        speedup_at_25: r25.speedup,
+                    }
+                }
+            })
+            .collect(),
+    );
 
     // Noise robustness on the DBMS.
-    let mut noise_robustness = Vec::new();
-    for (label, _) in family_representatives(SystemKind::Dbms) {
-        let mild_factory = objective_factory(SystemKind::Dbms, NoiseModel::realistic());
-        let cloud_factory = objective_factory(SystemKind::Dbms, NoiseModel::noisy_cloud());
-        let mut ta = family_representatives(SystemKind::Dbms)
-            .into_iter()
-            .find(|(l, _)| *l == label)
-            .expect("same list")
-            .1;
-        let mild = run_session(mild_factory.as_ref(), ta.as_mut(), budget, seed + 2);
-        let mut tb = family_representatives(SystemKind::Dbms)
-            .into_iter()
-            .find(|(l, _)| *l == label)
-            .expect("same list")
-            .1;
-        let cloud = run_session(cloud_factory.as_ref(), tb.as_mut(), budget, seed + 2);
-        noise_robustness.push(NoiseRow {
-            family: label.to_string(),
-            speedup_mild: mild.speedup,
-            speedup_cloud: cloud.speedup,
-        });
-    }
+    let noise_robustness = exec.run(
+        (0..dbms_families)
+            .map(|fi| {
+                move || {
+                    let mild_factory = objective_factory(SystemKind::Dbms, NoiseModel::realistic());
+                    let cloud_factory =
+                        objective_factory(SystemKind::Dbms, NoiseModel::noisy_cloud());
+                    let (label, mut ta) = family_representatives(SystemKind::Dbms)
+                        .into_iter()
+                        .nth(fi)
+                        .expect("family index in range");
+                    let mild = run_session_memo(
+                        mild_factory.as_ref(),
+                        ta.as_mut(),
+                        budget,
+                        seed + 2,
+                        memo,
+                        "t1/dbms/realistic",
+                    );
+                    let mut tb = family_representatives(SystemKind::Dbms)
+                        .into_iter()
+                        .nth(fi)
+                        .expect("same list")
+                        .1;
+                    let cloud = run_session_memo(
+                        cloud_factory.as_ref(),
+                        tb.as_mut(),
+                        budget,
+                        seed + 2,
+                        memo,
+                        "t1/dbms/cloud",
+                    );
+                    NoiseRow {
+                        family: label.to_string(),
+                        speedup_mild: mild.speedup,
+                        speedup_cloud: cloud.speedup,
+                    }
+                }
+            })
+            .collect(),
+    );
 
     Table1Report {
         per_system,

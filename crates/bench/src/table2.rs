@@ -3,7 +3,8 @@
 //! with its methodology, the parameters it handles, its target problem
 //! (as in the paper's table), and a *measured* outcome.
 
-use crate::harness::run_session;
+use crate::exec::{EvalMemo, SessionExecutor};
+use crate::harness::run_session_memo;
 use crate::sensitivity::oat_sensitivity;
 use autotune_core::{tune, Objective};
 use autotune_math::linreg::mape;
@@ -44,19 +45,31 @@ fn make_obj() -> Box<dyn Objective> {
     Box::new(fresh_oltp())
 }
 
-/// Runs every Table 2 approach and produces the executed table.
+/// Runs every Table 2 approach and produces the executed table, using the
+/// environment-sized executor (`AUTOTUNE_THREADS`).
 pub fn run(seed: u64) -> Vec<Table2Row> {
-    let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
-    let mut rows = Vec::new();
+    run_with(&SessionExecutor::from_env(), seed)
+}
 
-    // Ground-truth sensitivity for ranking-quality scores.
+/// Runs every Table 2 approach on an explicit executor. The eleven blocks
+/// are independent jobs; results come back in the table's fixed order.
+pub fn run_with(exec: &SessionExecutor, seed: u64) -> Vec<Table2Row> {
+    // Ground-truth sensitivity for ranking-quality scores (shared,
+    // read-only across jobs).
     let truth = {
         let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
         oat_sensitivity(&mut sim)
     };
+    let truth = &truth;
+    let memo = EvalMemo::new();
+    let memo = &memo;
+    let scope = "t2/oltp/realistic";
+
+    type Job<'a> = Box<dyn FnOnce() -> Table2Row + Send + 'a>;
+    let mut jobs: Vec<Job> = Vec::new();
 
     // --- SPEX (rule-based: constraint inference) -------------------------
-    {
+    jobs.push(Box::new(move || {
         let sim = fresh_oltp();
         let set = ConstraintSet::infer_for(sim.space());
         let mut rng = StdRng::seed_from_u64(seed);
@@ -77,7 +90,7 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
         let mut obj = fresh_oltp();
         let out = tune(&mut obj, &mut random, 25, seed);
         let unrepaired_fails = out.history.all().iter().filter(|o| o.failed).count();
-        rows.push(Table2Row {
+        Table2Row {
             approach: "SPEX".into(),
             category: "Rule-based".into(),
             methodology: "Constraint inference".into(),
@@ -86,11 +99,11 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
             measured: format!(
                 "{flagged}/{total} random configs flagged as error-prone; {spex_fails} failures with repair vs {unrepaired_fails} without",
             ),
-        });
-    }
+        }
+    }));
 
     // --- Tianyin / ConfNav (rule-based: configuration navigation) ---------
-    {
+    jobs.push(Box::new(move || {
         let mut confnav = ConfNavTuner::new(4);
         let mut obj = fresh_oltp();
         let probes = ConfNavTuner::probes_needed(obj.space().dim());
@@ -100,8 +113,8 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
             profile: obj.profile(),
         };
         let ranking = confnav.ranking(&ctx, &out.history);
-        let agreement = ranking.top_k_overlap(&truth, 4);
-        rows.push(Table2Row {
+        let agreement = ranking.top_k_overlap(truth, 4);
+        Table2Row {
             approach: "Tianyin (ConfNav)".into(),
             category: "Rule-based".into(),
             methodology: "Configuration navigation".into(),
@@ -111,25 +124,26 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 "top-4 overlap with ground-truth sensitivity: {:.0}% using {probes} probes",
                 agreement * 100.0
             ),
-        });
-    }
+        }
+    }));
 
     // --- STMM (cost modeling) ---------------------------------------------
-    {
+    jobs.push(Box::new(move || {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
         let mut stmm = StmmTuner::new();
-        let r = run_session(factory.as_ref(), &mut stmm, 1, seed);
-        rows.push(Table2Row {
+        let r = run_session_memo(factory.as_ref(), &mut stmm, 1, seed, memo, scope);
+        Table2Row {
             approach: "STMM".into(),
             category: "Cost Modeling".into(),
             methodology: "Cost-benefit analysis".into(),
             parameters: "Memory parameters".into(),
             target: "Tuning, Recommendation".into(),
             measured: format!("{:.2}x speedup with a single run (model-only)", r.speedup),
-        });
-    }
+        }
+    }));
 
     // --- Dushyanth (simulation-based: trace replay) -------------------------
-    {
+    jobs.push(Box::new(move || {
         let sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
         let cfg = sim.space().default_config();
         let trace = sim.record_trace(&cfg);
@@ -140,10 +154,34 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
         let mut predicted = Vec::new();
         let mut actual = Vec::new();
         let scenarios: Vec<(&str, NodeSpec)> = vec![
-            ("2x disk", NodeSpec { disk_mbps: 400.0, ..NodeSpec::default() }),
-            ("4x iops", NodeSpec { disk_iops: 2400.0, ..NodeSpec::default() }),
-            ("2x cores", NodeSpec { cores: 16, ..NodeSpec::default() }),
-            ("fast cpu", NodeSpec { core_speed: 2.0, ..NodeSpec::default() }),
+            (
+                "2x disk",
+                NodeSpec {
+                    disk_mbps: 400.0,
+                    ..NodeSpec::default()
+                },
+            ),
+            (
+                "4x iops",
+                NodeSpec {
+                    disk_iops: 2400.0,
+                    ..NodeSpec::default()
+                },
+            ),
+            (
+                "2x cores",
+                NodeSpec {
+                    cores: 16,
+                    ..NodeSpec::default()
+                },
+            ),
+            (
+                "fast cpu",
+                NodeSpec {
+                    core_speed: 2.0,
+                    ..NodeSpec::default()
+                },
+            ),
         ];
         let base_rt = sim.simulate(&cfg).runtime_secs;
         for (_, node) in &scenarios {
@@ -152,7 +190,7 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 .with_noise(NoiseModel::none());
             actual.push(base_rt / sim2.simulate(&cfg).runtime_secs);
         }
-        rows.push(Table2Row {
+        Table2Row {
             approach: "Dushyanth".into(),
             category: "Simulation-based".into(),
             methodology: "Trace-based simulation".into(),
@@ -164,14 +202,15 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 scenarios.len(),
                 pred.bottleneck()
             ),
-        });
-    }
+        }
+    }));
 
     // --- ADDM (simulation-based: DAG model & diagnosis) ---------------------
-    {
+    jobs.push(Box::new(move || {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
         let mut addm = AddmTuner::new();
-        let r = run_session(factory.as_ref(), &mut addm, 10, seed);
-        rows.push(Table2Row {
+        let r = run_session_memo(factory.as_ref(), &mut addm, 10, seed, memo, scope);
+        Table2Row {
             approach: "ADDM".into(),
             category: "Simulation-based".into(),
             methodology: "DAG model & simulation".into(),
@@ -182,20 +221,20 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 r.speedup,
                 addm.last_findings.len()
             ),
-        });
-    }
+        }
+    }));
 
     // --- SARD (experiment-driven: P&B design) --------------------------------
-    {
+    jobs.push(Box::new(move || {
         let mut sard = SardTuner::new(4);
         let mut obj = fresh_oltp();
         let runs = SardTuner::design_runs(obj.space().dim());
         let _ = tune(&mut obj, &mut sard, runs + 1, seed);
         let agreement = sard
             .ranking()
-            .map(|r| r.top_k_overlap(&truth, 4))
+            .map(|r| r.top_k_overlap(truth, 4))
             .unwrap_or(0.0);
-        rows.push(Table2Row {
+        Table2Row {
             approach: "SARD".into(),
             category: "Experiment-driven".into(),
             methodology: "P&B statistical design".into(),
@@ -205,53 +244,56 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 "top-4 overlap with ground truth: {:.0}% using {runs} design runs",
                 agreement * 100.0
             ),
-        });
-    }
+        }
+    }));
 
     // --- Shivnath (experiment-driven: adaptive sampling) ----------------------
-    {
+    jobs.push(Box::new(move || {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
         let mut t = AdaptiveSamplingTuner::new();
-        let r = run_session(factory.as_ref(), &mut t, 25, seed);
-        rows.push(Table2Row {
+        let r = run_session_memo(factory.as_ref(), &mut t, 25, seed, memo, scope);
+        Table2Row {
             approach: "Shivnath".into(),
             category: "Experiment-driven".into(),
             methodology: "Adaptive sampling".into(),
             parameters: "Several parameters".into(),
             target: "Profiling, Tuning".into(),
             measured: format!("{:.2}x speedup in 25 experiments", r.speedup),
-        });
-    }
+        }
+    }));
 
     // --- iTuned (experiment-driven: LHS + GP) ----------------------------------
-    {
+    jobs.push(Box::new(move || {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
         let mut t = ITunedTuner::new();
-        let r = run_session(factory.as_ref(), &mut t, 25, seed);
-        rows.push(Table2Row {
+        let r = run_session_memo(factory.as_ref(), &mut t, 25, seed, memo, scope);
+        Table2Row {
             approach: "iTuned".into(),
             category: "Experiment-driven".into(),
             methodology: "LHS & Gaussian Process".into(),
             parameters: "Several parameters".into(),
             target: "Profiling, Tuning".into(),
             measured: format!("{:.2}x speedup in 25 experiments", r.speedup),
-        });
-    }
+        }
+    }));
 
     // --- Rodd (ML: neural networks) ----------------------------------------------
-    {
+    jobs.push(Box::new(move || {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
         let mut t = RoddTuner::new();
-        let r = run_session(factory.as_ref(), &mut t, 25, seed);
-        rows.push(Table2Row {
+        let r = run_session_memo(factory.as_ref(), &mut t, 25, seed, memo, scope);
+        Table2Row {
             approach: "Rodd".into(),
             category: "Machine Learning".into(),
             methodology: "Neural Networks".into(),
             parameters: "Memory parameters".into(),
             target: "Tuning, Recommendation".into(),
             measured: format!("{:.2}x speedup in 25 experiments", r.speedup),
-        });
-    }
+        }
+    }));
 
     // --- OtterTune (ML: GP + pipeline) ---------------------------------------------
-    {
+    jobs.push(Box::new(move || {
         // Warm repository from two sibling workloads.
         let mut repo = WorkloadRepository::new();
         let mut rng = StdRng::seed_from_u64(seed + 77);
@@ -259,8 +301,7 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
             ("olap", autotune_sim::dbms::DbmsWorkload::olap()),
             ("mixed", autotune_sim::dbms::DbmsWorkload::mixed()),
         ] {
-            let mut s =
-                DbmsSimulator::new(NodeSpec::default(), wl).with_noise(NoiseModel::none());
+            let mut s = DbmsSimulator::new(NodeSpec::default(), wl).with_noise(NoiseModel::none());
             let mut obs = vec![s.evaluate(&s.space().default_config(), &mut rng)];
             for _ in 0..15 {
                 let c = s.space().random_config(&mut rng);
@@ -269,8 +310,9 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
             repo.add(id, obs);
         }
         let mut t = OtterTuneTuner::new(repo);
-        let r = run_session(factory.as_ref(), &mut t, 20, seed);
-        rows.push(Table2Row {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
+        let r = run_session_memo(factory.as_ref(), &mut t, 20, seed, memo, scope);
+        Table2Row {
             approach: "OtterTune".into(),
             category: "Machine Learning".into(),
             methodology: "Gaussian Process".into(),
@@ -281,14 +323,15 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 r.speedup,
                 t.mapped_workload.as_deref().unwrap_or("none")
             ),
-        });
-    }
+        }
+    }));
 
     // --- COLT (adaptive) ----------------------------------------------------------
-    {
+    jobs.push(Box::new(move || {
+        let factory: Box<dyn Fn() -> Box<dyn Objective>> = Box::new(make_obj);
         let mut t = ColtTuner::new();
-        let r = run_session(factory.as_ref(), &mut t, 30, seed);
-        rows.push(Table2Row {
+        let r = run_session_memo(factory.as_ref(), &mut t, 30, seed, memo, scope);
+        Table2Row {
             approach: "COLT".into(),
             category: "Adaptive".into(),
             methodology: "Cost vs. Gain analysis".into(),
@@ -298,10 +341,10 @@ pub fn run(seed: u64) -> Vec<Table2Row> {
                 "{:.2}x speedup online; worst epoch only {:.2}x default ({} adopted)",
                 r.speedup, r.worst_over_default, t.adopted
             ),
-        });
-    }
+        }
+    }));
 
-    rows
+    exec.run(jobs)
 }
 
 /// Renders the executed table.

@@ -30,9 +30,9 @@
 pub mod error;
 pub mod export;
 pub mod history;
-pub mod pareto;
 pub mod objective;
 pub mod param;
+pub mod pareto;
 pub mod ranking;
 pub mod session;
 pub mod space;
@@ -41,12 +41,12 @@ pub mod tuner;
 pub use error::{CoreError, CoreResult};
 pub use export::{config_to_properties, history_to_csv};
 pub use history::History;
-pub use pareto::{cheapest_within_deadline, hypervolume, pareto_front, ParetoPoint};
 pub use objective::{
     Budget, FunctionObjective, Metrics, Objective, Observation, SystemKind, SystemProfile,
     WorkloadClass,
 };
 pub use param::{ParamDomain, ParamSpec, ParamValue};
+pub use pareto::{cheapest_within_deadline, hypervolume, pareto_front, ParetoPoint};
 pub use ranking::KnobRanking;
 pub use session::{tune, TuningOutcome, TuningSession};
 pub use space::{ConfigSpace, Configuration};
@@ -57,12 +57,12 @@ pub mod prelude {
     pub use crate::error::{CoreError, CoreResult};
     pub use crate::export::{config_to_properties, history_to_csv};
     pub use crate::history::History;
-    pub use crate::pareto::{cheapest_within_deadline, pareto_front, ParetoPoint};
     pub use crate::objective::{
         Budget, FunctionObjective, Metrics, Objective, Observation, SystemKind, SystemProfile,
         WorkloadClass,
     };
     pub use crate::param::{ParamDomain, ParamSpec, ParamValue};
+    pub use crate::pareto::{cheapest_within_deadline, pareto_front, ParetoPoint};
     pub use crate::ranking::KnobRanking;
     pub use crate::session::{tune, TuningOutcome, TuningSession};
     pub use crate::space::{ConfigSpace, Configuration};

@@ -105,9 +105,7 @@ impl ParamDomain {
     pub fn contains(&self, value: &ParamValue) -> bool {
         match (self, value) {
             (ParamDomain::Int { min, max, .. }, ParamValue::Int(v)) => v >= min && v <= max,
-            (ParamDomain::Float { min, max, .. }, ParamValue::Float(v)) => {
-                *v >= *min && *v <= *max
-            }
+            (ParamDomain::Float { min, max, .. }, ParamValue::Float(v)) => *v >= *min && *v <= *max,
             (ParamDomain::Bool, ParamValue::Bool(_)) => true,
             (ParamDomain::Categorical { choices }, ParamValue::Str(s)) => {
                 choices.iter().any(|c| c == s)

@@ -104,7 +104,13 @@ mod tests {
     fn front_excludes_dominated_points() {
         // (10, 1) and (1, 10) are frontier; (5, 5) is frontier; (6, 6) is
         // dominated by (5, 5); (12, 12) dominated by everything.
-        let h = history_with(&[(10.0, 1.0), (1.0, 10.0), (5.0, 5.0), (6.0, 6.0), (12.0, 12.0)]);
+        let h = history_with(&[
+            (10.0, 1.0),
+            (1.0, 10.0),
+            (5.0, 5.0),
+            (6.0, 6.0),
+            (12.0, 12.0),
+        ]);
         let front = pareto_front(&h);
         let indices: Vec<usize> = front.iter().map(|p| p.index).collect();
         assert_eq!(indices, vec![1, 2, 0], "sorted by runtime");

@@ -79,6 +79,33 @@ impl Configuration {
         self.values.iter()
     }
 
+    /// Stable 64-bit FNV-1a hash of the full assignment, independent of
+    /// process and platform (floats hash by bit pattern, names in their
+    /// sorted map order). Used for cheap duplicate detection and as the
+    /// configuration part of evaluation-memo keys.
+    pub fn stable_hash(&self) -> u64 {
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        for (k, v) in &self.values {
+            h = eat(h, k.as_bytes());
+            h = match v {
+                ParamValue::Int(i) => eat(eat(h, &[1]), &i.to_le_bytes()),
+                ParamValue::Float(f) => eat(eat(h, &[2]), &f.to_bits().to_le_bytes()),
+                ParamValue::Bool(b) => eat(h, &[3, u8::from(*b)]),
+                ParamValue::Str(s) => eat(eat(h, &[4]), s.as_bytes()),
+            };
+            // Separate entries so (name, value) boundaries can't alias.
+            h = eat(h, &[0xff]);
+        }
+        h
+    }
+
     /// Number of knobs set.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -214,7 +241,9 @@ impl ConfigSpace {
 
     /// Uniform random configuration.
     pub fn random_config(&self, rng: &mut StdRng) -> Configuration {
-        let point: Vec<f64> = (0..self.dim()).map(|_| rng.random_range(0.0..1.0)).collect();
+        let point: Vec<f64> = (0..self.dim())
+            .map(|_| rng.random_range(0.0..1.0))
+            .collect();
         self.decode(&point)
     }
 
@@ -312,7 +341,11 @@ mod tests {
             assert!(s.validate_config(&c).is_ok());
             distinct.insert(format!("{c}"));
         }
-        assert!(distinct.len() > 25, "only {} distinct configs", distinct.len());
+        assert!(
+            distinct.len() > 25,
+            "only {} distinct configs",
+            distinct.len()
+        );
     }
 
     #[test]

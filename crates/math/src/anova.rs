@@ -28,10 +28,7 @@ pub struct EffectDecomposition {
 ///
 /// # Panics
 /// Panics if `responses.len() != design.runs()`.
-pub fn effect_decomposition(
-    design: &TwoLevelDesign,
-    responses: &[f64],
-) -> EffectDecomposition {
+pub fn effect_decomposition(design: &TwoLevelDesign, responses: &[f64]) -> EffectDecomposition {
     assert_eq!(responses.len(), design.runs(), "response/run mismatch");
     let runs = design.runs();
     let factors = design.factors();

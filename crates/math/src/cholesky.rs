@@ -55,9 +55,7 @@ impl Cholesky {
     ) -> Result<(Self, f64), LinAlgError> {
         match Self::decompose(a) {
             Ok(c) => return Ok((c, 0.0)),
-            Err(LinAlgError::NotSquare { shape }) => {
-                return Err(LinAlgError::NotSquare { shape })
-            }
+            Err(LinAlgError::NotSquare { shape }) => return Err(LinAlgError::NotSquare { shape }),
             Err(_) => {}
         }
         let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
@@ -70,6 +68,56 @@ impl Cholesky {
             jitter *= 10.0;
         }
         Err(LinAlgError::NotPositiveDefinite)
+    }
+
+    /// Extends the factor by one row/column — the rank-1 **append** update.
+    ///
+    /// Given the factor of an `n × n` matrix `A`, incorporates the bordered
+    /// matrix `[[A, b], [bᵀ, c]]` in `O(n²)` instead of refactoring from
+    /// scratch in `O(n³)`. `row` is `b` (covariance of the new point against
+    /// the existing ones) and `diag` is `c` (its self-covariance, including
+    /// any noise/jitter the original matrix carried on its diagonal).
+    ///
+    /// The arithmetic — accumulation order included — is identical to what
+    /// [`Cholesky::decompose`] performs for the last row of the bordered
+    /// matrix, so an extended factor is bitwise equal to a from-scratch one.
+    ///
+    /// On failure (`c` minus the projection is not a positive pivot) the
+    /// factor is left untouched and [`LinAlgError::NotPositiveDefinite`] is
+    /// returned, so callers can fall back to a full refactorization.
+    pub fn extend(&mut self, row: &[f64], diag: f64) -> Result<(), LinAlgError> {
+        let n = self.dim();
+        assert_eq!(row.len(), n, "extend: length mismatch");
+        // New bottom row of L: forward substitution against the existing
+        // factor, then the Schur-complement pivot.
+        let mut new_row = vec![0.0; n + 1];
+        for j in 0..n {
+            let mut sum = row[j];
+            for k in 0..j {
+                sum -= new_row[k] * self.l[(j, k)];
+            }
+            new_row[j] = sum / self.l[(j, j)];
+        }
+        let mut pivot = diag;
+        for k in 0..n {
+            pivot -= new_row[k] * new_row[k];
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(LinAlgError::NotPositiveDefinite);
+        }
+        new_row[n] = pivot.sqrt();
+        // Commit: copy the old factor into the bordered one.
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for (j, v) in new_row.iter().enumerate() {
+            l[(n, j)] = *v;
+        }
+        self.l = l;
+        Ok(())
     }
 
     /// The lower-triangular factor.
@@ -296,6 +344,64 @@ mod tests {
     fn general_solver_rejects_singular() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         assert!(solve_linear(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn extend_matches_full_decompose_bitwise() {
+        // Factor the 2x2 leading block, extend by the third row/col, and
+        // compare against factoring the full 3x3 matrix directly.
+        let a = spd_example();
+        let lead = Matrix::from_fn(2, 2, |i, j| a[(i, j)]);
+        let mut c = Cholesky::decompose(&lead).unwrap();
+        c.extend(&[a[(2, 0)], a[(2, 1)]], a[(2, 2)]).unwrap();
+        let full = Cholesky::decompose(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(
+                    c.l()[(i, j)].to_bits(),
+                    full.l()[(i, j)].to_bits(),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_rejects_indefinite_border_and_leaves_factor_intact() {
+        let a = spd_example();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        let before = c.l().clone();
+        // A border that makes the matrix indefinite: huge off-diagonal
+        // coupling with a tiny diagonal.
+        assert!(matches!(
+            c.extend(&[100.0, 100.0, 100.0], 1.0),
+            Err(LinAlgError::NotPositiveDefinite)
+        ));
+        assert_eq!(c.dim(), 3);
+        assert!(c.l().max_abs_diff(&before) == 0.0);
+    }
+
+    #[test]
+    fn repeated_extend_solves_like_full_factorization() {
+        // Grow a well-conditioned kernel-like matrix one point at a time.
+        let pts: Vec<f64> = (0..8).map(|i| i as f64 * 0.37).collect();
+        let cov =
+            |x: f64, y: f64| (-0.5 * (x - y) * (x - y)).exp() + if x == y { 0.1 } else { 0.0 };
+        let full = Matrix::from_fn(8, 8, |i, j| cov(pts[i], pts[j]));
+        let mut c =
+            Cholesky::decompose(&Matrix::from_fn(1, 1, |_, _| cov(pts[0], pts[0]))).unwrap();
+        for m in 1..8 {
+            let row: Vec<f64> = (0..m).map(|j| cov(pts[m], pts[j])).collect();
+            c.extend(&row, cov(pts[m], pts[m])).unwrap();
+        }
+        let direct = Cholesky::decompose(&full).unwrap();
+        assert!(c.l().max_abs_diff(direct.l()) < 1e-12);
+        let b: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let x1 = c.solve(&b);
+        let x2 = direct.solve(&b);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -24,9 +24,7 @@ fn pb_generator(runs: usize) -> Option<Vec<bool>> {
 /// The smallest supported Plackett–Burman run count that can screen
 /// `factors` factors, or `None` if more than 23 factors are requested.
 pub fn pb_runs_for(factors: usize) -> Option<usize> {
-    [8usize, 12, 16, 20, 24]
-        .into_iter()
-        .find(|&r| r > factors)
+    [8usize, 12, 16, 20, 24].into_iter().find(|&r| r > factors)
 }
 
 /// A two-level design matrix: `runs x factors`, entries `-1.0` or `+1.0`.
@@ -195,10 +193,7 @@ mod tests {
     fn pb_columns_orthogonal() {
         for factors in [7, 11, 15, 23] {
             let d = TwoLevelDesign::plackett_burman(factors).unwrap();
-            assert!(
-                column_orthogonality_defect(&d) < 1e-12,
-                "factors={factors}"
-            );
+            assert!(column_orthogonality_defect(&d) < 1e-12, "factors={factors}");
         }
     }
 

@@ -100,9 +100,14 @@ impl Kernel {
 pub struct GaussianProcess {
     kernel: Kernel,
     xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
     y_mean: f64,
     alpha: Vec<f64>,
     chol: Cholesky,
+    /// Diagonal jitter the factorization actually carries (beyond the
+    /// kernel's noise variance); [`GaussianProcess::update`] must add the
+    /// same amount to each appended diagonal entry.
+    jitter: f64,
     log_marginal: f64,
 }
 
@@ -117,7 +122,7 @@ impl GaussianProcess {
         let y_mean = mean(ys);
         let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
         let k = kernel.covariance(&xs);
-        let (chol, _jitter) = Cholesky::decompose_with_jitter(&k, 1e-10, 12)?;
+        let (chol, jitter) = Cholesky::decompose_with_jitter(&k, 1e-10, 12)?;
         let alpha = chol.solve(&centred);
         // log p(y|X) = -1/2 yᵀα - 1/2 log|K| - n/2 log 2π
         let n = xs.len() as f64;
@@ -127,22 +132,83 @@ impl GaussianProcess {
         Ok(GaussianProcess {
             kernel,
             xs,
+            ys: ys.to_vec(),
             y_mean,
             alpha,
             chol,
+            jitter,
             log_marginal,
         })
+    }
+
+    /// Recomputes the mean-centred weights and log marginal likelihood from
+    /// the stored targets, reusing the existing factor: two triangular
+    /// solves, `O(n²)`.
+    fn recompute_weights(&mut self) {
+        self.y_mean = mean(&self.ys);
+        let centred: Vec<f64> = self.ys.iter().map(|y| y - self.y_mean).collect();
+        self.alpha = self.chol.solve(&centred);
+        let n = self.xs.len() as f64;
+        self.log_marginal = -0.5 * dot(&centred, &self.alpha)
+            - 0.5 * self.chol.log_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+    }
+
+    /// Folds one new observation into the fitted model **incrementally**:
+    /// the Cholesky factor is extended in `O(n²)` ([`Cholesky::extend`])
+    /// instead of being rebuilt in `O(n³)`, then the weights are recomputed
+    /// against the re-centred targets. The kernel hyper-parameters are kept
+    /// as-is — callers that tune them should re-fit periodically (e.g.
+    /// every k observations) and use `update` in between.
+    ///
+    /// Falls back to a full [`GaussianProcess::fit`] (with jitter search)
+    /// when the extended matrix is not numerically positive definite; only
+    /// if that refit also fails is an error returned, in which case the
+    /// model is left in its previous state.
+    pub fn update(&mut self, x: Vec<f64>, y: f64) -> Result<(), LinAlgError> {
+        assert_eq!(x.len(), self.kernel.dim(), "GP update: dim mismatch");
+        let row: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, &x)).collect();
+        let diag = self.kernel.eval(&x, &x) + self.kernel.noise_variance + self.jitter;
+        match self.chol.extend(&row, diag) {
+            Ok(()) => {
+                self.xs.push(x);
+                self.ys.push(y);
+                self.recompute_weights();
+                Ok(())
+            }
+            Err(_) => {
+                let mut xs = self.xs.clone();
+                xs.push(x);
+                let mut ys = self.ys.clone();
+                ys.push(y);
+                let refit = Self::fit(self.kernel.clone(), xs, &ys)?;
+                *self = refit;
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces **all** training targets (the inputs and kernel stay fixed)
+    /// and recomputes the weights against the existing factor in `O(n²)`.
+    ///
+    /// This serves models whose targets are re-calibrated as context grows
+    /// — e.g. OtterTune rescales transferred workload observations onto the
+    /// target workload's response distribution after every new observation.
+    pub fn refresh_targets(&mut self, ys: &[f64]) {
+        assert_eq!(
+            ys.len(),
+            self.xs.len(),
+            "GP refresh_targets: length mismatch"
+        );
+        self.ys = ys.to_vec();
+        self.recompute_weights();
     }
 
     /// Fits a GP and tunes kernel hyper-parameters (shared log length
     /// scale, log signal variance, log noise variance) by maximizing the
     /// log marginal likelihood with Nelder–Mead. Targets are standardized
     /// internally via the signal-variance parameter.
-    pub fn fit_auto(
-        kind: KernelKind,
-        xs: Vec<Vec<f64>>,
-        ys: &[f64],
-    ) -> Result<Self, LinAlgError> {
+    pub fn fit_auto(kind: KernelKind, xs: Vec<Vec<f64>>, ys: &[f64]) -> Result<Self, LinAlgError> {
         assert!(!xs.is_empty());
         let dim = xs[0].len();
         let y_sd = std_dev(ys).max(1e-6);
@@ -162,7 +228,11 @@ impl GaussianProcess {
         let starts = [
             vec![(0.2f64).ln(), (y_sd * y_sd).ln(), (y_sd * y_sd * 0.01).ln()],
             vec![(0.5f64).ln(), (y_sd * y_sd).ln(), (y_sd * y_sd * 0.1).ln()],
-            vec![(1.5f64).ln(), (y_sd * y_sd).ln(), (y_sd * y_sd * 0.001).ln()],
+            vec![
+                (1.5f64).ln(),
+                (y_sd * y_sd).ln(),
+                (y_sd * y_sd * 0.001).ln(),
+            ],
         ];
         let mut best: Option<Vec<f64>> = None;
         let mut best_v = f64::INFINITY;
@@ -251,6 +321,11 @@ impl GaussianProcess {
     /// Training inputs.
     pub fn training_inputs(&self) -> &[Vec<f64>] {
         &self.xs
+    }
+
+    /// Training targets (raw, un-centred).
+    pub fn training_targets(&self) -> &[f64] {
+        &self.ys
     }
 
     /// Expected Improvement for *minimization* at `x`, given the incumbent
@@ -367,12 +442,7 @@ mod tests {
     #[test]
     fn lcb_below_mean() {
         let (xs, ys) = training_data(10, 3);
-        let gp = GaussianProcess::fit(
-            Kernel::new(KernelKind::Matern52, 2, 0.4),
-            xs,
-            &ys,
-        )
-        .unwrap();
+        let gp = GaussianProcess::fit(Kernel::new(KernelKind::Matern52, 2, 0.4), xs, &ys).unwrap();
         let q = [0.33, 0.77];
         let (mu, _) = gp.predict(&q);
         assert!(gp.lower_confidence_bound(&q, 2.0) <= mu);
@@ -399,8 +469,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let xs = latin_hypercube(35, 3, &mut rng);
         let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
-        let gp = GaussianProcess::fit_auto_ard(KernelKind::SquaredExponential, xs, &ys)
-            .unwrap();
+        let gp = GaussianProcess::fit_auto_ard(KernelKind::SquaredExponential, xs, &ys).unwrap();
         let rel = gp.relevance();
         assert!((rel[0] - 1.0).abs() < 1e-12, "x0 most relevant: {rel:?}");
         assert!(rel[1] < 0.7 && rel[2] < 0.7, "irrelevant dims: {rel:?}");
@@ -415,10 +484,63 @@ mod tests {
     }
 
     #[test]
+    fn incremental_update_matches_fresh_fit() {
+        let (xs, ys) = training_data(25, 6);
+        let mut k = Kernel::new(KernelKind::Matern52, 2, 0.4);
+        k.noise_variance = 1e-6;
+        // Fit on the first 15 points, update with the remaining 10.
+        let mut inc = GaussianProcess::fit(k.clone(), xs[..15].to_vec(), &ys[..15]).unwrap();
+        for i in 15..25 {
+            inc.update(xs[i].clone(), ys[i]).unwrap();
+        }
+        let full = GaussianProcess::fit(k, xs.clone(), &ys).unwrap();
+        for i in 0..12 {
+            let t = i as f64 / 12.0;
+            let q = [t, 1.0 - 0.7 * t];
+            let (m1, v1) = inc.predict(&q);
+            let (m2, v2) = full.predict(&q);
+            assert!((m1 - m2).abs() < 1e-9, "mean {m1} vs {m2}");
+            assert!((v1 - v2).abs() < 1e-9, "var {v1} vs {v2}");
+        }
+        assert!((inc.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn update_handles_duplicate_points() {
+        // Appending an exact duplicate of a training point makes the
+        // near-noise-free kernel matrix (numerically) singular; update must
+        // absorb it — via a hairline pivot or the jittered-refit fallback —
+        // rather than erroring out.
+        let xs = vec![vec![0.2, 0.8], vec![0.7, 0.3]];
+        let ys = vec![1.0, 2.0];
+        let mut k = Kernel::new(KernelKind::SquaredExponential, 2, 0.5);
+        k.noise_variance = 1e-12;
+        let mut gp = GaussianProcess::fit(k, xs, &ys).unwrap();
+        gp.update(vec![0.2, 0.8], 1.0).unwrap();
+        assert_eq!(gp.training_inputs().len(), 3);
+        let (mu, _) = gp.predict(&[0.2, 0.8]);
+        assert!((mu - 1.0).abs() < 0.05, "mu={mu}");
+    }
+
+    #[test]
+    fn refresh_targets_matches_refit_on_new_ys() {
+        let (xs, ys) = training_data(20, 8);
+        let mut k = Kernel::new(KernelKind::Matern52, 2, 0.6);
+        k.noise_variance = 1e-4;
+        let mut gp = GaussianProcess::fit(k.clone(), xs.clone(), &ys).unwrap();
+        let shifted: Vec<f64> = ys.iter().map(|y| 3.0 * y - 1.5).collect();
+        gp.refresh_targets(&shifted);
+        let fresh = GaussianProcess::fit(k, xs, &shifted).unwrap();
+        let q = [0.41, 0.59];
+        assert!((gp.predict(&q).0 - fresh.predict(&q).0).abs() < 1e-10);
+        assert!((gp.log_marginal_likelihood() - fresh.log_marginal_likelihood()).abs() < 1e-9);
+    }
+
+    #[test]
     fn fit_auto_beats_fixed_bad_kernel() {
         let (xs, ys) = training_data(25, 5);
-        let auto = GaussianProcess::fit_auto(KernelKind::SquaredExponential, xs.clone(), &ys)
-            .unwrap();
+        let auto =
+            GaussianProcess::fit_auto(KernelKind::SquaredExponential, xs.clone(), &ys).unwrap();
         let mut bad = Kernel::new(KernelKind::SquaredExponential, 2, 100.0);
         bad.noise_variance = 1.0;
         let fixed = GaussianProcess::fit(bad, xs, &ys).unwrap();

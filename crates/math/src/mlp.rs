@@ -56,7 +56,11 @@ impl Layer {
         let scale = (2.0 / (input + output) as f64).sqrt();
         Layer {
             weights: (0..output)
-                .map(|_| (0..input).map(|_| rng.random_range(-scale..scale)).collect())
+                .map(|_| {
+                    (0..input)
+                        .map(|_| rng.random_range(-scale..scale))
+                        .collect()
+                })
                 .collect(),
             biases: vec![0.0; output],
         }
@@ -286,7 +290,13 @@ mod tests {
             .collect();
         let ys: Vec<Vec<f64>> = xs
             .iter()
-            .map(|x| vec![if (x[0] > 0.5) != (x[1] > 0.5) { 1.0 } else { 0.0 }])
+            .map(|x| {
+                vec![if (x[0] > 0.5) != (x[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }]
+            })
             .collect();
         let mut net = Mlp::new(&[2, 16, 16, 1], Activation::Relu, &mut rng);
         let cfg = TrainConfig {
@@ -298,7 +308,11 @@ mod tests {
         net.train(&xs, &ys, &cfg, &mut rng);
         let mut correct = 0;
         for (x, y) in xs.iter().zip(&ys) {
-            let pred = if net.predict_scalar(x) > 0.5 { 1.0 } else { 0.0 };
+            let pred = if net.predict_scalar(x) > 0.5 {
+                1.0
+            } else {
+                0.0
+            };
             if pred == y[0] {
                 correct += 1;
             }

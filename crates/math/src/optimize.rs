@@ -302,14 +302,7 @@ mod tests {
     #[test]
     fn box_search_respects_bounds() {
         let mut rng = StdRng::seed_from_u64(3);
-        let r = nelder_mead_box(
-            |x| (x[0] - 5.0).powi(2),
-            &[0.0],
-            &[1.0],
-            4,
-            200,
-            &mut rng,
-        );
+        let r = nelder_mead_box(|x| (x[0] - 5.0).powi(2), &[0.0], &[1.0], 4, 200, &mut rng);
         assert!(r.x[0] >= 0.0 && r.x[0] <= 1.0);
         assert!((r.x[0] - 1.0).abs() < 1e-6, "should hit upper bound");
     }

@@ -117,4 +117,53 @@ proptest! {
         let expect = 15.0 * 16.0 / 2.0;
         prop_assert!((r.iter().sum::<f64>() - expect).abs() < 1e-9);
     }
+
+    #[test]
+    fn gp_incremental_update_matches_from_scratch_fit(
+        n_base in 4usize..12,
+        n_extra in 1usize..6,
+        dim in 1usize..4,
+        seed in 0u64..5_000,
+    ) {
+        // Fit on a prefix, fold the rest in with `update`, and require the
+        // posterior to match a from-scratch fit on the full data within
+        // 1e-9 everywhere we can observe it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = n_base + n_extra;
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(0.0..1.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>()
+                + 0.01 * rng.random_range(-1.0..1.0))
+            .collect();
+        let mut kernel = Kernel::new(KernelKind::Matern52, dim, 0.5);
+        kernel.noise_variance = 1e-4;
+
+        let mut incr = GaussianProcess::fit(
+            kernel.clone(),
+            xs[..n_base].to_vec(),
+            &ys[..n_base],
+        )
+        .expect("prefix fit");
+        for i in n_base..n {
+            incr.update(xs[i].clone(), ys[i]).expect("rank-1 update");
+        }
+        let full = GaussianProcess::fit(kernel, xs.clone(), &ys).expect("full fit");
+
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        for _ in 0..8 {
+            let p: Vec<f64> = (0..dim)
+                .map(|_| probe_rng.random_range(0.0..1.0))
+                .collect();
+            let (mi, vi) = incr.predict(&p);
+            let (mf, vf) = full.predict(&p);
+            prop_assert!((mi - mf).abs() < 1e-9, "mean {} vs {}", mi, mf);
+            prop_assert!((vi - vf).abs() < 1e-9, "var {} vs {}", vi, vf);
+        }
+        prop_assert!(
+            (incr.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-8
+        );
+    }
 }

@@ -146,7 +146,11 @@ impl DbmsSimulator {
         };
         metrics.insert(
             "swap_activity".into(),
-            if overcommit > 1.0 { overcommit - 1.0 } else { 0.0 },
+            if overcommit > 1.0 {
+                overcommit - 1.0
+            } else {
+                0.0
+            },
         );
 
         // ---- planner quality ---------------------------------------------
@@ -226,7 +230,10 @@ impl DbmsSimulator {
             let per_scan = scan_secs_serial * amdahl * coord;
             seq_mb += n_scan * io_mb;
             cpu_secs += n_scan * cpu * amdahl * coord;
-            metrics.insert("parallel_efficiency".into(), 1.0 / (workers * amdahl * coord));
+            metrics.insert(
+                "parallel_efficiency".into(),
+                1.0 / (workers * amdahl * coord),
+            );
             metrics.insert("scan_secs_each".into(), per_scan);
         }
 
@@ -235,8 +242,7 @@ impl DbmsSimulator {
         {
             let build_mb = analytic_mb * 0.25;
             let probe_mb = analytic_mb * 0.5;
-            let read_mb =
-                (build_mb + probe_mb) * (1.0 - (shared_buffers / analytic_mb).min(0.8));
+            let read_mb = (build_mb + probe_mb) * (1.0 - (shared_buffers / analytic_mb).min(0.8));
             let mut io_mb = read_mb;
             if build_mb > work_mem {
                 // Grace hash join: extra write+read of both sides per pass.
@@ -246,7 +252,10 @@ impl DbmsSimulator {
                 temp_mb += n_join * build_mb * passes * 0.5;
             }
             let cpu = (build_mb + probe_mb) * 0.004 / node.core_speed;
-            let workers = (parallel_workers * 0.5).min((node.cores - 1) as f64).max(0.0) + 1.0;
+            let workers = (parallel_workers * 0.5)
+                .min((node.cores - 1) as f64)
+                .max(0.0)
+                + 1.0;
             seq_mb += n_join * io_mb;
             cpu_secs += n_join * cpu / workers * plan_penalty * stats_penalty;
         }
@@ -305,7 +314,8 @@ impl DbmsSimulator {
 
         // Maintenance (vacuum/analyze): cheaper with more memory, but
         // higher stats targets make analyze proportionally pricier.
-        let vacuum_secs = (w.table_mb / node.disk_mbps) * 0.1
+        let vacuum_secs = (w.table_mb / node.disk_mbps)
+            * 0.1
             * (1.0 + (256.0 / maintenance_mem.max(16.0)).min(4.0) * 0.25)
             + stats_target / 1000.0;
         cpu_secs += vacuum_secs * 0.3;
@@ -319,7 +329,11 @@ impl DbmsSimulator {
         let cpu_wall = cpu_secs / (node.cores as f64 * node.core_speed).max(1.0)
             * (1.0 + (w.concurrency as f64 / (node.cores as f64 * 4.0)).max(0.0) * 0.1);
 
-        let base = cpu_wall + rand_secs + seq_secs + write_secs + burst_stall_secs
+        let base = cpu_wall
+            + rand_secs
+            + seq_secs
+            + write_secs
+            + burst_stall_secs
             + lock_wait_secs
             + vacuum_secs * 0.2;
         let runtime = base * swap_penalty * if failed { FAILURE_PENALTY } else { 1.0 };
@@ -445,9 +459,7 @@ mod tests {
         let s = sim();
         let d = s.space.default_config();
         let small = s.simulate(&d).runtime_secs;
-        let big = s
-            .simulate(&with(&d, SHARED_BUFFERS_MB, 4096))
-            .runtime_secs;
+        let big = s.simulate(&with(&d, SHARED_BUFFERS_MB, 4096)).runtime_secs;
         assert!(big < small * 0.8, "small={small} big={big}");
     }
 
@@ -518,7 +530,9 @@ mod tests {
         let s = sim();
         let d = s.space.default_config();
         let lo = s.simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 100)).runtime_secs;
-        let mid = s.simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 2000)).runtime_secs;
+        let mid = s
+            .simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 2000))
+            .runtime_secs;
         let hi = s
             .simulate(&with(&d, DEADLOCK_TIMEOUT_MS, 10000))
             .runtime_secs;
@@ -545,7 +559,11 @@ mod tests {
     fn metrics_are_rich() {
         let s = sim();
         let run = s.simulate(&s.space.default_config());
-        assert!(run.metrics.len() >= 18, "only {} metrics", run.metrics.len());
+        assert!(
+            run.metrics.len() >= 18,
+            "only {} metrics",
+            run.metrics.len()
+        );
         assert!(run.metrics["buffer_hit_ratio"] > 0.0);
         assert!(run.metrics["buffer_hit_ratio"] <= 1.0);
     }
@@ -601,14 +619,25 @@ mod tests {
     fn io_concurrency_helps_only_on_ssd() {
         let hdd = sim();
         let d = hdd.space.default_config();
-        let hdd_gain = hdd.simulate(&with(&d, EFFECTIVE_IO_CONCURRENCY, 1)).runtime_secs
-            - hdd.simulate(&with(&d, EFFECTIVE_IO_CONCURRENCY, 128)).runtime_secs;
+        let hdd_gain = hdd
+            .simulate(&with(&d, EFFECTIVE_IO_CONCURRENCY, 1))
+            .runtime_secs
+            - hdd
+                .simulate(&with(&d, EFFECTIVE_IO_CONCURRENCY, 128))
+                .runtime_secs;
         let ssd = DbmsSimulator::new(NodeSpec::large(), DbmsWorkload::oltp())
             .with_noise(NoiseModel::none());
         let d2 = ssd.space.default_config();
-        let ssd_gain = ssd.simulate(&with(&d2, EFFECTIVE_IO_CONCURRENCY, 1)).runtime_secs
-            - ssd.simulate(&with(&d2, EFFECTIVE_IO_CONCURRENCY, 128)).runtime_secs;
-        assert!(hdd_gain.abs() < 1e-6, "HDD should be insensitive: {hdd_gain}");
+        let ssd_gain = ssd
+            .simulate(&with(&d2, EFFECTIVE_IO_CONCURRENCY, 1))
+            .runtime_secs
+            - ssd
+                .simulate(&with(&d2, EFFECTIVE_IO_CONCURRENCY, 128))
+                .runtime_secs;
+        assert!(
+            hdd_gain.abs() < 1e-6,
+            "HDD should be insensitive: {hdd_gain}"
+        );
         assert!(ssd_gain > 0.0, "SSD should benefit: {ssd_gain}");
     }
 

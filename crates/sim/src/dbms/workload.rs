@@ -151,10 +151,7 @@ mod tests {
     #[test]
     fn counting() {
         let w = DbmsWorkload::mixed();
-        assert_eq!(
-            w.total_queries(),
-            30_000 + 10_000 + 10 + 10 + 10
-        );
+        assert_eq!(w.total_queries(), 30_000 + 10_000 + 10 + 10 + 10);
         assert_eq!(w.count(QueryKind::Join), 10);
         assert_eq!(w.count(QueryKind::Update), 10_000);
     }

@@ -177,8 +177,7 @@ impl HadoopSimulator {
 
             // Per-map-task time: read split, map cpu, spill+merge I/O.
             let read_secs = split_mb / mean_node.disk_mbps;
-            let cpu_secs = (split_mb * (job.map_cpu_ms_per_mb + combiner_cpu_ms)
-                + compress_cpu_ms)
+            let cpu_secs = (split_mb * (job.map_cpu_ms_per_mb + combiner_cpu_ms) + compress_cpu_ms)
                 / 1000.0
                 / mean_node.core_speed;
             let spill_io_mb = output_per_map_raw * (spills - 1.0).max(0.0) / spills
@@ -193,14 +192,14 @@ impl HadoopSimulator {
             // Aggregate fetch rate: limited by cluster network and by the
             // reducers' fetch concurrency.
             let per_copy_mbps = 10.0;
-            let fetch_rate = (reduce_tasks * copies * per_copy_mbps)
-                .min(nodes * mean_node.network_mbps * 0.5);
+            let fetch_rate =
+                (reduce_tasks * copies * per_copy_mbps).min(nodes * mean_node.network_mbps * 0.5);
             let shuffle_secs_raw = shuffle_mb / fetch_rate.max(1.0);
             // Overlap with map phase: reducers that started early hide
             // shuffle time behind remaining map waves.
             let overlap = (1.0 - slowstart).clamp(0.0, 1.0) * 0.9;
-            let shuffle_exposed = shuffle_secs_raw * (1.0 - overlap)
-                + shuffle_secs_raw * overlap * 0.1;
+            let shuffle_exposed =
+                shuffle_secs_raw * (1.0 - overlap) + shuffle_secs_raw * overlap * 0.1;
 
             // ---------------- reduce phase ----------------
             let reduce_capacity = (reduce_slots * nodes).max(1.0);
@@ -219,12 +218,11 @@ impl HadoopSimulator {
                 0.0
             };
             let decompress_cpu_ms = if compress { codec_cpu_ms * 0.3 } else { 0.0 };
-            let reduce_cpu_secs = per_reduce_mb
-                * (job.reduce_cpu_ms_per_mb + decompress_cpu_ms)
+            let reduce_cpu_secs = per_reduce_mb * (job.reduce_cpu_ms_per_mb + decompress_cpu_ms)
                 / 1000.0
                 / mean_node.core_speed;
-            let reduce_io_mb = per_reduce_mb * 2.0 * reduce_merge_passes
-                + per_reduce_mb * job.output_ratio * 2.0; // output + replication
+            let reduce_io_mb =
+                per_reduce_mb * 2.0 * reduce_merge_passes + per_reduce_mb * job.output_ratio * 2.0; // output + replication
             let reduce_io_secs = reduce_io_mb / mean_node.disk_mbps;
             let reduce_task_secs = reduce_cpu_secs + reduce_io_secs + TASK_OVERHEAD_SECS;
             let reduce_phase_secs = reduce_task_secs * reduce_waves * straggle;
@@ -266,8 +264,7 @@ impl HadoopSimulator {
             round_input = (shuffle_mb * job.output_ratio).max(1.0);
         }
 
-        let runtime =
-            total_secs * swap_penalty * if failed { FAILURE_PENALTY } else { 1.0 };
+        let runtime = total_secs * swap_penalty * if failed { FAILURE_PENALTY } else { 1.0 };
 
         metrics.insert("maps".into(), (job.input_mb / split_mb).ceil());
         metrics.insert("map_waves".into(), map_waves_out);
@@ -275,10 +272,7 @@ impl HadoopSimulator {
         metrics.insert("spills".into(), total_spills);
         metrics.insert("shuffle_mb".into(), total_shuffle_mb);
         metrics.insert("straggler_factor".into(), straggle);
-        metrics.insert(
-            "cluster_cost_node_secs".into(),
-            runtime * nodes,
-        );
+        metrics.insert("cluster_cost_node_secs".into(), runtime * nodes);
 
         HadoopRun {
             runtime_secs: runtime,
@@ -357,10 +351,7 @@ mod tests {
         let many = s
             .simulate(&set(&d, REDUCE_TASKS, ParamValue::Int(64)))
             .runtime_secs;
-        assert!(
-            many < one / 3.0,
-            "1 reducer: {one}s, 64 reducers: {many}s"
-        );
+        assert!(many < one / 3.0, "1 reducer: {one}s, 64 reducers: {many}s");
     }
 
     #[test]
@@ -389,11 +380,7 @@ mod tests {
     #[test]
     fn compression_helps_shuffle_heavy_jobs() {
         let s = sim(); // terasort shuffles everything
-        let d = set(
-            &s.space.default_config(),
-            REDUCE_TASKS,
-            ParamValue::Int(64),
-        );
+        let d = set(&s.space.default_config(), REDUCE_TASKS, ParamValue::Int(64));
         let plain = s.simulate(&d).runtime_secs;
         let lz4 = {
             let c = set(&d, COMPRESS_MAP_OUTPUT, ParamValue::Bool(true));
@@ -411,11 +398,7 @@ mod tests {
                 job,
             )
             .with_noise(NoiseModel::none());
-            let d = set(
-                &s.space.default_config(),
-                REDUCE_TASKS,
-                ParamValue::Int(32),
-            );
+            let d = set(&s.space.default_config(), REDUCE_TASKS, ParamValue::Int(32));
             let off = s.simulate(&d).runtime_secs;
             let on = s
                 .simulate(&set(&d, USE_COMBINER, ParamValue::Bool(true)))
@@ -451,11 +434,7 @@ mod tests {
     #[test]
     fn slowstart_overlap_helps() {
         let s = sim();
-        let d = set(
-            &s.space.default_config(),
-            REDUCE_TASKS,
-            ParamValue::Int(64),
-        );
+        let d = set(&s.space.default_config(), REDUCE_TASKS, ParamValue::Int(64));
         let late = s
             .simulate(&set(&d, SLOWSTART, ParamValue::Float(0.95)))
             .runtime_secs;
@@ -472,27 +451,19 @@ mod tests {
             HadoopJob::terasort(16_384.0),
         )
         .with_noise(NoiseModel::none());
-        let hetero = HadoopSimulator::new(
-            ClusterSpec::heterogeneous(6),
-            HadoopJob::terasort(16_384.0),
-        )
-        .with_noise(NoiseModel::none());
+        let hetero =
+            HadoopSimulator::new(ClusterSpec::heterogeneous(6), HadoopJob::terasort(16_384.0))
+                .with_noise(NoiseModel::none());
         let d = homo.space.default_config();
         assert!(hetero.simulate(&d).runtime_secs > homo.simulate(&d).runtime_secs);
     }
 
     #[test]
     fn pagerank_rounds_multiply_work() {
-        let one = HadoopSimulator::new(
-            ClusterSpec::default(),
-            HadoopJob::pagerank(8192.0, 1),
-        )
-        .with_noise(NoiseModel::none());
-        let five = HadoopSimulator::new(
-            ClusterSpec::default(),
-            HadoopJob::pagerank(8192.0, 5),
-        )
-        .with_noise(NoiseModel::none());
+        let one = HadoopSimulator::new(ClusterSpec::default(), HadoopJob::pagerank(8192.0, 1))
+            .with_noise(NoiseModel::none());
+        let five = HadoopSimulator::new(ClusterSpec::default(), HadoopJob::pagerank(8192.0, 5))
+            .with_noise(NoiseModel::none());
         let d = one.space.default_config();
         assert!(five.simulate(&d).runtime_secs > one.simulate(&d).runtime_secs * 2.0);
     }
@@ -530,9 +501,7 @@ mod tests {
         )
         .with_noise(NoiseModel::none());
         let run = small.simulate(&small.space.default_config());
-        assert!(
-            (run.metrics["cluster_cost_node_secs"] - run.runtime_secs * 2.0).abs() < 1e-6
-        );
+        assert!((run.metrics["cluster_cost_node_secs"] - run.runtime_secs * 2.0).abs() < 1e-6);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::cluster::NodeSpec;
 use crate::dbms::{DbmsSimulator, DbmsWorkload};
 use crate::noise::NoiseModel;
 use autotune_core::{
-    ConfigSpace, Configuration, Metrics, Objective, Observation, ParamSpec, ParamValue,
-    SystemKind, SystemProfile, WorkloadClass,
+    ConfigSpace, Configuration, Metrics, Objective, Observation, ParamSpec, ParamValue, SystemKind,
+    SystemProfile, WorkloadClass,
 };
 use rand::rngs::StdRng;
 
@@ -179,11 +179,7 @@ impl Objective for MultiTenantDbms {
             nodes: 1,
             disk_mbps: self.node.disk_mbps,
             network_mbps: self.node.network_mbps,
-            input_mb: self
-                .tenants
-                .iter()
-                .map(|t| t.workload.table_mb)
-                .sum(),
+            input_mb: self.tenants.iter().map(|t| t.workload.table_mb).sum(),
         }
     }
 
@@ -191,11 +187,7 @@ impl Objective for MultiTenantDbms {
         let runtimes = self.tenant_runtimes(config);
         let mut metrics = Metrics::new();
         let mut worst: f64 = f64::MIN;
-        for ((rt, tenant), share) in runtimes
-            .iter()
-            .zip(&self.tenants)
-            .zip(self.shares(config))
-        {
+        for ((rt, tenant), share) in runtimes.iter().zip(&self.tenants).zip(self.shares(config)) {
             let noisy = self.noise.apply(*rt, rng);
             let ratio = noisy / tenant.slo_secs;
             metrics.insert(format!("runtime_{}", tenant.name), noisy);
@@ -270,8 +262,7 @@ mod tests {
 
     #[test]
     fn observation_reports_per_tenant_metrics() {
-        let mut mt =
-            MultiTenantDbms::standard_three_tenants().with_noise(NoiseModel::none());
+        let mut mt = MultiTenantDbms::standard_three_tenants().with_noise(NoiseModel::none());
         let cfg = mt.space().default_config();
         let mut rng = rand::SeedableRng::seed_from_u64(1);
         let obs = mt.evaluate(&cfg, &mut rng);
@@ -279,8 +270,6 @@ mod tests {
             assert!(obs.metrics.contains_key(&format!("runtime_{t}")));
             assert!(obs.metrics.contains_key(&format!("slo_ratio_{t}")));
         }
-        assert!(
-            (obs.runtime_secs / 1000.0 - obs.metrics["worst_slo_ratio"]).abs() < 1e-9
-        );
+        assert!((obs.runtime_secs / 1000.0 - obs.metrics["worst_slo_ratio"]).abs() < 1e-9);
     }
 }

@@ -136,7 +136,9 @@ mod tests {
     #[test]
     fn box_muller_moments() {
         let mut rng = StdRng::seed_from_u64(5);
-        let zs: Vec<f64> = (0..20000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let zs: Vec<f64> = (0..20000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         assert!(mean(&zs).abs() < 0.03);
         assert!((std_dev(&zs) - 1.0).abs() < 0.03);
     }

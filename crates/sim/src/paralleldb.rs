@@ -56,8 +56,7 @@ impl ParallelDbBaseline {
             AnalyticalTask::Join => (1.3, 6.0, 0.15),
         };
         let io_secs = per_node_mb * read_frac / node.disk_mbps;
-        let cpu_secs =
-            per_node_mb * read_frac * cpu_ms_per_mb / 1000.0 / node.compute_rate();
+        let cpu_secs = per_node_mb * read_frac * cpu_ms_per_mb / 1000.0 / node.compute_rate();
         // Pre-partitioning keeps most join traffic local; a small fraction
         // is redistributed.
         let net_secs = per_node_mb * net_frac / (node.network_mbps * 0.5).max(1.0);
@@ -131,8 +130,7 @@ mod tests {
         let mut ratios = Vec::new();
         for job in HadoopJob::analytical_suite(data_mb) {
             let task = ParallelDbBaseline::task_for_job(&job);
-            let hadoop = HadoopSimulator::new(cluster.clone(), job)
-                .with_noise(NoiseModel::none());
+            let hadoop = HadoopSimulator::new(cluster.clone(), job).with_noise(NoiseModel::none());
             let cfg = benchmark_config(&cluster);
             let h = hadoop.simulate(&cfg).runtime_secs;
             let d = ParallelDbBaseline::new(cluster.clone()).runtime_secs(task, data_mb);

@@ -159,7 +159,10 @@ impl SparkSimulator {
         let broadcast_used = app.small_table_mb > 0.0 && app.small_table_mb <= broadcast_mb;
         let broadcast_oom = broadcast_used && app.small_table_mb * 2.0 > exec_mem * 0.2;
         let failed = failed_alloc || broadcast_oom;
-        metrics.insert("broadcast_used".into(), if broadcast_used { 1.0 } else { 0.0 });
+        metrics.insert(
+            "broadcast_used".into(),
+            if broadcast_used { 1.0 } else { 0.0 },
+        );
 
         // GC: java serialization and very large heaps inflate pause time.
         let gc_tax = 1.0
@@ -204,7 +207,11 @@ impl SparkSimulator {
                     + disk_read_mb * remote_frac / (node.network_mbps * 0.5).max(1.0);
 
                 // CPU incl. (de)serialization and decompression.
-                let decompress_ms = if cached_here && rdd_compress { 1.0 } else { 0.0 };
+                let decompress_ms = if cached_here && rdd_compress {
+                    1.0
+                } else {
+                    0.0
+                };
                 let cpu_secs_task = per_task_mb
                     * (stage.cpu_ms_per_mb + ser_cpu_ms * 0.3 + decompress_ms)
                     / 1000.0
@@ -225,7 +232,8 @@ impl SparkSimulator {
                     * shuf_ratio
                     * if broadcast_used && si == 0 { 0.05 } else { 1.0 };
                 shuffle_mb_total += shuffle_out_mb;
-                let shuffle_cpu = stage_mb * stage.shuffle_write_ratio * shuf_cpu_ms / 1000.0
+                let shuffle_cpu = stage_mb * stage.shuffle_write_ratio * shuf_cpu_ms
+                    / 1000.0
                     / node.core_speed
                     / tasks;
                 let shuffle_write_secs = shuffle_out_mb / tasks / node.disk_mbps;
@@ -258,7 +266,11 @@ impl SparkSimulator {
                     name: format!("{}-{}", stage.name, iter),
                     cpu_core_secs: cpu_secs_task * tasks,
                     seq_io_mb: (disk_read_mb + spill_mb) * tasks + shuffle_out_mb,
-                    rand_io_ops: if is_shuffle_stage { shuffle_parts * 2.0 } else { 0.0 },
+                    rand_io_ops: if is_shuffle_stage {
+                        shuffle_parts * 2.0
+                    } else {
+                        0.0
+                    },
                     net_mb: shuffle_out_mb + disk_read_mb * remote_frac * tasks,
                     parallelism: slots as usize,
                 });
@@ -422,9 +434,7 @@ mod tests {
         let uncachy = set(&d, STORAGE_FRACTION, ParamValue::Float(0.1));
         let with_cache = s.simulate(&cachy);
         let without = s.simulate(&uncachy);
-        assert!(
-            with_cache.metrics["cached_fraction"] > without.metrics["cached_fraction"]
-        );
+        assert!(with_cache.metrics["cached_fraction"] > without.metrics["cached_fraction"]);
         assert!(with_cache.runtime_secs < without.runtime_secs);
     }
 
@@ -464,11 +474,8 @@ mod tests {
     fn locality_wait_tradeoff_exists() {
         let mut app = SparkApp::aggregation(16_384.0);
         app.locality_fraction = 0.3; // poor locality
-        let s = SparkSimulator::new(
-            ClusterSpec::homogeneous(8, NodeSpec::default()),
-            app,
-        )
-        .with_noise(NoiseModel::none());
+        let s = SparkSimulator::new(ClusterSpec::homogeneous(8, NodeSpec::default()), app)
+            .with_noise(NoiseModel::none());
         let d = scaled_up(&s.space.default_config());
         let zero = s.simulate(&set(&d, LOCALITY_WAIT_MS, ParamValue::Int(0)));
         let some = s.simulate(&set(&d, LOCALITY_WAIT_MS, ParamValue::Int(3000)));
@@ -495,8 +502,8 @@ mod tests {
     #[test]
     fn memory_fraction_reduces_spills() {
         let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
-        let s = SparkSimulator::new(cluster, SparkApp::sort(32_768.0))
-            .with_noise(NoiseModel::none());
+        let s =
+            SparkSimulator::new(cluster, SparkApp::sort(32_768.0)).with_noise(NoiseModel::none());
         let d = scaled_up(&s.space.default_config());
         let d = set(&d, SHUFFLE_PARTITIONS, ParamValue::Int(64));
         let starved = s.simulate(&set(&d, MEMORY_FRACTION, ParamValue::Float(0.25)));

@@ -41,8 +41,7 @@ pub fn spark_space() -> ConfigSpace {
     ConfigSpace::new(vec![
         ParamSpec::int(EXECUTOR_INSTANCES, 1, 32, 2, "executor count"),
         ParamSpec::int(EXECUTOR_CORES, 1, 16, 1, "cores per executor"),
-        ParamSpec::int_log(EXECUTOR_MEMORY_MB, 512, 65536, 1024, "executor heap")
-            .with_unit("MB"),
+        ParamSpec::int_log(EXECUTOR_MEMORY_MB, 512, 65536, 1024, "executor heap").with_unit("MB"),
         ParamSpec::int_log(
             SHUFFLE_PARTITIONS,
             8,
@@ -88,7 +87,13 @@ pub fn spark_space() -> ConfigSpace {
             "delay-scheduling wait for data-local slots",
         )
         .with_unit("ms"),
-        ParamSpec::int_log(DEFAULT_PARALLELISM, 8, 1024, 16, "non-shuffle stage parallelism"),
+        ParamSpec::int_log(
+            DEFAULT_PARALLELISM,
+            8,
+            1024,
+            16,
+            "non-shuffle stage parallelism",
+        ),
         ParamSpec::float(
             MEMORY_OVERHEAD_FACTOR,
             0.05,

@@ -170,10 +170,7 @@ mod tests {
         t.push(PhaseTrace::cpu("compute", 16.0, 16));
         let base = t.replay(&hw()); // 8 cores → 2 s
         assert!((base - 2.0).abs() < 1e-9);
-        let fast = ReplayHardware {
-            cores: 16,
-            ..hw()
-        };
+        let fast = ReplayHardware { cores: 16, ..hw() };
         assert!((t.replay(&fast) - 1.0).abs() < 1e-9);
     }
 
@@ -191,10 +188,7 @@ mod tests {
         t.push(PhaseTrace::cpu("serial", 10.0, 1));
         // More cores don't help a serial phase.
         assert!((t.replay(&hw()) - 10.0).abs() < 1e-9);
-        let huge = ReplayHardware {
-            cores: 64,
-            ..hw()
-        };
+        let huge = ReplayHardware { cores: 64, ..hw() };
         assert!((t.replay(&huge) - 10.0).abs() < 1e-9);
     }
 

@@ -183,10 +183,7 @@ mod tests {
             .map(|o| o.runtime_secs)
             .sum::<f64>()
             / 10.0;
-        assert!(
-            last_avg < first * 0.8,
-            "first={first} last_avg={last_avg}"
-        );
+        assert!(last_avg < first * 0.8, "first={first} last_avg={last_avg}");
     }
 
     #[test]

@@ -8,11 +8,11 @@
 pub mod colt;
 pub mod mrmoulder;
 pub mod online_memory;
-pub mod tempo;
 pub mod partition;
+pub mod tempo;
 
 pub use colt::ColtTuner;
 pub use mrmoulder::{JobSignature, MrMoulderTuner, RecommendationRepository};
 pub use online_memory::OnlineMemoryTuner;
-pub use tempo::TempoTuner;
 pub use partition::DynamicPartitionTuner;
+pub use tempo::TempoTuner;

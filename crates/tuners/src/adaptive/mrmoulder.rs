@@ -229,7 +229,11 @@ impl Tuner for MrMoulderTuner {
                                 .log10()
                                 .max(0.0)
                                 / 7.0,
-                            obs.metrics.get("skew_factor").copied().unwrap_or(0.0).min(5.0),
+                            obs.metrics
+                                .get("skew_factor")
+                                .copied()
+                                .unwrap_or(0.0)
+                                .min(5.0),
                             obs.runtime_secs.max(1.0).log10(),
                         ])
                         .collect(),
@@ -258,7 +262,9 @@ impl Tuner for MrMoulderTuner {
                 .current
                 .clone()
                 .unwrap_or_else(|| ctx.space.default_config()),
-            expected_runtime: self.current_runtime.or(history.best().map(|o| o.runtime_secs)),
+            expected_runtime: self
+                .current_runtime
+                .or(history.best().map(|o| o.runtime_secs)),
             rationale: format!(
                 "recommendation {} + {} refinement epochs",
                 if self.recommended_from_repo {
@@ -289,7 +295,11 @@ mod tests {
     }
 
     /// Runs one session and folds the outcome into the repository.
-    fn session(repo: RecommendationRepository, input_mb: f64, budget: usize) -> (f64, RecommendationRepository, bool) {
+    fn session(
+        repo: RecommendationRepository,
+        input_mb: f64,
+        budget: usize,
+    ) -> (f64, RecommendationRepository, bool) {
         let mut s = sim(input_mb);
         let mut t = MrMoulderTuner::new(repo);
         let out = tune(&mut s, &mut t, budget, 3);

@@ -129,10 +129,7 @@ impl Tuner for DynamicPartitionTuner {
                 .clone()
                 .unwrap_or_else(|| ctx.space.default_config()),
             expected_runtime: history.best().map(|o| o.runtime_secs),
-            rationale: format!(
-                "dynamic partitioning: {} adjustments",
-                self.actions.len()
-            ),
+            rationale: format!("dynamic partitioning: {} adjustments", self.actions.len()),
         }
     }
 }

@@ -47,10 +47,7 @@ impl TempoTuner {
     fn ratios(obs: &Observation) -> Vec<(String, f64)> {
         obs.metrics
             .iter()
-            .filter_map(|(k, v)| {
-                k.strip_prefix("slo_ratio_")
-                    .map(|t| (t.to_string(), *v))
-            })
+            .filter_map(|(k, v)| k.strip_prefix("slo_ratio_").map(|t| (t.to_string(), *v)))
             .collect()
     }
 }
@@ -136,10 +133,7 @@ impl Tuner for TempoTuner {
                 .clone()
                 .unwrap_or_else(|| ctx.space.default_config()),
             expected_runtime: history.best().map(|o| o.runtime_secs),
-            rationale: format!(
-                "max-min SLO feedback: {} reallocations",
-                self.reallocations
-            ),
+            rationale: format!("max-min SLO feedback: {} reallocations", self.reallocations),
         }
     }
 }

@@ -211,14 +211,13 @@ mod tests {
         let e = engine();
         let plans = e.enumerate(&InstanceType::catalogue(), &[2, 4, 8, 16, 32]);
         assert!(plans.len() >= 10);
-        let frontier: Vec<&ProvisioningPlan> =
-            plans.iter().filter(|p| p.pareto_optimal).collect();
+        let frontier: Vec<&ProvisioningPlan> = plans.iter().filter(|p| p.pareto_optimal).collect();
         assert!(!frontier.is_empty());
         // No frontier plan dominates another frontier plan.
         for a in &frontier {
             for b in &frontier {
-                let dominates = a.predicted_secs < b.predicted_secs
-                    && a.predicted_cents < b.predicted_cents;
+                let dominates =
+                    a.predicted_secs < b.predicted_secs && a.predicted_cents < b.predicted_cents;
                 assert!(!dominates, "{a:?} dominates {b:?}");
             }
         }

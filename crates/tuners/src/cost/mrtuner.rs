@@ -75,10 +75,7 @@ pub struct PtcModel {
 impl PtcModel {
     /// Builds the model from a profiling observation (same counters the
     /// Starfish what-if engine uses).
-    pub fn from_observation(
-        obs: &autotune_core::Observation,
-        profile: &SystemProfile,
-    ) -> Self {
+    pub fn from_observation(obs: &autotune_core::Observation, profile: &SystemProfile) -> Self {
         let job = super::whatif::JobProfile::estimate(obs, profile);
         PtcModel {
             profile: profile.clone(),
@@ -115,11 +112,10 @@ impl PtcModel {
         // Transporter: fetch concurrency vs network ceiling (compressed
         // bytes move faster per logical MB).
         let active_reducers = reduce_tasks.min(reduce_slots);
-        let transporter = (active_reducers * copies * 10.0)
-            .min(nodes * p.network_mbps * 0.5)
+        let transporter = (active_reducers * copies * 10.0).min(nodes * p.network_mbps * 0.5)
             / codec_ratio.max(1e-9)
             * codec_ratio; // rate in compressed MB/s equals logical rate * ratio⁻¹ * ratio
-        // Consumer: reduce-side merge + reduce function.
+                           // Consumer: reduce-side merge + reduce function.
         let consumer = active_reducers
             / (self.reduce_cpu_ms_per_mb / 1000.0 + 2.0 / p.disk_mbps).max(1e-9)
             * codec_ratio;
@@ -174,8 +170,7 @@ impl PtcModel {
                         let reducers = (red_slots * nodes * waves).round().max(1.0);
                         // Spill-free sort buffer for the expected map output.
                         let split = 128.0;
-                        let want_buffer =
-                            (split * self.map_output_ratio / 0.8).clamp(64.0, 1024.0);
+                        let want_buffer = (split * self.map_output_ratio / 0.8).clamp(64.0, 1024.0);
                         let heap = (want_buffer * 2.0).clamp(512.0, 4096.0);
                         let mut c = space.default_config();
                         let set_int = |c: &mut Configuration, k: &str, v: f64| {
@@ -201,11 +196,7 @@ impl PtcModel {
             }
         }
         plans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
-        plans
-            .into_iter()
-            .map(|(_, c)| c)
-            .take(top)
-            .collect()
+        plans.into_iter().map(|(_, c)| c).take(top).collect()
     }
 }
 
@@ -321,16 +312,18 @@ mod tests {
         let model = model_for(&sim);
         let rates = model.rates(&sim.space().default_config());
         assert_ne!(rates.bottleneck_stage(), "producer (map)");
-        assert!(rates.imbalance() > 5.0, "imbalance {:.1}", rates.imbalance());
+        assert!(
+            rates.imbalance() > 5.0,
+            "imbalance {:.1}",
+            rates.imbalance()
+        );
     }
 
     #[test]
     fn balanced_plans_have_lower_imbalance() {
         let sim = HadoopSimulator::terasort_default().with_noise(NoiseModel::none());
         let model = model_for(&sim);
-        let default_imbalance = model
-            .rates(&sim.space().default_config())
-            .imbalance();
+        let default_imbalance = model.rates(&sim.space().default_config()).imbalance();
         let plans = model.candidate_plans(sim.space(), 3);
         assert!(!plans.is_empty());
         let best_imbalance = model.rates(&plans[0]).imbalance();

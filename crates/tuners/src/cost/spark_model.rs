@@ -76,24 +76,26 @@ impl SparkCostModel {
         let slots = (instances * cores).max(1.0);
         let contention = (instances * cores / total_cores).max(1.0);
 
-        let (ser_size, ser_cpu) = if serializer == "kryo" { (0.6, 2.0) } else { (1.0, 6.0) };
+        let (ser_size, ser_cpu) = if serializer == "kryo" {
+            (0.6, 2.0)
+        } else {
+            (1.0, 6.0)
+        };
         let gc = 1.0 + if serializer == "java" { 0.12 } else { 0.04 };
 
         let work_mb = a.input_mb * a.work_multiplier;
-        let cpu_secs = work_mb * (a.cpu_ms_per_mb + ser_cpu * 0.3) / 1000.0 * gc * contention
-            / slots;
+        let cpu_secs =
+            work_mb * (a.cpu_ms_per_mb + ser_cpu * 0.3) / 1000.0 * gc * contention / slots;
         let read_secs = a.input_mb / (p.disk_mbps * p.nodes as f64).max(1.0);
 
         // Spill when a task's working set exceeds its execution share.
-        let exec_share = exec_mem * mem_fraction * (1.0 - storage_fraction * 0.5)
-            / cores.max(1.0);
+        let exec_share = exec_mem * mem_fraction * (1.0 - storage_fraction * 0.5) / cores.max(1.0);
         let per_task_mb = a.input_mb / parts * ser_size * 1.5;
         let spill_mb = (per_task_mb - exec_share).max(0.0) * parts;
         let spill_secs = 2.0 * spill_mb / (p.disk_mbps * p.nodes as f64).max(1.0);
 
         let shuffle_mb = a.input_mb * a.shuffle_ratio * ser_size;
-        let shuffle_secs =
-            shuffle_mb / (p.nodes as f64 * p.network_mbps * 0.5).max(1.0);
+        let shuffle_secs = shuffle_mb / (p.nodes as f64 * p.network_mbps * 0.5).max(1.0);
         // Per-task launch overhead, amortized across the slots.
         let sched_secs = parts * a.work_multiplier * 0.05 / slots;
 

@@ -111,9 +111,8 @@ impl StmmModel {
                     // read+write passes of an external merge sort with
                     // fan-in 16 (smoothed so marginal benefit is defined
                     // everywhere).
-                    let passes = ((self.sort_input_mb / size_mb.max(1.0)).ln()
-                        / 16.0f64.ln())
-                    .max(1.0);
+                    let passes =
+                        ((self.sort_input_mb / size_mb.max(1.0)).ln() / 16.0f64.ln()).max(1.0);
                     self.sorts_per_run * 2.0 * self.sort_input_mb * passes / self.disk_mbps
                 }
             }

@@ -53,9 +53,8 @@ impl JobProfile {
         let spill_io = out_per_map * (spills - 1.0).max(0.0) / spills.max(1.0)
             + out_per_map * (1.0 + 2.0 * merge_passes);
         let map_io_secs = (split_mb + spill_io) / profile.disk_mbps;
-        let map_cpu_ms_per_mb = ((map_task_secs - map_io_secs - 1.0).max(0.05) * 1000.0
-            / split_mb)
-            .clamp(0.5, 100.0);
+        let map_cpu_ms_per_mb =
+            ((map_task_secs - map_io_secs - 1.0).max(0.05) * 1000.0 / split_mb).clamp(0.5, 100.0);
 
         // Reduce side: counters tell us the per-reduce volume directly.
         let reduces = obs
@@ -69,8 +68,7 @@ impl JobProfile {
         let reduce_io_secs = (per_reduce * 2.0 * reduce_merge_passes
             + per_reduce * output_ratio * 2.0)
             / profile.disk_mbps;
-        let reduce_cpu_ms_per_mb = ((reduce_task_secs - reduce_io_secs - 1.0).max(0.05)
-            * 1000.0
+        let reduce_cpu_ms_per_mb = ((reduce_task_secs - reduce_io_secs - 1.0).max(0.05) * 1000.0
             / per_reduce)
             .clamp(0.5, 100.0);
 
@@ -166,8 +164,7 @@ impl MrCostModel {
         let map_phase = map_task * map_waves;
 
         let shuffle_mb = out_compressed * maps;
-        let fetch_rate =
-            (reduce_tasks * copies * 10.0).min(nodes * p.network_mbps * 0.5);
+        let fetch_rate = (reduce_tasks * copies * 10.0).min(nodes * p.network_mbps * 0.5);
         let shuffle_raw = shuffle_mb / fetch_rate.max(1.0);
         let overlap = (1.0 - slowstart).clamp(0.0, 1.0) * 0.9;
         let shuffle = shuffle_raw * (1.0 - overlap) + shuffle_raw * overlap * 0.1;
@@ -337,14 +334,17 @@ mod tests {
             // Keep the memory knobs feasible so the comparison exercises
             // the interesting (non-cliff) region of the space.
             use autotune_core::ParamValue;
-            c.set("map_slots_per_node", ParamValue::Int(rng.random_range(1..=4)));
-            c.set("reduce_slots_per_node", ParamValue::Int(rng.random_range(1..=2)));
+            c.set(
+                "map_slots_per_node",
+                ParamValue::Int(rng.random_range(1..=4)),
+            );
+            c.set(
+                "reduce_slots_per_node",
+                ParamValue::Int(rng.random_range(1..=2)),
+            );
             c.set("map_heap_mb", ParamValue::Int(2048));
             c.set("reduce_heap_mb", ParamValue::Int(2048));
-            c.set(
-                "io_sort_mb",
-                ParamValue::Int(rng.random_range(32..=1024)),
-            );
+            c.set("io_sort_mb", ParamValue::Int(rng.random_range(32..=1024)));
             let p = model.predict(&c);
             let run = sim.simulate(&c);
             // Compare on the feasible region; both sides agree that
@@ -369,11 +369,9 @@ mod tests {
             HadoopJob::terasort(16_384.0),
         )
         .with_noise(NoiseModel::none());
-        let hetero = HadoopSimulator::new(
-            ClusterSpec::heterogeneous(6),
-            HadoopJob::terasort(16_384.0),
-        )
-        .with_noise(NoiseModel::none());
+        let hetero =
+            HadoopSimulator::new(ClusterSpec::heterogeneous(6), HadoopJob::terasort(16_384.0))
+                .with_noise(NoiseModel::none());
 
         let err = |sim: &HadoopSimulator| {
             let default = sim.space().default_config();

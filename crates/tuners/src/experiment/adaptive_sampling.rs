@@ -10,9 +10,7 @@
 //! proportional to the distance to the nearest tried point.
 
 use crate::util::candidate_pool;
-use autotune_core::{
-    Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext,
-};
+use autotune_core::{Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext};
 use autotune_math::matrix::dist2;
 use rand::rngs::StdRng;
 
@@ -204,12 +202,7 @@ mod tests {
         // min pairwise distance of post-bootstrap proposals is not tiny.
         let pts: Vec<Vec<f64>> = out.history.all()[2..]
             .iter()
-            .map(|o| {
-                o.config
-                    .iter()
-                    .map(|(_, v)| v.as_f64().unwrap())
-                    .collect()
-            })
+            .map(|o| o.config.iter().map(|(_, v)| v.as_f64().unwrap()).collect())
             .collect();
         let min_d = autotune_math::lhs::min_pairwise_dist2(&pts);
         assert!(min_d > 1e-4, "exploration collapsed: {min_d}");

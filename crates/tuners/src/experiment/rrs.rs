@@ -189,10 +189,7 @@ mod tests {
             let ours = tune(&mut obj, &mut t, 60, seed).best.unwrap().runtime_secs;
             let mut obj = bowl(5);
             let mut r = RandomSearchTuner;
-            let theirs = tune(&mut obj, &mut r, 60, seed)
-                .best
-                .unwrap()
-                .runtime_secs;
+            let theirs = tune(&mut obj, &mut r, 60, seed).best.unwrap().runtime_secs;
             if ours <= theirs {
                 wins += 1;
             }

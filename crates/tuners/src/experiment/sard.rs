@@ -229,7 +229,10 @@ mod tests {
         assert!(with_search <= screening_only);
         // Optimum is 10.0 (x0 = x1 = 0); screening alone bottoms out at
         // 20*0.15 + 5*0.15 + ... ≈ 13.8.
-        assert!(with_search < 12.0, "search should approach the optimum: {with_search}");
+        assert!(
+            with_search < 12.0,
+            "search should approach the optimum: {with_search}"
+        );
     }
 
     #[test]

@@ -234,11 +234,8 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(16, NodeSpec::default());
         let mut out = Vec::new();
         for &s in scales {
-            let sim = SparkSimulator::new(
-                cluster.clone(),
-                SparkApp::aggregation(32_768.0 * s),
-            )
-            .with_noise(NoiseModel::none());
+            let sim = SparkSimulator::new(cluster.clone(), SparkApp::aggregation(32_768.0 * s))
+                .with_noise(NoiseModel::none());
             for &m in machines {
                 let mut c = sim.space().default_config();
                 c.set("executor_instances", ParamValue::Int(m));

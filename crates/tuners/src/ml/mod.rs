@@ -11,8 +11,8 @@ pub mod parallelism;
 pub mod rodd;
 
 pub use ernest::{ErnestModel, ErnestTuner, ScaleSample};
-pub use parallelism::{ParallelismModel, ParallelismTuner};
 pub use ottertune::{
     map_workload, prune_metrics, rank_knobs, OtterTuneTuner, RepoWorkload, WorkloadRepository,
 };
+pub use parallelism::{ParallelismModel, ParallelismTuner};
 pub use rodd::RoddTuner;

@@ -15,10 +15,10 @@
 //!    data plus the target's own observations, Expected Improvement on the
 //!    top-ranked knobs.
 
-use crate::util::{best_anchors, candidate_pool, log_runtimes};
+use crate::util::{best_anchors, candidate_pool, log_runtimes, GpCache};
 use autotune_core::{
-    ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation,
-    Tuner, TunerFamily, TuningContext,
+    ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation, Tuner,
+    TunerFamily, TuningContext,
 };
 use autotune_math::gp::{GaussianProcess, KernelKind};
 use autotune_math::kmeans::{kmeans, representatives};
@@ -82,7 +82,11 @@ impl WorkloadRepository {
 }
 
 /// Stage 1: metric pruning. Returns the names of the retained metrics.
-pub fn prune_metrics(repo: &WorkloadRepository, max_clusters: usize, rng: &mut StdRng) -> Vec<String> {
+pub fn prune_metrics(
+    repo: &WorkloadRepository,
+    max_clusters: usize,
+    rng: &mut StdRng,
+) -> Vec<String> {
     // Metric matrix over every repo observation.
     let mut names: Vec<String> = repo
         .all_observations()
@@ -186,14 +190,11 @@ fn workload_distance(
     let mut count = 0usize;
     for t in target.all() {
         let tx = space.encode(&t.config);
-        let nearest = candidate
-            .observations
-            .iter()
-            .min_by(|a, b| {
-                let da = dist2(&space.encode(&a.config), &tx);
-                let db = dist2(&space.encode(&b.config), &tx);
-                da.partial_cmp(&db).expect("finite distances")
-            });
+        let nearest = candidate.observations.iter().min_by(|a, b| {
+            let da = dist2(&space.encode(&a.config), &tx);
+            let db = dist2(&space.encode(&b.config), &tx);
+            da.partial_cmp(&db).expect("finite distances")
+        });
         let Some(near) = nearest else { continue };
         let mut d = 0.0;
         for m in pruned {
@@ -256,11 +257,24 @@ pub struct OtterTuneTuner {
     pub metric_clusters: usize,
     /// EI exploration jitter.
     pub xi: f64,
+    /// Kernel hyper-parameter re-search period; between searches, new
+    /// target observations extend the cached GP incrementally.
+    pub hyper_interval: usize,
     init_plan: Vec<Vec<f64>>,
     planned: bool,
     pruned_metrics: Vec<String>,
     /// Mapped repo workload id (after mapping happens).
     pub mapped_workload: Option<String>,
+    cache: Option<OtterCache>,
+}
+
+/// The incremental surrogate plus the context it was built under: reusing
+/// the factor is only sound while the mapped workload (and hence the fixed
+/// transferred prefix of the training set) stays the same.
+struct OtterCache {
+    inner: GpCache,
+    mapped: Option<String>,
+    n_mapped: usize,
 }
 
 impl OtterTuneTuner {
@@ -272,10 +286,12 @@ impl OtterTuneTuner {
             top_knobs: 6,
             metric_clusters: 8,
             xi: 0.01,
+            hyper_interval: 5,
             init_plan: Vec::new(),
             planned: false,
             pruned_metrics: Vec::new(),
             mapped_workload: None,
+            cache: None,
         }
     }
 
@@ -310,8 +326,7 @@ impl Tuner for OtterTuneTuner {
             if let Some(first) = self.init_plan.first_mut() {
                 *first = ctx.space.encode(&ctx.space.default_config());
             }
-            self.pruned_metrics =
-                prune_metrics(&self.repository, self.metric_clusters, rng);
+            self.pruned_metrics = prune_metrics(&self.repository, self.metric_clusters, rng);
             self.planned = true;
         }
         let step = history.len();
@@ -323,11 +338,16 @@ impl Tuner for OtterTuneTuner {
         let mapped = map_workload(&ctx.space, history, &self.repository, &self.pruned_metrics);
         self.mapped_workload = mapped.map(|i| self.repository.workloads[i].id.clone());
 
-        // Assemble training data: target history + calibrated mapped data.
-        let (mut xs, _) = history.training_set(&ctx.space);
-        let mut ys = log_runtimes(history);
-        let target_mean = mean(&ys);
-        let target_sd = std_dev(&ys).max(1e-6);
+        // Assemble training data: calibrated mapped data first, then the
+        // target history. Mapped-first ordering makes every new target
+        // observation an *append*, which the incremental GP cache turns
+        // into a rank-1 Cholesky extension instead of a refit.
+        let (target_xs, _) = history.training_set(&ctx.space);
+        let target_ys = log_runtimes(history);
+        let target_mean = mean(&target_ys);
+        let target_sd = std_dev(&target_ys).max(1e-6);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
         if let Some(mi) = mapped {
             let mapped_obs = &self.repository.workloads[mi].observations;
             let mapped_ys: Vec<f64> = mapped_obs
@@ -343,6 +363,9 @@ impl Tuner for OtterTuneTuner {
                 ys.push((my - m_mean) / m_sd * target_sd + target_mean);
             }
         }
+        let n_mapped = xs.len();
+        xs.extend(target_xs);
+        ys.extend(target_ys.iter().copied());
 
         // Knob ranking over everything we know.
         let all_obs: Vec<&Observation> = history
@@ -362,10 +385,42 @@ impl Tuner for OtterTuneTuner {
             .filter_map(|n| ctx.space.index_of(n))
             .collect();
 
-        let gp = match GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys) {
-            Ok(gp) => gp,
-            Err(_) => return ctx.space.random_config(rng),
+        // Surrogate: reuse the cached GP when the mapped workload hasn't
+        // changed and the re-search interval hasn't elapsed. The mapped
+        // prefix's calibration shifts with every target observation, so the
+        // targets are refreshed against the reused factor each step.
+        let n = xs.len();
+        let cache_ok = match &mut self.cache {
+            Some(c) if c.mapped == self.mapped_workload && c.n_mapped == n_mapped => {
+                c.inner.try_advance(&xs, &ys, self.hyper_interval)
+            }
+            _ => false,
         };
+        if cache_ok {
+            self.cache
+                .as_mut()
+                .expect("cache_ok implies cache")
+                .inner
+                .gp
+                .refresh_targets(&ys);
+        } else {
+            match GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys) {
+                Ok(gp) => {
+                    self.cache = Some(OtterCache {
+                        inner: GpCache::new(gp, n),
+                        mapped: self.mapped_workload.clone(),
+                        n_mapped,
+                    })
+                }
+                Err(_) => return ctx.space.random_config(rng),
+            }
+        }
+        let gp = &self
+            .cache
+            .as_ref()
+            .expect("surrogate just ensured")
+            .inner
+            .gp;
         let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
 
         // Candidate pool: (a) random points varying only the top knobs
@@ -424,7 +479,9 @@ impl Tuner for OtterTuneTuner {
                 expected_runtime: Some(b.runtime_secs),
                 rationale: format!(
                     "OtterTune pipeline; mapped workload: {}; pruned metrics: {}",
-                    self.mapped_workload.as_deref().unwrap_or("none (cold start)"),
+                    self.mapped_workload
+                        .as_deref()
+                        .unwrap_or("none (cold start)"),
                     self.pruned_metrics.len()
                 ),
             },
@@ -455,8 +512,8 @@ mod tests {
             ("olap-like", DbmsWorkload::olap()),
             ("mixed-like", DbmsWorkload::mixed()),
         ] {
-            let mut sim = DbmsSimulator::new(NodeSpec::default(), wl)
-                .with_noise(NoiseModel::none());
+            let mut sim =
+                DbmsSimulator::new(NodeSpec::default(), wl).with_noise(NoiseModel::none());
             let mut obs = Vec::new();
             // Include the default so workload mapping has an anchor.
             let d = sim.space().default_config();
@@ -486,7 +543,10 @@ mod tests {
         };
         assert!(!pruned.is_empty());
         assert!(pruned.len() <= 6);
-        assert!(pruned.len() < all, "pruning should drop metrics ({all} total)");
+        assert!(
+            pruned.len() < all,
+            "pruning should drop metrics ({all} total)"
+        );
     }
 
     #[test]

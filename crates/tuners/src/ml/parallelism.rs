@@ -12,8 +12,8 @@
 //! features.
 
 use autotune_core::{
-    ConfigSpace, Configuration, History, Observation, ParamValue, Recommendation,
-    SystemProfile, Tuner, TunerFamily, TuningContext,
+    ConfigSpace, Configuration, History, Observation, ParamValue, Recommendation, SystemProfile,
+    Tuner, TunerFamily, TuningContext,
 };
 use autotune_math::linreg::{ridge, LinearFit};
 use autotune_math::matrix::Matrix;
@@ -87,7 +87,9 @@ impl ParallelismModel {
         let features = app_features(profile, probe);
         let mut config = space.default_config();
         for (k, knob) in TARGET_KNOBS.iter().enumerate() {
-            let Some(spec) = space.spec(knob) else { continue };
+            let Some(spec) = space.spec(knob) else {
+                continue;
+            };
             if let autotune_core::ParamDomain::Int { min, max, .. } = spec.domain {
                 let log2 = self.fits[k].predict(&features);
                 let value = (log2.exp2().round() as i64).clamp(min, max);
@@ -170,11 +172,11 @@ impl Tuner for ParallelismTuner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::ITunedTuner;
     use autotune_core::{tune, Objective};
     use autotune_sim::cluster::{ClusterSpec, NodeSpec};
     use autotune_sim::noise::NoiseModel;
     use autotune_sim::spark::{SparkApp, SparkSimulator};
-    use crate::experiment::ITunedTuner;
 
     /// Builds training examples by tuning several Spark apps of different
     /// sizes with iTuned, exactly how the original system gathers data.

@@ -8,9 +8,7 @@
 //! candidate the network predicts fastest, with ε-greedy exploration.
 
 use crate::util::{best_anchors, candidate_pool, log_runtimes};
-use autotune_core::{
-    Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext,
-};
+use autotune_core::{Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext};
 use autotune_math::mlp::{Activation, Mlp, TrainConfig};
 use autotune_math::stats::{mean, std_dev};
 use rand::rngs::StdRng;
@@ -85,7 +83,11 @@ impl Tuner for RoddTuner {
         let s = std_dev(&ys_raw).max(1e-6);
         let ys: Vec<Vec<f64>> = ys_raw.iter().map(|y| vec![(y - m) / s]).collect();
         let mut net_rng = StdRng::seed_from_u64(rng.random_range(0..u64::MAX));
-        let mut net = Mlp::new(&[dim, self.hidden, self.hidden, 1], Activation::Relu, &mut net_rng);
+        let mut net = Mlp::new(
+            &[dim, self.hidden, self.hidden, 1],
+            Activation::Relu,
+            &mut net_rng,
+        );
         let cfg = TrainConfig {
             learning_rate: 0.02,
             epochs: self.epochs,
@@ -154,10 +156,7 @@ mod tests {
             let ours = tune(&mut obj, &mut nn, 35, seed).best.unwrap().runtime_secs;
             let mut obj = bowl();
             let mut r = RandomSearchTuner;
-            let theirs = tune(&mut obj, &mut r, 35, seed)
-                .best
-                .unwrap()
-                .runtime_secs;
+            let theirs = tune(&mut obj, &mut r, 35, seed).best.unwrap().runtime_secs;
             if ours <= theirs * 1.02 {
                 wins += 1;
             }

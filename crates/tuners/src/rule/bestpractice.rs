@@ -228,7 +228,10 @@ pub fn spark_rulebook() -> RuleBook {
         ))
         .with(Rule::new(
             "shuffle-heavy-batch",
-            vec![SystemIs(SystemKind::Spark), WorkloadIs(WorkloadClass::Batch)],
+            vec![
+                SystemIs(SystemKind::Spark),
+                WorkloadIs(WorkloadClass::Batch),
+            ],
             "storage_fraction",
             RuleValue::Literal(ParamValue::Float(0.2)),
             "batch queries need execution memory, not cache",
@@ -304,10 +307,7 @@ mod tests {
         use autotune_core::{SystemProfile, TuningContext};
         use rand::SeedableRng;
         let cases: Vec<(Box<dyn Objective>, RuleBook)> = vec![
-            (
-                Box::new(DbmsSimulator::oltp_default()),
-                dbms_rulebook(),
-            ),
+            (Box::new(DbmsSimulator::oltp_default()), dbms_rulebook()),
             (
                 Box::new(HadoopSimulator::terasort_default()),
                 hadoop_rulebook(),

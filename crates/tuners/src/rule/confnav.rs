@@ -61,8 +61,8 @@ impl ConfNavTuner {
             let hi = obs[hi_idx].runtime_secs;
             // Impact: the spread this knob alone can cause, relative to
             // the default runtime.
-            let spread = (lo.max(hi).max(default_rt) - lo.min(hi).min(default_rt))
-                / default_rt.max(1e-9);
+            let spread =
+                (lo.max(hi).max(default_rt) - lo.min(hi).min(default_rt)) / default_rt.max(1e-9);
             entries.push((spec.name.clone(), spread));
         }
         KnobRanking::new(entries)
@@ -85,7 +85,11 @@ impl ConfNavTuner {
             }
             let lo = obs[lo_idx].runtime_secs;
             let hi = obs[hi_idx].runtime_secs;
-            let (best_rt, level) = if lo < hi { (lo, LEVELS[0]) } else { (hi, LEVELS[1]) };
+            let (best_rt, level) = if lo < hi {
+                (lo, LEVELS[0])
+            } else {
+                (hi, LEVELS[1])
+            };
             if best_rt < default_rt {
                 let spec = &ctx.space.params()[i];
                 config.set(name, spec.domain.decode(level));
@@ -188,10 +192,7 @@ mod tests {
         // Final proposals should beat the default decisively.
         let best = out.best.unwrap().runtime_secs;
         assert!(best < 3.0, "best={best}");
-        assert!(out
-            .recommendation
-            .rationale
-            .contains("big"));
+        assert!(out.recommendation.rationale.contains("big"));
     }
 
     #[test]

@@ -195,18 +195,11 @@ impl RuleBook {
 
 /// Saturates a value into a domain (numeric clamp; categorical/bool pass
 /// through if valid, else the default-ish first choice).
-fn clamp_into_domain(
-    domain: &autotune_core::ParamDomain,
-    value: ParamValue,
-) -> ParamValue {
+fn clamp_into_domain(domain: &autotune_core::ParamDomain, value: ParamValue) -> ParamValue {
     use autotune_core::ParamDomain as D;
     match (domain, &value) {
-        (D::Int { min, max, .. }, ParamValue::Int(v)) => {
-            ParamValue::Int(*v.min(max).max(min))
-        }
-        (D::Float { min, max, .. }, ParamValue::Float(v)) => {
-            ParamValue::Float(v.clamp(*min, *max))
-        }
+        (D::Int { min, max, .. }, ParamValue::Int(v)) => ParamValue::Int(*v.min(max).max(min)),
+        (D::Float { min, max, .. }, ParamValue::Float(v)) => ParamValue::Float(v.clamp(*min, *max)),
         (D::Int { min, max, .. }, ParamValue::Float(v)) => {
             ParamValue::Int((v.round() as i64).clamp(*min, *max))
         }

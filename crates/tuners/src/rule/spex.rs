@@ -243,11 +243,32 @@ impl ConstraintSet {
         }
         // Spark allocation books.
         if has("executor_instances") && has("executor_memory_mb") {
+            // The cluster manager charges executor memory multiplied by
+            // (1 + overhead factor); budget for the largest overhead the
+            // space allows so no repaired config can overcommit.
+            let overhead_max = space
+                .spec("memory_overhead_factor")
+                .and_then(|s| match s.domain {
+                    autotune_core::ParamDomain::Float { max, .. } => Some(max),
+                    _ => None,
+                })
+                .unwrap_or(0.0);
             set = set.with(Constraint::ProductUnderMemory {
                 a: "executor_instances".into(),
                 b: "executor_memory_mb".into(),
-                limit_fraction: 0.9 * 8.0, // cluster-wide ≈ nodes × node mem; conservative 8-node assumption refined by profile at check time
-                why: "executors × memory must fit in the cluster".into(),
+                // cluster-wide ≈ nodes × node mem; conservative 8-node assumption
+                limit_fraction: 0.95 * 8.0 / (1.0 + overhead_max),
+                why: "executors × (memory + overhead) must fit in the cluster".into(),
+            });
+        }
+        if has("broadcast_threshold_mb") && has("executor_memory_mb") {
+            // Broadcast tables are pinned (deserialized, ~2x) in every
+            // executor heap; only a sliver of the heap is safe to promise.
+            set = set.with(Constraint::AtMostFactorOf {
+                knob: "broadcast_threshold_mb".into(),
+                of: "executor_memory_mb".into(),
+                factor: 0.1,
+                why: "broadcast tables must fit in a sliver of each executor heap".into(),
             });
         }
         set
@@ -342,7 +363,9 @@ mod tests {
     fn default_config_is_feasible() {
         let space = dbms_space();
         let set = ConstraintSet::infer_for(&space);
-        assert!(set.check(&space.default_config(), &dbms_profile()).is_empty());
+        assert!(set
+            .check(&space.default_config(), &dbms_profile())
+            .is_empty());
     }
 
     #[test]

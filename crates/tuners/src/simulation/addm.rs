@@ -40,8 +40,10 @@ impl Adjustment {
         match self {
             Adjustment::Scale { knob, factor } => {
                 let Some(spec) = space.spec(knob) else { return };
-                if let (Some(ParamValue::Int(v)), autotune_core::ParamDomain::Int { min, max, .. }) =
-                    (config.get(knob).cloned(), &spec.domain)
+                if let (
+                    Some(ParamValue::Int(v)),
+                    autotune_core::ParamDomain::Int { min, max, .. },
+                ) = (config.get(knob).cloned(), &spec.domain)
                 {
                     let new = ((v as f64 * factor).round() as i64).clamp(*min, *max);
                     config.set(knob, ParamValue::Int(new));
@@ -278,8 +280,7 @@ mod tests {
         let obs = observe(&sim, &sim.space().default_config());
         let findings = diagnose_dbms(&obs);
         assert!(!findings.is_empty());
-        let components: Vec<&str> =
-            findings.iter().map(|f| f.component.as_str()).collect();
+        let components: Vec<&str> = findings.iter().map(|f| f.component.as_str()).collect();
         assert!(components.contains(&"buffer pool"), "{components:?}");
         assert!(components.contains(&"sort/hash memory"), "{components:?}");
     }
@@ -312,10 +313,7 @@ mod tests {
         let mut tuner = AddmTuner::new();
         let out = tune(&mut sim, &mut tuner, 10, 1);
         let best = out.best.unwrap().runtime_secs;
-        assert!(
-            best < default_rt * 0.7,
-            "default={default_rt} addm={best}"
-        );
+        assert!(best < default_rt * 0.7, "default={default_rt} addm={best}");
         // Convergence curve should be (weakly) improving.
         let curve = out.history.best_so_far();
         assert!(curve.last().unwrap() <= &curve[0]);

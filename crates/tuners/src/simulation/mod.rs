@@ -7,6 +7,4 @@ pub mod addm;
 pub mod tracesim;
 
 pub use addm::{diagnose_dbms, AddmTuner, Adjustment, Finding};
-pub use tracesim::{
-    DistortedShadow, ShadowSimulator, SimulationSearchTuner, TraceReplayPredictor,
-};
+pub use tracesim::{DistortedShadow, ShadowSimulator, SimulationSearchTuner, TraceReplayPredictor};

@@ -14,9 +14,7 @@
 //!   model-reality gap so experiments can quantify Table 1's "hard to
 //!   comprehensively simulate complex internal dynamics".
 
-use autotune_core::{
-    Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext,
-};
+use autotune_core::{Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext};
 use autotune_sim::trace::{ReplayHardware, ResourceTrace};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -252,10 +250,8 @@ mod tests {
             net_mb: 100_000.0,
             parallelism: 8,
         });
-        let pred = TraceReplayPredictor::new(
-            trace,
-            ReplayHardware::from_node(&NodeSpec::default()),
-        );
+        let pred =
+            TraceReplayPredictor::new(trace, ReplayHardware::from_node(&NodeSpec::default()));
         assert_eq!(pred.bottleneck(), "network");
     }
 

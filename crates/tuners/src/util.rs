@@ -1,9 +1,61 @@
-//! Shared helpers for tuner implementations: candidate-pool generation and
-//! penalized objective extraction from history.
+//! Shared helpers for tuner implementations: candidate-pool generation,
+//! penalized objective extraction from history, and the incremental
+//! Gaussian-process surrogate cache shared by iTuned and OtterTune.
 
 use autotune_core::{ConfigSpace, History};
+use autotune_math::gp::GaussianProcess;
 use rand::rngs::StdRng;
 use rand::RngExt;
+
+/// A Gaussian-process surrogate kept alive across proposals.
+///
+/// Refitting the GP from scratch costs `O(n³)` per proposal *times* the
+/// hyper-parameter search's many likelihood evaluations. The cache instead
+/// re-searches hyper-parameters only every `hyper_interval` observations
+/// and folds intermediate observations in with [`GaussianProcess::update`]
+/// (rank-1 Cholesky extension, `O(n²)`).
+#[derive(Debug)]
+pub struct GpCache {
+    /// The live surrogate.
+    pub gp: GaussianProcess,
+    /// Training-set size the last full hyper-parameter search saw.
+    pub last_search: usize,
+}
+
+impl GpCache {
+    /// Wraps a freshly fitted GP whose hyper-parameters were searched over
+    /// `n` observations.
+    pub fn new(gp: GaussianProcess, n: usize) -> Self {
+        GpCache { gp, last_search: n }
+    }
+
+    /// Tries to bring the cached GP up to date with an append-only training
+    /// set of `xs.len()` rows by incremental updates alone. Returns `false`
+    /// when a full hyper-parameter re-search is due instead: the training
+    /// set shrank or changed shape (new session), the re-search interval
+    /// elapsed, or a numerically-degenerate update failed.
+    pub fn try_advance(&mut self, xs: &[Vec<f64>], ys: &[f64], hyper_interval: usize) -> bool {
+        let n = xs.len();
+        let m = self.gp.training_inputs().len();
+        if m > n || n - self.last_search >= hyper_interval.max(1) {
+            return false;
+        }
+        if self.gp.training_inputs().first().map(Vec::len) != xs.first().map(Vec::len) {
+            return false;
+        }
+        // Append-only sanity check: the latest row the cache has seen must
+        // still be where it was (a reused tuner on a fresh history refits).
+        if m > 0 && self.gp.training_inputs()[m - 1] != xs[m - 1] {
+            return false;
+        }
+        for i in m..n {
+            if self.gp.update(xs[i].clone(), ys[i]).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+}
 
 /// Generates a candidate pool in the unit cube: uniform random points plus
 /// Gaussian-ish perturbations of `anchors` (typically the best configs so

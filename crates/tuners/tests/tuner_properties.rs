@@ -5,8 +5,8 @@
 use autotune_core::{History, Objective, SystemProfile, Tuner, TuningContext};
 use autotune_sim::{DbmsSimulator, HadoopSimulator, NoiseModel, SparkSimulator};
 use autotune_tuners::adaptive::{
-    ColtTuner, DynamicPartitionTuner, MrMoulderTuner, OnlineMemoryTuner,
-    RecommendationRepository, TempoTuner,
+    ColtTuner, DynamicPartitionTuner, MrMoulderTuner, OnlineMemoryTuner, RecommendationRepository,
+    TempoTuner,
 };
 use autotune_tuners::cost::{SparkCostTuner, StmmTuner, WhatIfTuner};
 use autotune_tuners::experiment::{AdaptiveSamplingTuner, ITunedTuner, RrsTuner, SardTuner};

@@ -59,9 +59,7 @@ fn main() {
         let cluster = ClusterSpec::homogeneous(p.nodes, node);
         let check = HadoopSimulator::new(cluster.clone(), HadoopJob::terasort(32_768.0))
             .with_noise(NoiseModel::none());
-        let actual = check
-            .simulate(&benchmark_config(&cluster))
-            .runtime_secs;
+        let actual = check.simulate(&benchmark_config(&cluster)).runtime_secs;
         println!(
             "  {:<8} x{:<3} model {:>6.0} s   simulator {:>6.0} s   ({:+.0}% error)",
             p.instance,

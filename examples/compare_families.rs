@@ -54,7 +54,10 @@ fn main() {
     run("addm diagnosis", &mut AddmTuner::new());
     run("ituned (GP+EI)", &mut ITunedTuner::new());
     run("sard screening", &mut SardTuner::new(4));
-    run("ottertune (cold)", &mut OtterTuneTuner::new(WorkloadRepository::new()));
+    run(
+        "ottertune (cold)",
+        &mut OtterTuneTuner::new(WorkloadRepository::new()),
+    );
     run("rodd neural net", &mut RoddTuner::new());
     run("colt adaptive", &mut ColtTuner::new());
     run("random search", &mut RandomSearchTuner);

@@ -27,14 +27,13 @@ fn main() {
         HadoopJob::join(32_768.0),
     ] {
         let name = job.name.clone();
-        let sim = HadoopSimulator::new(cluster.clone(), job.clone())
-            .with_noise(NoiseModel::none());
+        let sim = HadoopSimulator::new(cluster.clone(), job.clone()).with_noise(NoiseModel::none());
         let stock = sim.simulate(&sim.space().default_config()).runtime_secs;
 
         // Expert rules.
         let mut rules = RuleBasedTuner::new("hadoop-rules", hadoop_rulebook());
-        let mut sim_r = HadoopSimulator::new(cluster.clone(), job.clone())
-            .with_noise(NoiseModel::none());
+        let mut sim_r =
+            HadoopSimulator::new(cluster.clone(), job.clone()).with_noise(NoiseModel::none());
         let rules_rt = tune(&mut sim_r, &mut rules, 1, 1)
             .best
             .unwrap()
@@ -42,15 +41,14 @@ fn main() {
 
         // Starfish what-if: 1 profiling run + 5 validations.
         let mut whatif = WhatIfTuner::new();
-        let mut sim_w = HadoopSimulator::new(cluster.clone(), job.clone())
-            .with_noise(NoiseModel::none());
+        let mut sim_w =
+            HadoopSimulator::new(cluster.clone(), job.clone()).with_noise(NoiseModel::none());
         let whatif_out = tune(&mut sim_w, &mut whatif, 6, 1);
         let whatif_rt = whatif_out.best.unwrap().runtime_secs;
 
         // Experiment-driven (iTuned) with a bigger budget, for reference.
         let mut ituned = ITunedTuner::new();
-        let mut sim_i = HadoopSimulator::new(cluster.clone(), job)
-            .with_noise(NoiseModel::none());
+        let mut sim_i = HadoopSimulator::new(cluster.clone(), job).with_noise(NoiseModel::none());
         let ituned_rt = tune(&mut sim_i, &mut ituned, 30, 1)
             .best
             .unwrap()
@@ -77,8 +75,7 @@ fn main() {
     let db = ParallelDbBaseline::new(cluster.clone());
     for job in HadoopJob::analytical_suite(32_768.0) {
         let task = ParallelDbBaseline::task_for_job(&job);
-        let sim = HadoopSimulator::new(cluster.clone(), job.clone())
-            .with_noise(NoiseModel::none());
+        let sim = HadoopSimulator::new(cluster.clone(), job.clone()).with_noise(NoiseModel::none());
         let h = sim
             .simulate(&autotune::sim::hadoop::benchmark_config(&cluster))
             .runtime_secs;

@@ -30,7 +30,10 @@ fn main() {
     let mut tempo = TempoTuner::new();
     let out = tune(&mut host, &mut tempo, 25, 7);
     let final_cfg = &out.recommendation.config;
-    println!("after {} Tempo epochs ({}):", out.evaluations, out.recommendation.rationale);
+    println!(
+        "after {} Tempo epochs ({}):",
+        out.evaluations, out.recommendation.rationale
+    );
     for (t, (rt, share)) in host.tenants.iter().zip(
         host.tenant_runtimes(final_cfg)
             .into_iter()

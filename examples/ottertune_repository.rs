@@ -45,7 +45,10 @@ fn main() {
             .with_noise(NoiseModel::none());
         sim.simulate(&sim.space().default_config()).runtime_secs
     };
-    println!("\nnew workload {}: default = {baseline:.0} s", new_workload.name);
+    println!(
+        "\nnew workload {}: default = {baseline:.0} s",
+        new_workload.name
+    );
 
     let budget = 15; // deliberately small: this is where mapping pays off
     let mut with_repo = OtterTuneTuner::new(repo);

@@ -14,24 +14,22 @@ fn main() {
     let cluster = ClusterSpec::homogeneous(8, NodeSpec::default());
 
     // ---- batch: offline tuning --------------------------------------------
-    let mut batch = SparkSimulator::new(
-        cluster.clone(),
-        SparkApp::aggregation(16_384.0),
-    );
-    let default_rt = batch
-        .simulate(&batch.space().default_config())
-        .runtime_secs;
+    let mut batch = SparkSimulator::new(cluster.clone(), SparkApp::aggregation(16_384.0));
+    let default_rt = batch.simulate(&batch.space().default_config()).runtime_secs;
     println!("batch aggregation (16 GB), default config: {default_rt:.0} s");
 
     let mut rules = RuleBasedTuner::new("spark-rules", spark_rulebook());
-    let rules_rt = tune(&mut batch, &mut rules, 1, 3).best.unwrap().runtime_secs;
-    println!("  spark tuning-guide rules : {rules_rt:.0} s ({:.1}x)", default_rt / rules_rt);
+    let rules_rt = tune(&mut batch, &mut rules, 1, 3)
+        .best
+        .unwrap()
+        .runtime_secs;
+    println!(
+        "  spark tuning-guide rules : {rules_rt:.0} s ({:.1}x)",
+        default_rt / rules_rt
+    );
 
     let mut ituned = ITunedTuner::new();
-    let mut batch2 = SparkSimulator::new(
-        cluster.clone(),
-        SparkApp::aggregation(16_384.0),
-    );
+    let mut batch2 = SparkSimulator::new(cluster.clone(), SparkApp::aggregation(16_384.0));
     let out = tune(&mut batch2, &mut ituned, 30, 3);
     let tuned_rt = out.best.unwrap().runtime_secs;
     println!(

@@ -7,9 +7,7 @@
 //! autotune tune --system hadoop-terasort --tuner mrtuner --csv out.csv
 //! ```
 
-use autotune::core::{
-    config_to_properties, history_to_csv, pareto_front, tune, Objective, Tuner,
-};
+use autotune::core::{config_to_properties, history_to_csv, pareto_front, tune, Objective, Tuner};
 use autotune::prelude::*;
 use autotune::tuners::cost::MrTuner;
 use std::collections::BTreeMap;
@@ -34,12 +32,18 @@ const TUNERS: &[(&str, &str)] = &[
     ("spark-cost", "analytic Spark cost model"),
     ("addm", "diagnosis-driven tuning (ADDM; DBMS)"),
     ("sard", "Plackett–Burman screening + search (SARD)"),
-    ("adaptive-sampling", "k-NN exploit / distance explore (HotOS'09)"),
+    (
+        "adaptive-sampling",
+        "k-NN exploit / distance explore (HotOS'09)",
+    ),
     ("ituned", "LHS + Gaussian process + EI (iTuned)"),
     ("rrs", "recursive random search"),
     ("ottertune", "OtterTune pipeline (cold start)"),
     ("rodd", "neural-network surrogate (Rodd)"),
-    ("ernest", "NNLS scale model for executor sizing (Ernest; Spark)"),
+    (
+        "ernest",
+        "NNLS scale model for executor sizing (Ernest; Spark)",
+    ),
     ("colt", "online cost-vs-gain tuning (COLT)"),
     ("online-memory", "online STMM feedback controller (DBMS)"),
     ("dyn-partition", "dynamic shuffle partitioning (Spark)"),
@@ -129,7 +133,10 @@ fn cmd_list() {
 }
 
 fn cmd_tune(flags: &BTreeMap<String, String>) -> ExitCode {
-    let system_name = flags.get("system").map(String::as_str).unwrap_or("dbms-oltp");
+    let system_name = flags
+        .get("system")
+        .map(String::as_str)
+        .unwrap_or("dbms-oltp");
     let tuner_name = flags.get("tuner").map(String::as_str).unwrap_or("ituned");
     let budget: usize = flags
         .get("budget")
@@ -153,10 +160,11 @@ fn cmd_tune(flags: &BTreeMap<String, String>) -> ExitCode {
     };
 
     let default_cfg = objective.space().default_config();
-    let baseline = {
+    let baseline_obs = {
         let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0xBA5E);
-        objective.evaluate(&default_cfg, &mut rng).runtime_secs
+        objective.evaluate(&default_cfg, &mut rng)
     };
+    let baseline = baseline_obs.runtime_secs;
 
     eprintln!("tuning {system_name} with {tuner_name} ({budget} evaluations, seed {seed})…");
     let outcome = tune(objective.as_mut(), tuner.as_mut(), budget, seed);
@@ -183,10 +191,20 @@ fn cmd_tune(flags: &BTreeMap<String, String>) -> ExitCode {
     }
     if flags.contains_key("pareto") {
         println!("\ntime/cost Pareto frontier of the session:");
-        for p in pareto_front(&outcome.history) {
+        // Include the default-config baseline run: it is always feasible,
+        // so the frontier is non-empty even when every tuned run failed.
+        let n_session = outcome.history.all().len();
+        let mut with_baseline = outcome.history.clone();
+        with_baseline.push(baseline_obs);
+        for p in pareto_front(&with_baseline) {
+            let label = if p.index == n_session {
+                "def".to_string()
+            } else {
+                format!("{:>3}", p.index)
+            };
             println!(
-                "  run {:>3}: {:>10.1} s  {:>12.1} cost",
-                p.index, p.runtime_secs, p.cost
+                "  run {label}: {:>10.1} s  {:>12.1} cost",
+                p.runtime_secs, p.cost
             );
         }
     }

@@ -59,9 +59,7 @@ pub mod prelude {
         ColtTuner, DynamicPartitionTuner, MrMoulderTuner, OnlineMemoryTuner,
         RecommendationRepository, TempoTuner,
     };
-    pub use autotune_tuners::baselines::{
-        DefaultConfigTuner, GridSearchTuner, RandomSearchTuner,
-    };
+    pub use autotune_tuners::baselines::{DefaultConfigTuner, GridSearchTuner, RandomSearchTuner};
     pub use autotune_tuners::cost::{
         Elastisizer, InstanceType, MrTuner, SparkCostTuner, StmmTuner, WhatIfTuner,
     };
@@ -72,10 +70,8 @@ pub mod prelude {
         ErnestTuner, OtterTuneTuner, ParallelismTuner, RoddTuner, WorkloadRepository,
     };
     pub use autotune_tuners::rule::{
-        dbms_rulebook, hadoop_rulebook, rulebook_for, spark_rulebook, ConfNavTuner,
-        RuleBasedTuner, SpexTuner,
+        dbms_rulebook, hadoop_rulebook, rulebook_for, spark_rulebook, ConfNavTuner, RuleBasedTuner,
+        SpexTuner,
     };
-    pub use autotune_tuners::simulation::{
-        AddmTuner, SimulationSearchTuner, TraceReplayPredictor,
-    };
+    pub use autotune_tuners::simulation::{AddmTuner, SimulationSearchTuner, TraceReplayPredictor};
 }

@@ -18,7 +18,14 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn list_names_systems_and_tuners() {
     let (stdout, _, ok) = run(&["list"]);
     assert!(ok);
-    for needle in ["dbms-oltp", "hadoop-terasort", "spark-agg", "ituned", "ottertune", "colt"] {
+    for needle in [
+        "dbms-oltp",
+        "hadoop-terasort",
+        "spark-agg",
+        "ituned",
+        "ottertune",
+        "colt",
+    ] {
         assert!(stdout.contains(needle), "missing {needle}");
     }
 }
@@ -53,7 +60,10 @@ fn tune_runs_end_to_end_and_reports_speedup() {
     ]);
     assert!(ok, "tune failed: {stdout}");
     assert!(stdout.contains("speedup"));
-    assert!(stdout.contains("shared_buffers_mb ="), "config block missing");
+    assert!(
+        stdout.contains("shared_buffers_mb ="),
+        "config block missing"
+    );
     // The DBMS rule book must beat defaults.
     let speedup_line = stdout
         .lines()

@@ -118,14 +118,17 @@ fn hadoop_tuning_closes_the_parallel_db_gap() {
     let task = ParallelDbBaseline::task_for_job(&job);
     let db_rt = db.runtime_secs(task, data_mb);
 
-    let sim = HadoopSimulator::new(cluster.clone(), job.clone())
-        .with_noise(NoiseModel::none());
+    let sim = HadoopSimulator::new(cluster.clone(), job.clone()).with_noise(NoiseModel::none());
     let untuned = sim
         .simulate(&autotune::sim::hadoop::benchmark_config(&cluster))
         .runtime_secs;
 
+    // Anchor the design on the operator's rule-of-thumb config; most
+    // random Hadoop configs fail outright, so an unseeded small budget
+    // can spend itself entirely in failure regions.
+    let seed_cfg = autotune::sim::hadoop::benchmark_config(&cluster);
     let mut sim = HadoopSimulator::new(cluster, job).with_noise(NoiseModel::none());
-    let mut tuner = ITunedTuner::new();
+    let mut tuner = ITunedTuner::new().with_seed_config(seed_cfg);
     let out = tune(&mut sim, &mut tuner, 40, 29);
     let tuned = out.best.unwrap().runtime_secs;
 

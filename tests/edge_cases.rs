@@ -2,8 +2,8 @@
 //! spaces, failure-only histories, and export formats.
 
 use autotune::core::{
-    history_to_csv, pareto_front, tune, Budget, ConfigSpace, FunctionObjective, History,
-    Objective, Observation, ParamSpec, ParamValue, TuningSession,
+    history_to_csv, pareto_front, tune, Budget, ConfigSpace, FunctionObjective, History, Objective,
+    Observation, ParamSpec, ParamValue, TuningSession,
 };
 use autotune::prelude::*;
 
@@ -15,10 +15,7 @@ fn zero_budget_session_recommends_defaults() {
     let outcome = TuningSession::new(&mut obj, &mut tuner, Budget::evaluations(0), 1).run();
     assert_eq!(outcome.evaluations, 0);
     assert!(outcome.best.is_none());
-    assert_eq!(
-        outcome.recommendation.config,
-        obj.space().default_config()
-    );
+    assert_eq!(outcome.recommendation.config, obj.space().default_config());
 }
 
 #[test]

@@ -13,13 +13,13 @@ use rand::SeedableRng;
 fn arb_space() -> impl Strategy<Value = ConfigSpace> {
     // Each knob is one of four shapes with generated bounds.
     let knob = prop_oneof![
-        (1i64..1000, 1i64..1000).prop_map(|(a, b)| {
-            let (min, max) = (a.min(b), a.max(b));
-            (min, max)
-        })
-        .prop_map(|(min, max)| ("int", min as f64, max as f64)),
-        (0.0f64..10.0, 0.1f64..10.0)
-            .prop_map(|(min, w)| ("float", min, min + w)),
+        (1i64..1000, 1i64..1000)
+            .prop_map(|(a, b)| {
+                let (min, max) = (a.min(b), a.max(b));
+                (min, max)
+            })
+            .prop_map(|(min, max)| ("int", min as f64, max as f64)),
+        (0.0f64..10.0, 0.1f64..10.0).prop_map(|(min, w)| ("float", min, min + w)),
         Just(("bool", 0.0, 1.0)),
         Just(("cat", 0.0, 2.0)),
     ];
@@ -167,10 +167,7 @@ fn bigger_buffer_pool_never_hurts_within_ram() {
         let mut c = base.clone();
         c.set(knobs::SHARED_BUFFERS_MB, ParamValue::Int(mb));
         let rt = sim.simulate(&c).runtime_secs;
-        assert!(
-            rt <= last * 1.001,
-            "regression at {mb} MB: {rt} vs {last}"
-        );
+        assert!(rt <= last * 1.001, "regression at {mb} MB: {rt} vs {last}");
         last = rt;
     }
 }

@@ -21,10 +21,7 @@ fn representatives() -> Vec<Box<dyn Tuner>> {
 fn all_six_families_are_represented() {
     let families: Vec<TunerFamily> = representatives().iter().map(|t| t.family()).collect();
     for f in TunerFamily::all() {
-        assert!(
-            families.contains(&f),
-            "family {f} missing a representative"
-        );
+        assert!(families.contains(&f), "family {f} missing a representative");
     }
 }
 
@@ -72,7 +69,9 @@ fn recommendations_are_always_valid_configs() {
         let outcome = tune(&mut db, tuner.as_mut(), 12, 5);
         let space = db.space();
         assert!(
-            space.validate_config(&outcome.recommendation.config).is_ok(),
+            space
+                .validate_config(&outcome.recommendation.config)
+                .is_ok(),
             "{} produced an invalid recommendation",
             tuner.name()
         );

@@ -1,0 +1,178 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace's `benches/` use
+//! (`Criterion`, `bench_function`, `benchmark_group`, the `criterion_group!`
+//! / `criterion_main!` macros) with plain wall-clock timing: each benchmark
+//! runs a short warm-up followed by `sample_size` timed samples and reports
+//! min/mean per-iteration times to stdout. No statistical analysis, HTML
+//! reports, or baseline comparisons — the benches stay runnable and
+//! comparable run-to-run, which is all the workspace needs offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Defines a benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Defines a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times a routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each sample.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up (untimed).
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {id}: no samples");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "bench {id}: min {:.3?}, mean {:.3?} over {} samples",
+            min,
+            mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, in either the short positional form
+/// or the `name`/`config`/`targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| black_box(21u64) * 2));
+    }
+
+    criterion_group!(benches, square);
+
+    #[test]
+    fn group_runs() {
+        benches();
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+}

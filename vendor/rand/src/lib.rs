@@ -1,0 +1,226 @@
+//! Offline vendored subset of the `rand` crate.
+//!
+//! This workspace builds in environments with no network access and no
+//! pre-populated cargo registry, so the handful of `rand` APIs the code
+//! actually uses are re-implemented here as a small, dependency-free path
+//! crate: [`rngs::StdRng`] (a xoshiro256++ generator), [`SeedableRng`],
+//! [`RngExt::random_range`] over half-open and inclusive ranges, and
+//! [`seq::SliceRandom::shuffle`]. The streams differ from upstream `rand`,
+//! but every consumer in this workspace only relies on seeded determinism,
+//! not on a particular stream.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64. Fast, tiny, and deterministic across platforms.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut x = state;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut x);
+            }
+            // SplitMix64 cannot emit four consecutive zeros from any state,
+            // but guard the all-zero fixed point anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that a value of type `T` can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_open_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high bits -> [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_closed_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high bits -> [0, 1].
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + unit_open_f64(rng) * (self.end - self.start);
+        // Floating rounding can land exactly on `end` for wide ranges.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v.max(self.start)
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo + unit_closed_f64(rng) * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Correct for signed types too: the wrapped bit pattern of
+                // end - start equals the unsigned width of the range.
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as u64).wrapping_sub(lo as u64);
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (width + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32, i64, u32, u64, usize);
+
+/// Convenience sampling methods on any generator.
+pub trait RngExt: RngCore {
+    /// Draws one value uniformly from `range`.
+    #[inline]
+    fn random_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use crate::{RngCore, RngExt};
+
+    /// In-place random permutation of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffles the slice.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0.0..1.0).to_bits(),
+                b.random_range(0.0..1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.random_range(2.5f64..=3.5);
+            assert!((2.5..=3.5).contains(&g));
+            let i = rng.random_range(-4i64..9);
+            assert!((-4..9).contains(&i));
+            let u = rng.random_range(1usize..=4);
+            assert!((1..=4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline vendored subset of `serde`.
+//!
+//! The workspace builds without network access, so this crate provides the
+//! serialization contract the code depends on: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` (via the companion `serde_derive` proc-macro
+//! crate) and impls for the primitive/container types that appear in derived
+//! structs. Instead of upstream serde's visitor architecture, both traits go
+//! through a single self-describing [`Value`] tree; `serde_json` renders and
+//! parses that tree. Enum representation matches upstream's externally
+//! tagged JSON form (`"Unit"`, `{"Newtype": v}`, `{"Tuple": [..]}`,
+//! `{"Struct": {..}}`), so documented on-disk formats stay compatible.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialization tree, the data model both traits target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Text(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable kind label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Text(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error raised while building a typed value from a [`Value`] tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a struct field by name and deserializes it. Used by generated
+/// `Deserialize` impls; a missing field is an error, matching upstream serde
+/// without `#[serde(default)]`.
+pub fn __field<T: Deserialize>(map: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(Error::custom(format!("missing field `{key}` in {ty}"))),
+    }
+}
+
+/// Fetches element `idx` of a sequence value. Used by generated impls for
+/// tuple variants.
+pub fn __seq_elem<T: Deserialize>(seq: &[Value], idx: usize, ty: &str) -> Result<T, Error> {
+    match seq.get(idx) {
+        Some(v) => T::from_value(v),
+        None => Err(Error::custom(format!(
+            "sequence too short for {ty}: missing element {idx}"
+        ))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Text(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Text(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Text(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Text(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Text(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => Ok(($(
+                        __seq_elem::<$t>(items, $n, "tuple")?,
+                    )+)),
+                    other => Err(Error::custom(format!(
+                        "expected sequence for tuple, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

@@ -1,0 +1,420 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Upstream serde_derive depends on syn/quote, which are unavailable in this
+//! offline build, so the derive is implemented directly over
+//! [`proc_macro::TokenStream`]: a small scanner extracts the item shape
+//! (struct fields or enum variants), and the impl is emitted as source text
+//! targeting the vendored `serde::{Serialize, Deserialize, Value}` model.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! named-field structs, tuple structs, unit structs, and enums whose
+//! variants are unit, tuple, or struct-like. Generic items and `#[serde]`
+//! attributes are not supported and panic at expansion time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = gen_serialize(&name, &shape);
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = gen_deserialize(&name, &shape);
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips outer attributes (`#[...]`) starting at `i`, returning the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 2; // '#' then the bracketed group
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        match tokens.get(i) {
+            Some(t) if is_ident(t, "struct") || is_ident(t, "enum") => break,
+            Some(_) => i += 1,
+            None => panic!("serde derive: no struct/enum keyword found"),
+        }
+    }
+    let is_struct = is_ident(&tokens[i], "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    let shape = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            Some(t) if is_punct(t, ';') => Shape::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    };
+    (name, shape)
+}
+
+/// Advances past one type, stopping after the top-level `,` (or at the end).
+/// Tracks angle-bracket depth so commas inside `BTreeMap<K, V>` don't split.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(t) if is_punct(t, ':')),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        i = skip_type(&tokens, i + 1);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(vg))
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(vg))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip anything up to the separating comma (e.g. discriminants).
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ "
+    );
+    match shape {
+        Shape::UnitStruct => out.push_str("::serde::Value::Null"),
+        Shape::TupleStruct(1) => out.push_str("::serde::Serialize::to_value(&self.0)"),
+        Shape::TupleStruct(n) => {
+            out.push_str("::serde::Value::Seq(vec![");
+            for idx in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            out.push_str("])");
+        }
+        Shape::NamedStruct(fields) => {
+            out.push_str("::serde::Value::Map(vec![");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            out.push_str("])");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self { ");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} => ::serde::Value::Text(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Seq(vec![",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(out, "::serde::Serialize::to_value({b}),");
+                        }
+                        out.push_str("]))]),");
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(vec![",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        out.push_str("]))]),");
+                    }
+                }
+            }
+            out.push_str(" }");
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ "
+    );
+    match shape {
+        Shape::UnitStruct => {
+            let _ = write!(out, "let _ = __v; Ok({name})");
+        }
+        Shape::TupleStruct(1) => {
+            let _ = write!(out, "Ok({name}(::serde::Deserialize::from_value(__v)?))");
+        }
+        Shape::TupleStruct(n) => {
+            let _ = write!(
+                out,
+                "let __seq = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected sequence for {name}\"))?; Ok({name}("
+            );
+            for idx in 0..*n {
+                let _ = write!(out, "::serde::__seq_elem(__seq, {idx}, \"{name}\")?,");
+            }
+            out.push_str("))");
+        }
+        Shape::NamedStruct(fields) => {
+            let _ = write!(
+                out,
+                "let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected map for {name}\"))?; Ok({name} {{ "
+            );
+            for f in fields {
+                let _ = write!(out, "{f}: ::serde::__field(__map, \"{f}\", \"{name}\")?,");
+            }
+            out.push_str(" })");
+        }
+        Shape::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let payloads: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !units.is_empty() {
+                out.push_str("if let ::serde::Value::Text(__s) = __v { match __s.as_str() { ");
+                for v in &units {
+                    let vname = &v.name;
+                    let _ = write!(out, "\"{vname}\" => return Ok({name}::{vname}),");
+                }
+                out.push_str("_ => {} } } ");
+            }
+            if !payloads.is_empty() {
+                out.push_str(
+                    "if let ::serde::Value::Map(__m) = __v { if __m.len() == 1 { \
+                     let __inner = &__m[0].1; match __m[0].0.as_str() { ",
+                );
+                for v in &payloads {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => {
+                            let _ = write!(
+                                out,
+                                "\"{vname}\" => return Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),"
+                            );
+                        }
+                        VariantKind::Tuple(n) => {
+                            let _ = write!(
+                                out,
+                                "\"{vname}\" => {{ let __seq = __inner.as_seq()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected sequence for {name}::{vname}\"))?; \
+                                 return Ok({name}::{vname}("
+                            );
+                            for idx in 0..*n {
+                                let _ = write!(
+                                    out,
+                                    "::serde::__seq_elem(__seq, {idx}, \"{name}::{vname}\")?,"
+                                );
+                            }
+                            out.push_str(")); }");
+                        }
+                        VariantKind::Named(fields) => {
+                            let _ = write!(
+                                out,
+                                "\"{vname}\" => {{ let __fm = __inner.as_map()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected map for {name}::{vname}\"))?; \
+                                 return Ok({name}::{vname} {{ "
+                            );
+                            for f in fields {
+                                let _ = write!(
+                                    out,
+                                    "{f}: ::serde::__field(__fm, \"{f}\", \
+                                     \"{name}::{vname}\")?,"
+                                );
+                            }
+                            out.push_str(" }); }");
+                        }
+                    }
+                }
+                out.push_str("_ => {} } } } ");
+            }
+            let _ = write!(
+                out,
+                "Err(::serde::Error::custom(format!(\
+                 \"invalid value of kind {{}} for enum {name}\", __v.kind())))"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out
+}
