@@ -11,7 +11,7 @@ fn main() {
             r.total_knobs
         );
         let mut impacts = r.impacts.clone();
-        impacts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        impacts.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (name, imp) in &impacts {
             let bar = "#".repeat(((imp * 40.0).min(60.0)) as usize);
             println!("  {name:<28} {:>7.1}% {bar}", imp * 100.0);

@@ -17,7 +17,7 @@
 //! re-simulated.
 
 use autotune_core::Configuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -131,7 +131,7 @@ impl Default for SessionExecutor {
 /// the first write wins.
 #[derive(Debug, Default)]
 pub struct EvalMemo {
-    map: Mutex<HashMap<(u64, u64, u64), f64>>,
+    map: Mutex<BTreeMap<(u64, u64, u64), f64>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }

@@ -95,7 +95,7 @@ fn finish_session(
         .as_ref()
         .map(|b| b.runtime_secs)
         .unwrap_or(f64::NAN);
-    let distinct: std::collections::HashSet<u64> = outcome
+    let distinct: std::collections::BTreeSet<u64> = outcome
         .history
         .all()
         .iter()

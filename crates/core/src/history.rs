@@ -45,17 +45,11 @@ impl History {
             .observations
             .iter()
             .filter(|o| !o.failed)
-            .min_by(|a, b| {
-                a.runtime_secs
-                    .partial_cmp(&b.runtime_secs)
-                    .expect("finite runtimes")
-            });
+            .min_by(|a, b| a.runtime_secs.total_cmp(&b.runtime_secs));
         ok_best.or_else(|| {
-            self.observations.iter().min_by(|a, b| {
-                a.runtime_secs
-                    .partial_cmp(&b.runtime_secs)
-                    .expect("finite runtimes")
-            })
+            self.observations
+                .iter()
+                .min_by(|a, b| a.runtime_secs.total_cmp(&b.runtime_secs))
         })
     }
 

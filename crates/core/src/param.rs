@@ -161,6 +161,7 @@ impl ParamDomain {
                 }
             }
             (ParamDomain::Categorical { choices }, ParamValue::Str(s)) => {
+                // lint:allow(unwrap) contains() already validated s is one of choices
                 let idx = choices.iter().position(|c| c == s).expect("validated");
                 if choices.len() > 1 {
                     idx as f64 / (choices.len() - 1) as f64

@@ -44,11 +44,7 @@ pub fn pareto_front(history: &History) -> Vec<ParetoPoint> {
             });
         }
     }
-    front.sort_by(|x, y| {
-        x.runtime_secs
-            .partial_cmp(&y.runtime_secs)
-            .expect("finite runtimes")
-    });
+    front.sort_by(|x, y| x.runtime_secs.total_cmp(&y.runtime_secs));
     front
 }
 
@@ -57,7 +53,7 @@ pub fn cheapest_within_deadline(history: &History, deadline_secs: f64) -> Option
     pareto_front(history)
         .into_iter()
         .filter(|p| p.runtime_secs <= deadline_secs)
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
 }
 
 /// Hypervolume indicator w.r.t. a reference point (larger = better
@@ -67,11 +63,7 @@ pub fn hypervolume(front: &[ParetoPoint], ref_runtime: f64, ref_cost: f64) -> f6
         .iter()
         .filter(|p| p.runtime_secs <= ref_runtime && p.cost <= ref_cost)
         .collect();
-    pts.sort_by(|a, b| {
-        a.runtime_secs
-            .partial_cmp(&b.runtime_secs)
-            .expect("finite runtimes")
-    });
+    pts.sort_by(|a, b| a.runtime_secs.total_cmp(&b.runtime_secs));
     let mut volume = 0.0;
     let mut prev_cost = ref_cost;
     for p in pts {

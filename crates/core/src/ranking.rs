@@ -15,7 +15,7 @@ impl KnobRanking {
     /// Builds a ranking from (knob, importance) pairs; sorts by descending
     /// importance internally.
     pub fn new(mut entries: Vec<(String, f64)>) -> Self {
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         KnobRanking { entries }
     }
 
@@ -68,23 +68,17 @@ impl KnobRanking {
     /// Spearman rank agreement with another ranking over the knobs both
     /// share. Returns 0.0 if fewer than 2 knobs are shared.
     pub fn agreement(&self, other: &KnobRanking) -> f64 {
-        let shared: Vec<&str> = self
-            .entries
-            .iter()
-            .map(|(n, _)| n.as_str())
-            .filter(|n| other.position(n).is_some())
-            .collect();
-        if shared.len() < 2 {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (mine, (n, _)) in self.entries.iter().enumerate() {
+            if let Some(theirs) = other.position(n) {
+                a.push(mine as f64);
+                b.push(theirs as f64);
+            }
+        }
+        if a.len() < 2 {
             return 0.0;
         }
-        let a: Vec<f64> = shared
-            .iter()
-            .map(|n| self.position(n).expect("shared") as f64)
-            .collect();
-        let b: Vec<f64> = shared
-            .iter()
-            .map(|n| other.position(n).expect("shared") as f64)
-            .collect();
         spearman(&a, &b)
     }
 
@@ -93,8 +87,8 @@ impl KnobRanking {
         if k == 0 {
             return 1.0;
         }
-        let mine: std::collections::HashSet<&str> = self.top_k(k).into_iter().collect();
-        let theirs: std::collections::HashSet<&str> = other.top_k(k).into_iter().collect();
+        let mine: std::collections::BTreeSet<&str> = self.top_k(k).into_iter().collect();
+        let theirs: std::collections::BTreeSet<&str> = other.top_k(k).into_iter().collect();
         mine.intersection(&theirs).count() as f64 / k as f64
     }
 }

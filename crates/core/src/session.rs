@@ -91,6 +91,7 @@ impl<'a> TuningSession<'a> {
                     .all()
                     .iter()
                     .find(|o| o.config == config)
+                    // lint:allow(unwrap) contains_config() guarantees a match exists
                     .expect("contains_config checked")
                     .clone()
             } else {

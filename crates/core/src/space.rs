@@ -144,7 +144,7 @@ impl ConfigSpace {
     /// # Panics
     /// Panics on duplicate knob names or invalid specs.
     pub fn new(params: Vec<ParamSpec>) -> Self {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for p in &params {
             p.validate();
             assert!(seen.insert(p.name.clone()), "duplicate knob {}", p.name);

@@ -1,0 +1,211 @@
+//! Workspace layout knowledge: which crate a file belongs to, whether it is
+//! test-only code, and which rules apply where.
+//!
+//! The scopes mirror the determinism contract documented in DESIGN.md:
+//!
+//! * **D1 `unseeded-rng`** — everywhere outside `#[cfg(test)]`. Tuner
+//!   evaluations must be replayable from a seed, so entropy-based RNG
+//!   construction is banned workspace-wide.
+//! * **D2 `wall-clock`** — the pure-evaluation crates `math`, `sim`,
+//!   `tuners`. Session overhead accounting in `core` (and timing in the
+//!   `bench` harness / criterion benches) legitimately reads the clock and
+//!   is out of scope.
+//! * **D3 `hash-iter`** — `core`, `tuners`, `bench` library sources. Any
+//!   `HashMap`/`HashSet` there risks order-dependent iteration feeding a
+//!   report; use `BTreeMap`/`BTreeSet` or suppress with a reason proving the
+//!   container is never iterated.
+//! * **D4 `nan-ord`** — everywhere outside tests. `partial_cmp(..).unwrap()`
+//!   panics mid-benchmark on the first NaN; `total_cmp` degrades gracefully.
+//! * **D5 `unwrap`** — the library crates `core`, `math`, `sim`, `tuners`.
+//!   Library code propagates errors (`autotune-core::error`) or justifies
+//!   the invariant inline.
+
+/// Stable rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// D1: unseeded RNG construction.
+    UnseededRng,
+    /// D2: wall-clock reads in pure-evaluation crates.
+    WallClock,
+    /// D3: hash-ordered containers in report-feeding crates.
+    HashIter,
+    /// D4: NaN-unsafe float ordering.
+    NanOrd,
+    /// D5: `unwrap`/`expect` in library crates.
+    Unwrap,
+    /// A `lint:allow` suppression with no reason.
+    BareAllow,
+}
+
+impl RuleId {
+    /// Short stable id (`D1`..`D5`, `A0`).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::UnseededRng => "D1",
+            RuleId::WallClock => "D2",
+            RuleId::HashIter => "D3",
+            RuleId::NanOrd => "D4",
+            RuleId::Unwrap => "D5",
+            RuleId::BareAllow => "A0",
+        }
+    }
+
+    /// Human name, also accepted in suppression directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnseededRng => "unseeded-rng",
+            RuleId::WallClock => "wall-clock",
+            RuleId::HashIter => "hash-iter",
+            RuleId::NanOrd => "nan-ord",
+            RuleId::Unwrap => "unwrap",
+            RuleId::BareAllow => "bare-allow",
+        }
+    }
+
+    /// Parses a rule id or name as written in a suppression directive.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        let all = [
+            RuleId::UnseededRng,
+            RuleId::WallClock,
+            RuleId::HashIter,
+            RuleId::NanOrd,
+            RuleId::Unwrap,
+            RuleId::BareAllow,
+        ];
+        all.into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(s) || r.name() == s)
+    }
+
+    /// One-line description used in reports.
+    pub fn message(self) -> &'static str {
+        match self {
+            RuleId::UnseededRng => {
+                "unseeded RNG construction breaks replayability; seed from the session (StdRng::seed_from_u64)"
+            }
+            RuleId::WallClock => {
+                "wall-clock read inside a pure-evaluation crate; thread time in via parameters"
+            }
+            RuleId::HashIter => {
+                "hash-ordered container in report-feeding code; use BTreeMap/BTreeSet or sort before output"
+            }
+            RuleId::NanOrd => {
+                "NaN-unsafe float ordering panics on NaN; use f64::total_cmp or handle the None"
+            }
+            RuleId::Unwrap => {
+                "unwrap/expect in library code; propagate via autotune-core::error or justify inline"
+            }
+            RuleId::BareAllow => "lint:allow without a reason; state why the suppression is sound",
+        }
+    }
+}
+
+/// What the analyzer knows about a file before scanning it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileCtx {
+    /// Workspace crate directory name (`core`, `math`, ..., or `autotune`
+    /// for the root package).
+    pub crate_name: String,
+    /// True for integration-test files (under a `tests/` directory); all
+    /// rules skip these wholesale.
+    pub is_test_source: bool,
+    /// True for files under a `src/` directory (as opposed to benches or
+    /// examples); crate-scoped rules only apply here.
+    pub is_lib_source: bool,
+}
+
+/// Classifies a workspace-relative path (`crates/core/src/pareto.rs`).
+/// Returns `None` for files the analyzer should skip entirely.
+pub fn classify(rel_path: &str) -> Option<FileCtx> {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.first() == Some(&"vendor") || parts.first() == Some(&"target") {
+        return None;
+    }
+    let (crate_name, rest) = if parts.first() == Some(&"crates") {
+        (parts.get(1)?.to_string(), &parts[2..])
+    } else {
+        ("autotune".to_string(), &parts[..])
+    };
+    let is_test_source = rest.first() == Some(&"tests");
+    let is_lib_source = rest.first() == Some(&"src");
+    Some(FileCtx {
+        crate_name,
+        is_test_source,
+        is_lib_source,
+    })
+}
+
+/// True when `rule` is in scope for the file. Test sources are excluded for
+/// every rule; `#[cfg(test)]` regions inside live files are handled by the
+/// rule engine's token mask, not here.
+pub fn rule_applies(rule: RuleId, ctx: &FileCtx) -> bool {
+    if ctx.is_test_source {
+        return false;
+    }
+    let in_crates = |names: &[&str]| names.contains(&ctx.crate_name.as_str());
+    match rule {
+        RuleId::UnseededRng | RuleId::NanOrd => true,
+        RuleId::WallClock => ctx.is_lib_source && in_crates(&["math", "sim", "tuners"]),
+        RuleId::HashIter => ctx.is_lib_source && in_crates(&["core", "tuners", "bench"]),
+        RuleId::Unwrap => ctx.is_lib_source && in_crates(&["core", "math", "sim", "tuners"]),
+        RuleId::BareAllow => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_paths() {
+        let ctx = classify("crates/core/src/pareto.rs").expect("classified");
+        assert_eq!(ctx.crate_name, "core");
+        assert!(ctx.is_lib_source);
+        assert!(!ctx.is_test_source);
+
+        let ctx = classify("crates/bench/tests/determinism.rs").expect("classified");
+        assert!(ctx.is_test_source);
+
+        assert_eq!(classify("vendor/rand/src/lib.rs"), None);
+        assert_eq!(classify("target/debug/build/foo.rs"), None);
+    }
+
+    #[test]
+    fn classify_root_package() {
+        let ctx = classify("src/lib.rs").expect("classified");
+        assert_eq!(ctx.crate_name, "autotune");
+        assert!(ctx.is_lib_source);
+        let ctx = classify("examples/quickstart.rs").expect("classified");
+        assert!(!ctx.is_lib_source);
+        assert!(!ctx.is_test_source);
+    }
+
+    #[test]
+    fn scopes_match_the_contract() {
+        let core = classify("crates/core/src/session.rs").expect("classified");
+        assert!(!rule_applies(RuleId::WallClock, &core));
+        assert!(rule_applies(RuleId::HashIter, &core));
+        assert!(rule_applies(RuleId::Unwrap, &core));
+
+        let math = classify("crates/math/src/gp.rs").expect("classified");
+        assert!(rule_applies(RuleId::WallClock, &math));
+        assert!(!rule_applies(RuleId::HashIter, &math));
+
+        let bench_bin = classify("crates/bench/src/bin/exec_speedup.rs").expect("classified");
+        assert!(!rule_applies(RuleId::WallClock, &bench_bin));
+        assert!(rule_applies(RuleId::NanOrd, &bench_bin));
+        assert!(!rule_applies(RuleId::Unwrap, &bench_bin));
+
+        let lint = classify("crates/lint/src/rules.rs").expect("classified");
+        assert!(rule_applies(RuleId::UnseededRng, &lint));
+        assert!(!rule_applies(RuleId::Unwrap, &lint));
+    }
+
+    #[test]
+    fn parse_accepts_id_and_name() {
+        assert_eq!(RuleId::parse("D4"), Some(RuleId::NanOrd));
+        assert_eq!(RuleId::parse("d4"), Some(RuleId::NanOrd));
+        assert_eq!(RuleId::parse("nan-ord"), Some(RuleId::NanOrd));
+        assert_eq!(RuleId::parse("unwrap"), Some(RuleId::Unwrap));
+        assert_eq!(RuleId::parse("nonsense"), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Embedded good/bad source snippets, one pair per rule, plus suppression
+//! cases. The integration tests scan each snippet under its designated
+//! workspace-relative path and assert the expected rule ids; keeping the
+//! snippets here (rather than as on-disk `.rs` files) means the workspace
+//! self-scan can never trip over its own bad examples — string literals are
+//! stripped by the lexer.
+
+/// A fixture: source text scanned as if it lived at `path`, expected to
+/// produce exactly the rule ids in `expect` (in report order).
+#[derive(Debug, Clone, Copy)]
+pub struct Fixture {
+    /// Short label for test diagnostics.
+    pub label: &'static str,
+    /// Workspace-relative path the snippet is classified under.
+    pub path: &'static str,
+    /// The snippet source.
+    pub src: &'static str,
+    /// Expected rule ids, sorted.
+    pub expect: &'static [&'static str],
+}
+
+/// D1 bad: entropy-seeded RNG in live tuner code.
+pub const D1_BAD: Fixture = Fixture {
+    label: "d1-bad",
+    path: "crates/tuners/src/fixture.rs",
+    src: r#"
+use rand::rngs::StdRng;
+pub fn propose() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.random_range(0.0..1.0)
+}
+"#,
+    expect: &["D1"],
+};
+
+/// D1 good: seeded construction, plus entropy allowed inside tests.
+pub const D1_GOOD: Fixture = Fixture {
+    label: "d1-good",
+    path: "crates/tuners/src/fixture.rs",
+    src: r#"
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+pub fn propose(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+#[cfg(test)]
+mod tests {
+    fn entropy_is_fine_here() {
+        let _ = rand::thread_rng();
+    }
+}
+"#,
+    expect: &[],
+};
+
+/// D2 bad: wall-clock read inside a pure-evaluation crate.
+pub const D2_BAD: Fixture = Fixture {
+    label: "d2-bad",
+    path: "crates/math/src/fixture.rs",
+    src: r#"
+pub fn timed_solve() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+"#,
+    expect: &["D2"],
+};
+
+/// D2 good: the same read is legitimate in `core` session accounting.
+pub const D2_GOOD: Fixture = Fixture {
+    label: "d2-good",
+    path: "crates/core/src/fixture.rs",
+    src: r#"
+pub fn session_overhead() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#,
+    expect: &[],
+};
+
+/// D3 bad: hash-ordered container in report-feeding code.
+pub const D3_BAD: Fixture = Fixture {
+    label: "d3-bad",
+    path: "crates/bench/src/fixture.rs",
+    src: r#"
+use std::collections::HashMap;
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+"#,
+    expect: &["D3", "D3", "D3"],
+};
+
+/// D3 good: ordered container, deterministic iteration.
+pub const D3_GOOD: Fixture = Fixture {
+    label: "d3-good",
+    path: "crates/bench/src/fixture.rs",
+    src: r#"
+use std::collections::BTreeMap;
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+"#,
+    expect: &[],
+};
+
+/// D4 bad: NaN-unsafe sort key. Scanned under `bench` (not a D5 crate) so
+/// the chained `unwrap` is claimed by D4 alone.
+pub const D4_BAD: Fixture = Fixture {
+    label: "d4-bad",
+    path: "crates/bench/src/fixture.rs",
+    src: r#"
+pub fn rank(xs: &mut Vec<(String, f64)>) {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}
+"#,
+    expect: &["D4"],
+};
+
+/// D4 good: total order over floats.
+pub const D4_GOOD: Fixture = Fixture {
+    label: "d4-good",
+    path: "crates/bench/src/fixture.rs",
+    src: r#"
+pub fn rank(xs: &mut Vec<(String, f64)>) {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+}
+"#,
+    expect: &[],
+};
+
+/// D5 bad: unwrap and expect in a library crate (two findings).
+pub const D5_BAD: Fixture = Fixture {
+    label: "d5-bad",
+    path: "crates/tuners/src/fixture.rs",
+    src: r#"
+pub fn first_len(xs: &[Vec<f64>]) -> usize {
+    let head = xs.first().unwrap();
+    let alt = xs.last().expect("nonempty");
+    head.len().max(alt.len())
+}
+"#,
+    expect: &["D5", "D5"],
+};
+
+/// D5 good: errors propagate.
+pub const D5_GOOD: Fixture = Fixture {
+    label: "d5-good",
+    path: "crates/tuners/src/fixture.rs",
+    src: r#"
+use autotune_core::error::{CoreError, CoreResult};
+pub fn first_len(xs: &[Vec<f64>]) -> CoreResult<usize> {
+    let head = xs.first().ok_or(CoreError::EmptyBudget)?;
+    Ok(head.len())
+}
+"#,
+    expect: &[],
+};
+
+/// Suppression with a reason: the finding is waived, no residue.
+pub const SUPPRESSED: Fixture = Fixture {
+    label: "suppressed",
+    path: "crates/tuners/src/fixture.rs",
+    src: r#"
+pub fn head(xs: &[f64]) -> f64 {
+    // lint:allow(unwrap) caller guarantees nonempty via ConfigSpace::validate
+    *xs.first().unwrap()
+}
+"#,
+    expect: &[],
+};
+
+/// A bare allow: the target finding is waived but the reason-less directive
+/// is itself reported.
+pub const BARE_ALLOW: Fixture = Fixture {
+    label: "bare-allow",
+    path: "crates/tuners/src/fixture.rs",
+    src: r#"
+pub fn head(xs: &[f64]) -> f64 {
+    // lint:allow(unwrap)
+    *xs.first().unwrap()
+}
+"#,
+    expect: &["A0"],
+};
+
+/// Every fixture, for exhaustive test loops.
+pub const ALL: &[Fixture] = &[
+    D1_BAD, D1_GOOD, D2_BAD, D2_GOOD, D3_BAD, D3_GOOD, D4_BAD, D4_GOOD, D5_BAD, D5_GOOD,
+    SUPPRESSED, BARE_ALLOW,
+];

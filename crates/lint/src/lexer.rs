@@ -1,0 +1,399 @@
+//! A small self-contained Rust lexer.
+//!
+//! The workspace vendors no parsing crates (no `syn`), so the analyzer works
+//! on a token stream this module produces: identifiers and punctuation with
+//! line numbers, with comments, string literals, char literals, and numeric
+//! literals stripped so rule patterns can never match inside them. Line
+//! comments are captured separately because suppression directives
+//! (`lint:allow`) live there.
+//!
+//! The lexer is deliberately approximate where full fidelity is not needed
+//! by the rules — numeric literals are consumed and dropped, and the
+//! lifetime-vs-char-literal ambiguity after `'` is resolved with the usual
+//! two-character lookahead heuristic — but it is exact about nesting and
+//! line tracking, which the rule engine and suppression matching rely on.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `HashMap`, `partial_cmp`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `#`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// Returns the identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A `//`-style comment with its text (everything after the `//`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based line number the comment starts on.
+    pub line: u32,
+    /// Comment body, excluding the leading `//` but including any further
+    /// leading `/` or `!` (doc comments).
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus captured line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Identifier/punctuation stream in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes Rust source into tokens and line comments.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes chars[i..] while `f` holds, updating the line counter.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            i += 2;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(LineComment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment (nesting per Rust semantics).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            bump!();
+            skip_string_body(&chars, &mut i, &mut line);
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(_) => after == Some('\''),
+                None => false,
+            };
+            if is_char_lit {
+                bump!(); // opening quote
+                if chars.get(i) == Some(&'\\') {
+                    bump!(); // backslash
+                    if i < chars.len() {
+                        bump!(); // escaped char (u{..} handled by closing scan)
+                    }
+                }
+                while i < chars.len() && chars[i] != '\'' {
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!(); // closing quote
+                }
+            } else {
+                // Lifetime or loop label: skip the quote and the identifier.
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Numeric literal: consumed and dropped (no rule needs them).
+        if c.is_ascii_digit() {
+            skip_number(&chars, &mut i);
+            continue;
+        }
+        // Identifier, possibly a raw-string / byte-string prefix.
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            match text.as_str() {
+                "r" | "br" if matches!(chars.get(i), Some(&'"') | Some(&'#')) => {
+                    if chars.get(i) == Some(&'#')
+                        && chars
+                            .get(i + 1)
+                            .is_some_and(|&n| is_ident_start(n) && text == "r")
+                    {
+                        // Raw identifier `r#name`.
+                        i += 1;
+                        let rstart = i;
+                        while i < chars.len() && is_ident_continue(chars[i]) {
+                            i += 1;
+                        }
+                        let raw: String = chars[rstart..i].iter().collect();
+                        out.tokens.push(Token {
+                            tok: Tok::Ident(raw),
+                            line,
+                        });
+                    } else {
+                        skip_raw_string(&chars, &mut i, &mut line);
+                    }
+                }
+                "b" if chars.get(i) == Some(&'"') => {
+                    i += 1;
+                    skip_string_body(&chars, &mut i, &mut line);
+                }
+                "b" if chars.get(i) == Some(&'\'') => {
+                    // Byte char literal, e.g. b'x' or b'\n'.
+                    i += 1; // opening quote
+                    if chars.get(i) == Some(&'\\') {
+                        i += 1;
+                        if i < chars.len() {
+                            i += 1;
+                        }
+                    }
+                    while i < chars.len() && chars[i] != '\'' {
+                        bump!();
+                    }
+                    if i < chars.len() {
+                        i += 1;
+                    }
+                }
+                _ => out.tokens.push(Token {
+                    tok: Tok::Ident(text),
+                    line,
+                }),
+            }
+            continue;
+        }
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Skips a (non-raw) string body; `i` points just past the opening quote.
+fn skip_string_body(chars: &[char], i: &mut usize, line: &mut u32) {
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                *i += 1;
+                if *i < chars.len() {
+                    if chars[*i] == '\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+            }
+            '"' => {
+                *i += 1;
+                return;
+            }
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skips a raw string; `i` points at the first `#` or `"` after `r`/`br`.
+fn skip_raw_string(chars: &[char], i: &mut usize, line: &mut u32) {
+    let mut hashes = 0usize;
+    while chars.get(*i) == Some(&'#') {
+        hashes += 1;
+        *i += 1;
+    }
+    if chars.get(*i) != Some(&'"') {
+        return; // Not actually a raw string; be permissive.
+    }
+    *i += 1;
+    while *i < chars.len() {
+        if chars[*i] == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && chars.get(*i + 1 + matched) == Some(&'#') {
+                matched += 1;
+            }
+            if matched == hashes {
+                *i += 1 + hashes;
+                return;
+            }
+        }
+        if chars[*i] == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+    }
+}
+
+/// Skips a numeric literal starting at a digit.
+fn skip_number(chars: &[char], i: &mut usize) {
+    let mut prev = '0';
+    while *i < chars.len() {
+        let c = chars[*i];
+        let continues = c.is_ascii_alphanumeric()
+            || c == '_'
+            || (c == '.' && chars.get(*i + 1).is_some_and(|n| n.is_ascii_digit()))
+            || ((c == '+' || c == '-')
+                && (prev == 'e' || prev == 'E')
+                && chars.get(*i + 1).is_some_and(|n| n.is_ascii_digit()));
+        if !continues {
+            break;
+        }
+        prev = c;
+        *i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strips_strings_and_comments() {
+        let src = r##"
+// thread_rng in a comment
+/* thread_rng in /* a nested */ block */
+let s = "thread_rng in a string";
+let r = r#"thread_rng in a raw string"#;
+let c = 'x';
+let ok = real_ident;
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'q'; x }";
+        let ids = idents(src);
+        // The char literal body 'q' must not appear; the code after it must.
+        assert!(!ids.contains(&"q".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"first\nsecond\";\nlet marker = 1;";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker token present");
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1; // note one\n// note two\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].text.trim(), "note one");
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges_lex_cleanly() {
+        let src = "let x = 1.0e-3; for i in 0..10 { let y = 0xff_u64; }";
+        let lexed = lex(src);
+        // Two dots of the range survive as punctuation.
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("for")));
+    }
+
+    #[test]
+    fn byte_and_raw_literals() {
+        let src = "let a = b\"bytes thread_rng\"; let b = br#\"raw thread_rng\"#; let c = b'z'; let k = r#fn;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+    }
+}

@@ -1,0 +1,121 @@
+//! `autotune-lint`: a workspace determinism & numerical-robustness analyzer.
+//!
+//! The parallel `SessionExecutor` promises byte-identical reports at any
+//! thread count, and every experiment table is only trustworthy if tuner
+//! evaluations are pure and replayable. This crate enforces the invariants
+//! that property rests on, as token-level rules over the workspace's own
+//! sources (the workspace vendors no parser crates, so [`lexer`] is a small
+//! purpose-built lexer):
+//!
+//! | id | name | scope | what it catches |
+//! |----|------|-------|-----------------|
+//! | D1 | `unseeded-rng` | everywhere | `thread_rng` / `from_entropy` / `from_os_rng` |
+//! | D2 | `wall-clock` | `math`, `sim`, `tuners` src | `Instant::now`, `SystemTime::now` |
+//! | D3 | `hash-iter` | `core`, `tuners`, `bench` src | `HashMap` / `HashSet` (order hazard) |
+//! | D4 | `nan-ord` | everywhere | `partial_cmp(..).unwrap()` / `.expect(..)` |
+//! | D5 | `unwrap` | `core`, `math`, `sim`, `tuners` src | `.unwrap()` / `.expect(..)` |
+//!
+//! `#[cfg(test)]` items and `tests/` directories are exempt. Findings can be
+//! waived inline with a justified `lint:allow` comment (see [`suppress`]);
+//! a reason-less allow is itself reported (`A0 bare-allow`).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod fixtures;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+pub use report::{Finding, Report};
+pub use rules::scan_source;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "bench_results"];
+
+/// Recursively collects `.rs` files under `root`, workspace-relative and
+/// sorted for deterministic reports.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans every workspace source under `root` and returns the report.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = collect_sources(root)?;
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        findings.extend(rules::scan_source(&rel, &src));
+        scanned += 1;
+    }
+    Ok(Report::new(findings, scanned))
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`; falls back to `start` itself.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_skips_vendor_and_target() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        let files = collect_sources(&root).expect("workspace readable");
+        assert!(files.iter().all(|p| {
+            let rel = p.strip_prefix(&root).unwrap_or(p).to_string_lossy();
+            !rel.starts_with("vendor/") && !rel.starts_with("target/")
+        }));
+        assert!(files
+            .iter()
+            .any(|p| p.to_string_lossy().contains("crates/lint/src/lib.rs")));
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        assert!(root.join("crates").is_dir());
+    }
+}

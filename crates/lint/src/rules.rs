@@ -1,0 +1,374 @@
+//! The rule engine: `#[cfg(test)]` region masking and the token-stream
+//! matchers for rules D1–D5.
+
+use crate::config::{classify, rule_applies, FileCtx, RuleId};
+use crate::lexer::{lex, Token};
+use crate::report::Finding;
+use crate::suppress;
+
+/// Scans one file's source, returning suppressed-and-sorted findings.
+///
+/// `rel_path` is the workspace-relative path used both for crate
+/// classification and in the findings.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let Some(ctx) = classify(rel_path) else {
+        return Vec::new();
+    };
+    if ctx.is_test_source {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let mask = test_mask(&lexed.tokens);
+    let lines: Vec<&str> = src.lines().collect();
+
+    let mut raw: Vec<(RuleId, u32)> = Vec::new();
+    let claimed = match_nan_ord(&lexed.tokens, &mask, &mut raw, &ctx);
+    match_unseeded_rng(&lexed.tokens, &mask, &mut raw, &ctx);
+    match_wall_clock(&lexed.tokens, &mask, &mut raw, &ctx);
+    match_hash_iter(&lexed.tokens, &mask, &mut raw, &ctx);
+    match_unwrap(&lexed.tokens, &mask, &mut raw, &ctx, &claimed);
+
+    let findings = raw
+        .into_iter()
+        .map(|(rule, line)| Finding {
+            rule: rule.id().to_string(),
+            name: rule.name().to_string(),
+            file: rel_path.to_string(),
+            line,
+            snippet: lines
+                .get(line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+            message: rule.message().to_string(),
+        })
+        .collect();
+
+    let directives = suppress::parse_directives(&lexed.comments);
+    suppress::apply(findings, &directives, rel_path)
+}
+
+/// Marks token spans that belong to test-only items: anything annotated
+/// `#[test]` (or `#[foo::test]`-style) or `#[cfg(test)]` / `#[cfg(all(test,
+/// ...))]`. `#[cfg(not(test))]` is live production code and stays unmasked.
+/// An inner `#![cfg(test)]` masks the rest of the file.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![...]`.
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('['))
+        {
+            let (end, is_test) = read_attr(tokens, i + 3);
+            if is_test {
+                for m in mask.iter_mut().skip(i) {
+                    *m = true;
+                }
+                return mask;
+            }
+            i = end;
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let (mut end, mut is_test) = read_attr(tokens, i + 2);
+        // Collect any further attributes on the same item.
+        while tokens.get(end).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(end + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (next_end, next_test) = read_attr(tokens, end + 2);
+            is_test |= next_test;
+            end = next_end;
+        }
+        if !is_test {
+            i = end;
+            continue;
+        }
+        let item_end = skip_item(tokens, end);
+        for m in mask.iter_mut().take(item_end).skip(i) {
+            *m = true;
+        }
+        i = item_end;
+    }
+    mask
+}
+
+/// Reads an attribute body starting just after `[`; returns (index after the
+/// closing `]`, whether the attribute marks test-only code).
+fn read_attr(tokens: &[Token], start: usize) -> (usize, bool) {
+    let mut depth = 1usize; // brackets
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = start;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i].tok {
+            crate::lexer::Tok::Punct('[') => depth += 1,
+            crate::lexer::Tok::Punct(']') => depth -= 1,
+            crate::lexer::Tok::Ident(s) => idents.push(s.as_str()),
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        // `#[test]`, `#[tokio::test]`, ... — but not `#[cfg_attr(test, ..)]`.
+        Some(_) => idents.last() == Some(&"test"),
+        None => false,
+    };
+    (i, is_test)
+}
+
+/// Returns the index just past the item starting at `start`: either the
+/// matching `}` of its first brace block, or a `;` reached before any brace.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    let mut depth = 0usize;
+    let mut seen_brace = false;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+            seen_brace = true;
+        } else if tokens[i].is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if seen_brace && depth == 0 {
+                return i + 1;
+            }
+        } else if tokens[i].is_punct(';') && !seen_brace {
+            return i + 1;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// D1: entropy-based RNG construction.
+fn match_unseeded_rng(
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<(RuleId, u32)>,
+    ctx: &FileCtx,
+) {
+    if !rule_applies(RuleId::UnseededRng, ctx) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("from_os_rng") {
+            out.push((RuleId::UnseededRng, t.line));
+        }
+    }
+}
+
+/// D2: `Instant::now` / `SystemTime::now` in pure-evaluation crates.
+fn match_wall_clock(tokens: &[Token], mask: &[bool], out: &mut Vec<(RuleId, u32)>, ctx: &FileCtx) {
+    if !rule_applies(RuleId::WallClock, ctx) {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let is_clock_type = tokens[i].is_ident("Instant") || tokens[i].is_ident("SystemTime");
+        if is_clock_type
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push((RuleId::WallClock, tokens[i].line));
+        }
+    }
+}
+
+/// D3: `HashMap`/`HashSet` in report-feeding crates. The analyzer is
+/// type-blind, so it conservatively flags the container at its mention
+/// (import or construction): proving "never iterated" is exactly what the
+/// suppression reason is for.
+fn match_hash_iter(tokens: &[Token], mask: &[bool], out: &mut Vec<(RuleId, u32)>, ctx: &FileCtx) {
+    if !rule_applies(RuleId::HashIter, ctx) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push((RuleId::HashIter, t.line));
+        }
+    }
+}
+
+/// D4: `partial_cmp(...)` chained into `.unwrap()` / `.expect(...)`.
+/// Returns the token indices of the chained `unwrap`/`expect` idents so D5
+/// does not double-report them.
+fn match_nan_ord(
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<(RuleId, u32)>,
+    ctx: &FileCtx,
+) -> Vec<usize> {
+    let mut claimed = Vec::new();
+    let applies = rule_applies(RuleId::NanOrd, ctx);
+    for i in 0..tokens.len() {
+        if mask[i] || !tokens[i].is_ident("partial_cmp") {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Find the matching close paren.
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        // `j` is just past the close paren; look for `.unwrap` / `.expect`.
+        if tokens.get(j).is_some_and(|t| t.is_punct('.'))
+            && tokens
+                .get(j + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            claimed.push(j + 1);
+            if applies {
+                out.push((RuleId::NanOrd, tokens[i].line));
+            }
+        }
+    }
+    claimed
+}
+
+/// D5: `.unwrap()` / `.expect(...)` in library crates, excluding call sites
+/// already claimed by D4.
+fn match_unwrap(
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<(RuleId, u32)>,
+    ctx: &FileCtx,
+    claimed: &[usize],
+) {
+    if !rule_applies(RuleId::Unwrap, ctx) {
+        return;
+    }
+    for i in 1..tokens.len() {
+        if mask[i] || claimed.contains(&i) {
+            continue;
+        }
+        let is_call = (tokens[i].is_ident("unwrap") || tokens[i].is_ident("expect"))
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_call {
+            out.push((RuleId::Unwrap, tokens[i].line));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(String, u32)> {
+        scan_source(path, src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token present");
+        assert!(mask[unwrap_idx]);
+        let live_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .expect("live token present");
+        assert!(!mask[live_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_at("crates/core/src/x.rs", src),
+            vec![("D5".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn test_attr_masks_following_fn_only() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() { y.unwrap(); }\n";
+        assert_eq!(
+            rules_at("crates/core/src/x.rs", src),
+            vec![("D5".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn d4_claims_suppress_double_reporting() {
+        // One partial_cmp unwrap: D4 fires, D5 must not.
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert_eq!(
+            rules_at("crates/core/src/x.rs", src),
+            vec![("D4".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn d5_catches_plain_unwrap_but_not_unwrap_or() {
+        let src = "fn f() { a.unwrap(); b.unwrap_or(0); c.expect(\"msg\"); }\n";
+        assert_eq!(
+            rules_at("crates/tuners/src/x.rs", src),
+            vec![("D5".to_string(), 1), ("D5".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn d2_scopes_to_pure_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_at("crates/math/src/x.rs", src),
+            vec![("D2".to_string(), 1)]
+        );
+        assert!(rules_at("crates/core/src/x.rs", src).is_empty());
+        assert!(rules_at("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_applies_everywhere_outside_tests() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(
+            rules_at("crates/bench/src/bin/tool.rs", src),
+            vec![("D1".to_string(), 1)]
+        );
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { let r = rand::thread_rng(); } }\n";
+        assert!(rules_at("crates/bench/src/bin/tool.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_hash_containers_in_scope() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+        let found = rules_at("crates/bench/src/x.rs", src);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|(r, _)| r == "D3"));
+        assert!(rules_at("crates/math/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Fixture-based rule tests, JSON round-trip, workspace self-scan, and
+//! binary exit-code checks for `autotune-lint`.
+
+use std::path::Path;
+use std::process::Command;
+
+use autotune_lint::fixtures;
+use autotune_lint::{find_workspace_root, scan_source, scan_workspace, Report};
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+}
+
+#[test]
+fn fixtures_produce_expected_rules() {
+    for fx in fixtures::ALL {
+        let mut got: Vec<String> = scan_source(fx.path, fx.src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        got.sort();
+        assert_eq!(
+            got, fx.expect,
+            "fixture `{}` (scanned as {}) produced unexpected findings",
+            fx.label, fx.path
+        );
+    }
+}
+
+#[test]
+fn findings_carry_location_and_snippet() {
+    let findings = scan_source(fixtures::D4_BAD.path, fixtures::D4_BAD.src);
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    assert_eq!(f.file, fixtures::D4_BAD.path);
+    assert_eq!(f.line, 3);
+    assert!(f.snippet.contains("partial_cmp"));
+    assert_eq!(f.name, "nan-ord");
+}
+
+#[test]
+fn json_report_round_trips() {
+    let findings = scan_source(fixtures::D5_BAD.path, fixtures::D5_BAD.src);
+    let report = Report::new(findings, 1);
+    let back: Report = serde_json::from_str(&report.json()).expect("report JSON parses");
+    assert_eq!(back, report);
+    assert_eq!(back.findings.len(), 2);
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let report = scan_workspace(&workspace_root()).expect("workspace scans");
+    assert!(
+        report.is_clean(),
+        "workspace self-scan must be clean, found:\n{}",
+        report.human()
+    );
+    // Sanity: the scan actually visited the workspace, not an empty dir.
+    assert!(report.files_scanned > 100);
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_autotune-lint"))
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "expected clean exit, stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_bad_source() {
+    // Materialize one bad fixture into a throwaway workspace layout.
+    let dir = std::env::temp_dir().join(format!("autotune-lint-it-{}", std::process::id()));
+    let src_dir = dir.join("crates/tuners/src");
+    std::fs::create_dir_all(&src_dir).expect("temp dir");
+    std::fs::write(src_dir.join("fixture.rs"), fixtures::D1_BAD.src).expect("write fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_autotune-lint"))
+        .arg("--json")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1));
+    let report: Report =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("JSON output parses");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "D1");
+    assert_eq!(report.findings[0].file, "crates/tuners/src/fixture.rs");
+}

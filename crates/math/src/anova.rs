@@ -90,7 +90,7 @@ impl EffectDecomposition {
         self.interactions
             .iter()
             .map(|&(pair, e)| (pair, e.abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite effects"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Count of factors whose main effect explains at least `threshold`

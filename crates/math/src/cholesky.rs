@@ -21,6 +21,10 @@ impl Cholesky {
             return Err(LinAlgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
+        debug_assert!(
+            (0..n).all(|i| (0..n).all(|j| a[(i, j)].is_finite())),
+            "Cholesky::decompose fed a non-finite matrix entry"
+        );
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
@@ -88,6 +92,10 @@ impl Cholesky {
     pub fn extend(&mut self, row: &[f64], diag: f64) -> Result<(), LinAlgError> {
         let n = self.dim();
         assert_eq!(row.len(), n, "extend: length mismatch");
+        debug_assert!(
+            row.iter().all(|v| v.is_finite()) && diag.is_finite(),
+            "Cholesky::extend fed non-finite values"
+        );
         // New bottom row of L: forward substitution against the existing
         // factor, then the Schur-complement pivot.
         let mut new_row = vec![0.0; n + 1];

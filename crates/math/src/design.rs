@@ -43,6 +43,7 @@ impl TwoLevelDesign {
             return None;
         }
         let runs = pb_runs_for(factors)?;
+        // lint:allow(unwrap) pb_runs_for only returns run counts pb_generator covers
         let gen = pb_generator(runs).expect("generator exists for chosen runs");
         let width = runs - 1;
         let mut m = Matrix::zeros(runs, factors);
@@ -141,7 +142,7 @@ impl TwoLevelDesign {
             .enumerate()
             .map(|(i, e)| (i, e.abs()))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN effect"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked
     }
 }

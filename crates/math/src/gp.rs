@@ -119,6 +119,10 @@ impl GaussianProcess {
         for x in &xs {
             assert_eq!(x.len(), kernel.dim(), "GP fit: dim mismatch");
         }
+        debug_assert!(
+            xs.iter().flatten().all(|v| v.is_finite()) && ys.iter().all(|y| y.is_finite()),
+            "GP fit fed non-finite training data"
+        );
         let y_mean = mean(ys);
         let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
         let k = kernel.covariance(&xs);
@@ -129,6 +133,10 @@ impl GaussianProcess {
         let log_marginal = -0.5 * dot(&centred, &alpha)
             - 0.5 * chol.log_det()
             - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        debug_assert!(
+            log_marginal.is_finite(),
+            "GP log-marginal-likelihood is non-finite despite a successful factorization"
+        );
         Ok(GaussianProcess {
             kernel,
             xs,
@@ -167,6 +175,10 @@ impl GaussianProcess {
     /// model is left in its previous state.
     pub fn update(&mut self, x: Vec<f64>, y: f64) -> Result<(), LinAlgError> {
         assert_eq!(x.len(), self.kernel.dim(), "GP update: dim mismatch");
+        debug_assert!(
+            x.iter().all(|v| v.is_finite()) && y.is_finite(),
+            "GP update fed a non-finite observation"
+        );
         let row: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, &x)).collect();
         let diag = self.kernel.eval(&x, &x) + self.kernel.noise_variance + self.jitter;
         match self.chol.extend(&row, diag) {
@@ -199,6 +211,10 @@ impl GaussianProcess {
             ys.len(),
             self.xs.len(),
             "GP refresh_targets: length mismatch"
+        );
+        debug_assert!(
+            ys.iter().all(|y| y.is_finite()),
+            "GP refresh_targets fed non-finite targets"
         );
         self.ys = ys.to_vec();
         self.recompute_weights();
@@ -355,6 +371,24 @@ mod tests {
     use crate::lhs::latin_hypercube;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite training data")]
+    fn nan_targets_are_caught_at_fit_in_debug_builds() {
+        let kernel = Kernel::new(KernelKind::SquaredExponential, 1, 0.5);
+        let _ = GaussianProcess::fit(kernel, vec![vec![0.1], vec![0.9]], &[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite observation")]
+    fn nan_update_is_caught_in_debug_builds() {
+        let kernel = Kernel::new(KernelKind::SquaredExponential, 1, 0.5);
+        let mut gp =
+            GaussianProcess::fit(kernel, vec![vec![0.1], vec![0.9]], &[1.0, 2.0]).expect("fits");
+        let _ = gp.update(vec![0.5], f64::NAN);
+    }
 
     fn toy_function(x: &[f64]) -> f64 {
         (3.0 * x[0]).sin() + 0.5 * x[1]

@@ -140,6 +140,7 @@ pub fn kmeans(
             best = Some(r);
         }
     }
+    // lint:allow(unwrap) restarts.max(1) guarantees the loop body ran
     best.expect("at least one restart")
 }
 

@@ -193,15 +193,13 @@ pub fn rank_by_path(x: &Matrix, y: &[f64]) -> Vec<usize> {
             }
         }
     }
+    // lint:allow(unwrap) lars_path always emits at least the all-zero start point
     let final_coefs = &path.last().expect("non-empty path").coefficients;
     let mut order: Vec<usize> = (0..p).collect();
     order.sort_by(|&a, &b| {
-        entry_step[a].cmp(&entry_step[b]).then_with(|| {
-            final_coefs[b]
-                .abs()
-                .partial_cmp(&final_coefs[a].abs())
-                .expect("finite coefficients")
-        })
+        entry_step[a]
+            .cmp(&entry_step[b])
+            .then_with(|| final_coefs[b].abs().total_cmp(&final_coefs[a].abs()))
     });
     order
 }

@@ -127,6 +127,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
+        // lint:allow(unwrap) the constructor rejects zero-layer networks
         self.layers.last().expect("nonempty").biases.len()
     }
 
@@ -209,6 +210,7 @@ impl Mlp {
             let mut acts: Vec<Vec<f64>> = vec![x.clone()];
             let mut pres: Vec<Vec<f64>> = Vec::with_capacity(l);
             for (i, layer) in self.layers.iter().enumerate() {
+                // lint:allow(unwrap) acts is seeded with the input row above
                 let pre = layer.forward(acts.last().expect("nonempty"));
                 let act = if i == l - 1 {
                     pre.clone()
@@ -218,6 +220,7 @@ impl Mlp {
                 pres.push(pre);
                 acts.push(act);
             }
+            // lint:allow(unwrap) acts is seeded with the input row above
             let out = acts.last().expect("nonempty");
             // dL/dout for 1/2 squared error.
             let mut delta: Vec<f64> = out.iter().zip(target).map(|(o, t)| o - t).collect();

@@ -59,7 +59,7 @@ pub fn nelder_mead(
     }
 
     for _ in 0..max_iter {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN handled above"));
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let best = simplex[0].1;
         let worst = simplex[dim].1;
         if (worst - best).abs() <= tol * (1.0 + best.abs()) {
@@ -115,7 +115,7 @@ pub fn nelder_mead(
             }
         }
     }
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN handled above"));
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     OptResult {
         x: simplex[0].0.clone(),
         value: simplex[0].1,
@@ -155,6 +155,7 @@ pub fn nelder_mead_box(
             best = Some(r);
         }
     }
+    // lint:allow(unwrap) starts.max(1) guarantees the loop body ran
     best.expect("at least one start")
 }
 

@@ -74,7 +74,7 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymEigen, LinAlgErr
     }
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).expect("finite eigenvalues"));
+    order.sort_by(|&x, &y| diag[y].total_cmp(&diag[x]));
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (newcol, &oldcol) in order.iter().enumerate() {

@@ -155,11 +155,8 @@ impl ClusterSpec {
     pub fn slowest_node(&self) -> &NodeSpec {
         self.nodes
             .iter()
-            .min_by(|a, b| {
-                a.compute_rate()
-                    .partial_cmp(&b.compute_rate())
-                    .expect("finite rates")
-            })
+            .min_by(|a, b| a.compute_rate().total_cmp(&b.compute_rate()))
+            // lint:allow(unwrap) every ClusterSpec constructor builds >= 1 node
             .expect("non-empty cluster")
     }
 

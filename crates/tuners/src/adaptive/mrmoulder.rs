@@ -92,8 +92,7 @@ impl RecommendationRepository {
             .min_by(|a, b| {
                 a.signature
                     .distance2(signature)
-                    .partial_cmp(&b.signature.distance2(signature))
-                    .expect("finite distances")
+                    .total_cmp(&b.signature.distance2(signature))
             })
             .map(|e| &e.config)
     }

@@ -83,16 +83,14 @@ impl Tuner for TempoTuner {
         if ratios.len() < 2 {
             return config; // not a multi-tenant objective
         }
-        let (needy, needy_ratio) = ratios
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios"))
-            .expect("nonempty")
-            .clone();
-        let (donor, donor_ratio) = ratios
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios"))
-            .expect("nonempty")
-            .clone();
+        let Some((needy, needy_ratio)) = ratios.iter().max_by(|a, b| a.1.total_cmp(&b.1)).cloned()
+        else {
+            return config;
+        };
+        let Some((donor, donor_ratio)) = ratios.iter().min_by(|a, b| a.1.total_cmp(&b.1)).cloned()
+        else {
+            return config;
+        };
         // Converged: everyone within 5% of the same normalized ratio.
         if needy_ratio <= donor_ratio * 1.05 {
             self.current = Some(config.clone());

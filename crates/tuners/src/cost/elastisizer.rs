@@ -147,11 +147,7 @@ impl Elastisizer {
             });
             plans[i].pareto_optimal = !dominated;
         }
-        plans.sort_by(|a, b| {
-            a.predicted_secs
-                .partial_cmp(&b.predicted_secs)
-                .expect("finite predictions")
-        });
+        plans.sort_by(|a, b| a.predicted_secs.total_cmp(&b.predicted_secs));
         plans
     }
 
@@ -165,11 +161,7 @@ impl Elastisizer {
         self.enumerate(catalogue, node_counts)
             .into_iter()
             .filter(|p| p.predicted_secs <= deadline_secs)
-            .min_by(|a, b| {
-                a.predicted_cents
-                    .partial_cmp(&b.predicted_cents)
-                    .expect("finite costs")
-            })
+            .min_by(|a, b| a.predicted_cents.total_cmp(&b.predicted_cents))
     }
 }
 

@@ -195,7 +195,7 @@ impl PtcModel {
                 }
             }
         }
-        plans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+        plans.sort_by(|a, b| a.0.total_cmp(&b.0));
         plans.into_iter().map(|(_, c)| c).take(top).collect()
     }
 }

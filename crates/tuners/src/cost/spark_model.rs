@@ -157,7 +157,7 @@ impl Tuner for SparkCostTuner {
                     (model.predict(&c), c)
                 })
                 .collect();
-            scored.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite predictions"));
+            scored.sort_by(|x, y| x.0.total_cmp(&y.0));
             self.candidates = scored.into_iter().take(8).map(|(_, c)| c).collect();
             self.model = Some(model);
         }

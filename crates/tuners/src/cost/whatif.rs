@@ -223,7 +223,7 @@ impl WhatIfTuner {
                 (model.predict(&c), c)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored.into_iter().take(top).map(|(_, c)| c).collect()
     }
 }

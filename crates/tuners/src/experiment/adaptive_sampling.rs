@@ -51,7 +51,7 @@ impl AdaptiveSamplingTuner {
             .zip(ys)
             .map(|(xi, &yi)| (dist2(x, xi), yi))
             .collect();
-        d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        d.sort_by(|a, b| a.0.total_cmp(&b.0));
         let k = self.k.min(d.len()).max(1);
         let mut num = 0.0;
         let mut den = 0.0;

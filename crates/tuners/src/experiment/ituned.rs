@@ -173,7 +173,10 @@ impl Tuner for ITunedTuner {
         if self.ensure_surrogate(xs, &ys).is_err() {
             return ctx.space.random_config(rng); // degenerate data
         }
-        let gp = &self.cache.as_ref().expect("surrogate just ensured").gp;
+        let Some(cache) = self.cache.as_ref() else {
+            return ctx.space.random_config(rng); // unreachable: ensure_surrogate succeeded
+        };
+        let gp = &cache.gp;
         let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
 
         let anchors = best_anchors(history, &ctx.space, 3);

@@ -99,7 +99,11 @@ impl Tuner for SardTuner {
         if self.design.is_none() {
             self.design = TwoLevelDesign::plackett_burman(dim);
         }
-        let design = self.design.as_ref().expect("built above");
+        let Some(design) = self.design.as_ref() else {
+            // No Plackett-Burman generator covers this dimensionality;
+            // degrade to random search instead of panicking mid-benchmark.
+            return ctx.space.random_config(rng);
+        };
         let step = history.len();
         if step < design.runs() {
             // Screening phase: run the design rows in order.
@@ -111,7 +115,9 @@ impl Tuner for SardTuner {
         if self.ranking.is_none() {
             self.ranking = Some(Self::compute_ranking(design, ctx, history));
         }
-        let ranking = self.ranking.as_ref().expect("set above");
+        let Some(ranking) = self.ranking.as_ref() else {
+            return ctx.space.random_config(rng); // unreachable: assigned above
+        };
         let top: Vec<&str> = ranking.top_k(self.top_k);
         let base = history
             .best()
@@ -124,7 +130,9 @@ impl Tuner for SardTuner {
         let progress = (search_step as f64 / 30.0).min(1.0);
         let radius = 1.0 - 0.9 * progress;
         for name in top {
-            let idx = ctx.space.index_of(name).expect("ranked knob exists");
+            let Some(idx) = ctx.space.index_of(name) else {
+                continue; // ranking only names knobs of this space
+            };
             let center = point[idx];
             point[idx] = if radius >= 1.0 {
                 rng.random_range(0.0..1.0)

@@ -76,10 +76,9 @@ impl ErnestModel {
         (1..=max_machines.max(1))
             .min_by(|&a, &b| {
                 self.predict(1.0, a as f64)
-                    .partial_cmp(&self.predict(1.0, b as f64))
-                    .expect("finite predictions")
+                    .total_cmp(&self.predict(1.0, b as f64))
             })
-            .expect("non-empty range")
+            .unwrap_or(1)
     }
 
     /// Machine count minimizing predicted *cost* (machines × runtime) while
@@ -93,7 +92,7 @@ impl ErnestModel {
             .min_by(|&a, &b| {
                 let ca = a as f64 * self.predict(1.0, a as f64);
                 let cb = b as f64 * self.predict(1.0, b as f64);
-                ca.partial_cmp(&cb).expect("finite costs")
+                ca.total_cmp(&cb)
             })
             .unwrap_or(best)
     }
@@ -180,7 +179,9 @@ impl Tuner for ErnestTuner {
                 .collect();
             self.model = Some(ErnestModel::fit(&samples));
         }
-        let model = self.model.as_ref().expect("fitted above");
+        let Some(model) = self.model.as_ref() else {
+            return base; // unreachable: fitted above
+        };
         let max_m = ctx
             .space
             .spec("executor_instances")

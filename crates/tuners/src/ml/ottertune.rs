@@ -72,6 +72,7 @@ impl WorkloadRepository {
     /// Serializes the repository to JSON (for persistence across tuning
     /// services — OtterTune's repository is its long-term asset).
     pub fn to_json(&self) -> String {
+        // lint:allow(unwrap) serializing a plain in-memory data struct cannot fail
         serde_json::to_string(self).expect("repository serializes")
     }
 
@@ -193,7 +194,7 @@ fn workload_distance(
         let nearest = candidate.observations.iter().min_by(|a, b| {
             let da = dist2(&space.encode(&a.config), &tx);
             let db = dist2(&space.encode(&b.config), &tx);
-            da.partial_cmp(&db).expect("finite distances")
+            da.total_cmp(&db)
         });
         let Some(near) = nearest else { continue };
         let mut d = 0.0;
@@ -397,12 +398,9 @@ impl Tuner for OtterTuneTuner {
             _ => false,
         };
         if cache_ok {
-            self.cache
-                .as_mut()
-                .expect("cache_ok implies cache")
-                .inner
-                .gp
-                .refresh_targets(&ys);
+            if let Some(c) = self.cache.as_mut() {
+                c.inner.gp.refresh_targets(&ys);
+            }
         } else {
             match GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys) {
                 Ok(gp) => {
@@ -415,12 +413,10 @@ impl Tuner for OtterTuneTuner {
                 Err(_) => return ctx.space.random_config(rng),
             }
         }
-        let gp = &self
-            .cache
-            .as_ref()
-            .expect("surrogate just ensured")
-            .inner
-            .gp;
+        let Some(cache) = self.cache.as_ref() else {
+            return ctx.space.random_config(rng); // unreachable: ensured above
+        };
+        let gp = &cache.inner.gp;
         let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
 
         // Candidate pool: (a) random points varying only the top knobs
@@ -435,11 +431,7 @@ impl Tuner for OtterTuneTuner {
         if let Some(mi) = mapped {
             let mut obs: Vec<&Observation> =
                 self.repository.workloads[mi].observations.iter().collect();
-            obs.sort_by(|a, b| {
-                a.runtime_secs
-                    .partial_cmp(&b.runtime_secs)
-                    .expect("finite runtimes")
-            });
+            obs.sort_by(|a, b| a.runtime_secs.total_cmp(&b.runtime_secs));
             for o in obs.iter().take(3) {
                 anchors.push(ctx.space.encode(&o.config));
             }

@@ -70,6 +70,7 @@ impl ParallelismModel {
         let fits = (0..TARGET_KNOBS.len())
             .map(|k| {
                 let y: Vec<f64> = examples.iter().map(|e| e.targets[k]).collect();
+                // lint:allow(unwrap) the 1e-3 ridge jitter keeps the normal equations SPD
                 ridge(&x, &y, 1e-3).expect("ridge solvable with jitter")
             })
             .collect();

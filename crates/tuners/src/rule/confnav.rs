@@ -77,7 +77,9 @@ impl ConfNavTuner {
         let ranking = self.ranking(ctx, history);
         let default_rt = obs[0].runtime_secs;
         for name in ranking.top_k(self.top_k) {
-            let i = ctx.space.index_of(name).expect("ranked knob exists");
+            let Some(i) = ctx.space.index_of(name) else {
+                continue; // ranking only names knobs of this space
+            };
             let lo_idx = 1 + 2 * i;
             let hi_idx = lo_idx + 1;
             if hi_idx >= obs.len() {

@@ -166,11 +166,7 @@ pub fn diagnose_dbms(obs: &Observation) -> Vec<Finding> {
             diagnosis: "plans deviate from optimal; collect richer statistics".into(),
         });
     }
-    findings.sort_by(|a, b| {
-        b.impact_secs
-            .partial_cmp(&a.impact_secs)
-            .expect("finite impacts")
-    });
+    findings.sort_by(|a, b| b.impact_secs.total_cmp(&a.impact_secs));
     findings
 }
 

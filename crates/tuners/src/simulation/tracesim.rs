@@ -152,7 +152,7 @@ impl<S: ShadowSimulator> SimulationSearchTuner<S> {
             }
             pool.push((v, neighbor));
         }
-        pool.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite shadow predictions"));
+        pool.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut out: Vec<Configuration> = Vec::new();
         for (_, c) in pool {
             if !out.contains(&c) {

@@ -88,11 +88,7 @@ pub fn candidate_pool(
 /// Unit-cube encodings of the `k` best (lowest-runtime) observations.
 pub fn best_anchors(history: &History, space: &ConfigSpace, k: usize) -> Vec<Vec<f64>> {
     let mut obs: Vec<_> = history.all().iter().collect();
-    obs.sort_by(|a, b| {
-        a.runtime_secs
-            .partial_cmp(&b.runtime_secs)
-            .expect("finite runtimes")
-    });
+    obs.sort_by(|a, b| a.runtime_secs.total_cmp(&b.runtime_secs));
     obs.iter()
         .take(k)
         .map(|o| space.encode(&o.config))
