@@ -1,0 +1,87 @@
+//! The surrogate hot path under Criterion: per-point `predict` vs
+//! `predict_batch` over an acquisition-sized candidate pool, the
+//! mean-only fast path, and the pair-cached hyper-parameter search.
+
+use autotune_math::gp::{GaussianProcess, Kernel, KernelKind};
+use autotune_math::lhs::latin_hypercube;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const DIM: usize = 8;
+
+fn fitted_gp(n: usize, rng: &mut StdRng) -> GaussianProcess {
+    let mut kernel = Kernel::new(KernelKind::Matern52, DIM, 0.4);
+    for (d, l) in kernel.length_scales.iter_mut().enumerate() {
+        *l = 0.25 + 0.1 * d as f64;
+    }
+    kernel.noise_variance = 1e-4;
+    let xs = latin_hypercube(n, DIM, rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(d, v)| (v * (1.0 + d as f64)).sin())
+                .sum()
+        })
+        .collect();
+    GaussianProcess::fit(kernel, xs, &ys).expect("synthetic GP fits")
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let gp = fitted_gp(200, &mut rng);
+    let pool = latin_hypercube(400, DIM, &mut rng);
+
+    let mut group = c.benchmark_group("gp_pool_scoring_n200_pool400");
+    group.sample_size(20);
+    group.bench_function("per_point_predict", |b| {
+        b.iter(|| {
+            pool.iter()
+                .map(|p| black_box(gp.predict(p)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("predict_batch", |b| {
+        b.iter(|| black_box(gp.predict_batch(&pool)))
+    });
+    group.bench_function("expected_improvement_batch", |b| {
+        b.iter(|| black_box(gp.expected_improvement_batch(&pool, 0.0, 0.01)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("gp_mean_only_n200");
+    group.sample_size(20);
+    let q = vec![0.5; DIM];
+    group.bench_function("predict_full", |b| b.iter(|| black_box(gp.predict(&q))));
+    group.bench_function("predict_mean", |b| {
+        b.iter(|| black_box(gp.predict_mean(&q)))
+    });
+    group.finish();
+}
+
+fn bench_hyper_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let xs = latin_hypercube(60, DIM, &mut rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| (3.0 * v).sin()).sum())
+        .collect();
+
+    let mut group = c.benchmark_group("gp_hyper_search_n60");
+    group.sample_size(10);
+    group.bench_function("fit_auto", |b| {
+        b.iter(|| {
+            black_box(
+                GaussianProcess::fit_auto(KernelKind::Matern52, xs.clone(), &ys)
+                    .expect("fit_auto succeeds"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_hyper_search);
+criterion_main!(benches);

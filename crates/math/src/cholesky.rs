@@ -153,6 +153,134 @@ impl Cholesky {
         y
     }
 
+    /// Solves `L Y = B` for many right-hand sides at once (forward
+    /// substitution over an `n × m` matrix whose columns are the RHS
+    /// vectors).
+    ///
+    /// The multi-RHS layout turns the per-column dot products into
+    /// contiguous row operations: each factor element `L[i][k]` is loaded
+    /// once and applied across a whole block of columns, which is what
+    /// makes batched GP variance computation a matmul-shaped kernel
+    /// instead of `m` dependent scalar solves. Columns are processed in
+    /// fixed-size blocks so the active rows of `Y` stay cache-resident
+    /// next to `L`.
+    ///
+    /// **Determinism contract:** column `j` of the result is bitwise
+    /// identical to `solve_lower(column j of B)` — the blocking reorders
+    /// work across columns, never the accumulation order within one.
+    pub fn solve_lower_multi(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "solve_lower_multi: row-count mismatch");
+        let m = b.cols();
+        if m == 0 {
+            return b.clone();
+        }
+        let mut y: Vec<f64> = b.data().to_vec();
+        self.solve_lower_multi_in_place(&mut y, m);
+        Matrix::from_vec(n, m, y)
+    }
+
+    /// In-place core of [`Cholesky::solve_lower_multi`]: `y` holds the
+    /// `n × m` right-hand sides row-major on entry and the solved columns
+    /// on exit. Callers that score pools repeatedly reuse one buffer here
+    /// instead of paying a fresh multi-hundred-KB allocation (and its page
+    /// faults) per call.
+    pub(crate) fn solve_lower_multi_in_place(&self, y: &mut [f64], m: usize) {
+        let n = self.dim();
+        assert_eq!(y.len(), n * m, "solve_lower_multi: buffer size mismatch");
+        if m == 0 {
+            return;
+        }
+        // Column blocks keep the active slices of `Y` cache-resident; row
+        // panels let each solved row `y_k` be loaded once and applied to a
+        // whole panel of later rows (GEMM-style reuse) instead of being
+        // re-streamed for every single row `i > k`. Neither blocking
+        // changes the ascending-`k` update sequence any individual entry
+        // sees.
+        const JB: usize = 64;
+        const IB: usize = 16;
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + JB).min(m);
+            let mut i0 = 0;
+            while i0 < n {
+                let i1 = (i0 + IB).min(n);
+                // Panel update from fully solved rows k < i0, as 4×8
+                // register-blocked micro-tiles: four output rows ride in
+                // registers across the whole k sweep, so each solved row
+                // is loaded once per tile instead of every output row
+                // being re-loaded and re-stored per k. Row and column
+                // remainders fall back to 1×8 tiles and row updates; per
+                // output element the k's always arrive in ascending order.
+                let (solved, panel) = y.split_at_mut(i0 * m);
+                let mut jt = j0;
+                while jt + 8 <= j1 {
+                    let mut i = i0;
+                    while i + 4 <= i1 {
+                        let mut acc = [[0.0f64; 8]; 4];
+                        for (r, row) in acc.iter_mut().enumerate() {
+                            let off = (i + r - i0) * m + jt;
+                            row.copy_from_slice(&panel[off..off + 8]);
+                        }
+                        crate::simd::trsm4x8(
+                            [
+                                &self.l.row(i)[..i0],
+                                &self.l.row(i + 1)[..i0],
+                                &self.l.row(i + 2)[..i0],
+                                &self.l.row(i + 3)[..i0],
+                            ],
+                            solved,
+                            m,
+                            jt,
+                            &mut acc,
+                        );
+                        for (r, row) in acc.iter().enumerate() {
+                            let off = (i + r - i0) * m + jt;
+                            panel[off..off + 8].copy_from_slice(row);
+                        }
+                        i += 4;
+                    }
+                    while i < i1 {
+                        let off = (i - i0) * m + jt;
+                        let mut acc = [0.0f64; 8];
+                        acc.copy_from_slice(&panel[off..off + 8]);
+                        crate::simd::trsm1x8(&self.l.row(i)[..i0], solved, m, jt, &mut acc);
+                        panel[off..off + 8].copy_from_slice(&acc);
+                        i += 1;
+                    }
+                    jt += 8;
+                }
+                if jt < j1 {
+                    for k in 0..i0 {
+                        let krow = &solved[k * m + jt..k * m + j1];
+                        for i in i0..i1 {
+                            let lik = self.l[(i, k)];
+                            let yrow = &mut panel[(i - i0) * m + jt..(i - i0) * m + j1];
+                            crate::simd::axpy_sub(lik, krow, yrow);
+                        }
+                    }
+                }
+                // Triangular tail inside the panel: k in i0..i (still
+                // ascending), then the diagonal divide.
+                for i in i0..i1 {
+                    let (above, rest) = panel.split_at_mut((i - i0) * m);
+                    let yrow = &mut rest[j0..j1];
+                    for k in i0..i {
+                        let lik = self.l[(i, k)];
+                        let krow = &above[(k - i0) * m + j0..(k - i0) * m + j1];
+                        crate::simd::axpy_sub(lik, krow, yrow);
+                    }
+                    let d = self.l[(i, i)];
+                    for yv in yrow.iter_mut() {
+                        *yv /= d;
+                    }
+                }
+                i0 = i1;
+            }
+            j0 = j1;
+        }
+    }
+
     /// Solves `L^T x = y` (backward substitution).
     pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
         let n = self.dim();
@@ -410,6 +538,38 @@ mod tests {
         for (a, b) in x1.iter().zip(&x2) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn solve_lower_multi_matches_per_column_bitwise() {
+        // Kernel-like SPD system, RHS counts straddling the 64-column
+        // block boundary.
+        let pts: Vec<f64> = (0..20).map(|i| i as f64 * 0.23).collect();
+        let cov =
+            |x: f64, y: f64| (-0.4 * (x - y) * (x - y)).exp() + if x == y { 0.05 } else { 0.0 };
+        let a = Matrix::from_fn(20, 20, |i, j| cov(pts[i], pts[j]));
+        let c = Cholesky::decompose(&a).unwrap();
+        for m in [1usize, 3, 63, 64, 65, 130] {
+            let b = Matrix::from_fn(20, m, |i, j| ((i * 31 + j * 7) as f64 * 0.713).sin());
+            let multi = c.solve_lower_multi(&b);
+            for j in 0..m {
+                let col = c.solve_lower(&b.col(j));
+                for i in 0..20 {
+                    assert_eq!(
+                        multi[(i, j)].to_bits(),
+                        col[i].to_bits(),
+                        "entry ({i},{j}) of m={m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_multi_empty_rhs() {
+        let c = Cholesky::decompose(&spd_example()).unwrap();
+        let out = c.solve_lower_multi(&Matrix::zeros(3, 0));
+        assert_eq!(out.shape(), (3, 0));
     }
 
     #[test]

@@ -67,7 +67,13 @@ impl Kernel {
 
     /// Covariance between two points (noise excluded).
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r2 = self.r2(a, b);
+        self.value_from_r2(self.r2(a, b))
+    }
+
+    /// Kernel value from a scaled squared distance. The single shared tail
+    /// of every evaluation path (direct, cached-difference, batched), so
+    /// they cannot drift apart numerically.
+    fn value_from_r2(&self, r2: f64) -> f64 {
         let base = match self.kind {
             KernelKind::SquaredExponential => (-0.5 * r2).exp(),
             KernelKind::Matern52 => {
@@ -77,6 +83,115 @@ impl Kernel {
             }
         };
         self.signal_variance * base
+    }
+
+    /// Kernel value from precomputed raw per-dimension differences
+    /// `a_d - b_d` (the hyper-search pair cache stores these). The scaled
+    /// squared distance is accumulated in the same dimension order with the
+    /// same divide-square-sum sequence as [`Kernel::r2`], so the result is
+    /// bit-identical to `eval(a, b)`.
+    fn eval_diffs(&self, diffs: &[f64]) -> f64 {
+        debug_assert_eq!(diffs.len(), self.dim());
+        let r2: f64 = diffs
+            .iter()
+            .zip(&self.length_scales)
+            .map(|(d, l)| {
+                let t = d / l;
+                t * t
+            })
+            .sum();
+        self.value_from_r2(r2)
+    }
+
+    /// Cross-covariance between a training set (rows) and a query pool
+    /// (columns): the `n × m` matrix with entry `(i, j) = eval(xs[i],
+    /// queries[j])`, noise excluded. Column `j` is exactly the `k*` vector
+    /// [`GaussianProcess::predict`] builds for `queries[j]`, entry for
+    /// entry.
+    pub fn cross_covariance(&self, xs: &[Vec<f64>], queries: &[Vec<f64>]) -> Matrix {
+        let (n, m) = (xs.len(), queries.len());
+        let mut scratch = CrossCovScratch::default();
+        let mut out = vec![0.0f64; n * m];
+        self.cross_covariance_rows(xs, queries, &mut scratch, &mut out);
+        Matrix::from_vec(n, m, out)
+    }
+
+    /// Core of [`Kernel::cross_covariance`] writing into caller-owned
+    /// buffers (`out` is the row-major `n × m` result, fully overwritten)
+    /// so repeated pool scoring can reuse one allocation instead of paying
+    /// a fresh multi-hundred-KB one — and its page faults — per call.
+    ///
+    /// Query coordinates are transposed to dimension-major so the scaled
+    /// squared distances accumulate across whole rows. Each entry's r2 is
+    /// built with the same per-dimension subtract-divide-square operations,
+    /// in the same ascending-dimension order, as [`Kernel::r2`] — only the
+    /// loop nest differs, so the values are bit-identical to per-point
+    /// `eval`.
+    pub(crate) fn cross_covariance_rows(
+        &self,
+        xs: &[Vec<f64>],
+        queries: &[Vec<f64>],
+        scratch: &mut CrossCovScratch,
+        out: &mut [f64],
+    ) {
+        let (n, m) = (xs.len(), queries.len());
+        assert_eq!(out.len(), n * m, "cross_covariance: output size mismatch");
+        if n == 0 || m == 0 {
+            return;
+        }
+        let dim = self.dim();
+        let qt = &mut scratch.qt;
+        qt.resize(dim * m, 0.0);
+        for (j, q) in queries.iter().enumerate() {
+            debug_assert_eq!(q.len(), dim);
+            for (d, &v) in q.iter().enumerate() {
+                qt[d * m + j] = v;
+            }
+        }
+        scratch.r2.resize(m, 0.0);
+        scratch.row.resize(m, 0.0);
+        for (i, x) in xs.iter().enumerate() {
+            debug_assert_eq!(x.len(), dim);
+            scratch.r2.iter_mut().for_each(|v| *v = 0.0);
+            for (d, (&xd, &l)) in x.iter().zip(&self.length_scales).enumerate() {
+                let qrow = &qt[d * m..(d + 1) * m];
+                crate::simd::scaled_sq_accum(xd, l, qrow, &mut scratch.r2);
+            }
+            self.fill_row_from_r2(&scratch.r2, &mut scratch.row, &mut out[i * m..(i + 1) * m]);
+        }
+    }
+
+    /// Fills `out[j] = value_from_r2(r2[j])` for a whole row. The algebraic
+    /// passes (sqrt, polynomial, final scale) run as vectorizable row
+    /// sweeps while `exp` stays the scalar libm call; each element's
+    /// operation tree is exactly that of [`Kernel::value_from_r2`], so every
+    /// entry is bit-identical to the per-point path.
+    fn fill_row_from_r2(&self, r2: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        debug_assert_eq!(r2.len(), out.len());
+        debug_assert_eq!(r2.len(), scratch.len());
+        match self.kind {
+            KernelKind::SquaredExponential => {
+                for (slot, &v) in out.iter_mut().zip(r2) {
+                    *slot = -0.5 * v;
+                }
+                for slot in out.iter_mut() {
+                    *slot = self.signal_variance * slot.exp();
+                }
+            }
+            KernelKind::Matern52 => {
+                // `(5.0f64).sqrt()` is the same value every value_from_r2 call
+                // computes; hoisting it changes nothing per element.
+                let sqrt5 = (5.0f64).sqrt();
+                for ((sj, pj), &v) in scratch.iter_mut().zip(out.iter_mut()).zip(r2) {
+                    let s = sqrt5 * v.sqrt();
+                    *sj = s;
+                    *pj = 1.0 + s + 5.0 * v / 3.0;
+                }
+                for (slot, &s) in out.iter_mut().zip(scratch.iter()) {
+                    *slot = self.signal_variance * (*slot * (-s).exp());
+                }
+            }
+        }
     }
 
     /// Full covariance matrix over a point set, noise added on diagonal.
@@ -93,6 +208,119 @@ impl Kernel {
         k.add_diagonal_mut(self.noise_variance);
         k
     }
+}
+
+/// Reusable buffers for [`Kernel::cross_covariance_rows`]: the
+/// dimension-major query transpose plus the per-row r2/output scratch.
+#[derive(Default)]
+pub(crate) struct CrossCovScratch {
+    qt: Vec<f64>,
+    r2: Vec<f64>,
+    row: Vec<f64>,
+}
+
+/// Raw per-dimension differences for every training pair `i < j`, computed
+/// once per hyper-parameter search. Each length-scale/noise candidate
+/// rebuilds its covariance by rescaling these differences instead of
+/// re-reading the `n × d` training matrix, hoisting the subtraction out of
+/// the `O(n² · d)` inner loop of every marginal-likelihood evaluation.
+///
+/// Determinism contract: the stored difference for pair `(i, j)` is the
+/// same `x_i[d] - x_j[d]` subtraction [`Kernel::r2`] performs, and
+/// [`Kernel::eval_diffs`] consumes it with the identical
+/// divide-square-sum sequence, so a covariance built from the cache is
+/// bit-identical to [`Kernel::covariance`]. (The ‖a‖² + ‖b‖² − 2a·b
+/// expansion would be faster still, but rounds differently — it would
+/// silently perturb every seeded tuner trajectory.)
+struct PairwiseDiffs {
+    n: usize,
+    dim: usize,
+    /// Pair `(i, j)`, `i < j`, in lexicographic order; `dim` values each.
+    diffs: Vec<f64>,
+}
+
+impl PairwiseDiffs {
+    fn new(xs: &[Vec<f64>]) -> Self {
+        let n = xs.len();
+        let dim = xs.first().map_or(0, Vec::len);
+        let mut diffs = Vec::with_capacity(n * n.saturating_sub(1) / 2 * dim);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                diffs.extend(xs[i].iter().zip(&xs[j]).map(|(a, b)| a - b));
+            }
+        }
+        PairwiseDiffs { n, dim, diffs }
+    }
+
+    /// Writes the covariance matrix for `kernel` over the cached training
+    /// set into `out` (noise added on the diagonal), overwriting every
+    /// entry. Bit-identical to `kernel.covariance(xs)`: off-diagonals go
+    /// through the shared `value_from_r2` tail, and the diagonal `eval(x, x)`
+    /// is exactly `signal_variance` for both kernel kinds (`x - x` is
+    /// `+0.0`, and `exp(-0.0) == 1.0`), to which `add_diagonal_mut` adds
+    /// the noise — reproduced here as one `sv + nv` addition.
+    fn covariance_into(&self, kernel: &Kernel, out: &mut Matrix) {
+        debug_assert_eq!(kernel.dim(), self.dim);
+        debug_assert_eq!(out.shape(), (self.n, self.n));
+        let diag = kernel.signal_variance + kernel.noise_variance;
+        let mut p = 0;
+        for i in 0..self.n {
+            out[(i, i)] = diag;
+            for j in (i + 1)..self.n {
+                let v = kernel.eval_diffs(&self.diffs[p..p + self.dim]);
+                out[(i, j)] = v;
+                out[(j, i)] = v;
+                p += self.dim;
+            }
+        }
+    }
+}
+
+/// `-log p(y | X, θ)` for one hyper-parameter candidate, evaluated through
+/// the pair cache: the exact negated value [`GaussianProcess::fit`] would
+/// store in `log_marginal` for this kernel, but with the pairwise
+/// differences and the centred targets hoisted out of the search loop.
+/// `scratch` is an `n × n` buffer reused across calls. Returns `None`
+/// where `fit` would return a factorization error.
+fn neg_log_marginal(
+    kernel: &Kernel,
+    cache: &PairwiseDiffs,
+    centred: &[f64],
+    scratch: &mut Matrix,
+) -> Option<f64> {
+    cache.covariance_into(kernel, scratch);
+    let (chol, _jitter) = Cholesky::decompose_with_jitter(scratch, 1e-10, 12).ok()?;
+    let alpha = chol.solve(centred);
+    let n = centred.len() as f64;
+    let lml = -0.5 * dot(centred, &alpha)
+        - 0.5 * chol.log_det()
+        - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+    debug_assert!(
+        lml.is_finite(),
+        "GP log-marginal-likelihood is non-finite despite a successful factorization"
+    );
+    Some(-lml)
+}
+
+/// Per-thread buffers for [`GaussianProcess::predict_batch`]. Pool scoring
+/// runs every tuner iteration with the same shapes, so the `n × m`
+/// cross-covariance and solve buffers (easily hundreds of KB) are kept
+/// warm per thread instead of being reallocated — and page-faulted back
+/// in — on every call. Each buffer is fully overwritten before use, so
+/// reuse never changes a value; per-thread storage keeps the chunked
+/// parallel scoring path allocation-free as well.
+#[derive(Default)]
+struct BatchScratch {
+    cross: CrossCovScratch,
+    kstar: Vec<f64>,
+    v: Vec<f64>,
+    mu: Vec<f64>,
+    vv: Vec<f64>,
+}
+
+thread_local! {
+    static BATCH_SCRATCH: std::cell::RefCell<BatchScratch> =
+        std::cell::RefCell::new(BatchScratch::default());
 }
 
 /// A fitted Gaussian-process regressor.
@@ -228,17 +456,21 @@ impl GaussianProcess {
         assert!(!xs.is_empty());
         let dim = xs[0].len();
         let y_sd = std_dev(ys).max(1e-6);
-        let objective = |theta: &[f64]| -> f64 {
+        // Pairwise differences and centred targets are
+        // hyper-parameter-independent: compute them once, outside the
+        // search, and let the objective reuse one covariance buffer.
+        let cache = PairwiseDiffs::new(&xs);
+        let y_mean = mean(ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let mut scratch = Matrix::zeros(xs.len(), xs.len());
+        let mut objective = |theta: &[f64]| -> f64 {
             let ls = theta[0].exp().clamp(1e-3, 1e3);
             let sv = theta[1].exp().clamp(1e-8, 1e6);
             let nv = theta[2].exp().clamp(1e-10, 1e4);
             let mut k = Kernel::new(kind, dim, ls);
             k.signal_variance = sv;
             k.noise_variance = nv;
-            match GaussianProcess::fit(k, xs.clone(), ys) {
-                Ok(gp) => -gp.log_marginal,
-                Err(_) => f64::INFINITY,
-            }
+            neg_log_marginal(&k, &cache, &centred, &mut scratch).unwrap_or(f64::INFINITY)
         };
         // Three deterministic starts spanning short/medium/long correlation.
         let starts = [
@@ -253,7 +485,7 @@ impl GaussianProcess {
         let mut best: Option<Vec<f64>> = None;
         let mut best_v = f64::INFINITY;
         for s in &starts {
-            let r = nelder_mead(objective, s, 0.4, 120, 1e-7);
+            let r = nelder_mead(&mut objective, s, 0.4, 120, 1e-7);
             if r.value < best_v {
                 best_v = r.value;
                 best = Some(r.x);
@@ -281,6 +513,10 @@ impl GaussianProcess {
         let dim = iso.kernel.dim();
         let mut kernel = iso.kernel.clone();
         let mut best_lml = iso.log_marginal;
+        let cache = PairwiseDiffs::new(&xs);
+        let y_mean = mean(ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let mut scratch = Matrix::zeros(xs.len(), xs.len());
         // Coordinate descent: each dimension tries a few multiplicative
         // adjustments of its length scale, keeping improvements.
         for _sweep in 0..2 {
@@ -289,9 +525,9 @@ impl GaussianProcess {
                 for factor in [0.25, 0.5, 2.0, 4.0] {
                     let mut k = kernel.clone();
                     k.length_scales[d] = (current * factor).clamp(1e-3, 1e3);
-                    if let Ok(gp) = GaussianProcess::fit(k.clone(), xs.clone(), ys) {
-                        if gp.log_marginal > best_lml {
-                            best_lml = gp.log_marginal;
+                    if let Some(neg) = neg_log_marginal(&k, &cache, &centred, &mut scratch) {
+                        if -neg > best_lml {
+                            best_lml = -neg;
                             kernel = k;
                         }
                     }
@@ -319,9 +555,78 @@ impl GaussianProcess {
         (mu, var)
     }
 
-    /// Predictive mean only.
+    /// Predictive mean only: the kernel row and one dot product against
+    /// the precomputed weights — `O(n·d)`, skipping the `O(n²)` triangular
+    /// solve that only the variance needs. Bit-identical to `predict(x).0`.
     pub fn predict_mean(&self, x: &[f64]) -> f64 {
-        self.predict(x).0
+        assert_eq!(x.len(), self.kernel.dim(), "GP predict: dim mismatch");
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        self.y_mean + dot(&kstar, &self.alpha)
+    }
+
+    /// Predictive mean and variance for a whole query pool at once.
+    ///
+    /// Builds the `n × m` cross-covariance once, takes all means from a
+    /// single streaming pass against `alpha`, and all variances from one
+    /// multi-RHS blocked forward solve ([`Cholesky::solve_lower_multi`]).
+    /// Each output pair is **bit-identical** to `predict(&queries[j])`:
+    /// the per-entry kernel arithmetic, the per-column solve order, and the
+    /// ascending-`i` accumulation of both dot products match the scalar
+    /// path operation for operation (see DESIGN.md, "Batched GP
+    /// inference").
+    pub fn predict_batch(&self, queries: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        for q in queries {
+            assert_eq!(q.len(), self.kernel.dim(), "GP predict: dim mismatch");
+        }
+        let n = self.xs.len();
+        let m = queries.len();
+        // The n×m cross-covariance and solve buffers are thread-local and
+        // persist across calls: pool scoring runs every tuner iteration,
+        // and re-allocating (and re-faulting) hundreds of KB per call
+        // costs more than the arithmetic it feeds. Buffer reuse changes
+        // no values — every entry is fully overwritten.
+        BATCH_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.kstar.resize(n * m, 0.0);
+            self.kernel
+                .cross_covariance_rows(&self.xs, queries, &mut s.cross, &mut s.kstar);
+            // Means: accumulate dot(k*_j, alpha) for every column j in one
+            // pass over the rows; ascending-i accumulation from 0.0
+            // matches `dot`.
+            s.mu.resize(m, 0.0);
+            s.mu.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..n {
+                let ai = self.alpha[i];
+                for (acc, &kv) in s.mu.iter_mut().zip(&s.kstar[i * m..(i + 1) * m]) {
+                    *acc += kv * ai;
+                }
+            }
+            // Variances: v_j = L⁻¹ k*_j for all columns at once, then the
+            // column-wise squared norms, again accumulated in ascending i.
+            s.v.clear();
+            s.v.extend_from_slice(&s.kstar);
+            self.chol.solve_lower_multi_in_place(&mut s.v, m);
+            s.vv.resize(m, 0.0);
+            s.vv.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..n {
+                for (acc, &val) in s.vv.iter_mut().zip(&s.v[i * m..(i + 1) * m]) {
+                    *acc += val * val;
+                }
+            }
+            queries
+                .iter()
+                .enumerate()
+                .map(|(j, q)| {
+                    let mu = self.y_mean + s.mu[j];
+                    let var =
+                        (self.kernel.eval(q, q) + self.kernel.noise_variance - s.vv[j]).max(0.0);
+                    (mu, var)
+                })
+                .collect()
+        })
     }
 
     /// Log marginal likelihood of the fit.
@@ -344,10 +649,9 @@ impl GaussianProcess {
         &self.ys
     }
 
-    /// Expected Improvement for *minimization* at `x`, given the incumbent
-    /// best observed value `y_best` and an exploration jitter `xi >= 0`.
-    pub fn expected_improvement(&self, x: &[f64], y_best: f64, xi: f64) -> f64 {
-        let (mu, var) = self.predict(x);
+    /// Expected Improvement from predictive moments (minimization). The
+    /// single formula behind the scalar and batch entry points.
+    fn ei_from_moments(mu: f64, var: f64, y_best: f64, xi: f64) -> f64 {
         let sigma = var.sqrt();
         if sigma < 1e-12 {
             return (y_best - mu - xi).max(0.0);
@@ -358,10 +662,41 @@ impl GaussianProcess {
         ((y_best - mu - xi) * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
     }
 
+    /// Expected Improvement for *minimization* at `x`, given the incumbent
+    /// best observed value `y_best` and an exploration jitter `xi >= 0`.
+    pub fn expected_improvement(&self, x: &[f64], y_best: f64, xi: f64) -> f64 {
+        let (mu, var) = self.predict(x);
+        Self::ei_from_moments(mu, var, y_best, xi)
+    }
+
+    /// Expected Improvement for every candidate in a pool, through
+    /// [`GaussianProcess::predict_batch`]. `out[j]` is bit-identical to
+    /// `expected_improvement(&queries[j], y_best, xi)`.
+    pub fn expected_improvement_batch(
+        &self,
+        queries: &[Vec<f64>],
+        y_best: f64,
+        xi: f64,
+    ) -> Vec<f64> {
+        self.predict_batch(queries)
+            .into_iter()
+            .map(|(mu, var)| Self::ei_from_moments(mu, var, y_best, xi))
+            .collect()
+    }
+
     /// Lower confidence bound `mu - beta * sigma` (for minimization).
     pub fn lower_confidence_bound(&self, x: &[f64], beta: f64) -> f64 {
         let (mu, var) = self.predict(x);
         mu - beta * var.sqrt()
+    }
+
+    /// Lower confidence bound for every candidate in a pool. `out[j]` is
+    /// bit-identical to `lower_confidence_bound(&queries[j], beta)`.
+    pub fn lower_confidence_bound_batch(&self, queries: &[Vec<f64>], beta: f64) -> Vec<f64> {
+        self.predict_batch(queries)
+            .into_iter()
+            .map(|(mu, var)| mu - beta * var.sqrt())
+            .collect()
     }
 }
 
@@ -568,6 +903,88 @@ mod tests {
         let q = [0.41, 0.59];
         assert!((gp.predict(&q).0 - fresh.predict(&q).0).abs() < 1e-10);
         assert!((gp.log_marginal_likelihood() - fresh.log_marginal_likelihood()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_per_point_predict() {
+        let (xs, ys) = training_data(30, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let pool = latin_hypercube(67, 2, &mut rng);
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let mut k = Kernel::new(kind, 2, 0.37);
+            k.length_scales[1] = 0.81; // exercise the ARD path
+            k.noise_variance = 1e-5;
+            let gp = GaussianProcess::fit(k, xs.clone(), &ys).unwrap();
+            let batch = gp.predict_batch(&pool);
+            for (q, (bm, bv)) in pool.iter().zip(&batch) {
+                let (m, v) = gp.predict(q);
+                assert_eq!(m.to_bits(), bm.to_bits(), "mean drifted for {kind:?}");
+                assert_eq!(v.to_bits(), bv.to_bits(), "variance drifted for {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_mean_fast_path_is_bitwise_identical() {
+        let (xs, ys) = training_data(25, 23);
+        let gp = GaussianProcess::fit(Kernel::new(KernelKind::Matern52, 2, 0.5), xs, &ys).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        for q in latin_hypercube(40, 2, &mut rng) {
+            assert_eq!(gp.predict_mean(&q).to_bits(), gp.predict(&q).0.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_acquisitions_are_bitwise_identical_to_scalar() {
+        let (xs, ys) = training_data(20, 25);
+        let gp = GaussianProcess::fit(Kernel::new(KernelKind::SquaredExponential, 2, 0.4), xs, &ys)
+            .unwrap();
+        let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut rng = StdRng::seed_from_u64(26);
+        let pool = latin_hypercube(50, 2, &mut rng);
+        let ei = gp.expected_improvement_batch(&pool, y_best, 0.01);
+        let lcb = gp.lower_confidence_bound_batch(&pool, 2.0);
+        for (j, q) in pool.iter().enumerate() {
+            assert_eq!(
+                ei[j].to_bits(),
+                gp.expected_improvement(q, y_best, 0.01).to_bits()
+            );
+            assert_eq!(
+                lcb[j].to_bits(),
+                gp.lower_confidence_bound(q, 2.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_neg_log_marginal_matches_full_fit_bitwise() {
+        // The invariant that keeps fit_auto / fit_auto_ard trajectories
+        // unchanged by the pair cache: for any kernel, the cached
+        // objective must equal -fit(...).log_marginal to the bit.
+        let (xs, ys) = training_data(22, 27);
+        let cache = PairwiseDiffs::new(&xs);
+        let y_mean = mean(&ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let mut scratch = Matrix::zeros(xs.len(), xs.len());
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            for (ls0, ls1, sv, nv) in [
+                (0.2, 0.2, 1.0, 1e-6),
+                (0.55, 1.3, 2.5, 1e-3),
+                (3.0, 0.07, 0.4, 1e-8),
+            ] {
+                let mut k = Kernel::new(kind, 2, ls0);
+                k.length_scales[1] = ls1;
+                k.signal_variance = sv;
+                k.noise_variance = nv;
+                let neg = neg_log_marginal(&k, &cache, &centred, &mut scratch).unwrap();
+                let gp = GaussianProcess::fit(k, xs.clone(), &ys).unwrap();
+                assert_eq!(
+                    neg.to_bits(),
+                    (-gp.log_marginal).to_bits(),
+                    "cached LML drifted for {kind:?} ls=({ls0},{ls1})"
+                );
+            }
+        }
     }
 
     #[test]

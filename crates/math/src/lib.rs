@@ -14,7 +14,9 @@
 //! * OLS/ridge/NNLS regression ([`linreg`]) — the Ernest scaling model,
 //! * a small MLP ([`mlp`]) — the Rodd neural-network tuner,
 //! * derivative-free optimizers ([`optimize`]) and effect-size ANOVA
-//!   ([`anova`]).
+//!   ([`anova`]),
+//! * deterministic chunked pool scoring and index-order argmax/argmin
+//!   ([`batch`]) — the acquisition hot path shared by the GP tuners.
 //!
 //! All stochastic routines take an explicit `&mut StdRng` so every
 //! experiment in the workspace is reproducible under a seed.
@@ -26,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod anova;
+pub mod batch;
 pub mod cholesky;
 pub mod design;
 pub mod gp;
@@ -37,6 +40,7 @@ pub mod matrix;
 pub mod mlp;
 pub mod optimize;
 pub mod pca;
+mod simd;
 pub mod stats;
 
 pub use cholesky::Cholesky;

@@ -204,6 +204,13 @@ impl Matrix {
     }
 
     /// Matrix-matrix product `A * B`.
+    ///
+    /// Blocked over L1-sized tiles with a 4-row micro-kernel. Every output
+    /// element accumulates its `k` terms in ascending order (tiles are
+    /// visited in ascending `k`, and each tile scans ascending `k`), so for
+    /// finite inputs the result is bitwise identical to the textbook
+    /// `ikj` triple loop — blocking only reorders work *across* elements,
+    /// never the rounding *within* one.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, LinAlgError> {
         if self.cols != other.rows {
             return Err(LinAlgError::DimensionMismatch {
@@ -212,38 +219,64 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // Cache-friendly ikj ordering over the row-major layout.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
+        // Tile sizes: a KB×JB block of `other` (64*256*8B = 128 KiB is too
+        // big for L1 alone, but the micro-kernel streams it row by row, so
+        // the hot set per step is 4 output rows + 1 `other` row segment).
+        const KB: usize = 64;
+        const JB: usize = 256;
+        const IB: usize = 4;
+        let (m, n, p) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, p);
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + KB).min(n);
+            let mut j0 = 0;
+            while j0 < p {
+                let j1 = (j0 + JB).min(p);
+                let mut i0 = 0;
+                while i0 < m {
+                    let i1 = (i0 + IB).min(m);
+                    for i in i0..i1 {
+                        let arow = self.row(i);
+                        for k in k0..k1 {
+                            let a = arow[k];
+                            let brow = &other.data[k * p + j0..k * p + j1];
+                            let orow = &mut out.data[i * p + j0..i * p + j1];
+                            crate::simd::axpy_add(a, brow, orow);
+                        }
+                    }
+                    i0 = i1;
                 }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+                j0 = j1;
             }
+            k0 = k1;
         }
         Ok(out)
     }
 
     /// `A^T * A`, a common Gram-matrix building block.
+    ///
+    /// Row-blocked; each Gram entry accumulates its row terms in ascending
+    /// row order, so the result is bitwise identical to the unblocked
+    /// accumulation for finite inputs.
     pub fn gram(&self) -> Matrix {
+        const RB: usize = 128;
         let mut g = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.rows {
-            let r = self.row(i);
-            for a in 0..self.cols {
-                let ra = r[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..self.cols {
-                    g[(a, b)] += ra * r[b];
+        let mut i0 = 0;
+        while i0 < self.rows {
+            let i1 = (i0 + RB).min(self.rows);
+            for i in i0..i1 {
+                let r = self.row(i);
+                for a in 0..self.cols {
+                    let ra = r[a];
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    let grow = &mut g.data[a * self.cols + a..a * self.cols + self.cols];
+                    crate::simd::axpy_add(ra, &r[a..], grow);
                 }
             }
+            i0 = i1;
         }
         for a in 0..self.cols {
             for b in 0..a {
@@ -462,6 +495,76 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[1.0, 2.0], &mut y);
         assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    /// Textbook ikj product — the reference the blocked kernel must match
+    /// bit for bit on finite inputs.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a[(i, k)];
+                for j in 0..b.cols() {
+                    out[(i, j)] += v * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Deterministic splitmix-style fill; no RNG dependency needed here.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_reference() {
+        // Shapes straddling the tile boundaries (KB=64, JB=256, IB=4).
+        for (m, n, p, seed) in [
+            (1, 1, 1, 1u64),
+            (3, 5, 7, 2),
+            (4, 64, 256, 3),
+            (9, 65, 257, 4),
+            (130, 70, 33, 5),
+        ] {
+            let a = pseudo_random_matrix(m, n, seed);
+            let b = pseudo_random_matrix(n, p, seed ^ 0xFF);
+            let fast = a.matmul(&b).unwrap();
+            let slow = matmul_reference(&a, &b);
+            for i in 0..m {
+                for j in 0..p {
+                    assert_eq!(
+                        fast[(i, j)].to_bits(),
+                        slow[(i, j)].to_bits(),
+                        "({i},{j}) of {m}x{n}x{p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_gram_is_bitwise_identical_to_transpose_product_order() {
+        // gram accumulates rows in ascending order, exactly like summing
+        // r[a]*r[b] over i — check against that scalar reference.
+        for (rows, cols, seed) in [(1, 1, 7u64), (5, 3, 8), (129, 6, 9), (300, 11, 10)] {
+            let a = pseudo_random_matrix(rows, cols, seed);
+            let g = a.gram();
+            for x in 0..cols {
+                for y in x..cols {
+                    let mut acc = 0.0f64;
+                    for i in 0..rows {
+                        acc += a[(i, x)] * a[(i, y)];
+                    }
+                    assert_eq!(g[(x, y)].to_bits(), acc.to_bits(), "({x},{y})");
+                    assert_eq!(g[(y, x)].to_bits(), acc.to_bits(), "({y},{x})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub struct OptResult {
 /// spread. Standard coefficients (reflection 1, expansion 2, contraction
 /// 0.5, shrink 0.5).
 pub fn nelder_mead(
-    f: impl Fn(&[f64]) -> f64,
+    mut f: impl FnMut(&[f64]) -> f64,
     x0: &[f64],
     scale: f64,
     max_iter: usize,
@@ -33,7 +33,7 @@ pub fn nelder_mead(
     let dim = x0.len();
     assert!(dim > 0, "nelder_mead: empty start point");
     let mut evals = 0usize;
-    let eval = |x: &[f64], evals: &mut usize| -> f64 {
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
         *evals += 1;
         let v = f(x);
         if v.is_nan() {
@@ -126,7 +126,7 @@ pub fn nelder_mead(
 /// Multi-start Nelder–Mead inside a box: restarts from random points and
 /// clamps iterates into `[lo, hi]` per dimension.
 pub fn nelder_mead_box(
-    f: impl Fn(&[f64]) -> f64,
+    mut f: impl FnMut(&[f64]) -> f64,
     lo: &[f64],
     hi: &[f64],
     starts: usize,
@@ -141,11 +141,11 @@ pub fn nelder_mead_box(
             .map(|(d, &v)| v.clamp(lo[d], hi[d]))
             .collect()
     };
-    let g = |x: &[f64]| f(&clamped(x));
+    let mut g = |x: &[f64]| f(&clamped(x));
     let mut best: Option<OptResult> = None;
     for _ in 0..starts.max(1) {
         let x0: Vec<f64> = (0..dim).map(|d| rng.random_range(lo[d]..=hi[d])).collect();
-        let mut r = nelder_mead(g, &x0, 0.15, max_iter, 1e-8);
+        let mut r = nelder_mead(&mut g, &x0, 0.15, max_iter, 1e-8);
         r.x = clamped(&r.x);
         let better = match &best {
             None => true,
@@ -161,7 +161,7 @@ pub fn nelder_mead_box(
 
 /// Uniform random search minimization over a unit box `[0,1]^dim`.
 pub fn random_search(
-    f: impl Fn(&[f64]) -> f64,
+    mut f: impl FnMut(&[f64]) -> f64,
     dim: usize,
     budget: usize,
     rng: &mut StdRng,
@@ -189,7 +189,7 @@ pub fn random_search(
 /// (shrinking box around the incumbent). A robust, assumption-free search
 /// widely used in black-box system tuning.
 pub fn recursive_random_search(
-    f: impl Fn(&[f64]) -> f64,
+    mut f: impl FnMut(&[f64]) -> f64,
     dim: usize,
     budget: usize,
     rng: &mut StdRng,

@@ -3,6 +3,7 @@
 //! supported factor counts, Lasso shrinkage monotonicity, and rank
 //! statistics invariances.
 
+use autotune_math::batch::argmax_first;
 use autotune_math::cholesky::Cholesky;
 use autotune_math::design::TwoLevelDesign;
 use autotune_math::gp::{GaussianProcess, Kernel, KernelKind};
@@ -165,5 +166,82 @@ proptest! {
         prop_assert!(
             (incr.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-8
         );
+    }
+
+    #[test]
+    fn gp_predict_batch_matches_per_point(
+        n in 3usize..20,
+        pool in 1usize..30,
+        dim in 1usize..4,
+        kind_pick in 0usize..2,
+        ard_pick in 0usize..2,
+        seed in 0u64..5_000,
+    ) {
+        // Batched inference over a pool must agree with per-point
+        // `predict` for both kernel families, isotropic and ARD, within
+        // 1e-10 (in practice they are bit-identical; the tolerance guards
+        // the property, unit tests pin the bits).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = if kind_pick == 0 {
+            KernelKind::SquaredExponential
+        } else {
+            KernelKind::Matern52
+        };
+        let mut kernel = Kernel::new(kind, dim, 0.5);
+        if ard_pick == 1 {
+            for (d, l) in kernel.length_scales.iter_mut().enumerate() {
+                *l = 0.2 + 0.3 * d as f64 + rng.random_range(0.0..0.2);
+            }
+        }
+        kernel.noise_variance = 1e-4;
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(0.0..1.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().map(|v| (v - 0.3).cos()).sum::<f64>())
+            .collect();
+        let gp = GaussianProcess::fit(kernel, xs, &ys).expect("fit");
+        let queries: Vec<Vec<f64>> = (0..pool)
+            .map(|_| (0..dim).map(|_| rng.random_range(-0.2..1.2)).collect())
+            .collect();
+        let batched = gp.predict_batch(&queries);
+        prop_assert_eq!(batched.len(), queries.len());
+        for (q, &(bm, bv)) in queries.iter().zip(&batched) {
+            let (pm, pv) = gp.predict(q);
+            prop_assert!((bm - pm).abs() < 1e-10, "mean {} vs {}", bm, pm);
+            prop_assert!((bv - pv).abs() < 1e-10, "var {} vs {}", bv, pv);
+        }
+    }
+
+    #[test]
+    fn batch_argmax_ties_resolve_to_first_index(
+        len in 1usize..40,
+        dup_at in 0usize..40,
+        seed in 0u64..5_000,
+    ) {
+        // The batched acquisition argmax must keep the historical loop's
+        // tie behavior: strict improvement only, so the FIRST index of a
+        // maximal value wins — duplicating the maximum later in the pool
+        // must not change the answer.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores: Vec<f64> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let reference = argmax_first(&scores).expect("non-empty");
+        let max = scores[reference];
+        let dup = dup_at % len;
+        if dup > reference {
+            scores[dup] = max;
+            prop_assert_eq!(argmax_first(&scores), Some(reference));
+        }
+        // And the loop-based definition agrees on arbitrary data.
+        let mut best = f64::NEG_INFINITY;
+        let mut idx = None;
+        for (i, &v) in scores.iter().enumerate() {
+            if v > best {
+                best = v;
+                idx = Some(i);
+            }
+        }
+        prop_assert_eq!(argmax_first(&scores), idx);
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::util::candidate_pool;
 use autotune_core::{Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext};
+use autotune_math::batch::{argmin_first, chunked_scores};
 use autotune_math::matrix::dist2;
 use rand::rngs::StdRng;
 
@@ -44,13 +45,11 @@ impl AdaptiveSamplingTuner {
         Self::default()
     }
 
-    /// k-NN runtime estimate at a unit-cube point.
-    fn knn_estimate(&self, x: &[f64], xs: &[Vec<f64>], ys: &[f64]) -> f64 {
-        let mut d: Vec<(f64, f64)> = xs
-            .iter()
-            .zip(ys)
-            .map(|(xi, &yi)| (dist2(x, xi), yi))
-            .collect();
+    /// k-NN estimate from a precomputed squared-distance row. The scoring
+    /// loop shares one row per candidate between this estimate and the
+    /// exploration bonus, so each candidate touches the training set once.
+    fn knn_from_dists(&self, dists: &[f64], ys: &[f64]) -> f64 {
+        let mut d: Vec<(f64, f64)> = dists.iter().copied().zip(ys.iter().copied()).collect();
         d.sort_by(|a, b| a.0.total_cmp(&b.0));
         let k = self.k.min(d.len()).max(1);
         let mut num = 0.0;
@@ -98,25 +97,24 @@ impl Tuner for AdaptiveSamplingTuner {
         };
         let anchors = crate::util::best_anchors(history, &ctx.space, 2);
         let pool = candidate_pool(ctx.space.dim(), self.pool_size, &anchors, 30, 0.15, rng);
-        let mut best = None;
-        let mut best_score = f64::INFINITY;
-        for p in pool {
-            let est = self.knn_estimate(&p, &xs, &ys);
-            let nearest = xs
+        // One shared squared-distance row per candidate feeds both the
+        // k-NN estimate and the exploration bonus; chunked so large pools
+        // can score on AUTOTUNE_THREADS workers (bit-identical either
+        // way). Lower score = more attractive: predicted runtime minus
+        // the exploration bonus.
+        let scores = chunked_scores(&pool, |chunk| {
+            chunk
                 .iter()
-                .map(|xi| dist2(&p, xi))
-                .fold(f64::INFINITY, f64::min)
-                .sqrt();
-            // Lower score = more attractive: predicted runtime minus the
-            // exploration bonus.
-            let score = est - self.beta * spread * nearest;
-            if score < best_score {
-                best_score = score;
-                best = Some(p);
-            }
-        }
-        match best {
-            Some(p) => ctx.space.decode(&p),
+                .map(|p| {
+                    let dists: Vec<f64> = xs.iter().map(|xi| dist2(p, xi)).collect();
+                    let est = self.knn_from_dists(&dists, &ys);
+                    let nearest = dists.iter().copied().fold(f64::INFINITY, f64::min).sqrt();
+                    est - self.beta * spread * nearest
+                })
+                .collect()
+        });
+        match argmin_first(&scores) {
+            Some(j) => ctx.space.decode(&pool[j]),
             None => ctx.space.random_config(rng),
         }
     }
@@ -174,11 +172,15 @@ mod tests {
     #[test]
     fn knn_estimate_interpolates() {
         let t = AdaptiveSamplingTuner::new();
-        let xs = vec![vec![0.0], vec![1.0]];
+        let xs = [vec![0.0], vec![1.0]];
         let ys = vec![0.0, 10.0];
-        let mid = t.knn_estimate(&[0.5], &xs, &ys);
+        let knn = |x: &[f64]| {
+            let dists: Vec<f64> = xs.iter().map(|xi| dist2(x, xi)).collect();
+            t.knn_from_dists(&dists, &ys)
+        };
+        let mid = knn(&[0.5]);
         assert!((mid - 5.0).abs() < 0.5, "mid={mid}");
-        let near0 = t.knn_estimate(&[0.05], &xs, &ys);
+        let near0 = knn(&[0.05]);
         assert!(near0 < 2.0, "near0={near0}");
     }
 

@@ -8,7 +8,7 @@
 //! This is the tutorial's flagship experiment-driven approach and the
 //! backbone of the Table 1/Table 2 comparisons.
 
-use crate::util::{best_anchors, candidate_pool, log_runtimes, GpCache};
+use crate::util::{argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache};
 use autotune_core::{Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext};
 use autotune_math::gp::{GaussianProcess, KernelKind};
 use autotune_math::lhs::maximin_lhs;
@@ -181,17 +181,10 @@ impl Tuner for ITunedTuner {
 
         let anchors = best_anchors(history, &ctx.space, 3);
         let pool = candidate_pool(dim, self.pool_size, &anchors, 40, 0.1, rng);
-        let mut best_point = None;
-        let mut best_ei = f64::NEG_INFINITY;
-        for p in pool {
-            let ei = gp.expected_improvement(&p, y_best, self.xi);
-            if ei > best_ei {
-                best_ei = ei;
-                best_point = Some(p);
-            }
-        }
-        match best_point {
-            Some(p) => ctx.space.decode(&p),
+        // Batched EI over the whole pool: one cross-covariance + multi-RHS
+        // solve per chunk instead of a triangular solve per candidate.
+        match argmax_ei(gp, &pool, y_best, self.xi) {
+            Some(j) => ctx.space.decode(&pool[j]),
             None => ctx.space.random_config(rng),
         }
     }

@@ -15,7 +15,7 @@
 //!    data plus the target's own observations, Expected Improvement on the
 //!    top-ranked knobs.
 
-use crate::util::{best_anchors, candidate_pool, log_runtimes, GpCache};
+use crate::util::{argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache};
 use autotune_core::{
     ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation, Tuner,
     TunerFamily, TuningContext,
@@ -449,17 +449,10 @@ impl Tuner for OtterTuneTuner {
         // The transferred configurations themselves are candidates too.
         pool.extend(anchors.iter().skip(1).cloned());
 
-        let mut best_point = None;
-        let mut best_ei = f64::NEG_INFINITY;
-        for p in pool {
-            let ei = gp.expected_improvement(&p, y_best, self.xi);
-            if ei > best_ei {
-                best_ei = ei;
-                best_point = Some(p);
-            }
-        }
-        match best_point {
-            Some(p) => ctx.space.decode(&p),
+        // Batched EI over the whole pool (bit-identical to the old
+        // per-point loop, first index winning ties).
+        match argmax_ei(gp, &pool, y_best, self.xi) {
+            Some(j) => ctx.space.decode(&pool[j]),
             None => ctx.space.random_config(rng),
         }
     }

@@ -3,6 +3,7 @@
 //! Gaussian-process surrogate cache shared by iTuned and OtterTune.
 
 use autotune_core::{ConfigSpace, History};
+use autotune_math::batch::{argmax_first, chunked_scores};
 use autotune_math::gp::GaussianProcess;
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -55,6 +56,23 @@ impl GpCache {
         }
         true
     }
+}
+
+/// Scores a candidate pool with batched Expected Improvement and returns
+/// the index of the best candidate (first index wins ties), or `None` for
+/// an empty pool.
+///
+/// The pool goes through [`GaussianProcess::expected_improvement_batch`]
+/// in fixed-size chunks — one cross-covariance and one multi-RHS solve per
+/// chunk instead of a triangular solve per point — optionally spread over
+/// worker threads per `AUTOTUNE_THREADS` (see `autotune_math::batch`).
+/// Scores and pick are bit-identical to the historical per-point
+/// `expected_improvement` loop at any thread count.
+pub fn argmax_ei(gp: &GaussianProcess, pool: &[Vec<f64>], y_best: f64, xi: f64) -> Option<usize> {
+    let scores = chunked_scores(pool, |chunk| {
+        gp.expected_improvement_batch(chunk, y_best, xi)
+    });
+    argmax_first(&scores)
 }
 
 /// Generates a candidate pool in the unit cube: uniform random points plus
