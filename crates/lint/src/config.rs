@@ -19,6 +19,46 @@
 //! * **D5 `unwrap`** — the library crates `core`, `math`, `sim`, `tuners`.
 //!   Library code propagates errors (`autotune-core::error`) or justifies
 //!   the invariant inline.
+//!
+//! The semantic rules added on top of the item tree:
+//!
+//! * **U1 `safety-comment`** — every `unsafe` block and `unsafe fn` must be
+//!   directly preceded by a `// SAFETY:` comment stating its invariant.
+//! * **U2 `unsafe-scope`** — `unsafe` may only appear in the allowlisted
+//!   modules ([`ALLOWED_UNSAFE_FILES`]); anywhere else it is reported.
+//! * **U3 `simd-fallback`** — every call to an AVX2 kernel
+//!   (`#[target_feature(enable = "avx2")]`) must be feature-gated and the
+//!   dispatching function must keep a reachable scalar fallback; a kernel
+//!   with no dispatcher at all is reported too.
+//! * **K1 `knob-unknown`** — a knob-name string (or const) at a knob
+//!   consumer site that does not resolve in the workspace knob table.
+//! * **K2 `knob-domain`** — a knob default/bound inconsistent at its
+//!   definition, or a literal `set(...)` value outside the declared domain.
+//! * **K3 `knob-unused`** (warn) — a knob defined in a params module but
+//!   never referenced anywhere else in the workspace.
+
+/// Files in which `unsafe` is permitted (U2 allowlist). Vendored crates are
+/// never scanned, so they need no entries here.
+pub const ALLOWED_UNSAFE_FILES: &[&str] = &["crates/math/src/simd.rs"];
+
+/// Finding severity: errors fail the build, warnings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, but does not make the exit code nonzero.
+    Warning,
+    /// Build-failing.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label used in reports and SARIF levels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
 
 /// Stable rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -33,12 +73,40 @@ pub enum RuleId {
     NanOrd,
     /// D5: `unwrap`/`expect` in library crates.
     Unwrap,
+    /// U1: `unsafe` without a `// SAFETY:` justification.
+    SafetyComment,
+    /// U2: `unsafe` outside the allowlisted modules.
+    UnsafeScope,
+    /// U3: AVX2 kernel without a guarded dispatcher + scalar fallback.
+    SimdFallback,
+    /// K1: knob reference that does not resolve in the knob table.
+    KnobUnknown,
+    /// K2: knob default/bound/value outside its declared domain.
+    KnobDomain,
+    /// K3: knob defined but never referenced (warn-level).
+    KnobUnused,
     /// A `lint:allow` suppression with no reason.
     BareAllow,
 }
 
+/// Every rule, for parsing and report metadata.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::UnseededRng,
+    RuleId::WallClock,
+    RuleId::HashIter,
+    RuleId::NanOrd,
+    RuleId::Unwrap,
+    RuleId::SafetyComment,
+    RuleId::UnsafeScope,
+    RuleId::SimdFallback,
+    RuleId::KnobUnknown,
+    RuleId::KnobDomain,
+    RuleId::KnobUnused,
+    RuleId::BareAllow,
+];
+
 impl RuleId {
-    /// Short stable id (`D1`..`D5`, `A0`).
+    /// Short stable id (`D1`..`D5`, `U1`..`U3`, `K1`..`K3`, `A0`).
     pub fn id(self) -> &'static str {
         match self {
             RuleId::UnseededRng => "D1",
@@ -46,6 +114,12 @@ impl RuleId {
             RuleId::HashIter => "D3",
             RuleId::NanOrd => "D4",
             RuleId::Unwrap => "D5",
+            RuleId::SafetyComment => "U1",
+            RuleId::UnsafeScope => "U2",
+            RuleId::SimdFallback => "U3",
+            RuleId::KnobUnknown => "K1",
+            RuleId::KnobDomain => "K2",
+            RuleId::KnobUnused => "K3",
             RuleId::BareAllow => "A0",
         }
     }
@@ -58,21 +132,29 @@ impl RuleId {
             RuleId::HashIter => "hash-iter",
             RuleId::NanOrd => "nan-ord",
             RuleId::Unwrap => "unwrap",
+            RuleId::SafetyComment => "safety-comment",
+            RuleId::UnsafeScope => "unsafe-scope",
+            RuleId::SimdFallback => "simd-fallback",
+            RuleId::KnobUnknown => "knob-unknown",
+            RuleId::KnobDomain => "knob-domain",
+            RuleId::KnobUnused => "knob-unused",
             RuleId::BareAllow => "bare-allow",
+        }
+    }
+
+    /// Severity class of findings this rule produces.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::KnobUnused => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 
     /// Parses a rule id or name as written in a suppression directive.
     pub fn parse(s: &str) -> Option<RuleId> {
-        let all = [
-            RuleId::UnseededRng,
-            RuleId::WallClock,
-            RuleId::HashIter,
-            RuleId::NanOrd,
-            RuleId::Unwrap,
-            RuleId::BareAllow,
-        ];
-        all.into_iter()
+        ALL_RULES
+            .iter()
+            .copied()
             .find(|r| r.id().eq_ignore_ascii_case(s) || r.name() == s)
     }
 
@@ -93,6 +175,24 @@ impl RuleId {
             }
             RuleId::Unwrap => {
                 "unwrap/expect in library code; propagate via autotune-core::error or justify inline"
+            }
+            RuleId::SafetyComment => {
+                "unsafe without a justification; add a `// SAFETY:` comment directly above stating the invariant"
+            }
+            RuleId::UnsafeScope => {
+                "unsafe outside the audited allowlist (math::simd); keep raw-pointer code in the audited kernels"
+            }
+            RuleId::SimdFallback => {
+                "AVX2 kernel call without a feature guard and reachable scalar fallback in the dispatching function"
+            }
+            RuleId::KnobUnknown => {
+                "knob name does not resolve in the workspace knob table; fix the typo or register the knob"
+            }
+            RuleId::KnobDomain => {
+                "knob value/default/bounds outside the declared domain; align with the params-module definition"
+            }
+            RuleId::KnobUnused => {
+                "knob defined but never referenced by any tuner, engine, or scenario; wire it up or drop it"
             }
             RuleId::BareAllow => "lint:allow without a reason; state why the suppression is sound",
         }
@@ -147,6 +247,16 @@ pub fn rule_applies(rule: RuleId, ctx: &FileCtx) -> bool {
         RuleId::WallClock => ctx.is_lib_source && in_crates(&["math", "sim", "tuners"]),
         RuleId::HashIter => ctx.is_lib_source && in_crates(&["core", "tuners", "bench"]),
         RuleId::Unwrap => ctx.is_lib_source && in_crates(&["core", "math", "sim", "tuners"]),
+        // The unsafe audit is workspace-wide: unsafe anywhere outside the
+        // allowlist is a finding, and allowlisted unsafe still needs its
+        // SAFETY justification and dispatch contract.
+        RuleId::SafetyComment | RuleId::UnsafeScope | RuleId::SimdFallback => true,
+        // Knob consumers live in the simulators, tuners, and bench harness.
+        RuleId::KnobUnknown | RuleId::KnobDomain => {
+            ctx.is_lib_source && in_crates(&["sim", "tuners", "bench"])
+        }
+        // Knob definitions live in the simulator params modules.
+        RuleId::KnobUnused => ctx.is_lib_source && in_crates(&["sim"]),
         RuleId::BareAllow => true,
     }
 }
@@ -189,15 +299,24 @@ mod tests {
         let math = classify("crates/math/src/gp.rs").expect("classified");
         assert!(rule_applies(RuleId::WallClock, &math));
         assert!(!rule_applies(RuleId::HashIter, &math));
+        assert!(rule_applies(RuleId::SafetyComment, &math));
+        assert!(rule_applies(RuleId::SimdFallback, &math));
 
         let bench_bin = classify("crates/bench/src/bin/exec_speedup.rs").expect("classified");
         assert!(!rule_applies(RuleId::WallClock, &bench_bin));
         assert!(rule_applies(RuleId::NanOrd, &bench_bin));
         assert!(!rule_applies(RuleId::Unwrap, &bench_bin));
+        assert!(rule_applies(RuleId::KnobUnknown, &bench_bin));
 
         let lint = classify("crates/lint/src/rules.rs").expect("classified");
         assert!(rule_applies(RuleId::UnseededRng, &lint));
         assert!(!rule_applies(RuleId::Unwrap, &lint));
+        assert!(rule_applies(RuleId::UnsafeScope, &lint));
+        assert!(!rule_applies(RuleId::KnobUnknown, &lint));
+
+        let sim = classify("crates/sim/src/dbms/params.rs").expect("classified");
+        assert!(rule_applies(RuleId::KnobUnused, &sim));
+        assert!(rule_applies(RuleId::KnobDomain, &sim));
     }
 
     #[test]
@@ -206,6 +325,18 @@ mod tests {
         assert_eq!(RuleId::parse("d4"), Some(RuleId::NanOrd));
         assert_eq!(RuleId::parse("nan-ord"), Some(RuleId::NanOrd));
         assert_eq!(RuleId::parse("unwrap"), Some(RuleId::Unwrap));
+        assert_eq!(RuleId::parse("U1"), Some(RuleId::SafetyComment));
+        assert_eq!(RuleId::parse("safety-comment"), Some(RuleId::SafetyComment));
+        assert_eq!(RuleId::parse("K1"), Some(RuleId::KnobUnknown));
+        assert_eq!(RuleId::parse("knob-unused"), Some(RuleId::KnobUnused));
         assert_eq!(RuleId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn severities() {
+        assert_eq!(RuleId::KnobUnused.severity(), Severity::Warning);
+        assert_eq!(RuleId::KnobUnknown.severity(), Severity::Error);
+        assert_eq!(RuleId::SafetyComment.severity(), Severity::Error);
+        assert_eq!(Severity::Warning.label(), "warning");
     }
 }

@@ -192,8 +192,291 @@ pub fn head(xs: &[f64]) -> f64 {
     expect: &["A0"],
 };
 
-/// Every fixture, for exhaustive test loops.
+/// U1 bad: an unsafe block with no `// SAFETY:` justification. Scanned
+/// under the allowlisted SIMD file so U2 stays quiet and the U1 finding is
+/// isolated.
+pub const U1_BAD: Fixture = Fixture {
+    label: "u1-bad",
+    path: "crates/math/src/simd.rs",
+    src: r#"
+pub fn read_raw(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+"#,
+    expect: &["U1"],
+};
+
+/// U1 good: the justification sits directly above the unsafe block.
+pub const U1_GOOD: Fixture = Fixture {
+    label: "u1-good",
+    path: "crates/math/src/simd.rs",
+    src: r#"
+pub fn read_raw(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid for reads and aligned.
+    unsafe { *p }
+}
+"#,
+    expect: &[],
+};
+
+/// U2 bad: perfectly documented unsafe — in a crate where unsafe is not
+/// allowed at all.
+pub const U2_BAD: Fixture = Fixture {
+    label: "u2-bad",
+    path: "crates/core/src/fixture.rs",
+    src: r#"
+pub fn read_raw(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid for reads and aligned.
+    unsafe { *p }
+}
+"#,
+    expect: &["U2"],
+};
+
+/// U2 good: the same code is fine inside the audited SIMD module.
+pub const U2_GOOD: Fixture = Fixture {
+    label: "u2-good",
+    path: "crates/math/src/simd.rs",
+    src: r#"
+pub fn read_raw(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid for reads and aligned.
+    unsafe { *p }
+}
+"#,
+    expect: &[],
+};
+
+/// U3 bad: the AVX2 call is feature-guarded but the dispatcher has no
+/// reachable scalar fallback — on a non-AVX2 machine the function silently
+/// does nothing.
+pub const U3_BAD: Fixture = Fixture {
+    label: "u3-bad",
+    path: "crates/math/src/simd.rs",
+    src: r#"
+// SAFETY: `unsafe` only due to `#[target_feature]`; callers verify AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_avx2(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, |a, b| a + b)
+}
+pub fn sum(xs: &[f64]) -> f64 {
+    if has_avx2() {
+        // SAFETY: AVX2 support verified above.
+        return unsafe { sum_avx2(xs) };
+    }
+    0.0
+}
+"#,
+    expect: &["U3"],
+};
+
+/// U3 good: guarded dispatch with a scalar fallback function.
+pub const U3_GOOD: Fixture = Fixture {
+    label: "u3-good",
+    path: "crates/math/src/simd.rs",
+    src: r#"
+// SAFETY: `unsafe` only due to `#[target_feature]`; callers verify AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_avx2(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, |a, b| a + b)
+}
+fn sum_scalar(xs: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &x in xs {
+        s += x;
+    }
+    s
+}
+pub fn sum(xs: &[f64]) -> f64 {
+    if has_avx2() {
+        // SAFETY: AVX2 support verified above.
+        return unsafe { sum_avx2(xs) };
+    }
+    sum_scalar(xs)
+}
+"#,
+    expect: &[],
+};
+
+/// K2 bad (definition site): the default lies outside the declared bounds.
+/// This check is local to the params module, so a single-file fixture.
+pub const K2_DEF_BAD: Fixture = Fixture {
+    label: "k2-def-bad",
+    path: "crates/sim/src/fixture/params.rs",
+    src: r#"
+pub fn space() -> Vec<ParamSpec> {
+    vec![ParamSpec::int("page_cache_mb", 64, 4096, 65536, "default above max")]
+}
+"#,
+    expect: &["K2"],
+};
+
+/// K2 good (definition site): bounds and default are consistent.
+pub const K2_DEF_GOOD: Fixture = Fixture {
+    label: "k2-def-good",
+    path: "crates/sim/src/fixture/params.rs",
+    src: r#"
+pub fn space() -> Vec<ParamSpec> {
+    vec![ParamSpec::int("page_cache_mb", 64, 65536, 4096, "page cache")]
+}
+"#,
+    expect: &[],
+};
+
+/// Every single-file fixture, for exhaustive test loops.
 pub const ALL: &[Fixture] = &[
-    D1_BAD, D1_GOOD, D2_BAD, D2_GOOD, D3_BAD, D3_GOOD, D4_BAD, D4_GOOD, D5_BAD, D5_GOOD,
-    SUPPRESSED, BARE_ALLOW,
+    D1_BAD,
+    D1_GOOD,
+    D2_BAD,
+    D2_GOOD,
+    D3_BAD,
+    D3_GOOD,
+    D4_BAD,
+    D4_GOOD,
+    D5_BAD,
+    D5_GOOD,
+    SUPPRESSED,
+    BARE_ALLOW,
+    U1_BAD,
+    U1_GOOD,
+    U2_BAD,
+    U2_GOOD,
+    U3_BAD,
+    U3_GOOD,
+    K2_DEF_BAD,
+    K2_DEF_GOOD,
+];
+
+/// A multi-file fixture: the K-series consumer rules resolve knob names
+/// against a table extracted from the params files, so they need at least
+/// two files (definitions + consumer) scanned together.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiFixture {
+    /// Short label for test diagnostics.
+    pub label: &'static str,
+    /// `(workspace-relative path, source)` pairs scanned as one workspace.
+    pub files: &'static [(&'static str, &'static str)],
+    /// Expected rule ids, in report order (sorted by file, line, rule).
+    pub expect: &'static [&'static str],
+}
+
+/// The params module shared by the K-series multi-file fixtures: a
+/// two-knob Spark-flavored space with consts, an int range, and a boolean.
+const K_PARAMS: (&str, &str) = (
+    "crates/sim/src/fixture/params.rs",
+    r#"
+pub mod knobs {
+    pub const EXEC_MEMORY_MB: &str = "executor_memory_mb";
+    pub const SHUFFLE_COMPRESS: &str = "shuffle_compress";
+}
+pub fn space() -> Vec<ParamSpec> {
+    use knobs::*;
+    vec![
+        ParamSpec::int(EXEC_MEMORY_MB, 512, 16384, 2048, "executor memory"),
+        ParamSpec::boolean(SHUFFLE_COMPRESS, true, "compress shuffle"),
+    ]
+}
+"#,
+);
+
+/// K1 bad: a tuner reads a knob whose name does not resolve (typo). The
+/// two valid reads keep K3 quiet so the typo is the only finding.
+pub const K1_BAD_MULTI: MultiFixture = MultiFixture {
+    label: "k1-bad-multi",
+    files: &[
+        K_PARAMS,
+        (
+            "crates/tuners/src/fixture.rs",
+            r#"
+pub fn apply(c: &Configuration) -> i64 {
+    let mem = c.i64("executor_memory_mb");
+    let typo = c.i64("executor_memory_mbb");
+    let _ = c.bool("shuffle_compress");
+    mem + typo
+}
+"#,
+        ),
+    ],
+    expect: &["K1"],
+};
+
+/// K1 good: every referenced name resolves.
+pub const K1_GOOD_MULTI: MultiFixture = MultiFixture {
+    label: "k1-good-multi",
+    files: &[
+        K_PARAMS,
+        (
+            "crates/tuners/src/fixture.rs",
+            r#"
+pub fn apply(c: &Configuration) -> i64 {
+    let _ = c.bool("shuffle_compress");
+    c.i64("executor_memory_mb")
+}
+"#,
+        ),
+    ],
+    expect: &[],
+};
+
+/// K2 bad (set site): a literal `set` value outside the declared range.
+pub const K2_SET_BAD_MULTI: MultiFixture = MultiFixture {
+    label: "k2-set-bad-multi",
+    files: &[
+        K_PARAMS,
+        (
+            "crates/bench/src/fixture.rs",
+            r#"
+pub fn configure(c: &mut Configuration) {
+    c.set("executor_memory_mb", ParamValue::Int(999999));
+    c.set("shuffle_compress", ParamValue::Bool(true));
+}
+"#,
+        ),
+    ],
+    expect: &["K2"],
+};
+
+/// K2 good (set site): in-range literal and a computed value (computed
+/// values are not statically checkable and stay quiet).
+pub const K2_SET_GOOD_MULTI: MultiFixture = MultiFixture {
+    label: "k2-set-good-multi",
+    files: &[
+        K_PARAMS,
+        (
+            "crates/bench/src/fixture.rs",
+            r#"
+pub fn configure(c: &mut Configuration, nodes: i64) {
+    c.set("executor_memory_mb", ParamValue::Int(4096));
+    c.set("shuffle_compress", ParamValue::Bool(nodes > 4));
+}
+"#,
+        ),
+    ],
+    expect: &[],
+};
+
+/// K3 bad: `shuffle_compress` is defined but nothing outside the params
+/// module references it — a warn-level finding at the builder call.
+pub const K3_BAD_MULTI: MultiFixture = MultiFixture {
+    label: "k3-bad-multi",
+    files: &[
+        K_PARAMS,
+        (
+            "crates/tuners/src/fixture.rs",
+            r#"
+pub fn apply(c: &Configuration) -> i64 {
+    c.i64("executor_memory_mb")
+}
+"#,
+        ),
+    ],
+    expect: &["K3"],
+};
+
+/// Every multi-file fixture, for exhaustive test loops.
+pub const ALL_MULTI: &[MultiFixture] = &[
+    K1_BAD_MULTI,
+    K1_GOOD_MULTI,
+    K2_SET_BAD_MULTI,
+    K2_SET_GOOD_MULTI,
+    K3_BAD_MULTI,
 ];

@@ -15,21 +15,43 @@
 //! | D4 | `nan-ord` | everywhere | `partial_cmp(..).unwrap()` / `.expect(..)` |
 //! | D5 | `unwrap` | `core`, `math`, `sim`, `tuners` src | `.unwrap()` / `.expect(..)` |
 //!
+//! On top of the token stream, [`parser`] builds a scoped item tree
+//! (fn/mod/impl/trait spans, `unsafe` blocks, attributes) that powers the
+//! semantic rule families:
+//!
+//! | id | name | scope | what it catches |
+//! |----|------|-------|-----------------|
+//! | U1 | `safety-comment` | everywhere | `unsafe` without a `// SAFETY:` justification |
+//! | U2 | `unsafe-scope` | everywhere | `unsafe` outside the audited allowlist |
+//! | U3 | `simd-fallback` | everywhere | AVX2 kernel without guard + scalar fallback |
+//! | K1 | `knob-unknown` | `sim`, `tuners`, `bench` src | knob name that does not resolve |
+//! | K2 | `knob-domain` | `sim`, `tuners`, `bench` src | value/default outside the declared domain |
+//! | K3 | `knob-unused` (warn) | `sim` src | knob defined but never referenced |
+//!
+//! The K rules consult a workspace [`knobs::KnobTable`] extracted from the
+//! simulator params modules in a first pass over all files, which is why
+//! the workspace scan is two-pass ([`scan_sources`]).
+//!
 //! `#[cfg(test)]` items and `tests/` directories are exempt. Findings can be
 //! waived inline with a justified `lint:allow` comment (see [`suppress`]);
-//! a reason-less allow is itself reported (`A0 bare-allow`).
+//! a reason-less allow is itself reported (`A0 bare-allow`). Only
+//! error-severity findings fail the build; `K3` is warn-level.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod fixtures;
+pub mod items;
+pub mod knobs;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod suppress;
 
+pub use knobs::KnobTable;
 pub use report::{Finding, Report};
-pub use rules::scan_source;
+pub use rules::{scan_source, scan_sources};
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -63,20 +85,17 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 
 /// Scans every workspace source under `root` and returns the report.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
-    let files = collect_sources(root)?;
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
+    let paths = collect_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(path)?;
-        findings.extend(rules::scan_source(&rel, &src));
-        scanned += 1;
+        files.push((rel, fs::read_to_string(path)?));
     }
-    Ok(Report::new(findings, scanned))
+    Ok(scan_sources(&files))
 }
 
 /// Walks upward from `start` to the nearest directory whose `Cargo.toml`

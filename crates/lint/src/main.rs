@@ -1,26 +1,54 @@
-//! CLI for the workspace determinism & numerical-robustness analyzer.
+//! CLI for the workspace determinism & semantic analyzer.
 //!
 //! ```text
-//! autotune-lint [--json] [PATH]
+//! autotune-lint [--format human|json|sarif] [--json] [PATH]
 //! ```
 //!
 //! Scans the workspace rooted at `PATH` (default: the enclosing workspace of
-//! the current directory), prints a human report — or machine-readable JSON
-//! with `--json` — and exits nonzero if any finding survives suppression.
+//! the current directory), prints the report in the chosen format (`--json`
+//! is shorthand for `--format json`), and exits nonzero if any
+//! error-severity finding survives suppression — warnings (`K3`) are
+//! reported but do not fail the run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Output format for the report.
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                let Some(value) = args.next() else {
+                    eprintln!("autotune-lint: --format requires a value (human|json|sarif)");
+                    return ExitCode::from(2);
+                };
+                format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        eprintln!("autotune-lint: unknown format `{other}` (human|json|sarif)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: autotune-lint [--json] [PATH]");
-                println!("Scans workspace Rust sources for determinism & robustness findings.");
-                println!("Exits 0 when clean, 1 on findings, 2 on I/O errors.");
+                println!("usage: autotune-lint [--format human|json|sarif] [--json] [PATH]");
+                println!("Scans workspace Rust sources for determinism, unsafe-audit,");
+                println!("and knob-registry findings.");
+                println!(
+                    "Exits 0 when no errors (warnings allowed), 1 on errors, 2 on I/O errors."
+                );
                 return ExitCode::SUCCESS;
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -39,15 +67,15 @@ fn main() -> ExitCode {
 
     match autotune_lint::scan_workspace(&root) {
         Ok(report) => {
-            if json {
-                println!("{}", report.json());
-            } else {
-                print!("{}", report.human());
+            match format {
+                Format::Human => print!("{}", report.human()),
+                Format::Json => println!("{}", report.json()),
+                Format::Sarif => println!("{}", report.sarif()),
             }
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
+            if report.has_errors() {
                 ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         Err(e) => {

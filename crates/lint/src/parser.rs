@@ -1,0 +1,525 @@
+//! A lightweight recursive-descent parser from the token stream to the
+//! scoped item tree ([`crate::items`]).
+//!
+//! This is not a full Rust grammar: it recognizes exactly the scope
+//! structure the semantic rules need — `fn` / `mod` / `impl` / `trait`
+//! items (with modifiers and attributes), `unsafe` markers on items, and
+//! `unsafe { ... }` blocks inside function bodies — and is deliberately
+//! permissive about everything else (expressions, types, generics are
+//! skipped by delimiter matching). Unknown constructs never abort a parse;
+//! at worst an exotic item is skipped, which fails *open* (no spurious
+//! findings) rather than closed.
+
+use crate::items::{Attr, Item, ItemKind, ItemTree};
+use crate::lexer::{Tok, Token};
+
+/// Parses a lexed token stream into an item tree.
+pub fn parse(tokens: &[Token]) -> ItemTree {
+    let mut tree = ItemTree::default();
+    let mut pos = 0usize;
+    parse_items(
+        tokens,
+        &mut pos,
+        tokens.len(),
+        &mut tree.items,
+        Some(&mut tree.inner_attrs),
+    );
+    tree
+}
+
+/// Item keywords that start a scope the tree records.
+const SCOPE_KEYWORDS: &[&str] = &["fn", "mod", "impl", "trait"];
+
+/// Item keywords that are skipped as opaque items.
+const OPAQUE_KEYWORDS: &[&str] = &[
+    "struct",
+    "enum",
+    "union",
+    "use",
+    "static",
+    "const",
+    "type",
+    "macro_rules",
+    "macro",
+];
+
+/// Modifier keywords that may precede an item keyword.
+const MODIFIERS: &[&str] = &["pub", "default", "async", "extern"];
+
+/// Parses items in `tokens[*pos..end]` into `out`. `inner` receives
+/// `#![...]` attributes when the caller wants them (top level only).
+fn parse_items(
+    tokens: &[Token],
+    pos: &mut usize,
+    end: usize,
+    out: &mut Vec<Item>,
+    mut inner: Option<&mut Vec<Attr>>,
+) {
+    while *pos < end {
+        // Inner attribute `#![...]`.
+        if tokens[*pos].is_punct('#')
+            && tokens.get(*pos + 1).is_some_and(|t| t.is_punct('!'))
+            && tokens.get(*pos + 2).is_some_and(|t| t.is_punct('['))
+        {
+            let line = tokens[*pos].line;
+            *pos += 3;
+            let attr = read_attr_body(tokens, pos, end, line);
+            if let Some(sink) = inner.as_deref_mut() {
+                sink.push(attr);
+            }
+            continue;
+        }
+        // Outer attributes.
+        let mut attrs = Vec::new();
+        while *pos < end
+            && tokens[*pos].is_punct('#')
+            && tokens.get(*pos + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let line = tokens[*pos].line;
+            *pos += 2;
+            attrs.push(read_attr_body(tokens, pos, end, line));
+        }
+        if *pos >= end {
+            break;
+        }
+        if let Some(item) = parse_one_item(tokens, pos, end, attrs) {
+            out.push(item);
+        }
+    }
+}
+
+/// Parses one item (with already-collected attributes) or skips one token.
+fn parse_one_item(tokens: &[Token], pos: &mut usize, end: usize, attrs: Vec<Attr>) -> Option<Item> {
+    let start = *pos;
+    let start_line = tokens[start].line;
+    let mut is_unsafe = false;
+    let mut unsafe_line = 0u32;
+
+    // Consume modifiers (`pub`, `pub(crate)`, `const fn`, `unsafe fn`,
+    // `extern "C" fn`, ...) up to the item keyword.
+    let mut i = *pos;
+    while i < end {
+        match tokens[i].ident() {
+            Some("unsafe") => {
+                is_unsafe = true;
+                unsafe_line = tokens[i].line;
+                i += 1;
+            }
+            Some("const") => {
+                // `const fn` is a modifier only when `fn` (or more
+                // modifiers) follow; otherwise it is a `const` item.
+                if tokens
+                    .get(i + 1)
+                    .and_then(Token::ident)
+                    .is_some_and(|id| id == "fn" || MODIFIERS.contains(&id) || id == "unsafe")
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            Some(m) if MODIFIERS.contains(&m) => {
+                i += 1;
+                // `pub(crate)` / `pub(in path)` visibility scope.
+                if tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+                    i = skip_delimited(tokens, i, end, '(', ')');
+                }
+                // `extern "C"` ABI string.
+                if m == "extern" && tokens.get(i).is_some_and(|t| t.str_lit().is_some()) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let Some(keyword) = tokens.get(i).filter(|_| i < end).and_then(Token::ident) else {
+        *pos += 1;
+        return None;
+    };
+
+    if SCOPE_KEYWORDS.contains(&keyword) {
+        let kind = match keyword {
+            "fn" => ItemKind::Fn,
+            "mod" => ItemKind::Mod,
+            "impl" => ItemKind::Impl,
+            "trait" => ItemKind::Trait,
+            _ => unreachable!("keyword list matches kinds"),
+        };
+        i += 1;
+        let name = match kind {
+            ItemKind::Fn | ItemKind::Mod | ItemKind::Trait => tokens
+                .get(i)
+                .filter(|_| i < end)
+                .and_then(Token::ident)
+                .unwrap_or("")
+                .to_string(),
+            _ => String::new(),
+        };
+        if kind == ItemKind::Fn && name.is_empty() {
+            // `fn(i32) -> i32` function-pointer type position, not an item.
+            *pos = i;
+            return None;
+        }
+        // Scan to the body `{` or a terminating `;` (`mod name;`, trait
+        // method declaration, extern fn declaration).
+        while i < end && !tokens[i].is_punct('{') && !tokens[i].is_punct(';') {
+            i += 1;
+        }
+        if i >= end || tokens[i].is_punct(';') {
+            *pos = (i + 1).min(end);
+            return Some(Item {
+                kind,
+                name,
+                line: start_line,
+                unsafe_line,
+                span: (start, *pos),
+                attrs,
+                is_unsafe,
+                children: Vec::new(),
+            });
+        }
+        let body_start = i + 1;
+        let body_end = matching_brace(tokens, i, end);
+        let mut children = Vec::new();
+        match kind {
+            ItemKind::Fn => scan_fn_body(tokens, body_start, body_end, &mut children),
+            _ => {
+                let mut p = body_start;
+                parse_items(tokens, &mut p, body_end, &mut children, None);
+            }
+        }
+        *pos = (body_end + 1).min(end);
+        return Some(Item {
+            kind,
+            name,
+            line: start_line,
+            unsafe_line,
+            span: (start, *pos),
+            attrs,
+            is_unsafe,
+            children,
+        });
+    }
+
+    if OPAQUE_KEYWORDS.contains(&keyword) || is_unsafe {
+        // Opaque item (struct/enum/const/use/...), or `unsafe impl Send`
+        // style already handled above; skip to its end.
+        *pos = skip_opaque_item(tokens, i, end);
+        return None;
+    }
+
+    // Not an item start (stray expression token at item level, macro
+    // invocation, ...). Advance one token; macro bodies are harmless
+    // because their delimiters are balanced and contain no item keywords
+    // we would misparse into overlapping spans.
+    *pos += 1;
+    None
+}
+
+/// Reads an attribute body starting just after `[`, collecting ident and
+/// string atoms until the matching `]`.
+fn read_attr_body(tokens: &[Token], pos: &mut usize, end: usize, line: u32) -> Attr {
+    let mut depth = 1usize;
+    let mut attr = Attr {
+        line,
+        idents: Vec::new(),
+        strs: Vec::new(),
+    };
+    while *pos < end && depth > 0 {
+        match &tokens[*pos].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => depth -= 1,
+            Tok::Ident(s) => attr.idents.push(s.clone()),
+            Tok::Str(s) => attr.strs.push(s.clone()),
+            _ => {}
+        }
+        *pos += 1;
+    }
+    attr
+}
+
+/// Scans a function body for `unsafe { ... }` blocks and nested items.
+/// Unsafe blocks nested inside other unsafe blocks are recorded too (each
+/// one carries its own safety obligation).
+fn scan_fn_body(tokens: &[Token], start: usize, end: usize, out: &mut Vec<Item>) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_ident("unsafe") {
+            let next = tokens.get(i + 1).filter(|_| i + 1 < end);
+            if next.is_some_and(|n| n.is_punct('{')) {
+                let body_end = matching_brace(tokens, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::UnsafeBlock,
+                    name: String::new(),
+                    line: t.line,
+                    unsafe_line: t.line,
+                    span: (i, (body_end + 1).min(end)),
+                    attrs: Vec::new(),
+                    is_unsafe: true,
+                    children: Vec::new(),
+                });
+                // Keep scanning *inside* the block for nested unsafe.
+                i += 2;
+                continue;
+            }
+            if next.is_some_and(|n| {
+                n.ident()
+                    .is_some_and(|id| id == "fn" || MODIFIERS.contains(&id) || id == "extern")
+            }) {
+                // Nested `unsafe fn` item inside a body.
+                let mut p = i;
+                parse_items_single(tokens, &mut p, end, out);
+                i = p;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.ident().is_some_and(|id| SCOPE_KEYWORDS.contains(&id)) {
+            // Possible nested item (`fn helper() {...}` inside a body).
+            // `fn` in type position (`fn(i32)`) is rejected by the parser.
+            let before = i;
+            let mut p = i;
+            parse_items_single(tokens, &mut p, end, out);
+            i = p.max(before + 1);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses exactly one item at `*pos` (no attribute collection — nested
+/// items inside bodies rarely carry rule-relevant attributes, and `#`
+/// tokens in expression position would misparse).
+fn parse_items_single(tokens: &[Token], pos: &mut usize, end: usize, out: &mut Vec<Item>) {
+    if let Some(item) = parse_one_item(tokens, pos, end, Vec::new()) {
+        out.push(item);
+    }
+}
+
+/// Returns the index of the `}` matching the `{` at `open`, or `end`.
+fn matching_brace(tokens: &[Token], open: usize, end: usize) -> usize {
+    debug_assert!(tokens[open].is_punct('{'));
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Skips past a `open ... close` delimited run starting at `open_idx`.
+fn skip_delimited(tokens: &[Token], open_idx: usize, end: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < end {
+        if tokens[i].is_punct(open) {
+            depth += 1;
+        } else if tokens[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Skips an opaque item starting at `i`: ends at a `;` outside delimiters,
+/// or at the matching `}` of its first brace block (struct/enum bodies,
+/// `macro_rules!` braces, const-block initializers run to their `;`).
+fn skip_opaque_item(tokens: &[Token], i: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    let mut seen_brace_at_top = false;
+    while j < end {
+        match &tokens[j].tok {
+            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => {
+                if tokens[j].is_punct('{') && depth == 0 {
+                    seen_brace_at_top = true;
+                }
+                depth += 1;
+            }
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && seen_brace_at_top && tokens[j].is_punct('}') {
+                    // A top-level brace block closed; `struct S { .. }` and
+                    // `macro_rules! m { .. }` end here, initializer blocks
+                    // (`const X: T = { .. };`) continue to the `;`.
+                    if !tokens
+                        .get(j + 1)
+                        .is_some_and(|t| t.is_punct(';') || t.is_punct('.') || t.is_punct('='))
+                    {
+                        return j + 1;
+                    }
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> ItemTree {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn parses_fns_mods_impls() {
+        let src = r#"
+pub fn alpha() { let x = 1; }
+mod inner {
+    fn beta() {}
+    impl Foo {
+        pub(crate) fn gamma(&self) -> u32 { 7 }
+    }
+}
+trait T { fn decl(&self); fn with_default(&self) {} }
+"#;
+        let tree = tree_of(src);
+        assert_eq!(tree.items.len(), 3);
+        assert_eq!(tree.items[0].kind, ItemKind::Fn);
+        assert_eq!(tree.items[0].name, "alpha");
+        assert_eq!(tree.items[1].kind, ItemKind::Mod);
+        assert_eq!(tree.items[1].name, "inner");
+        let inner = &tree.items[1].children;
+        assert_eq!(inner.len(), 2);
+        assert_eq!(inner[0].name, "beta");
+        assert_eq!(inner[1].kind, ItemKind::Impl);
+        assert_eq!(inner[1].children[0].name, "gamma");
+        let tr = &tree.items[2];
+        assert_eq!(tr.kind, ItemKind::Trait);
+        let names: Vec<&str> = tr.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["decl", "with_default"]);
+    }
+
+    #[test]
+    fn unsafe_fn_and_blocks_are_recorded() {
+        let src = r#"
+unsafe fn kernel(x: *const f64) -> f64 { *x }
+pub fn dispatch(x: &[f64]) -> f64 {
+    if feature() {
+        // SAFETY: checked
+        return unsafe { kernel(x.as_ptr()) };
+    }
+    x[0]
+}
+"#;
+        let tree = tree_of(src);
+        let kernel = &tree.items[0];
+        assert!(kernel.is_unsafe);
+        assert_eq!(kernel.unsafe_line, 2);
+        assert_eq!(kernel.kind, ItemKind::Fn);
+        let dispatch = &tree.items[1];
+        assert!(!dispatch.is_unsafe);
+        let blocks: Vec<&Item> = dispatch
+            .children
+            .iter()
+            .filter(|c| c.kind == ItemKind::UnsafeBlock)
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].line, 6);
+    }
+
+    #[test]
+    fn nested_unsafe_blocks_each_recorded() {
+        let src = "fn f() { unsafe { unsafe { x } } }";
+        let tree = tree_of(src);
+        let blocks = tree.collect(|i| i.kind == ItemKind::UnsafeBlock);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn attributes_and_cfg_tracking() {
+        let src = r#"
+#[cfg(test)]
+mod tests { fn t() {} }
+#[cfg(not(test))]
+fn live() {}
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn wide() {}
+"#;
+        let tree = tree_of(src);
+        assert!(tree.items[0].is_test_only());
+        assert!(!tree.items[1].is_test_only());
+        let wide = &tree.items[2];
+        assert!(wide.is_avx2_kernel());
+        assert!(wide.is_unsafe);
+        assert_eq!(wide.attrs.len(), 2);
+        assert_eq!(wide.attrs[1].strs, vec!["avx2"]);
+    }
+
+    #[test]
+    fn inner_attrs_are_collected() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}";
+        let tree = tree_of(src);
+        assert_eq!(tree.inner_attrs.len(), 1);
+        assert_eq!(tree.inner_attrs[0].idents, vec!["forbid", "unsafe_code"]);
+        assert_eq!(tree.items.len(), 1);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn f() { let g: fn(i32) -> i32 = h; let u: unsafe fn() = k; }";
+        let tree = tree_of(src);
+        assert_eq!(tree.items.len(), 1);
+        assert!(tree.items[0].children.is_empty());
+    }
+
+    #[test]
+    fn opaque_items_are_skipped_without_derailing() {
+        let src = r#"
+use std::fmt;
+const N: usize = { 3 + 4 };
+static S: &str = "x";
+struct Point { x: f64, y: f64 }
+enum E { A, B(u8) }
+macro_rules! m { ($x:expr) => { $x + 1 }; }
+fn after_all() {}
+"#;
+        let tree = tree_of(src);
+        assert_eq!(tree.items.len(), 1);
+        assert_eq!(tree.items[0].name, "after_all");
+    }
+
+    #[test]
+    fn spans_cover_items() {
+        let src = "fn a() { x } fn b() { y }";
+        let tree = tree_of(src);
+        let toks = lex(src).tokens;
+        let (s, e) = tree.items[0].span;
+        assert!(toks[s].is_ident("fn"));
+        assert!(toks[e - 1].is_punct('}'));
+        assert!(tree.items[1].span.0 >= e);
+    }
+
+    #[test]
+    fn unsafe_impl_and_trait() {
+        let src = "unsafe impl Send for X {} unsafe trait T {} fn live() {}";
+        let tree = tree_of(src);
+        assert_eq!(tree.items.len(), 3);
+        assert!(tree.items[0].is_unsafe);
+        assert_eq!(tree.items[0].kind, ItemKind::Impl);
+        assert!(tree.items[1].is_unsafe);
+        assert_eq!(tree.items[1].kind, ItemKind::Trait);
+    }
+}

@@ -1,50 +1,305 @@
-//! The rule engine: `#[cfg(test)]` region masking and the token-stream
-//! matchers for rules D1–D5.
+//! The rule engine: `#[cfg(test)]` region masking, the token-stream
+//! matchers for rules D1–D5, and the item-tree matchers for the unsafe
+//! audit (U1–U3). K-series knob checks live in [`crate::knobs`] and are
+//! wired in here when a knob table is available.
 
-use crate::config::{classify, rule_applies, FileCtx, RuleId};
-use crate::lexer::{lex, Token};
+use crate::config::{classify, rule_applies, FileCtx, RuleId, ALLOWED_UNSAFE_FILES};
+use crate::items::{ItemKind, ItemTree};
+use crate::knobs::{self, KnobTable};
+use crate::lexer::{lex, Lexed, LineComment, Token};
+use crate::parser;
 use crate::report::Finding;
 use crate::suppress;
 
-/// Scans one file's source, returning suppressed-and-sorted findings.
-///
-/// `rel_path` is the workspace-relative path used both for crate
-/// classification and in the findings.
-pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let Some(ctx) = classify(rel_path) else {
-        return Vec::new();
-    };
-    if ctx.is_test_source {
-        return Vec::new();
-    }
+/// Everything derived from one file before rules run: the lexed stream,
+/// the test mask, the item tree, and parsed suppression directives. The
+/// two-pass workspace scan prepares every file once, extracts the knob
+/// table from the prepared streams, then scans each file against it.
+pub struct Prepared {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Crate/test classification.
+    pub ctx: FileCtx,
+    /// Token stream + line comments.
+    pub lexed: Lexed,
+    /// Per-token test-only mask (parallel to `lexed.tokens`).
+    pub mask: Vec<bool>,
+    /// Scoped item tree.
+    pub tree: ItemTree,
+    /// Source lines, for finding snippets.
+    pub src_lines: Vec<String>,
+    /// Parsed `lint:allow` directives.
+    pub directives: Vec<suppress::Directive>,
+}
+
+/// Lexes, masks, parses, and classifies one file. Returns `None` for files
+/// the analyzer skips entirely (vendored / build output).
+pub fn prepare(rel_path: &str, src: &str) -> Option<Prepared> {
+    let ctx = classify(rel_path)?;
     let lexed = lex(src);
     let mask = test_mask(&lexed.tokens);
-    let lines: Vec<&str> = src.lines().collect();
+    let tree = parser::parse(&lexed.tokens);
+    let directives = suppress::parse_directives(&lexed.comments);
+    Some(Prepared {
+        rel: rel_path.to_string(),
+        ctx,
+        mask,
+        tree,
+        src_lines: src.lines().map(str::to_string).collect(),
+        directives,
+        lexed,
+    })
+}
 
+/// Builds the finding for `rule` at `line` in the prepared file.
+pub fn finding_at(p: &Prepared, rule: RuleId, line: u32) -> Finding {
+    Finding {
+        rule: rule.id().to_string(),
+        name: rule.name().to_string(),
+        severity: rule.severity().label().to_string(),
+        file: p.rel.clone(),
+        line,
+        snippet: p
+            .src_lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+        message: rule.message().to_string(),
+    }
+}
+
+/// Runs every in-scope rule over a prepared file, returning
+/// suppressed-and-unsorted findings. K1/K2 consumer checks need the
+/// workspace `table`; with `None` they are skipped (K2 definition-site
+/// checks are local and always run).
+pub fn scan_prepared(p: &Prepared, table: Option<&KnobTable>) -> Vec<Finding> {
+    if p.ctx.is_test_source {
+        return Vec::new();
+    }
     let mut raw: Vec<(RuleId, u32)> = Vec::new();
-    let claimed = match_nan_ord(&lexed.tokens, &mask, &mut raw, &ctx);
-    match_unseeded_rng(&lexed.tokens, &mask, &mut raw, &ctx);
-    match_wall_clock(&lexed.tokens, &mask, &mut raw, &ctx);
-    match_hash_iter(&lexed.tokens, &mask, &mut raw, &ctx);
-    match_unwrap(&lexed.tokens, &mask, &mut raw, &ctx, &claimed);
+    let claimed = match_nan_ord(&p.lexed.tokens, &p.mask, &mut raw, &p.ctx);
+    match_unseeded_rng(&p.lexed.tokens, &p.mask, &mut raw, &p.ctx);
+    match_wall_clock(&p.lexed.tokens, &p.mask, &mut raw, &p.ctx);
+    match_hash_iter(&p.lexed.tokens, &p.mask, &mut raw, &p.ctx);
+    match_unwrap(&p.lexed.tokens, &p.mask, &mut raw, &p.ctx, &claimed);
+
+    if rule_applies(RuleId::SafetyComment, &p.ctx) {
+        match_safety_comment(p, &mut raw);
+    }
+    if rule_applies(RuleId::UnsafeScope, &p.ctx) {
+        match_unsafe_scope(p, &mut raw);
+    }
+    if rule_applies(RuleId::SimdFallback, &p.ctx) {
+        match_simd_fallback(p, &mut raw);
+    }
+    if rule_applies(RuleId::KnobDomain, &p.ctx) {
+        knobs::check_definitions(&p.lexed.tokens, &p.mask, &mut raw);
+    }
+    if let Some(table) = table {
+        if rule_applies(RuleId::KnobUnknown, &p.ctx) {
+            knobs::check_consumers(&p.lexed.tokens, &p.mask, table, &mut raw);
+        }
+    }
 
     let findings = raw
         .into_iter()
-        .map(|(rule, line)| Finding {
-            rule: rule.id().to_string(),
-            name: rule.name().to_string(),
-            file: rel_path.to_string(),
-            line,
-            snippet: lines
-                .get(line as usize - 1)
-                .map(|l| l.trim().to_string())
-                .unwrap_or_default(),
-            message: rule.message().to_string(),
-        })
+        .map(|(rule, line)| finding_at(p, rule, line))
         .collect();
+    suppress::apply(findings, &p.directives, &p.rel)
+}
 
-    let directives = suppress::parse_directives(&lexed.comments);
-    suppress::apply(findings, &directives, rel_path)
+/// Scans one file's source in isolation (no knob table), returning
+/// suppressed findings. The workspace scan uses [`prepare`] +
+/// [`scan_prepared`] directly so the knob table is shared.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    match prepare(rel_path, src) {
+        Some(p) => scan_prepared(&p, None),
+        None => Vec::new(),
+    }
+}
+
+/// The two-pass workspace scan over `(rel_path, source)` pairs: prepare
+/// every file, extract the knob table from the params modules, scan each
+/// file against it, then run the global K3 unused-knob pass.
+pub fn scan_sources(files: &[(String, String)]) -> crate::report::Report {
+    let prepared: Vec<Prepared> = files
+        .iter()
+        .filter_map(|(rel, src)| prepare(rel, src))
+        .collect();
+    let streams = || {
+        prepared
+            .iter()
+            .map(|p| (p.rel.as_str(), p.lexed.tokens.as_slice()))
+    };
+    let table = knobs::extract_table(streams());
+
+    let mut findings = Vec::new();
+    for p in &prepared {
+        findings.extend(scan_prepared(p, Some(&table)));
+    }
+    for (file, rule, line) in knobs::unused_knobs(&table, streams()) {
+        let Some(p) = prepared.iter().find(|p| p.rel == file) else {
+            continue;
+        };
+        if !rule_applies(rule, &p.ctx) {
+            continue;
+        }
+        // K3 findings are produced globally, after per-file suppression ran;
+        // honor directives here without re-running the whole pass (which
+        // would duplicate A0 reports).
+        if p.directives.iter().any(|d| d.covers(rule.id(), line)) {
+            continue;
+        }
+        findings.push(finding_at(p, rule, line));
+    }
+    crate::report::Report::new(findings, files.len())
+}
+
+/// True when the item starting at token `span_start` is inside masked
+/// (test-only) code.
+fn span_masked(p: &Prepared, span_start: usize) -> bool {
+    p.mask.get(span_start).copied().unwrap_or(false)
+}
+
+/// U1: every `unsafe` block / `unsafe fn` (or impl/trait) must carry a
+/// `// SAFETY:` line comment — in the contiguous comment run directly above
+/// the item (above its attributes, for attributed items), or trailing on
+/// the `unsafe` line itself.
+fn match_safety_comment(p: &Prepared, out: &mut Vec<(RuleId, u32)>) {
+    let unsafe_nodes = p.tree.collect(|i| i.is_unsafe);
+    for item in unsafe_nodes {
+        if span_masked(p, item.span.0) || item.is_test_only() {
+            continue;
+        }
+        let anchor = if item.kind == ItemKind::UnsafeBlock {
+            item.unsafe_line
+        } else {
+            item.attrs
+                .iter()
+                .map(|a| a.line)
+                .min()
+                .map_or(item.line, |al| al.min(item.line))
+        };
+        if !has_safety_comment(&p.lexed.comments, anchor, item.unsafe_line) {
+            out.push((RuleId::SafetyComment, item.unsafe_line));
+        }
+    }
+}
+
+/// True when a `SAFETY:` comment covers an unsafe construct anchored at
+/// `anchor` (its first attribute/keyword line): either somewhere in the
+/// contiguous run of line comments ending at `anchor - 1`, or trailing on
+/// the `unsafe` keyword's own line.
+fn has_safety_comment(comments: &[LineComment], anchor: u32, unsafe_line: u32) -> bool {
+    if comments
+        .iter()
+        .any(|c| c.line == unsafe_line && c.text.contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut line = anchor.saturating_sub(1);
+    while line > 0 {
+        let Some(c) = comments.iter().find(|c| c.line == line) else {
+            return false;
+        };
+        if c.text.contains("SAFETY:") {
+            return true;
+        }
+        line -= 1;
+    }
+    false
+}
+
+/// U2: `unsafe` only in the allowlisted files; anywhere else is reported.
+fn match_unsafe_scope(p: &Prepared, out: &mut Vec<(RuleId, u32)>) {
+    if ALLOWED_UNSAFE_FILES.contains(&p.rel.as_str()) {
+        return;
+    }
+    for item in p.tree.collect(|i| i.is_unsafe) {
+        if span_masked(p, item.span.0) || item.is_test_only() {
+            continue;
+        }
+        out.push((RuleId::UnsafeScope, item.unsafe_line));
+    }
+}
+
+/// Identifiers that prove a call site is feature-gated.
+const FEATURE_GUARDS: &[&str] = &["has_avx2", "is_x86_feature_detected"];
+
+/// U3: every AVX2 kernel (`#[target_feature(enable = "avx2")]` fn) must be
+/// dispatched behind a runtime feature guard with a reachable scalar
+/// fallback in the same dispatching function; a kernel nothing in the file
+/// references at all is reported at its definition.
+fn match_simd_fallback(p: &Prepared, out: &mut Vec<(RuleId, u32)>) {
+    let kernels: Vec<_> = p
+        .tree
+        .collect(|i| i.kind == ItemKind::Fn && i.is_avx2_kernel())
+        .into_iter()
+        .filter(|i| !span_masked(p, i.span.0))
+        .collect();
+    if kernels.is_empty() {
+        return;
+    }
+    let tokens = &p.lexed.tokens;
+
+    // Dispatch-contract check: call sites inside non-kernel functions.
+    let fns = p
+        .tree
+        .collect(|i| i.kind == ItemKind::Fn && !i.is_avx2_kernel());
+    for f in &fns {
+        if span_masked(p, f.span.0) {
+            continue;
+        }
+        for idx in f.span.0..f.span.1.min(tokens.len()) {
+            let is_call = tokens[idx]
+                .ident()
+                .is_some_and(|id| kernels.iter().any(|k| k.name == id))
+                && tokens.get(idx + 1).is_some_and(|t| t.is_punct('('));
+            if !is_call || p.mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            // Skip call sites that belong to a *nested* kernel's span.
+            if kernels.iter().any(|k| idx >= k.span.0 && idx < k.span.1) {
+                continue;
+            }
+            let guarded = tokens[f.span.0..idx]
+                .iter()
+                .any(|t| t.ident().is_some_and(|id| FEATURE_GUARDS.contains(&id)));
+            let fallback = has_scalar_fallback(tokens, idx + 1, f.span.1.min(tokens.len()));
+            if !guarded || !fallback {
+                out.push((RuleId::SimdFallback, tokens[idx].line));
+            }
+        }
+    }
+
+    // Reachability check: a kernel referenced nowhere outside its own body
+    // has no dispatcher at all.
+    for k in &kernels {
+        let referenced = tokens.iter().enumerate().any(|(idx, t)| {
+            (idx < k.span.0 || idx >= k.span.1)
+                && t.ident() == Some(k.name.as_str())
+                && tokens.get(idx + 1).is_some_and(|n| n.is_punct('('))
+                && !p.mask.get(idx).copied().unwrap_or(false)
+        });
+        if !referenced {
+            out.push((RuleId::SimdFallback, k.line));
+        }
+    }
+}
+
+/// True when tokens after an AVX2 call site (up to the end of the
+/// dispatching fn) contain a scalar fallback: a loop, or a call to a
+/// `*_generic` / `*_scalar` function.
+fn has_scalar_fallback(tokens: &[Token], from: usize, to: usize) -> bool {
+    (from..to).any(|j| {
+        let Some(id) = tokens[j].ident() else {
+            return false;
+        };
+        id == "for"
+            || id == "while"
+            || ((id.ends_with("_generic") || id.ends_with("_scalar"))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct('(')))
+    })
 }
 
 /// Marks token spans that belong to test-only items: anything annotated
@@ -370,5 +625,183 @@ mod tests {
         assert_eq!(found.len(), 2);
         assert!(found.iter().all(|(r, _)| r == "D3"));
         assert!(rules_at("crates/math/src/x.rs", src).is_empty());
+    }
+
+    // -- U-series --
+
+    #[test]
+    fn u1_requires_safety_comment_on_unsafe_block() {
+        let src = "\
+pub fn f(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+";
+        let got = rules_at("crates/math/src/simd.rs", src);
+        assert_eq!(got, vec![("U1".to_string(), 2)]);
+
+        let good = "\
+pub fn f(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+";
+        assert!(rules_at("crates/math/src/simd.rs", good).is_empty());
+    }
+
+    #[test]
+    fn u1_comment_run_may_span_lines_and_sit_above_attrs() {
+        let src = "\
+// SAFETY: callers must check AVX2 at runtime; this function reads
+// 4 lanes per iteration and n is rounded down to a multiple of 4.
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn k(xs: *const f64) {}
+fn dispatch(xs: *const f64) { if has_avx2() { unsafe { k(xs) }; return; } for _ in 0..1 {} }
+";
+        // The kernel's U1 passes; the dispatch-site unsafe block has no
+        // SAFETY comment and is reported.
+        let got = rules_at("crates/math/src/simd.rs", src);
+        assert_eq!(got, vec![("U1".to_string(), 5)]);
+    }
+
+    #[test]
+    fn u1_accepts_trailing_same_line_comment() {
+        let src = "fn f(p: *const u8) { unsafe { p.read() }; } // SAFETY: p nonnull by contract\n";
+        assert!(rules_at("crates/math/src/simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u2_reports_unsafe_outside_allowlist() {
+        let src = "\
+// SAFETY: justified, but in the wrong place.
+pub fn f(p: *const f64) -> f64 {
+    // SAFETY: p valid.
+    unsafe { *p }
+}
+";
+        let got = rules_at("crates/core/src/x.rs", src);
+        assert_eq!(got, vec![("U2".to_string(), 4)]);
+        // Same source in the allowlisted file: clean.
+        assert!(rules_at("crates/math/src/simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u2_reports_unsafe_fn_and_impl() {
+        let src = "\
+// SAFETY: documented but misplaced.
+pub unsafe fn raw() {}
+";
+        let got = rules_at("crates/tuners/src/x.rs", src);
+        assert_eq!(got, vec![("U2".to_string(), 2)]);
+    }
+
+    #[test]
+    fn u3_passes_guarded_dispatch_with_fallback() {
+        let src = "\
+// SAFETY: AVX2 verified by caller via has_avx2.
+#[target_feature(enable = \"avx2\")]
+unsafe fn axpy_avx2(n: usize) {}
+pub fn axpy(n: usize) {
+    if has_avx2() {
+        // SAFETY: AVX2 support verified above.
+        unsafe { axpy_avx2(n) };
+        return;
+    }
+    for _i in 0..n {}
+}
+";
+        assert!(rules_at("crates/math/src/simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u3_flags_unguarded_call_and_missing_fallback() {
+        let unguarded = "\
+// SAFETY: AVX2 verified by caller.
+#[target_feature(enable = \"avx2\")]
+unsafe fn k_avx2(n: usize) {}
+pub fn k(n: usize) {
+    // SAFETY: assumed.
+    unsafe { k_avx2(n) };
+    for _i in 0..n {}
+}
+";
+        assert_eq!(
+            rules_at("crates/math/src/simd.rs", unguarded),
+            vec![("U3".to_string(), 6)]
+        );
+
+        let no_fallback = "\
+// SAFETY: AVX2 verified by caller.
+#[target_feature(enable = \"avx2\")]
+unsafe fn k_avx2(n: usize) {}
+pub fn k(n: usize) {
+    if has_avx2() {
+        // SAFETY: verified above.
+        unsafe { k_avx2(n) };
+    }
+}
+";
+        assert_eq!(
+            rules_at("crates/math/src/simd.rs", no_fallback),
+            vec![("U3".to_string(), 7)]
+        );
+    }
+
+    #[test]
+    fn u3_accepts_generic_fallback_call_and_flags_orphan_kernel() {
+        let generic = "\
+// SAFETY: AVX2 verified by caller.
+#[target_feature(enable = \"avx2\")]
+unsafe fn t_avx2(n: usize) {}
+fn t_generic(n: usize) {}
+pub fn t(n: usize) {
+    if has_avx2() {
+        // SAFETY: verified above.
+        unsafe { t_avx2(n) };
+        return;
+    }
+    t_generic(n);
+}
+";
+        assert!(rules_at("crates/math/src/simd.rs", generic).is_empty());
+
+        let orphan = "\
+// SAFETY: AVX2 verified by caller (but nothing calls this).
+#[target_feature(enable = \"avx2\")]
+unsafe fn orphan_avx2(n: usize) {}
+";
+        assert_eq!(
+            rules_at("crates/math/src/simd.rs", orphan),
+            vec![("U3".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn unsafe_in_cfg_test_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(p: *const u8) { unsafe { p.read() }; }
+}
+";
+        assert!(rules_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u_findings_can_be_suppressed_with_reason() {
+        let src = "\
+pub fn f(p: *const f64) -> f64 {
+    // lint:allow(U1, U2) vetted FFI shim, audited in review 2026-06
+    unsafe { *p }
+}
+";
+        assert!(rules_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn severity_is_attached_to_findings() {
+        let src = "fn f() { a.unwrap(); }\n";
+        let found = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].severity, "error");
     }
 }

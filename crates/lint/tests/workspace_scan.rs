@@ -1,14 +1,24 @@
-//! Fixture-based rule tests, JSON round-trip, workspace self-scan, and
-//! binary exit-code checks for `autotune-lint`.
+//! Fixture-based rule tests, JSON round-trip, SARIF snapshot, workspace
+//! self-scan, and binary exit-code checks for `autotune-lint`.
 
 use std::path::Path;
 use std::process::Command;
 
 use autotune_lint::fixtures;
-use autotune_lint::{find_workspace_root, scan_source, scan_workspace, Report};
+use autotune_lint::{find_workspace_root, scan_source, scan_sources, scan_workspace, Report};
 
 fn workspace_root() -> std::path::PathBuf {
     find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+}
+
+/// Scans a multi-file fixture as one mini-workspace.
+fn scan_multi(fx: &fixtures::MultiFixture) -> Report {
+    let files: Vec<(String, String)> = fx
+        .files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    scan_sources(&files)
 }
 
 #[test]
@@ -28,6 +38,22 @@ fn fixtures_produce_expected_rules() {
 }
 
 #[test]
+fn multi_fixtures_produce_expected_rules() {
+    for fx in fixtures::ALL_MULTI {
+        let got: Vec<String> = scan_multi(fx)
+            .findings
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(
+            got, fx.expect,
+            "multi-fixture `{}` produced unexpected findings",
+            fx.label
+        );
+    }
+}
+
+#[test]
 fn findings_carry_location_and_snippet() {
     let findings = scan_source(fixtures::D4_BAD.path, fixtures::D4_BAD.src);
     assert_eq!(findings.len(), 1);
@@ -39,12 +65,94 @@ fn findings_carry_location_and_snippet() {
 }
 
 #[test]
+fn new_rules_fire_at_expected_lines() {
+    // Single-file rules.
+    for (fx, rule, line) in [
+        (&fixtures::U1_BAD, "U1", 3),
+        (&fixtures::U2_BAD, "U2", 4),
+        (&fixtures::U3_BAD, "U3", 10),
+        (&fixtures::K2_DEF_BAD, "K2", 3),
+    ] {
+        let findings = scan_source(fx.path, fx.src);
+        assert_eq!(findings.len(), 1, "fixture `{}`", fx.label);
+        assert_eq!(findings[0].rule, rule, "fixture `{}`", fx.label);
+        assert_eq!(findings[0].line, line, "fixture `{}`", fx.label);
+    }
+    // Cross-file rules.
+    for (fx, rule, line) in [
+        (&fixtures::K1_BAD_MULTI, "K1", 4),
+        (&fixtures::K2_SET_BAD_MULTI, "K2", 3),
+        (&fixtures::K3_BAD_MULTI, "K3", 10),
+    ] {
+        let report = scan_multi(fx);
+        assert_eq!(report.findings.len(), 1, "fixture `{}`", fx.label);
+        assert_eq!(report.findings[0].rule, rule, "fixture `{}`", fx.label);
+        assert_eq!(report.findings[0].line, line, "fixture `{}`", fx.label);
+    }
+}
+
+#[test]
+fn k3_is_warning_and_does_not_error_the_report() {
+    let report = scan_multi(&fixtures::K3_BAD_MULTI);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].severity, "warning");
+    assert!(!report.is_clean());
+    assert!(!report.has_errors());
+}
+
+#[test]
 fn json_report_round_trips() {
     let findings = scan_source(fixtures::D5_BAD.path, fixtures::D5_BAD.src);
     let report = Report::new(findings, 1);
     let back: Report = serde_json::from_str(&report.json()).expect("report JSON parses");
     assert_eq!(back, report);
     assert_eq!(back.findings.len(), 2);
+}
+
+#[test]
+fn sarif_snapshot_for_one_finding() {
+    let findings = scan_source(fixtures::D4_BAD.path, fixtures::D4_BAD.src);
+    let report = Report::new(findings, 1);
+    let sarif = report.sarif();
+    // Shape snapshot: the one result block, byte-exact. (The rule catalog
+    // above it is covered by the unit tests.)
+    let expected_result = r#"  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "autotune-lint","#;
+    assert!(
+        sarif.contains(expected_result),
+        "SARIF run/tool framing changed:\n{sarif}"
+    );
+    let expected = r#"      "results": [
+        {
+          "ruleId": "D4",
+          "level": "error",
+          "message": {
+            "text": "NaN-unsafe float ordering panics on NaN; use f64::total_cmp or handle the None"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/bench/src/fixture.rs"
+                },
+                "region": {
+                  "startLine": 3,
+                  "snippet": {
+                    "text": "xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());"
+                  }
+                }
+              }
+            }
+          ]
+        }
+      ]"#;
+    assert!(
+        sarif.contains(expected),
+        "SARIF result shape changed:\n{sarif}"
+    );
 }
 
 #[test]
@@ -72,25 +180,78 @@ fn binary_exits_zero_on_clean_workspace() {
     );
 }
 
-#[test]
-fn binary_exits_nonzero_on_bad_source() {
-    // Materialize one bad fixture into a throwaway workspace layout.
-    let dir = std::env::temp_dir().join(format!("autotune-lint-it-{}", std::process::id()));
-    let src_dir = dir.join("crates/tuners/src");
-    std::fs::create_dir_all(&src_dir).expect("temp dir");
-    std::fs::write(src_dir.join("fixture.rs"), fixtures::D1_BAD.src).expect("write fixture");
-
+/// Materializes `(rel_path, src)` pairs under a fresh temp dir, runs the
+/// binary on it with `args`, and returns (exit code, stdout).
+fn run_on_temp_workspace(
+    tag: &str,
+    files: &[(&str, &str)],
+    args: &[&str],
+) -> (Option<i32>, String) {
+    let dir = std::env::temp_dir().join(format!("autotune-lint-it-{tag}-{}", std::process::id()));
+    for (rel, src) in files {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("temp dir");
+        std::fs::write(path, src).expect("write fixture");
+    }
     let out = Command::new(env!("CARGO_BIN_EXE_autotune-lint"))
-        .arg("--json")
+        .args(args)
         .arg(&dir)
         .output()
         .expect("binary runs");
     std::fs::remove_dir_all(&dir).ok();
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
 
-    assert_eq!(out.status.code(), Some(1));
-    let report: Report =
-        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("JSON output parses");
+#[test]
+fn binary_exits_nonzero_on_bad_source() {
+    let (code, stdout) = run_on_temp_workspace(
+        "d1",
+        &[("crates/tuners/src/fixture.rs", fixtures::D1_BAD.src)],
+        &["--json"],
+    );
+    assert_eq!(code, Some(1));
+    let report: Report = serde_json::from_str(&stdout).expect("JSON output parses");
     assert_eq!(report.findings.len(), 1);
     assert_eq!(report.findings[0].rule, "D1");
     assert_eq!(report.findings[0].file, "crates/tuners/src/fixture.rs");
+}
+
+#[test]
+fn binary_catches_injected_knob_typo_across_crates() {
+    // The typo lives in a tuner crate; the knob table comes from the sim
+    // params module — the finding proves the scan is cross-crate.
+    let (code, stdout) =
+        run_on_temp_workspace("k1", fixtures::K1_BAD_MULTI.files, &["--format", "json"]);
+    assert_eq!(code, Some(1));
+    let report: Report = serde_json::from_str(&stdout).expect("JSON output parses");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "K1");
+    assert_eq!(report.findings[0].file, "crates/tuners/src/fixture.rs");
+    assert!(report.findings[0].snippet.contains("executor_memory_mbb"));
+}
+
+#[test]
+fn binary_warnings_do_not_fail_the_run() {
+    let (code, stdout) =
+        run_on_temp_workspace("k3", fixtures::K3_BAD_MULTI.files, &["--format", "json"]);
+    assert_eq!(code, Some(0), "warnings alone must exit 0:\n{stdout}");
+    let report: Report = serde_json::from_str(&stdout).expect("JSON output parses");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "K3");
+    assert_eq!(report.findings[0].severity, "warning");
+}
+
+#[test]
+fn binary_emits_sarif() {
+    let (code, stdout) = run_on_temp_workspace(
+        "sarif",
+        &[("crates/tuners/src/fixture.rs", fixtures::D1_BAD.src)],
+        &["--format", "sarif"],
+    );
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"version\": \"2.1.0\""));
+    assert!(stdout.contains("\"ruleId\": \"D1\""));
 }

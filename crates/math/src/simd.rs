@@ -38,6 +38,10 @@ pub(crate) fn axpy_add(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+// SAFETY: `unsafe` only because of `#[target_feature]` — callers must have
+// verified AVX2 support at runtime (`has_avx2`) before calling, or the CPU
+// may fault on the 256-bit instructions. The body itself is safe code: the
+// same zip-bounded loop as the scalar path, recompiled with AVX2 enabled.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn axpy_add_avx2(a: f64, x: &[f64], y: &mut [f64]) {
@@ -60,6 +64,9 @@ pub(crate) fn axpy_sub(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+// SAFETY: `unsafe` only because of `#[target_feature]` — callers must have
+// verified AVX2 support at runtime (`has_avx2`) before calling. The body is
+// safe code: the same zip-bounded loop as the scalar path.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn axpy_sub_avx2(a: f64, x: &[f64], y: &mut [f64]) {
@@ -84,6 +91,9 @@ pub(crate) fn scaled_sq_accum(xd: f64, l: f64, q: &[f64], acc: &mut [f64]) {
     }
 }
 
+// SAFETY: `unsafe` only because of `#[target_feature]` — callers must have
+// verified AVX2 support at runtime (`has_avx2`) before calling. The body is
+// safe code: the same zip-bounded loop as the scalar path.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn scaled_sq_accum_avx2(xd: f64, l: f64, q: &[f64], acc: &mut [f64]) {
@@ -141,6 +151,11 @@ fn trsm4x8_generic(l: [&[f64]; 4], solved: &[f64], m: usize, joff: usize, acc: &
 /// iteration). Uses only `vbroadcastsd`/`vmulpd`/`vsubpd` — the same IEEE
 /// operations in the same per-element order as the scalar loop, so the
 /// result is bit-identical.
+// SAFETY: callers must have verified AVX2 support at runtime (`has_avx2`)
+// before calling — `#[target_feature]` makes the call itself unsafe. The
+// raw pointer arithmetic inside is bounded by the `assert!`s at the top of
+// the body: every `get_unchecked`/`loadu` index was proven in range before
+// the first load, and the store targets are fixed-size accumulator rows.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn trsm4x8_avx2(
@@ -260,6 +275,10 @@ fn trsm1x8_generic(l: &[f64], solved: &[f64], m: usize, joff: usize, acc: &mut [
     }
 }
 
+// SAFETY: callers must have verified AVX2 support at runtime (`has_avx2`)
+// before calling — `#[target_feature]` makes the call itself unsafe. The
+// pointer reads inside are bounded by the solved-region `assert!` at the
+// top of the body; the store target is a fixed-size accumulator row.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn trsm1x8_avx2(l: &[f64], solved: &[f64], m: usize, joff: usize, acc: &mut [f64; 8]) {
