@@ -1,0 +1,39 @@
+//! `replay_repo` — summarize an `autotune-serve` session repository as a
+//! bench table, re-running nothing.
+//!
+//! ```sh
+//! replay_repo ./autotune-serve-data
+//! ```
+//!
+//! Writes `bench_results/replay_repo.json` alongside the printed table.
+
+use autotune_bench::replay::{render_table, replay_repository};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("./autotune-serve-data"));
+    if !root.exists() {
+        eprintln!("replay_repo: no session repository at {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    match replay_repository(&root) {
+        Ok(report) => {
+            print!("{}", render_table(&report));
+            println!(
+                "\n{} session(s), {} skipped",
+                report.sessions.len(),
+                report.skipped.len()
+            );
+            autotune_bench::write_json("replay_repo", &report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay_repo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

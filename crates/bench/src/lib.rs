@@ -3,12 +3,14 @@
 //! The benchmark harness that regenerates **every table and quantitative
 //! claim** of Lu et al. (VLDB 2019): Table 1 ([`table1`]), Table 2
 //! ([`table2`]), and the prose claims C1–C7 ([`claims`]), plus the
-//! ground-truth knob-sensitivity oracle ([`sensitivity`]) and shared
-//! session plumbing ([`harness`]).
+//! ground-truth knob-sensitivity oracle ([`sensitivity`]), shared
+//! session plumbing ([`harness`]), and a repository-backed replay mode
+//! ([`replay`]) that summarizes an `autotune-serve` session store without
+//! re-running any evaluations.
 //!
 //! Binaries (see `src/bin/`): `table1`, `table2`, `speedup_claim`,
-//! `hadoop_vs_db`, `spark_sensitivity`, `interactions`. Criterion benches
-//! live in `benches/`.
+//! `hadoop_vs_db`, `spark_sensitivity`, `interactions`, `replay_repo`.
+//! Criterion benches live in `benches/`.
 
 #![warn(missing_docs)]
 
@@ -16,6 +18,7 @@ pub mod ablation;
 pub mod claims;
 pub mod exec;
 pub mod harness;
+pub mod replay;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;

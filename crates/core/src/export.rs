@@ -12,14 +12,16 @@ use std::fmt::Write as _;
 pub fn history_to_csv(history: &History, space: &ConfigSpace) -> String {
     let metric_names = history.metric_names();
     let mut out = String::new();
-    // Header.
+    // Header. Knob and metric names are user-controlled strings, so every
+    // header cell is escaped just like the value cells below — a metric
+    // named `lock waits, total` must not shift all following columns.
     out.push_str("run");
     for p in space.params() {
-        let _ = write!(out, ",{}", p.name);
+        let _ = write!(out, ",{}", csv_escape(&p.name));
     }
     out.push_str(",runtime_secs,cost,failed");
     for m in &metric_names {
-        let _ = write!(out, ",{m}");
+        let _ = write!(out, ",{}", csv_escape(m));
     }
     out.push('\n');
     // Rows.
@@ -37,7 +39,7 @@ pub fn history_to_csv(history: &History, space: &ConfigSpace) -> String {
         for m in &metric_names {
             match obs.metrics.get(m) {
                 Some(v) => {
-                    let _ = write!(out, ",{v}");
+                    let _ = write!(out, ",{}", csv_escape(&v.to_string()));
                 }
                 None => out.push(','),
             }
@@ -108,6 +110,43 @@ mod tests {
         h.push(Observation::ok(cfg, 1.0));
         let csv = history_to_csv(&h, &s);
         assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn csv_escapes_header_and_metric_cells() {
+        let s = space();
+        let mut h = History::new();
+        let mut o = Observation::ok(s.default_config(), 1.0);
+        o.metrics.insert("lock waits, total".into(), 2.0);
+        o.metrics.insert("hit \"ratio\"".into(), 0.5);
+        h.push(o);
+        let csv = history_to_csv(&h, &s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[0].contains("\"lock waits, total\""),
+            "comma-bearing metric name must be quoted: {}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains("\"hit \"\"ratio\"\"\""),
+            "quote-bearing metric name must be doubled: {}",
+            lines[0]
+        );
+        // Every row must have the same number of (unquoted) columns as the
+        // header; count separators outside quoted cells.
+        let cols = |line: &str| {
+            let mut n = 1;
+            let mut quoted = false;
+            for c in line.chars() {
+                match c {
+                    '"' => quoted = !quoted,
+                    ',' if !quoted => n += 1,
+                    _ => {}
+                }
+            }
+            n
+        };
+        assert_eq!(cols(lines[0]), cols(lines[1]), "csv={csv}");
     }
 
     #[test]

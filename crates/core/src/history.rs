@@ -18,6 +18,17 @@ impl History {
         Self::default()
     }
 
+    /// History rebuilt from a recorded observation log (oldest first) —
+    /// the write-ahead-log replay path of persistent session stores.
+    pub fn from_observations(observations: Vec<Observation>) -> Self {
+        History { observations }
+    }
+
+    /// Consumes the history, yielding the raw observation log.
+    pub fn into_observations(self) -> Vec<Observation> {
+        self.observations
+    }
+
     /// Appends an observation.
     pub fn push(&mut self, obs: Observation) {
         self.observations.push(obs);

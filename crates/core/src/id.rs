@@ -1,0 +1,122 @@
+//! Session identifiers for long-lived tuning services.
+//!
+//! A [`SessionId`] names one tuning session in a persistent session
+//! repository (the `autotune-serve` daemon's on-disk store). Ids are
+//! counter-based — `s-000042` — so they are deterministic, sortable, and
+//! safe to use as directory names; no entropy source is involved.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of one tuning session in a session repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Id from its numeric counter value.
+    pub fn new(n: u64) -> Self {
+        SessionId(n)
+    }
+
+    /// The numeric counter value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The id that follows this one.
+    pub fn next(self) -> SessionId {
+        SessionId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s-{:06}", self.0)
+    }
+}
+
+/// Error parsing a [`SessionId`] from its string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSessionIdError;
+
+impl fmt::Display for ParseSessionIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("session id must look like `s-000042`")
+    }
+}
+
+impl std::error::Error for ParseSessionIdError {}
+
+impl FromStr for SessionId {
+    type Err = ParseSessionIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("s-").ok_or(ParseSessionIdError)?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseSessionIdError);
+        }
+        digits
+            .parse()
+            .map(SessionId)
+            .map_err(|_| ParseSessionIdError)
+    }
+}
+
+// Serialized as the display string (`"s-000042"`) so ids read naturally in
+// JSON APIs and WAL records; plain integers are accepted on input for
+// hand-written requests.
+impl Serialize for SessionId {
+    fn to_value(&self) -> Value {
+        Value::Text(self.to_string())
+    }
+}
+
+impl Deserialize for SessionId {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Text(s) => s
+                .parse()
+                .map_err(|e: ParseSessionIdError| serde::Error::custom(e)),
+            Value::Int(i) if *i >= 0 => Ok(SessionId(*i as u64)),
+            Value::UInt(u) => Ok(SessionId(*u)),
+            other => Err(serde::Error::custom(format!(
+                "expected session id string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let id = SessionId::new(42);
+        assert_eq!(id.to_string(), "s-000042");
+        assert_eq!("s-000042".parse::<SessionId>().unwrap(), id);
+        assert_eq!("s-7".parse::<SessionId>().unwrap(), SessionId::new(7));
+        assert!("x-1".parse::<SessionId>().is_err());
+        assert!("s-".parse::<SessionId>().is_err());
+        assert!("s-12a".parse::<SessionId>().is_err());
+    }
+
+    #[test]
+    fn ordering_follows_counters() {
+        assert!(SessionId::new(2) < SessionId::new(10));
+        assert_eq!(SessionId::new(5).next(), SessionId::new(6));
+    }
+
+    #[test]
+    fn serde_roundtrip_and_integer_input() {
+        let id = SessionId::new(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "\"s-000009\"");
+        let back: SessionId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+        let from_int: SessionId = serde_json::from_str("9").unwrap();
+        assert_eq!(from_int, id);
+    }
+}

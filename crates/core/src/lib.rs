@@ -30,6 +30,7 @@
 pub mod error;
 pub mod export;
 pub mod history;
+pub mod id;
 pub mod objective;
 pub mod param;
 pub mod pareto;
@@ -41,6 +42,7 @@ pub mod tuner;
 pub use error::{CoreError, CoreResult};
 pub use export::{config_to_properties, history_to_csv};
 pub use history::History;
+pub use id::SessionId;
 pub use objective::{
     Budget, FunctionObjective, Metrics, Objective, Observation, SystemKind, SystemProfile,
     WorkloadClass,
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, CoreResult};
     pub use crate::export::{config_to_properties, history_to_csv};
     pub use crate::history::History;
+    pub use crate::id::SessionId;
     pub use crate::objective::{
         Budget, FunctionObjective, Metrics, Objective, Observation, SystemKind, SystemProfile,
         WorkloadClass,

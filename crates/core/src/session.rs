@@ -29,10 +29,12 @@ pub struct TuningOutcome {
 
 impl TuningOutcome {
     /// Speedup of the best found configuration over a baseline runtime
-    /// (`baseline / best`); returns 1.0 if nothing was observed.
+    /// (`baseline / best`); returns 1.0 if nothing was observed or if even
+    /// the best observation failed — a failed run's runtime is a timeout
+    /// penalty, not a measurement, so no speedup claim can rest on it.
     pub fn speedup_over(&self, baseline_runtime: f64) -> f64 {
         match &self.best {
-            Some(b) if b.runtime_secs > 0.0 => baseline_runtime / b.runtime_secs,
+            Some(b) if !b.failed && b.runtime_secs > 0.0 => baseline_runtime / b.runtime_secs,
             _ => 1.0,
         }
     }
@@ -238,5 +240,22 @@ mod tests {
         let outcome = tune(&mut obj, &mut tuner, 20, 3);
         let s = outcome.speedup_over(2.0);
         assert!(s > 1.0);
+    }
+
+    #[test]
+    fn speedup_ignores_failed_best() {
+        let mut obj = sphere_objective();
+        let mut tuner = RandomTuner;
+        let mut outcome = tune(&mut obj, &mut tuner, 5, 4);
+        // An all-failed session must not claim a speedup from the penalty
+        // runtime of its least-bad failure.
+        let mut failed = outcome.best.clone().unwrap();
+        failed.failed = true;
+        failed.runtime_secs = 0.001; // absurdly good-looking penalty value
+        outcome.best = Some(failed);
+        assert_eq!(outcome.speedup_over(100.0), 1.0);
+        // And an absent best stays at 1.0 too.
+        outcome.best = None;
+        assert_eq!(outcome.speedup_over(100.0), 1.0);
     }
 }

@@ -1,0 +1,127 @@
+//! Serde round-trip properties for the types a persistent session store
+//! writes to disk: `Configuration`, `Observation`, and `History`.
+//!
+//! The `autotune-serve` write-ahead log records one observation per JSONL
+//! line and replays them on startup, so these round-trips must be exact:
+//! value-equal after parse, and byte-identical after re-serialization
+//! (finite floats re-print to the same shortest representation).
+
+use autotune_core::{Configuration, History, Metrics, Observation, ParamValue};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministically builds a configuration with a mix of value kinds.
+fn config_from_seed(seed: u64, knobs: usize) -> Configuration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfg = Configuration::new();
+    for i in 0..knobs {
+        let name = format!("knob_{i}");
+        let v = match i % 4 {
+            0 => ParamValue::Int(rng.random_range(-1_000_000..1_000_000)),
+            1 => ParamValue::Float(rng.random_range(-1e6..1e6)),
+            2 => ParamValue::Bool(rng.random_range(0..2) == 1),
+            _ => ParamValue::Str(format!("level-{}", rng.random_range(0..5))),
+        };
+        cfg.set(&name, v);
+    }
+    cfg
+}
+
+/// Deterministically builds an observation with metrics.
+fn obs_from_seed(seed: u64, knobs: usize, metrics: usize) -> Observation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5);
+    let mut m = Metrics::new();
+    for j in 0..metrics {
+        m.insert(format!("metric {j}, scaled"), rng.random_range(0.0..1e4));
+    }
+    Observation {
+        config: config_from_seed(seed, knobs),
+        runtime_secs: rng.random_range(1e-3..1e5),
+        cost: rng.random_range(0.0..1e5),
+        metrics: m,
+        failed: rng.random_range(0..8) == 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn configuration_roundtrips_exactly(seed in 0u64..100_000, knobs in 0usize..12) {
+        let cfg = config_from_seed(seed, knobs);
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        let back: Configuration = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(&back, &cfg);
+        // Byte-identical re-serialization: the WAL's dedup and the
+        // crash-recovery byte-equality check both rest on this.
+        let json2 = serde_json::to_string(&back).expect("serializes");
+        prop_assert_eq!(json2, json);
+        prop_assert_eq!(back.stable_hash(), cfg.stable_hash());
+    }
+
+    #[test]
+    fn observation_roundtrips_exactly(
+        seed in 0u64..100_000,
+        knobs in 0usize..8,
+        metrics in 0usize..6,
+    ) {
+        let obs = obs_from_seed(seed, knobs, metrics);
+        // NaN-free invariant: everything the generator produces is finite,
+        // and the parsed copy must stay finite (non-finite floats would
+        // serialize as `null` and fail the typed parse).
+        prop_assert!(obs.runtime_secs.is_finite() && obs.cost.is_finite());
+        let json = serde_json::to_string(&obs).expect("serializes");
+        let back: Observation = serde_json::from_str(&json).expect("parses");
+        prop_assert!(back.runtime_secs.is_finite() && back.cost.is_finite());
+        prop_assert!(back.metrics.values().all(|v| v.is_finite()));
+        prop_assert_eq!(back.runtime_secs.to_bits(), obs.runtime_secs.to_bits());
+        prop_assert_eq!(back.cost.to_bits(), obs.cost.to_bits());
+        prop_assert_eq!(&back.config, &obs.config);
+        prop_assert_eq!(back.failed, obs.failed);
+        prop_assert_eq!(&back.metrics, &obs.metrics);
+        prop_assert_eq!(serde_json::to_string(&back).expect("serializes"), json);
+    }
+
+    #[test]
+    fn history_roundtrips_exactly(seed in 0u64..50_000, n in 0usize..10) {
+        let mut h = History::new();
+        for i in 0..n {
+            h.push(obs_from_seed(seed.wrapping_add(i as u64), 5, 3));
+        }
+        let json = serde_json::to_string(&h).expect("serializes");
+        let back: History = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back.len(), h.len());
+        prop_assert_eq!(serde_json::to_string(&back).expect("serializes"), json);
+        // The rebuilt history computes identical summaries.
+        prop_assert_eq!(back.best_runtime().to_bits(), h.best_runtime().to_bits());
+        prop_assert_eq!(back.metric_names(), h.metric_names());
+    }
+}
+
+#[test]
+fn from_observations_matches_pushed_history() {
+    let obs: Vec<Observation> = (0..4).map(|i| obs_from_seed(i, 3, 2)).collect();
+    let mut pushed = History::new();
+    for o in &obs {
+        pushed.push(o.clone());
+    }
+    let rebuilt = History::from_observations(obs.clone());
+    assert_eq!(
+        serde_json::to_string(&rebuilt).unwrap(),
+        serde_json::to_string(&pushed).unwrap()
+    );
+    assert_eq!(rebuilt.into_observations().len(), 4);
+}
+
+#[test]
+fn non_finite_floats_do_not_roundtrip_silently() {
+    // A NaN runtime serializes as `null`; parsing it back as a typed
+    // Observation must fail rather than smuggle a NaN into a replayed
+    // history. The WAL's append path never writes one (observations come
+    // from simulators that clamp), but recovery must stay honest.
+    let mut obs = obs_from_seed(1, 2, 0);
+    obs.runtime_secs = f64::NAN;
+    let json = serde_json::to_string(&obs).unwrap();
+    assert!(serde_json::from_str::<Observation>(&json).is_err());
+}

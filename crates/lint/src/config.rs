@@ -7,18 +7,20 @@
 //!   evaluations must be replayable from a seed, so entropy-based RNG
 //!   construction is banned workspace-wide.
 //! * **D2 `wall-clock`** — the pure-evaluation crates `math`, `sim`,
-//!   `tuners`. Session overhead accounting in `core` (and timing in the
-//!   `bench` harness / criterion benches) legitimately reads the clock and
-//!   is out of scope.
-//! * **D3 `hash-iter`** — `core`, `tuners`, `bench` library sources. Any
-//!   `HashMap`/`HashSet` there risks order-dependent iteration feeding a
-//!   report; use `BTreeMap`/`BTreeSet` or suppress with a reason proving the
-//!   container is never iterated.
+//!   `tuners`, plus `serve`: the daemon must replay sessions from the WAL
+//!   byte-identically, so clock reads there need an explicit suppression
+//!   with a reason (e.g. audit-only creation timestamps). Session overhead
+//!   accounting in `core` (and timing in the `bench` harness / criterion
+//!   benches) legitimately reads the clock and is out of scope.
+//! * **D3 `hash-iter`** — `core`, `tuners`, `bench`, `serve` library
+//!   sources. Any `HashMap`/`HashSet` there risks order-dependent iteration
+//!   feeding a report (or a WAL); use `BTreeMap`/`BTreeSet` or suppress with
+//!   a reason proving the container is never iterated.
 //! * **D4 `nan-ord`** — everywhere outside tests. `partial_cmp(..).unwrap()`
 //!   panics mid-benchmark on the first NaN; `total_cmp` degrades gracefully.
-//! * **D5 `unwrap`** — the library crates `core`, `math`, `sim`, `tuners`.
-//!   Library code propagates errors (`autotune-core::error`) or justifies
-//!   the invariant inline.
+//! * **D5 `unwrap`** — the library crates `core`, `math`, `sim`, `tuners`,
+//!   `serve`. Library code propagates errors (`autotune-core::error`,
+//!   `autotune-serve::ServeError`) or justifies the invariant inline.
 //!
 //! The semantic rules added on top of the item tree:
 //!
@@ -39,7 +41,12 @@
 
 /// Files in which `unsafe` is permitted (U2 allowlist). Vendored crates are
 /// never scanned, so they need no entries here.
-pub const ALLOWED_UNSAFE_FILES: &[&str] = &["crates/math/src/simd.rs"];
+pub const ALLOWED_UNSAFE_FILES: &[&str] = &[
+    "crates/math/src/simd.rs",
+    // Signal handler registration for the serve daemon: a single audited
+    // `signal(2)` FFI call whose handler only performs an atomic store.
+    "crates/serve/src/signal.rs",
+];
 
 /// Finding severity: errors fail the build, warnings are advisory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -180,7 +187,7 @@ impl RuleId {
                 "unsafe without a justification; add a `// SAFETY:` comment directly above stating the invariant"
             }
             RuleId::UnsafeScope => {
-                "unsafe outside the audited allowlist (math::simd); keep raw-pointer code in the audited kernels"
+                "unsafe outside the audited allowlist (math::simd, serve::signal); keep raw-pointer and FFI code in the audited modules"
             }
             RuleId::SimdFallback => {
                 "AVX2 kernel call without a feature guard and reachable scalar fallback in the dispatching function"
@@ -244,9 +251,11 @@ pub fn rule_applies(rule: RuleId, ctx: &FileCtx) -> bool {
     let in_crates = |names: &[&str]| names.contains(&ctx.crate_name.as_str());
     match rule {
         RuleId::UnseededRng | RuleId::NanOrd => true,
-        RuleId::WallClock => ctx.is_lib_source && in_crates(&["math", "sim", "tuners"]),
-        RuleId::HashIter => ctx.is_lib_source && in_crates(&["core", "tuners", "bench"]),
-        RuleId::Unwrap => ctx.is_lib_source && in_crates(&["core", "math", "sim", "tuners"]),
+        RuleId::WallClock => ctx.is_lib_source && in_crates(&["math", "sim", "tuners", "serve"]),
+        RuleId::HashIter => ctx.is_lib_source && in_crates(&["core", "tuners", "bench", "serve"]),
+        RuleId::Unwrap => {
+            ctx.is_lib_source && in_crates(&["core", "math", "sim", "tuners", "serve"])
+        }
         // The unsafe audit is workspace-wide: unsafe anywhere outside the
         // allowlist is a finding, and allowlisted unsafe still needs its
         // SAFETY justification and dispatch contract.
@@ -317,6 +326,14 @@ mod tests {
         let sim = classify("crates/sim/src/dbms/params.rs").expect("classified");
         assert!(rule_applies(RuleId::KnobUnused, &sim));
         assert!(rule_applies(RuleId::KnobDomain, &sim));
+
+        let serve = classify("crates/serve/src/wal.rs").expect("classified");
+        assert!(rule_applies(RuleId::WallClock, &serve));
+        assert!(rule_applies(RuleId::HashIter, &serve));
+        assert!(rule_applies(RuleId::Unwrap, &serve));
+        assert!(!rule_applies(RuleId::KnobUnknown, &serve));
+        let serve_tests = classify("crates/serve/tests/http_api.rs").expect("classified");
+        assert!(!rule_applies(RuleId::WallClock, &serve_tests));
     }
 
     #[test]

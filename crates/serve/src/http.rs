@@ -1,0 +1,236 @@
+//! A minimal HTTP/1.1 server core over `std::net` — just enough protocol
+//! for a JSON API: request-line + header parsing, `Content-Length`
+//! bodies, and `Connection: close` responses. No chunked encoding, no
+//! keep-alive, no TLS; every connection carries exactly one request.
+
+use crate::{ServeError, ServeResult};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body — tuning specs are tiny; anything bigger
+/// is a client error, not a reason to allocate.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, uppercased by the client (`GET`, `POST`, `DELETE`).
+    pub method: String,
+    /// Path component of the request target (query strings are not used
+    /// by this API and are kept attached).
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Parses the request body as UTF-8 JSON into `T`.
+    pub fn json<T: serde::Deserialize>(&self) -> ServeResult<T> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
+        serde_json::from_str(text).map_err(|e| ServeError::BadRequest(format!("bad JSON: {e}")))
+    }
+
+    /// Splits the path into non-empty segments (`/sessions/s-000001/csv`
+    /// → `["sessions", "s-000001", "csv"]`).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> ServeResult<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("request line has no path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServeError::BadRequest("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::BadRequest("request body too large".into()));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// One HTTP response ready to write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response with the given status code.
+    pub fn json<T: serde::Serialize>(status: u16, value: &T) -> Response {
+        match serde_json::to_string(value) {
+            Ok(body) => Response {
+                status,
+                content_type: "application/json",
+                body: body.into_bytes(),
+            },
+            Err(e) => Response::text(500, &format!("response encoding failed: {e}")),
+        }
+    }
+
+    /// Plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// CSV response (the session export endpoint).
+    pub fn csv(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Maps a [`ServeError`] to its status code and a JSON error body.
+    pub fn from_error(err: &ServeError) -> Response {
+        let status = match err {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::Busy => 429,
+            ServeError::Conflict(_) => 409,
+            ServeError::Io(_) | ServeError::Corrupt(_) => 500,
+        };
+        let body = format!("{{\"error\":{}}}", json_escape(&err.to_string()));
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The numeric status code (for tests).
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Response body bytes (for tests).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Writes the response and flushes; the connection is then closed.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Minimal JSON string escaping for error payloads.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_split_paths() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/sessions/s-000001/csv".into(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.segments(), vec!["sessions", "s-000001", "csv"]);
+    }
+
+    #[test]
+    fn error_mapping_covers_the_api_contract() {
+        assert_eq!(Response::from_error(&ServeError::Busy).status(), 429);
+        assert_eq!(
+            Response::from_error(&ServeError::NotFound("x".into())).status(),
+            404
+        );
+        assert_eq!(
+            Response::from_error(&ServeError::BadRequest("x".into())).status(),
+            400
+        );
+        assert_eq!(
+            Response::from_error(&ServeError::Conflict("x".into())).status(),
+            409
+        );
+        let resp = Response::from_error(&ServeError::BadRequest("say \"hi\"\n".into()));
+        let body = String::from_utf8(resp.body().to_vec()).unwrap();
+        assert!(body.contains("\\\"hi\\\""), "{body}");
+    }
+
+    #[test]
+    fn request_json_rejects_garbage() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/sessions".into(),
+            body: b"not json".to_vec(),
+        };
+        let parsed: ServeResult<crate::spec::SessionSpec> = req.json();
+        assert!(matches!(parsed, Err(ServeError::BadRequest(_))));
+    }
+}

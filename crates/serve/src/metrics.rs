@@ -1,0 +1,63 @@
+//! The `/metrics` report: a typed JSON snapshot of daemon health.
+//!
+//! Deliberately a plain serializable struct rather than a Prometheus text
+//! format — the workspace has no external deps, and a JSON report is
+//! directly consumable by the CI smoke test and the bench replay tool.
+
+use autotune_core::SessionId;
+use serde::{Deserialize, Serialize};
+
+/// Per-session counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionMetrics {
+    /// Which session.
+    pub id: SessionId,
+    /// Lifecycle state label (`running`/`finished`/`cancelled`).
+    pub status: String,
+    /// Tuner-driven evaluations completed.
+    pub evaluations: usize,
+    /// Best successful runtime observed, if any run succeeded (failed
+    /// penalty runtimes never appear here).
+    pub best_runtime: Option<f64>,
+    /// Current WAL size in bytes (drops to 0 after each compaction).
+    pub wal_bytes: u64,
+}
+
+/// The full `/metrics` payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// One entry per session, ascending id.
+    pub sessions: Vec<SessionMetrics>,
+    /// Jobs waiting in the scheduler queue right now.
+    pub queue_depth: usize,
+    /// Worker threads serving session jobs.
+    pub workers: usize,
+    /// Sum of all sessions' WAL bytes.
+    pub wal_bytes_total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_none_runtime_is_null() {
+        let report = MetricsReport {
+            sessions: vec![SessionMetrics {
+                id: SessionId::new(1),
+                status: "running".into(),
+                evaluations: 3,
+                best_runtime: None,
+                wal_bytes: 120,
+            }],
+            queue_depth: 0,
+            workers: 2,
+            wal_bytes_total: 120,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"best_runtime\":null"), "{json}");
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sessions[0].evaluations, 3);
+        assert_eq!(back.sessions[0].best_runtime, None);
+    }
+}

@@ -1,0 +1,327 @@
+//! The persistent session repository: directory layout, metadata, and the
+//! OtterTune-style workload-mapping index used for warm-start transfer.
+//!
+//! Each session lives in `<root>/s-NNNNNN/` (see [`crate::wal`] for the
+//! files inside). The repository itself is stateless — every query walks
+//! the directory tree — which keeps crash recovery trivial: the
+//! filesystem *is* the database.
+//!
+//! **Workload mapping.** A session's *signature* is the metric vector of
+//! its baseline probe (observation 0, the vendor-default configuration):
+//! two workloads that stress a system the same way under identical knobs
+//! report similar internals (hit ratios, spill counts, GC time). To pick
+//! a warm-start source for a new session, the repository gathers the
+//! signatures of every *finished* session on the same platform, aligns
+//! them over the union of metric names, normalizes each dimension by its
+//! standard deviation across candidates (so high-magnitude counters do
+//! not drown out ratios), and returns the session with the smallest
+//! Euclidean distance to the new session's probe — exactly the mapping
+//! step of OtterTune §2.2, reusing `autotune-math` for the distance.
+
+use crate::spec::SessionSpec;
+use crate::wal::{self, SessionStatus};
+use crate::{ServeError, ServeResult};
+use autotune_core::{Observation, SessionId};
+use autotune_math::matrix::dist2;
+use autotune_math::stats::std_dev;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Immutable per-session metadata, written once at create time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionMeta {
+    /// The session's identifier (also its directory name).
+    pub id: SessionId,
+    /// The spec the session was created from.
+    pub spec: SessionSpec,
+    /// Which finished session seeded this one, if warm-started — recorded
+    /// so crash recovery rebuilds the very same tuner.
+    pub warm_source: Option<SessionId>,
+    /// Creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: u64,
+}
+
+/// A candidate signature for workload mapping.
+#[derive(Debug, Clone)]
+pub struct WorkloadSignature {
+    /// Which session the signature belongs to.
+    pub id: SessionId,
+    /// Metric name → value of the baseline probe.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The on-disk session store rooted at one data directory.
+#[derive(Debug, Clone)]
+pub struct SessionRepository {
+    root: PathBuf,
+}
+
+impl SessionRepository {
+    /// Opens (creating if needed) a repository at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> ServeResult<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(SessionRepository { root })
+    }
+
+    /// The repository's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory of one session.
+    pub fn session_dir(&self, id: SessionId) -> PathBuf {
+        self.root.join(id.to_string())
+    }
+
+    /// All session ids present on disk, ascending.
+    pub fn list_ids(&self) -> ServeResult<Vec<SessionId>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Ok(id) = entry.file_name().to_string_lossy().parse::<SessionId>() {
+                ids.push(id);
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// The id the next created session should use (max on disk + 1).
+    pub fn next_id(&self) -> ServeResult<SessionId> {
+        Ok(self
+            .list_ids()?
+            .last()
+            .map(|id| id.next())
+            .unwrap_or(SessionId::new(1)))
+    }
+
+    /// Creates a session directory and persists its metadata. Fails if the
+    /// id already exists — ids are never reused.
+    pub fn create_session(&self, meta: &SessionMeta) -> ServeResult<()> {
+        let dir = self.session_dir(meta.id);
+        if dir.exists() {
+            return Err(ServeError::Conflict(format!(
+                "session {} already exists",
+                meta.id
+            )));
+        }
+        fs::create_dir_all(&dir)?;
+        let json = serde_json::to_string_pretty(meta)
+            .map_err(|e| ServeError::Corrupt(format!("meta encode: {e}")))?;
+        fs::write(dir.join("meta.json"), json)?;
+        Ok(())
+    }
+
+    /// Reads a session's metadata.
+    pub fn read_meta(&self, id: SessionId) -> ServeResult<SessionMeta> {
+        let path = self.session_dir(id).join("meta.json");
+        let json = fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                ServeError::NotFound(format!("session {id}"))
+            } else {
+                ServeError::Io(e)
+            }
+        })?;
+        serde_json::from_str(&json).map_err(|e| ServeError::Corrupt(format!("meta decode: {e}")))
+    }
+
+    /// Replays a session's durable state (snapshot ⊕ WAL).
+    pub fn recover_session(&self, id: SessionId) -> ServeResult<wal::Recovered> {
+        wal::recover(&self.session_dir(id))
+    }
+
+    /// Full observation log of a session, oldest first.
+    pub fn load_observations(&self, id: SessionId) -> ServeResult<Vec<Observation>> {
+        Ok(self.recover_session(id)?.observations)
+    }
+
+    /// Signatures of every **finished** session on `platform`, excluding
+    /// `exclude` (the session currently being created). Sessions whose
+    /// probe reported no metrics cannot be mapped and are skipped.
+    pub fn finished_signatures(
+        &self,
+        platform: &str,
+        exclude: Option<SessionId>,
+    ) -> ServeResult<Vec<WorkloadSignature>> {
+        let mut out = Vec::new();
+        for id in self.list_ids()? {
+            if exclude == Some(id) {
+                continue;
+            }
+            let Ok(meta) = self.read_meta(id) else {
+                continue; // half-created directory; not a warm candidate
+            };
+            if meta.spec.platform() != platform {
+                continue;
+            }
+            let Ok(recovered) = self.recover_session(id) else {
+                continue;
+            };
+            if recovered.status != SessionStatus::Finished {
+                continue;
+            }
+            let Some(probe) = recovered.observations.first() else {
+                continue;
+            };
+            if probe.metrics.is_empty() {
+                continue;
+            }
+            out.push(WorkloadSignature {
+                id,
+                metrics: probe.metrics.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// The finished session on `platform` whose workload signature is
+    /// nearest to `probe_metrics` — the warm-start source. `None` when no
+    /// finished session qualifies.
+    pub fn nearest_finished(
+        &self,
+        platform: &str,
+        probe_metrics: &BTreeMap<String, f64>,
+        exclude: Option<SessionId>,
+    ) -> ServeResult<Option<SessionId>> {
+        let candidates = self.finished_signatures(platform, exclude)?;
+        Ok(nearest_signature(probe_metrics, &candidates))
+    }
+}
+
+/// Nearest candidate to `query` by Euclidean distance over the union of
+/// metric names, each dimension normalized by its standard deviation
+/// across candidates + query (dimensions with zero spread are inert).
+/// Ties break toward the lowest session id for determinism.
+pub fn nearest_signature(
+    query: &BTreeMap<String, f64>,
+    candidates: &[WorkloadSignature],
+) -> Option<SessionId> {
+    if candidates.is_empty() || query.is_empty() {
+        return None;
+    }
+    // Union of metric names, sorted (BTreeMap keys already are).
+    let mut names: Vec<&String> = query.keys().collect();
+    for c in candidates {
+        names.extend(c.metrics.keys());
+    }
+    names.sort();
+    names.dedup();
+
+    let vectorize = |m: &BTreeMap<String, f64>| -> Vec<f64> {
+        names
+            .iter()
+            .map(|n| m.get(*n).copied().unwrap_or(0.0))
+            .collect()
+    };
+    let qv = vectorize(query);
+    let cvs: Vec<Vec<f64>> = candidates.iter().map(|c| vectorize(&c.metrics)).collect();
+
+    // Per-dimension scale over every vector involved in the comparison.
+    let scales: Vec<f64> = (0..names.len())
+        .map(|d| {
+            let column: Vec<f64> = std::iter::once(qv[d])
+                .chain(cvs.iter().map(|v| v[d]))
+                .collect();
+            let sd = std_dev(&column);
+            if sd > 0.0 {
+                sd
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let normalize = |v: &[f64]| -> Vec<f64> { v.iter().zip(&scales).map(|(x, s)| x / s).collect() };
+
+    let qn = normalize(&qv);
+    candidates
+        .iter()
+        .zip(cvs.iter())
+        .map(|(c, v)| (c.id, dist2(&qn, &normalize(v))))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(id: u64, pairs: &[(&str, f64)]) -> WorkloadSignature {
+        WorkloadSignature {
+            id: SessionId::new(id),
+            metrics: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn nearest_picks_closest_after_normalization() {
+        // Raw distance would be dominated by `rows` (magnitude ~1e6);
+        // normalization makes `hit_ratio` matter equally.
+        let query: BTreeMap<String, f64> = [
+            ("hit_ratio".to_string(), 0.90),
+            ("rows".to_string(), 1_000_000.0),
+        ]
+        .into_iter()
+        .collect();
+        let far = sig(1, &[("hit_ratio", 0.10), ("rows", 1_000_000.0)]);
+        let near = sig(2, &[("hit_ratio", 0.88), ("rows", 1_050_000.0)]);
+        assert_eq!(
+            nearest_signature(&query, &[far, near]),
+            Some(SessionId::new(2))
+        );
+    }
+
+    #[test]
+    fn nearest_handles_disjoint_metrics_and_ties() {
+        let query: BTreeMap<String, f64> = [("a".to_string(), 1.0)].into_iter().collect();
+        // Both candidates equidistant → lowest id wins.
+        let c1 = sig(3, &[("a", 2.0)]);
+        let c2 = sig(5, &[("a", 0.0)]);
+        assert_eq!(
+            nearest_signature(&query, &[c2, c1]),
+            Some(SessionId::new(3))
+        );
+        assert_eq!(nearest_signature(&query, &[]), None);
+        assert_eq!(
+            nearest_signature(&BTreeMap::new(), &[sig(1, &[("a", 1.0)])]),
+            None
+        );
+    }
+
+    #[test]
+    fn repository_ids_and_meta_roundtrip() {
+        let root = std::env::temp_dir().join(format!("autotune-repo-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let repo = SessionRepository::open(&root).unwrap();
+        assert_eq!(repo.next_id().unwrap(), SessionId::new(1));
+
+        let meta = SessionMeta {
+            id: SessionId::new(1),
+            spec: SessionSpec {
+                system: "dbms-oltp".into(),
+                tuner: "random".into(),
+                seed: 7,
+                budget: 3,
+                noise: "none".into(),
+                warm_start: false,
+            },
+            warm_source: None,
+            created_unix_ms: 1_700_000_000_000,
+        };
+        repo.create_session(&meta).unwrap();
+        assert!(matches!(
+            repo.create_session(&meta),
+            Err(ServeError::Conflict(_))
+        ));
+        let back = repo.read_meta(SessionId::new(1)).unwrap();
+        assert_eq!(back.spec, meta.spec);
+        assert_eq!(repo.next_id().unwrap(), SessionId::new(2));
+        assert!(matches!(
+            repo.read_meta(SessionId::new(9)),
+            Err(ServeError::NotFound(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

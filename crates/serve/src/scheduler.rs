@@ -1,0 +1,276 @@
+//! Bounded thread-pool scheduler with admission control.
+//!
+//! Session work (advance requests) runs on a fixed pool of worker threads
+//! behind a bounded queue. Admission control is strict: when the queue is
+//! full, [`Scheduler::submit`] fails immediately with [`ServeError::Busy`]
+//! (surfaced as HTTP 429) instead of letting requests pile up — an
+//! evaluation can take arbitrarily long, so unbounded queueing would turn
+//! overload into unbounded latency.
+//!
+//! Shutdown is graceful for *running* work: workers finish the job in
+//! their hands, then exit. Jobs still queued are dropped; their
+//! [`JobHandle`]s resolve to `None` so waiting HTTP handlers can report
+//! 503 instead of hanging. Durability is unaffected — sessions log every
+//! observation to the WAL as it happens, so a dropped advance job loses
+//! requested-but-unstarted work only.
+
+use crate::{ServeError, ServeResult};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering the data from a poisoned lock (a panicked
+/// worker must not wedge the whole daemon).
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+enum JobState<T> {
+    Pending,
+    Done(T),
+    Dropped,
+}
+
+struct HandleInner<T> {
+    state: Mutex<JobState<T>>,
+    cv: Condvar,
+}
+
+/// Completion handle for one submitted job.
+pub struct JobHandle<T> {
+    inner: Arc<HandleInner<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Blocks until the job completes. `None` means the scheduler shut
+    /// down before the job ran.
+    pub fn wait(self) -> Option<T> {
+        let mut state = lock(&self.inner.state);
+        loop {
+            match std::mem::replace(&mut *state, JobState::Pending) {
+                JobState::Done(v) => return Some(v),
+                JobState::Dropped => return None,
+                JobState::Pending => {
+                    state = self
+                        .inner
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// Marks a queued job dropped if it never ran (scheduler shutdown), so
+/// waiters wake instead of hanging.
+struct CompletionGuard<T> {
+    inner: Arc<HandleInner<T>>,
+    completed: bool,
+}
+
+impl<T> CompletionGuard<T> {
+    fn complete(mut self, value: T) {
+        *lock(&self.inner.state) = JobState::Done(value);
+        self.completed = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+impl<T> Drop for CompletionGuard<T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            *lock(&self.inner.state) = JobState::Dropped;
+            self.inner.cv.notify_all();
+        }
+    }
+}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    cap: usize,
+}
+
+/// The bounded worker pool.
+pub struct Scheduler {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts `workers` threads behind a queue of at most `queue_cap`
+    /// pending jobs.
+    pub fn new(workers: usize, queue_cap: usize) -> Scheduler {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cap: queue_cap.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        Scheduler {
+            state,
+            workers: handles,
+        }
+    }
+
+    /// Submits a job, failing fast with [`ServeError::Busy`] when the
+    /// queue is at capacity (admission control → HTTP 429).
+    pub fn submit<T, F>(&self, job: F) -> ServeResult<JobHandle<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if self.state.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::Busy);
+        }
+        let inner = Arc::new(HandleInner {
+            state: Mutex::new(JobState::Pending),
+            cv: Condvar::new(),
+        });
+        let guard = CompletionGuard {
+            inner: Arc::clone(&inner),
+            completed: false,
+        };
+        let wrapped: Job = Box::new(move || guard.complete(job()));
+        {
+            let mut queue = lock(&self.state.queue);
+            if queue.len() >= self.state.cap {
+                return Err(ServeError::Busy);
+            }
+            queue.push_back(wrapped);
+        }
+        self.state.cv.notify_one();
+        Ok(JobHandle { inner })
+    }
+
+    /// Pending (not yet running) jobs — the `/metrics` queue depth.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.state.queue).len()
+    }
+
+    /// Graceful shutdown: in-flight jobs finish, queued jobs are dropped
+    /// (waking their waiters with `None`), workers join.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Dropping the remaining jobs fires their completion guards.
+        lock(&self.state.queue).clear();
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = lock(&state.queue);
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = state
+                    .cv
+                    .wait(queue)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_handles_resolve() {
+        let sched = Scheduler::new(2, 8);
+        let handles: Vec<_> = (0..6)
+            .map(|i| sched.submit(move || i * 2).unwrap())
+            .collect();
+        let mut results: Vec<i32> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let sched = Scheduler::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Occupy the single worker.
+        let g = Arc::clone(&gate);
+        let running = sched
+            .submit(move || {
+                let (lock_, cv) = &*g;
+                let mut open = lock(lock_);
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+        // Wait until the worker picked the job up, then fill the queue.
+        while sched.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _queued = sched.submit(|| ()).unwrap();
+        assert!(matches!(sched.submit(|| ()), Err(ServeError::Busy)));
+
+        let (lock_, cv) = &*gate;
+        *lock(lock_) = true;
+        cv.notify_all();
+        running.wait().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drops_queued_jobs_without_hanging_waiters() {
+        let mut sched = Scheduler::new(1, 16);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let _running = sched.submit(move || {
+            let (lock_, cv) = &*g;
+            let mut open = lock(lock_);
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        while sched.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = sched.submit(|| 7).unwrap();
+        // Release the in-flight job only after shutdown is underway, from
+        // a helper thread.
+        let g2 = Arc::clone(&gate);
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let (lock_, cv) = &*g2;
+            *lock(lock_) = true;
+            cv.notify_all();
+        });
+        sched.shutdown();
+        assert_eq!(queued.wait(), None, "queued job dropped, waiter woken");
+        assert!(matches!(sched.submit(|| 1), Err(ServeError::Busy)));
+        opener.join().unwrap();
+    }
+}

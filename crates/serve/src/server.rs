@@ -1,0 +1,480 @@
+//! The daemon: session registry, HTTP routing, and graceful shutdown.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Body | Effect |
+//! |---|---|---|
+//! | `POST /sessions` | [`SessionSpec`] | create session (runs the baseline probe; resolves the warm-start source) |
+//! | `GET /sessions` | — | list all sessions |
+//! | `GET /sessions/{id}` | — | full detail incl. recommendation |
+//! | `POST /sessions/{id}/advance` | `{"steps": N}` | run N evaluations on the scheduler (429 when the queue is full) |
+//! | `POST /sessions/{id}/cancel` | — | cancel the session |
+//! | `GET /sessions/{id}/csv` | — | observation history as CSV |
+//! | `GET /metrics` | — | [`MetricsReport`] |
+//! | `GET /healthz` | — | liveness probe |
+//! | `POST /shutdown` | — | request graceful shutdown |
+//!
+//! Every session mutation is WAL-logged before it is acknowledged, so
+//! killing the daemon at any point and restarting it on the same data
+//! directory recovers every session (see [`crate::wal`]).
+
+use crate::http::{read_request, Request, Response};
+use crate::metrics::{MetricsReport, SessionMetrics};
+use crate::repo::{SessionMeta, SessionRepository};
+use crate::scheduler::{lock, Scheduler};
+use crate::session::{eval_seed, LiveSession};
+use crate::spec::{build_objective, SessionSpec};
+use crate::wal::DEFAULT_SNAPSHOT_EVERY;
+use crate::{ServeError, ServeResult};
+use autotune_core::{history_to_csv, Recommendation, SessionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon settings (see `autotune-serve --help` for the CLI flags).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Root of the persistent session repository.
+    pub data_dir: PathBuf,
+    /// Worker threads executing session jobs.
+    pub workers: usize,
+    /// Max queued (not yet running) jobs before 429.
+    pub queue_cap: usize,
+    /// Snapshot-compaction interval in observations.
+    pub snapshot_every: usize,
+}
+
+impl DaemonConfig {
+    /// Config with defaults for everything but the data directory.
+    pub fn new(data_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            data_dir: data_dir.into(),
+            workers: 2,
+            queue_cap: 8,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+}
+
+/// Response body of `POST /sessions`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CreateResponse {
+    /// The new session's id.
+    pub id: SessionId,
+    /// Which finished session seeded it, when warm-started and a source
+    /// was found.
+    pub warm_source: Option<SessionId>,
+    /// Runtime of the baseline probe (vendor defaults).
+    pub baseline_runtime: f64,
+    /// Lifecycle state label.
+    pub status: String,
+}
+
+/// Request body of `POST /sessions/{id}/advance`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdvanceRequest {
+    /// How many evaluations to run (capped by the remaining budget).
+    pub steps: usize,
+}
+
+/// Response body of `POST /sessions/{id}/advance`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdvanceResponse {
+    /// The session.
+    pub id: SessionId,
+    /// Evaluations actually run by this request.
+    pub ran: usize,
+    /// Total tuner-driven evaluations so far.
+    pub evaluations: usize,
+    /// Lifecycle state label after the request.
+    pub status: String,
+    /// Best successful runtime so far.
+    pub best_runtime: Option<f64>,
+}
+
+/// One row of `GET /sessions`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// The session.
+    pub id: SessionId,
+    /// Lifecycle state label.
+    pub status: String,
+    /// Tuner-driven evaluations so far.
+    pub evaluations: usize,
+    /// Best successful runtime so far.
+    pub best_runtime: Option<f64>,
+}
+
+/// Response body of `GET /sessions/{id}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionDetail {
+    /// The session.
+    pub id: SessionId,
+    /// The spec it was created from.
+    pub spec: SessionSpec,
+    /// Lifecycle state label.
+    pub status: String,
+    /// Tuner-driven evaluations so far.
+    pub evaluations: usize,
+    /// Remaining evaluation budget.
+    pub remaining_budget: usize,
+    /// Best successful runtime so far.
+    pub best_runtime: Option<f64>,
+    /// Warm-start source, if any.
+    pub warm_source: Option<SessionId>,
+    /// Final recommendation once finished.
+    pub recommendation: Option<Recommendation>,
+}
+
+struct DaemonState {
+    repo: SessionRepository,
+    config: DaemonConfig,
+    sessions: Mutex<BTreeMap<SessionId, Arc<Mutex<LiveSession>>>>,
+    scheduler: Mutex<Scheduler>,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon instance.
+pub struct Daemon {
+    state: Arc<DaemonState>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Milliseconds since the Unix epoch, for session-creation stamps. The
+/// value is audit metadata only — it never feeds a tuning decision, an
+/// RNG, or a comparison between sessions, so replay determinism holds.
+fn now_unix_ms() -> u64 {
+    // lint:allow(wall-clock) creation timestamp is audit metadata only; recovery reads it back from meta.json and never re-stamps
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Daemon {
+    /// Starts a daemon on `addr` (use port 0 for an ephemeral port):
+    /// opens the repository, recovers every session on disk, and begins
+    /// accepting connections.
+    pub fn start(addr: &str, config: DaemonConfig) -> ServeResult<Daemon> {
+        let repo = SessionRepository::open(&config.data_dir)?;
+        let mut sessions = BTreeMap::new();
+        for id in repo.list_ids()? {
+            let meta = match repo.read_meta(id) {
+                Ok(m) => m,
+                // Half-created directory (crash between mkdir and meta
+                // write): nothing observed yet, nothing to recover.
+                Err(ServeError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let session = LiveSession::recover(&repo, meta, config.snapshot_every)?;
+            sessions.insert(id, Arc::new(Mutex::new(session)));
+        }
+
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let state = Arc::new(DaemonState {
+            scheduler: Mutex::new(Scheduler::new(config.workers, config.queue_cap)),
+            repo,
+            config,
+            sessions: Mutex::new(sessions),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::spawn(move || accept_loop(&accept_state, listener));
+
+        Ok(Daemon {
+            state,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether `POST /shutdown` (or a test) requested shutdown.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight jobs (queued
+    /// jobs are dropped with a 503 to their waiters), then snapshot every
+    /// session so restarts recover without replaying a long WAL tail.
+    pub fn graceful_shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        lock(&self.state.scheduler).shutdown();
+        let sessions = lock(&self.state.sessions);
+        for session in sessions.values() {
+            let _ = lock(session).write_snapshot();
+        }
+    }
+}
+
+fn accept_loop(state: &Arc<DaemonState>, listener: TcpListener) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                std::thread::spawn(move || handle_connection(&state, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<DaemonState>, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(state, &request),
+        Err(e) => Response::from_error(&e),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Dispatches one request to its handler.
+fn route(state: &Arc<DaemonState>, request: &Request) -> Response {
+    let segments = request.segments();
+    let result = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) | ("GET", ["healthz"]) => Ok(Response::json(
+            200,
+            &BTreeMap::from([
+                ("service".to_string(), "autotune-serve".to_string()),
+                ("status".to_string(), "ok".to_string()),
+            ]),
+        )),
+        ("POST", ["sessions"]) => create_session(state, request),
+        ("GET", ["sessions"]) => list_sessions(state),
+        ("GET", ["sessions", id]) => parse_id(id).and_then(|id| session_detail(state, id)),
+        ("POST", ["sessions", id, "advance"]) => {
+            parse_id(id).and_then(|id| advance_session(state, id, request))
+        }
+        ("POST", ["sessions", id, "cancel"]) => {
+            parse_id(id).and_then(|id| cancel_session(state, id))
+        }
+        ("GET", ["sessions", id, "csv"]) => parse_id(id).and_then(|id| export_csv(state, id)),
+        ("GET", ["metrics"]) => metrics(state),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Ok(Response::text(200, "shutting down\n"))
+        }
+        _ => Err(ServeError::NotFound(format!(
+            "{} {}",
+            request.method, request.path
+        ))),
+    };
+    result.unwrap_or_else(|e| Response::from_error(&e))
+}
+
+fn parse_id(raw: &str) -> ServeResult<SessionId> {
+    raw.parse()
+        .map_err(|_| ServeError::BadRequest(format!("bad session id '{raw}'")))
+}
+
+fn find_session(state: &DaemonState, id: SessionId) -> ServeResult<Arc<Mutex<LiveSession>>> {
+    lock(&state.sessions)
+        .get(&id)
+        .cloned()
+        .ok_or_else(|| ServeError::NotFound(format!("session {id}")))
+}
+
+fn create_session(state: &Arc<DaemonState>, request: &Request) -> ServeResult<Response> {
+    if state.shutdown.load(Ordering::SeqCst) {
+        return Err(ServeError::Busy);
+    }
+    let spec: SessionSpec = request.json()?;
+    spec.validate()?;
+
+    // Hold the registry lock across id allocation + creation so two
+    // concurrent creates cannot race on the same id.
+    let mut sessions = lock(&state.sessions);
+    let id = state.repo.next_id()?;
+
+    // Pre-run the probe (identical to the one LiveSession::create will
+    // record: same config, same step-0 RNG) to obtain the workload
+    // signature the warm-start lookup needs before the tuner exists.
+    let mut objective = build_objective(&spec)?;
+    let default = objective.space().default_config();
+    let mut probe_rng = StdRng::seed_from_u64(eval_seed(spec.seed, 0));
+    let probe = objective.evaluate(&default, &mut probe_rng);
+
+    let warm_source = if spec.warm_start {
+        state
+            .repo
+            .nearest_finished(spec.platform(), &probe.metrics, None)?
+    } else {
+        None
+    };
+    let warm_obs = match warm_source {
+        Some(src) => Some(state.repo.load_observations(src)?),
+        None => None,
+    };
+
+    let meta = SessionMeta {
+        id,
+        spec,
+        warm_source,
+        created_unix_ms: now_unix_ms(),
+    };
+    let session = LiveSession::create(&state.repo, meta, warm_obs, state.config.snapshot_every)?;
+    let response = CreateResponse {
+        id,
+        warm_source,
+        baseline_runtime: probe.runtime_secs,
+        status: session.status().label().to_string(),
+    };
+    sessions.insert(id, Arc::new(Mutex::new(session)));
+    Ok(Response::json(201, &response))
+}
+
+fn list_sessions(state: &DaemonState) -> ServeResult<Response> {
+    let sessions = lock(&state.sessions);
+    let rows: Vec<SessionSummary> = sessions
+        .values()
+        .map(|s| {
+            let s = lock(s);
+            SessionSummary {
+                id: s.meta.id,
+                status: s.status().label().to_string(),
+                evaluations: s.evaluations(),
+                best_runtime: s.best_runtime(),
+            }
+        })
+        .collect();
+    Ok(Response::json(200, &rows))
+}
+
+fn session_detail(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
+    let session = find_session(state, id)?;
+    let s = lock(&session);
+    let detail = SessionDetail {
+        id: s.meta.id,
+        spec: s.meta.spec.clone(),
+        status: s.status().label().to_string(),
+        evaluations: s.evaluations(),
+        remaining_budget: s.meta.spec.budget.saturating_sub(s.evaluations()),
+        best_runtime: s.best_runtime(),
+        warm_source: s.meta.warm_source,
+        recommendation: s.recommendation().cloned(),
+    };
+    Ok(Response::json(200, &detail))
+}
+
+fn advance_session(
+    state: &Arc<DaemonState>,
+    id: SessionId,
+    request: &Request,
+) -> ServeResult<Response> {
+    let body: AdvanceRequest = request.json()?;
+    if body.steps == 0 {
+        return Err(ServeError::BadRequest("steps must be positive".into()));
+    }
+    let session = find_session(state, id)?;
+    let job_session = Arc::clone(&session);
+    // The job re-locks the session per step so inspection endpoints
+    // (/metrics, GET /sessions/…) and cancel stay responsive during a
+    // long advance; a cancel between steps ends the loop early.
+    let handle = lock(&state.scheduler).submit(move || -> ServeResult<usize> {
+        let mut ran = 0;
+        for _ in 0..body.steps {
+            let mut s = lock(&job_session);
+            if s.status().is_terminal() {
+                if ran == 0 {
+                    return Err(ServeError::Conflict(format!(
+                        "session {} is {}",
+                        s.meta.id,
+                        s.status().label()
+                    )));
+                }
+                break;
+            }
+            ran += s.advance(1)?;
+        }
+        Ok(ran)
+    })?;
+    let ran = match handle.wait() {
+        Some(result) => result?,
+        None => {
+            // Scheduler shut down before the job ran.
+            return Ok(Response::text(503, "daemon is shutting down\n"));
+        }
+    };
+    let s = lock(&session);
+    Ok(Response::json(
+        200,
+        &AdvanceResponse {
+            id,
+            ran,
+            evaluations: s.evaluations(),
+            status: s.status().label().to_string(),
+            best_runtime: s.best_runtime(),
+        },
+    ))
+}
+
+fn cancel_session(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
+    let session = find_session(state, id)?;
+    let mut s = lock(&session);
+    s.cancel()?;
+    Ok(Response::json(
+        200,
+        &SessionSummary {
+            id,
+            status: s.status().label().to_string(),
+            evaluations: s.evaluations(),
+            best_runtime: s.best_runtime(),
+        },
+    ))
+}
+
+fn export_csv(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
+    let session = find_session(state, id)?;
+    let s = lock(&session);
+    Ok(Response::csv(history_to_csv(s.history(), s.space())))
+}
+
+fn metrics(state: &DaemonState) -> ServeResult<Response> {
+    let sessions = lock(&state.sessions);
+    let rows: Vec<SessionMetrics> = sessions
+        .values()
+        .map(|s| {
+            let s = lock(s);
+            SessionMetrics {
+                id: s.meta.id,
+                status: s.status().label().to_string(),
+                evaluations: s.evaluations(),
+                best_runtime: s.best_runtime(),
+                wal_bytes: s.wal_bytes(),
+            }
+        })
+        .collect();
+    let report = MetricsReport {
+        queue_depth: lock(&state.scheduler).queue_depth(),
+        workers: state.config.workers,
+        wal_bytes_total: rows.iter().map(|r| r.wal_bytes).sum(),
+        sessions: rows,
+    };
+    Ok(Response::json(200, &report))
+}

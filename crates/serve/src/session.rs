@@ -1,0 +1,396 @@
+//! Live sessions: the in-memory half of a persistent tuning session.
+//!
+//! A [`LiveSession`] pairs a tuner + objective with the session's durable
+//! log. Every observation is appended to the WAL *before* it is applied
+//! in memory, so a crash at any point loses at most a torn final line.
+//!
+//! **Split RNG streams.** Determinism through crashes needs care: the
+//! classic single-RNG session (`autotune_core::TuningSession`) threads
+//! one stream through proposals *and* evaluations, so recovery would have
+//! to re-run every evaluation just to restore the stream. Instead a live
+//! session derives two independent streams from its seed:
+//!
+//! * the **propose stream** (`StdRng::seed_from_u64(seed)`) feeds only
+//!   `Tuner::propose`;
+//! * each evaluation gets a **fresh step RNG**,
+//!   `StdRng::seed_from_u64(splitmix64(seed ⊕ splitmix64(step)))`, where
+//!   `step` is the observation index.
+//!
+//! Recovery then replays recorded observations through
+//! `propose`/`observe` (restoring tuner + propose-stream state exactly)
+//! without touching the objective, and the next evaluation's RNG depends
+//! only on its step index — the recovered session continues producing
+//! byte-for-byte the observations the uninterrupted run would have.
+
+use crate::repo::{SessionMeta, SessionRepository};
+use crate::spec::{build_objective, build_tuner};
+use crate::wal::{self, SessionStatus, Snapshot, WalRecord};
+use crate::{ServeError, ServeResult};
+use autotune_core::{History, Objective, Observation, Recommendation, Tuner, TuningContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// SplitMix64 (Steele et al.) — the standard seed-spreading finalizer;
+/// consecutive inputs map to statistically independent outputs.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of the per-step evaluation RNG for observation `step`.
+pub fn eval_seed(session_seed: u64, step: u64) -> u64 {
+    splitmix64(session_seed ^ splitmix64(step))
+}
+
+/// One session held in memory by the daemon, backed by its on-disk log.
+pub struct LiveSession {
+    /// Immutable metadata (spec, warm source).
+    pub meta: SessionMeta,
+    dir: PathBuf,
+    objective: Box<dyn Objective + Send>,
+    tuner: Box<dyn Tuner + Send>,
+    ctx: TuningContext,
+    propose_rng: StdRng,
+    history: History,
+    status: SessionStatus,
+    recommendation: Option<Recommendation>,
+    snapshot_every: usize,
+    snapshot_seq: u64,
+}
+
+impl LiveSession {
+    /// Creates a brand-new session: writes `meta.json`, runs the baseline
+    /// probe (vendor defaults, observation 0), and logs it. `warm` is the
+    /// observation log of the warm-start source named in `meta`.
+    pub fn create(
+        repo: &SessionRepository,
+        meta: SessionMeta,
+        warm: Option<Vec<Observation>>,
+        snapshot_every: usize,
+    ) -> ServeResult<LiveSession> {
+        let objective = build_objective(&meta.spec)?;
+        let warm_ref = match (&meta.warm_source, &warm) {
+            (Some(id), Some(obs)) => Some((id.to_string(), obs.as_slice())),
+            _ => None,
+        };
+        let tuner = build_tuner(
+            &meta.spec,
+            warm_ref.as_ref().map(|(id, obs)| (id.as_str(), *obs)),
+        )?;
+        repo.create_session(&meta)?;
+        let dir = repo.session_dir(meta.id);
+
+        let ctx = TuningContext {
+            space: objective.space().clone(),
+            profile: objective.profile(),
+        };
+        let mut session = LiveSession {
+            propose_rng: StdRng::seed_from_u64(meta.spec.seed),
+            meta,
+            dir,
+            objective,
+            tuner,
+            ctx,
+            history: History::new(),
+            status: SessionStatus::Running,
+            recommendation: None,
+            snapshot_every: snapshot_every.max(1),
+            snapshot_seq: 0,
+        };
+
+        // Baseline probe: evaluate the vendor default as observation 0.
+        // Its metric vector is the session's workload signature.
+        let default = session.ctx.space.default_config();
+        let mut rng = StdRng::seed_from_u64(eval_seed(session.meta.spec.seed, 0));
+        let probe = session.objective.evaluate(&default, &mut rng);
+        session.apply(probe)?;
+        Ok(session)
+    }
+
+    /// Rebuilds a session from its on-disk log. Replays every recorded
+    /// observation through the tuner (restoring model and propose-stream
+    /// state) without re-running the objective; terminal sessions skip
+    /// the replay since they will never propose again.
+    pub fn recover(
+        repo: &SessionRepository,
+        meta: SessionMeta,
+        snapshot_every: usize,
+    ) -> ServeResult<LiveSession> {
+        let objective = build_objective(&meta.spec)?;
+        let warm_obs: Option<Vec<Observation>> = match meta.warm_source {
+            Some(src) => Some(repo.load_observations(src)?),
+            None => None,
+        };
+        let warm_ref = match (&meta.warm_source, &warm_obs) {
+            (Some(id), Some(obs)) => Some((id.to_string(), obs.as_slice())),
+            _ => None,
+        };
+        let mut tuner = build_tuner(
+            &meta.spec,
+            warm_ref.as_ref().map(|(id, obs)| (id.as_str(), *obs)),
+        )?;
+
+        let recovered = repo.recover_session(meta.id)?;
+        let ctx = TuningContext {
+            space: objective.space().clone(),
+            profile: objective.profile(),
+        };
+        let mut propose_rng = StdRng::seed_from_u64(meta.spec.seed);
+        let mut history = History::new();
+        let replay_tuner = recovered.status == SessionStatus::Running;
+        for (i, obs) in recovered.observations.into_iter().enumerate() {
+            if replay_tuner {
+                if i > 0 {
+                    // The recorded observation answers this proposal; the
+                    // draw itself restores the propose stream.
+                    let _ = tuner.propose(&ctx, &history, &mut propose_rng);
+                }
+                tuner.observe(&obs);
+            }
+            history.push(obs);
+        }
+
+        Ok(LiveSession {
+            dir: repo.session_dir(meta.id),
+            meta,
+            objective,
+            tuner,
+            ctx,
+            propose_rng,
+            history,
+            status: recovered.status,
+            recommendation: recovered.recommendation,
+            snapshot_every: snapshot_every.max(1),
+            snapshot_seq: recovered.snapshot_seq,
+        })
+    }
+
+    /// Logs an observation durably, then applies it in memory.
+    fn apply(&mut self, obs: Observation) -> ServeResult<()> {
+        wal::append_record(
+            &self.dir,
+            &WalRecord::Obs {
+                seq: self.history.len() as u64,
+                obs: obs.clone(),
+            },
+        )?;
+        self.tuner.observe(&obs);
+        self.history.push(obs);
+        if self.history.len() as u64 - self.snapshot_seq >= self.snapshot_every as u64 {
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Runs up to `steps` tuner-driven evaluations, finishing the session
+    /// when the budget is exhausted. Returns how many ran.
+    pub fn advance(&mut self, steps: usize) -> ServeResult<usize> {
+        if self.status.is_terminal() {
+            return Err(ServeError::Conflict(format!(
+                "session {} is {}",
+                self.meta.id,
+                self.status.label()
+            )));
+        }
+        let mut ran = 0;
+        while ran < steps && self.evaluations() < self.meta.spec.budget {
+            let config = self
+                .tuner
+                .propose(&self.ctx, &self.history, &mut self.propose_rng);
+            // Re-proposed configuration: replay the stored measurement
+            // (same dedup rule as core::TuningSession).
+            let prev = self
+                .history
+                .all()
+                .iter()
+                .find(|o| o.config == config)
+                .cloned();
+            let obs = match prev {
+                Some(prev) => prev,
+                None => {
+                    let step = self.history.len() as u64;
+                    let mut rng = StdRng::seed_from_u64(eval_seed(self.meta.spec.seed, step));
+                    self.objective.evaluate(&config, &mut rng)
+                }
+            };
+            self.apply(obs)?;
+            ran += 1;
+        }
+        if self.evaluations() >= self.meta.spec.budget {
+            self.finish()?;
+        }
+        Ok(ran)
+    }
+
+    /// Finishes the session: computes and logs the final recommendation.
+    fn finish(&mut self) -> ServeResult<()> {
+        let recommendation = self.tuner.recommend(&self.ctx, &self.history);
+        wal::append_record(
+            &self.dir,
+            &WalRecord::Finished {
+                recommendation: recommendation.clone(),
+            },
+        )?;
+        self.recommendation = Some(recommendation);
+        self.status = SessionStatus::Finished;
+        self.write_snapshot()
+    }
+
+    /// Cancels the session: history is retained, advancing is refused.
+    pub fn cancel(&mut self) -> ServeResult<()> {
+        if self.status.is_terminal() {
+            return Err(ServeError::Conflict(format!(
+                "session {} is already {}",
+                self.meta.id,
+                self.status.label()
+            )));
+        }
+        wal::append_record(&self.dir, &WalRecord::Cancelled)?;
+        self.status = SessionStatus::Cancelled;
+        self.write_snapshot()
+    }
+
+    /// Compacts the log: snapshot everything, truncate the WAL.
+    pub fn write_snapshot(&mut self) -> ServeResult<()> {
+        wal::write_snapshot(
+            &self.dir,
+            &Snapshot {
+                seq: self.history.len() as u64,
+                history: self.history.clone(),
+                status: self.status,
+                recommendation: self.recommendation.clone(),
+            },
+        )?;
+        self.snapshot_seq = self.history.len() as u64;
+        Ok(())
+    }
+
+    /// Tuner-driven evaluations so far (the baseline probe is excluded).
+    pub fn evaluations(&self) -> usize {
+        self.history.len().saturating_sub(1)
+    }
+
+    /// Full observation history, probe first.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The knob space the session tunes (for CSV export).
+    pub fn space(&self) -> &autotune_core::ConfigSpace {
+        &self.ctx.space
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> SessionStatus {
+        self.status
+    }
+
+    /// Final recommendation, once finished.
+    pub fn recommendation(&self) -> Option<&Recommendation> {
+        self.recommendation.as_ref()
+    }
+
+    /// Best measured runtime so far, if any run succeeded.
+    pub fn best_runtime(&self) -> Option<f64> {
+        self.history
+            .best()
+            .filter(|o| !o.failed)
+            .map(|o| o.runtime_secs)
+    }
+
+    /// WAL size on disk right now.
+    pub fn wal_bytes(&self) -> u64 {
+        wal::wal_bytes(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SessionSpec;
+    use autotune_core::SessionId;
+
+    fn repo(tag: &str) -> SessionRepository {
+        let root =
+            std::env::temp_dir().join(format!("autotune-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        SessionRepository::open(root).unwrap()
+    }
+
+    fn meta(repo: &SessionRepository, seed: u64, budget: usize, tuner: &str) -> SessionMeta {
+        SessionMeta {
+            id: repo.next_id().unwrap(),
+            spec: SessionSpec {
+                system: "dbms-oltp".into(),
+                tuner: tuner.into(),
+                seed,
+                budget,
+                noise: "none".into(),
+                warm_start: false,
+            },
+            warm_source: None,
+            created_unix_ms: 0,
+        }
+    }
+
+    #[test]
+    fn advance_to_budget_finishes_with_recommendation() {
+        let r = repo("finish");
+        let mut s = LiveSession::create(&r, meta(&r, 5, 4, "random"), None, 16).unwrap();
+        assert_eq!(s.history().len(), 1, "probe recorded");
+        assert_eq!(s.advance(10).unwrap(), 4, "budget caps steps");
+        assert_eq!(s.status(), SessionStatus::Finished);
+        assert!(s.recommendation().is_some());
+        assert!(s.advance(1).is_err(), "finished session refuses advance");
+        let _ = std::fs::remove_dir_all(r.root());
+    }
+
+    #[test]
+    fn split_streams_make_interleaving_irrelevant() {
+        // One session advanced 1+1+2 steps equals one advanced 4 at once.
+        let r = repo("interleave");
+        let mut a = LiveSession::create(&r, meta(&r, 9, 4, "random"), None, 16).unwrap();
+        a.advance(1).unwrap();
+        a.advance(1).unwrap();
+        a.advance(2).unwrap();
+
+        let mut m2 = meta(&r, 9, 4, "random");
+        m2.id = r.next_id().unwrap();
+        let mut b = LiveSession::create(&r, m2, None, 16).unwrap();
+        b.advance(4).unwrap();
+
+        let ja = serde_json::to_string(a.history()).unwrap();
+        let jb = serde_json::to_string(b.history()).unwrap();
+        assert_eq!(ja, jb);
+        let _ = std::fs::remove_dir_all(r.root());
+    }
+
+    #[test]
+    fn cancel_is_terminal_and_durable() {
+        let r = repo("cancel");
+        let mut s = LiveSession::create(&r, meta(&r, 1, 10, "random"), None, 16).unwrap();
+        s.advance(2).unwrap();
+        s.cancel().unwrap();
+        assert!(s.cancel().is_err());
+        assert!(s.advance(1).is_err());
+
+        let m = r.read_meta(SessionId::new(1)).unwrap();
+        let back = LiveSession::recover(&r, m, 16).unwrap();
+        assert_eq!(back.status(), SessionStatus::Cancelled);
+        assert_eq!(back.history().len(), 3);
+        let _ = std::fs::remove_dir_all(r.root());
+    }
+
+    #[test]
+    fn eval_seed_spreads_steps() {
+        let a = eval_seed(42, 0);
+        let b = eval_seed(42, 1);
+        let c = eval_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(eval_seed(42, 0), a, "pure function");
+    }
+}

@@ -1,0 +1,74 @@
+//! SIGTERM/SIGINT handling for graceful daemon shutdown, without libc.
+//!
+//! The handler only flips a process-global [`AtomicBool`]; the daemon's
+//! main loop polls [`requested`] and runs the orderly drain itself. On
+//! non-Unix targets [`install`] is a no-op and shutdown is driven purely
+//! by `POST /shutdown`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/seam hook: mark shutdown as requested programmatically.
+pub fn request() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SHUTDOWN_REQUESTED;
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`: registers `handler` for `signum`, returning
+        // the previous disposition. Declared here directly because the
+        // workspace vendors no libc crate.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Only async-signal-safe operations are legal here; a relaxed-or-
+        // stronger atomic store qualifies, and is all we do.
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX C entry point with the declared
+        // signature on every Unix platform this builds for. The handler
+        // passed is an `extern "C" fn(c_int)` (the required ABI) that
+        // performs only an atomic store, which is async-signal-safe; no
+        // allocation, locking, or Rust unwinding can occur in the handler
+        // and it never unwinds across the FFI boundary.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers (no-op on non-Unix targets).
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_flag_is_observable() {
+        install();
+        request();
+        assert!(requested());
+    }
+}

@@ -1,0 +1,167 @@
+//! Session specifications: the JSON body of `POST /sessions` and the
+//! factory functions that turn a spec into live objective + tuner objects.
+//!
+//! The catalog deliberately mirrors the `autotune` CLI (`autotune list`):
+//! the same system names resolve to the same simulators, so a session
+//! tuned over HTTP is comparable to one tuned at the command line. Only
+//! the search tuners that benefit from a service (GP-based and the random
+//! baseline) are exposed; one-shot rule/cost tuners have no use for a
+//! persistent session.
+
+use crate::{ServeError, ServeResult};
+use autotune_core::{Configuration, Objective, Observation, Tuner};
+use autotune_sim::noise::NoiseModel;
+use autotune_sim::{DbmsSimulator, HadoopSimulator, SparkSimulator};
+use autotune_tuners::baselines::RandomSearchTuner;
+use autotune_tuners::warm::{best_k_configs, warm_started_ituned, warm_started_ottertune};
+use autotune_tuners::{experiment::ITunedTuner, ml::OtterTuneTuner, ml::WorkloadRepository};
+use serde::{Deserialize, Serialize};
+
+/// How many transferred configurations seed a warm-started iTuned session.
+pub const WARM_SEED_CONFIGS: usize = 2;
+
+/// Everything needed to (re)build one tuning session deterministically.
+///
+/// The vendored serde derive has no field defaults: every field is
+/// required in request bodies (see README quick-start for examples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Target system name (`dbms-oltp`, `dbms-olap`, `hadoop-terasort`,
+    /// `spark-agg`).
+    pub system: String,
+    /// Tuner name (`ituned`, `ottertune`, `random`).
+    pub tuner: String,
+    /// RNG seed; same spec + same seed → same recommendation.
+    pub seed: u64,
+    /// Evaluation budget (tuner-driven runs; the baseline probe is extra).
+    pub budget: usize,
+    /// Noise model (`none`, `realistic`, `cloud`).
+    pub noise: String,
+    /// Whether to warm-start from the nearest finished past session.
+    pub warm_start: bool,
+}
+
+impl SessionSpec {
+    /// Validates names early so a bad spec fails at create time, not at
+    /// first advance.
+    pub fn validate(&self) -> ServeResult<()> {
+        build_objective(self)?;
+        build_tuner(self, None)?;
+        if self.budget == 0 {
+            return Err(ServeError::BadRequest("budget must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// The platform prefix of the system name (`dbms-oltp` → `dbms`):
+    /// sessions on the same platform share a knob space, so only they are
+    /// eligible warm-start sources for each other.
+    pub fn platform(&self) -> &str {
+        self.system.split('-').next().unwrap_or(&self.system)
+    }
+}
+
+/// Resolves the noise-model name (same vocabulary as the CLI `--noise`
+/// flag).
+pub fn build_noise(name: &str) -> ServeResult<NoiseModel> {
+    match name {
+        "none" => Ok(NoiseModel::none()),
+        "realistic" => Ok(NoiseModel::realistic()),
+        "cloud" => Ok(NoiseModel::noisy_cloud()),
+        other => Err(ServeError::BadRequest(format!(
+            "unknown noise model '{other}' (expected none|realistic|cloud)"
+        ))),
+    }
+}
+
+/// Builds the simulated objective a spec names.
+pub fn build_objective(spec: &SessionSpec) -> ServeResult<Box<dyn Objective + Send>> {
+    let noise = build_noise(&spec.noise)?;
+    Ok(match spec.system.as_str() {
+        "dbms-oltp" => Box::new(DbmsSimulator::oltp_default().with_noise(noise)),
+        "dbms-olap" => Box::new(DbmsSimulator::olap_default().with_noise(noise)),
+        "hadoop-terasort" => Box::new(HadoopSimulator::terasort_default().with_noise(noise)),
+        "spark-agg" => Box::new(SparkSimulator::aggregation_default().with_noise(noise)),
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown system '{other}' (expected dbms-oltp|dbms-olap|hadoop-terasort|spark-agg)"
+            )))
+        }
+    })
+}
+
+/// Builds the tuner a spec names, optionally warm-started with a past
+/// session's observation log (`(source id, observations)`).
+pub fn build_tuner(
+    spec: &SessionSpec,
+    warm: Option<(&str, &[Observation])>,
+) -> ServeResult<Box<dyn Tuner + Send>> {
+    Ok(match spec.tuner.as_str() {
+        "ituned" => match warm {
+            Some((_, past)) => Box::new(warm_started_ituned(past, WARM_SEED_CONFIGS)),
+            None => Box::new(ITunedTuner::new()),
+        },
+        "ottertune" => match warm {
+            Some((id, past)) => Box::new(warm_started_ottertune(id, past)),
+            None => Box::new(OtterTuneTuner::new(WorkloadRepository::new())),
+        },
+        "random" => Box::new(RandomSearchTuner),
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown tuner '{other}' (expected ituned|ottertune|random)"
+            )))
+        }
+    })
+}
+
+/// The configurations a warm source contributes, surfaced for inspection
+/// endpoints (what would transfer, without building the tuner).
+pub fn warm_preview(past: &[Observation]) -> Vec<Configuration> {
+    best_k_configs(past, WARM_SEED_CONFIGS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(system: &str, tuner: &str) -> SessionSpec {
+        SessionSpec {
+            system: system.into(),
+            tuner: tuner.into(),
+            seed: 1,
+            budget: 5,
+            noise: "none".into(),
+            warm_start: false,
+        }
+    }
+
+    #[test]
+    fn catalog_matches_cli_names() {
+        for sys in ["dbms-oltp", "dbms-olap", "hadoop-terasort", "spark-agg"] {
+            for tun in ["ituned", "ottertune", "random"] {
+                spec(sys, tun).validate().expect("valid spec");
+            }
+        }
+        assert!(spec("dbms-oltp", "mystery").validate().is_err());
+        assert!(spec("mystery", "ituned").validate().is_err());
+        assert!(build_noise("cloudy").is_err());
+        let mut zero = spec("dbms-oltp", "random");
+        zero.budget = 0;
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn platform_prefixes() {
+        assert_eq!(spec("dbms-oltp", "random").platform(), "dbms");
+        assert_eq!(spec("hadoop-terasort", "random").platform(), "hadoop");
+        assert_eq!(spec("spark-agg", "random").platform(), "spark");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let s = spec("spark-agg", "ituned");
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: SessionSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+    }
+}

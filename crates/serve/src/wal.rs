@@ -1,0 +1,347 @@
+//! Session persistence: a JSONL write-ahead log with snapshot compaction.
+//!
+//! On-disk layout of one session directory (`<data-dir>/s-000042/`):
+//!
+//! * `meta.json` — immutable [`SessionMeta`](crate::repo::SessionMeta):
+//!   spec, warm source, creation time. Written once at create.
+//! * `wal.jsonl` — one [`WalRecord`] per line, appended and flushed before
+//!   the in-memory state advances. A crash can at worst truncate the final
+//!   line; recovery tolerates exactly that (a torn tail is dropped, any
+//!   earlier corruption is an error).
+//! * `snapshot.json` — periodic [`Snapshot`] of the full history, written
+//!   atomically (tmp + rename) every [`DEFAULT_SNAPSHOT_EVERY`]
+//!   observations, after which the WAL is truncated. Recovery = snapshot
+//!   ⊕ WAL tail.
+//!
+//! Records carry explicit sequence numbers so a WAL tail that predates the
+//! latest snapshot (possible if a crash lands between `rename` and
+//! `truncate`) is deduplicated instead of double-applied.
+
+use crate::{ServeError, ServeResult};
+use autotune_core::{History, Observation, Recommendation};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Snapshot-compaction interval, in observations.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 16;
+
+/// WAL file name inside a session directory.
+pub const WAL_FILE: &str = "wal.jsonl";
+/// Snapshot file name inside a session directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// Lifecycle state of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionStatus {
+    /// Accepting `advance` requests.
+    Running,
+    /// Budget exhausted; recommendation available.
+    Finished,
+    /// Cancelled by the client; history retained, never advanced again.
+    Cancelled,
+}
+
+impl SessionStatus {
+    /// Lowercase label used in JSON status fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionStatus::Running => "running",
+            SessionStatus::Finished => "finished",
+            SessionStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the session can still advance.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, SessionStatus::Running)
+    }
+}
+
+/// One durable event in a session's life.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Observation number `seq` (0 is the baseline probe of the vendor
+    /// default configuration).
+    Obs {
+        /// Zero-based observation index.
+        seq: u64,
+        /// The measured observation.
+        obs: Observation,
+    },
+    /// Budget exhausted; the tuner's final recommendation.
+    Finished {
+        /// The recommendation computed at finish time.
+        recommendation: Recommendation,
+    },
+    /// Client cancelled the session.
+    Cancelled,
+}
+
+/// Compacted state of a session: everything up to `seq` observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Number of observations folded into this snapshot.
+    pub seq: u64,
+    /// Full observation history at compaction time.
+    pub history: History,
+    /// Session status at compaction time.
+    pub status: SessionStatus,
+    /// Final recommendation, once the session finished.
+    pub recommendation: Option<Recommendation>,
+}
+
+/// State reassembled from disk: latest snapshot (if any) plus the WAL
+/// records that follow it.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// Observations in order, snapshot ⊕ WAL tail, duplicates dropped.
+    pub observations: Vec<Observation>,
+    /// Status after applying every surviving record.
+    pub status: SessionStatus,
+    /// Recommendation if a `Finished` record (or snapshot) carried one.
+    pub recommendation: Option<Recommendation>,
+    /// Observation count covered by the snapshot (0 when none) — the
+    /// starting point for the next compaction.
+    pub snapshot_seq: u64,
+}
+
+/// Appends one record to the session's WAL and flushes it to the OS
+/// before returning — the observation is durable (modulo fsync) before
+/// the in-memory session advances past it.
+pub fn append_record(dir: &Path, record: &WalRecord) -> ServeResult<()> {
+    let line = serde_json::to_string(record)
+        .map_err(|e| ServeError::Corrupt(format!("wal encode: {e}")))?;
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(WAL_FILE))?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Writes a snapshot atomically (tmp + rename) and truncates the WAL —
+/// the compaction step. Crash windows are safe in both orders: before the
+/// rename the old snapshot + full WAL still recover; between rename and
+/// truncate the WAL tail duplicates snapshot records, which recovery
+/// drops by sequence number.
+pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> ServeResult<()> {
+    let json = serde_json::to_string(snapshot)
+        .map_err(|e| ServeError::Corrupt(format!("snapshot encode: {e}")))?;
+    let tmp = dir.join("snapshot.json.tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    // Drop everything the snapshot now covers.
+    File::create(dir.join(WAL_FILE))?;
+    Ok(())
+}
+
+/// Current size of the session's WAL in bytes (0 when absent) — surfaced
+/// on `/metrics` as a compaction-health signal.
+pub fn wal_bytes(dir: &Path) -> u64 {
+    fs::metadata(dir.join(WAL_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+/// Reassembles session state from snapshot + WAL.
+///
+/// A parse failure on the **last** line of the WAL is treated as a torn
+/// write from a crash and dropped; a failure anywhere earlier means real
+/// corruption and is reported as [`ServeError::Corrupt`].
+pub fn recover(dir: &Path) -> ServeResult<Recovered> {
+    let snapshot: Option<Snapshot> = match fs::read_to_string(dir.join(SNAPSHOT_FILE)) {
+        Ok(s) => Some(
+            serde_json::from_str(&s)
+                .map_err(|e| ServeError::Corrupt(format!("snapshot decode: {e}")))?,
+        ),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.into()),
+    };
+
+    let (mut observations, mut status, mut recommendation, snapshot_seq) = match snapshot {
+        Some(s) => (
+            s.history.into_observations(),
+            s.status,
+            s.recommendation,
+            s.seq,
+        ),
+        None => (Vec::new(), SessionStatus::Running, None, 0),
+    };
+
+    let wal_path = dir.join(WAL_FILE);
+    if wal_path.exists() {
+        let reader = BufReader::new(File::open(&wal_path)?);
+        let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+        let n = lines.len();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: WalRecord = match serde_json::from_str(line) {
+                Ok(r) => r,
+                Err(_) if i + 1 == n => break, // torn tail from a crash
+                Err(e) => return Err(ServeError::Corrupt(format!("wal line {}: {e}", i + 1))),
+            };
+            match record {
+                WalRecord::Obs { seq, obs } => {
+                    // Records the snapshot already covers are duplicates
+                    // from a crash between rename and truncate.
+                    if seq >= observations.len() as u64 {
+                        observations.push(obs);
+                    }
+                }
+                WalRecord::Finished { recommendation: r } => {
+                    status = SessionStatus::Finished;
+                    recommendation = Some(r);
+                }
+                WalRecord::Cancelled => status = SessionStatus::Cancelled,
+            }
+        }
+    }
+
+    Ok(Recovered {
+        observations,
+        status,
+        recommendation,
+        snapshot_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::Configuration;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("autotune-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn obs(rt: f64) -> Observation {
+        Observation::ok(Configuration::new(), rt)
+    }
+
+    #[test]
+    fn append_and_recover_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        for i in 0..3u64 {
+            append_record(
+                &dir,
+                &WalRecord::Obs {
+                    seq: i,
+                    obs: obs(i as f64),
+                },
+            )
+            .unwrap();
+        }
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.observations.len(), 3);
+        assert_eq!(rec.status, SessionStatus::Running);
+        assert!(wal_bytes(&dir) > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_earlier_corruption_is_fatal() {
+        let dir = tmpdir("torn");
+        append_record(
+            &dir,
+            &WalRecord::Obs {
+                seq: 0,
+                obs: obs(1.0),
+            },
+        )
+        .unwrap();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        f.write_all(b"{\"Obs\":{\"seq\":1,").unwrap(); // torn write
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.observations.len(), 1);
+
+        // Corruption before the tail is not a crash artifact.
+        fs::write(dir.join(WAL_FILE), "garbage\n{\"Cancelled\":null}\n").unwrap();
+        assert!(matches!(recover(&dir), Err(ServeError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compaction_truncates_and_dedupes() {
+        let dir = tmpdir("compact");
+        for i in 0..4u64 {
+            append_record(
+                &dir,
+                &WalRecord::Obs {
+                    seq: i,
+                    obs: obs(i as f64),
+                },
+            )
+            .unwrap();
+        }
+        let mut history = History::new();
+        for i in 0..4 {
+            history.push(obs(i as f64));
+        }
+        write_snapshot(
+            &dir,
+            &Snapshot {
+                seq: 4,
+                history,
+                status: SessionStatus::Running,
+                recommendation: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(wal_bytes(&dir), 0, "wal truncated after snapshot");
+
+        // A stale duplicate (crash between rename and truncate) is dropped;
+        // a genuinely new record applies.
+        append_record(
+            &dir,
+            &WalRecord::Obs {
+                seq: 2,
+                obs: obs(99.0),
+            },
+        )
+        .unwrap();
+        append_record(
+            &dir,
+            &WalRecord::Obs {
+                seq: 4,
+                obs: obs(4.0),
+            },
+        )
+        .unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.observations.len(), 5);
+        assert_eq!(rec.observations[2].runtime_secs, 2.0, "duplicate ignored");
+        assert_eq!(rec.snapshot_seq, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn terminal_records_set_status() {
+        let dir = tmpdir("terminal");
+        append_record(
+            &dir,
+            &WalRecord::Obs {
+                seq: 0,
+                obs: obs(1.0),
+            },
+        )
+        .unwrap();
+        append_record(&dir, &WalRecord::Cancelled).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.status, SessionStatus::Cancelled);
+        assert!(rec.status.is_terminal());
+        assert_eq!(SessionStatus::Running.label(), "running");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

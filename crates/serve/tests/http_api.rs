@@ -1,0 +1,362 @@
+//! End-to-end tests of the HTTP API: an in-process daemon on an ephemeral
+//! port, driven over real TCP connections.
+
+use autotune_serve::metrics::MetricsReport;
+use autotune_serve::server::{
+    AdvanceResponse, CreateResponse, Daemon, DaemonConfig, SessionDetail, SessionSummary,
+};
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fresh_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("autotune-http-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// Minimal test client: one request per connection, returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn spec_json(system: &str, tuner: &str, seed: u64, budget: usize, warm: bool) -> String {
+    format!(
+        "{{\"system\":\"{system}\",\"tuner\":\"{tuner}\",\"seed\":{seed},\
+         \"budget\":{budget},\"noise\":\"none\",\"warm_start\":{warm}}}"
+    )
+}
+
+#[test]
+fn full_session_lifecycle_over_http() {
+    let root = fresh_root("lifecycle");
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("start");
+    let addr = daemon.addr();
+
+    // Health and empty listing.
+    let (status, _) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let (status, body) = request(addr, "GET", "/sessions", None);
+    assert_eq!(status, 200);
+    let rows: Vec<SessionSummary> = serde_json::from_str(&body).expect("rows");
+    assert!(rows.is_empty());
+
+    // Create.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 42, 5, false)),
+    );
+    assert_eq!(status, 201, "{body}");
+    let created: CreateResponse = serde_json::from_str(&body).expect("created");
+    assert!(created.baseline_runtime > 0.0);
+    assert_eq!(created.status, "running");
+    let id = created.id;
+
+    // Advance partially, then to completion.
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":3}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let adv: AdvanceResponse = serde_json::from_str(&body).expect("advance");
+    assert_eq!((adv.ran, adv.evaluations), (3, 3));
+    assert_eq!(adv.status, "running");
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":10}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let adv: AdvanceResponse = serde_json::from_str(&body).expect("advance");
+    assert_eq!((adv.ran, adv.evaluations), (2, 5), "budget caps the steps");
+    assert_eq!(adv.status, "finished");
+
+    // Detail carries the recommendation; advancing again conflicts.
+    let (status, body) = request(addr, "GET", &format!("/sessions/{id}"), None);
+    assert_eq!(status, 200);
+    let detail: SessionDetail = serde_json::from_str(&body).expect("detail");
+    assert_eq!(detail.remaining_budget, 0);
+    assert!(detail.recommendation.is_some());
+    let (status, _) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":1}"),
+    );
+    assert_eq!(status, 409);
+    let (status, _) = request(addr, "POST", &format!("/sessions/{id}/cancel"), None);
+    assert_eq!(status, 409, "finished sessions cannot be cancelled");
+
+    // CSV export: header + probe + 5 evaluations.
+    let (status, csv) = request(addr, "GET", &format!("/sessions/{id}/csv"), None);
+    assert_eq!(status, 200);
+    assert_eq!(csv.trim_end().lines().count(), 7, "{csv}");
+    assert!(csv.starts_with("run,"), "{csv}");
+
+    // Metrics.
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let report: MetricsReport = serde_json::from_str(&body).expect("metrics");
+    assert_eq!(report.sessions.len(), 1);
+    assert_eq!(report.sessions[0].evaluations, 5);
+    assert_eq!(report.sessions[0].status, "finished");
+    assert!(report.sessions[0].best_runtime.is_some());
+
+    // Error surface.
+    let (status, _) = request(addr, "GET", "/sessions/s-000099", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/sessions/bogus", None);
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/sessions", Some("{\"system\":\"nope\"}"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/nowhere", None);
+    assert_eq!(status, 404);
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn same_seed_same_recommendation_over_http() {
+    let root = fresh_root("determinism");
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("start");
+    let addr = daemon.addr();
+
+    let mut recommendations = Vec::new();
+    for _ in 0..2 {
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/sessions",
+            Some(&spec_json("spark-agg", "ituned", 7, 8, false)),
+        );
+        assert_eq!(status, 201, "{body}");
+        let created: CreateResponse = serde_json::from_str(&body).expect("created");
+        let (status, _) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{}/advance", created.id),
+            Some("{\"steps\":8}"),
+        );
+        assert_eq!(status, 200);
+        let (_, body) = request(addr, "GET", &format!("/sessions/{}", created.id), None);
+        let detail: SessionDetail = serde_json::from_str(&body).expect("detail");
+        recommendations
+            .push(serde_json::to_string(&detail.recommendation.expect("finished")).expect("json"));
+    }
+    assert_eq!(
+        recommendations[0], recommendations[1],
+        "same spec + same seed must yield the same recommendation"
+    );
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn restart_recovers_sessions_from_disk() {
+    let root = fresh_root("restart");
+    let id = {
+        let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("start");
+        let addr = daemon.addr();
+        let (_, body) = request(
+            addr,
+            "POST",
+            "/sessions",
+            Some(&spec_json("hadoop-terasort", "random", 3, 6, false)),
+        );
+        let created: CreateResponse = serde_json::from_str(&body).expect("created");
+        let (status, _) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{}/advance", created.id),
+            Some("{\"steps\":2}"),
+        );
+        assert_eq!(status, 200);
+        daemon.graceful_shutdown();
+        created.id
+    };
+
+    // Second daemon on the same data dir: the session is back, resumes,
+    // and finishes.
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("restart");
+    let addr = daemon.addr();
+    let (status, body) = request(addr, "GET", &format!("/sessions/{id}"), None);
+    assert_eq!(status, 200, "{body}");
+    let detail: SessionDetail = serde_json::from_str(&body).expect("detail");
+    assert_eq!(detail.evaluations, 2);
+    assert_eq!(detail.status, "running");
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":99}"),
+    );
+    assert_eq!(status, 200);
+    let adv: AdvanceResponse = serde_json::from_str(&body).expect("advance");
+    assert_eq!((adv.ran, adv.evaluations), (4, 6));
+    assert_eq!(adv.status, "finished");
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn warm_start_resolves_source_over_http() {
+    let root = fresh_root("warm");
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("start");
+    let addr = daemon.addr();
+
+    // Finish a cold session on the platform.
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 1, 4, false)),
+    );
+    let first: CreateResponse = serde_json::from_str(&body).expect("created");
+    assert_eq!(first.warm_source, None);
+    let (status, _) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{}/advance", first.id),
+        Some("{\"steps\":4}"),
+    );
+    assert_eq!(status, 200);
+
+    // A warm-started session maps to it.
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "ituned", 2, 4, true)),
+    );
+    let second: CreateResponse = serde_json::from_str(&body).expect("created");
+    assert_eq!(second.warm_source, Some(first.id));
+    let (_, body) = request(addr, "GET", &format!("/sessions/{}", second.id), None);
+    let detail: SessionDetail = serde_json::from_str(&body).expect("detail");
+    assert_eq!(detail.warm_source, Some(first.id));
+
+    // But a warm request on a different platform finds no source.
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("spark-agg", "ituned", 3, 4, true)),
+    );
+    let third: CreateResponse = serde_json::from_str(&body).expect("created");
+    assert_eq!(third.warm_source, None);
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn full_queue_returns_429() {
+    let root = fresh_root("backpressure");
+    let mut config = DaemonConfig::new(&root);
+    config.workers = 1;
+    config.queue_cap = 1;
+    let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
+    let addr = daemon.addr();
+
+    // A long-running GP session to occupy the single worker.
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "ituned", 5, 200, false)),
+    );
+    let created: CreateResponse = serde_json::from_str(&body).expect("created");
+    let id = created.id;
+
+    // Occupy the worker with a long advance.
+    let t1 = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/advance"),
+            Some("{\"steps\":200}"),
+        )
+    });
+    wait_until(addr, |m| m.sessions[0].evaluations >= 1, "worker busy");
+
+    // Fill the single queue slot with a second advance.
+    let t2 = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/advance"),
+            Some("{\"steps\":200}"),
+        )
+    });
+    wait_until(addr, |m| m.queue_depth >= 1, "queue full");
+
+    // Admission control: the third request is rejected immediately.
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":1}"),
+    );
+    assert_eq!(status, 429, "{body}");
+
+    // Cancel ends the in-flight advance between steps; the queued job
+    // then sees a terminal session and reports the conflict.
+    let (status, _) = request(addr, "POST", &format!("/sessions/{id}/cancel"), None);
+    assert_eq!(status, 200);
+    let (status, _) = t1.join().expect("t1");
+    assert_eq!(status, 200, "in-flight advance completed its partial work");
+    let (status, _) = t2.join().expect("t2");
+    assert_eq!(status, 409, "queued advance found the session cancelled");
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Polls `/metrics` until `pred` holds (30s cap — generous; every wait in
+/// the test resolves in milliseconds normally).
+fn wait_until(addr: SocketAddr, pred: impl Fn(&MetricsReport) -> bool, what: &str) {
+    for _ in 0..3000 {
+        let (status, body) = request(addr, "GET", "/metrics", None);
+        assert_eq!(status, 200);
+        let report: MetricsReport = serde_json::from_str(&body).expect("metrics");
+        if pred(&report) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for: {what}");
+}

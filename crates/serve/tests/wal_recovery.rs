@@ -1,0 +1,198 @@
+//! Crash-recovery guarantees of the session repository: a session killed
+//! at any point and recovered from disk continues exactly where the
+//! uninterrupted run would have been, and a WAL torn at any byte offset
+//! recovers every complete record.
+
+use autotune_core::SessionId;
+use autotune_serve::repo::{SessionMeta, SessionRepository};
+use autotune_serve::session::LiveSession;
+use autotune_serve::spec::SessionSpec;
+use autotune_serve::wal::{self, SessionStatus, WalRecord};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn fresh_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("autotune-recovery-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn spec(tuner: &str, seed: u64, budget: usize) -> SessionSpec {
+    SessionSpec {
+        system: "dbms-oltp".into(),
+        tuner: tuner.into(),
+        seed,
+        budget,
+        noise: "realistic".into(),
+        warm_start: false,
+    }
+}
+
+fn meta(repo: &SessionRepository, spec: SessionSpec) -> SessionMeta {
+    SessionMeta {
+        id: repo.next_id().expect("next id"),
+        spec,
+        warm_source: None,
+        created_unix_ms: 0,
+    }
+}
+
+/// History serialized to its canonical JSON — byte comparison baseline.
+fn history_json(session: &LiveSession) -> String {
+    serde_json::to_string(session.history()).expect("serialize history")
+}
+
+#[test]
+fn crashed_session_recovers_byte_identical_and_continues() {
+    // Reference: one uninterrupted GP session.
+    let root_a = fresh_root("uninterrupted");
+    let repo_a = SessionRepository::open(&root_a).expect("open");
+    let mut reference =
+        LiveSession::create(&repo_a, meta(&repo_a, spec("ituned", 42, 12)), None, 5)
+            .expect("create");
+    reference.advance(12).expect("advance");
+    assert_eq!(reference.status(), SessionStatus::Finished);
+
+    // Same spec, crashed mid-run: advance 7, then "crash" (drop the live
+    // session without a final snapshot) and tear the WAL tail.
+    let root_b = fresh_root("crashed");
+    let repo_b = SessionRepository::open(&root_b).expect("open");
+    let m = meta(&repo_b, spec("ituned", 42, 12));
+    let id = m.id;
+    {
+        let mut victim = LiveSession::create(&repo_b, m, None, 5).expect("create");
+        victim.advance(7).expect("advance");
+        // snapshot_every=5 ⇒ a snapshot exists and the WAL holds a tail.
+    }
+    {
+        // Simulate a torn append: garbage half-line at the WAL tail.
+        use std::io::Write;
+        let wal_path = repo_b.session_dir(id).join("wal.jsonl");
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&wal_path)
+            .expect("open wal");
+        f.write_all(b"{\"Obs\":{\"seq\":99,\"obs\":{\"conf")
+            .expect("tear");
+    }
+
+    let recovered_meta = repo_b.read_meta(id).expect("meta");
+    let mut recovered = LiveSession::recover(&repo_b, recovered_meta, 5).expect("recover");
+    assert_eq!(recovered.status(), SessionStatus::Running);
+    assert_eq!(recovered.history().len(), 8, "probe + 7 evaluations");
+
+    // The replayed prefix is byte-identical to the reference's prefix.
+    let ref_prefix: Vec<_> = reference.history().all()[..8].to_vec();
+    assert_eq!(
+        serde_json::to_string(&ref_prefix).expect("json"),
+        serde_json::to_string(&recovered.history().all().to_vec()).expect("json"),
+        "recovered history must replay byte-identically"
+    );
+
+    // And the recovered session finishes exactly like the uninterrupted
+    // one: same history bytes, same recommendation.
+    recovered.advance(12).expect("finish");
+    assert_eq!(recovered.status(), SessionStatus::Finished);
+    assert_eq!(history_json(&reference), history_json(&recovered));
+    let rec_a =
+        serde_json::to_string(&reference.recommendation().expect("rec").config).expect("json");
+    let rec_b =
+        serde_json::to_string(&recovered.recommendation().expect("rec").config).expect("json");
+    assert_eq!(rec_a, rec_b);
+
+    let _ = fs::remove_dir_all(&root_a);
+    let _ = fs::remove_dir_all(&root_b);
+}
+
+#[test]
+fn finished_session_recovers_terminal_with_recommendation() {
+    let root = fresh_root("finished");
+    let repo = SessionRepository::open(&root).expect("open");
+    let m = meta(&repo, spec("random", 7, 6));
+    let id = m.id;
+    let mut s = LiveSession::create(&repo, m, None, 100).expect("create");
+    s.advance(6).expect("advance");
+    let best = s.best_runtime();
+    drop(s);
+
+    let back =
+        LiveSession::recover(&repo, repo.read_meta(id).expect("meta"), 100).expect("recover");
+    assert_eq!(back.status(), SessionStatus::Finished);
+    assert_eq!(back.best_runtime(), best);
+    assert!(back.recommendation().is_some());
+    let _ = fs::remove_dir_all(&root);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chopping the WAL at *any* byte offset past the probe record leaves
+    /// a recoverable log: every complete line survives, the torn tail is
+    /// dropped, and the observation prefix matches the original run.
+    #[test]
+    fn truncated_wal_recovers_complete_prefix(
+        seed in 0u64..1000,
+        budget in 2usize..8,
+        cut_back in 1usize..200,
+    ) {
+        let root = fresh_root(&format!("prop-{seed}-{budget}-{cut_back}"));
+        let repo = SessionRepository::open(&root).expect("open");
+        // Budget above the advanced step count: the session stays Running,
+        // so no finish-time compaction empties the WAL under the test.
+        let m = meta(&repo, spec("random", seed, budget + 2));
+        let id = m.id;
+        // snapshot_every larger than the run: everything stays in the WAL.
+        let mut s = LiveSession::create(&repo, m, None, 1000).expect("create");
+        s.advance(budget).expect("advance");
+        let full: Vec<_> = s.history().all().to_vec();
+        drop(s);
+
+        let wal_path = repo.session_dir(id).join("wal.jsonl");
+        let bytes = fs::read(&wal_path).expect("read wal");
+        let first_line_end = bytes.iter().position(|&b| b == b'\n').expect("line") + 1;
+        // Cut somewhere after the first record so recovery has work to do.
+        let cut = (bytes.len().saturating_sub(cut_back)).max(first_line_end);
+        fs::write(&wal_path, &bytes[..cut]).expect("truncate");
+
+        let kept_lines = bytes[..cut].iter().filter(|&&b| b == b'\n').count();
+        let recovered = wal::recover(&repo.session_dir(id)).expect("recover");
+
+        // Count the observation records among surviving complete lines
+        // (the final line may be a Finished record).
+        let text = String::from_utf8(bytes[..cut].to_vec()).expect("utf8");
+        let complete: Vec<&str> = text
+            .split('\n')
+            .take(kept_lines)
+            .collect();
+        let expect_obs = complete
+            .iter()
+            .filter(|l| {
+                serde_json::from_str::<WalRecord>(l)
+                    .map(|r| matches!(r, WalRecord::Obs { .. }))
+                    .unwrap_or(false)
+            })
+            .count();
+        prop_assert_eq!(recovered.observations.len(), expect_obs);
+        // The surviving prefix matches the original run byte-for-byte.
+        let original_prefix: Vec<_> = full[..expect_obs].to_vec();
+        prop_assert_eq!(
+            serde_json::to_string(&recovered.observations).expect("json"),
+            serde_json::to_string(&original_prefix).expect("json")
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn session_ids_allocate_past_recovered_sessions() {
+    let root = fresh_root("ids");
+    let repo = SessionRepository::open(&root).expect("open");
+    let m1 = meta(&repo, spec("random", 1, 2));
+    LiveSession::create(&repo, m1, None, 16).expect("create");
+    let m2 = meta(&repo, spec("random", 2, 2));
+    assert_eq!(m2.id, SessionId::new(2));
+    LiveSession::create(&repo, m2, None, 16).expect("create");
+    assert_eq!(repo.next_id().expect("next"), SessionId::new(3));
+    let _ = fs::remove_dir_all(&root);
+}

@@ -94,6 +94,15 @@ impl ITunedTuner {
         self
     }
 
+    /// Adds several seed configurations at once — the warm-start entry
+    /// point used by session repositories transferring the best
+    /// configurations of the nearest past session (see
+    /// [`crate::warm::best_k_configs`]).
+    pub fn with_seed_configs(mut self, cfgs: impl IntoIterator<Item = Configuration>) -> Self {
+        self.seed_configs.extend(cfgs);
+        self
+    }
+
     fn init_count(&self, dim: usize) -> usize {
         self.init_samples.unwrap_or((2 * dim).clamp(6, 20))
     }

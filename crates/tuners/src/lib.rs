@@ -14,6 +14,10 @@
 //! | [`ml`] | machine learning | OtterTune, Rodd NN, Ernest |
 //! | [`adaptive`] | adaptive | COLT, online memory manager, dynamic partitioning |
 //! | [`baselines`] | — | defaults, random search, grid search |
+//!
+//! [`warm`] holds the cross-session transfer primitives: distilling a past
+//! observation log into seed configurations and building GP tuners
+//! pre-loaded with a past session (the `autotune-serve` warm-start path).
 
 #![warn(missing_docs)]
 
@@ -25,3 +29,4 @@ pub mod ml;
 pub mod rule;
 pub mod simulation;
 pub mod util;
+pub mod warm;

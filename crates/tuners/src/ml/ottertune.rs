@@ -300,6 +300,15 @@ impl OtterTuneTuner {
     pub fn pruned_metrics(&self) -> &[String] {
         &self.pruned_metrics
     }
+
+    /// Adds a past session's observation log to the repository under `id` —
+    /// the warm-start entry point for persistent session stores: workload
+    /// mapping will consider the transferred log like any other repository
+    /// workload, and its best configurations become EI anchors.
+    pub fn with_transfer(mut self, id: &str, observations: Vec<Observation>) -> Self {
+        self.repository.add(id, observations);
+        self
+    }
 }
 
 impl Tuner for OtterTuneTuner {

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Smoke test for the autotune-serve daemon: boot on a random port, drive a
+# full tuning session over HTTP, check /metrics and CSV export, then verify
+# graceful SIGTERM shutdown and crash-free recovery on restart.
+#
+# Usage: scripts/serve_smoke.sh [path-to-autotune-serve-binary]
+set -euo pipefail
+
+BIN="${1:-}"
+if [[ -z "$BIN" ]]; then
+    cargo build --release -p autotune-serve
+    BIN="target/release/autotune-serve"
+fi
+
+WORK="$(mktemp -d)"
+LOG="$WORK/daemon.log"
+DATA="$WORK/data"
+DAEMON_PID=""
+
+cleanup() {
+    if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+start_daemon() {
+    "$BIN" --addr 127.0.0.1:0 --data-dir "$DATA" --workers 1 >"$LOG" 2>&1 &
+    DAEMON_PID=$!
+    # main.rs prints "listening on http://HOST:PORT" once the socket is bound.
+    for _ in $(seq 1 100); do
+        if grep -q "listening on http://" "$LOG"; then
+            break
+        fi
+        kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited before binding"
+        sleep 0.1
+    done
+    ADDR="$(grep -o 'listening on http://[0-9.:]*' "$LOG" | head -1 | sed 's|listening on http://||')"
+    [[ -n "$ADDR" ]] || fail "could not parse listen address from daemon log"
+}
+
+start_daemon
+echo "daemon up at $ADDR (pid $DAEMON_PID)"
+
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "healthz not ok"
+
+SPEC='{"system":"dbms-oltp","tuner":"ituned","seed":42,"budget":6,"noise":"none","warm_start":false}'
+CREATE="$(curl -fsS -X POST "http://$ADDR/sessions" -d "$SPEC")"
+echo "create: $CREATE"
+SID="$(echo "$CREATE" | grep -o 's-[0-9]*' | head -1)"
+[[ -n "$SID" ]] || fail "create response carried no session id: $CREATE"
+
+ADVANCE="$(curl -fsS -X POST "http://$ADDR/sessions/$SID/advance" -d '{"steps":6}')"
+echo "advance: $ADVANCE"
+echo "$ADVANCE" | grep -q '"finished"' || fail "session did not finish: $ADVANCE"
+
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "metrics: $METRICS"
+echo "$METRICS" | grep -q '"evaluations": *6' || fail "metrics missing 6 evaluations: $METRICS"
+echo "$METRICS" | grep -q '"queue_depth"' || fail "metrics missing queue_depth: $METRICS"
+echo "$METRICS" | grep -q '"wal_bytes_total"' || fail "metrics missing wal_bytes_total: $METRICS"
+
+CSV="$(curl -fsS "http://$ADDR/sessions/$SID/csv")"
+[[ "$(echo "$CSV" | head -1)" == run,* ]] || fail "CSV export missing header: $CSV"
+# Header + baseline probe + 6 tuner evaluations.
+LINES="$(echo "$CSV" | grep -c .)"
+[[ "$LINES" -eq 8 ]] || fail "CSV expected 8 lines, got $LINES"
+
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$DAEMON_PID" 2>/dev/null && fail "daemon did not exit within 10s of SIGTERM"
+wait "$DAEMON_PID" 2>/dev/null || true
+grep -q "shutdown complete" "$LOG" || fail "daemon did not shut down gracefully"
+DAEMON_PID=""
+
+# Restart on the same data dir: the finished session must recover from disk.
+start_daemon
+LIST="$(curl -fsS "http://$ADDR/sessions")"
+echo "recovered: $LIST"
+echo "$LIST" | grep -q "$SID" || fail "restart lost session $SID: $LIST"
+echo "$LIST" | grep -q '"finished"' || fail "recovered session not finished: $LIST"
+curl -fsS -X POST "http://$ADDR/shutdown" >/dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$DAEMON_PID" 2>/dev/null && fail "daemon did not exit after POST /shutdown"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "serve smoke test passed"
