@@ -4,20 +4,28 @@
 //! a servable system. Three pieces (DESIGN.md §7):
 //!
 //! * **Persistent session repository** ([`repo`], [`wal`]) — every tuning
-//!   session appends its observations to a JSONL write-ahead log,
-//!   periodically compacted into a snapshot; on startup the daemon replays
-//!   WAL + snapshot to recover crashed sessions byte-identically, and an
-//!   index keyed by (platform, workload signature) lets new sessions
-//!   warm-start GP tuners from the nearest past session (OtterTune-style
-//!   workload mapping: Euclidean distance on normalized metric vectors).
+//!   session appends its observations to a checksum-framed JSONL
+//!   write-ahead log, periodically compacted into a snapshot; on startup
+//!   the daemon replays snapshot + WAL + shared journal to recover
+//!   crashed sessions byte-identically, and an index keyed by (platform,
+//!   workload signature) lets new sessions warm-start GP tuners from the
+//!   nearest past session (OtterTune-style workload mapping: Euclidean
+//!   distance on normalized metric vectors).
+//! * **Group commit** ([`group`]) — under `fsync` durability, appends
+//!   from every session are batched into one shared journal and synced
+//!   once per batch, so durable-write throughput scales with batch size
+//!   instead of paying one fsync per observation per session.
 //! * **HTTP/1.1 JSON API** ([`http`], [`server`]) — a hand-rolled server
 //!   over `std::net::TcpListener` (no external dependencies) with
 //!   endpoints to create, advance, inspect, export, and cancel sessions.
-//! * **Bounded scheduler** ([`scheduler`]) — session work runs on a fixed
-//!   thread pool behind a bounded queue; a full queue rejects new work
-//!   with HTTP 429, and graceful shutdown (SIGTERM or `POST /shutdown`)
-//!   finishes in-flight evaluations, drains every session's tail to the
-//!   WAL, and snapshots before exit.
+//! * **Sharded bounded scheduler** ([`scheduler`], [`server`]) — sessions
+//!   hash onto N independent shards, each with its own session index and
+//!   bounded worker pool, so unrelated sessions never contend on one
+//!   lock; concurrent `advance` calls on the *same* session coalesce onto
+//!   a single driver job instead of queueing. A full shard queue rejects
+//!   new work with HTTP 429, and graceful shutdown (SIGTERM or
+//!   `POST /shutdown`) finishes in-flight evaluations, drains every
+//!   session's tail to the WAL, and snapshots before exit.
 //!
 //! Determinism: each session owns two RNG streams derived from its seed —
 //! one for tuner proposals, one re-seeded per evaluation step — so a
@@ -28,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod group;
 pub mod http;
 pub mod metrics;
 pub mod repo;

@@ -12,7 +12,7 @@
 
 use autotune_serve::server::{Daemon, DaemonConfig};
 use autotune_serve::signal;
-use autotune_serve::wal::DEFAULT_SNAPSHOT_EVERY;
+use autotune_serve::wal::{Durability, DEFAULT_SNAPSHOT_EVERY};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -36,11 +36,16 @@ fn usage() {
     println!("autotune-serve — tuning-as-a-service daemon\n");
     println!("USAGE:");
     println!("  autotune-serve [--addr HOST:PORT] [--data-dir DIR]");
-    println!("                 [--workers N] [--queue-cap N] [--snapshot-every N]\n");
+    println!("                 [--workers N] [--queue-cap N] [--snapshot-every N]");
+    println!("                 [--shards N] [--durability flush|fsync]");
+    println!("                 [--wal group|direct] [--retain N]\n");
     println!("DEFAULTS:");
     println!("  --addr 127.0.0.1:7071   --data-dir ./autotune-serve-data");
-    println!("  --workers 2             --queue-cap 8");
-    println!("  --snapshot-every {DEFAULT_SNAPSHOT_EVERY}");
+    println!("  --workers 2 (per shard) --queue-cap 8 (per shard)");
+    println!("  --snapshot-every {DEFAULT_SNAPSHOT_EVERY}      --shards 4");
+    println!("  --durability flush (survives process crash; fsync survives OS crash)");
+    println!("  --wal group (batched group commit; direct = per-record appends)");
+    println!("  --retain unlimited (N caps finished-session dirs, oldest evicted)");
 }
 
 fn main() -> ExitCode {
@@ -68,6 +73,35 @@ fn main() -> ExitCode {
     config.workers = parse_num("workers", config.workers).max(1);
     config.queue_cap = parse_num("queue-cap", config.queue_cap).max(1);
     config.snapshot_every = parse_num("snapshot-every", config.snapshot_every).max(1);
+    config.shards = parse_num("shards", config.shards).max(1);
+    if let Some(mode) = flags.get("durability") {
+        config.durability = match Durability::parse(mode) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("autotune-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if let Some(wal) = flags.get("wal") {
+        config.group_commit = match wal.as_str() {
+            "group" => true,
+            "direct" => false,
+            other => {
+                eprintln!("autotune-serve: unknown --wal '{other}' (expected group|direct)");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if let Some(retain) = flags.get("retain") {
+        match retain.parse() {
+            Ok(n) => config.retain_finished = Some(n),
+            Err(_) => {
+                eprintln!("autotune-serve: --retain expects a number, got '{retain}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     signal::install();
     let daemon = match Daemon::start(&addr, config) {

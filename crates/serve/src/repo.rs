@@ -177,6 +177,70 @@ impl SessionRepository {
         Ok(out)
     }
 
+    /// Deletes a session directory outright (retention eviction).
+    pub fn delete_session(&self, id: SessionId) -> ServeResult<()> {
+        let dir = self.session_dir(id);
+        match fs::remove_dir_all(&dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Every session id referenced as a warm-start source by any session
+    /// still on disk. These must survive retention eviction: recovering a
+    /// warm-started session rebuilds its tuner from the source's
+    /// observation log, so deleting the source would break recovery.
+    pub fn warm_source_refs(&self) -> ServeResult<std::collections::BTreeSet<SessionId>> {
+        let mut refs = std::collections::BTreeSet::new();
+        for id in self.list_ids()? {
+            if let Ok(meta) = self.read_meta(id) {
+                if let Some(src) = meta.warm_source {
+                    refs.insert(src);
+                }
+            }
+        }
+        Ok(refs)
+    }
+
+    /// Caps the number of *terminal* (finished/cancelled) session
+    /// directories at `retain`, evicting oldest-first (session ids are
+    /// allocated monotonically, so the lowest id is the oldest). Sessions
+    /// referenced as a warm-start source by any surviving session are
+    /// protected. Returns the evicted ids, ascending.
+    pub fn enforce_retention(&self, retain: usize) -> ServeResult<Vec<SessionId>> {
+        let mut terminal = Vec::new();
+        for id in self.list_ids()? {
+            if self.read_meta(id).is_err() {
+                continue; // half-created directory; not a retention subject
+            }
+            let Ok(recovered) = self.recover_session(id) else {
+                continue;
+            };
+            if recovered.status.is_terminal() {
+                terminal.push(id);
+            }
+        }
+        if terminal.len() <= retain {
+            return Ok(Vec::new());
+        }
+        let protected = self.warm_source_refs()?;
+        let mut excess = terminal.len() - retain;
+        let mut evicted = Vec::new();
+        for id in terminal {
+            if excess == 0 {
+                break;
+            }
+            if protected.contains(&id) {
+                continue;
+            }
+            self.delete_session(id)?;
+            evicted.push(id);
+            excess -= 1;
+        }
+        Ok(evicted)
+    }
+
     /// The finished session on `platform` whose workload signature is
     /// nearest to `probe_metrics` — the warm-start source. `None` when no
     /// finished session qualifies.

@@ -99,7 +99,7 @@ struct PoolState {
 /// The bounded worker pool.
 pub struct Scheduler {
     state: Arc<PoolState>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Scheduler {
@@ -120,7 +120,7 @@ impl Scheduler {
             .collect();
         Scheduler {
             state,
-            workers: handles,
+            workers: Mutex::new(handles),
         }
     }
 
@@ -160,11 +160,14 @@ impl Scheduler {
     }
 
     /// Graceful shutdown: in-flight jobs finish, queued jobs are dropped
-    /// (waking their waiters with `None`), workers join.
-    pub fn shutdown(&mut self) {
+    /// (waking their waiters with `None`), workers join. Takes `&self` so
+    /// a fleet of per-shard schedulers can shut down without an outer
+    /// mutex; concurrent calls are safe (the second joins nothing).
+    pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.cv.notify_all();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.workers));
+        for handle in handles {
             let _ = handle.join();
         }
         // Dropping the remaining jobs fires their completion guards.
@@ -245,7 +248,7 @@ mod tests {
 
     #[test]
     fn shutdown_drops_queued_jobs_without_hanging_waiters() {
-        let mut sched = Scheduler::new(1, 16);
+        let sched = Scheduler::new(1, 16);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let g = Arc::clone(&gate);
         let _running = sched.submit(move || {

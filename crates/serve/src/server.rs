@@ -1,4 +1,5 @@
-//! The daemon: session registry, HTTP routing, and graceful shutdown.
+//! The daemon: sharded session registry, HTTP routing, advance
+//! coalescing, and graceful shutdown.
 //!
 //! ## Endpoints
 //!
@@ -7,24 +8,49 @@
 //! | `POST /sessions` | [`SessionSpec`] | create session (runs the baseline probe; resolves the warm-start source) |
 //! | `GET /sessions` | — | list all sessions |
 //! | `GET /sessions/{id}` | — | full detail incl. recommendation |
-//! | `POST /sessions/{id}/advance` | `{"steps": N}` | run N evaluations on the scheduler (429 when the queue is full) |
+//! | `POST /sessions/{id}/advance` | `{"steps": N}` | run N evaluations on the session's shard (429 when the shard queue is full) |
 //! | `POST /sessions/{id}/cancel` | — | cancel the session |
 //! | `GET /sessions/{id}/csv` | — | observation history as CSV |
 //! | `GET /metrics` | — | [`MetricsReport`] |
 //! | `GET /healthz` | — | liveness probe |
 //! | `POST /shutdown` | — | request graceful shutdown |
 //!
-//! Every session mutation is WAL-logged before it is acknowledged, so
+//! ## Sharding
+//!
+//! Sessions hash onto `shards` independent shards
+//! (`splitmix64(id) % shards`), each with its own session index and its
+//! own bounded [`Scheduler`]. Unrelated sessions therefore never contend
+//! on a lock: a slow advance in one shard cannot delay lookups, creates,
+//! or advances in another. `/metrics` reports per-shard queue depths.
+//!
+//! ## Advance coalescing
+//!
+//! Concurrent `POST /sessions/{id}/advance` calls on the *same* session
+//! do not queue one scheduler job each (they would serialize on the
+//! session mutex anyway, wasting queue slots and worker threads).
+//! Instead each session carries an **advance gate** holding an absolute
+//! evaluation-count watermark: a request raises the watermark to
+//! `min(current + steps, budget)` and exactly one **driver job** runs
+//! evaluations until the (possibly re-raised) watermark is reached, while
+//! every other request just waits on the gate's condvar. Each waiter
+//! returns once the session reaches *its* watermark, reporting the
+//! evaluations that ran on its watch. Determinism is unaffected: the
+//! split-RNG scheme (see [`crate::session`]) makes the observation stream
+//! a pure function of (seed, step), however advances are batched.
+//!
+//! Every session mutation is WAL-logged before it is acknowledged (at the
+//! configured durability — see [`crate::wal`] and [`crate::group`]), so
 //! killing the daemon at any point and restarting it on the same data
-//! directory recovers every session (see [`crate::wal`]).
+//! directory recovers every session.
 
+use crate::group::GroupCommitWal;
 use crate::http::{read_request, Request, Response};
-use crate::metrics::{MetricsReport, SessionMetrics};
+use crate::metrics::{Endpoint, EndpointHistograms, MetricsReport, SessionMetrics};
 use crate::repo::{SessionMeta, SessionRepository};
 use crate::scheduler::{lock, Scheduler};
-use crate::session::{eval_seed, LiveSession};
+use crate::session::{eval_seed, splitmix64, LiveSession};
 use crate::spec::{build_objective, SessionSpec};
-use crate::wal::DEFAULT_SNAPSHOT_EVERY;
+use crate::wal::{self, Durability, WalSink, DEFAULT_SNAPSHOT_EVERY};
 use crate::{ServeError, ServeResult};
 use autotune_core::{history_to_csv, Recommendation, SessionId};
 use rand::rngs::StdRng;
@@ -33,8 +59,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -43,12 +69,24 @@ use std::time::Duration;
 pub struct DaemonConfig {
     /// Root of the persistent session repository.
     pub data_dir: PathBuf,
-    /// Worker threads executing session jobs.
+    /// Worker threads executing session jobs, **per shard**.
     pub workers: usize,
-    /// Max queued (not yet running) jobs before 429.
+    /// Max queued (not yet running) jobs before 429, **per shard**.
     pub queue_cap: usize,
     /// Snapshot-compaction interval in observations.
     pub snapshot_every: usize,
+    /// Independent session shards (index + scheduler each).
+    pub shards: usize,
+    /// WAL durability mode. `Flush` (default) survives a process crash;
+    /// `Fsync` additionally survives an OS crash.
+    pub durability: Durability,
+    /// Route WAL appends through the shared group-commit writer. On by
+    /// default; turning it off restores per-record direct appends (the
+    /// pre-group-commit baseline, kept for benchmarking).
+    pub group_commit: bool,
+    /// Cap on terminal (finished/cancelled) session directories; oldest
+    /// are evicted past the cap. `None` keeps everything.
+    pub retain_finished: Option<usize>,
 }
 
 impl DaemonConfig {
@@ -59,6 +97,10 @@ impl DaemonConfig {
             workers: 2,
             queue_cap: 8,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            shards: 4,
+            durability: Durability::Flush,
+            group_commit: true,
+            retain_finished: None,
         }
     }
 }
@@ -89,7 +131,8 @@ pub struct AdvanceRequest {
 pub struct AdvanceResponse {
     /// The session.
     pub id: SessionId,
-    /// Evaluations actually run by this request.
+    /// Evaluations that ran during this request (under coalescing,
+    /// evaluations driven on this request's watch, capped at `steps`).
     pub ran: usize,
     /// Total tuner-driven evaluations so far.
     pub evaluations: usize,
@@ -133,12 +176,87 @@ pub struct SessionDetail {
     pub recommendation: Option<Recommendation>,
 }
 
+/// Advance-coalescing state of one session (see module docs).
+struct AdvanceGate {
+    /// Absolute evaluation watermark requested so far.
+    target: usize,
+    /// Whether a driver job is scheduled or running.
+    driver: bool,
+    /// Last driver failure, reported to waiters that saw no progress.
+    failed: Option<String>,
+    /// Generation counter bumped (under this mutex) whenever session
+    /// state changes. Waiters sample it before reading session state and
+    /// sleep only if it is unchanged when they re-acquire the gate —
+    /// otherwise a notify landing between the session read and the wait
+    /// would be lost and every such miss costs a full `GATE_POLL`.
+    progress: u64,
+    /// Lowest evaluation watermark any current waiter is sleeping for
+    /// (`usize::MAX` when nobody waits). The driver notifies only when
+    /// the count crosses it — waking every waiter after every single
+    /// evaluation just burns the core they are all sharing. Reset to MAX
+    /// on each notify; surviving waiters re-arm when they re-check.
+    watch: usize,
+}
+
+/// One session as held by a shard: the session itself plus its gate.
+struct SessionEntry {
+    session: Mutex<LiveSession>,
+    gate: Mutex<AdvanceGate>,
+    gate_cv: Condvar,
+}
+
+impl SessionEntry {
+    fn new(session: LiveSession) -> Arc<SessionEntry> {
+        Arc::new(SessionEntry {
+            session: Mutex::new(session),
+            gate: Mutex::new(AdvanceGate {
+                target: 0,
+                driver: false,
+                failed: None,
+                progress: 0,
+                watch: usize::MAX,
+            }),
+            gate_cv: Condvar::new(),
+        })
+    }
+}
+
+/// One shard: an independent session index + worker pool.
+struct Shard {
+    sessions: Mutex<BTreeMap<SessionId, Arc<SessionEntry>>>,
+    scheduler: Scheduler,
+}
+
 struct DaemonState {
     repo: SessionRepository,
     config: DaemonConfig,
-    sessions: Mutex<BTreeMap<SessionId, Arc<Mutex<LiveSession>>>>,
-    scheduler: Mutex<Scheduler>,
+    shards: Vec<Shard>,
+    group: Option<Arc<GroupCommitWal>>,
+    endpoint_stats: EndpointHistograms,
+    /// Serializes id allocation + directory creation across creates.
+    create_lock: Mutex<()>,
+    /// High-water mark of allocated ids: retention may delete the
+    /// highest-numbered directory, and ids must never be reused.
+    id_hwm: AtomicU64,
     shutdown: AtomicBool,
+}
+
+impl DaemonState {
+    fn shard_index(&self, id: SessionId) -> usize {
+        (splitmix64(id.value()) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, id: SessionId) -> &Shard {
+        &self.shards[self.shard_index(id)]
+    }
+
+    /// The WAL sink new and recovered sessions write through.
+    fn sink(&self) -> WalSink {
+        match &self.group {
+            Some(g) => WalSink::Group(Arc::clone(g)),
+            None => WalSink::Direct(self.config.durability),
+        }
+    }
 }
 
 /// A running daemon instance.
@@ -161,11 +279,23 @@ fn now_unix_ms() -> u64 {
 
 impl Daemon {
     /// Starts a daemon on `addr` (use port 0 for an ephemeral port):
-    /// opens the repository, recovers every session on disk, and begins
-    /// accepting connections.
+    /// opens the repository, folds any group-commit journal tail into
+    /// per-session recovery, recovers every session on disk, enforces
+    /// retention, and begins accepting connections.
     pub fn start(addr: &str, config: DaemonConfig) -> ServeResult<Daemon> {
         let repo = SessionRepository::open(&config.data_dir)?;
-        let mut sessions = BTreeMap::new();
+
+        // Journal fold-in: records whose per-session WAL write was lost
+        // (OS crash after the journal fsync) survive only here. Read it
+        // before touching any session, delete it only after every session
+        // that had a tail is re-snapshotted durably.
+        let journal_path = repo.root().join(wal::JOURNAL_FILE);
+        let (mut journal_map, journal_corruption) = wal::read_journal(&journal_path)?;
+        if let Some(note) = journal_corruption {
+            eprintln!("autotune-serve: {note}");
+        }
+
+        let mut recovered: Vec<(SessionId, LiveSession)> = Vec::new();
         for id in repo.list_ids()? {
             let meta = match repo.read_meta(id) {
                 Ok(m) => m,
@@ -174,21 +304,94 @@ impl Daemon {
                 Err(ServeError::NotFound(_)) => continue,
                 Err(e) => return Err(e),
             };
-            let session = LiveSession::recover(&repo, meta, config.snapshot_every)?;
-            sessions.insert(id, Arc::new(Mutex::new(session)));
+            // A crash can strand staged deferred snapshots (ticket-named
+            // tmp files the committer never landed). Recovery ignores
+            // their contents — the journal retains every record they
+            // would have covered — so just sweep them.
+            if let Ok(entries) = std::fs::read_dir(repo.session_dir(id)) {
+                for entry in entries.flatten() {
+                    if entry
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("snapshot.json.tmp")
+                    {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+            let tail = journal_map.remove(&id).unwrap_or_default();
+            let had_tail = !tail.is_empty();
+            let mut session = LiveSession::recover_with(
+                &repo,
+                meta,
+                config.snapshot_every,
+                WalSink::Direct(config.durability),
+                tail,
+            )?;
+            if let Some(note) = session.recovery_corruption() {
+                eprintln!("autotune-serve: session {id}: {note}");
+            }
+            if had_tail {
+                // Make the journal-only records durable in the session's
+                // own files so the journal can be deleted below.
+                session.write_snapshot()?;
+            }
+            recovered.push((id, session));
+        }
+        match std::fs::remove_file(&journal_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
         }
 
+        if let Some(retain) = config.retain_finished {
+            for id in repo.enforce_retention(retain)? {
+                recovered.retain(|(rid, _)| *rid != id);
+            }
+        }
+
+        // Group commit exists to batch *fsyncs*; under flush durability a
+        // buffered per-session append is already optimal, so the group
+        // sink only engages for `--durability fsync --wal group`.
+        let group = if config.group_commit && config.durability == Durability::Fsync {
+            Some(GroupCommitWal::start(repo.root()))
+        } else {
+            None
+        };
+
+        // The listener stays *blocking*: a polling accept loop would put a
+        // fixed sleep in front of every new connection. Shutdown wakes the
+        // blocked `accept` with a throwaway self-connection instead.
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
 
+        let nshards = config.shards.max(1);
+        let shards: Vec<Shard> = (0..nshards)
+            .map(|_| Shard {
+                sessions: Mutex::new(BTreeMap::new()),
+                scheduler: Scheduler::new(config.workers, config.queue_cap),
+            })
+            .collect();
+
+        let id_hwm = recovered
+            .iter()
+            .map(|(id, _)| id.value())
+            .max()
+            .unwrap_or(0);
         let state = Arc::new(DaemonState {
-            scheduler: Mutex::new(Scheduler::new(config.workers, config.queue_cap)),
             repo,
             config,
-            sessions: Mutex::new(sessions),
+            shards,
+            group,
+            endpoint_stats: EndpointHistograms::default(),
+            create_lock: Mutex::new(()),
+            id_hwm: AtomicU64::new(id_hwm),
             shutdown: AtomicBool::new(false),
         });
+        for (id, mut session) in recovered {
+            session.set_sink(state.sink());
+            lock(&state.shard(id).sessions).insert(id, SessionEntry::new(session));
+        }
 
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::spawn(move || accept_loop(&accept_state, listener));
@@ -210,36 +413,52 @@ impl Daemon {
         self.state.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Graceful shutdown: stop accepting, finish in-flight jobs (queued
-    /// jobs are dropped with a 503 to their waiters), then snapshot every
-    /// session so restarts recover without replaying a long WAL tail.
+    /// Graceful shutdown: stop accepting, finish in-flight jobs (drivers
+    /// stop at the next step boundary; waiters report partial progress or
+    /// 503), drain the group-commit queue, then snapshot every session so
+    /// restarts recover without replaying a long WAL tail.
     pub fn graceful_shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
+            // Unblock the accept loop; it re-checks the flag per accept.
+            let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
         }
-        lock(&self.state.scheduler).shutdown();
-        let sessions = lock(&self.state.sessions);
-        for session in sessions.values() {
-            let _ = lock(session).write_snapshot();
+        for shard in &self.state.shards {
+            shard.scheduler.shutdown();
+        }
+        if let Some(group) = &self.state.group {
+            group.shutdown();
+        }
+        for shard in &self.state.shards {
+            let sessions = lock(&shard.sessions);
+            for entry in sessions.values() {
+                let _ = lock(&entry.session).write_snapshot();
+                entry.gate_cv.notify_all();
+            }
         }
     }
 }
 
 fn accept_loop(state: &Arc<DaemonState>, listener: TcpListener) {
     loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
         match listener.accept() {
             Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    drop(stream); // the shutdown wake-up connection
+                    return;
+                }
                 let state = Arc::clone(state);
                 std::thread::spawn(move || handle_connection(&state, stream));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, ECONNABORTED…): back
+                // off briefly rather than spinning.
                 std::thread::sleep(Duration::from_millis(5));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
 }
@@ -254,37 +473,56 @@ fn handle_connection(state: &Arc<DaemonState>, mut stream: TcpStream) {
     let _ = response.write_to(&mut stream);
 }
 
-/// Dispatches one request to its handler.
+/// Dispatches one request to its handler, timing it for `/metrics`.
 fn route(state: &Arc<DaemonState>, request: &Request) -> Response {
+    // lint:allow(wall-clock) request latency feeds the /metrics histograms only, never a tuning decision
+    let start = std::time::Instant::now();
     let segments = request.segments();
-    let result = match (request.method.as_str(), segments.as_slice()) {
-        ("GET", []) | ("GET", ["healthz"]) => Ok(Response::json(
-            200,
-            &BTreeMap::from([
-                ("service".to_string(), "autotune-serve".to_string()),
-                ("status".to_string(), "ok".to_string()),
-            ]),
-        )),
-        ("POST", ["sessions"]) => create_session(state, request),
-        ("GET", ["sessions"]) => list_sessions(state),
-        ("GET", ["sessions", id]) => parse_id(id).and_then(|id| session_detail(state, id)),
-        ("POST", ["sessions", id, "advance"]) => {
-            parse_id(id).and_then(|id| advance_session(state, id, request))
-        }
-        ("POST", ["sessions", id, "cancel"]) => {
-            parse_id(id).and_then(|id| cancel_session(state, id))
-        }
-        ("GET", ["sessions", id, "csv"]) => parse_id(id).and_then(|id| export_csv(state, id)),
-        ("GET", ["metrics"]) => metrics(state),
+    let (endpoint, result) = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) | ("GET", ["healthz"]) => (
+            Endpoint::Other,
+            Ok(Response::json(
+                200,
+                &BTreeMap::from([
+                    ("service".to_string(), "autotune-serve".to_string()),
+                    ("status".to_string(), "ok".to_string()),
+                ]),
+            )),
+        ),
+        ("POST", ["sessions"]) => (Endpoint::Create, create_session(state, request)),
+        ("GET", ["sessions"]) => (Endpoint::Inspect, list_sessions(state)),
+        ("GET", ["sessions", id]) => (
+            Endpoint::Inspect,
+            parse_id(id).and_then(|id| session_detail(state, id)),
+        ),
+        ("POST", ["sessions", id, "advance"]) => (
+            Endpoint::Advance,
+            parse_id(id).and_then(|id| advance_session(state, id, request)),
+        ),
+        ("POST", ["sessions", id, "cancel"]) => (
+            Endpoint::Cancel,
+            parse_id(id).and_then(|id| cancel_session(state, id)),
+        ),
+        ("GET", ["sessions", id, "csv"]) => (
+            Endpoint::Csv,
+            parse_id(id).and_then(|id| export_csv(state, id)),
+        ),
+        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(state)),
         ("POST", ["shutdown"]) => {
             state.shutdown.store(true, Ordering::SeqCst);
-            Ok(Response::text(200, "shutting down\n"))
+            (Endpoint::Other, Ok(Response::text(200, "shutting down\n")))
         }
-        _ => Err(ServeError::NotFound(format!(
-            "{} {}",
-            request.method, request.path
-        ))),
+        _ => (
+            Endpoint::Other,
+            Err(ServeError::NotFound(format!(
+                "{} {}",
+                request.method, request.path
+            ))),
+        ),
     };
+    state
+        .endpoint_stats
+        .record(endpoint, start.elapsed().as_micros() as u64);
     result.unwrap_or_else(|e| Response::from_error(&e))
 }
 
@@ -293,8 +531,8 @@ fn parse_id(raw: &str) -> ServeResult<SessionId> {
         .map_err(|_| ServeError::BadRequest(format!("bad session id '{raw}'")))
 }
 
-fn find_session(state: &DaemonState, id: SessionId) -> ServeResult<Arc<Mutex<LiveSession>>> {
-    lock(&state.sessions)
+fn find_session(state: &DaemonState, id: SessionId) -> ServeResult<Arc<SessionEntry>> {
+    lock(&state.shard(id).sessions)
         .get(&id)
         .cloned()
         .ok_or_else(|| ServeError::NotFound(format!("session {id}")))
@@ -307,10 +545,18 @@ fn create_session(state: &Arc<DaemonState>, request: &Request) -> ServeResult<Re
     let spec: SessionSpec = request.json()?;
     spec.validate()?;
 
-    // Hold the registry lock across id allocation + creation so two
-    // concurrent creates cannot race on the same id.
-    let mut sessions = lock(&state.sessions);
-    let id = state.repo.next_id()?;
+    // Serialize id allocation + directory creation (not the whole session
+    // index: creates in different shards proceed while lookups continue).
+    let _create_guard = lock(&state.create_lock);
+    let id = {
+        // Retention may have deleted the highest-numbered directory; the
+        // in-memory high-water mark keeps ids monotonic regardless.
+        let disk = state.repo.next_id()?.value();
+        let hwm = state.id_hwm.load(Ordering::SeqCst);
+        let id = disk.max(hwm + 1);
+        state.id_hwm.store(id, Ordering::SeqCst);
+        SessionId::new(id)
+    };
 
     // Pre-run the probe (identical to the one LiveSession::create will
     // record: same config, same step-0 RNG) to obtain the workload
@@ -338,37 +584,48 @@ fn create_session(state: &Arc<DaemonState>, request: &Request) -> ServeResult<Re
         warm_source,
         created_unix_ms: now_unix_ms(),
     };
-    let session = LiveSession::create(&state.repo, meta, warm_obs, state.config.snapshot_every)?;
+    let session = LiveSession::create_with(
+        &state.repo,
+        meta,
+        warm_obs,
+        state.config.snapshot_every,
+        state.sink(),
+    )?;
     let response = CreateResponse {
         id,
         warm_source,
         baseline_runtime: probe.runtime_secs,
         status: session.status().label().to_string(),
     };
-    sessions.insert(id, Arc::new(Mutex::new(session)));
+    // Commit point: the 201 promises the session (and its probe record)
+    // survives a crash, so wait for the group journal before responding.
+    let (sink, ticket) = session.durability_barrier();
+    lock(&state.shard(id).sessions).insert(id, SessionEntry::new(session));
+    sink.wait_durable(ticket)?;
     Ok(Response::json(201, &response))
 }
 
 fn list_sessions(state: &DaemonState) -> ServeResult<Response> {
-    let sessions = lock(&state.sessions);
-    let rows: Vec<SessionSummary> = sessions
-        .values()
-        .map(|s| {
-            let s = lock(s);
+    let mut rows: Vec<SessionSummary> = Vec::new();
+    for shard in &state.shards {
+        let sessions = lock(&shard.sessions);
+        rows.extend(sessions.values().map(|entry| {
+            let s = lock(&entry.session);
             SessionSummary {
                 id: s.meta.id,
                 status: s.status().label().to_string(),
                 evaluations: s.evaluations(),
                 best_runtime: s.best_runtime(),
             }
-        })
-        .collect();
+        }));
+    }
+    rows.sort_by_key(|r| r.id);
     Ok(Response::json(200, &rows))
 }
 
 fn session_detail(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
-    let session = find_session(state, id)?;
-    let s = lock(&session);
+    let entry = find_session(state, id)?;
+    let s = lock(&entry.session);
     let detail = SessionDetail {
         id: s.meta.id,
         spec: s.meta.spec.clone(),
@@ -382,6 +639,10 @@ fn session_detail(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
     Ok(Response::json(200, &detail))
 }
 
+/// How often a waiter rechecks session state — a backstop against a
+/// missed notification; the driver notifies after every evaluation.
+const GATE_POLL: Duration = Duration::from_millis(50);
+
 fn advance_session(
     state: &Arc<DaemonState>,
     id: SessionId,
@@ -391,76 +652,239 @@ fn advance_session(
     if body.steps == 0 {
         return Err(ServeError::BadRequest("steps must be positive".into()));
     }
-    let session = find_session(state, id)?;
-    let job_session = Arc::clone(&session);
-    // The job re-locks the session per step so inspection endpoints
-    // (/metrics, GET /sessions/…) and cancel stay responsive during a
-    // long advance; a cancel between steps ends the loop early.
-    let handle = lock(&state.scheduler).submit(move || -> ServeResult<usize> {
-        let mut ran = 0;
-        for _ in 0..body.steps {
-            let mut s = lock(&job_session);
-            if s.status().is_terminal() {
-                if ran == 0 {
-                    return Err(ServeError::Conflict(format!(
-                        "session {} is {}",
-                        s.meta.id,
-                        s.status().label()
-                    )));
-                }
-                break;
-            }
-            ran += s.advance(1)?;
+    let entry = find_session(state, id)?;
+
+    let (start_evals, budget) = {
+        let s = lock(&entry.session);
+        if s.status().is_terminal() {
+            return Err(ServeError::Conflict(format!(
+                "session {} is {}",
+                s.meta.id,
+                s.status().label()
+            )));
         }
-        Ok(ran)
-    })?;
-    let ran = match handle.wait() {
-        Some(result) => result?,
-        None => {
-            // Scheduler shut down before the job ran.
-            return Ok(Response::text(503, "daemon is shutting down\n"));
+        (s.evaluations(), s.meta.spec.budget)
+    };
+    let my_target = (start_evals + body.steps).min(budget);
+
+    // Raise the gate; become the driver only if no driver is active.
+    let submit_driver = {
+        let mut gate = lock(&entry.gate);
+        if gate.target < my_target {
+            gate.target = my_target;
+        }
+        if gate.driver {
+            false
+        } else {
+            gate.driver = true;
+            gate.failed = None;
+            true
         }
     };
-    let s = lock(&session);
-    Ok(Response::json(
-        200,
-        &AdvanceResponse {
-            id,
-            ran,
-            evaluations: s.evaluations(),
-            status: s.status().label().to_string(),
-            best_runtime: s.best_runtime(),
-        },
-    ))
+    if submit_driver {
+        let job_state = Arc::clone(state);
+        let job_entry = Arc::clone(&entry);
+        let submitted = state
+            .shard(id)
+            .scheduler
+            .submit(move || drive_session(&job_state, &job_entry));
+        if let Err(e) = submitted {
+            let mut gate = lock(&entry.gate);
+            gate.driver = false;
+            drop(gate);
+            entry.gate_cv.notify_all();
+            return Err(e); // queue full → 429
+        }
+    }
+
+    // Wait for the session to reach *our* watermark (or stop early).
+    loop {
+        // Sample the gate generation *before* the session read: any
+        // evaluation landing after this point bumps it under the gate
+        // mutex, so the wait below cannot miss it.
+        let seen = lock(&entry.gate).progress;
+        let (evals, status, best, barrier) = {
+            let s = lock(&entry.session);
+            (
+                s.evaluations(),
+                s.status(),
+                s.best_runtime(),
+                s.durability_barrier(),
+            )
+        };
+        if evals >= my_target || status.is_terminal() {
+            // Commit point: every observation this response reports must
+            // be durable before the client hears about it. The wait runs
+            // outside the session lock so the driver keeps evaluating.
+            let (sink, ticket) = barrier;
+            sink.wait_durable(ticket)?;
+            let ran = evals.saturating_sub(start_evals).min(body.steps);
+            return Ok(Response::json(
+                200,
+                &AdvanceResponse {
+                    id,
+                    ran,
+                    evaluations: evals,
+                    status: status.label().to_string(),
+                    best_runtime: best,
+                },
+            ));
+        }
+        let mut gate = lock(&entry.gate);
+        if !gate.driver {
+            // The driver stopped short of our watermark: scheduler
+            // shutdown, a dropped queued job, or a WAL failure.
+            let failed = gate.failed.clone();
+            drop(gate);
+            let ran = evals.saturating_sub(start_evals).min(body.steps);
+            if ran > 0 {
+                // Partial progress is still progress; report it (durably).
+                let (sink, ticket) = barrier;
+                sink.wait_durable(ticket)?;
+                return Ok(Response::json(
+                    200,
+                    &AdvanceResponse {
+                        id,
+                        ran,
+                        evaluations: evals,
+                        status: status.label().to_string(),
+                        best_runtime: best,
+                    },
+                ));
+            }
+            return match failed {
+                Some(msg) => Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Other,
+                    msg,
+                ))),
+                None => Ok(Response::text(503, "daemon is shutting down\n")),
+            };
+        }
+        if gate.progress == seen {
+            // Arm the wake watermark: the driver notifies once the count
+            // crosses the lowest armed target (GATE_POLL is the backstop).
+            gate.watch = gate.watch.min(my_target);
+            let gate = entry
+                .gate_cv
+                .wait_timeout(gate, GATE_POLL)
+                .map(|(g, _)| g)
+                .unwrap_or_else(|poison| poison.into_inner().0);
+            drop(gate);
+        }
+        // progress moved since the sample: re-read session state now.
+    }
+}
+
+/// The single driver job for one session: runs evaluations until the
+/// gate's watermark (re-read after reaching it, so watermarks raised
+/// mid-run extend the same job), the session turns terminal, or shutdown.
+fn drive_session(state: &Arc<DaemonState>, entry: &Arc<SessionEntry>) {
+    let mut failure: Option<String> = None;
+    let mut finished_terminal = false;
+    loop {
+        let target = lock(&entry.gate).target;
+        loop {
+            if state.shutdown.load(Ordering::SeqCst) || failure.is_some() {
+                break;
+            }
+            let mut s = lock(&entry.session);
+            if s.status().is_terminal() || s.evaluations() >= target {
+                finished_terminal = s.status().is_terminal();
+                break;
+            }
+            // One evaluation per lock hold: inspection endpoints and
+            // cancel stay responsive during a long advance.
+            if let Err(e) = s.advance(1) {
+                failure = Some(e.to_string());
+            }
+            let evals = s.evaluations();
+            let terminal = s.status().is_terminal();
+            drop(s);
+            let mut gate = lock(&entry.gate);
+            gate.progress = gate.progress.wrapping_add(1);
+            // Wake waiters only when one of them can actually return:
+            // their lowest armed watermark was crossed, the session went
+            // terminal, or the step failed.
+            let wake = terminal || failure.is_some() || evals >= gate.watch;
+            if wake {
+                gate.watch = usize::MAX;
+            }
+            drop(gate);
+            if wake {
+                entry.gate_cv.notify_all();
+            }
+        }
+        // Hand off under the gate lock: either the watermark was raised
+        // while we were finishing (keep driving) or we step down.
+        let mut gate = lock(&entry.gate);
+        let done = failure.is_some() || state.shutdown.load(Ordering::SeqCst) || {
+            let s = lock(&entry.session);
+            s.status().is_terminal() || s.evaluations() >= gate.target
+        };
+        if done {
+            gate.driver = false;
+            gate.failed = failure.take();
+            gate.progress = gate.progress.wrapping_add(1);
+            gate.watch = usize::MAX;
+            drop(gate);
+            entry.gate_cv.notify_all();
+            break;
+        }
+    }
+    if finished_terminal {
+        if let Some(retain) = state.config.retain_finished {
+            enforce_retention(state, retain);
+        }
+    }
+}
+
+/// Applies the retention cap after a session turned terminal: evicts the
+/// oldest terminal session directories (protecting warm-start sources)
+/// and drops the evicted sessions from their shards.
+fn enforce_retention(state: &Arc<DaemonState>, retain: usize) {
+    let evicted = match state.repo.enforce_retention(retain) {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("autotune-serve: retention sweep failed: {e}");
+            return;
+        }
+    };
+    for id in evicted {
+        lock(&state.shard(id).sessions).remove(&id);
+    }
 }
 
 fn cancel_session(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
-    let session = find_session(state, id)?;
-    let mut s = lock(&session);
+    let entry = find_session(state, id)?;
+    let mut s = lock(&entry.session);
     s.cancel()?;
-    Ok(Response::json(
-        200,
-        &SessionSummary {
-            id,
-            status: s.status().label().to_string(),
-            evaluations: s.evaluations(),
-            best_runtime: s.best_runtime(),
-        },
-    ))
+    let summary = SessionSummary {
+        id,
+        status: s.status().label().to_string(),
+        evaluations: s.evaluations(),
+        best_runtime: s.best_runtime(),
+    };
+    drop(s);
+    let mut gate = lock(&entry.gate);
+    gate.progress = gate.progress.wrapping_add(1);
+    gate.watch = usize::MAX;
+    drop(gate);
+    entry.gate_cv.notify_all();
+    Ok(Response::json(200, &summary))
 }
 
 fn export_csv(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
-    let session = find_session(state, id)?;
-    let s = lock(&session);
+    let entry = find_session(state, id)?;
+    let s = lock(&entry.session);
     Ok(Response::csv(history_to_csv(s.history(), s.space())))
 }
 
 fn metrics(state: &DaemonState) -> ServeResult<Response> {
-    let sessions = lock(&state.sessions);
-    let rows: Vec<SessionMetrics> = sessions
-        .values()
-        .map(|s| {
-            let s = lock(s);
+    let mut rows: Vec<SessionMetrics> = Vec::new();
+    for shard in &state.shards {
+        let sessions = lock(&shard.sessions);
+        rows.extend(sessions.values().map(|entry| {
+            let s = lock(&entry.session);
             SessionMetrics {
                 id: s.meta.id,
                 status: s.status().label().to_string(),
@@ -468,12 +892,31 @@ fn metrics(state: &DaemonState) -> ServeResult<Response> {
                 best_runtime: s.best_runtime(),
                 wal_bytes: s.wal_bytes(),
             }
-        })
+        }));
+    }
+    rows.sort_by_key(|r| r.id);
+    let shard_queue_depths: Vec<usize> = state
+        .shards
+        .iter()
+        .map(|s| s.scheduler.queue_depth())
         .collect();
+    // In group mode records live in the shared journal, not per-session
+    // WAL files, so count the journal toward the WAL byte total too.
+    let journal_bytes = state
+        .group
+        .as_ref()
+        .and_then(|g| std::fs::metadata(g.journal_path()).ok())
+        .map(|m| m.len())
+        .unwrap_or(0);
     let report = MetricsReport {
-        queue_depth: lock(&state.scheduler).queue_depth(),
-        workers: state.config.workers,
-        wal_bytes_total: rows.iter().map(|r| r.wal_bytes).sum(),
+        queue_depth: shard_queue_depths.iter().sum(),
+        workers: state.config.workers * state.shards.len(),
+        wal_bytes_total: rows.iter().map(|r| r.wal_bytes).sum::<u64>() + journal_bytes,
+        shards: state.shards.len(),
+        shard_queue_depths,
+        durability: state.config.durability.label().to_string(),
+        endpoints: state.endpoint_stats.report(),
+        group_commit: state.group.as_ref().map(|g| g.stats()),
         sessions: rows,
     };
     Ok(Response::json(200, &report))

@@ -24,7 +24,7 @@
 
 use crate::repo::{SessionMeta, SessionRepository};
 use crate::spec::{build_objective, build_tuner};
-use crate::wal::{self, SessionStatus, Snapshot, WalRecord};
+use crate::wal::{self, Durability, SessionStatus, Snapshot, WalRecord, WalSink};
 use crate::{ServeError, ServeResult};
 use autotune_core::{History, Objective, Observation, Recommendation, Tuner, TuningContext};
 use rand::rngs::StdRng;
@@ -59,17 +59,45 @@ pub struct LiveSession {
     recommendation: Option<Recommendation>,
     snapshot_every: usize,
     snapshot_seq: u64,
+    sink: WalSink,
+    /// Records sent through a group sink since the last snapshot — the
+    /// journal-retention count handed to `mark_clean` at snapshot time.
+    journal_pending: u64,
+    /// Highest group-commit ticket issued for this session's records.
+    /// Response paths await it before promising durability.
+    last_ticket: u64,
+    /// Corruption note from recovery, if the WAL scan stopped early.
+    recovery_corruption: Option<String>,
 }
 
 impl LiveSession {
-    /// Creates a brand-new session: writes `meta.json`, runs the baseline
-    /// probe (vendor defaults, observation 0), and logs it. `warm` is the
-    /// observation log of the warm-start source named in `meta`.
+    /// Creates a brand-new session with a direct flush-mode WAL sink —
+    /// the standalone (non-daemon) configuration used by tools and tests.
     pub fn create(
         repo: &SessionRepository,
         meta: SessionMeta,
         warm: Option<Vec<Observation>>,
         snapshot_every: usize,
+    ) -> ServeResult<LiveSession> {
+        LiveSession::create_with(
+            repo,
+            meta,
+            warm,
+            snapshot_every,
+            WalSink::Direct(Durability::Flush),
+        )
+    }
+
+    /// Creates a brand-new session: writes `meta.json`, runs the baseline
+    /// probe (vendor defaults, observation 0), and logs it through `sink`.
+    /// `warm` is the observation log of the warm-start source named in
+    /// `meta`.
+    pub fn create_with(
+        repo: &SessionRepository,
+        meta: SessionMeta,
+        warm: Option<Vec<Observation>>,
+        snapshot_every: usize,
+        sink: WalSink,
     ) -> ServeResult<LiveSession> {
         let objective = build_objective(&meta.spec)?;
         let warm_ref = match (&meta.warm_source, &warm) {
@@ -99,6 +127,10 @@ impl LiveSession {
             recommendation: None,
             snapshot_every: snapshot_every.max(1),
             snapshot_seq: 0,
+            sink,
+            journal_pending: 0,
+            last_ticket: 0,
+            recovery_corruption: None,
         };
 
         // Baseline probe: evaluate the vendor default as observation 0.
@@ -110,14 +142,35 @@ impl LiveSession {
         Ok(session)
     }
 
-    /// Rebuilds a session from its on-disk log. Replays every recorded
-    /// observation through the tuner (restoring model and propose-stream
-    /// state) without re-running the objective; terminal sessions skip
-    /// the replay since they will never propose again.
+    /// Rebuilds a session from its on-disk log with a direct flush-mode
+    /// sink and no journal tail — the standalone configuration.
     pub fn recover(
         repo: &SessionRepository,
         meta: SessionMeta,
         snapshot_every: usize,
+    ) -> ServeResult<LiveSession> {
+        LiveSession::recover_with(
+            repo,
+            meta,
+            snapshot_every,
+            WalSink::Direct(Durability::Flush),
+            Vec::new(),
+        )
+    }
+
+    /// Rebuilds a session from its on-disk log plus any records the
+    /// shared journal holds for it (`journal_tail`, in append order — the
+    /// daemon demuxes these at startup; records the per-session WAL
+    /// already covers are deduplicated by sequence number). Replays every
+    /// recorded observation through the tuner (restoring model and
+    /// propose-stream state) without re-running the objective; terminal
+    /// sessions skip the replay since they will never propose again.
+    pub fn recover_with(
+        repo: &SessionRepository,
+        meta: SessionMeta,
+        snapshot_every: usize,
+        sink: WalSink,
+        journal_tail: Vec<WalRecord>,
     ) -> ServeResult<LiveSession> {
         let objective = build_objective(&meta.spec)?;
         let warm_obs: Option<Vec<Observation>> = match meta.warm_source {
@@ -133,7 +186,10 @@ impl LiveSession {
             warm_ref.as_ref().map(|(id, obs)| (id.as_str(), *obs)),
         )?;
 
-        let recovered = repo.recover_session(meta.id)?;
+        let mut recovered = repo.recover_session(meta.id)?;
+        for record in journal_tail {
+            wal::apply_record(&mut recovered, record);
+        }
         let ctx = TuningContext {
             space: objective.space().clone(),
             profile: objective.profile(),
@@ -165,18 +221,48 @@ impl LiveSession {
             recommendation: recovered.recommendation,
             snapshot_every: snapshot_every.max(1),
             snapshot_seq: recovered.snapshot_seq,
+            sink,
+            journal_pending: 0,
+            last_ticket: 0,
+            recovery_corruption: recovered.corruption,
         })
+    }
+
+    /// Swaps the WAL sink (the daemon rewires recovered sessions onto the
+    /// shared group-commit writer once startup journal folding is done).
+    pub fn set_sink(&mut self, sink: WalSink) {
+        self.sink = sink;
+        self.journal_pending = 0;
+        self.last_ticket = 0;
+    }
+
+    /// The sink and highest outstanding durability ticket, for callers
+    /// that must await durability *after* releasing the session lock.
+    pub fn durability_barrier(&self) -> (WalSink, u64) {
+        (self.sink.clone(), self.last_ticket)
+    }
+
+    /// Corruption note from recovery: set when the WAL scan stopped at an
+    /// invalid frame and the session resumed from the surviving prefix.
+    pub fn recovery_corruption(&self) -> Option<&str> {
+        self.recovery_corruption.as_deref()
+    }
+
+    /// Logs a record through the sink, tracking journal retention.
+    fn log(&mut self, record: &WalRecord) -> ServeResult<()> {
+        self.last_ticket = self.sink.append(&self.dir, self.meta.id, record)?;
+        if matches!(self.sink, WalSink::Group(_)) {
+            self.journal_pending += 1;
+        }
+        Ok(())
     }
 
     /// Logs an observation durably, then applies it in memory.
     fn apply(&mut self, obs: Observation) -> ServeResult<()> {
-        wal::append_record(
-            &self.dir,
-            &WalRecord::Obs {
-                seq: self.history.len() as u64,
-                obs: obs.clone(),
-            },
-        )?;
+        self.log(&WalRecord::Obs {
+            seq: self.history.len() as u64,
+            obs: obs.clone(),
+        })?;
         self.tuner.observe(&obs);
         self.history.push(obs);
         if self.history.len() as u64 - self.snapshot_seq >= self.snapshot_every as u64 {
@@ -228,12 +314,9 @@ impl LiveSession {
     /// Finishes the session: computes and logs the final recommendation.
     fn finish(&mut self) -> ServeResult<()> {
         let recommendation = self.tuner.recommend(&self.ctx, &self.history);
-        wal::append_record(
-            &self.dir,
-            &WalRecord::Finished {
-                recommendation: recommendation.clone(),
-            },
-        )?;
+        self.log(&WalRecord::Finished {
+            recommendation: recommendation.clone(),
+        })?;
         self.recommendation = Some(recommendation);
         self.status = SessionStatus::Finished;
         self.write_snapshot()
@@ -248,23 +331,49 @@ impl LiveSession {
                 self.status.label()
             )));
         }
-        wal::append_record(&self.dir, &WalRecord::Cancelled)?;
+        self.log(&WalRecord::Cancelled)?;
         self.status = SessionStatus::Cancelled;
         self.write_snapshot()
     }
 
-    /// Compacts the log: snapshot everything, truncate the WAL.
+    /// Compacts the log: snapshot everything (at the sink's durability),
+    /// truncate the WAL, and release the covered journal records.
     pub fn write_snapshot(&mut self) -> ServeResult<()> {
-        wal::write_snapshot(
-            &self.dir,
-            &Snapshot {
-                seq: self.history.len() as u64,
-                history: self.history.clone(),
-                status: self.status,
-                recommendation: self.recommendation.clone(),
-            },
-        )?;
+        let snapshot = Snapshot {
+            seq: self.history.len() as u64,
+            history: self.history.clone(),
+            status: self.status,
+            recommendation: self.recommendation.clone(),
+        };
+        // Group sinks stage the snapshot and let the committer make it
+        // durable (fsync + rename + retention release) once the covering
+        // ticket is synced, so the worker never blocks on a snapshot
+        // sync. Fall back to the synchronous path when the committer is
+        // gone — graceful shutdown writes its final snapshots after the
+        // journal drain.
+        if let WalSink::Group(group) = &self.sink {
+            if wal::write_snapshot_deferred(
+                &self.dir,
+                &snapshot,
+                group,
+                self.journal_pending,
+                self.last_ticket,
+            )? {
+                self.snapshot_seq = self.history.len() as u64;
+                self.journal_pending = 0;
+                return Ok(());
+            }
+        }
+        wal::write_snapshot(&self.dir, &snapshot, self.sink.durability())?;
         self.snapshot_seq = self.history.len() as u64;
+        // The snapshot may only release journal records that are actually
+        // on disk, else the committer could recycle journal entries of
+        // *other* sessions that no snapshot covers yet. Rather than stall
+        // here waiting for this session's newest ticket, hand the release
+        // to the committer, which applies it once the ticket is synced.
+        self.sink
+            .mark_clean_at(self.journal_pending, self.last_ticket);
+        self.journal_pending = 0;
         Ok(())
     }
 

@@ -1,28 +1,66 @@
-//! Session persistence: a JSONL write-ahead log with snapshot compaction.
+//! Session persistence: a checksum-framed write-ahead log with snapshot
+//! compaction and a shared group-commit journal.
 //!
 //! On-disk layout of one session directory (`<data-dir>/s-000042/`):
 //!
 //! * `meta.json` — immutable [`SessionMeta`](crate::repo::SessionMeta):
 //!   spec, warm source, creation time. Written once at create.
-//! * `wal.jsonl` — one [`WalRecord`] per line, appended and flushed before
-//!   the in-memory state advances. A crash can at worst truncate the final
-//!   line; recovery tolerates exactly that (a torn tail is dropped, any
-//!   earlier corruption is an error).
+//! * `wal.jsonl` — one framed [`WalRecord`] per line, appended before the
+//!   in-memory state advances. Each line carries an explicit length and
+//!   CRC32 so a torn or corrupted record is *detected*, never silently
+//!   applied: recovery stops cleanly at the last valid record.
 //! * `snapshot.json` — periodic [`Snapshot`] of the full history, written
 //!   atomically (tmp + rename) every [`DEFAULT_SNAPSHOT_EVERY`]
-//!   observations, after which the WAL is truncated. Recovery = snapshot
-//!   ⊕ WAL tail.
+//!   observations, after which the WAL is truncated (or deleted outright
+//!   once the session is terminal — snapshot-only recovery is a supported
+//!   state). Recovery = snapshot ⊕ WAL tail ⊕ journal tail.
 //!
-//! Records carry explicit sequence numbers so a WAL tail that predates the
-//! latest snapshot (possible if a crash lands between `rename` and
-//! `truncate`) is deduplicated instead of double-applied.
+//! The daemon additionally keeps one shared `journal.walj` at the
+//! repository root (see [`crate::group`]): in [`Durability::Fsync`] mode
+//! every record is group-committed there with a single fsync per batch,
+//! so the per-session WAL writes can stay buffered. Journal frames wrap
+//! the same [`WalRecord`] payloads tagged with their session id; recovery
+//! demultiplexes them and deduplicates against the per-session log by
+//! sequence number.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! <len:08x> <crc32:08x> <payload-json>\n
+//! ```
+//!
+//! `len` is the payload byte length, `crc32` the IEEE CRC32 of the
+//! payload. A frame is valid only if the payload length and checksum both
+//! match; CRC32 detects every single-byte (indeed every ≤32-bit burst)
+//! error, so flipping any byte of a record — header, payload, or the
+//! newline — invalidates exactly that frame. Recovery scans frames in
+//! order and stops at the first invalid one, reporting what it found in
+//! [`Recovered::corruption`] instead of erroring: everything before the
+//! bad frame is trusted (each frame is independently checksummed),
+//! everything at and after it is not.
+//!
+//! ## Durability modes
+//!
+//! * [`Durability::Flush`] (default): appends are flushed to the OS
+//!   before the record is acknowledged. Survives a **process** crash
+//!   (kill -9); an OS crash or power loss may lose the buffered tail.
+//! * [`Durability::Fsync`]: appends are fsynced (`fdatasync`) before
+//!   acknowledgement — via the shared journal under group commit, or
+//!   directly on the session WAL otherwise — and snapshots fsync their
+//!   tmp file before the rename. Survives an **OS** crash.
+//!
+//! Records carry explicit sequence numbers so a WAL or journal tail that
+//! predates the latest snapshot (possible if a crash lands between
+//! `rename` and `truncate`) is deduplicated instead of double-applied.
 
 use crate::{ServeError, ServeResult};
-use autotune_core::{History, Observation, Recommendation};
+use autotune_core::{History, Observation, Recommendation, SessionId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Snapshot-compaction interval, in observations.
 pub const DEFAULT_SNAPSHOT_EVERY: usize = 16;
@@ -31,6 +69,38 @@ pub const DEFAULT_SNAPSHOT_EVERY: usize = 16;
 pub const WAL_FILE: &str = "wal.jsonl";
 /// Snapshot file name inside a session directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.json";
+/// Shared group-commit journal at the repository root.
+pub const JOURNAL_FILE: &str = "journal.walj";
+
+/// When a record must be durable relative to its acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Durability {
+    /// Flush to the OS; survives process crash, not OS crash (default).
+    Flush,
+    /// fdatasync before acknowledging; survives OS crash.
+    Fsync,
+}
+
+impl Durability {
+    /// Lowercase label used in flags and `/metrics`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Durability::Flush => "flush",
+            Durability::Fsync => "fsync",
+        }
+    }
+
+    /// Parses the `--durability` flag vocabulary.
+    pub fn parse(s: &str) -> ServeResult<Durability> {
+        match s {
+            "flush" => Ok(Durability::Flush),
+            "fsync" => Ok(Durability::Fsync),
+            other => Err(ServeError::BadRequest(format!(
+                "unknown durability '{other}' (expected flush|fsync)"
+            ))),
+        }
+    }
+}
 
 /// Lifecycle state of a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,6 +149,16 @@ pub enum WalRecord {
     Cancelled,
 }
 
+/// One frame of the shared journal: a [`WalRecord`] tagged with its
+/// session, so a single file can carry the whole fleet's appends.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Which session the record belongs to.
+    pub session: SessionId,
+    /// The record itself.
+    pub record: WalRecord,
+}
+
 /// Compacted state of a session: everything up to `seq` observations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Snapshot {
@@ -105,38 +185,288 @@ pub struct Recovered {
     /// Observation count covered by the snapshot (0 when none) — the
     /// starting point for the next compaction.
     pub snapshot_seq: u64,
+    /// Set when the WAL scan stopped at an invalid frame (torn write or
+    /// bit-flip). Recovery is still sound — every record before the bad
+    /// frame was independently checksummed — but the event is surfaced so
+    /// the daemon can log it instead of hiding data loss.
+    pub corruption: Option<String>,
 }
 
-/// Appends one record to the session's WAL and flushes it to the OS
-/// before returning — the observation is durable (modulo fsync) before
-/// the in-memory session advances past it.
-pub fn append_record(dir: &Path, record: &WalRecord) -> ServeResult<()> {
-    let line = serde_json::to_string(record)
+// ---------------------------------------------------------------------------
+// CRC32 + frame codec
+// ---------------------------------------------------------------------------
+
+/// IEEE CRC32 lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 of `bytes` (the zlib/gzip polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frames one payload as a checksummed WAL line.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(format!("{:08x} {:08x} ", payload.len(), crc32(payload)).as_bytes());
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+    out
+}
+
+/// Validates one WAL line (without its trailing newline) and returns the
+/// payload. `None` means the frame is torn or corrupt.
+pub fn decode_frame(line: &str) -> Option<&str> {
+    // "llllllll cccccccc payload" — 18 header bytes before the payload.
+    let (len_hex, rest) = (line.get(..8)?, line.get(8..)?);
+    let rest = rest.strip_prefix(' ')?;
+    let (crc_hex, rest) = (rest.get(..8)?, rest.get(8..)?);
+    let payload = rest.strip_prefix(' ')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if payload.len() != len || crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Serializes a record to its framed WAL line.
+pub fn encode_record(record: &WalRecord) -> ServeResult<Vec<u8>> {
+    let json = serde_json::to_string(record)
         .map_err(|e| ServeError::Corrupt(format!("wal encode: {e}")))?;
+    Ok(encode_frame(json.as_bytes()))
+}
+
+/// Serializes a session-tagged record to its framed journal line.
+pub fn encode_journal_entry(session: SessionId, record: &WalRecord) -> ServeResult<Vec<u8>> {
+    let entry = JournalEntry {
+        session,
+        record: record.clone(),
+    };
+    let json = serde_json::to_string(&entry)
+        .map_err(|e| ServeError::Corrupt(format!("journal encode: {e}")))?;
+    Ok(encode_frame(json.as_bytes()))
+}
+
+/// Scans framed lines, yielding parsed payloads until the first invalid
+/// frame; returns the parsed values and a corruption note when the scan
+/// stopped early. Operates on raw bytes: corruption can make a line
+/// invalid UTF-8, which counts as an invalid frame, not a read error.
+fn scan_frames<T, F>(bytes: &[u8], what: &str, mut parse: F) -> (Vec<T>, Option<String>)
+where
+    F: FnMut(&str) -> Option<T>,
+{
+    let mut out = Vec::new();
+    for (i, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+        if raw.is_empty() {
+            continue; // trailing newline of the previous frame
+        }
+        let Some(payload) = std::str::from_utf8(raw).ok().and_then(decode_frame) else {
+            return (
+                out,
+                Some(format!(
+                    "{what} frame {} failed checksum validation; recovery stopped at the last valid record",
+                    i + 1
+                )),
+            );
+        };
+        let Some(value) = parse(payload) else {
+            return (
+                out,
+                Some(format!(
+                    "{what} frame {} carries undecodable payload; recovery stopped at the last valid record",
+                    i + 1
+                )),
+            );
+        };
+        out.push(value);
+    }
+    (out, None)
+}
+
+// ---------------------------------------------------------------------------
+// Direct append + sink
+// ---------------------------------------------------------------------------
+
+/// Appends one record to the session's WAL and makes it durable per
+/// `durability` before returning.
+pub fn append_record(dir: &Path, record: &WalRecord, durability: Durability) -> ServeResult<()> {
+    let frame = encode_record(record)?;
     let mut f = OpenOptions::new()
         .create(true)
         .append(true)
         .open(dir.join(WAL_FILE))?;
-    f.write_all(line.as_bytes())?;
-    f.write_all(b"\n")?;
+    f.write_all(&frame)?;
     f.flush()?;
+    if durability == Durability::Fsync {
+        f.sync_data()?;
+    }
     Ok(())
 }
 
+/// Where a live session sends its WAL appends: directly to its own file,
+/// or through the daemon's shared group-commit writer.
+#[derive(Clone)]
+pub enum WalSink {
+    /// Open + write + flush (+ fsync) per record, in the caller's thread.
+    Direct(Durability),
+    /// Enqueue into the shared group-commit journal (fsync durability);
+    /// the append returns a ticket, durability is awaited at commit
+    /// points via [`WalSink::wait_durable`].
+    Group(Arc<crate::group::GroupCommitWal>),
+}
+
+impl WalSink {
+    /// The durability level records appended through this sink reach
+    /// (once awaited, for the group sink).
+    pub fn durability(&self) -> Durability {
+        match self {
+            WalSink::Direct(d) => *d,
+            WalSink::Group(_) => Durability::Fsync,
+        }
+    }
+
+    /// Appends one record and returns its durability ticket. The direct
+    /// sink is synchronous (the record is on disk at the promised
+    /// durability when this returns; ticket 0). The group sink enqueues
+    /// and returns immediately — callers promise durability only after
+    /// [`WalSink::wait_durable`] on the ticket.
+    pub fn append(&self, dir: &Path, session: SessionId, record: &WalRecord) -> ServeResult<u64> {
+        match self {
+            WalSink::Direct(d) => append_record(dir, record, *d).map(|()| 0),
+            WalSink::Group(g) => g.append(session, record),
+        }
+    }
+
+    /// Blocks until `ticket` is durable. No-op for direct sinks.
+    pub fn wait_durable(&self, ticket: u64) -> ServeResult<()> {
+        match self {
+            WalSink::Direct(_) => Ok(()),
+            WalSink::Group(g) => g.wait_durable(ticket),
+        }
+    }
+
+    /// Tells the sink that `n` previously appended records — all with
+    /// tickets at or below `ticket` — are covered by a durable snapshot
+    /// (journal-retention bookkeeping, applied once the ticket is synced;
+    /// no-op for direct sinks).
+    pub fn mark_clean_at(&self, n: u64, ticket: u64) {
+        if let WalSink::Group(g) = self {
+            g.mark_clean_at(n, ticket);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
 /// Writes a snapshot atomically (tmp + rename) and truncates the WAL —
-/// the compaction step. Crash windows are safe in both orders: before the
-/// rename the old snapshot + full WAL still recover; between rename and
-/// truncate the WAL tail duplicates snapshot records, which recovery
-/// drops by sequence number.
-pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> ServeResult<()> {
+/// the compaction step. In fsync mode the tmp file is fdatasynced before
+/// the rename, so the snapshot itself meets the same durability bar as
+/// the records it replaces. Terminal sessions get their WAL *deleted*
+/// rather than truncated: the snapshot is the session's final state, and
+/// snapshot-only recovery is fully supported.
+///
+/// Crash windows are safe in both orders: before the rename the old
+/// snapshot + full WAL still recover; between rename and truncate the WAL
+/// tail duplicates snapshot records, which recovery drops by sequence
+/// number.
+pub fn write_snapshot(dir: &Path, snapshot: &Snapshot, durability: Durability) -> ServeResult<()> {
     let json = serde_json::to_string(snapshot)
         .map_err(|e| ServeError::Corrupt(format!("snapshot encode: {e}")))?;
     let tmp = dir.join("snapshot.json.tmp");
-    fs::write(&tmp, json)?;
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.flush()?;
+        if durability == Durability::Fsync {
+            f.sync_data()?;
+        }
+    }
     fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
-    // Drop everything the snapshot now covers.
-    File::create(dir.join(WAL_FILE))?;
+    if durability == Durability::Fsync {
+        // Persist the rename itself (the directory entry). Best effort:
+        // not every filesystem lets you fsync a directory handle.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    if snapshot.status.is_terminal() {
+        // GC: the snapshot is final; drop the (now empty of information)
+        // WAL file entirely. Recovery handles its absence.
+        match fs::remove_file(dir.join(WAL_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+    } else {
+        // Drop everything the snapshot now covers.
+        File::create(dir.join(WAL_FILE))?;
+    }
     Ok(())
+}
+
+/// Group-mode compaction: stages the snapshot in a ticket-named tmp file
+/// (buffered write + flush only — no sync) and hands durability to the
+/// group committer, which fsyncs, renames into place, syncs the
+/// directory, and releases `covered` journal records once `ticket` is
+/// durable. The session worker never blocks on a snapshot sync. No WAL
+/// file is touched: group-mode sessions log through the shared journal,
+/// whose records stay live until the committer lands this snapshot.
+///
+/// Returns false (nothing staged, tmp removed) when the committer has
+/// already shut down; the caller must fall back to [`write_snapshot`].
+pub fn write_snapshot_deferred(
+    dir: &Path,
+    snapshot: &Snapshot,
+    group: &crate::group::GroupCommitWal,
+    covered: u64,
+    ticket: u64,
+) -> ServeResult<bool> {
+    let json = serde_json::to_string(snapshot)
+        .map_err(|e| ServeError::Corrupt(format!("snapshot encode: {e}")))?;
+    // Ticket-named so a stale staged file from an earlier compaction of
+    // the same session can never be landed in place of this one.
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp-{ticket}"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.flush()?;
+    }
+    if group.defer_snapshot(
+        tmp.clone(),
+        dir.to_path_buf(),
+        covered,
+        ticket,
+        snapshot.status.is_terminal(),
+    ) {
+        Ok(true)
+    } else {
+        let _ = fs::remove_file(&tmp);
+        Ok(false)
+    }
 }
 
 /// Current size of the session's WAL in bytes (0 when absent) — surfaced
@@ -147,11 +477,18 @@ pub fn wal_bytes(dir: &Path) -> u64 {
         .unwrap_or(0)
 }
 
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
 /// Reassembles session state from snapshot + WAL.
 ///
-/// A parse failure on the **last** line of the WAL is treated as a torn
-/// write from a crash and dropped; a failure anywhere earlier means real
-/// corruption and is reported as [`ServeError::Corrupt`].
+/// The WAL scan stops at the first frame that fails length/CRC validation
+/// — a torn tail from a crash and a flipped bit mid-file look the same to
+/// the reader, and in both cases nothing at or past the bad frame can be
+/// trusted. The event is reported in [`Recovered::corruption`] rather
+/// than raised as an error: every surviving record was independently
+/// checksummed, so the prefix is sound.
 pub fn recover(dir: &Path) -> ServeResult<Recovered> {
     let snapshot: Option<Snapshot> = match fs::read_to_string(dir.join(SNAPSHOT_FILE)) {
         Ok(s) => Some(
@@ -162,7 +499,7 @@ pub fn recover(dir: &Path) -> ServeResult<Recovered> {
         Err(e) => return Err(e.into()),
     };
 
-    let (mut observations, mut status, mut recommendation, snapshot_seq) = match snapshot {
+    let (observations, status, recommendation, snapshot_seq) = match snapshot {
         Some(s) => (
             s.history.into_observations(),
             s.status,
@@ -171,44 +508,72 @@ pub fn recover(dir: &Path) -> ServeResult<Recovered> {
         ),
         None => (Vec::new(), SessionStatus::Running, None, 0),
     };
-
-    let wal_path = dir.join(WAL_FILE);
-    if wal_path.exists() {
-        let reader = BufReader::new(File::open(&wal_path)?);
-        let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
-        let n = lines.len();
-        for (i, line) in lines.iter().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let record: WalRecord = match serde_json::from_str(line) {
-                Ok(r) => r,
-                Err(_) if i + 1 == n => break, // torn tail from a crash
-                Err(e) => return Err(ServeError::Corrupt(format!("wal line {}: {e}", i + 1))),
-            };
-            match record {
-                WalRecord::Obs { seq, obs } => {
-                    // Records the snapshot already covers are duplicates
-                    // from a crash between rename and truncate.
-                    if seq >= observations.len() as u64 {
-                        observations.push(obs);
-                    }
-                }
-                WalRecord::Finished { recommendation: r } => {
-                    status = SessionStatus::Finished;
-                    recommendation = Some(r);
-                }
-                WalRecord::Cancelled => status = SessionStatus::Cancelled,
-            }
-        }
-    }
-
-    Ok(Recovered {
+    let mut recovered = Recovered {
         observations,
         status,
         recommendation,
         snapshot_seq,
-    })
+        corruption: None,
+    };
+
+    let wal_path = dir.join(WAL_FILE);
+    if wal_path.exists() {
+        let bytes = fs::read(&wal_path)?;
+        let (records, corruption) = scan_frames(&bytes, "wal", |payload| {
+            serde_json::from_str::<WalRecord>(payload).ok()
+        });
+        recovered.corruption = corruption;
+        for record in records {
+            apply_record(&mut recovered, record);
+        }
+    }
+    Ok(recovered)
+}
+
+/// Applies one surviving WAL/journal record to recovered state, dropping
+/// duplicates the snapshot (or an earlier log) already covers.
+pub fn apply_record(recovered: &mut Recovered, record: WalRecord) {
+    match record {
+        WalRecord::Obs { seq, obs } => {
+            // Records an earlier log already covers are duplicates from a
+            // crash between rename and truncate (or the journal echoing
+            // the per-session WAL).
+            if seq >= recovered.observations.len() as u64 {
+                recovered.observations.push(obs);
+            }
+        }
+        WalRecord::Finished { recommendation: r } => {
+            recovered.status = SessionStatus::Finished;
+            recovered.recommendation = Some(r);
+        }
+        WalRecord::Cancelled => recovered.status = SessionStatus::Cancelled,
+    }
+}
+
+/// Reads the shared journal and demultiplexes its records by session.
+/// Returns the per-session record tails (in append order) plus a
+/// corruption note when the scan stopped at an invalid frame.
+pub fn read_journal(
+    path: &Path,
+) -> ServeResult<(BTreeMap<SessionId, Vec<WalRecord>>, Option<String>)> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((BTreeMap::new(), None));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let (entries, corruption) = scan_frames(&bytes, "journal", |payload| {
+        serde_json::from_str::<JournalEntry>(payload).ok()
+    });
+    let mut by_session: BTreeMap<SessionId, Vec<WalRecord>> = BTreeMap::new();
+    for entry in entries {
+        by_session
+            .entry(entry.session)
+            .or_default()
+            .push(entry.record);
+    }
+    Ok((by_session, corruption))
 }
 
 #[cfg(test)]
@@ -227,48 +592,95 @@ mod tests {
         Observation::ok(Configuration::new(), rt)
     }
 
+    fn obs_record(seq: u64) -> WalRecord {
+        WalRecord::Obs {
+            seq,
+            obs: obs(seq as f64),
+        }
+    }
+
+    #[test]
+    fn frame_codec_roundtrips_and_rejects_tampering() {
+        let payload = b"{\"hello\":1}";
+        let frame = encode_frame(payload);
+        let line = std::str::from_utf8(&frame[..frame.len() - 1]).unwrap();
+        assert_eq!(decode_frame(line), Some("{\"hello\":1}"));
+
+        // Flip each byte in turn: every mutation must invalidate the frame.
+        for i in 0..line.len() {
+            let mut bad = line.as_bytes().to_vec();
+            bad[i] ^= 0x01;
+            if let Ok(s) = std::str::from_utf8(&bad) {
+                assert_eq!(decode_frame(s), None, "flip at byte {i} went undetected");
+            }
+        }
+        assert_eq!(decode_frame(""), None);
+        assert_eq!(decode_frame("short"), None);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
     #[test]
     fn append_and_recover_roundtrip() {
         let dir = tmpdir("roundtrip");
         for i in 0..3u64 {
-            append_record(
-                &dir,
-                &WalRecord::Obs {
-                    seq: i,
-                    obs: obs(i as f64),
-                },
-            )
-            .unwrap();
+            append_record(&dir, &obs_record(i), Durability::Flush).unwrap();
         }
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.observations.len(), 3);
         assert_eq!(rec.status, SessionStatus::Running);
+        assert!(rec.corruption.is_none());
         assert!(wal_bytes(&dir) > 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn torn_tail_is_dropped_earlier_corruption_is_fatal() {
+    fn fsync_append_is_readable_back() {
+        let dir = tmpdir("fsync");
+        append_record(&dir, &obs_record(0), Durability::Fsync).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.observations.len(), 1);
+        assert_eq!(Durability::parse("fsync").unwrap(), Durability::Fsync);
+        assert_eq!(Durability::parse("flush").unwrap(), Durability::Flush);
+        assert!(Durability::parse("paranoid").is_err());
+        assert_eq!(Durability::Fsync.label(), "fsync");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_frame_stops_recovery_at_last_valid_record() {
         let dir = tmpdir("torn");
-        append_record(
-            &dir,
-            &WalRecord::Obs {
-                seq: 0,
-                obs: obs(1.0),
-            },
-        )
-        .unwrap();
+        append_record(&dir, &obs_record(0), Durability::Flush).unwrap();
         let mut f = OpenOptions::new()
             .append(true)
             .open(dir.join(WAL_FILE))
             .unwrap();
-        f.write_all(b"{\"Obs\":{\"seq\":1,").unwrap(); // torn write
+        f.write_all(b"0000001c 12345678 {\"Obs\":{\"seq\":1,")
+            .unwrap(); // torn write
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.observations.len(), 1);
+        assert!(rec.corruption.is_some(), "torn tail must be reported");
 
-        // Corruption before the tail is not a crash artifact.
-        fs::write(dir.join(WAL_FILE), "garbage\n{\"Cancelled\":null}\n").unwrap();
-        assert!(matches!(recover(&dir), Err(ServeError::Corrupt(_))));
+        // Mid-file corruption: later valid frames are NOT applied — the
+        // scan stops cleanly at the last record before the bad frame.
+        let good0 = encode_record(&obs_record(0)).unwrap();
+        let good1 = encode_record(&obs_record(1)).unwrap();
+        let mut bytes = good0.clone();
+        bytes.extend_from_slice(b"garbage line\n");
+        bytes.extend_from_slice(&good1);
+        fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(
+            rec.observations.len(),
+            1,
+            "records after corruption are untrusted"
+        );
+        assert!(rec.corruption.unwrap().contains("frame 2"));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -276,14 +688,7 @@ mod tests {
     fn snapshot_compaction_truncates_and_dedupes() {
         let dir = tmpdir("compact");
         for i in 0..4u64 {
-            append_record(
-                &dir,
-                &WalRecord::Obs {
-                    seq: i,
-                    obs: obs(i as f64),
-                },
-            )
-            .unwrap();
+            append_record(&dir, &obs_record(i), Durability::Flush).unwrap();
         }
         let mut history = History::new();
         for i in 0..4 {
@@ -297,6 +702,7 @@ mod tests {
                 status: SessionStatus::Running,
                 recommendation: None,
             },
+            Durability::Flush,
         )
         .unwrap();
         assert_eq!(wal_bytes(&dir), 0, "wal truncated after snapshot");
@@ -309,16 +715,10 @@ mod tests {
                 seq: 2,
                 obs: obs(99.0),
             },
+            Durability::Flush,
         )
         .unwrap();
-        append_record(
-            &dir,
-            &WalRecord::Obs {
-                seq: 4,
-                obs: obs(4.0),
-            },
-        )
-        .unwrap();
+        append_record(&dir, &obs_record(4), Durability::Flush).unwrap();
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.observations.len(), 5);
         assert_eq!(rec.observations[2].runtime_secs, 2.0, "duplicate ignored");
@@ -327,21 +727,75 @@ mod tests {
     }
 
     #[test]
-    fn terminal_records_set_status() {
-        let dir = tmpdir("terminal");
-        append_record(
+    fn terminal_snapshot_deletes_wal_and_recovers_snapshot_only() {
+        let dir = tmpdir("terminal-gc");
+        append_record(&dir, &obs_record(0), Durability::Flush).unwrap();
+        let mut history = History::new();
+        history.push(obs(0.0));
+        write_snapshot(
             &dir,
-            &WalRecord::Obs {
-                seq: 0,
-                obs: obs(1.0),
+            &Snapshot {
+                seq: 1,
+                history,
+                status: SessionStatus::Finished,
+                recommendation: None,
             },
+            Durability::Fsync,
         )
         .unwrap();
-        append_record(&dir, &WalRecord::Cancelled).unwrap();
+        assert!(
+            !dir.join(WAL_FILE).exists(),
+            "terminal snapshot deletes the WAL"
+        );
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.status, SessionStatus::Finished);
+        assert_eq!(rec.observations.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn terminal_records_set_status() {
+        let dir = tmpdir("terminal");
+        append_record(&dir, &obs_record(0), Durability::Flush).unwrap();
+        append_record(&dir, &WalRecord::Cancelled, Durability::Flush).unwrap();
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.status, SessionStatus::Cancelled);
         assert!(rec.status.is_terminal());
         assert_eq!(SessionStatus::Running.label(), "running");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_demuxes_by_session_and_detects_corruption() {
+        let dir = tmpdir("journal");
+        let path = dir.join(JOURNAL_FILE);
+        let a = SessionId::new(1);
+        let b = SessionId::new(2);
+        let mut bytes = Vec::new();
+        bytes.extend(encode_journal_entry(a, &obs_record(0)).unwrap());
+        bytes.extend(encode_journal_entry(b, &obs_record(0)).unwrap());
+        bytes.extend(encode_journal_entry(a, &obs_record(1)).unwrap());
+        fs::write(&path, &bytes).unwrap();
+
+        let (map, corruption) = read_journal(&path).unwrap();
+        assert!(corruption.is_none());
+        assert_eq!(map[&a].len(), 2);
+        assert_eq!(map[&b].len(), 1);
+
+        // Flip one byte in the middle frame: sessions keep only the
+        // records before the bad frame.
+        let mid = encode_journal_entry(a, &obs_record(0)).unwrap().len() + 25;
+        let mut torn = bytes.clone();
+        torn[mid] ^= 0x40;
+        fs::write(&path, &torn).unwrap();
+        let (map, corruption) = read_journal(&path).unwrap();
+        assert!(corruption.is_some());
+        assert_eq!(map.get(&a).map(Vec::len), Some(1));
+        assert!(map.get(&b).is_none());
+
+        // Missing journal is an empty journal.
+        let (map, corruption) = read_journal(&dir.join("nope.walj")).unwrap();
+        assert!(map.is_empty() && corruption.is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -285,10 +285,14 @@ fn warm_start_resolves_source_over_http() {
 
 #[test]
 fn full_queue_returns_429() {
+    // Concurrent advances on the SAME session coalesce (no queue slots),
+    // so saturation needs distinct sessions: one shard, one worker, one
+    // queue slot → the third session's driver has nowhere to go.
     let root = fresh_root("backpressure");
     let mut config = DaemonConfig::new(&root);
     config.workers = 1;
     config.queue_cap = 1;
+    config.shards = 1;
     let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
     let addr = daemon.addr();
 
@@ -299,48 +303,247 @@ fn full_queue_returns_429() {
         "/sessions",
         Some(&spec_json("dbms-oltp", "ituned", 5, 200, false)),
     );
-    let created: CreateResponse = serde_json::from_str(&body).expect("created");
-    let id = created.id;
+    let slow: CreateResponse = serde_json::from_str(&body).expect("created");
+    let slow_id = slow.id;
+    // Two quick sessions for the queue slot and the rejection.
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 6, 3, false)),
+    );
+    let queued: CreateResponse = serde_json::from_str(&body).expect("created");
+    let queued_id = queued.id;
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 7, 3, false)),
+    );
+    let rejected: CreateResponse = serde_json::from_str(&body).expect("created");
+    let rejected_id = rejected.id;
 
-    // Occupy the worker with a long advance.
+    // Occupy the worker with the slow session's driver.
     let t1 = std::thread::spawn(move || {
         request(
             addr,
             "POST",
-            &format!("/sessions/{id}/advance"),
+            &format!("/sessions/{slow_id}/advance"),
             Some("{\"steps\":200}"),
         )
     });
-    wait_until(addr, |m| m.sessions[0].evaluations >= 1, "worker busy");
+    wait_until(
+        addr,
+        |m| m.sessions.iter().any(|s| s.evaluations >= 1),
+        "worker busy",
+    );
 
-    // Fill the single queue slot with a second advance.
+    // Fill the single queue slot with the second session's driver.
     let t2 = std::thread::spawn(move || {
         request(
             addr,
             "POST",
-            &format!("/sessions/{id}/advance"),
-            Some("{\"steps\":200}"),
+            &format!("/sessions/{queued_id}/advance"),
+            Some("{\"steps\":3}"),
         )
     });
     wait_until(addr, |m| m.queue_depth >= 1, "queue full");
 
-    // Admission control: the third request is rejected immediately.
+    // Admission control: the third session's driver is rejected at once.
     let (status, body) = request(
         addr,
         "POST",
-        &format!("/sessions/{id}/advance"),
+        &format!("/sessions/{rejected_id}/advance"),
         Some("{\"steps\":1}"),
     );
     assert_eq!(status, 429, "{body}");
 
-    // Cancel ends the in-flight advance between steps; the queued job
-    // then sees a terminal session and reports the conflict.
-    let (status, _) = request(addr, "POST", &format!("/sessions/{id}/cancel"), None);
+    // Cancel ends the slow advance between steps; the queued session then
+    // gets the worker and completes.
+    let (status, _) = request(addr, "POST", &format!("/sessions/{slow_id}/cancel"), None);
     assert_eq!(status, 200);
     let (status, _) = t1.join().expect("t1");
     assert_eq!(status, 200, "in-flight advance completed its partial work");
-    let (status, _) = t2.join().expect("t2");
-    assert_eq!(status, 409, "queued advance found the session cancelled");
+    let (status, body) = t2.join().expect("t2");
+    assert_eq!(status, 200, "{body}");
+    let adv: AdvanceResponse = serde_json::from_str(&body).expect("advance");
+    assert_eq!(adv.status, "finished");
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_advances_on_one_session_coalesce() {
+    // queue_cap = 1: if each request consumed a queue slot, the second
+    // concurrent advance would 429. Coalescing makes both succeed, and
+    // the watermark semantics cap the total at the budget.
+    let root = fresh_root("coalesce");
+    let mut config = DaemonConfig::new(&root);
+    config.workers = 1;
+    config.queue_cap = 1;
+    config.shards = 1;
+    let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
+    let addr = daemon.addr();
+
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 11, 6, false)),
+    );
+    let created: CreateResponse = serde_json::from_str(&body).expect("created");
+    let id = created.id;
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                request(
+                    addr,
+                    "POST",
+                    &format!("/sessions/{id}/advance"),
+                    Some("{\"steps\":6}"),
+                )
+            })
+        })
+        .collect();
+    let mut total_ran = 0;
+    let mut ok = 0;
+    for t in threads {
+        let (status, body) = t.join().expect("join");
+        // A request that arrives after a racing advance already finished
+        // the session legitimately gets the terminal-session 409; what
+        // coalescing must prevent is the queue-full 429.
+        assert!(
+            status == 200 || status == 409,
+            "coalesced advance must not 429: {status} {body}"
+        );
+        if status != 200 {
+            continue;
+        }
+        ok += 1;
+        let adv: AdvanceResponse = serde_json::from_str(&body).expect("advance");
+        assert_eq!(adv.evaluations, 6, "every waiter saw its watermark");
+        assert_eq!(adv.status, "finished");
+        total_ran += adv.ran;
+    }
+    assert!(ok >= 1, "at least one advance drove the session");
+    assert!(
+        total_ran <= 6 * 4 && total_ran >= 6,
+        "ran counts are per-watch slices: {total_ran}"
+    );
+
+    // The session ran exactly its budget — no duplicate evaluations.
+    let (_, body) = request(addr, "GET", &format!("/sessions/{id}"), None);
+    let detail: SessionDetail = serde_json::from_str(&body).expect("detail");
+    assert_eq!(detail.evaluations, 6);
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn same_seed_same_recommendation_across_shard_configs() {
+    // The split-RNG scheme makes shard count, group-commit batching, and
+    // coalesced concurrent advances irrelevant to the outcome: the same
+    // spec + seed must produce byte-identical recommendations under
+    // radically different daemon shapes.
+    let mut recommendations = Vec::new();
+    for (tag, shards, group_commit, durability) in
+        [("cfg-a", 1, false, "flush"), ("cfg-b", 4, true, "fsync")]
+    {
+        let root = fresh_root(&format!("shardcfg-{tag}"));
+        let mut config = DaemonConfig::new(&root);
+        config.shards = shards;
+        config.group_commit = group_commit;
+        config.durability = autotune_serve::wal::Durability::parse(durability).expect("mode");
+        config.workers = 2;
+        let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
+        let addr = daemon.addr();
+
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/sessions",
+            Some(&spec_json("spark-agg", "ituned", 7, 8, false)),
+        );
+        assert_eq!(status, 201, "{body}");
+        let created: CreateResponse = serde_json::from_str(&body).expect("created");
+        let id = created.id;
+
+        // Drive to completion with concurrent, coalescing advances.
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    request(
+                        addr,
+                        "POST",
+                        &format!("/sessions/{id}/advance"),
+                        Some("{\"steps\":8}"),
+                    )
+                })
+            })
+            .collect();
+        for t in threads {
+            let (status, _) = t.join().expect("join");
+            assert_eq!(status, 200);
+        }
+
+        let (_, body) = request(addr, "GET", &format!("/sessions/{id}"), None);
+        let detail: SessionDetail = serde_json::from_str(&body).expect("detail");
+        assert_eq!(detail.status, "finished");
+        recommendations
+            .push(serde_json::to_string(&detail.recommendation.expect("rec")).expect("json"));
+
+        daemon.graceful_shutdown();
+        let _ = fs::remove_dir_all(&root);
+    }
+    assert_eq!(
+        recommendations[0], recommendations[1],
+        "shard count, batching, and coalescing must not change the recommendation"
+    );
+}
+
+#[test]
+fn metrics_report_shards_endpoints_and_group_commit() {
+    let root = fresh_root("metricsext");
+    let mut config = DaemonConfig::new(&root);
+    config.durability = autotune_serve::wal::Durability::Fsync;
+    let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
+    let addr = daemon.addr();
+
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 9, 2, false)),
+    );
+    let created: CreateResponse = serde_json::from_str(&body).expect("created");
+    let (status, _) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{}/advance", created.id),
+        Some("{\"steps\":2}"),
+    );
+    assert_eq!(status, 200);
+
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let report: MetricsReport = serde_json::from_str(&body).expect("metrics");
+    assert_eq!(report.shards, 4);
+    assert_eq!(report.shard_queue_depths.len(), 4);
+    assert_eq!(report.durability, "fsync");
+    let stats = report.group_commit.expect("group commit on by default");
+    assert!(stats.records >= 3, "probe + 2 evaluations journaled");
+    assert!(stats.batches >= 1);
+    let advance = report
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "advance")
+        .expect("advance latency row");
+    assert_eq!(advance.count, 1);
+    assert!(advance.p99_ms >= advance.p50_ms);
+    assert!(report.endpoints.iter().any(|e| e.endpoint == "create"));
 
     daemon.graceful_shutdown();
     let _ = fs::remove_dir_all(&root);

@@ -33,7 +33,11 @@ fail() {
 }
 
 start_daemon() {
-    "$BIN" --addr 127.0.0.1:0 --data-dir "$DATA" --workers 1 >"$LOG" 2>&1 &
+    # fsync durability engages the group-commit journal (group is the
+    # default WAL mode but only batches when syncs are actually demanded),
+    # so /metrics exposes non-null group_commit counters to assert on.
+    "$BIN" --addr 127.0.0.1:0 --data-dir "$DATA" --workers 1 --shards 2 \
+        --durability fsync >"$LOG" 2>&1 &
     DAEMON_PID=$!
     # main.rs prints "listening on http://HOST:PORT" once the socket is bound.
     for _ in $(seq 1 100); do
@@ -67,6 +71,15 @@ echo "metrics: $METRICS"
 echo "$METRICS" | grep -q '"evaluations": *6' || fail "metrics missing 6 evaluations: $METRICS"
 echo "$METRICS" | grep -q '"queue_depth"' || fail "metrics missing queue_depth: $METRICS"
 echo "$METRICS" | grep -q '"wal_bytes_total"' || fail "metrics missing wal_bytes_total: $METRICS"
+echo "$METRICS" | grep -q '"shards": *2' || fail "metrics missing shards=2: $METRICS"
+echo "$METRICS" | grep -q '"shard_queue_depths"' || fail "metrics missing shard_queue_depths: $METRICS"
+echo "$METRICS" | grep -q '"durability": *"fsync"' || fail "metrics missing durability=fsync: $METRICS"
+# Per-endpoint latency histograms: create + advance were both served.
+echo "$METRICS" | grep -q '"endpoint": *"create"' || fail "metrics missing create endpoint histogram: $METRICS"
+echo "$METRICS" | grep -q '"endpoint": *"advance"' || fail "metrics missing advance endpoint histogram: $METRICS"
+# Group commit ran (fsync mode): at least one batch was synced.
+echo "$METRICS" | grep -q '"group_commit": *{' || fail "metrics missing group_commit stats: $METRICS"
+echo "$METRICS" | grep -q '"batches": *[1-9]' || fail "group_commit reported zero batches: $METRICS"
 
 CSV="$(curl -fsS "http://$ADDR/sessions/$SID/csv")"
 [[ "$(echo "$CSV" | head -1)" == run,* ]] || fail "CSV export missing header: $CSV"
