@@ -54,9 +54,11 @@
 //! [`GroupCommitWal::mark_clean_at`]; the release is deferred until the
 //! committer has synced the covering ticket (so the live count never
 //! runs ahead of the disk), and when the live count hits zero the
-//! committer truncates the journal at the start of the next batch. On startup the daemon folds any surviving journal
-//! tail into per-session recovery (see [`crate::wal::read_journal`]) and
-//! deletes it once every recovered session is re-snapshotted.
+//! committer truncates the journal at the start of the next batch. On
+//! startup the daemon folds any surviving journal tail into per-session
+//! recovery (see [`crate::wal::read_journal`]) and deletes it once every
+//! recovered session is re-snapshotted; tails for sessions it cannot
+//! recover are set aside under an orphan name, never deleted.
 
 use crate::scheduler::lock;
 use crate::wal::{self, WalRecord};
@@ -529,10 +531,19 @@ fn land_snapshot(shared: &Shared, snap: &DeferredSnap) {
         }
         Err(e) => {
             let _ = std::fs::remove_file(&snap.tmp);
-            eprintln!(
-                "autotune-serve: deferred snapshot for {} failed: {e}",
-                snap.dir.display()
-            );
+            if !snap.dir.exists() {
+                // Retention evicted the session while this snapshot was
+                // queued. Its journal records cover nothing anyone can
+                // still recover, so release them — holding them would
+                // pin `live` above zero and the journal could never
+                // truncate again.
+                shared.live.fetch_sub(snap.covered as i64, Ordering::SeqCst);
+            } else {
+                eprintln!(
+                    "autotune-serve: deferred snapshot for {} failed: {e}",
+                    snap.dir.display()
+                );
+            }
         }
     }
 }
@@ -642,6 +653,46 @@ mod tests {
         // Only the post-snapshot record survives in the journal.
         let (map, _) = wal::read_journal(group.journal_path()).unwrap();
         assert_eq!(map[&SessionId::new(1)].len(), 1);
+        group.shutdown();
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn evicted_session_releases_covered_journal_records() {
+        let root = tmpdir("evicted");
+        let group = GroupCommitWal::start(&root);
+        let s1 = SessionId::new(1);
+        let s2 = SessionId::new(2);
+        let t1 = group.append(s1, &record(0)).unwrap();
+        group.wait_durable(t1).unwrap();
+
+        // Stage a snapshot for a session whose directory retention has
+        // already deleted: landing fails, but the covered records must
+        // still be released or `live` never returns to zero and the
+        // journal can never truncate again.
+        let missing_dir = root.join("s-000001");
+        let tmp = root.join("snapshot.json.tmp-evicted");
+        fs::write(&tmp, b"{}").unwrap();
+        assert!(group.defer_snapshot(tmp.clone(), missing_dir, 1, t1, true));
+        // The committer removes the staged tmp when the landing fails.
+        for _ in 0..500 {
+            if !tmp.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(!tmp.exists(), "deferred snapshot was processed");
+
+        // With the eviction released, the next batch recycles the
+        // journal: only the new session's record survives in it.
+        let t2 = group.append(s2, &record(0)).unwrap();
+        group.wait_durable(t2).unwrap();
+        let (map, _) = wal::read_journal(group.journal_path()).unwrap();
+        assert!(
+            !map.contains_key(&s1),
+            "evicted session's records released; journal recycled"
+        );
+        assert_eq!(map[&s2].len(), 1);
         group.shutdown();
         let _ = fs::remove_dir_all(&root);
     }

@@ -19,7 +19,7 @@
 //! step of OtterTune §2.2, reusing `autotune-math` for the distance.
 
 use crate::spec::SessionSpec;
-use crate::wal::{self, SessionStatus};
+use crate::wal::{self, Durability, SessionStatus};
 use crate::{ServeError, ServeResult};
 use autotune_core::{Observation, SessionId};
 use autotune_math::matrix::dist2;
@@ -99,8 +99,12 @@ impl SessionRepository {
     }
 
     /// Creates a session directory and persists its metadata. Fails if the
-    /// id already exists — ids are never reused.
-    pub fn create_session(&self, meta: &SessionMeta) -> ServeResult<()> {
+    /// id already exists — ids are never reused. In [`Durability::Fsync`]
+    /// mode the metadata and both directory entries are fsynced: every
+    /// record the daemon later acknowledges for this session is only
+    /// recoverable through `meta.json`, so the metadata must meet the
+    /// same durability bar as the records themselves.
+    pub fn create_session(&self, meta: &SessionMeta, durability: Durability) -> ServeResult<()> {
         let dir = self.session_dir(meta.id);
         if dir.exists() {
             return Err(ServeError::Conflict(format!(
@@ -111,7 +115,27 @@ impl SessionRepository {
         fs::create_dir_all(&dir)?;
         let json = serde_json::to_string_pretty(meta)
             .map_err(|e| ServeError::Corrupt(format!("meta encode: {e}")))?;
-        fs::write(dir.join("meta.json"), json)?;
+        let path = dir.join("meta.json");
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&path)?;
+            f.write_all(json.as_bytes())?;
+            f.flush()?;
+            if durability == Durability::Fsync {
+                f.sync_data()?;
+            }
+        }
+        if durability == Durability::Fsync {
+            // Persist the directory entries too (session dir for
+            // meta.json, root for the session dir). Best effort: not
+            // every filesystem lets you fsync a directory handle.
+            if let Ok(d) = fs::File::open(&dir) {
+                let _ = d.sync_all();
+            }
+            if let Ok(d) = fs::File::open(&self.root) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
@@ -374,9 +398,9 @@ mod tests {
             warm_source: None,
             created_unix_ms: 1_700_000_000_000,
         };
-        repo.create_session(&meta).unwrap();
+        repo.create_session(&meta, Durability::Fsync).unwrap();
         assert!(matches!(
-            repo.create_session(&meta),
+            repo.create_session(&meta, Durability::Flush),
             Err(ServeError::Conflict(_))
         ));
         let back = repo.read_meta(SessionId::new(1)).unwrap();

@@ -287,8 +287,10 @@ impl Daemon {
 
         // Journal fold-in: records whose per-session WAL write was lost
         // (OS crash after the journal fsync) survive only here. Read it
-        // before touching any session, delete it only after every session
-        // that had a tail is re-snapshotted durably.
+        // before touching any session; it may be deleted only once every
+        // tail has been re-snapshotted durably into its session's files —
+        // tails left over for sessions that cannot be recovered are set
+        // aside on disk, never discarded.
         let journal_path = repo.root().join(wal::JOURNAL_FILE);
         let (mut journal_map, journal_corruption) = wal::read_journal(&journal_path)?;
         if let Some(note) = journal_corruption {
@@ -338,10 +340,28 @@ impl Daemon {
             }
             recovered.push((id, session));
         }
-        match std::fs::remove_file(&journal_path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
+        if journal_map.is_empty() {
+            match std::fs::remove_file(&journal_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            // Tails remain for sessions with no recoverable meta.json —
+            // a directory lost to a crash, or one evicted by retention
+            // before the journal truncated. These records were
+            // acknowledged as durable, so deleting them is not an option;
+            // leaving the file in place is not either (the group
+            // committer recycles the journal once its live count is
+            // zero). Set it aside under an orphan name and say so.
+            let ids: Vec<String> = journal_map.keys().map(|id| id.to_string()).collect();
+            let orphan = orphan_journal_path(repo.root());
+            std::fs::rename(&journal_path, &orphan)?;
+            eprintln!(
+                "autotune-serve: journal holds records for unrecoverable session(s) {}; retained at {}",
+                ids.join(", "),
+                orphan.display()
+            );
         }
 
         if let Some(retain) = config.retain_finished {
@@ -437,6 +457,24 @@ impl Daemon {
                 entry.gate_cv.notify_all();
             }
         }
+    }
+}
+
+/// A free name to set an unconsumed startup journal aside under
+/// (`journal.walj.orphan`, then `.orphan-1`, `.orphan-2`, … if earlier
+/// orphans already exist).
+fn orphan_journal_path(root: &std::path::Path) -> PathBuf {
+    let base = root.join(format!("{}.orphan", wal::JOURNAL_FILE));
+    if !base.exists() {
+        return base;
+    }
+    let mut i: u64 = 1;
+    loop {
+        let candidate = root.join(format!("{}.orphan-{i}", wal::JOURNAL_FILE));
+        if !candidate.exists() {
+            return candidate;
+        }
+        i += 1;
     }
 }
 
@@ -643,6 +681,45 @@ fn session_detail(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
 /// missed notification; the driver notifies after every evaluation.
 const GATE_POLL: Duration = Duration::from_millis(50);
 
+/// Clears a session's driver flag if the driver job never reaches its
+/// own hand-off: the queued closure was dropped unrun (scheduler
+/// shutdown, or rejection inside `submit`) or the worker panicked
+/// mid-drive. Without this, `gate.driver` stays true forever — waiters
+/// spin on the poll instead of getting their 503/partial response, and
+/// the session is wedged because no new driver can ever be submitted.
+struct DriverGuard {
+    entry: Arc<SessionEntry>,
+    armed: bool,
+}
+
+impl DriverGuard {
+    fn new(entry: Arc<SessionEntry>) -> DriverGuard {
+        DriverGuard { entry, armed: true }
+    }
+
+    /// The driver completed its own hand-off; the guard stands down.
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for DriverGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut gate = lock(&self.entry.gate);
+        gate.driver = false;
+        if std::thread::panicking() && gate.failed.is_none() {
+            gate.failed = Some("driver job panicked".to_string());
+        }
+        gate.progress = gate.progress.wrapping_add(1);
+        gate.watch = usize::MAX;
+        drop(gate);
+        self.entry.gate_cv.notify_all();
+    }
+}
+
 fn advance_session(
     state: &Arc<DaemonState>,
     id: SessionId,
@@ -683,18 +760,17 @@ fn advance_session(
     };
     if submit_driver {
         let job_state = Arc::clone(state);
-        let job_entry = Arc::clone(&entry);
-        let submitted = state
+        // The guard travels inside the closure: if the job is rejected
+        // here, dropped from the queue at shutdown, or its worker
+        // panics, the guard's Drop clears the driver flag and wakes
+        // waiters — only a driver that runs may hand off itself.
+        let guard = DriverGuard::new(Arc::clone(&entry));
+        // On rejection (queue full → 429) submit drops the closure before
+        // returning, so the guard has already reset the gate.
+        state
             .shard(id)
             .scheduler
-            .submit(move || drive_session(&job_state, &job_entry));
-        if let Err(e) = submitted {
-            let mut gate = lock(&entry.gate);
-            gate.driver = false;
-            drop(gate);
-            entry.gate_cv.notify_all();
-            return Err(e); // queue full → 429
-        }
+            .submit(move || drive_session(&job_state, guard))?;
     }
 
     // Wait for the session to reach *our* watermark (or stop early).
@@ -731,9 +807,12 @@ fn advance_session(
             ));
         }
         let mut gate = lock(&entry.gate);
-        if !gate.driver {
-            // The driver stopped short of our watermark: scheduler
-            // shutdown, a dropped queued job, or a WAL failure.
+        if !gate.driver || state.shutdown.load(Ordering::SeqCst) {
+            // The driver stopped short of our watermark (scheduler
+            // shutdown, a dropped or panicked driver job, a WAL failure)
+            // — or the daemon is shutting down, in which case waiting
+            // further is pointless: the driver stops at its next step
+            // boundary anyway.
             let failed = gate.failed.clone();
             drop(gate);
             let ran = evals.saturating_sub(start_evals).min(body.steps);
@@ -778,7 +857,11 @@ fn advance_session(
 /// The single driver job for one session: runs evaluations until the
 /// gate's watermark (re-read after reaching it, so watermarks raised
 /// mid-run extend the same job), the session turns terminal, or shutdown.
-fn drive_session(state: &Arc<DaemonState>, entry: &Arc<SessionEntry>) {
+/// Owns the [`DriverGuard`]: the normal hand-off below disarms it; every
+/// abnormal exit (panic, never ran) leaves it armed so its Drop resets
+/// the gate.
+fn drive_session(state: &Arc<DaemonState>, mut guard: DriverGuard) {
+    let entry = Arc::clone(&guard.entry);
     let mut failure: Option<String> = None;
     let mut finished_terminal = false;
     loop {
@@ -826,6 +909,7 @@ fn drive_session(state: &Arc<DaemonState>, entry: &Arc<SessionEntry>) {
             gate.failed = failure.take();
             gate.progress = gate.progress.wrapping_add(1);
             gate.watch = usize::MAX;
+            guard.disarm();
             drop(gate);
             entry.gate_cv.notify_all();
             break;
@@ -864,12 +948,18 @@ fn cancel_session(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
         evaluations: s.evaluations(),
         best_runtime: s.best_runtime(),
     };
+    let barrier = s.durability_barrier();
     drop(s);
     let mut gate = lock(&entry.gate);
     gate.progress = gate.progress.wrapping_add(1);
     gate.watch = usize::MAX;
     drop(gate);
     entry.gate_cv.notify_all();
+    // Commit point: the 200 promises the cancellation survives a crash,
+    // so wait for the Cancelled record's group journal sync (outside the
+    // session lock) exactly as create and advance do for theirs.
+    let (sink, ticket) = barrier;
+    sink.wait_durable(ticket)?;
     Ok(Response::json(200, &summary))
 }
 

@@ -108,7 +108,7 @@ impl LiveSession {
             &meta.spec,
             warm_ref.as_ref().map(|(id, obs)| (id.as_str(), *obs)),
         )?;
-        repo.create_session(&meta)?;
+        repo.create_session(&meta, sink.durability())?;
         let dir = repo.session_dir(meta.id);
 
         let ctx = TuningContext {

@@ -485,8 +485,11 @@ fn same_seed_same_recommendation_across_shard_configs() {
             })
             .collect();
         for t in threads {
-            let (status, _) = t.join().expect("join");
-            assert_eq!(status, 200);
+            let (status, body) = t.join().expect("join");
+            // An advance that arrives after a racing advance already
+            // finished the session legitimately gets the terminal 409;
+            // the determinism claim is about the recommendation below.
+            assert!(status == 200 || status == 409, "{status} {body}");
         }
 
         let (_, body) = request(addr, "GET", &format!("/sessions/{id}"), None);
@@ -546,6 +549,164 @@ fn metrics_report_shards_endpoints_and_group_commit() {
     assert!(report.endpoints.iter().any(|e| e.endpoint == "create"));
 
     daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cancel_is_durable_before_acknowledgement() {
+    // In fsync + group-commit mode the Cancelled record and its terminal
+    // snapshot ride the journal; the 200 must not be sent before they are
+    // durable. The deferred snapshot lands *before* the durability wait
+    // releases, so by the time the client sees the 200 the cancelled
+    // snapshot is already on disk.
+    let root = fresh_root("cancel-durable");
+    let mut config = DaemonConfig::new(&root);
+    config.durability = autotune_serve::wal::Durability::Fsync;
+    let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
+    let addr = daemon.addr();
+
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 21, 10, false)),
+    );
+    let created: CreateResponse = serde_json::from_str(&body).expect("created");
+    let id = created.id;
+    let (status, _) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":2}"),
+    );
+    assert_eq!(status, 200);
+    let (status, body) = request(addr, "POST", &format!("/sessions/{id}/cancel"), None);
+    assert_eq!(status, 200, "{body}");
+    let summary: SessionSummary = serde_json::from_str(&body).expect("summary");
+    assert_eq!(summary.status, "cancelled");
+
+    // The acknowledged cancellation is on disk *now* — no shutdown, no
+    // flush, just what the 200 already promised.
+    let snapshot_json = fs::read_to_string(root.join(id.to_string()).join("snapshot.json"))
+        .expect("cancelled snapshot durable before the 200");
+    let snapshot: autotune_serve::wal::Snapshot =
+        serde_json::from_str(&snapshot_json).expect("snapshot decodes");
+    assert_eq!(
+        snapshot.status,
+        autotune_serve::wal::SessionStatus::Cancelled
+    );
+    assert_eq!(snapshot.history.len(), 3, "probe + 2 evaluations");
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn startup_sets_aside_journal_tails_for_unknown_sessions() {
+    // A journal record whose session directory is gone (meta.json lost to
+    // a crash, or the directory evicted before the journal truncated) was
+    // still acknowledged as durable: startup must not delete it. It is
+    // set aside under an orphan name so the fresh journal starts clean.
+    use autotune_core::SessionId;
+    use autotune_serve::wal::{encode_journal_entry, WalRecord, JOURNAL_FILE};
+
+    let root = fresh_root("orphan-journal");
+    fs::create_dir_all(&root).expect("mkdir");
+    let frame = encode_journal_entry(SessionId::new(99), &WalRecord::Cancelled).expect("frame");
+    fs::write(root.join(JOURNAL_FILE), &frame).expect("write journal");
+
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("start");
+    assert!(
+        !root.join(JOURNAL_FILE).exists(),
+        "consumed journal name is cleared for the new committer"
+    );
+    let orphan = root.join(format!("{JOURNAL_FILE}.orphan"));
+    assert_eq!(
+        fs::read(&orphan).expect("orphan retained"),
+        frame,
+        "unconsumed records are kept byte-for-byte"
+    );
+    daemon.graceful_shutdown();
+
+    // A second crash with another unconsumed tail must not clobber the
+    // first orphan.
+    fs::write(root.join(JOURNAL_FILE), &frame).expect("write journal");
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("restart");
+    assert!(orphan.exists());
+    assert!(root.join(format!("{JOURNAL_FILE}.orphan-1")).exists());
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shutdown_drops_queued_driver_without_hanging_waiters() {
+    // One worker, one shard: a slow session occupies the worker while a
+    // second session's driver job sits in the queue. Shutdown drops the
+    // queued job unrun — its waiter must get the documented 503 (and the
+    // in-flight advance its partial 200), not spin on the driver flag
+    // forever.
+    let root = fresh_root("shutdown-queued");
+    let mut config = DaemonConfig::new(&root);
+    config.workers = 1;
+    config.queue_cap = 4;
+    config.shards = 1;
+    let daemon = Daemon::start("127.0.0.1:0", config).expect("start");
+    let addr = daemon.addr();
+
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "ituned", 31, 200, false)),
+    );
+    let slow: CreateResponse = serde_json::from_str(&body).expect("created");
+    let slow_id = slow.id;
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/sessions",
+        Some(&spec_json("dbms-oltp", "random", 32, 3, false)),
+    );
+    let queued: CreateResponse = serde_json::from_str(&body).expect("created");
+    let queued_id = queued.id;
+
+    let t1 = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            &format!("/sessions/{slow_id}/advance"),
+            Some("{\"steps\":200}"),
+        )
+    });
+    wait_until(
+        addr,
+        |m| m.sessions.iter().any(|s| s.evaluations >= 1),
+        "worker busy",
+    );
+    let t2 = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            &format!("/sessions/{queued_id}/advance"),
+            Some("{\"steps\":3}"),
+        )
+    });
+    wait_until(addr, |m| m.queue_depth >= 1, "driver queued");
+
+    daemon.graceful_shutdown();
+
+    let (status, body) = t1.join().expect("t1");
+    assert_eq!(
+        status, 200,
+        "in-flight advance reports partial work: {body}"
+    );
+    let adv: AdvanceResponse = serde_json::from_str(&body).expect("advance");
+    assert!(adv.ran >= 1);
+    let (status, body) = t2.join().expect("t2");
+    assert_eq!(
+        status, 503,
+        "dropped queued driver must resolve its waiter, not hang it: {body}"
+    );
     let _ = fs::remove_dir_all(&root);
 }
 
