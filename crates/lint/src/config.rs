@@ -38,6 +38,22 @@
 //!   definition, or a literal `set(...)` value outside the declared domain.
 //! * **K3 `knob-unused`** (warn) — a knob defined in a params module but
 //!   never referenced anywhere else in the workspace.
+//!
+//! The statement-level concurrency & durability rules (C-series), driven
+//! by the [`Protocol`] declaration below:
+//!
+//! * **C1 `lock-order`** — a cycle in the crate-wide lock-acquisition
+//!   graph (lock B taken while holding A in one place, A while holding B
+//!   in another, directly or one call level deep).
+//! * **C2 `blocking-while-locked`** — fsync/recv/sleep/socket I/O or a
+//!   durability wait reached while a mutex guard is live in scope.
+//! * **C3 `condvar-wait-not-in-loop`** — a guard-passing condvar wait not
+//!   lexically inside a `while`/`loop` (missed-wakeup hazard).
+//! * **C4 `ack-before-durable`** — in the serve crate, a mutating handler
+//!   path that emits a 2xx response without first reaching a durability
+//!   wait.
+//! * **C5 `unwaited-ticket`** — a commit ticket / RAII driver guard that
+//!   can drop without its wait/disarm method on some path.
 
 /// Files in which `unsafe` is permitted (U2 allowlist). Vendored crates are
 /// never scanned, so they need no entries here.
@@ -47,6 +63,81 @@ pub const ALLOWED_UNSAFE_FILES: &[&str] = &[
     // `signal(2)` FFI call whose handler only performs an atomic store.
     "crates/serve/src/signal.rs",
 ];
+
+/// The concurrency & durability protocol the C-series rules enforce. The
+/// rules are data-driven so the protocol is declared here, in one place,
+/// rather than hard-coded in the analyzers: which functions acquire locks,
+/// which calls block, which calls are the durability barrier the serve
+/// protocol requires before a 2xx ack, and which RAII values must be
+/// explicitly discharged on every path.
+#[derive(Debug, Clone, Copy)]
+pub struct Protocol {
+    /// Free functions that acquire a mutex and return the guard
+    /// (`lock(&field)` — the poison-recovering helper in
+    /// `scheduler.rs`). The lock key is the last field segment of the
+    /// first argument. Functions *named* like these are themselves
+    /// excluded from analysis (they are the lock primitive).
+    pub lock_fns: &'static [&'static str],
+    /// Methods that acquire a mutex (`mutex.lock()`); the lock key is the
+    /// last segment of the receiver path.
+    pub lock_methods: &'static [&'static str],
+    /// Calls that block the current thread (fsync, channel receive,
+    /// sleep, socket accept): reaching one while a guard is live is C2.
+    pub blocking_calls: &'static [&'static str],
+    /// Condvar wait methods that take the guard as an argument and must
+    /// sit inside a `while`/`loop` (C3). They also count as blocking for
+    /// C2, except for the guard they consume.
+    pub condvar_waits: &'static [&'static str],
+    /// Condvar waits with a built-in predicate (`wait_while`); exempt
+    /// from C3 and treated like [`Self::condvar_waits`] for C2.
+    pub condvar_pred_waits: &'static [&'static str],
+    /// Durability-await calls (the group-commit ticket wait). Reaching
+    /// one marks a path durable for C4; they block for C2 purposes.
+    pub durability_waits: &'static [&'static str],
+    /// Response-constructor methods whose first argument is a literal
+    /// HTTP status (`Response::json(200, ..)`); a 2xx call is an ack.
+    pub ack_fns: &'static [&'static str],
+    /// Type name the ack constructors hang off.
+    pub ack_recv: &'static str,
+    /// State-mutating handler functions in the protocol crate: every path
+    /// from entry to a 2xx ack must pass a durability wait (C4).
+    pub mutating_handlers: &'static [&'static str],
+    /// `(producer, discharge)` pairs for C5: a producer call bound by
+    /// `let` arms an obligation discharged only by calling the discharge
+    /// method on (or with) one of the bound names. A producer spelled
+    /// `Type::method` matches a path-qualified call; a bare name matches
+    /// a method or free call.
+    pub obligations: &'static [(&'static str, &'static str)],
+    /// Crate the C4/C5 protocol rules apply to.
+    pub protocol_crate: &'static str,
+}
+
+/// The workspace's own protocol: serve-layer group commit + driver guards.
+pub const DEFAULT_PROTOCOL: Protocol = Protocol {
+    lock_fns: &["lock"],
+    lock_methods: &["lock"],
+    blocking_calls: &[
+        "sync_all",
+        "sync_data",
+        "recv",
+        "recv_timeout",
+        "sleep",
+        "accept",
+        "read_exact",
+        "write_all",
+    ],
+    condvar_waits: &["wait", "wait_timeout"],
+    condvar_pred_waits: &["wait_while", "wait_timeout_while"],
+    durability_waits: &["wait_durable"],
+    ack_fns: &["json", "text"],
+    ack_recv: "Response",
+    mutating_handlers: &["create_session", "advance_session", "cancel_session"],
+    obligations: &[
+        ("durability_barrier", "wait_durable"),
+        ("DriverGuard::new", "disarm"),
+    ],
+    protocol_crate: "serve",
+};
 
 /// Finding severity: errors fail the build, warnings are advisory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -92,6 +183,16 @@ pub enum RuleId {
     KnobDomain,
     /// K3: knob defined but never referenced (warn-level).
     KnobUnused,
+    /// C1: lock-acquisition cycle across the crate's lock-order graph.
+    LockOrder,
+    /// C2: blocking call reached while a mutex guard is live in scope.
+    BlockingLock,
+    /// C3: condvar wait not re-checked inside a `while`/`loop`.
+    CondvarLoop,
+    /// C4: 2xx ack emitted on a path that never awaited durability.
+    AckDurable,
+    /// C5: commit ticket / RAII guard dropped without wait/disarm.
+    TicketDrop,
     /// A `lint:allow` suppression with no reason.
     BareAllow,
 }
@@ -109,6 +210,11 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::KnobUnknown,
     RuleId::KnobDomain,
     RuleId::KnobUnused,
+    RuleId::LockOrder,
+    RuleId::BlockingLock,
+    RuleId::CondvarLoop,
+    RuleId::AckDurable,
+    RuleId::TicketDrop,
     RuleId::BareAllow,
 ];
 
@@ -127,6 +233,11 @@ impl RuleId {
             RuleId::KnobUnknown => "K1",
             RuleId::KnobDomain => "K2",
             RuleId::KnobUnused => "K3",
+            RuleId::LockOrder => "C1",
+            RuleId::BlockingLock => "C2",
+            RuleId::CondvarLoop => "C3",
+            RuleId::AckDurable => "C4",
+            RuleId::TicketDrop => "C5",
             RuleId::BareAllow => "A0",
         }
     }
@@ -145,6 +256,11 @@ impl RuleId {
             RuleId::KnobUnknown => "knob-unknown",
             RuleId::KnobDomain => "knob-domain",
             RuleId::KnobUnused => "knob-unused",
+            RuleId::LockOrder => "lock-order",
+            RuleId::BlockingLock => "blocking-while-locked",
+            RuleId::CondvarLoop => "condvar-wait-not-in-loop",
+            RuleId::AckDurable => "ack-before-durable",
+            RuleId::TicketDrop => "unwaited-ticket",
             RuleId::BareAllow => "bare-allow",
         }
     }
@@ -200,6 +316,21 @@ impl RuleId {
             }
             RuleId::KnobUnused => {
                 "knob defined but never referenced by any tuner, engine, or scenario; wire it up or drop it"
+            }
+            RuleId::LockOrder => {
+                "lock-acquisition cycle: these locks are taken in conflicting orders across the crate; pick one global order"
+            }
+            RuleId::BlockingLock => {
+                "blocking call while a mutex guard is live; drop or scope the guard before fsync/recv/sleep/IO"
+            }
+            RuleId::CondvarLoop => {
+                "condvar wait outside a while/loop; a spurious or stolen wakeup skips the predicate re-check"
+            }
+            RuleId::AckDurable => {
+                "2xx response on a path that never awaited durability; call the durability wait before acking"
+            }
+            RuleId::TicketDrop => {
+                "commit ticket or RAII guard can drop without its wait/disarm on this path; discharge it on every path"
             }
             RuleId::BareAllow => "lint:allow without a reason; state why the suppression is sound",
         }
@@ -266,6 +397,13 @@ pub fn rule_applies(rule: RuleId, ctx: &FileCtx) -> bool {
         }
         // Knob definitions live in the simulator params modules.
         RuleId::KnobUnused => ctx.is_lib_source && in_crates(&["sim"]),
+        // Generic concurrency rules: any library source that takes locks.
+        RuleId::LockOrder | RuleId::BlockingLock | RuleId::CondvarLoop => ctx.is_lib_source,
+        // Protocol-conformance rules are scoped to the serve crate, whose
+        // durability protocol they encode.
+        RuleId::AckDurable | RuleId::TicketDrop => {
+            ctx.is_lib_source && ctx.crate_name == DEFAULT_PROTOCOL.protocol_crate
+        }
         RuleId::BareAllow => true,
     }
 }
@@ -337,6 +475,28 @@ mod tests {
     }
 
     #[test]
+    fn c_series_scopes() {
+        let serve = classify("crates/serve/src/server.rs").expect("classified");
+        assert!(rule_applies(RuleId::LockOrder, &serve));
+        assert!(rule_applies(RuleId::BlockingLock, &serve));
+        assert!(rule_applies(RuleId::CondvarLoop, &serve));
+        assert!(rule_applies(RuleId::AckDurable, &serve));
+        assert!(rule_applies(RuleId::TicketDrop, &serve));
+
+        // Generic concurrency rules run in every library crate; the
+        // protocol rules stay inside serve.
+        let core = classify("crates/core/src/executor.rs").expect("classified");
+        assert!(rule_applies(RuleId::LockOrder, &core));
+        assert!(rule_applies(RuleId::BlockingLock, &core));
+        assert!(!rule_applies(RuleId::AckDurable, &core));
+        assert!(!rule_applies(RuleId::TicketDrop, &core));
+
+        let serve_tests = classify("crates/serve/tests/http_api.rs").expect("classified");
+        assert!(!rule_applies(RuleId::LockOrder, &serve_tests));
+        assert!(!rule_applies(RuleId::AckDurable, &serve_tests));
+    }
+
+    #[test]
     fn parse_accepts_id_and_name() {
         assert_eq!(RuleId::parse("D4"), Some(RuleId::NanOrd));
         assert_eq!(RuleId::parse("d4"), Some(RuleId::NanOrd));
@@ -346,6 +506,9 @@ mod tests {
         assert_eq!(RuleId::parse("safety-comment"), Some(RuleId::SafetyComment));
         assert_eq!(RuleId::parse("K1"), Some(RuleId::KnobUnknown));
         assert_eq!(RuleId::parse("knob-unused"), Some(RuleId::KnobUnused));
+        assert_eq!(RuleId::parse("C1"), Some(RuleId::LockOrder));
+        assert_eq!(RuleId::parse("c4"), Some(RuleId::AckDurable));
+        assert_eq!(RuleId::parse("unwaited-ticket"), Some(RuleId::TicketDrop));
         assert_eq!(RuleId::parse("nonsense"), None);
     }
 

@@ -322,6 +322,182 @@ pub fn space() -> Vec<ParamSpec> {
     expect: &[],
 };
 
+/// C1 bad: two functions nest the same two locks in opposite orders — a
+/// classic ABBA deadlock. Both witness acquisitions are reported.
+pub const C1_BAD: Fixture = Fixture {
+    label: "c1-bad",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn queue_then_commit(sh: &Shared) {
+    let q = lock(&sh.queue);
+    let c = lock(&sh.commit);
+    drop(c);
+    drop(q);
+}
+pub fn commit_then_queue(sh: &Shared) {
+    let c = lock(&sh.commit);
+    let q = lock(&sh.queue);
+    drop(q);
+    drop(c);
+}
+"#,
+    expect: &["C1", "C1"],
+};
+
+/// C1 good: every function agrees on queue-before-commit.
+pub const C1_GOOD: Fixture = Fixture {
+    label: "c1-good",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn append(sh: &Shared) {
+    let q = lock(&sh.queue);
+    let c = lock(&sh.commit);
+    drop(c);
+    drop(q);
+}
+pub fn drain(sh: &Shared) {
+    let q = lock(&sh.queue);
+    let c = lock(&sh.commit);
+    drop(c);
+    drop(q);
+}
+"#,
+    expect: &[],
+};
+
+/// C2 bad: fdatasync while the state guard is live — every other thread
+/// touching that mutex stalls behind disk latency.
+pub const C2_BAD: Fixture = Fixture {
+    label: "c2-bad",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn flush(sh: &Shared, file: &mut File) -> std::io::Result<()> {
+    let g = lock(&sh.state);
+    file.sync_all()?;
+    drop(g);
+    Ok(())
+}
+"#,
+    expect: &["C2"],
+};
+
+/// C2 good: the guard is scoped out before the sync.
+pub const C2_GOOD: Fixture = Fixture {
+    label: "c2-good",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn flush(sh: &Shared, file: &mut File) -> std::io::Result<()> {
+    {
+        let g = lock(&sh.state);
+        g.clear();
+    }
+    file.sync_all()
+}
+"#,
+    expect: &[],
+};
+
+/// C3 bad: the condvar wait sits under an `if`, so a spurious (or stolen)
+/// wakeup proceeds without re-checking the predicate.
+pub const C3_BAD: Fixture = Fixture {
+    label: "c3-bad",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn take_one(sh: &Shared) -> usize {
+    let mut q = lock(&sh.queue);
+    if q.pending == 0 {
+        q = sh.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    q.pending
+}
+"#,
+    expect: &["C3"],
+};
+
+/// C3 good: the wait re-checks its predicate in a `while` loop. The wait
+/// atomically releases `q` (passed as the argument), so no C2 either.
+pub const C3_GOOD: Fixture = Fixture {
+    label: "c3-good",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn take_one(sh: &Shared) -> usize {
+    let mut q = lock(&sh.queue);
+    while q.pending == 0 {
+        q = sh.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    q.pending
+}
+"#,
+    expect: &[],
+};
+
+/// C4 bad: the PR-6 cancel-bug shape — a state-mutating handler builds
+/// its 2xx before awaiting durability, so a crash between the two acks a
+/// mutation the journal never kept.
+pub const C4_BAD: Fixture = Fixture {
+    label: "c4-bad",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn cancel_session(state: &State) -> ServeResult<Response> {
+    let ticket = lock(&state.sessions).cancel();
+    let resp = Response::json(200, &Cancelled);
+    state.sink.wait_durable(ticket);
+    Ok(resp)
+}
+"#,
+    expect: &["C4"],
+};
+
+/// C4 good: durability first, then the ack.
+pub const C4_GOOD: Fixture = Fixture {
+    label: "c4-good",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn cancel_session(state: &State) -> ServeResult<Response> {
+    let ticket = lock(&state.sessions).cancel();
+    state.sink.wait_durable(ticket);
+    Ok(Response::json(200, &Cancelled))
+}
+"#,
+    expect: &[],
+};
+
+/// C5 bad: the early-return path drops the commit ticket without ever
+/// waiting on it; the finding anchors at the producing statement.
+pub const C5_BAD: Fixture = Fixture {
+    label: "c5-bad",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn checkpoint(state: &State, skip: bool) -> ServeResult<u64> {
+    let (sink, ticket) = state.durability_barrier();
+    if skip {
+        return Ok(0);
+    }
+    sink.wait_durable(ticket);
+    Ok(ticket)
+}
+"#,
+    expect: &["C5"],
+};
+
+/// C5 good: every path discharges the ticket before leaving.
+pub const C5_GOOD: Fixture = Fixture {
+    label: "c5-good",
+    path: "crates/serve/src/fixture.rs",
+    src: r#"
+pub fn checkpoint(state: &State, skip: bool) -> ServeResult<u64> {
+    let (sink, ticket) = state.durability_barrier();
+    if skip {
+        sink.wait_durable(ticket);
+        return Ok(0);
+    }
+    sink.wait_durable(ticket);
+    Ok(ticket)
+}
+"#,
+    expect: &[],
+};
+
 /// Every single-file fixture, for exhaustive test loops.
 pub const ALL: &[Fixture] = &[
     D1_BAD,
@@ -344,6 +520,16 @@ pub const ALL: &[Fixture] = &[
     U3_GOOD,
     K2_DEF_BAD,
     K2_DEF_GOOD,
+    C1_BAD,
+    C1_GOOD,
+    C2_BAD,
+    C2_GOOD,
+    C3_BAD,
+    C3_GOOD,
+    C4_BAD,
+    C4_GOOD,
+    C5_BAD,
+    C5_GOOD,
 ];
 
 /// A multi-file fixture: the K-series consumer rules resolve knob names
@@ -472,6 +658,77 @@ pub fn apply(c: &Configuration) -> i64 {
     expect: &["K3"],
 };
 
+/// C1 interprocedural bad: the lock set crosses files — `enqueue` holds
+/// the queue while calling a helper (defined in another file of the same
+/// crate) that takes the commit lock, while `drain` nests the two
+/// directly in the opposite order. Both edges of the cycle are witnessed
+/// in `flow.rs`: the helper call site and the direct nested acquisition.
+pub const C1_BAD_MULTI: MultiFixture = MultiFixture {
+    label: "c1-bad-multi",
+    files: &[
+        (
+            "crates/serve/src/fixture/wal_util.rs",
+            r#"
+pub fn note_error(sh: &Shared, msg: String) {
+    let c = lock(&sh.commit);
+    c.error = Some(msg);
+}
+"#,
+        ),
+        (
+            "crates/serve/src/fixture/flow.rs",
+            r#"
+pub fn enqueue(sh: &Shared, msg: String) {
+    let q = lock(&sh.queue);
+    note_error(sh, msg);
+    drop(q);
+}
+pub fn drain(sh: &Shared) {
+    let c = lock(&sh.commit);
+    let q = lock(&sh.queue);
+    drop(q);
+    drop(c);
+}
+"#,
+        ),
+    ],
+    expect: &["C1", "C1"],
+};
+
+/// C1 interprocedural good: the helper is only called after the queue
+/// guard is released, so the crate-wide order stays acyclic.
+pub const C1_GOOD_MULTI: MultiFixture = MultiFixture {
+    label: "c1-good-multi",
+    files: &[
+        (
+            "crates/serve/src/fixture/wal_util.rs",
+            r#"
+pub fn note_error(sh: &Shared, msg: String) {
+    let c = lock(&sh.commit);
+    c.error = Some(msg);
+}
+"#,
+        ),
+        (
+            "crates/serve/src/fixture/flow.rs",
+            r#"
+pub fn enqueue(sh: &Shared, msg: String) {
+    let q = lock(&sh.queue);
+    drop(q);
+    note_error(sh, msg);
+}
+pub fn drain(sh: &Shared) {
+    let c = lock(&sh.commit);
+    let q = lock(&sh.queue);
+    drop(q);
+    drop(c);
+}
+"#,
+        ),
+    ],
+    expect: &[],
+};
+
 /// Every multi-file fixture, for exhaustive test loops.
 pub const ALL_MULTI: &[MultiFixture] = &[
     K1_BAD_MULTI,
@@ -479,4 +736,6 @@ pub const ALL_MULTI: &[MultiFixture] = &[
     K2_SET_BAD_MULTI,
     K2_SET_GOOD_MULTI,
     K3_BAD_MULTI,
+    C1_BAD_MULTI,
+    C1_GOOD_MULTI,
 ];

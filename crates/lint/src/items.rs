@@ -68,6 +68,10 @@ pub struct Item {
     /// Token-index span `[start, end)` in the lexed stream, covering the
     /// whole item including its body.
     pub span: (usize, usize),
+    /// For a [`ItemKind::Fn`] with a body: the token span `[start, end)`
+    /// strictly inside its braces, ready for [`crate::parser::parse_body`].
+    /// `None` for bodiless declarations and non-fn items.
+    pub body_span: Option<(usize, usize)>,
     /// Attributes attached to the item (empty for unsafe blocks).
     pub attrs: Vec<Attr>,
     /// True for `unsafe fn` / `unsafe impl` / `unsafe trait` and for every

@@ -32,6 +32,21 @@
 //! simulator params modules in a first pass over all files, which is why
 //! the workspace scan is two-pass ([`scan_sources`]).
 //!
+//! [`parser::parse_body`] further parses each fn body into a statement /
+//! expression tree, and [`callgraph`] summarizes every fn's direct lock
+//! acquisitions and durability waits per crate. Together they power the
+//! C-series concurrency & durability-protocol analyzers in
+//! [`concurrency`] (protocol configuration lives in
+//! [`config::DEFAULT_PROTOCOL`]):
+//!
+//! | id | name | scope | what it catches |
+//! |----|------|-------|-----------------|
+//! | C1 | `lock-order` | all `src` | cycle in the per-crate lock-acquisition graph |
+//! | C2 | `blocking-while-locked` | all `src` | fsync / recv / sleep / wait under a live guard |
+//! | C3 | `condvar-wait-not-in-loop` | all `src` | `wait` result not re-checked in a loop |
+//! | C4 | `ack-before-durable` | `serve` src | 2xx ack path missing a durability wait |
+//! | C5 | `unwaited-ticket` | `serve` src | ticket / driver guard dropped unwaited on a path |
+//!
 //! `#[cfg(test)]` items and `tests/` directories are exempt. Findings can be
 //! waived inline with a justified `lint:allow` comment (see [`suppress`]);
 //! a reason-less allow is itself reported (`A0 bare-allow`). Only
@@ -39,6 +54,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod concurrency;
 pub mod config;
 pub mod fixtures;
 pub mod items;

@@ -1,7 +1,7 @@
 //! CLI for the workspace determinism & semantic analyzer.
 //!
 //! ```text
-//! autotune-lint [--format human|json|sarif] [--json] [PATH]
+//! autotune-lint [--format human|json|sarif] [--json] [--rules LIST] [PATH]
 //! ```
 //!
 //! Scans the workspace rooted at `PATH` (default: the enclosing workspace of
@@ -9,9 +9,17 @@
 //! is shorthand for `--format json`), and exits nonzero if any
 //! error-severity finding survives suppression — warnings (`K3`) are
 //! reported but do not fail the run.
+//!
+//! `--rules` restricts the report to a comma-separated list of rule ids or
+//! names (`--rules C1,C4` or `--rules lock-order,ack-before-durable`). The
+//! whole scan still runs (cross-file rules need the full pass); only the
+//! report and the exit code are filtered.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use autotune_lint::config::RuleId;
+use autotune_lint::Report;
 
 /// Output format for the report.
 enum Format {
@@ -20,9 +28,29 @@ enum Format {
     Sarif,
 }
 
+/// Parses a `--rules` value into rule ids; `Err` carries the bad token.
+fn parse_rules(value: &str) -> Result<Vec<RuleId>, String> {
+    let mut out = Vec::new();
+    for token in value.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        match RuleId::parse(token) {
+            Some(rule) => out.push(rule),
+            None => return Err(token.to_string()),
+        }
+    }
+    if out.is_empty() {
+        return Err(value.to_string());
+    }
+    Ok(out)
+}
+
 fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
+    let mut rules: Option<Vec<RuleId>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,10 +70,28 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--rules" => {
+                let Some(value) = args.next() else {
+                    eprintln!(
+                        "autotune-lint: --rules requires a comma-separated list (e.g. C1,C4)"
+                    );
+                    return ExitCode::from(2);
+                };
+                match parse_rules(&value) {
+                    Ok(list) => rules = Some(list),
+                    Err(bad) => {
+                        eprintln!("autotune-lint: unknown rule `{bad}` in --rules");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: autotune-lint [--format human|json|sarif] [--json] [PATH]");
+                println!(
+                    "usage: autotune-lint [--format human|json|sarif] [--json] [--rules LIST] [PATH]"
+                );
                 println!("Scans workspace Rust sources for determinism, unsafe-audit,");
-                println!("and knob-registry findings.");
+                println!("knob-registry, and concurrency/durability findings.");
+                println!("--rules LIST  report only these rules (ids or names, comma-separated)");
                 println!(
                     "Exits 0 when no errors (warnings allowed), 1 on errors, 2 on I/O errors."
                 );
@@ -67,6 +113,19 @@ fn main() -> ExitCode {
 
     match autotune_lint::scan_workspace(&root) {
         Ok(report) => {
+            let report = match rules {
+                Some(list) => {
+                    let keep: Vec<&str> = list.iter().map(|r| r.id()).collect();
+                    let files_scanned = report.files_scanned;
+                    let findings = report
+                        .findings
+                        .into_iter()
+                        .filter(|f| keep.contains(&f.rule.as_str()))
+                        .collect();
+                    Report::new(findings, files_scanned)
+                }
+                None => report,
+            };
             match format {
                 Format::Human => print!("{}", report.human()),
                 Format::Json => println!("{}", report.json()),

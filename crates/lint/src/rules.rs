@@ -1,9 +1,16 @@
 //! The rule engine: `#[cfg(test)]` region masking, the token-stream
 //! matchers for rules D1–D5, and the item-tree matchers for the unsafe
-//! audit (U1–U3). K-series knob checks live in [`crate::knobs`] and are
-//! wired in here when a knob table is available.
+//! audit (U1–U3). K-series knob checks live in [`crate::knobs`] and the
+//! statement-level C-series concurrency checks in [`crate::concurrency`];
+//! both are wired in here. The C1 lock-order graph is per-crate, so the
+//! workspace scan accumulates edges across files and runs cycle
+//! detection globally (single-file scans run it over their own edges).
 
-use crate::config::{classify, rule_applies, FileCtx, RuleId, ALLOWED_UNSAFE_FILES};
+use crate::callgraph::CrateIndex;
+use crate::concurrency;
+use crate::config::{
+    classify, rule_applies, FileCtx, RuleId, ALLOWED_UNSAFE_FILES, DEFAULT_PROTOCOL,
+};
 use crate::items::{ItemKind, ItemTree};
 use crate::knobs::{self, KnobTable};
 use crate::lexer::{lex, Lexed, LineComment, Token};
@@ -73,8 +80,36 @@ pub fn finding_at(p: &Prepared, rule: RuleId, line: u32) -> Finding {
 /// workspace `table`; with `None` they are skipped (K2 definition-site
 /// checks are local and always run).
 pub fn scan_prepared(p: &Prepared, table: Option<&KnobTable>) -> Vec<Finding> {
+    let mut index = CrateIndex::default();
+    index.add_file(&p.tree, &p.lexed.tokens, &p.mask, &DEFAULT_PROTOCOL);
+    let (mut findings, edges) = scan_prepared_indexed(p, table, &index);
+    // Single-file C1 pass: cycle-detect over this file's own edges. The
+    // edges were produced after per-file suppression ran, so directives
+    // are honored manually (same pattern as the global K3 pass).
+    let tagged: Vec<(String, concurrency::Edge)> =
+        edges.into_iter().map(|e| (p.rel.clone(), e)).collect();
+    for (_, line) in concurrency::cycle_findings(&tagged) {
+        if p.directives
+            .iter()
+            .any(|d| d.covers(RuleId::LockOrder.id(), line))
+        {
+            continue;
+        }
+        findings.push(finding_at(p, RuleId::LockOrder, line));
+    }
+    findings
+}
+
+/// Like [`scan_prepared`], but against a caller-supplied per-crate call
+/// graph index; returns the per-file findings plus this file's raw C1
+/// lock-order edges for crate-wide cycle detection by the caller.
+pub fn scan_prepared_indexed(
+    p: &Prepared,
+    table: Option<&KnobTable>,
+    index: &CrateIndex,
+) -> (Vec<Finding>, Vec<concurrency::Edge>) {
     if p.ctx.is_test_source {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let mut raw: Vec<(RuleId, u32)> = Vec::new();
     let claimed = match_nan_ord(&p.lexed.tokens, &p.mask, &mut raw, &p.ctx);
@@ -101,11 +136,17 @@ pub fn scan_prepared(p: &Prepared, table: Option<&KnobTable>) -> Vec<Finding> {
         }
     }
 
+    let analysis = concurrency::analyze_file(p, &DEFAULT_PROTOCOL, index);
+    raw.extend(analysis.findings);
+
     let findings = raw
         .into_iter()
         .map(|(rule, line)| finding_at(p, rule, line))
         .collect();
-    suppress::apply(findings, &p.directives, &p.rel)
+    (
+        suppress::apply(findings, &p.directives, &p.rel),
+        analysis.edges,
+    )
 }
 
 /// Scans one file's source in isolation (no knob table), returning
@@ -119,8 +160,9 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
 }
 
 /// The two-pass workspace scan over `(rel_path, source)` pairs: prepare
-/// every file, extract the knob table from the params modules, scan each
-/// file against it, then run the global K3 unused-knob pass.
+/// every file, extract the knob table from the params modules and the
+/// per-crate call-graph indexes, scan each file against them, then run
+/// the global K3 unused-knob and C1 lock-order-cycle passes.
 pub fn scan_sources(files: &[(String, String)]) -> crate::report::Report {
     let prepared: Vec<Prepared> = files
         .iter()
@@ -133,9 +175,48 @@ pub fn scan_sources(files: &[(String, String)]) -> crate::report::Report {
     };
     let table = knobs::extract_table(streams());
 
-    let mut findings = Vec::new();
+    let mut crate_indexes: std::collections::BTreeMap<String, CrateIndex> =
+        std::collections::BTreeMap::new();
     for p in &prepared {
-        findings.extend(scan_prepared(p, Some(&table)));
+        if p.ctx.is_lib_source && !p.ctx.is_test_source {
+            crate_indexes
+                .entry(p.ctx.crate_name.clone())
+                .or_default()
+                .add_file(&p.tree, &p.lexed.tokens, &p.mask, &DEFAULT_PROTOCOL);
+        }
+    }
+    let empty_index = CrateIndex::default();
+
+    let mut findings = Vec::new();
+    let mut crate_edges: std::collections::BTreeMap<String, Vec<(String, concurrency::Edge)>> =
+        std::collections::BTreeMap::new();
+    for p in &prepared {
+        let index = crate_indexes.get(&p.ctx.crate_name).unwrap_or(&empty_index);
+        let (file_findings, edges) = scan_prepared_indexed(p, Some(&table), index);
+        findings.extend(file_findings);
+        if !edges.is_empty() {
+            crate_edges
+                .entry(p.ctx.crate_name.clone())
+                .or_default()
+                .extend(edges.into_iter().map(|e| (p.rel.clone(), e)));
+        }
+    }
+    // Global C1 pass: cycles in each crate's accumulated lock graph.
+    // Like K3 below, these findings are created after per-file
+    // suppression ran, so directives are honored manually.
+    for edges in crate_edges.values() {
+        for (file, line) in concurrency::cycle_findings(edges) {
+            let Some(p) = prepared.iter().find(|p| p.rel == file) else {
+                continue;
+            };
+            if p.directives
+                .iter()
+                .any(|d| d.covers(RuleId::LockOrder.id(), line))
+            {
+                continue;
+            }
+            findings.push(finding_at(p, RuleId::LockOrder, line));
+        }
     }
     for (file, rule, line) in knobs::unused_knobs(&table, streams()) {
         let Some(p) = prepared.iter().find(|p| p.rel == file) else {

@@ -72,12 +72,20 @@ fn new_rules_fire_at_expected_lines() {
         (&fixtures::U2_BAD, "U2", 4),
         (&fixtures::U3_BAD, "U3", 10),
         (&fixtures::K2_DEF_BAD, "K2", 3),
+        (&fixtures::C2_BAD, "C2", 4),
+        (&fixtures::C3_BAD, "C3", 5),
+        (&fixtures::C4_BAD, "C4", 4),
+        (&fixtures::C5_BAD, "C5", 3),
     ] {
         let findings = scan_source(fx.path, fx.src);
         assert_eq!(findings.len(), 1, "fixture `{}`", fx.label);
         assert_eq!(findings[0].rule, rule, "fixture `{}`", fx.label);
         assert_eq!(findings[0].line, line, "fixture `{}`", fx.label);
     }
+    // C1 reports both witness acquisitions of the ABBA cycle.
+    let findings = scan_source(fixtures::C1_BAD.path, fixtures::C1_BAD.src);
+    let got: Vec<(String, u32)> = findings.into_iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![("C1".into(), 4), ("C1".into(), 10)]);
     // Cross-file rules.
     for (fx, rule, line) in [
         (&fixtures::K1_BAD_MULTI, "K1", 4),
@@ -89,6 +97,20 @@ fn new_rules_fire_at_expected_lines() {
         assert_eq!(report.findings[0].rule, rule, "fixture `{}`", fx.label);
         assert_eq!(report.findings[0].line, line, "fixture `{}`", fx.label);
     }
+    // C1 across files: the cycle's witnesses are the helper call site
+    // (whose lock set comes from the other file's summary) and the
+    // directly nested acquisition.
+    let report = scan_multi(&fixtures::C1_BAD_MULTI);
+    let got: Vec<(String, String, u32)> = report
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, f.file, f.line))
+        .collect();
+    let flow = "crates/serve/src/fixture/flow.rs".to_string();
+    assert_eq!(
+        got,
+        vec![("C1".into(), flow.clone(), 4), ("C1".into(), flow, 9),]
+    );
 }
 
 #[test]
@@ -152,6 +174,59 @@ fn sarif_snapshot_for_one_finding() {
     assert!(
         sarif.contains(expected),
         "SARIF result shape changed:\n{sarif}"
+    );
+}
+
+#[test]
+fn sarif_snapshot_for_c_series_finding() {
+    let findings = scan_source(fixtures::C4_BAD.path, fixtures::C4_BAD.src);
+    let report = Report::new(findings, 1);
+    let sarif = report.sarif();
+    // The C-series rules appear in the auto-derived rule catalog …
+    for (id, name) in [
+        ("C1", "lock-order"),
+        ("C2", "blocking-while-locked"),
+        ("C3", "condvar-wait-not-in-loop"),
+        ("C4", "ack-before-durable"),
+        ("C5", "unwaited-ticket"),
+    ] {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{id}\"")),
+            "missing catalog entry for {id}:\n{sarif}"
+        );
+        assert!(
+            sarif.contains(&format!("\"name\": \"{name}\"")),
+            "missing catalog name for {id}:\n{sarif}"
+        );
+    }
+    // … and a C4 result block is byte-exact.
+    let expected = r#"      "results": [
+        {
+          "ruleId": "C4",
+          "level": "error",
+          "message": {
+            "text": "2xx response on a path that never awaited durability; call the durability wait before acking"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/serve/src/fixture.rs"
+                },
+                "region": {
+                  "startLine": 4,
+                  "snippet": {
+                    "text": "let resp = Response::json(200, &Cancelled);"
+                  }
+                }
+              }
+            }
+          ]
+        }
+      ]"#;
+    assert!(
+        sarif.contains(expected),
+        "SARIF C4 result shape changed:\n{sarif}"
     );
 }
 
@@ -242,6 +317,75 @@ fn binary_warnings_do_not_fail_the_run() {
     assert_eq!(report.findings.len(), 1);
     assert_eq!(report.findings[0].rule, "K3");
     assert_eq!(report.findings[0].severity, "warning");
+}
+
+#[test]
+fn rules_filter_restricts_report_and_exit_code() {
+    let files = &[("crates/serve/src/fixture.rs", fixtures::C4_BAD.src)];
+    // Selected rule matches: finding reported, exit 1.
+    let (code, stdout) = run_on_temp_workspace("rules-hit", files, &["--rules", "C4", "--json"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    let report: Report = serde_json::from_str(&stdout).expect("JSON output parses");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "C4");
+    assert_eq!(report.findings[0].line, 4);
+    // Rule names work too.
+    let (code, _) = run_on_temp_workspace(
+        "rules-name",
+        files,
+        &["--rules", "ack-before-durable", "--json"],
+    );
+    assert_eq!(code, Some(1));
+    // Filtering to an unrelated rule empties the report and the exit code.
+    let (code, stdout) = run_on_temp_workspace("rules-miss", files, &["--rules", "D5", "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let report: Report = serde_json::from_str(&stdout).expect("JSON output parses");
+    assert!(report.findings.is_empty());
+    // Unknown rules are a usage error.
+    let (code, _) = run_on_temp_workspace("rules-bad", files, &["--rules", "C9"]);
+    assert_eq!(code, Some(2));
+    // The filter applies to SARIF output as well.
+    let (code, stdout) = run_on_temp_workspace(
+        "rules-sarif",
+        files,
+        &["--rules", "C4", "--format", "sarif"],
+    );
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"ruleId\": \"C4\""));
+}
+
+#[test]
+fn reintroduced_cancel_ack_bug_is_caught_by_c4() {
+    // The exact shape PR 6 shipped and later had to fix: cancel_session
+    // builds its 200 before waiting on the Cancelled record's commit
+    // ticket, so a crash between the two acknowledges a cancellation the
+    // journal never kept.
+    let src = r#"
+fn cancel_session(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
+    let entry = find_session(state, id);
+    let mut s = lock(&entry.session);
+    s.cancel();
+    let summary = SessionSummary { id };
+    let response = Response::json(200, &summary);
+    let (sink, ticket) = s.durability_barrier();
+    drop(s);
+    sink.wait_durable(ticket);
+    Ok(response)
+}
+"#;
+    let (code, stdout) = run_on_temp_workspace(
+        "cancel-ack",
+        &[("crates/serve/src/server.rs", src)],
+        &["--rules", "C4", "--json"],
+    );
+    assert_eq!(code, Some(1), "{stdout}");
+    let report: Report = serde_json::from_str(&stdout).expect("JSON output parses");
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "C4");
+    assert_eq!(f.file, "crates/serve/src/server.rs");
+    assert_eq!(f.line, 7, "finding anchors at the premature ack");
+    assert!(f.snippet.contains("Response::json(200"), "{}", f.snippet);
 }
 
 #[test]

@@ -50,7 +50,7 @@ use crate::repo::{SessionMeta, SessionRepository};
 use crate::scheduler::{lock, Scheduler};
 use crate::session::{eval_seed, splitmix64, LiveSession};
 use crate::spec::{build_objective, SessionSpec};
-use crate::wal::{self, Durability, WalSink, DEFAULT_SNAPSHOT_EVERY};
+use crate::wal::{self, Durability, SessionStatus, WalSink, DEFAULT_SNAPSHOT_EVERY};
 use crate::{ServeError, ServeResult};
 use autotune_core::{history_to_csv, Recommendation, SessionId};
 use rand::rngs::StdRng;
@@ -637,8 +637,12 @@ fn create_session(state: &Arc<DaemonState>, request: &Request) -> ServeResult<Re
     };
     // Commit point: the 201 promises the session (and its probe record)
     // survives a crash, so wait for the group journal before responding.
+    // The create lock's job (id allocation + directory creation) is done
+    // once the entry is registered; holding it across the group sync
+    // would serialize every create behind one fdatasync.
     let (sink, ticket) = session.durability_barrier();
     lock(&state.shard(id).sessions).insert(id, SessionEntry::new(session));
+    drop(_create_guard);
     sink.wait_durable(ticket)?;
     Ok(Response::json(201, &response))
 }
@@ -731,21 +735,33 @@ fn advance_session(
     }
     let entry = find_session(state, id)?;
 
-    let (start_evals, budget) = {
+    let (start_evals, budget, finished) = {
         let s = lock(&entry.session);
-        if s.status().is_terminal() {
+        // Advancing a cancelled session is a conflict. Advancing a
+        // *finished* one is not: budget exhaustion is the natural end of
+        // the very operation being requested, and under concurrent
+        // advances "finished before my request was checked" vs "finished
+        // while I waited" is a pure race — both must answer identically
+        // (200, final state, `ran: 0` for the latecomer) or the API is
+        // nondeterministic under load.
+        if s.status() == SessionStatus::Cancelled {
             return Err(ServeError::Conflict(format!(
-                "session {} is {}",
-                s.meta.id,
-                s.status().label()
+                "session {} is cancelled",
+                s.meta.id
             )));
         }
-        (s.evaluations(), s.meta.spec.budget)
+        (
+            s.evaluations(),
+            s.meta.spec.budget,
+            s.status().is_terminal(),
+        )
     };
     let my_target = (start_evals + body.steps).min(budget);
 
-    // Raise the gate; become the driver only if no driver is active.
-    let submit_driver = {
+    // Raise the gate; become the driver only if no driver is active. A
+    // finished session needs no driver: the wait loop below returns its
+    // final state on the first iteration.
+    let submit_driver = !finished && {
         let mut gate = lock(&entry.gate);
         if gate.target < my_target {
             gate.target = my_target;
