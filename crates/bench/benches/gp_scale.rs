@@ -1,0 +1,148 @@
+//! Sparse-surrogate backends and the ball-tree workload-mapping index
+//! under Criterion: fixed-kernel fit + batched predict for exact vs SoD
+//! vs Nyström at a scale where the `O(n³)` → `O(n·m²)` gap is visible in
+//! seconds, and signature nearest-neighbour lookup, scan vs tree.
+//! The committed proof artifact (`bench_results/gp_scale.json`) comes
+//! from the `gp_scale` *bin*; this harness tracks regressions.
+
+use autotune_core::SessionId;
+use autotune_math::gp::{GaussianProcess, Kernel, KernelKind};
+use autotune_math::kmeans::farthest_point_subset;
+use autotune_math::lhs::latin_hypercube;
+use autotune_math::surrogate::{NystromGp, Surrogate};
+use autotune_serve::ann::PlatformIndex;
+use autotune_serve::repo::{nearest_signature, WorkloadSignature};
+use autotune_serve::session::splitmix64;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const DIM: usize = 8;
+const N: usize = 800;
+const M: usize = 96;
+
+fn training_data(n: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs = latin_hypercube(n, DIM, rng);
+    let ys = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(d, v)| (v * (1.0 + d as f64)).sin())
+                .sum()
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn fixed_kernel() -> Kernel {
+    let mut kernel = Kernel::new(KernelKind::Matern52, DIM, 0.4);
+    for (d, l) in kernel.length_scales.iter_mut().enumerate() {
+        *l = 0.25 + 0.1 * d as f64;
+    }
+    kernel.noise_variance = 1e-4;
+    kernel
+}
+
+fn bench_surrogate_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (xs, ys) = training_data(N, &mut rng);
+    let kernel = fixed_kernel();
+    let idx = farthest_point_subset(&xs, M);
+    let zs: Vec<Vec<f64>> = idx.iter().map(|&i| xs[i].clone()).collect();
+
+    let mut group = c.benchmark_group("surrogate_fit_n800_m96");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            black_box(GaussianProcess::fit(kernel.clone(), xs.clone(), &ys).expect("exact fit"))
+        })
+    });
+    group.bench_function("sod", |b| {
+        b.iter(|| {
+            let idx = farthest_point_subset(&xs, M);
+            let sx: Vec<Vec<f64>> = idx.iter().map(|&i| xs[i].clone()).collect();
+            let sy: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+            black_box(GaussianProcess::fit(kernel.clone(), sx, &sy).expect("sod fit"))
+        })
+    });
+    group.bench_function("nystrom", |b| {
+        b.iter(|| {
+            black_box(
+                NystromGp::fit(kernel.clone(), xs.clone(), &ys, zs.clone()).expect("nystrom fit"),
+            )
+        })
+    });
+    group.finish();
+
+    let exact = GaussianProcess::fit(kernel.clone(), xs.clone(), &ys).expect("exact fit");
+    let ny = NystromGp::fit(kernel, xs.clone(), &ys, zs).expect("nystrom fit");
+    let pool = latin_hypercube(200, DIM, &mut rng);
+    let mut group = c.benchmark_group("surrogate_predict_n800_m96_pool200");
+    group.sample_size(20);
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(exact.predict_batch(&pool)))
+    });
+    group.bench_function("nystrom", |b| {
+        b.iter(|| black_box(Surrogate::predict_batch(&ny, &pool)))
+    });
+    group.finish();
+}
+
+fn signatures(n: usize, seed: u64) -> Vec<WorkloadSignature> {
+    (0..n)
+        .map(|i| {
+            let h = |k: u64| {
+                let x = splitmix64(seed ^ splitmix64(i as u64 * 13 + k));
+                (x % 100_000) as f64 / 100_000.0
+            };
+            let metrics: BTreeMap<String, f64> = [
+                ("hit_ratio".to_string(), h(1)),
+                ("spill_mb".to_string(), h(2) * 4096.0),
+                ("gc_secs".to_string(), h(3) * 30.0),
+                ("rows".to_string(), 1e6 + h(4) * 1e6),
+            ]
+            .into_iter()
+            .collect();
+            WorkloadSignature {
+                id: SessionId::new(i as u64 + 1),
+                metrics,
+            }
+        })
+        .collect()
+}
+
+fn bench_signature_lookup(c: &mut Criterion) {
+    let sigs = signatures(1_000, 5);
+    let index = PlatformIndex::build(&sigs);
+    let probes: Vec<BTreeMap<String, f64>> =
+        signatures(32, 777).into_iter().map(|s| s.metrics).collect();
+
+    let mut group = c.benchmark_group("signature_nearest_1000");
+    group.sample_size(20);
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|q| black_box(nearest_signature(q, &sigs)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("ball_tree", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|q| black_box(index.nearest(q, None)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("ball_tree_rebuild", |b| {
+        b.iter(|| black_box(PlatformIndex::build(&sigs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogate_fit, bench_signature_lookup);
+criterion_main!(benches);

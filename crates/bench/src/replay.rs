@@ -173,6 +173,7 @@ mod tests {
                 budget: 5,
                 noise: "none".into(),
                 warm_start: false,
+                surrogate: "auto".into(),
             },
             warm_source: None,
             created_unix_ms: 0,

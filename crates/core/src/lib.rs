@@ -52,7 +52,7 @@ pub use pareto::{cheapest_within_deadline, hypervolume, pareto_front, ParetoPoin
 pub use ranking::KnobRanking;
 pub use session::{tune, TuningOutcome, TuningSession};
 pub use space::{ConfigSpace, Configuration};
-pub use tuner::{Recommendation, Tuner, TunerFamily, TuningContext};
+pub use tuner::{Recommendation, SurrogateStats, Tuner, TunerFamily, TuningContext};
 
 /// Commonly used items, for glob import.
 pub mod prelude {

@@ -67,6 +67,22 @@ pub struct TuningContext {
     pub profile: SystemProfile,
 }
 
+/// A snapshot of the surrogate model a GP-backed tuner currently holds,
+/// surfaced through [`Tuner::surrogate_stats`] for observability (the
+/// serve layer's `/metrics` endpoint reports it per session).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateStats {
+    /// Backend label: `"exact"`, `"sod"`, or `"nystrom"`.
+    pub kind: String,
+    /// Observations the model has absorbed.
+    pub observed: usize,
+    /// Active training-set / inducing-point size the per-prediction cost
+    /// scales with.
+    pub active: usize,
+    /// Full hyper-parameter-search fits performed so far.
+    pub fits: u64,
+}
+
 /// Final output of a tuning session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Recommendation {
@@ -127,6 +143,13 @@ pub trait Tuner {
     /// (sessions may surface this to users). Default 0.
     fn min_history(&self) -> usize {
         0
+    }
+
+    /// Stats about the surrogate model currently held, if the tuner is
+    /// model-based and has fitted one. Default: `None` (model-free tuners
+    /// and tuners still in their initial design phase).
+    fn surrogate_stats(&self) -> Option<SurrogateStats> {
+        None
     }
 }
 

@@ -650,8 +650,10 @@ impl GaussianProcess {
     }
 
     /// Expected Improvement from predictive moments (minimization). The
-    /// single formula behind the scalar and batch entry points.
-    fn ei_from_moments(mu: f64, var: f64, y_best: f64, xi: f64) -> f64 {
+    /// single formula behind the scalar and batch entry points — and the
+    /// sparse surrogates' acquisition path ([`crate::surrogate`]), so every
+    /// backend scores candidates with identical arithmetic.
+    pub(crate) fn ei_from_moments(mu: f64, var: f64, y_best: f64, xi: f64) -> f64 {
         let sigma = var.sqrt();
         if sigma < 1e-12 {
             return (y_best - mu - xi).max(0.0);

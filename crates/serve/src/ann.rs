@@ -1,0 +1,490 @@
+//! Deterministic approximate-nearest-neighbour index for workload
+//! signatures.
+//!
+//! Warm-start lookup (`nearest_finished`) used to be a linear scan that
+//! re-read every finished session's metadata and WAL per query —
+//! `O(sessions)` disk walks per created session. This module provides the
+//! in-memory half of the fix: a [`PlatformIndex`] holding each platform's
+//! finished-session signatures vectorized over the union of their metric
+//! names, normalized per dimension by the candidate standard deviation,
+//! and arranged into a metric [`BallTree`].
+//!
+//! The tree is *exact*: construction is randomized only through a seeded
+//! [`splitmix64`](crate::session::splitmix64) pivot choice (same seed →
+//! same tree), and the query descends with a branch-and-bound bound that
+//! only prunes balls provably farther than the current best. Together
+//! with a lowest-id tie-break identical to the linear scan's, every query
+//! returns exactly the id the scan would — 100 % recall, `O(log n)`
+//! expected node visits on clustered signatures, `O(n)` worst case.
+//!
+//! Query-only metric names are deliberately ignored when vectorizing: a
+//! dimension every candidate lacks contributes the same constant to every
+//! distance, so dropping it never changes the argmin (the linear scan in
+//! [`crate::repo::nearest_signature`] keeps such dimensions; both pick
+//! the same winner).
+
+use crate::repo::WorkloadSignature;
+use crate::session::splitmix64;
+use autotune_core::SessionId;
+use autotune_math::matrix::dist2;
+use autotune_math::stats::std_dev;
+use std::collections::BTreeMap;
+
+/// Leaf capacity: below this many points a node scans linearly instead of
+/// splitting further.
+const LEAF_SIZE: usize = 8;
+
+/// Relative slack on the branch-and-bound prune test so a ball whose
+/// lower bound *equals* the current best distance (an exact tie) is still
+/// descended — ties must fall through to the id comparison, as in the
+/// linear scan.
+const PRUNE_SLACK: f64 = 1e-9;
+
+/// One ball-tree node over a contiguous range of the reordered point set.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Centroid of the points under this node.
+    center: Vec<f64>,
+    /// Max distance from `center` to any point under this node.
+    radius: f64,
+    /// Start of the node's range in the reordered point array.
+    start: usize,
+    /// Number of points under this node.
+    len: usize,
+    /// Child node indices; `None` for leaves.
+    children: Option<(usize, usize)>,
+}
+
+/// An exact metric ball tree over id-tagged points, built deterministically
+/// (seeded pivots, lowest-id tie-breaks throughout).
+#[derive(Debug, Clone, Default)]
+pub struct BallTree {
+    points: Vec<(SessionId, Vec<f64>)>,
+    nodes: Vec<Node>,
+}
+
+impl BallTree {
+    /// Builds a tree over `points` (id, vector) with construction seeded by
+    /// `seed`. All vectors must share one dimension.
+    pub fn build(mut points: Vec<(SessionId, Vec<f64>)>, seed: u64) -> Self {
+        let mut tree = BallTree {
+            nodes: Vec::new(),
+            points: Vec::new(),
+        };
+        if points.is_empty() {
+            return tree;
+        }
+        let n = points.len();
+        tree.build_range(&mut points, 0, n, seed);
+        tree.points = points;
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Builds the node covering `points[start..end]`; returns its index.
+    fn build_range(
+        &mut self,
+        points: &mut [(SessionId, Vec<f64>)],
+        start: usize,
+        end: usize,
+        seed: u64,
+    ) -> usize {
+        let range = &points[start..end];
+        let dim = range[0].1.len();
+        let mut center = vec![0.0; dim];
+        for (_, p) in range {
+            for (c, x) in center.iter_mut().zip(p) {
+                *c += x;
+            }
+        }
+        for c in &mut center {
+            *c /= range.len() as f64;
+        }
+        let radius = range
+            .iter()
+            .map(|(_, p)| dist2(&center, p))
+            .fold(0.0_f64, f64::max)
+            .sqrt();
+        let here = self.nodes.len();
+        self.nodes.push(Node {
+            center,
+            radius,
+            start,
+            len: end - start,
+            children: None,
+        });
+        if end - start <= LEAF_SIZE {
+            // Leaves keep ascending-id order so scans are deterministic.
+            points[start..end].sort_unstable_by_key(|p| p.0);
+            return here;
+        }
+        // Split direction: a seeded pivot, the point farthest from it (a),
+        // then the point farthest from a (b) — the classic cheap diameter
+        // approximation. Projection onto b−a, median partition.
+        let len = end - start;
+        let pivot = (splitmix64(seed ^ here as u64) % len as u64) as usize;
+        let a = farthest_from(&points[start..end], pivot);
+        let b = farthest_from(&points[start..end], a);
+        let dir: Vec<f64> = points[start + b]
+            .1
+            .iter()
+            .zip(&points[start + a].1)
+            .map(|(x, y)| x - y)
+            .collect();
+        let origin = points[start + a].1.clone();
+        points[start..end].sort_unstable_by(|p, q| {
+            let tp = project(&p.1, &origin, &dir);
+            let tq = project(&q.1, &origin, &dir);
+            tp.total_cmp(&tq).then(p.0.cmp(&q.0))
+        });
+        let mid = start + len / 2;
+        let left = self.build_range(points, start, mid, seed);
+        let right = self.build_range(points, mid, end, seed);
+        self.nodes[here].children = Some((left, right));
+        here
+    }
+
+    /// The indexed point nearest to `query` (squared distance, lowest id on
+    /// ties), skipping `exclude`. Exact: identical to a linear scan over
+    /// the same points.
+    pub fn nearest(&self, query: &[f64], exclude: Option<SessionId>) -> Option<(SessionId, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best: Option<(SessionId, f64)> = None;
+        let mut visited = 0usize;
+        self.descend(0, query, exclude, &mut best, &mut visited);
+        best
+    }
+
+    /// Like [`Self::nearest`], also reporting how many tree nodes the
+    /// search visited (the pruning-effectiveness measure the `gp_scale`
+    /// bench reports).
+    pub fn nearest_counted(
+        &self,
+        query: &[f64],
+        exclude: Option<SessionId>,
+    ) -> (Option<(SessionId, f64)>, usize) {
+        if self.nodes.is_empty() {
+            return (None, 0);
+        }
+        let mut best = None;
+        let mut visited = 0usize;
+        self.descend(0, query, exclude, &mut best, &mut visited);
+        (best, visited)
+    }
+
+    fn descend(
+        &self,
+        node_idx: usize,
+        query: &[f64],
+        exclude: Option<SessionId>,
+        best: &mut Option<(SessionId, f64)>,
+        visited: &mut usize,
+    ) {
+        *visited += 1;
+        let node = &self.nodes[node_idx];
+        if let Some((_, best_d2)) = best {
+            let dc = dist2(query, &node.center).sqrt();
+            let lb = (dc - node.radius).max(0.0);
+            if lb * lb > *best_d2 * (1.0 + PRUNE_SLACK) {
+                return;
+            }
+        }
+        match node.children {
+            None => {
+                for (id, p) in &self.points[node.start..node.start + node.len] {
+                    if Some(*id) == exclude {
+                        continue;
+                    }
+                    let d2 = dist2(query, p);
+                    let closer = match best {
+                        None => true,
+                        Some((bid, bd2)) => match d2.total_cmp(bd2) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => id < bid,
+                            std::cmp::Ordering::Greater => false,
+                        },
+                    };
+                    if closer {
+                        *best = Some((*id, d2));
+                    }
+                }
+            }
+            Some((left, right)) => {
+                // Visit the child whose center is nearer first — tightens
+                // the bound early so the far child often prunes away.
+                let dl = dist2(query, &self.nodes[left].center);
+                let dr = dist2(query, &self.nodes[right].center);
+                let (first, second) = if dl <= dr {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.descend(first, query, exclude, best, visited);
+                self.descend(second, query, exclude, best, visited);
+            }
+        }
+    }
+}
+
+/// Index of the point in `range` farthest from `range[from]` (lowest index
+/// on ties).
+fn farthest_from(range: &[(SessionId, Vec<f64>)], from: usize) -> usize {
+    let anchor = &range[from].1;
+    let mut best = 0;
+    let mut best_d2 = -1.0;
+    for (i, (_, p)) in range.iter().enumerate() {
+        let d2 = dist2(anchor, p);
+        if d2 > best_d2 {
+            best_d2 = d2;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Scalar projection of `p − origin` onto `dir` (unnormalized — only the
+/// ordering matters for a median split).
+fn project(p: &[f64], origin: &[f64], dir: &[f64]) -> f64 {
+    p.iter()
+        .zip(origin)
+        .zip(dir)
+        .map(|((x, o), d)| (x - o) * d)
+        .sum()
+}
+
+/// One platform's workload-mapping index: the vectorization recipe (metric
+/// names + per-dimension scales) plus the ball tree over the normalized
+/// candidate signatures.
+#[derive(Debug, Clone)]
+pub struct PlatformIndex {
+    names: Vec<String>,
+    scales: Vec<f64>,
+    tree: BallTree,
+}
+
+impl PlatformIndex {
+    /// Builds the index over a platform's finished-session signatures.
+    /// Dimensions are the union of candidate metric names; each is scaled
+    /// by the candidate standard deviation (zero-spread dimensions are
+    /// inert), matching [`crate::repo::nearest_signature`].
+    pub fn build(sigs: &[WorkloadSignature]) -> Self {
+        let mut names: Vec<String> = sigs
+            .iter()
+            .flat_map(|s| s.metrics.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        let vectors: Vec<Vec<f64>> = sigs
+            .iter()
+            .map(|s| {
+                names
+                    .iter()
+                    .map(|n| s.metrics.get(n).copied().unwrap_or(0.0))
+                    .collect()
+            })
+            .collect();
+        let scales: Vec<f64> = (0..names.len())
+            .map(|d| {
+                let column: Vec<f64> = vectors.iter().map(|v| v[d]).collect();
+                let sd = std_dev(&column);
+                if sd > 0.0 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let points: Vec<(SessionId, Vec<f64>)> = sigs
+            .iter()
+            .zip(&vectors)
+            .map(|(s, v)| {
+                let normalized = v.iter().zip(&scales).map(|(x, sc)| x / sc).collect();
+                (s.id, normalized)
+            })
+            .collect();
+        // Seed from the candidate set so equal sets build equal trees
+        // regardless of insertion history.
+        let seed = sigs
+            .iter()
+            .fold(0u64, |acc, s| splitmix64(acc ^ s.id.value()));
+        PlatformIndex {
+            names,
+            scales,
+            tree: BallTree::build(points, seed),
+        }
+    }
+
+    /// Number of indexed signatures.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the index holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Normalized query vector over the index's dimensions (query-only
+    /// metric names are dropped; see module docs for why that is safe).
+    pub fn vectorize(&self, query: &BTreeMap<String, f64>) -> Vec<f64> {
+        self.names
+            .iter()
+            .zip(&self.scales)
+            .map(|(n, sc)| query.get(n).copied().unwrap_or(0.0) / sc)
+            .collect()
+    }
+
+    /// The indexed signature nearest to `query`, skipping `exclude` —
+    /// the id the linear scan would return. `None` for an empty index or
+    /// an empty query.
+    pub fn nearest(
+        &self,
+        query: &BTreeMap<String, f64>,
+        exclude: Option<SessionId>,
+    ) -> Option<SessionId> {
+        if query.is_empty() {
+            return None;
+        }
+        let qv = self.vectorize(query);
+        self.tree.nearest(&qv, exclude).map(|(id, _)| id)
+    }
+
+    /// [`Self::nearest`] plus the visited-node count.
+    pub fn nearest_counted(
+        &self,
+        query: &BTreeMap<String, f64>,
+        exclude: Option<SessionId>,
+    ) -> (Option<SessionId>, usize) {
+        if query.is_empty() {
+            return (None, 0);
+        }
+        let qv = self.vectorize(query);
+        let (hit, visited) = self.tree.nearest_counted(&qv, exclude);
+        (hit.map(|(id, _)| id), visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::nearest_signature;
+
+    fn sig(id: u64, pairs: &[(&str, f64)]) -> WorkloadSignature {
+        WorkloadSignature {
+            id: SessionId::new(id),
+            metrics: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    /// Deterministic pseudo-random signature population.
+    fn population(n: usize, seed: u64) -> Vec<WorkloadSignature> {
+        (0..n)
+            .map(|i| {
+                let h = |k: u64| {
+                    let x = splitmix64(seed ^ splitmix64(i as u64 * 7 + k));
+                    (x % 10_000) as f64 / 10_000.0
+                };
+                sig(
+                    i as u64 + 1,
+                    &[
+                        ("hit_ratio", h(1)),
+                        ("spill_mb", h(2) * 4096.0),
+                        ("gc_secs", h(3) * 30.0),
+                        ("rows", 1e6 + h(4) * 1e6),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_matches_linear_scan_on_every_query() {
+        let sigs = population(200, 11);
+        let index = PlatformIndex::build(&sigs);
+        assert_eq!(index.len(), 200);
+        for q in population(64, 99) {
+            let scan = nearest_signature(&q.metrics, &sigs);
+            let tree = index.nearest(&q.metrics, None);
+            assert_eq!(tree, scan, "tree diverged from linear scan");
+        }
+    }
+
+    #[test]
+    fn tree_respects_exclusion_and_ties() {
+        // Two identical signatures: the lowest id wins; excluding it
+        // promotes the other.
+        let sigs = vec![
+            sig(4, &[("a", 1.0), ("b", 2.0)]),
+            sig(2, &[("a", 1.0), ("b", 2.0)]),
+            sig(9, &[("a", 50.0), ("b", -3.0)]),
+        ];
+        let index = PlatformIndex::build(&sigs);
+        let q = sig(0, &[("a", 1.0), ("b", 2.0)]).metrics;
+        assert_eq!(index.nearest(&q, None), Some(SessionId::new(2)));
+        assert_eq!(
+            index.nearest(&q, Some(SessionId::new(2))),
+            Some(SessionId::new(4))
+        );
+    }
+
+    #[test]
+    fn tree_prunes_but_stays_exact() {
+        let sigs = population(512, 3);
+        let index = PlatformIndex::build(&sigs);
+        let mut total_visited = 0usize;
+        for q in population(32, 77) {
+            let (hit, visited) = index.nearest_counted(&q.metrics, None);
+            assert_eq!(hit, nearest_signature(&q.metrics, &sigs));
+            total_visited += visited;
+        }
+        // 512 points → 127+ nodes; pruning must skip a decent fraction on
+        // average or the tree is useless.
+        let avg = total_visited as f64 / 32.0;
+        assert!(avg < 100.0, "avg visited {avg} of ~127 nodes — no pruning?");
+    }
+
+    #[test]
+    fn construction_is_deterministic_and_order_insensitive() {
+        let sigs = population(60, 5);
+        let mut reversed = sigs.clone();
+        reversed.reverse();
+        let a = PlatformIndex::build(&sigs);
+        let b = PlatformIndex::build(&reversed);
+        for q in population(16, 1234) {
+            assert_eq!(a.nearest(&q.metrics, None), b.nearest(&q.metrics, None));
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let index = PlatformIndex::build(&[]);
+        assert!(index.is_empty());
+        assert_eq!(index.nearest(&BTreeMap::new(), None), None);
+        let one = PlatformIndex::build(&[sig(1, &[("a", 1.0)])]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.nearest(&BTreeMap::new(), None), None);
+        let q = sig(0, &[("a", 0.5)]).metrics;
+        assert_eq!(one.nearest(&q, None), Some(SessionId::new(1)));
+        assert_eq!(one.nearest(&q, Some(SessionId::new(1))), None);
+    }
+
+    #[test]
+    fn query_only_metrics_do_not_change_the_winner() {
+        let sigs = vec![sig(1, &[("a", 1.0)]), sig(2, &[("a", 4.0)])];
+        let index = PlatformIndex::build(&sigs);
+        let q = sig(0, &[("a", 1.2), ("exotic", 1e9)]).metrics;
+        assert_eq!(index.nearest(&q, None), Some(SessionId::new(1)));
+        assert_eq!(index.nearest(&q, None), nearest_signature(&q, &sigs));
+    }
+}

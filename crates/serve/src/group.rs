@@ -346,7 +346,7 @@ impl Drop for GroupCommitWal {
 }
 
 fn journal_error(msg: String) -> ServeError {
-    ServeError::Io(std::io::Error::new(std::io::ErrorKind::Other, msg))
+    ServeError::Io(std::io::Error::other(msg))
 }
 
 fn committer_loop(shared: &Shared, journal_path: &Path) {
@@ -482,10 +482,7 @@ fn write_batch(
         );
     }
     let Some(file) = journal.as_mut() else {
-        return Err(io(std::io::Error::new(
-            std::io::ErrorKind::Other,
-            "journal handle unavailable",
-        )));
+        return Err(io(std::io::Error::other("journal handle unavailable")));
     };
     // Retention: every previously journaled record is covered by a
     // durable snapshot (mark_clean runs only after a durability wait, so
@@ -553,10 +550,7 @@ fn sync_journal(journal: Option<&mut File>, journal_path: &Path) -> Result<(), S
     let io = |e: std::io::Error| format!("journal {}: {e}", journal_path.display());
     match journal {
         Some(file) => file.sync_data().map_err(io),
-        None => Err(io(std::io::Error::new(
-            std::io::ErrorKind::Other,
-            "journal handle unavailable",
-        ))),
+        None => Err(io(std::io::Error::other("journal handle unavailable"))),
     }
 }
 

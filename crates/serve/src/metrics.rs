@@ -11,7 +11,7 @@
 //! the right bias for an overload signal.
 
 use crate::group::GroupCommitStats;
-use autotune_core::SessionId;
+use autotune_core::{SessionId, SurrogateStats};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -29,6 +29,10 @@ pub struct SessionMetrics {
     pub best_runtime: Option<f64>,
     /// Current WAL size in bytes (drops to 0 after each compaction).
     pub wal_bytes: u64,
+    /// GP surrogate snapshot (backend kind, training-set / active sizes,
+    /// lifetime fit count); absent for tuners without a surrogate or
+    /// before the first model fit.
+    pub surrogate: Option<SurrogateStats>,
 }
 
 /// Latency summary of one endpoint family.
@@ -69,6 +73,10 @@ pub struct MetricsReport {
     pub endpoints: Vec<EndpointLatency>,
     /// Group-commit batch counters; absent when group commit is disabled.
     pub group_commit: Option<GroupCommitStats>,
+    /// Latency summary of advance steps that performed a full surrogate
+    /// hyper-parameter fit (labelled `surrogate_fit`); absent until the
+    /// first such fit.
+    pub surrogate_fit: Option<EndpointLatency>,
 }
 
 /// Endpoint families tracked by the latency histograms.
@@ -176,13 +184,19 @@ impl LatencyHistogram {
     /// Condenses the histogram into a report row; `None` when no request
     /// of this family has been served.
     pub fn summary(&self, endpoint: Endpoint) -> Option<EndpointLatency> {
+        self.summary_labeled(endpoint.label())
+    }
+
+    /// [`Self::summary`] under an arbitrary label — for histograms that
+    /// track something other than an endpoint (surrogate fit times).
+    pub fn summary_labeled(&self, label: &str) -> Option<EndpointLatency> {
         let count = self.count();
         if count == 0 {
             return None;
         }
         let to_ms = |micros: u64| micros as f64 / 1000.0;
         Some(EndpointLatency {
-            endpoint: endpoint.label().to_string(),
+            endpoint: label.to_string(),
             count,
             mean_ms: to_ms(self.sum_micros.load(Ordering::Relaxed)) / count as f64,
             p50_ms: to_ms(self.quantile_micros(0.50)),
@@ -234,6 +248,12 @@ mod tests {
                 evaluations: 3,
                 best_runtime: None,
                 wal_bytes: 120,
+                surrogate: Some(SurrogateStats {
+                    kind: "nystrom".into(),
+                    observed: 300,
+                    active: 64,
+                    fits: 4,
+                }),
             }],
             queue_depth: 0,
             workers: 2,
@@ -243,14 +263,33 @@ mod tests {
             durability: "flush".into(),
             endpoints: Vec::new(),
             group_commit: None,
+            surrogate_fit: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"best_runtime\":null"), "{json}");
         assert!(json.contains("\"group_commit\":null"), "{json}");
+        assert!(json.contains("\"kind\":\"nystrom\""), "{json}");
         let back: MetricsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.sessions[0].evaluations, 3);
         assert_eq!(back.sessions[0].best_runtime, None);
+        assert_eq!(
+            back.sessions[0].surrogate.as_ref().map(|s| s.active),
+            Some(64)
+        );
         assert_eq!(back.shards, 4);
+        assert!(back.surrogate_fit.is_none());
+    }
+
+    #[test]
+    fn labeled_summary_reports_fit_histogram() {
+        let h = LatencyHistogram::default();
+        assert!(h.summary_labeled("surrogate_fit").is_none());
+        h.record_micros(4_000);
+        h.record_micros(9_000);
+        let row = h.summary_labeled("surrogate_fit").expect("two samples");
+        assert_eq!(row.endpoint, "surrogate_fit");
+        assert_eq!(row.count, 2);
+        assert!(row.mean_ms > 4.0 && row.mean_ms < 10.0);
     }
 
     #[test]

@@ -2,9 +2,26 @@
 //! OtterTune-style workload-mapping index used for warm-start transfer.
 //!
 //! Each session lives in `<root>/s-NNNNNN/` (see [`crate::wal`] for the
-//! files inside). The repository itself is stateless — every query walks
-//! the directory tree — which keeps crash recovery trivial: the
-//! filesystem *is* the database.
+//! files inside). Durable state is stateless-on-disk — the filesystem
+//! *is* the database, which keeps crash recovery trivial — but the
+//! repository additionally keeps a process-local *signature cache* so
+//! warm-start queries stop re-reading every session directory:
+//!
+//! * a session id becomes **settled** once it has been observed in a
+//!   terminal state (finished or cancelled). Settled ids are never probed
+//!   again; running or half-created sessions are re-probed on each query
+//!   until they settle.
+//! * settled *finished* sessions with a non-empty baseline probe enter
+//!   their platform's signature list, over which a deterministic
+//!   ball-tree index ([`crate::ann::PlatformIndex`]) is built lazily and
+//!   rebuilt only when the list changes.
+//! * [`SessionRepository::delete_session`] (the retention/GC path) and a
+//!   defensive sweep against `list_ids` invalidate cache entries whose
+//!   directories are gone, so an evicted session can never be returned as
+//!   a warm-start source.
+//!
+//! All disk IO happens *outside* the cache lock; the lock only guards the
+//! in-memory maps. Clones of a repository share one cache.
 //!
 //! **Workload mapping.** A session's *signature* is the metric vector of
 //! its baseline probe (observation 0, the vendor-default configuration):
@@ -18,6 +35,8 @@
 //! Euclidean distance to the new session's probe — exactly the mapping
 //! step of OtterTune §2.2, reusing `autotune-math` for the distance.
 
+use crate::ann::PlatformIndex;
+use crate::scheduler::lock;
 use crate::spec::SessionSpec;
 use crate::wal::{self, Durability, SessionStatus};
 use crate::{ServeError, ServeResult};
@@ -25,9 +44,10 @@ use autotune_core::{Observation, SessionId};
 use autotune_math::matrix::dist2;
 use autotune_math::stats::std_dev;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Immutable per-session metadata, written once at create time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,10 +72,38 @@ pub struct WorkloadSignature {
     pub metrics: BTreeMap<String, f64>,
 }
 
+/// Process-local signature cache shared by all clones of a repository.
+/// Guarded by one mutex; no IO ever happens while it is held.
+#[derive(Debug, Default)]
+struct SigCache {
+    /// Ids observed in a terminal state — never re-probed.
+    settled: BTreeSet<SessionId>,
+    /// Platform → signatures of settled finished sessions, ascending id.
+    sigs: BTreeMap<String, Vec<WorkloadSignature>>,
+    /// Platform → ball-tree index, built lazily, dropped when the
+    /// platform's signature list changes.
+    indexes: BTreeMap<String, PlatformIndex>,
+}
+
+impl SigCache {
+    /// Removes one session everywhere (eviction or vanished directory).
+    fn forget(&mut self, id: SessionId) {
+        self.settled.remove(&id);
+        for (platform, sigs) in &mut self.sigs {
+            let before = sigs.len();
+            sigs.retain(|s| s.id != id);
+            if sigs.len() != before {
+                self.indexes.remove(platform);
+            }
+        }
+    }
+}
+
 /// The on-disk session store rooted at one data directory.
 #[derive(Debug, Clone)]
 pub struct SessionRepository {
     root: PathBuf,
+    cache: Arc<Mutex<SigCache>>,
 }
 
 impl SessionRepository {
@@ -63,7 +111,10 @@ impl SessionRepository {
     pub fn open(root: impl Into<PathBuf>) -> ServeResult<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(SessionRepository { root })
+        Ok(SessionRepository {
+            root,
+            cache: Arc::new(Mutex::new(SigCache::default())),
+        })
     }
 
     /// The repository's root directory.
@@ -162,53 +213,110 @@ impl SessionRepository {
         Ok(self.recover_session(id)?.observations)
     }
 
-    /// Signatures of every **finished** session on `platform`, excluding
-    /// `exclude` (the session currently being created). Sessions whose
-    /// probe reported no metrics cannot be mapped and are skipped.
-    pub fn finished_signatures(
-        &self,
-        platform: &str,
-        exclude: Option<SessionId>,
-    ) -> ServeResult<Vec<WorkloadSignature>> {
-        let mut out = Vec::new();
-        for id in self.list_ids()? {
-            if exclude == Some(id) {
-                continue;
-            }
+    /// Brings the signature cache up to date with the directory tree:
+    /// probes ids the cache has not yet settled (all IO outside the
+    /// lock), then applies insertions and drops entries whose directories
+    /// vanished. Sessions that are still running — or half-created —
+    /// stay unsettled and are probed again on the next refresh.
+    fn refresh_sig_cache(&self) -> ServeResult<()> {
+        let on_disk = self.list_ids()?;
+        let unknown: Vec<SessionId> = {
+            let cache = lock(&self.cache);
+            on_disk
+                .iter()
+                .filter(|id| !cache.settled.contains(id))
+                .copied()
+                .collect()
+        };
+        let mut settled = Vec::new();
+        let mut fresh: Vec<(String, WorkloadSignature)> = Vec::new();
+        for id in unknown {
             let Ok(meta) = self.read_meta(id) else {
                 continue; // half-created directory; not a warm candidate
             };
-            if meta.spec.platform() != platform {
-                continue;
-            }
             let Ok(recovered) = self.recover_session(id) else {
                 continue;
             };
-            if recovered.status != SessionStatus::Finished {
+            if !recovered.status.is_terminal() {
                 continue;
+            }
+            settled.push(id);
+            if recovered.status != SessionStatus::Finished {
+                continue; // cancelled: settled but never a warm candidate
             }
             let Some(probe) = recovered.observations.first() else {
                 continue;
             };
             if probe.metrics.is_empty() {
-                continue;
+                continue; // unmappable: settled but never a warm candidate
             }
-            out.push(WorkloadSignature {
-                id,
-                metrics: probe.metrics.clone(),
-            });
+            fresh.push((
+                meta.spec.platform().to_string(),
+                WorkloadSignature {
+                    id,
+                    metrics: probe.metrics.clone(),
+                },
+            ));
         }
-        Ok(out)
+        let disk_set: BTreeSet<SessionId> = on_disk.into_iter().collect();
+        let mut cache = lock(&self.cache);
+        let vanished: Vec<SessionId> = cache
+            .settled
+            .iter()
+            .filter(|id| !disk_set.contains(id))
+            .copied()
+            .collect();
+        for id in vanished {
+            cache.forget(id);
+        }
+        cache.settled.extend(settled);
+        for (platform, sig) in fresh {
+            let sigs = cache.sigs.entry(platform.clone()).or_default();
+            // Concurrent refreshes may race on the same id; keep the list
+            // duplicate-free and sorted.
+            if let Err(pos) = sigs.binary_search_by(|s| s.id.cmp(&sig.id)) {
+                sigs.insert(pos, sig);
+                cache.indexes.remove(&platform);
+            }
+        }
+        Ok(())
     }
 
-    /// Deletes a session directory outright (retention eviction).
+    /// Signatures of every **finished** session on `platform`, excluding
+    /// `exclude` (the session currently being created). Sessions whose
+    /// probe reported no metrics cannot be mapped and are skipped.
+    /// Served from the signature cache; ascending session id.
+    pub fn finished_signatures(
+        &self,
+        platform: &str,
+        exclude: Option<SessionId>,
+    ) -> ServeResult<Vec<WorkloadSignature>> {
+        self.refresh_sig_cache()?;
+        let cache = lock(&self.cache);
+        Ok(cache
+            .sigs
+            .get(platform)
+            .map(|sigs| {
+                sigs.iter()
+                    .filter(|s| Some(s.id) != exclude)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Deletes a session directory outright (retention eviction) and
+    /// invalidates its signature-cache entry, so the evicted session can
+    /// never be returned as a warm-start source again.
     pub fn delete_session(&self, id: SessionId) -> ServeResult<()> {
         let dir = self.session_dir(id);
-        match fs::remove_dir_all(&dir) {
+        let result = match fs::remove_dir_all(&dir) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
-        }
+        };
+        lock(&self.cache).forget(id);
+        result
     }
 
     /// Every session id referenced as a warm-start source by any session
@@ -268,21 +376,43 @@ impl SessionRepository {
     /// The finished session on `platform` whose workload signature is
     /// nearest to `probe_metrics` — the warm-start source. `None` when no
     /// finished session qualifies.
+    ///
+    /// Served by the cached per-platform ball-tree index
+    /// ([`crate::ann::PlatformIndex`]): the index is (re)built only when
+    /// the platform's finished-session set changed, and each query
+    /// descends the tree instead of scanning every candidate. The result
+    /// is identical to [`nearest_signature`] over the same candidates.
     pub fn nearest_finished(
         &self,
         platform: &str,
         probe_metrics: &BTreeMap<String, f64>,
         exclude: Option<SessionId>,
     ) -> ServeResult<Option<SessionId>> {
-        let candidates = self.finished_signatures(platform, exclude)?;
-        Ok(nearest_signature(probe_metrics, &candidates))
+        self.refresh_sig_cache()?;
+        let mut cache = lock(&self.cache);
+        let cache = &mut *cache;
+        let Some(sigs) = cache.sigs.get(platform) else {
+            return Ok(None);
+        };
+        if sigs.is_empty() {
+            return Ok(None);
+        }
+        let index = cache
+            .indexes
+            .entry(platform.to_string())
+            .or_insert_with(|| PlatformIndex::build(sigs));
+        Ok(index.nearest(probe_metrics, exclude))
     }
 }
 
 /// Nearest candidate to `query` by Euclidean distance over the union of
 /// metric names, each dimension normalized by its standard deviation
-/// across candidates + query (dimensions with zero spread are inert).
-/// Ties break toward the lowest session id for determinism.
+/// across the candidates (dimensions with zero spread are inert). Ties
+/// break toward the lowest session id for determinism.
+///
+/// This is the reference linear scan the cached ball-tree index
+/// ([`crate::ann::PlatformIndex`]) must agree with; the `gp_scale` bench
+/// measures the index's recall against it.
 pub fn nearest_signature(
     query: &BTreeMap<String, f64>,
     candidates: &[WorkloadSignature],
@@ -307,12 +437,14 @@ pub fn nearest_signature(
     let qv = vectorize(query);
     let cvs: Vec<Vec<f64>> = candidates.iter().map(|c| vectorize(&c.metrics)).collect();
 
-    // Per-dimension scale over every vector involved in the comparison.
+    // Per-dimension scale over the candidate set. The query is left out so
+    // the scales — and the index built from them — depend only on the
+    // candidates; a query-only dimension then contributes the same
+    // constant to every candidate's distance, which never changes the
+    // argmin.
     let scales: Vec<f64> = (0..names.len())
         .map(|d| {
-            let column: Vec<f64> = std::iter::once(qv[d])
-                .chain(cvs.iter().map(|v| v[d]))
-                .collect();
+            let column: Vec<f64> = cvs.iter().map(|v| v[d]).collect();
             let sd = std_dev(&column);
             if sd > 0.0 {
                 sd
@@ -394,6 +526,7 @@ mod tests {
                 budget: 3,
                 noise: "none".into(),
                 warm_start: false,
+                surrogate: "auto".into(),
             },
             warm_source: None,
             created_unix_ms: 1_700_000_000_000,

@@ -45,7 +45,9 @@
 
 use crate::group::GroupCommitWal;
 use crate::http::{read_request, Request, Response};
-use crate::metrics::{Endpoint, EndpointHistograms, MetricsReport, SessionMetrics};
+use crate::metrics::{
+    Endpoint, EndpointHistograms, LatencyHistogram, MetricsReport, SessionMetrics,
+};
 use crate::repo::{SessionMeta, SessionRepository};
 use crate::scheduler::{lock, Scheduler};
 use crate::session::{eval_seed, splitmix64, LiveSession};
@@ -233,6 +235,9 @@ struct DaemonState {
     shards: Vec<Shard>,
     group: Option<Arc<GroupCommitWal>>,
     endpoint_stats: EndpointHistograms,
+    /// Durations of advance steps that performed a full surrogate
+    /// hyper-parameter fit (the `surrogate_fit` row of `/metrics`).
+    fit_stats: LatencyHistogram,
     /// Serializes id allocation + directory creation across creates.
     create_lock: Mutex<()>,
     /// High-water mark of allocated ids: retention may delete the
@@ -404,6 +409,7 @@ impl Daemon {
             shards,
             group,
             endpoint_stats: EndpointHistograms::default(),
+            fit_stats: LatencyHistogram::default(),
             create_lock: Mutex::new(()),
             id_hwm: AtomicU64::new(id_hwm),
             shutdown: AtomicBool::new(false),
@@ -848,10 +854,7 @@ fn advance_session(
                 ));
             }
             return match failed {
-                Some(msg) => Err(ServeError::Io(std::io::Error::new(
-                    std::io::ErrorKind::Other,
-                    msg,
-                ))),
+                Some(msg) => Err(ServeError::Io(std::io::Error::other(msg))),
                 None => Ok(Response::text(503, "daemon is shutting down\n")),
             };
         }
@@ -893,8 +896,18 @@ fn drive_session(state: &Arc<DaemonState>, mut guard: DriverGuard) {
             }
             // One evaluation per lock hold: inspection endpoints and
             // cancel stay responsive during a long advance.
+            let fits_before = s.surrogate_stats().map_or(0, |st| st.fits);
+            // lint:allow(wall-clock) step duration feeds the surrogate-fit /metrics histogram only, never a tuning decision
+            let step_start = std::time::Instant::now();
             if let Err(e) = s.advance(1) {
                 failure = Some(e.to_string());
+            }
+            let stats_after = s.surrogate_stats();
+            if stats_after.map_or(0, |st| st.fits) > fits_before {
+                // Attribute the step to the fit histogram only when this
+                // advance actually re-searched hyper-parameters.
+                let micros = u64::try_from(step_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                state.fit_stats.record_micros(micros);
             }
             let evals = s.evaluations();
             let terminal = s.status().is_terminal();
@@ -997,6 +1010,7 @@ fn metrics(state: &DaemonState) -> ServeResult<Response> {
                 evaluations: s.evaluations(),
                 best_runtime: s.best_runtime(),
                 wal_bytes: s.wal_bytes(),
+                surrogate: s.surrogate_stats(),
             }
         }));
     }
@@ -1023,6 +1037,7 @@ fn metrics(state: &DaemonState) -> ServeResult<Response> {
         durability: state.config.durability.label().to_string(),
         endpoints: state.endpoint_stats.report(),
         group_commit: state.group.as_ref().map(|g| g.stats()),
+        surrogate_fit: state.fit_stats.summary_labeled("surrogate_fit"),
         sessions: rows,
     };
     Ok(Response::json(200, &report))

@@ -414,6 +414,13 @@ impl LiveSession {
     pub fn wal_bytes(&self) -> u64 {
         wal::wal_bytes(&self.dir)
     }
+
+    /// Observability snapshot of the tuner's GP surrogate: backend kind,
+    /// training-set / active sizes, lifetime full-fit count. `None` for
+    /// tuners without a surrogate or before the first model fit.
+    pub fn surrogate_stats(&self) -> Option<autotune_core::SurrogateStats> {
+        self.tuner.surrogate_stats()
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +446,7 @@ mod tests {
                 budget,
                 noise: "none".into(),
                 warm_start: false,
+                surrogate: "auto".into(),
             },
             warm_source: None,
             created_unix_ms: 0,

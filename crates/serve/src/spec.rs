@@ -10,6 +10,7 @@
 
 use crate::{ServeError, ServeResult};
 use autotune_core::{Configuration, Objective, Observation, Tuner};
+use autotune_math::surrogate::SurrogateConfig;
 use autotune_sim::noise::NoiseModel;
 use autotune_sim::{DbmsSimulator, HadoopSimulator, SparkSimulator};
 use autotune_tuners::baselines::RandomSearchTuner;
@@ -22,9 +23,12 @@ pub const WARM_SEED_CONFIGS: usize = 2;
 
 /// Everything needed to (re)build one tuning session deterministically.
 ///
-/// The vendored serde derive has no field defaults: every field is
-/// required in request bodies (see README quick-start for examples).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The vendored serde derive has no field defaults, so `Deserialize` is
+/// hand-written below: every field except `surrogate` is required in
+/// request bodies (see README quick-start for examples); a missing
+/// `surrogate` reads as `"auto"`, keeping pre-surrogate specs and
+/// on-disk `meta.json` files valid.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SessionSpec {
     /// Target system name (`dbms-oltp`, `dbms-olap`, `hadoop-terasort`,
     /// `spark-agg`).
@@ -39,6 +43,30 @@ pub struct SessionSpec {
     pub noise: String,
     /// Whether to warm-start from the nearest finished past session.
     pub warm_start: bool,
+    /// GP surrogate backend for the model-based tuners
+    /// (`exact | sod | nystrom | auto`); ignored by `random`.
+    pub surrogate: String,
+}
+
+impl Deserialize for SessionSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SessionSpec"))?;
+        let surrogate = match map.iter().find(|(k, _)| k == "surrogate") {
+            Some((_, sv)) => String::from_value(sv)?,
+            None => "auto".to_string(),
+        };
+        Ok(SessionSpec {
+            system: serde::__field(map, "system", "SessionSpec")?,
+            tuner: serde::__field(map, "tuner", "SessionSpec")?,
+            seed: serde::__field(map, "seed", "SessionSpec")?,
+            budget: serde::__field(map, "budget", "SessionSpec")?,
+            noise: serde::__field(map, "noise", "SessionSpec")?,
+            warm_start: serde::__field(map, "warm_start", "SessionSpec")?,
+            surrogate,
+        })
+    }
 }
 
 impl SessionSpec {
@@ -58,6 +86,16 @@ impl SessionSpec {
     /// eligible warm-start sources for each other.
     pub fn platform(&self) -> &str {
         self.system.split('-').next().unwrap_or(&self.system)
+    }
+
+    /// The surrogate configuration this spec names.
+    pub fn surrogate_config(&self) -> ServeResult<SurrogateConfig> {
+        SurrogateConfig::parse(&self.surrogate).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "unknown surrogate '{}' (expected exact|sod|nystrom|auto)",
+                self.surrogate
+            ))
+        })
     }
 }
 
@@ -96,14 +134,21 @@ pub fn build_tuner(
     spec: &SessionSpec,
     warm: Option<(&str, &[Observation])>,
 ) -> ServeResult<Box<dyn Tuner + Send>> {
+    let surrogate = spec.surrogate_config()?;
     Ok(match spec.tuner.as_str() {
         "ituned" => match warm {
-            Some((_, past)) => Box::new(warm_started_ituned(past, WARM_SEED_CONFIGS)),
-            None => Box::new(ITunedTuner::new()),
+            Some((_, past)) => {
+                Box::new(warm_started_ituned(past, WARM_SEED_CONFIGS).with_surrogate(surrogate))
+            }
+            None => Box::new(ITunedTuner::new().with_surrogate(surrogate)),
         },
         "ottertune" => match warm {
-            Some((id, past)) => Box::new(warm_started_ottertune(id, past)),
-            None => Box::new(OtterTuneTuner::new(WorkloadRepository::new())),
+            Some((id, past)) => {
+                Box::new(warm_started_ottertune(id, past).with_surrogate(surrogate))
+            }
+            None => {
+                Box::new(OtterTuneTuner::new(WorkloadRepository::new()).with_surrogate(surrogate))
+            }
         },
         "random" => Box::new(RandomSearchTuner),
         other => {
@@ -132,6 +177,7 @@ mod tests {
             budget: 5,
             noise: "none".into(),
             warm_start: false,
+            surrogate: "auto".into(),
         }
     }
 
@@ -148,6 +194,26 @@ mod tests {
         let mut zero = spec("dbms-oltp", "random");
         zero.budget = 0;
         assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn surrogate_names_validate_and_default() {
+        for name in ["exact", "sod", "nystrom", "auto"] {
+            let mut s = spec("dbms-oltp", "ituned");
+            s.surrogate = name.into();
+            s.validate().expect("valid surrogate name");
+        }
+        let mut bad = spec("dbms-oltp", "ituned");
+        bad.surrogate = "krylov".into();
+        assert!(bad.validate().is_err());
+
+        // Pre-surrogate request bodies (no `surrogate` key) still parse and
+        // read as auto — on-disk meta.json back-compat.
+        let legacy = r#"{"system":"dbms-oltp","tuner":"ituned","seed":1,
+                         "budget":5,"noise":"none","warm_start":false}"#;
+        let s: SessionSpec = serde_json::from_str(legacy).expect("legacy spec");
+        assert_eq!(s.surrogate, "auto");
+        assert_eq!(s, spec("dbms-oltp", "ituned"));
     }
 
     #[test]

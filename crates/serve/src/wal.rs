@@ -550,12 +550,12 @@ pub fn apply_record(recovered: &mut Recovered, record: WalRecord) {
     }
 }
 
+/// Per-session record tails (in append order) plus a corruption note
+/// when the journal scan stopped at an invalid frame.
+pub type JournalContents = (BTreeMap<SessionId, Vec<WalRecord>>, Option<String>);
+
 /// Reads the shared journal and demultiplexes its records by session.
-/// Returns the per-session record tails (in append order) plus a
-/// corruption note when the scan stopped at an invalid frame.
-pub fn read_journal(
-    path: &Path,
-) -> ServeResult<(BTreeMap<SessionId, Vec<WalRecord>>, Option<String>)> {
+pub fn read_journal(path: &Path) -> ServeResult<JournalContents> {
     let bytes = match fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -791,7 +791,7 @@ mod tests {
         let (map, corruption) = read_journal(&path).unwrap();
         assert!(corruption.is_some());
         assert_eq!(map.get(&a).map(Vec::len), Some(1));
-        assert!(map.get(&b).is_none());
+        assert!(!map.contains_key(&b));
 
         // Missing journal is an empty journal.
         let (map, corruption) = read_journal(&dir.join("nope.walj")).unwrap();

@@ -819,3 +819,59 @@ fn wait_until(addr: SocketAddr, pred: impl Fn(&MetricsReport) -> bool, what: &st
     }
     panic!("timed out waiting for: {what}");
 }
+
+#[test]
+fn metrics_expose_surrogate_kind_sizes_and_fit_times() {
+    let root = fresh_root("surrogate-metrics");
+    let daemon = Daemon::start("127.0.0.1:0", DaemonConfig::new(&root)).expect("start");
+    let addr = daemon.addr();
+
+    // An iTuned session explicitly on the Nyström backend. Budget exceeds
+    // the init-sample phase so at least one GP fit happens.
+    let body = "{\"system\":\"dbms-oltp\",\"tuner\":\"ituned\",\"seed\":5,\
+                \"budget\":20,\"noise\":\"none\",\"warm_start\":false,\
+                \"surrogate\":\"nystrom\"}";
+    let (status, created) = request(addr, "POST", "/sessions", Some(body));
+    assert_eq!(status, 201, "{created}");
+    let created: CreateResponse = serde_json::from_str(&created).expect("created");
+    let id = created.id;
+
+    let (status, adv) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/advance"),
+        Some("{\"steps\":20}"),
+    );
+    assert_eq!(status, 200, "{adv}");
+
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let report: MetricsReport = serde_json::from_str(&body).expect("metrics");
+    let row = report
+        .sessions
+        .iter()
+        .find(|s| s.id == id)
+        .expect("session row");
+    let stats = row.surrogate.as_ref().expect("surrogate stats after fits");
+    assert_eq!(stats.kind, "nystrom");
+    assert!(stats.fits >= 1, "at least one full fit: {stats:?}");
+    assert!(stats.observed >= stats.active, "{stats:?}");
+    assert!(stats.active >= 1, "{stats:?}");
+    let fit = report
+        .surrogate_fit
+        .as_ref()
+        .expect("fit-time histogram after fits");
+    assert_eq!(fit.endpoint, "surrogate_fit");
+    assert!(fit.count >= 1);
+    assert!(fit.p99_ms >= fit.p50_ms);
+
+    // An unknown surrogate name is rejected at create time.
+    let bad = "{\"system\":\"dbms-oltp\",\"tuner\":\"ituned\",\"seed\":5,\
+               \"budget\":5,\"noise\":\"none\",\"warm_start\":false,\
+               \"surrogate\":\"krylov\"}";
+    let (status, body) = request(addr, "POST", "/sessions", Some(bad));
+    assert_eq!(status, 400, "{body}");
+
+    daemon.graceful_shutdown();
+    let _ = fs::remove_dir_all(&root);
+}

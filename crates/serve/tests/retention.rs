@@ -1,7 +1,8 @@
 //! Repository GC and retention: terminal sessions drop their WAL once
 //! the final snapshot is durable, `retain_finished` evicts oldest-first,
-//! warm-start sources survive eviction, and snapshot-only directories
-//! recover fully.
+//! warm-start sources survive eviction, snapshot-only directories
+//! recover fully, and eviction invalidates the cached workload-mapping
+//! index so evicted sessions stop being warm-start candidates.
 
 use autotune_core::SessionId;
 use autotune_serve::repo::{SessionMeta, SessionRepository};
@@ -25,6 +26,7 @@ fn spec(seed: u64, budget: usize, warm: bool) -> SessionSpec {
         budget,
         noise: "none".into(),
         warm_start: warm,
+        surrogate: "auto".into(),
     }
 }
 
@@ -135,5 +137,54 @@ fn retention_spares_running_sessions_and_warm_sources() {
         "warm source still protected"
     );
     assert!(repo.session_dir(plain).exists());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gc_invalidates_signature_cache() {
+    let root = fresh_root("sig-cache");
+    let repo = SessionRepository::open(&root).expect("open");
+    let ids: Vec<SessionId> = (0..4).map(|i| finish_session(&repo, i, None)).collect();
+
+    // Warm up the cache: every finished session is a mapping candidate and
+    // the nearest lookup resolves through the cached index.
+    let sigs = repo.finished_signatures("dbms", None).expect("signatures");
+    assert_eq!(sigs.len(), 4);
+    let probe = sigs[0].metrics.clone();
+    assert_eq!(
+        repo.nearest_finished("dbms", &probe, Some(ids[0]))
+            .expect("nearest"),
+        Some(ids[1]),
+        "same spec+noise=none probes are identical; lowest id wins"
+    );
+
+    // GC down to 2 terminal sessions (`--retain 2`): the two oldest go.
+    let evicted = repo.enforce_retention(2).expect("retention");
+    assert_eq!(evicted, ids[..2].to_vec());
+
+    // The cache must have dropped the evicted sessions: they are neither
+    // listed as candidates nor returned by the nearest lookup.
+    let sigs = repo.finished_signatures("dbms", None).expect("signatures");
+    assert_eq!(
+        sigs.iter().map(|s| s.id).collect::<Vec<_>>(),
+        ids[2..].to_vec(),
+        "evicted sessions must leave the candidate list"
+    );
+    assert_eq!(
+        repo.nearest_finished("dbms", &probe, None)
+            .expect("nearest"),
+        Some(ids[2]),
+        "nearest must re-resolve among survivors only"
+    );
+
+    // A directory deleted behind the repository's back (a second daemon's
+    // GC) is swept on the next query too.
+    fs::remove_dir_all(repo.session_dir(ids[2])).expect("external delete");
+    assert_eq!(
+        repo.nearest_finished("dbms", &probe, None)
+            .expect("nearest"),
+        Some(ids[3]),
+        "externally deleted session must be swept from the cache"
+    );
     let _ = fs::remove_dir_all(&root);
 }

@@ -26,6 +26,7 @@ fn spec(tuner: &str, seed: u64, budget: usize) -> SessionSpec {
         budget,
         noise: "realistic".into(),
         warm_start: false,
+        surrogate: "auto".into(),
     }
 }
 

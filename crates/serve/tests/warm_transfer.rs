@@ -23,6 +23,7 @@ fn spec(seed: u64, budget: usize, warm: bool) -> SessionSpec {
         budget,
         noise: "none".into(),
         warm_start: warm,
+        surrogate: "auto".into(),
     }
 }
 
@@ -185,6 +186,7 @@ fn warm_lookup_ignores_other_platforms_and_unfinished_sessions() {
             budget: 3,
             noise: "none".into(),
             warm_start: false,
+            surrogate: "auto".into(),
         },
         warm_source: None,
         created_unix_ms: 0,

@@ -9,9 +9,12 @@
 //! backbone of the Table 1/Table 2 comparisons.
 
 use crate::util::{argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache};
-use autotune_core::{Configuration, History, Recommendation, Tuner, TunerFamily, TuningContext};
-use autotune_math::gp::{GaussianProcess, KernelKind};
+use autotune_core::{
+    Configuration, History, Recommendation, SurrogateStats, Tuner, TunerFamily, TuningContext,
+};
+use autotune_math::gp::KernelKind;
 use autotune_math::lhs::maximin_lhs;
+use autotune_math::surrogate::{SurrogateConfig, SurrogateModel};
 use rand::rngs::StdRng;
 
 /// The iTuned tuner.
@@ -38,6 +41,10 @@ pub struct ITunedTuner {
     /// the vendor default) — iTuned's "use available information" rule:
     /// a DBA's current setting or a rule-of-thumb config is free evidence.
     pub seed_configs: Vec<Configuration>,
+    /// Surrogate backend policy (`exact | sod | nystrom | auto`). The
+    /// default `auto` stays on the exact GP below its threshold, so
+    /// default trajectories are unchanged from the pre-surrogate code.
+    pub surrogate: SurrogateConfig,
     init_plan: Vec<Vec<f64>>,
     planned: bool,
     cache: Option<GpCache>,
@@ -53,6 +60,7 @@ impl Default for ITunedTuner {
             ard: false,
             hyper_interval: 5,
             seed_configs: Vec::new(),
+            surrogate: SurrogateConfig::default(),
             init_plan: Vec::new(),
             planned: false,
             cache: None,
@@ -103,6 +111,13 @@ impl ITunedTuner {
         self
     }
 
+    /// Selects the surrogate backend (exact GP, subset-of-data, Nyström,
+    /// or the size-triggered auto policy).
+    pub fn with_surrogate(mut self, config: SurrogateConfig) -> Self {
+        self.surrogate = config;
+        self
+    }
+
     fn init_count(&self, dim: usize) -> usize {
         self.init_samples.unwrap_or((2 * dim).clamp(6, 20))
     }
@@ -118,16 +133,13 @@ impl ITunedTuner {
     ) -> Result<(), autotune_math::matrix::LinAlgError> {
         let n = xs.len();
         if let Some(cache) = &mut self.cache {
-            if cache.try_advance(&xs, ys, self.hyper_interval) {
+            if cache.try_advance(&self.surrogate, &xs, ys, self.hyper_interval) {
                 return Ok(());
             }
         }
-        let fitted = if self.ard {
-            GaussianProcess::fit_auto_ard(self.kernel, xs, ys)?
-        } else {
-            GaussianProcess::fit_auto(self.kernel, xs, ys)?
-        };
-        self.cache = Some(GpCache::new(fitted, n));
+        let fitted = SurrogateModel::fit_auto(&self.surrogate, self.kernel, self.ard, xs, ys)?;
+        let fits = self.cache.as_ref().map_or(0, |c| c.fits) + 1;
+        self.cache = Some(GpCache::new(fitted, n, fits));
         Ok(())
     }
 }
@@ -143,6 +155,10 @@ impl Tuner for ITunedTuner {
 
     fn min_history(&self) -> usize {
         6
+    }
+
+    fn surrogate_stats(&self) -> Option<SurrogateStats> {
+        self.cache.as_ref().map(GpCache::stats)
     }
 
     fn propose(

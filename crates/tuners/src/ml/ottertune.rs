@@ -17,16 +17,17 @@
 
 use crate::util::{argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache};
 use autotune_core::{
-    ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation, Tuner,
-    TunerFamily, TuningContext,
+    ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation,
+    SurrogateStats, Tuner, TunerFamily, TuningContext,
 };
-use autotune_math::gp::{GaussianProcess, KernelKind};
+use autotune_math::gp::KernelKind;
 use autotune_math::kmeans::{kmeans, representatives};
 use autotune_math::lasso::rank_by_path;
 use autotune_math::lhs::maximin_lhs;
 use autotune_math::matrix::{dist2, Matrix};
 use autotune_math::pca::Pca;
 use autotune_math::stats::{mean, standardize, std_dev};
+use autotune_math::surrogate::{SurrogateConfig, SurrogateModel};
 use rand::rngs::StdRng;
 
 /// A past workload stored in the tuning repository.
@@ -261,6 +262,11 @@ pub struct OtterTuneTuner {
     /// Kernel hyper-parameter re-search period; between searches, new
     /// target observations extend the cached GP incrementally.
     pub hyper_interval: usize,
+    /// Surrogate backend policy (`exact | sod | nystrom | auto`); the
+    /// default `auto` keeps the exact GP below its threshold, preserving
+    /// historical trajectories, and goes Nyström for large mapped
+    /// repositories.
+    pub surrogate: SurrogateConfig,
     init_plan: Vec<Vec<f64>>,
     planned: bool,
     pruned_metrics: Vec<String>,
@@ -288,6 +294,7 @@ impl OtterTuneTuner {
             metric_clusters: 8,
             xi: 0.01,
             hyper_interval: 5,
+            surrogate: SurrogateConfig::default(),
             init_plan: Vec::new(),
             planned: false,
             pruned_metrics: Vec::new(),
@@ -309,6 +316,13 @@ impl OtterTuneTuner {
         self.repository.add(id, observations);
         self
     }
+
+    /// Selects the surrogate backend (exact GP, subset-of-data, Nyström,
+    /// or the size-triggered auto policy).
+    pub fn with_surrogate(mut self, config: SurrogateConfig) -> Self {
+        self.surrogate = config;
+        self
+    }
 }
 
 impl Tuner for OtterTuneTuner {
@@ -322,6 +336,10 @@ impl Tuner for OtterTuneTuner {
 
     fn min_history(&self) -> usize {
         self.init_samples
+    }
+
+    fn surrogate_stats(&self) -> Option<SurrogateStats> {
+        self.cache.as_ref().map(|c| c.inner.stats())
     }
 
     fn propose(
@@ -401,9 +419,9 @@ impl Tuner for OtterTuneTuner {
         // targets are refreshed against the reused factor each step.
         let n = xs.len();
         let cache_ok = match &mut self.cache {
-            Some(c) if c.mapped == self.mapped_workload && c.n_mapped == n_mapped => {
-                c.inner.try_advance(&xs, &ys, self.hyper_interval)
-            }
+            Some(c) if c.mapped == self.mapped_workload && c.n_mapped == n_mapped => c
+                .inner
+                .try_advance(&self.surrogate, &xs, &ys, self.hyper_interval),
             _ => false,
         };
         if cache_ok {
@@ -411,10 +429,11 @@ impl Tuner for OtterTuneTuner {
                 c.inner.gp.refresh_targets(&ys);
             }
         } else {
-            match GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys) {
+            let fits = self.cache.as_ref().map_or(0, |c| c.inner.fits) + 1;
+            match SurrogateModel::fit_auto(&self.surrogate, KernelKind::Matern52, false, xs, &ys) {
                 Ok(gp) => {
                     self.cache = Some(OtterCache {
-                        inner: GpCache::new(gp, n),
+                        inner: GpCache::new(gp, n, fits),
                         mapped: self.mapped_workload.clone(),
                         n_mapped,
                     })

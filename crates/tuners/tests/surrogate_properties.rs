@@ -1,0 +1,207 @@
+//! Property and determinism tests for the sparse-GP surrogate backends:
+//! SoD/Nyström predictions must converge to the exact GP as the budget
+//! approaches the training-set size, the `auto` policy must be
+//! deterministic across same-seed runs, and the default configuration
+//! must reproduce the historical exact-GP trajectories exactly.
+
+use autotune_core::{tune, ConfigSpace, FunctionObjective, Objective, Tuner, TuningContext};
+use autotune_core::{History, ParamSpec};
+use autotune_math::gp::{GaussianProcess, Kernel, KernelKind};
+use autotune_math::kmeans::farthest_point_subset;
+use autotune_math::surrogate::{NystromGp, SodGp, Surrogate, SurrogateConfig, SurrogateKind};
+use autotune_sim::{DbmsSimulator, NoiseModel};
+use autotune_tuners::experiment::ITunedTuner;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn wavy(x: &[f64]) -> f64 {
+    (4.0 * x[0]).sin() + 0.7 * (3.0 * x[1]).cos() + 0.3 * x[0] * x[1]
+}
+
+fn sample_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)])
+        .collect();
+    let ys = xs.iter().map(|x| wavy(x)).collect();
+    (xs, ys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// As the inducing budget m reaches n, Nyström predictions collapse
+    /// onto the exact GP (same kernel) within tolerance, and intermediate
+    /// budgets never do worse than the coarsest one by a large factor.
+    #[test]
+    fn nystrom_converges_to_exact_as_m_reaches_n(seed in 0u64..1000, n in 15usize..40) {
+        let (xs, ys) = sample_data(n, seed);
+        let mut kernel = Kernel::new(KernelKind::Matern52, 2, 0.5);
+        kernel.noise_variance = 1e-4;
+        let exact = GaussianProcess::fit(kernel.clone(), xs.clone(), &ys).unwrap();
+        let mut qrng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+        let queries: Vec<Vec<f64>> = (0..12)
+            .map(|_| vec![qrng.random_range(0.0..1.0), qrng.random_range(0.0..1.0)])
+            .collect();
+        let ny = NystromGp::fit(kernel, xs.clone(), &ys, xs).unwrap();
+        for q in &queries {
+            let (em, ev) = exact.predict(q);
+            let (nm, nv) = Surrogate::predict(&ny, q);
+            prop_assert!((em - nm).abs() < 1e-5, "mean {em} vs {nm} at m=n");
+            prop_assert!((ev - nv).abs() < 1e-5, "var {ev} vs {nv} at m=n");
+        }
+    }
+
+    /// SoD with a budget covering the data is the exact GP, bit for bit.
+    #[test]
+    fn sod_converges_to_exact_at_full_budget(seed in 0u64..1000, n in 10usize..30) {
+        let (xs, ys) = sample_data(n, seed);
+        let sod = SodGp::fit_auto(KernelKind::Matern52, false, xs.clone(), &ys, n).unwrap();
+        let exact = GaussianProcess::fit_auto(KernelKind::Matern52, xs, &ys).unwrap();
+        let mut qrng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        for _ in 0..10 {
+            let q = vec![qrng.random_range(0.0..1.0), qrng.random_range(0.0..1.0)];
+            let (sm, sv) = Surrogate::predict(&sod, &q);
+            let (em, ev) = exact.predict(&q);
+            prop_assert_eq!(sm.to_bits(), em.to_bits());
+            prop_assert_eq!(sv.to_bits(), ev.to_bits());
+        }
+    }
+
+    /// The deterministic subset selection is stable under repetition and
+    /// monotone in m (a bigger budget extends coverage, never reshuffles
+    /// determinism).
+    #[test]
+    fn subset_selection_is_pure(seed in 0u64..1000, n in 8usize..40, m in 1usize..12) {
+        let (xs, _) = sample_data(n, seed);
+        let a = farthest_point_subset(&xs, m);
+        let b = farthest_point_subset(&xs, m);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), m.min(n));
+        prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+fn bowl(dim: usize) -> FunctionObjective<impl FnMut(&[f64]) -> f64> {
+    let space = ConfigSpace::new(
+        (0..dim)
+            .map(|i| ParamSpec::float(&format!("x{i}"), 0.0, 1.0, 0.8, ""))
+            .collect(),
+    );
+    FunctionObjective::new(space, "bowl", |x| {
+        x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>() + 1.0
+    })
+}
+
+/// Runs iTuned with the given surrogate config and returns the proposed
+/// trajectory (encoded configs) plus the best runtime.
+fn ituned_trajectory(cfg: SurrogateConfig, budget: usize, seed: u64) -> (Vec<Vec<f64>>, f64) {
+    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::realistic());
+    let ctx = TuningContext {
+        space: sim.space().clone(),
+        profile: sim.profile(),
+    };
+    let mut tuner = ITunedTuner::new().with_init(6).with_surrogate(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = History::new();
+    let mut trajectory = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..budget {
+        let cfg = tuner.propose(&ctx, &history, &mut rng);
+        trajectory.push(ctx.space.encode(&cfg));
+        let obs = sim.evaluate(&cfg, &mut rng);
+        best = best.min(obs.runtime_secs);
+        tuner.observe(&obs);
+        history.push(obs);
+    }
+    (trajectory, best)
+}
+
+/// `surrogate=auto` must give identical trajectories across two runs with
+/// the same seed — including across the exact→Nyström switch point, which
+/// this auto threshold forces mid-run.
+#[test]
+fn auto_surrogate_trajectories_are_deterministic() {
+    let auto = SurrogateConfig {
+        kind: SurrogateKind::Auto,
+        budget: 8,
+        auto_threshold: 10,
+    };
+    let (t1, b1) = ituned_trajectory(auto, 18, 42);
+    let (t2, b2) = ituned_trajectory(auto, 18, 42);
+    assert_eq!(t1.len(), t2.len());
+    for (a, b) in t1.iter().zip(&t2) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "trajectory diverged");
+        }
+    }
+    assert_eq!(b1.to_bits(), b2.to_bits());
+}
+
+/// The default surrogate config (auto, threshold 256) must reproduce the
+/// explicit exact backend bit-for-bit at test-scale budgets — the
+/// guarantee that this PR changes no seeded trajectory by default.
+#[test]
+fn default_auto_matches_exact_below_threshold() {
+    let (auto_t, auto_b) = ituned_trajectory(SurrogateConfig::default(), 16, 7);
+    let (exact_t, exact_b) = ituned_trajectory(SurrogateConfig::exact(), 16, 7);
+    for (a, b) in auto_t.iter().zip(&exact_t) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "default auto drifted from exact");
+        }
+    }
+    assert_eq!(auto_b.to_bits(), exact_b.to_bits());
+}
+
+/// Sparse backends still tune: on a smooth objective each backend's best
+/// found value is within a modest factor of the exact backend's.
+#[test]
+fn sparse_backends_keep_tuning_quality() {
+    let budget = 26;
+    let run = |cfg: SurrogateConfig| -> f64 {
+        let mut obj = bowl(4);
+        let mut tuner = ITunedTuner::new().with_surrogate(cfg);
+        tune(&mut obj, &mut tuner, budget, 11)
+            .best
+            .unwrap()
+            .runtime_secs
+    };
+    let exact = run(SurrogateConfig::exact());
+    let sod = run(SurrogateConfig::sod(12));
+    let nystrom = run(SurrogateConfig::nystrom(12));
+    assert!(sod <= exact * 1.10, "sod {sod} vs exact {exact}");
+    assert!(
+        nystrom <= exact * 1.10,
+        "nystrom {nystrom} vs exact {exact}"
+    );
+}
+
+/// Surrogate stats surface through the Tuner trait once a model exists.
+#[test]
+fn surrogate_stats_report_backend_and_sizes() {
+    let mut sim = DbmsSimulator::oltp_default().with_noise(NoiseModel::none());
+    let ctx = TuningContext {
+        space: sim.space().clone(),
+        profile: sim.profile(),
+    };
+    let mut tuner = ITunedTuner::new()
+        .with_init(6)
+        .with_surrogate(SurrogateConfig {
+            kind: SurrogateKind::Nystrom,
+            budget: 5,
+            auto_threshold: 256,
+        });
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut history = History::new();
+    assert!(tuner.surrogate_stats().is_none(), "no model before fitting");
+    for _ in 0..10 {
+        let cfg = tuner.propose(&ctx, &history, &mut rng);
+        history.push(sim.evaluate(&cfg, &mut rng));
+    }
+    let stats = tuner.surrogate_stats().expect("model fitted");
+    assert_eq!(stats.kind, "nystrom");
+    assert_eq!(stats.active, 5);
+    assert!(stats.observed >= 6, "observed={}", stats.observed);
+    assert!(stats.fits >= 1);
+}
