@@ -1,0 +1,224 @@
+//! Proof artifact for the knob-constraint dataflow: does the
+//! lint-compiled artifact (`bench_results/knob_constraints.json`) buy the
+//! search anything end to end?
+//!
+//! For each analytics scenario (dbms-olap, hadoop-terasort, spark-agg),
+//! noiseless:
+//!
+//! 1. Establish a reference optimum: a seeded 3000-point random probe,
+//!    plus the best point any tuning arm finds (the reference is the
+//!    minimum over everything this binary evaluates).
+//! 2. Run iTuned with and without the constraint artifact over several
+//!    seeds and record, per run, the first evaluation whose runtime lands
+//!    within 1% of the reference optimum (censored at `budget + 1` when a
+//!    run never gets there).
+//! 3. The constrained arm must need fewer evaluations (mean over seeds)
+//!    on at least 2 of the 3 scenarios — the acceptance bar for the
+//!    constraint pipeline.
+//!
+//! `cargo run --release -p autotune-bench --bin constrained_search [--smoke]`
+//!
+//! `--smoke` shrinks budgets for CI; the ≥2-of-3 assertion only runs in
+//! full mode (tiny budgets make the race a coin flip).
+
+use autotune_core::{tune, Objective};
+use autotune_sim::{DbmsSimulator, HadoopSimulator, NoiseModel, SparkSimulator};
+use autotune_tuners::experiment::ITunedTuner;
+use autotune_tuners::util::SearchConstraints;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::path::Path;
+
+/// A factory producing a fresh noiseless objective per run.
+type MakeObjective = Box<dyn Fn() -> Box<dyn Objective>>;
+
+#[derive(Serialize)]
+struct ScenarioRow {
+    /// Target system.
+    system: String,
+    /// Reference optimum runtime (min over probe + all arms).
+    optimum: f64,
+    /// Mean evals to land within 1% of the optimum, unconstrained iTuned
+    /// (censored runs count as `budget + 1`).
+    evals_unconstrained: f64,
+    /// Same, with the knob-constraint artifact applied.
+    evals_constrained: f64,
+    /// Best runtime found by the unconstrained arm (best seed).
+    best_unconstrained: f64,
+    /// Best runtime found by the constrained arm (best seed).
+    best_constrained: f64,
+    /// Runs (out of `seeds`) where the unconstrained arm never reached
+    /// the 1% band.
+    censored_unconstrained: usize,
+    /// Same for the constrained arm.
+    censored_constrained: usize,
+    /// Whether the constrained arm needed strictly fewer evaluations.
+    win: bool,
+}
+
+#[derive(Serialize)]
+struct ConstrainedSearchReport {
+    /// Evaluation budget per tuning run.
+    budget: usize,
+    /// Seeds per arm.
+    seeds: Vec<u64>,
+    /// Random-probe size used for the reference optimum.
+    probe: usize,
+    /// Band around the optimum counted as "arrived" (fraction).
+    tolerance: f64,
+    smoke: bool,
+    scenarios: Vec<ScenarioRow>,
+    /// Scenarios where the constrained arm won.
+    wins: usize,
+}
+
+/// Every per-run history of one arm: the full runtime trajectories, so
+/// the evals-to-band metric can be recomputed once the reference optimum
+/// (a function of *all* arms) is known.
+fn run_arm(
+    make: &dyn Fn() -> Box<dyn Objective>,
+    constraints: Option<&SearchConstraints>,
+    budget: usize,
+    seeds: &[u64],
+) -> Vec<Vec<f64>> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut obj = make();
+            let mut tuner = ITunedTuner::new();
+            if let Some(c) = constraints {
+                tuner = tuner.with_constraints(c.clone());
+            }
+            let out = tune(obj.as_mut(), &mut tuner, budget, seed);
+            out.history.all().iter().map(|o| o.runtime_secs).collect()
+        })
+        .collect()
+}
+
+/// First 1-based evaluation index whose runtime is within `tol` of the
+/// optimum; `budget + 1` when the run never arrives.
+fn evals_to_band(trajectory: &[f64], optimum: f64, tol: f64, budget: usize) -> usize {
+    trajectory
+        .iter()
+        .position(|&rt| rt <= optimum * (1.0 + tol))
+        .map(|i| i + 1)
+        .unwrap_or(budget + 1)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (budget, probe, seeds): (usize, usize, Vec<u64>) = if smoke {
+        (10, 200, vec![1])
+    } else {
+        (40, 3000, vec![1, 2, 3, 4, 5])
+    };
+    let tolerance = 0.01;
+
+    let artifact =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/knob_constraints.json");
+    let systems: Vec<(&str, &str, MakeObjective)> = vec![
+        (
+            "dbms-olap",
+            "dbms",
+            Box::new(|| Box::new(DbmsSimulator::olap_default().with_noise(NoiseModel::none()))),
+        ),
+        (
+            "hadoop-terasort",
+            "hadoop",
+            Box::new(|| {
+                Box::new(HadoopSimulator::terasort_default().with_noise(NoiseModel::none()))
+            }),
+        ),
+        (
+            "spark-agg",
+            "spark",
+            Box::new(|| {
+                Box::new(SparkSimulator::aggregation_default().with_noise(NoiseModel::none()))
+            }),
+        ),
+    ];
+
+    let mut scenarios = Vec::new();
+    for (name, platform, make) in &systems {
+        let mut obj = make();
+        let constraints = SearchConstraints::load(&artifact, platform, obj.space())
+            .expect("committed artifact loads");
+
+        // Reference probe: seeded uniform random sweep of the full space.
+        let mut rng = StdRng::seed_from_u64(7_777);
+        let mut optimum = f64::INFINITY;
+        for _ in 0..probe {
+            let cfg = obj.space().random_config(&mut rng);
+            optimum = optimum.min(obj.evaluate(&cfg, &mut rng).runtime_secs);
+        }
+
+        let plain = run_arm(make, None, budget, &seeds);
+        let constrained = run_arm(make, Some(&constraints), budget, &seeds);
+        // The reference optimum is the min over everything evaluated, so
+        // "within 1%" means the same thing for both arms.
+        for t in plain.iter().chain(&constrained) {
+            for &rt in t {
+                optimum = optimum.min(rt);
+            }
+        }
+
+        let mean_evals = |runs: &[Vec<f64>]| {
+            runs.iter()
+                .map(|t| evals_to_band(t, optimum, tolerance, budget))
+                .sum::<usize>() as f64
+                / runs.len() as f64
+        };
+        let censored = |runs: &[Vec<f64>]| {
+            runs.iter()
+                .filter(|t| evals_to_band(t, optimum, tolerance, budget) > budget)
+                .count()
+        };
+        let best = |runs: &[Vec<f64>]| runs.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+        let row = ScenarioRow {
+            system: name.to_string(),
+            optimum,
+            evals_unconstrained: mean_evals(&plain),
+            evals_constrained: mean_evals(&constrained),
+            best_unconstrained: best(&plain),
+            best_constrained: best(&constrained),
+            censored_unconstrained: censored(&plain),
+            censored_constrained: censored(&constrained),
+            win: mean_evals(&constrained) < mean_evals(&plain),
+        };
+        eprintln!(
+            "{name}: optimum={:.4} evals plain={:.1} constrained={:.1} (censored {}/{}) win={}",
+            row.optimum,
+            row.evals_unconstrained,
+            row.evals_constrained,
+            row.censored_unconstrained,
+            row.censored_constrained,
+            row.win,
+        );
+        scenarios.push(row);
+    }
+
+    let wins = scenarios.iter().filter(|r| r.win).count();
+    let report = ConstrainedSearchReport {
+        budget,
+        seeds,
+        probe,
+        tolerance,
+        smoke,
+        scenarios,
+        wins,
+    };
+    if !smoke {
+        assert!(
+            report.wins >= 2,
+            "constrained search won only {}/3 scenarios",
+            report.wins
+        );
+    }
+    println!(
+        "constrained_search: constraints cut evals-to-1%-of-optimum on {}/3 scenarios",
+        report.wins
+    );
+    autotune_bench::write_json("constrained_search", &report);
+    eprintln!("wrote bench_results/constrained_search.json");
+}

@@ -383,7 +383,10 @@ fn main() {
     let ann = if smoke {
         ann_report(300, 30)
     } else {
-        ann_report(2_000, 250)
+        // 100k signatures: the scale at which a linear scan per advance
+        // would dominate the serve path; pruning must hold up, not just
+        // correctness.
+        ann_report(100_000, 250)
     };
 
     let report = GpScaleReport {

@@ -1,0 +1,223 @@
+//! Machine-readable knob constraints compiled by `autotune-lint
+//! --emit-constraints`.
+//!
+//! The artifact (`bench_results/knob_constraints.json`) merges what the
+//! workspace's own sources provably imply about feasible knob values
+//! (the K4–K6 dataflow facts: guard-narrowed ranges, cross-knob
+//! dependencies) with the declarative knowledge already encoded in the
+//! rule DSL (best-practice rules, vendor spec sheets, confnav levels).
+//! Tuners consume it opt-in via `tuners::util`: reduced bounds shrink
+//! the search box, priors seed the initial design, and dependencies
+//! filter candidate pools. This module owns the schema so every
+//! producer and consumer round-trips through one type.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Constraints for one knob of one target system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobConstraint {
+    /// Declared domain lower bound (numeric encoding; booleans are 0/1,
+    /// categoricals are choice indices).
+    pub declared_lo: f64,
+    /// Declared domain upper bound.
+    pub declared_hi: f64,
+    /// Reduced feasible lower bound (`>= declared_lo`); equal to the
+    /// declared bound when no source narrows it.
+    pub reduced_lo: f64,
+    /// Reduced feasible upper bound (`<= declared_hi`).
+    pub reduced_hi: f64,
+    /// Whether the knob is declared log-scaled (orders-of-magnitude
+    /// domains such as buffer sizes); a prior-shaping hint.
+    pub log_scale: bool,
+    /// The vendor default, when numeric — priors centre here absent
+    /// stronger knowledge.
+    pub default: Option<f64>,
+    /// Declared unit string (e.g. `"MB"`, `"ms"`), when any.
+    pub unit: Option<String>,
+    /// Point priors: concrete values knowledge sources recommend.
+    pub priors: Vec<Prior>,
+    /// Provenance tags (`"K4:<file>:<line>"`, `"bestpractice:<rule>"`,
+    /// ...), sorted and deduplicated.
+    pub sources: Vec<String>,
+}
+
+/// One recommended value for a knob, with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prior {
+    /// The recommended value, in the knob's natural scale.
+    pub value: f64,
+    /// Relative weight among this knob's priors (higher = stronger).
+    pub weight: f64,
+    /// Which knowledge source produced it.
+    pub source: String,
+}
+
+/// A pairwise or aggregate inter-knob constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dependency {
+    /// `a <= factor * b` (e.g. sort buffer at most 60% of task heap).
+    LeFactor {
+        /// Constrained knob.
+        a: String,
+        /// Bounding knob.
+        b: String,
+        /// Multiplier on `b`.
+        factor: f64,
+        /// Provenance tag.
+        source: String,
+    },
+    /// `prod(term_value * coef) <= limit` over the listed knobs
+    /// (e.g. per-executor memory × executor count under cluster memory).
+    ProductLe {
+        /// `(knob, coefficient)` factors of the product.
+        terms: Vec<(String, f64)>,
+        /// Upper limit on the product.
+        limit: f64,
+        /// Provenance tag.
+        source: String,
+    },
+    /// `sum(term_value * coef) <= limit` (e.g. DBMS memory regions under
+    /// a fraction of system RAM).
+    SumLe {
+        /// `(knob, coefficient)` terms of the sum.
+        terms: Vec<(String, f64)>,
+        /// Upper limit on the sum.
+        limit: f64,
+        /// Provenance tag.
+        source: String,
+    },
+}
+
+/// All constraints for one target system (one params module).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConstraints {
+    /// Per-knob bounds and priors, keyed by knob name. Every knob the
+    /// system declares appears here, narrowed or not.
+    pub knobs: BTreeMap<String, KnobConstraint>,
+    /// Inter-knob dependencies, in a deterministic order.
+    pub deps: Vec<Dependency>,
+}
+
+/// The full committed artifact: constraints for every target system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobConstraints {
+    /// Schema version (bumped on incompatible change).
+    pub version: u32,
+    /// Tool that produced the artifact.
+    pub generator: String,
+    /// Per-system constraints, keyed `"dbms"` / `"hadoop"` / `"spark"`.
+    pub systems: BTreeMap<String, SystemConstraints>,
+}
+
+impl KnobConstraints {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Parses the artifact from its JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let parsed: KnobConstraints =
+            serde_json::from_str(text).map_err(|e| format!("knob constraints parse: {e}"))?;
+        if parsed.version != Self::VERSION {
+            return Err(format!(
+                "knob constraints version {} unsupported (expected {})",
+                parsed.version,
+                Self::VERSION
+            ));
+        }
+        Ok(parsed)
+    }
+
+    /// Reads and parses the artifact from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("knob constraints read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+
+    /// Serializes the artifact as deterministic pretty JSON (BTreeMap
+    /// ordering; byte-stable for the CI drift check). Serialization of
+    /// this plain-data type cannot realistically fail, but the error is
+    /// surfaced rather than panicking inside a library.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("knob constraints serialize: {e}"))
+    }
+
+    /// Constraints for one system, if present.
+    pub fn system(&self, name: &str) -> Option<&SystemConstraints> {
+        self.systems.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnobConstraints {
+        let mut knobs = BTreeMap::new();
+        knobs.insert(
+            "exec_mem_mb".to_string(),
+            KnobConstraint {
+                declared_lo: 512.0,
+                declared_hi: 16384.0,
+                reduced_lo: 1024.0,
+                reduced_hi: 16384.0,
+                log_scale: true,
+                default: Some(2048.0),
+                unit: Some("MB".to_string()),
+                priors: vec![Prior {
+                    value: 4096.0,
+                    weight: 1.0,
+                    source: "bestpractice:mem".to_string(),
+                }],
+                sources: vec!["K4:crates/sim/src/spark/engine.rs:10".to_string()],
+            },
+        );
+        let mut systems = BTreeMap::new();
+        systems.insert(
+            "spark".to_string(),
+            SystemConstraints {
+                knobs,
+                deps: vec![Dependency::ProductLe {
+                    terms: vec![
+                        ("exec_mem_mb".to_string(), 1.0),
+                        ("executors".to_string(), 1.0),
+                    ],
+                    limit: 65536.0,
+                    source: "K6".to_string(),
+                }],
+            },
+        );
+        KnobConstraints {
+            version: KnobConstraints::VERSION,
+            generator: "autotune-lint --emit-constraints".to_string(),
+            systems,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let c = sample();
+        let text = c.to_json().expect("serializes");
+        let back = KnobConstraints::from_json(&text).expect("parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let c = sample();
+        let text = c.to_json().expect("serializes");
+        assert_eq!(text, c.clone().to_json().expect("serializes"));
+        let reparsed = KnobConstraints::from_json(&text).expect("parses");
+        assert_eq!(reparsed.to_json().expect("serializes"), text);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut c = sample();
+        c.version = 99;
+        let text = c.to_json().expect("serializes");
+        let err = KnobConstraints::from_json(&text).expect_err("rejected");
+        assert!(err.contains("version 99"));
+    }
+}

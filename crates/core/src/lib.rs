@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod constraints;
 pub mod error;
 pub mod export;
 pub mod history;
@@ -39,6 +40,7 @@ pub mod session;
 pub mod space;
 pub mod tuner;
 
+pub use constraints::{Dependency, KnobConstraint, KnobConstraints, Prior, SystemConstraints};
 pub use error::{CoreError, CoreResult};
 pub use export::{config_to_properties, history_to_csv};
 pub use history::History;

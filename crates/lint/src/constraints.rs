@@ -1,0 +1,522 @@
+//! Compiles static knob semantics into the committed
+//! `bench_results/knob_constraints.json` artifact
+//! (`autotune-lint --emit-constraints <path>`).
+//!
+//! Three knowledge sources merge into one [`KnobConstraints`] document
+//! per target system:
+//!
+//! 1. **K4–K6 dataflow facts** ([`crate::dataflow`]): hard (assert /
+//!    protective-branch) range guards shrink per-knob feasible bounds;
+//!    hard cross-knob relations become dependency constraints. Soft
+//!    facts are recorded as provenance only — a branch condition is a
+//!    preference, not a feasibility constraint.
+//! 2. **Best-practice rule books** (`tuners::rule::bestpractice`): each
+//!    rule's action, evaluated against the system's canonical profiles,
+//!    becomes a weight-1.0 point prior on its knob.
+//! 3. **SPEX constraint inference** (`tuners::rule::spex`) contributes
+//!    the resource-feasibility dependencies; ConfNav's one-at-a-time
+//!    probe levels contribute weight-0.25 prior hints per knob.
+//!
+//! The compiler is deterministic: systems and knobs are BTreeMap-keyed,
+//! sources are sorted and deduplicated, and dependencies follow a fixed
+//! source order — so the CI drift job can compare artifacts byte for
+//! byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use autotune_core::constraints::{
+    Dependency, KnobConstraint, KnobConstraints, Prior, SystemConstraints,
+};
+use autotune_core::{ConfigSpace, Objective, ParamDomain, ParamValue, SystemProfile};
+use autotune_sim::{DbmsSimulator, HadoopSimulator, SparkSimulator};
+use autotune_tuners::rule::spex::Constraint as SpexConstraint;
+use autotune_tuners::rule::{
+    confnav, dbms_rulebook, hadoop_rulebook, spark_rulebook, ConstraintSet, RuleBook,
+};
+
+use crate::callgraph::CrateIndex;
+use crate::config::{rule_applies, RuleId, DEFAULT_PROTOCOL};
+use crate::dataflow::{self, CrossFact, CrossKind, NarrowFact};
+use crate::knobs::{self, KnobTable};
+use crate::rules::{prepare, Prepared};
+
+/// One target system's static description: its tuner-facing space, the
+/// canonical deployment profiles priors are computed against, and its
+/// best-practice rule book.
+struct SystemDef {
+    name: &'static str,
+    /// Def-site path fragment attributing knob table entries to this
+    /// system (`crates/sim/src/<tag>/params.rs`).
+    path_tag: &'static str,
+    space: ConfigSpace,
+    profiles: Vec<SystemProfile>,
+    book: RuleBook,
+}
+
+fn system_defs() -> Vec<SystemDef> {
+    vec![
+        SystemDef {
+            name: "dbms",
+            path_tag: "/dbms/",
+            space: autotune_sim::dbms::dbms_space(),
+            profiles: vec![
+                DbmsSimulator::oltp_default().profile(),
+                DbmsSimulator::olap_default().profile(),
+            ],
+            book: dbms_rulebook(),
+        },
+        SystemDef {
+            name: "hadoop",
+            path_tag: "/hadoop/",
+            space: autotune_sim::hadoop::hadoop_space(),
+            profiles: vec![HadoopSimulator::terasort_default().profile()],
+            book: hadoop_rulebook(),
+        },
+        SystemDef {
+            name: "spark",
+            path_tag: "/spark/",
+            space: autotune_sim::spark::spark_space(),
+            profiles: vec![SparkSimulator::aggregation_default().profile()],
+            book: spark_rulebook(),
+        },
+    ]
+}
+
+/// The numeric `[lo, hi]` box a domain spans (booleans 0/1,
+/// categoricals choice indices).
+fn domain_bounds(domain: &ParamDomain) -> (f64, f64) {
+    match domain {
+        ParamDomain::Int { min, max, .. } => (*min as f64, *max as f64),
+        ParamDomain::Float { min, max, .. } => (*min, *max),
+        ParamDomain::Bool => (0.0, 1.0),
+        ParamDomain::Categorical { choices } => (0.0, (choices.len().saturating_sub(1)) as f64),
+    }
+}
+
+/// A value's numeric encoding under a domain (`None` when a string does
+/// not name a choice).
+fn numeric_value(domain: &ParamDomain, value: &ParamValue) -> Option<f64> {
+    match (domain, value) {
+        (ParamDomain::Categorical { choices }, ParamValue::Str(s)) => {
+            choices.iter().position(|c| c == s).map(|i| i as f64)
+        }
+        (_, v) => v.as_f64(),
+    }
+}
+
+/// Whether a domain is declared log-scaled.
+fn domain_log(domain: &ParamDomain) -> bool {
+    match domain {
+        ParamDomain::Int { log, .. } | ParamDomain::Float { log, .. } => *log,
+        _ => false,
+    }
+}
+
+/// Per-file dataflow facts over the prepared workspace, tagged with the
+/// file that produced them.
+struct StaticFacts {
+    narrows: Vec<(String, NarrowFact)>,
+    crosses: Vec<(String, CrossFact)>,
+}
+
+/// Runs the K4–K6 dataflow pass over every file in scope (the same
+/// scope the lint rules use) and collects the facts.
+fn collect_facts(prepared: &[Prepared], table: &KnobTable) -> StaticFacts {
+    let mut indexes: BTreeMap<String, CrateIndex> = BTreeMap::new();
+    for p in prepared {
+        if p.ctx.is_lib_source && !p.ctx.is_test_source {
+            indexes
+                .entry(p.ctx.crate_name.clone())
+                .or_default()
+                .add_file(&p.tree, &p.lexed.tokens, &p.mask, &DEFAULT_PROTOCOL);
+        }
+    }
+    let empty = CrateIndex::default();
+    let mut facts = StaticFacts {
+        narrows: Vec::new(),
+        crosses: Vec::new(),
+    };
+    for p in prepared {
+        if p.ctx.is_test_source || !rule_applies(RuleId::KnobNarrow, &p.ctx) {
+            continue;
+        }
+        let index = indexes.get(&p.ctx.crate_name).unwrap_or(&empty);
+        let analysis = dataflow::analyze_file(p, table, index);
+        facts
+            .narrows
+            .extend(analysis.narrows.into_iter().map(|n| (p.rel.clone(), n)));
+        facts
+            .crosses
+            .extend(analysis.crosses.into_iter().map(|c| (p.rel.clone(), c)));
+    }
+    facts
+}
+
+/// Compiles the artifact from in-memory `(rel_path, source)` pairs plus
+/// the rule-DSL knowledge for the three target systems.
+pub fn compile_sources(files: &[(String, String)]) -> KnobConstraints {
+    let prepared: Vec<Prepared> = files
+        .iter()
+        .filter_map(|(rel, src)| prepare(rel, src))
+        .collect();
+    let table = knobs::extract_table(
+        prepared
+            .iter()
+            .map(|p| (p.rel.as_str(), p.lexed.tokens.as_slice())),
+    );
+    let facts = collect_facts(&prepared, &table);
+
+    let mut systems = BTreeMap::new();
+    for def in system_defs() {
+        systems.insert(def.name.to_string(), compile_system(&def, &table, &facts));
+    }
+    KnobConstraints {
+        version: KnobConstraints::VERSION,
+        generator: "autotune-lint --emit-constraints".to_string(),
+        systems,
+    }
+}
+
+/// Whether the knob named `name` is defined in this system's params
+/// module (per the statically-extracted knob table).
+fn knob_in_system(table: &KnobTable, name: &str, path_tag: &str) -> bool {
+    table
+        .knobs
+        .get(name)
+        .is_some_and(|d| d.file.contains(path_tag))
+}
+
+fn compile_system(def: &SystemDef, table: &KnobTable, facts: &StaticFacts) -> SystemConstraints {
+    let mut knobs_out = BTreeMap::new();
+    for spec in def.space.params() {
+        let (dlo, dhi) = domain_bounds(&spec.domain);
+        let (mut rlo, mut rhi) = (dlo, dhi);
+        let mut sources = BTreeSet::new();
+        for (file, n) in &facts.narrows {
+            if n.knob != spec.name || !knob_in_system(table, &n.knob, def.path_tag) {
+                continue;
+            }
+            sources.insert(format!(
+                "K4{}:{file}:{}",
+                if n.hard { "" } else { "(soft)" },
+                n.line
+            ));
+            if n.hard {
+                rlo = rlo.max(n.lo);
+                rhi = rhi.min(n.hi);
+            }
+        }
+        // An empty intersection means the guards themselves disagree
+        // with the domain (K4 reports it); fail open to the declared box.
+        if rlo > rhi {
+            (rlo, rhi) = (dlo, dhi);
+        }
+        (rlo, rhi) = (rlo.max(dlo), rhi.min(dhi));
+        if matches!(spec.domain, ParamDomain::Int { .. }) {
+            (rlo, rhi) = (rlo.ceil(), rhi.floor());
+        }
+
+        let mut priors = Vec::new();
+        for rule in def.book.rules() {
+            if rule.knob != spec.name {
+                continue;
+            }
+            let Some(profile) = def.profiles.iter().find(|p| rule.applies(p)) else {
+                continue;
+            };
+            let raw = rule.value.compute(profile);
+            let Some(v) = numeric_value(&spec.domain, &raw) else {
+                continue;
+            };
+            let prior = Prior {
+                value: v.clamp(dlo, dhi),
+                weight: 1.0,
+                source: format!("bestpractice:{}", rule.name),
+            };
+            if !priors.contains(&prior) {
+                priors.push(prior);
+            }
+        }
+        for level in confnav::LEVELS {
+            let Some(v) = numeric_value(&spec.domain, &spec.domain.decode(level)) else {
+                continue;
+            };
+            priors.push(Prior {
+                value: v,
+                weight: 0.25,
+                source: "confnav:oat-level".to_string(),
+            });
+        }
+
+        knobs_out.insert(
+            spec.name.clone(),
+            KnobConstraint {
+                declared_lo: dlo,
+                declared_hi: dhi,
+                reduced_lo: rlo,
+                reduced_hi: rhi,
+                log_scale: domain_log(&spec.domain),
+                default: numeric_value(&spec.domain, &spec.default),
+                unit: spec.unit.clone(),
+                priors,
+                sources: sources.into_iter().collect(),
+            },
+        );
+    }
+
+    let mut deps = Vec::new();
+    let memory_mb = def
+        .profiles
+        .first()
+        .map(|p| p.memory_per_node_mb)
+        .unwrap_or(0.0);
+    // Instantiate the resource books against each deployment profile the
+    // system ships and keep, per constraint, the most permissive budget:
+    // the artifact must not exclude a configuration that is feasible for
+    // some workload the system claims to serve (workload-specific
+    // narrowing is the priors' job, not the dependencies'). Profile-aware
+    // inference emits the same constraint shapes in the same order for a
+    // fixed space, so variants merge positionally.
+    let per_profile: Vec<ConstraintSet> = if def.profiles.is_empty() {
+        vec![ConstraintSet::infer_for(&def.space)]
+    } else {
+        def.profiles
+            .iter()
+            .map(|p| ConstraintSet::infer_for_profile(&def.space, p))
+            .collect()
+    };
+    for i in 0..per_profile[0].all().len() {
+        let variants: Vec<&SpexConstraint> = per_profile.iter().map(|s| &s.all()[i]).collect();
+        deps.push(match variants[0] {
+            SpexConstraint::MemorySum {
+                terms,
+                limit_fraction,
+                ..
+            } => {
+                let mut merged = terms.clone();
+                let mut limit = *limit_fraction;
+                for v in &variants[1..] {
+                    if let SpexConstraint::MemorySum {
+                        terms: t,
+                        limit_fraction: lf,
+                        ..
+                    } = v
+                    {
+                        for (m, o) in merged.iter_mut().zip(t) {
+                            m.1 = m.1.min(o.1);
+                        }
+                        limit = limit.max(*lf);
+                    }
+                }
+                Dependency::SumLe {
+                    terms: merged,
+                    limit: limit * memory_mb,
+                    source: "spex:memory-sum".to_string(),
+                }
+            }
+            SpexConstraint::AtMostFactorOf {
+                knob, of, factor, ..
+            } => {
+                let mut f = *factor;
+                for v in &variants[1..] {
+                    if let SpexConstraint::AtMostFactorOf { factor: vf, .. } = v {
+                        f = f.max(*vf);
+                    }
+                }
+                Dependency::LeFactor {
+                    a: knob.clone(),
+                    b: of.clone(),
+                    factor: f,
+                    source: "spex:at-most-factor".to_string(),
+                }
+            }
+            SpexConstraint::ProductUnderMemory {
+                a,
+                b,
+                limit_fraction,
+                ..
+            } => {
+                let mut limit = *limit_fraction;
+                for v in &variants[1..] {
+                    if let SpexConstraint::ProductUnderMemory {
+                        limit_fraction: lf, ..
+                    } = v
+                    {
+                        limit = limit.max(*lf);
+                    }
+                }
+                Dependency::ProductLe {
+                    terms: vec![(a.clone(), 1.0), (b.clone(), 1.0)],
+                    limit: limit * memory_mb,
+                    source: "spex:product-under-memory".to_string(),
+                }
+            }
+        });
+    }
+    // Hard K6 facts whose knobs both belong to this system.
+    let mut k6: Vec<Dependency> = Vec::new();
+    for (file, c) in &facts.crosses {
+        if !c.hard
+            || def.space.spec(&c.a).is_none()
+            || def.space.spec(&c.b).is_none()
+            || !knob_in_system(table, &c.a, def.path_tag)
+        {
+            continue;
+        }
+        let source = format!("K6:{file}:{}", c.line);
+        let dep = match &c.kind {
+            CrossKind::Product => continue, // structure, not a bound
+            CrossKind::LeFactor(f) => Dependency::LeFactor {
+                a: c.a.clone(),
+                b: c.b.clone(),
+                factor: *f,
+                source,
+            },
+            CrossKind::ProductLe(limit) => Dependency::ProductLe {
+                terms: vec![(c.a.clone(), 1.0), (c.b.clone(), 1.0)],
+                limit: *limit,
+                source,
+            },
+        };
+        if !k6.contains(&dep) {
+            k6.push(dep);
+        }
+    }
+    k6.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+    deps.extend(k6);
+
+    SystemConstraints {
+        knobs: knobs_out,
+        deps,
+    }
+}
+
+/// Compiles the artifact for the workspace rooted at `root`.
+pub fn compile_workspace(root: &Path) -> std::io::Result<KnobConstraints> {
+    let paths = crate::collect_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, std::fs::read_to_string(path)?));
+    }
+    Ok(compile_sources(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_workspace_root;
+
+    fn compiled() -> KnobConstraints {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        compile_workspace(&root).expect("workspace readable")
+    }
+
+    #[test]
+    fn covers_every_knob_of_all_three_systems() {
+        let c = compiled();
+        for def in system_defs() {
+            let sys = c.system(def.name).expect("system present");
+            for spec in def.space.params() {
+                let k = sys
+                    .knobs
+                    .get(&spec.name)
+                    .unwrap_or_else(|| panic!("{}:{} missing", def.name, spec.name));
+                assert!(k.reduced_lo >= k.declared_lo);
+                assert!(k.reduced_hi <= k.declared_hi);
+                assert!(k.reduced_lo <= k.reduced_hi);
+                assert!(!k.priors.is_empty(), "{} has confnav priors", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rulebook_priors_and_spex_deps_are_compiled() {
+        let c = compiled();
+        let dbms = c.system("dbms").expect("dbms");
+        let sb = &dbms.knobs["shared_buffers_mb"];
+        assert!(sb
+            .priors
+            .iter()
+            .any(|p| p.source == "bestpractice:shared-buffers-25pct" && p.weight == 1.0));
+        assert!(dbms
+            .deps
+            .iter()
+            .any(|d| matches!(d, Dependency::SumLe { source, .. } if source == "spex:memory-sum")));
+        let hadoop = c.system("hadoop").expect("hadoop");
+        assert!(hadoop.deps.iter().any(|d| matches!(
+            d,
+            Dependency::LeFactor { a, b, .. } if a == "io_sort_mb" && b == "map_heap_mb"
+        )));
+        let spark = c.system("spark").expect("spark");
+        assert!(spark.deps.iter().any(|d| matches!(
+            d,
+            Dependency::ProductLe { terms, .. }
+                if terms.iter().any(|(k, _)| k == "executor_instances")
+        )));
+    }
+
+    #[test]
+    fn hard_guard_in_sources_reduces_bounds() {
+        // A protective panic in (synthetic) dbms engine code proves
+        // work_mem_mb below 8 MB is infeasible; the artifact's reduced
+        // bound must reflect it while the declared bound stays put.
+        let params = r#"
+pub fn space() -> Vec<ParamSpec> {
+    vec![ParamSpec::int_log("work_mem_mb", 1, 4096, 4, "sort memory").with_unit("MB")]
+}
+"#;
+        let engine = r#"
+pub fn plan(c: &C) -> f64 {
+    let w = c.f64("work_mem_mb");
+    assert!(w >= 8.0, "work_mem floor");
+    w * 2.0
+}
+"#;
+        let files = vec![
+            (
+                "crates/sim/src/dbms/params.rs".to_string(),
+                params.to_string(),
+            ),
+            (
+                "crates/sim/src/dbms/engine.rs".to_string(),
+                engine.to_string(),
+            ),
+        ];
+        let c = compile_sources(&files);
+        let k = &c.system("dbms").expect("dbms").knobs["work_mem_mb"];
+        assert_eq!(k.declared_lo, 1.0);
+        assert_eq!(k.reduced_lo, 8.0);
+        assert_eq!(k.reduced_hi, 4096.0);
+        assert!(
+            k.sources
+                .iter()
+                .any(|s| s.starts_with("K4:crates/sim/src/dbms/engine.rs:")),
+            "sources: {:?}",
+            k.sources
+        );
+    }
+
+    #[test]
+    fn artifact_is_deterministic() {
+        let a = compiled().to_json().expect("serializes");
+        let b = compiled().to_json().expect("serializes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn defaults_sit_inside_declared_bounds() {
+        let c = compiled();
+        for sys in c.systems.values() {
+            for (name, k) in &sys.knobs {
+                let d = k.default.unwrap_or_else(|| panic!("{name} default"));
+                assert!(d >= k.declared_lo && d <= k.declared_hi, "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,2013 @@
+//! Interval / unit dataflow over knob values, feeding the K4–K6 rules
+//! and the `--emit-constraints` compiler.
+//!
+//! The pass tracks knob values from their accessor reads
+//! (`cfg.f64("knob_name")`) through `let` bindings and arithmetic into
+//! guard expressions, using a small abstract domain:
+//!
+//! * an **interval** `[lo, hi]` (the declared knob domain at a read,
+//!   widened by every operation the evaluator cannot bound),
+//! * an optional **unit** string (from `.with_unit(..)` at the def site),
+//! * a **symbolic tag** ([`Sym`]): the value *is* `scale·knob + offset`,
+//!   or the scaled product of two knobs, or unknown.
+//!
+//! Everything the evaluator does not model — calls, casts it cannot see
+//! through, reassignment, mixed `&&`/`||` guards — **fails open to ⊤**:
+//! the analysis may miss a fact, but it never invents a narrower range
+//! than the code implies. On top of the lattice:
+//!
+//! * **K4 `knob-narrow`** — a guard or assert over a knob that is
+//!   statically dead against the declared domain (an always-false
+//!   condition, or a protective branch that always panics). Live guards
+//!   are not findings; they produce [`NarrowFact`]s for the constraint
+//!   compiler instead.
+//! * **K5 `knob-unit`** — two values with different declared units
+//!   added/subtracted/compared, or a binding whose `_ms`/`_mb`-style
+//!   suffix contradicts the declared unit of the knob it reads.
+//! * **K6 `knob-cross`** — two knobs compared with statically disjoint
+//!   intervals (the comparison is constant), or a knob-product bound
+//!   that can never hold. Live cross-knob comparisons and products
+//!   produce [`CrossFact`]s.
+//!
+//! One level of interprocedurality: [`param_guards`] summarizes the
+//! range guards a function imposes on each parameter (by running this
+//! same analysis with synthetic `$<pos>` knobs), and the statement
+//! walker applies those summaries at free-call sites, so a narrowing
+//! assert one call away from the accessor still yields its fact — and
+//! its K4 when the declared domain makes the callee's assert dead.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CrateIndex;
+use crate::config::RuleId;
+use crate::items::{Item, ItemKind};
+use crate::knobs::{KnobDef, KnobTable};
+use crate::lexer::{parse_num, Token};
+use crate::rules::Prepared;
+
+/// Symbolic identity of an abstract value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sym {
+    /// Unknown provenance.
+    Top,
+    /// Exactly `scale * knob + offset`.
+    Knob {
+        /// Knob name (or `$<pos>` for a synthetic parameter knob).
+        name: String,
+        /// Multiplicative factor applied since the read.
+        scale: f64,
+        /// Additive shift applied since the read.
+        offset: f64,
+    },
+    /// Exactly `scale * a * b` for two distinct knobs (offsets zero).
+    Product {
+        /// First knob.
+        a: String,
+        /// Second knob.
+        b: String,
+        /// Multiplicative factor.
+        scale: f64,
+    },
+}
+
+/// One abstract value: interval + unit + symbolic tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsVal {
+    /// Inclusive lower bound (`-inf` when unknown).
+    pub lo: f64,
+    /// Inclusive upper bound (`+inf` when unknown).
+    pub hi: f64,
+    /// Declared display unit, when known.
+    pub unit: Option<String>,
+    /// Symbolic identity.
+    pub sym: Sym,
+}
+
+impl AbsVal {
+    /// The unconstrained value ⊤.
+    pub fn top() -> AbsVal {
+        AbsVal {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            unit: None,
+            sym: Sym::Top,
+        }
+    }
+
+    /// A known constant.
+    pub fn constant(v: f64) -> AbsVal {
+        AbsVal {
+            lo: v,
+            hi: v,
+            unit: None,
+            sym: Sym::Top,
+        }
+    }
+
+    /// The value of a fresh knob read: declared range, declared unit,
+    /// identity symbol.
+    pub fn knob(def: &KnobDef) -> AbsVal {
+        let (lo, hi) = def.range().unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+        AbsVal {
+            lo,
+            hi,
+            unit: def.unit.clone(),
+            sym: Sym::Knob {
+                name: def.name.clone(),
+                scale: 1.0,
+                offset: 0.0,
+            },
+        }
+    }
+
+    /// True for a known finite constant.
+    pub fn is_const(&self) -> bool {
+        self.lo == self.hi && self.lo.is_finite()
+    }
+
+    /// True when the concrete value `v` is inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// A feasible-range fact for one knob, implied by a guard or assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarrowFact {
+    /// Knob name (or `$<pos>` inside a parameter summary).
+    pub knob: String,
+    /// Feasible lower bound (already intersected with the declared
+    /// domain when one is known).
+    pub lo: f64,
+    /// Feasible upper bound.
+    pub hi: f64,
+    /// True for asserts and protective branches (violating the range
+    /// panics); false for ordinary branch conditions (a preference, not
+    /// a constraint).
+    pub hard: bool,
+    /// Source line of the guard.
+    pub line: u32,
+}
+
+/// Relationship kind of a cross-knob fact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossKind {
+    /// The knobs are multiplied together somewhere (joint budget).
+    Product,
+    /// `a <= factor * b`.
+    LeFactor(f64),
+    /// `a * b <= bound`.
+    ProductLe(f64),
+}
+
+/// A pairwise dependency between two knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossFact {
+    /// First knob.
+    pub a: String,
+    /// Second knob.
+    pub b: String,
+    /// Relationship.
+    pub kind: CrossKind,
+    /// True for assert-derived relations (violating them panics);
+    /// false for ordinary branch comparisons and product structure.
+    /// Only hard facts may constrain a search space.
+    pub hard: bool,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Result of analyzing one file: rule findings plus extracted facts.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// `(rule, line)` pairs for K4/K5/K6.
+    pub findings: Vec<(RuleId, u32)>,
+    /// Range facts.
+    pub narrows: Vec<NarrowFact>,
+    /// Cross-knob facts.
+    pub crosses: Vec<CrossFact>,
+}
+
+/// A range guard a function imposes on one of its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGuard {
+    /// Zero-based parameter position.
+    pub pos: usize,
+    /// Feasible lower bound for the parameter.
+    pub lo: f64,
+    /// Feasible upper bound.
+    pub hi: f64,
+    /// True when violating the range panics (assert / protective branch).
+    pub hard: bool,
+}
+
+type Env = BTreeMap<String, AbsVal>;
+
+/// Accessor methods whose string argument names the knob being read.
+const READ_ACCESSORS: &[&str] = &["i64", "f64", "bool"];
+
+/// Runs the dataflow pass over every non-test function in a prepared
+/// file. `index` supplies parameter-guard summaries for one-level
+/// interprocedural narrowing.
+pub fn analyze_file(p: &Prepared, table: &KnobTable, index: &CrateIndex) -> Analysis {
+    let mut out = Analysis::default();
+    let fns = p.tree.collect(|i| i.kind == ItemKind::Fn);
+    for item in fns {
+        if item.is_test_only() {
+            continue;
+        }
+        let Some((bs, be)) = item.body_span else {
+            continue;
+        };
+        if p.mask.get(item.span.0).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut env = Env::new();
+        scan_block(
+            &p.lexed.tokens,
+            &p.mask,
+            bs,
+            be,
+            &mut env,
+            table,
+            index,
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Parses the parameter names of a function item from its signature
+/// tokens (`fn name(a: T, mut b: U, ...)`). A leading `self`-ish
+/// receiver is skipped so positions align with free-call arguments.
+pub fn fn_params(tokens: &[Token], item: &Item) -> Vec<String> {
+    let (s, e) = item.span;
+    let e = e.min(tokens.len());
+    // Find the signature's opening paren: first '(' after the fn name.
+    let mut i = s;
+    while i < e && !tokens[i].is_ident("fn") {
+        i += 1;
+    }
+    while i < e && !tokens[i].is_punct('(') {
+        i += 1;
+    }
+    if i >= e {
+        return Vec::new();
+    }
+    let close = matching(tokens, i, e, '(', ')');
+    let mut params = Vec::new();
+    let mut j = i + 1;
+    while j < close {
+        // One parameter: pattern tokens up to ':' at depth 0, then the
+        // type up to ',' at depth 0 (angle brackets tracked so commas in
+        // generics do not split).
+        let mut name: Option<String> = None;
+        let mut depth = 0i32;
+        let mut in_type = false;
+        let pstart = j;
+        while j < close {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(':') {
+                in_type = true;
+            } else if depth == 0 && t.is_punct(',') {
+                j += 1;
+                break;
+            } else if !in_type {
+                if let Some(id) = t.ident() {
+                    if !matches!(id, "mut" | "ref") {
+                        name = Some(id.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        match name.as_deref() {
+            Some("self") if pstart == i + 1 => {} // receiver: skip, keep positions
+            Some(n) => params.push(n.to_string()),
+            None => params.push(String::new()), // unnamed/complex pattern
+        }
+        if j == pstart {
+            break; // no progress: malformed signature, fail open
+        }
+    }
+    params
+}
+
+/// Summarizes the range guards a function body imposes on its
+/// parameters by running the analysis with synthetic `$<pos>` knobs.
+pub fn param_guards(
+    tokens: &[Token],
+    body_span: (usize, usize),
+    params: &[String],
+) -> Vec<ParamGuard> {
+    if params.iter().all(String::is_empty) {
+        return Vec::new();
+    }
+    let empty = KnobTable::default();
+    let mut env = Env::new();
+    for (pos, name) in params.iter().enumerate() {
+        if name.is_empty() {
+            continue;
+        }
+        env.insert(
+            name.clone(),
+            AbsVal {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+                unit: None,
+                sym: Sym::Knob {
+                    name: format!("${pos}"),
+                    scale: 1.0,
+                    offset: 0.0,
+                },
+            },
+        );
+    }
+    let mask = vec![false; tokens.len()];
+    let index = CrateIndex::default();
+    let mut scratch = Analysis::default();
+    scan_block(
+        tokens,
+        &mask,
+        body_span.0,
+        body_span.1,
+        &mut env,
+        &empty,
+        &index,
+        &mut scratch,
+    );
+    let mut out = Vec::new();
+    for n in scratch.narrows {
+        let Some(rest) = n.knob.strip_prefix('$') else {
+            continue;
+        };
+        let Ok(pos) = rest.parse::<usize>() else {
+            continue;
+        };
+        if n.lo > f64::NEG_INFINITY || n.hi < f64::INFINITY {
+            out.push(ParamGuard {
+                pos,
+                lo: n.lo,
+                hi: n.hi,
+                hard: n.hard,
+            });
+        }
+    }
+    out
+}
+
+/// Item keywords that start a nested item the walker skips opaquely.
+const SKIP_ITEMS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "macro_rules",
+];
+
+/// Walks one block's token range, tracking bindings in `env` (cloned
+/// into nested blocks so scoped bindings never leak out).
+#[allow(clippy::too_many_arguments)]
+fn scan_block(
+    tokens: &[Token],
+    mask: &[bool],
+    start: usize,
+    end: usize,
+    env: &mut Env,
+    table: &KnobTable,
+    index: &CrateIndex,
+    out: &mut Analysis,
+) {
+    let end = end.min(tokens.len());
+    let mut i = start;
+    while i < end {
+        if mask.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        // Nested items: their bodies are analyzed as their own functions.
+        if t.ident().is_some_and(|id| SKIP_ITEMS.contains(&id))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct('.'))
+        {
+            i = skip_nested_item(tokens, i, end);
+            continue;
+        }
+        // `let [mut] name [: ty] = rhs ;`
+        if t.is_ident("let") {
+            i = handle_let(tokens, i, end, env, table, index, out);
+            continue;
+        }
+        // `assert!(cond [, msg])` / `debug_assert!(cond [, msg])`
+        if t.ident()
+            .is_some_and(|id| id == "assert" || id == "debug_assert")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let close = matching(tokens, i + 2, end, '(', ')');
+            let cond_end = top_level_comma(tokens, i + 3, close).unwrap_or(close);
+            apply_call_guards(tokens, i + 3, cond_end, env, table, index, out);
+            handle_guard(
+                tokens,
+                i + 3,
+                cond_end,
+                false,
+                true,
+                t.line,
+                env,
+                table,
+                out,
+            );
+            i = close + 1;
+            continue;
+        }
+        // `if cond { then } [else ...]` — `else` blocks fall through to
+        // the plain-`{` arm below; `else if` re-enters here.
+        if t.is_ident("if") && !tokens.get(i + 1).is_some_and(|n| n.is_ident("let")) {
+            let Some(brace) = head_brace(tokens, i + 1, end) else {
+                i += 1;
+                continue;
+            };
+            let then_end = matching(tokens, brace, end, '{', '}');
+            let protective = block_is_protective(tokens, brace + 1, then_end);
+            apply_call_guards(tokens, i + 1, brace, env, table, index, out);
+            handle_guard(
+                tokens,
+                i + 1,
+                brace,
+                protective,
+                protective,
+                t.line,
+                env,
+                table,
+                out,
+            );
+            let mut inner = env.clone();
+            scan_block(
+                tokens,
+                mask,
+                brace + 1,
+                then_end,
+                &mut inner,
+                table,
+                index,
+                out,
+            );
+            i = then_end + 1;
+            continue;
+        }
+        // Loop / match / if-let heads: recurse into the body, no facts
+        // from the head (loop conditions are not feasibility claims).
+        if t.ident()
+            .is_some_and(|id| matches!(id, "while" | "for" | "loop" | "match" | "if"))
+        {
+            let Some(brace) = head_brace(tokens, i + 1, end) else {
+                i += 1;
+                continue;
+            };
+            let body_end = matching(tokens, brace, end, '{', '}');
+            apply_call_guards(tokens, i + 1, brace, env, table, index, out);
+            let mut inner = env.clone();
+            scan_block(
+                tokens,
+                mask,
+                brace + 1,
+                body_end,
+                &mut inner,
+                table,
+                index,
+                out,
+            );
+            i = body_end + 1;
+            continue;
+        }
+        // Plain `{ ... }` (incl. `else` bodies and `unsafe` blocks).
+        if t.is_punct('{') {
+            let blk_end = matching(tokens, i, end, '{', '}');
+            let mut inner = env.clone();
+            scan_block(tokens, mask, i + 1, blk_end, &mut inner, table, index, out);
+            i = blk_end + 1;
+            continue;
+        }
+        // Reassignment kills the binding (fail open).
+        if let Some(id) = t.ident() {
+            if tokens.get(i + 1).is_some_and(|n| n.is_punct('='))
+                && !tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+                && !tokens.get(i.wrapping_sub(1)).is_some_and(|p| {
+                    p.is_punct('=') || p.is_punct('<') || p.is_punct('>') || p.is_punct('!')
+                })
+            {
+                env.remove(id);
+                i += 2;
+                continue;
+            }
+            // Free-call site with parameter-guard summaries.
+            if tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && !tokens
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|p| p.is_punct('.') || p.is_punct(':'))
+            {
+                apply_guards_at_call(tokens, i, end, env, table, index, out);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Skips an opaque nested item starting at `i` (to its `;`, or past the
+/// matching `}` of its first top-level brace block).
+fn skip_nested_item(tokens: &[Token], i: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    let mut seen_brace = false;
+    while j < end {
+        if tokens[j].is_punct('{') {
+            depth += 1;
+            seen_brace = true;
+        } else if tokens[j].is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if seen_brace && depth == 0 {
+                return j + 1;
+            }
+        } else if tokens[j].is_punct(';') && !seen_brace && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Finds the body `{` of a control-flow head at depth 0, scanning from
+/// `from`.
+fn head_brace(tokens: &[Token], from: usize, end: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct('{') {
+            return Some(j);
+        } else if depth == 0 && t.is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Returns the index of the closer matching the opener at `open`.
+fn matching(tokens: &[Token], open: usize, end: usize, o: char, c: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        if tokens[j].is_punct(o) {
+            depth += 1;
+        } else if tokens[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Index of the first top-level `,` in `[from, to)`.
+fn top_level_comma(tokens: &[Token], from: usize, to: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens
+        .iter()
+        .enumerate()
+        .take(to.min(tokens.len()))
+        .skip(from)
+    {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(',') {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// True when a then-block unconditionally diverges: `panic!` /
+/// `unreachable!` / `todo!` / `bail!` or `return Err`.
+fn block_is_protective(tokens: &[Token], s: usize, e: usize) -> bool {
+    let e = e.min(tokens.len());
+    for j in s..e {
+        if let Some(id) = tokens[j].ident() {
+            if matches!(id, "panic" | "unreachable" | "todo" | "bail")
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                return true;
+            }
+            if id == "return" && tokens.get(j + 1).is_some_and(|n| n.is_ident("Err")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Handles a `let` statement starting at `i`; returns the index past its
+/// terminating `;`.
+fn handle_let(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    env: &mut Env,
+    table: &KnobTable,
+    index: &CrateIndex,
+    out: &mut Analysis,
+) -> usize {
+    // Simple binding: `let [mut] name` followed by `:` or `=`.
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let simple_name = tokens.get(j).and_then(Token::ident).filter(|_| {
+        tokens
+            .get(j + 1)
+            .is_some_and(|n| n.is_punct(':') || n.is_punct('='))
+    });
+    // Find `=` then the terminating `;` at depth 0 (braces tracked so
+    // `let x = if c { a } else { b };` stays one statement).
+    let mut depth = 0usize;
+    let mut eq = None;
+    let mut k = i + 1;
+    while k < end {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct('=') {
+            if eq.is_none() && !tokens.get(k + 1).is_some_and(|n| n.is_punct('=')) {
+                eq = Some(k);
+            } else if tokens.get(k + 1).is_some_and(|n| n.is_punct('=')) {
+                k += 1; // skip `==`
+            }
+        } else if depth == 0 && t.is_punct(';') {
+            break;
+        }
+        k += 1;
+    }
+    let semi = k;
+    let Some(eq) = eq else {
+        return (semi + 1).min(end);
+    };
+    let (rs, re) = (eq + 1, semi.min(end));
+    apply_call_guards(tokens, rs, re, env, table, index, out);
+    let val = eval_range(tokens, rs, re, env, table, out);
+    if let Some(name) = simple_name {
+        // K5: binding suffix vs the declared unit of a direct knob read.
+        if let (Some(suf), Some(unit)) = (unit_suffix(name), val.unit.as_deref()) {
+            if is_identity_knob(&val) && suf != normalize_unit(unit) {
+                out.findings.push((RuleId::KnobUnit, tokens[i].line));
+            }
+        }
+        env.insert(name.to_string(), val);
+    }
+    (semi + 1).min(end)
+}
+
+/// True when the value is an untransformed knob read (`scale == 1`,
+/// `offset == 0`).
+fn is_identity_knob(v: &AbsVal) -> bool {
+    matches!(&v.sym, Sym::Knob { scale, offset, .. } if *scale == 1.0 && *offset == 0.0)
+}
+
+/// The canonical unit implied by a binding-name suffix (`_ms`, `_mb`,
+/// ...), when the suffix is one the analyzer knows.
+fn unit_suffix(name: &str) -> Option<&'static str> {
+    let (_, suf) = name.rsplit_once('_')?;
+    match suf {
+        "ms" => Some("ms"),
+        "us" => Some("us"),
+        "s" | "sec" | "secs" => Some("s"),
+        "kb" => Some("kb"),
+        "mb" => Some("mb"),
+        "gb" => Some("gb"),
+        "bytes" => Some("b"),
+        _ => None,
+    }
+}
+
+/// Normalizes a declared unit string for comparison.
+fn normalize_unit(u: &str) -> &'static str {
+    match u.to_ascii_lowercase().as_str() {
+        "ms" | "millis" | "milliseconds" => "ms",
+        "us" | "micros" | "microseconds" => "us",
+        "s" | "sec" | "secs" | "seconds" => "s",
+        "kb" | "kib" => "kb",
+        "mb" | "mib" => "mb",
+        "gb" | "gib" => "gb",
+        "b" | "bytes" => "b",
+        _ => "?",
+    }
+}
+
+/// Applies callee parameter-guard summaries at every free-call site in
+/// `[s, e)` whose callee has an entry in the crate index.
+fn apply_call_guards(
+    tokens: &[Token],
+    s: usize,
+    e: usize,
+    env: &Env,
+    table: &KnobTable,
+    index: &CrateIndex,
+    out: &mut Analysis,
+) {
+    let e = e.min(tokens.len());
+    let mut j = s;
+    while j < e {
+        if tokens[j].ident().is_some()
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && !tokens
+                .get(j.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct('.') || p.is_punct(':'))
+        {
+            apply_guards_at_call(tokens, j, e, env, table, index, out);
+        }
+        j += 1;
+    }
+}
+
+/// Applies one callee's parameter guards to the knob arguments of the
+/// free call whose callee ident is at `i`.
+fn apply_guards_at_call(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    env: &Env,
+    table: &KnobTable,
+    index: &CrateIndex,
+    out: &mut Analysis,
+) {
+    let Some(callee) = tokens[i].ident() else {
+        return;
+    };
+    let Some(guards) = index.guards.get(callee) else {
+        return;
+    };
+    if guards.is_empty() {
+        return;
+    }
+    let close = matching(tokens, i + 1, end, '(', ')');
+    // Split argument ranges at top-level commas.
+    let mut args: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut astart = i + 2;
+    for (j, t) in tokens.iter().enumerate().take(close).skip(i + 2) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(',') {
+            args.push((astart, j));
+            astart = j + 1;
+        }
+    }
+    if astart < close {
+        args.push((astart, close));
+    }
+    let line = tokens[i].line;
+    for g in guards {
+        let Some(&(as_, ae)) = args.get(g.pos) else {
+            continue;
+        };
+        let val = eval_range(tokens, as_, ae, env, table, out);
+        let Sym::Knob {
+            name,
+            scale,
+            offset,
+        } = &val.sym
+        else {
+            continue;
+        };
+        if name.starts_with('$') || *scale == 0.0 {
+            continue;
+        }
+        // Guard bounds apply to `scale*k + offset`: transform back to k.
+        let (mut lo, mut hi) = ((g.lo - offset) / scale, (g.hi - offset) / scale);
+        if *scale < 0.0 {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let (dlo, dhi) = declared_range(table, name);
+        let flo = lo.max(dlo);
+        let fhi = hi.min(dhi);
+        if flo > fhi {
+            if g.hard {
+                out.findings.push((RuleId::KnobNarrow, line));
+            }
+            continue;
+        }
+        if flo > dlo || fhi < dhi {
+            out.narrows.push(NarrowFact {
+                knob: name.clone(),
+                lo: flo,
+                hi: fhi,
+                hard: g.hard,
+                line,
+            });
+        }
+    }
+}
+
+/// The declared range of a knob, with an unbounded fallback for names
+/// the table does not know (synthetic `$<pos>` parameters).
+fn declared_range(table: &KnobTable, name: &str) -> (f64, f64) {
+    table
+        .knobs
+        .get(name)
+        .and_then(KnobDef::range)
+        .unwrap_or((f64::NEG_INFINITY, f64::INFINITY))
+}
+
+// ---------------------------------------------------------------------------
+// Guard handling
+// ---------------------------------------------------------------------------
+
+/// Comparison operators the guard handler models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+}
+
+/// Processes one guard expression. `negated` is true for protective
+/// branches (the feasible region is the condition's negation); `hard`
+/// marks asserts / protective guards whose violation panics.
+#[allow(clippy::too_many_arguments)]
+fn handle_guard(
+    tokens: &[Token],
+    s: usize,
+    e: usize,
+    negated: bool,
+    hard: bool,
+    line: u32,
+    env: &Env,
+    table: &KnobTable,
+    out: &mut Analysis,
+) {
+    let e = e.min(tokens.len());
+    // Split on top-level `&&` / `||` (lexer emits single-char puncts).
+    let mut ands: Vec<usize> = Vec::new();
+    let mut ors: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    let mut j = s;
+    while j + 1 < e {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct('&') && tokens[j + 1].is_punct('&') {
+            ands.push(j);
+            j += 2;
+            continue;
+        } else if depth == 0 && t.is_punct('|') && tokens[j + 1].is_punct('|') {
+            ors.push(j);
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    if !ands.is_empty() && !ors.is_empty() {
+        return; // mixed junctions: fail open
+    }
+    let cuts: &[usize] = if !ands.is_empty() { &ands } else { &ors };
+    let mut parts: Vec<(usize, usize)> = Vec::new();
+    let mut ps = s;
+    for &c in cuts {
+        parts.push((ps, c));
+        ps = c + 2;
+    }
+    parts.push((ps, e));
+    let disjunction = !ors.is_empty();
+
+    // Whether per-conjunct facts are sound: conjunction of the condition
+    // (non-negated guard), or conjunction of negations (negated guard
+    // over a disjunction, by De Morgan).
+    let record = (!negated && !disjunction) || (negated && (disjunction || parts.len() == 1));
+    let mut outcomes: Vec<Option<(bool, bool)>> = Vec::new();
+    for &(cs, ce) in &parts {
+        outcomes.push(conjunct(
+            tokens, cs, ce, negated, hard, record, line, env, table, out,
+        ));
+    }
+    // K4: statically dead guard against the declared domain.
+    let dead = if !negated {
+        if !disjunction {
+            // `if A && B { live }`: any conjunct always false → dead.
+            outcomes.iter().any(|o| matches!(o, Some((true, _))))
+        } else {
+            // `if A || B { live }`: dead only if every disjunct is.
+            !outcomes.is_empty() && outcomes.iter().all(|o| matches!(o, Some((true, _))))
+        }
+    } else if !disjunction {
+        // `if A && B { panic }`: always panics iff all always true.
+        !outcomes.is_empty() && outcomes.iter().all(|o| matches!(o, Some((_, true))))
+    } else {
+        // `if A || B { panic }`: always panics if any always true.
+        outcomes.iter().any(|o| matches!(o, Some((_, true))))
+    };
+    if dead {
+        out.findings.push((RuleId::KnobNarrow, line));
+    }
+}
+
+/// Analyzes one comparison conjunct. Returns `(always_false,
+/// always_true)` of the condition *as written* when statically
+/// determined, recording narrowing / cross facts for the (possibly
+/// negated) feasible region when `record` is set. `None` = unknown.
+#[allow(clippy::too_many_arguments)]
+fn conjunct(
+    tokens: &[Token],
+    s: usize,
+    e: usize,
+    negate: bool,
+    hard: bool,
+    record: bool,
+    line: u32,
+    env: &Env,
+    table: &KnobTable,
+    out: &mut Analysis,
+) -> Option<(bool, bool)> {
+    // Strip one level of wrapping parens.
+    let (mut s, mut e) = (s, e.min(tokens.len()));
+    while e > s + 1 && tokens[s].is_punct('(') && matching(tokens, s, e, '(', ')') == e - 1 {
+        s += 1;
+        e -= 1;
+    }
+    // Locate exactly one comparison operator at depth 0.
+    let mut op: Option<(CmpOp, usize, usize)> = None; // (op, start, end_exclusive)
+    let mut depth = 0usize;
+    let mut j = s;
+    while j < e {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            j += 1;
+            continue;
+        }
+        if depth != 0 {
+            j += 1;
+            continue;
+        }
+        let next_eq = tokens
+            .get(j + 1)
+            .filter(|_| j + 1 < e)
+            .is_some_and(|n| n.is_punct('='));
+        let found = if t.is_punct('<') {
+            Some(if next_eq {
+                (CmpOp::Le, j, j + 2)
+            } else {
+                (CmpOp::Lt, j, j + 1)
+            })
+        } else if t.is_punct('>') {
+            Some(if next_eq {
+                (CmpOp::Ge, j, j + 2)
+            } else {
+                (CmpOp::Gt, j, j + 1)
+            })
+        } else if t.is_punct('=') && next_eq {
+            Some((CmpOp::Eq, j, j + 2))
+        } else if t.is_punct('!') && next_eq {
+            Some((CmpOp::Ne, j, j + 2))
+        } else {
+            None
+        };
+        if let Some(f) = found {
+            if op.is_some() {
+                return None; // multiple comparisons (or generics): fail open
+            }
+            j = f.2;
+            op = Some(f);
+            continue;
+        }
+        j += 1;
+    }
+    let (op, os, oe) = op?;
+    let lhs = eval_range(tokens, s, os, env, table, out);
+    let rhs = eval_range(tokens, oe, e, env, table, out);
+    // K5: comparing values with conflicting declared units.
+    if let (Some(ul), Some(ur)) = (lhs.unit.as_deref(), rhs.unit.as_deref()) {
+        let (nl, nr) = (normalize_unit(ul), normalize_unit(ur));
+        if nl != "?" && nr != "?" && nl != nr {
+            out.findings.push((RuleId::KnobUnit, line));
+        }
+    }
+
+    // (a) knob vs constant.
+    let knob_const = match (&lhs.sym, &rhs.sym) {
+        (
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+            _,
+        ) if rhs.is_const() => Some((name.clone(), *scale, *offset, rhs.lo, op)),
+        (
+            _,
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+        ) if lhs.is_const() => Some((name.clone(), *scale, *offset, lhs.lo, op.flip())),
+        _ => None,
+    };
+    if let Some((name, scale, offset, c, op)) = knob_const {
+        if scale == 0.0 {
+            return None;
+        }
+        let mut cp = (c - offset) / scale;
+        let mut op = op;
+        if scale < 0.0 {
+            op = op.flip();
+        }
+        if !cp.is_finite() {
+            return None;
+        }
+        // Integer-domain tightening keeps strict bounds exact.
+        if matches!(
+            table.knobs.get(&name).map(|d| &d.domain),
+            Some(crate::knobs::KnobDomain::Int { .. })
+        ) && cp.fract() == 0.0
+        {
+            match op {
+                CmpOp::Lt => {
+                    op = CmpOp::Le;
+                    cp -= 1.0;
+                }
+                CmpOp::Gt => {
+                    op = CmpOp::Ge;
+                    cp += 1.0;
+                }
+                _ => {}
+            }
+        }
+        let (dlo, dhi) = declared_range(table, &name);
+        let (af, at) = match op {
+            CmpOp::Lt => (dlo >= cp, dhi < cp),
+            CmpOp::Le => (dlo > cp, dhi <= cp),
+            CmpOp::Gt => (dhi <= cp, dlo > cp),
+            CmpOp::Ge => (dhi < cp, dlo >= cp),
+            CmpOp::Eq => (cp < dlo || cp > dhi, dlo == dhi && dlo == cp),
+            CmpOp::Ne => (dlo == dhi && dlo == cp, cp < dlo || cp > dhi),
+        };
+        if record {
+            let mut eff = if negate { op.negate() } else { op };
+            let mut cp = cp;
+            // Re-tighten after negation: ¬(k ≤ c) over an Int domain is
+            // exactly k ≥ c+1.
+            if matches!(
+                table.knobs.get(&name).map(|d| &d.domain),
+                Some(crate::knobs::KnobDomain::Int { .. })
+            ) && cp.fract() == 0.0
+            {
+                match eff {
+                    CmpOp::Lt => {
+                        eff = CmpOp::Le;
+                        cp -= 1.0;
+                    }
+                    CmpOp::Gt => {
+                        eff = CmpOp::Ge;
+                        cp += 1.0;
+                    }
+                    _ => {}
+                }
+            }
+            let (flo, fhi) = match eff {
+                CmpOp::Lt | CmpOp::Le => (dlo, dhi.min(cp)),
+                CmpOp::Gt | CmpOp::Ge => (dlo.max(cp), dhi),
+                CmpOp::Eq => (cp.max(dlo), cp.min(dhi)),
+                CmpOp::Ne => (dlo, dhi),
+            };
+            if eff != CmpOp::Ne && flo <= fhi && (flo > dlo || fhi < dhi) {
+                out.narrows.push(NarrowFact {
+                    knob: name,
+                    lo: flo,
+                    hi: fhi,
+                    hard,
+                    line,
+                });
+            }
+        }
+        return Some((af, at));
+    }
+
+    // (b) knob vs knob.
+    if let (
+        Sym::Knob {
+            name: na,
+            scale: sa,
+            offset: oa,
+        },
+        Sym::Knob {
+            name: nb,
+            scale: sb,
+            offset: ob,
+        },
+    ) = (&lhs.sym, &rhs.sym)
+    {
+        if na != nb && !na.starts_with('$') && !nb.starts_with('$') {
+            // Statically constant comparison over disjoint intervals.
+            let (af, at) = match op {
+                CmpOp::Lt => (lhs.lo >= rhs.hi, lhs.hi < rhs.lo),
+                CmpOp::Le => (lhs.lo > rhs.hi, lhs.hi <= rhs.lo),
+                CmpOp::Gt => (lhs.hi <= rhs.lo, lhs.lo > rhs.hi),
+                CmpOp::Ge => (lhs.hi < rhs.lo, lhs.lo >= rhs.hi),
+                CmpOp::Eq => (lhs.hi < rhs.lo || lhs.lo > rhs.hi, false),
+                CmpOp::Ne => (false, lhs.hi < rhs.lo || lhs.lo > rhs.hi),
+            };
+            if af || at {
+                out.findings.push((RuleId::KnobCross, line));
+                return Some((af, at));
+            }
+            if record && *oa == 0.0 && *ob == 0.0 && *sa > 0.0 && *sb > 0.0 {
+                let eff = if negate { op.negate() } else { op };
+                match eff {
+                    CmpOp::Lt | CmpOp::Le => out.crosses.push(CrossFact {
+                        a: na.clone(),
+                        b: nb.clone(),
+                        kind: CrossKind::LeFactor(sb / sa),
+                        hard,
+                        line,
+                    }),
+                    CmpOp::Gt | CmpOp::Ge => out.crosses.push(CrossFact {
+                        a: nb.clone(),
+                        b: na.clone(),
+                        kind: CrossKind::LeFactor(sa / sb),
+                        hard,
+                        line,
+                    }),
+                    _ => {}
+                }
+            }
+            return Some((false, false));
+        }
+        return None;
+    }
+
+    // (c) knob product vs constant.
+    let prod_const = match (&lhs.sym, &rhs.sym) {
+        (Sym::Product { a, b, scale }, _) if rhs.is_const() => {
+            Some((a.clone(), b.clone(), *scale, rhs.lo, op, lhs.lo, lhs.hi))
+        }
+        (_, Sym::Product { a, b, scale }) if lhs.is_const() => Some((
+            a.clone(),
+            b.clone(),
+            *scale,
+            lhs.lo,
+            op.flip(),
+            rhs.lo,
+            rhs.hi,
+        )),
+        _ => None,
+    };
+    if let Some((a, b, scale, c, op, plo, phi)) = prod_const {
+        if scale <= 0.0 {
+            return None;
+        }
+        let (af, at) = match op {
+            CmpOp::Lt => (plo >= c, phi < c),
+            CmpOp::Le => (plo > c, phi <= c),
+            CmpOp::Gt => (phi <= c, plo > c),
+            CmpOp::Ge => (phi < c, plo >= c),
+            CmpOp::Eq => (c < plo || c > phi, false),
+            CmpOp::Ne => (false, c < plo || c > phi),
+        };
+        if af {
+            out.findings.push((RuleId::KnobCross, line));
+            return Some((af, at));
+        }
+        if record {
+            let eff = if negate { op.negate() } else { op };
+            if matches!(eff, CmpOp::Lt | CmpOp::Le) {
+                out.crosses.push(CrossFact {
+                    a,
+                    b,
+                    kind: CrossKind::ProductLe(c / scale),
+                    hard,
+                    line,
+                });
+            }
+        }
+        return Some((af, at));
+    }
+
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluator
+// ---------------------------------------------------------------------------
+
+/// Evaluates the token range `[s, e)` as an arithmetic expression over
+/// the abstract domain. Anything unmodeled (or trailing unconsumed
+/// tokens) fails open to ⊤; facts recorded along the way remain valid.
+pub fn eval_range(
+    tokens: &[Token],
+    s: usize,
+    e: usize,
+    env: &Env,
+    table: &KnobTable,
+    out: &mut Analysis,
+) -> AbsVal {
+    let e = e.min(tokens.len());
+    if s >= e {
+        return AbsVal::top();
+    }
+    let mut ev = Eval {
+        tokens,
+        end: e,
+        pos: s,
+        env,
+        table,
+        out,
+    };
+    let v = ev.expr();
+    if ev.pos < e {
+        return AbsVal::top();
+    }
+    v
+}
+
+struct Eval<'a> {
+    tokens: &'a [Token],
+    end: usize,
+    pos: usize,
+    env: &'a Env,
+    table: &'a KnobTable,
+    out: &'a mut Analysis,
+}
+
+impl Eval<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).filter(|_| self.pos < self.end)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens
+            .get(self.pos + off)
+            .filter(|_| self.pos + off < self.end)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().map(|t| t.line).unwrap_or(0)
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> AbsVal {
+        let mut v = self.term();
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Some(t) if t.is_punct('+') => {
+                    self.pos += 1;
+                    let r = self.term();
+                    v = add_vals(&v, &r, line, self.out);
+                }
+                Some(t) if t.is_punct('-') => {
+                    self.pos += 1;
+                    let r = self.term();
+                    v = sub_vals(&v, &r, line, self.out);
+                }
+                _ => break,
+            }
+        }
+        v
+    }
+
+    /// term := unary (('*'|'/') unary)*
+    fn term(&mut self) -> AbsVal {
+        let mut v = self.unary();
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Some(t) if t.is_punct('*') => {
+                    self.pos += 1;
+                    let r = self.unary();
+                    v = mul_vals(&v, &r, line, self.out);
+                }
+                Some(t) if t.is_punct('/') => {
+                    self.pos += 1;
+                    let r = self.unary();
+                    v = div_vals(&v, &r);
+                }
+                _ => break,
+            }
+        }
+        v
+    }
+
+    /// unary := ('-'|'&'|'*') unary | '!' unary (⊤) | postfix
+    fn unary(&mut self) -> AbsVal {
+        match self.peek() {
+            Some(t) if t.is_punct('-') => {
+                self.pos += 1;
+                let v = self.unary();
+                mul_vals(&v, &AbsVal::constant(-1.0), 0, self.out)
+            }
+            Some(t) if t.is_punct('&') || t.is_punct('*') => {
+                // References and derefs are value-transparent here.
+                self.pos += 1;
+                self.unary()
+            }
+            Some(t) if t.is_punct('!') => {
+                self.pos += 1;
+                let _ = self.unary();
+                AbsVal::top()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// postfix := primary ('.' method-or-field | 'as' type | '?')*
+    fn postfix(&mut self) -> AbsVal {
+        let mut v = self.primary();
+        loop {
+            match self.peek() {
+                Some(t) if t.is_punct('.') => {
+                    let Some(next) = self.peek_at(1) else {
+                        self.pos += 1;
+                        return AbsVal::top();
+                    };
+                    if let Some(name) = next.ident() {
+                        if self.peek_at(2).is_some_and(|n| n.is_punct('(')) {
+                            // Method call: knob accessors resolve, all
+                            // others fail open.
+                            let name = name.to_string();
+                            let open = self.pos + 2;
+                            let close = matching(self.tokens, open, self.end, '(', ')');
+                            let resolved = if READ_ACCESSORS.contains(&name.as_str()) {
+                                self.knob_arg(open + 1, close)
+                            } else {
+                                None
+                            };
+                            self.pos = (close + 1).min(self.end);
+                            v = match resolved {
+                                Some(def) => AbsVal::knob(&def),
+                                None => AbsVal::top(),
+                            };
+                            continue;
+                        }
+                        // Field access / tuple index: unknown projection.
+                        self.pos += 2;
+                        v = AbsVal::top();
+                        continue;
+                    }
+                    // `.0` tuple index (Num token) or anything else.
+                    self.pos += 2;
+                    v = AbsVal::top();
+                    continue;
+                }
+                Some(t) if t.is_ident("as") => {
+                    // Numeric cast: identity on the abstract value; the
+                    // type path is consumed.
+                    self.pos += 1;
+                    while self
+                        .peek()
+                        .is_some_and(|t| t.ident().is_some() || t.is_punct(':'))
+                    {
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                Some(t) if t.is_punct('?') => {
+                    self.pos += 1;
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        v
+    }
+
+    /// primary := num | '(' expr ')' | str (⊤) | ident-path
+    fn primary(&mut self) -> AbsVal {
+        let Some(t) = self.peek().cloned() else {
+            return AbsVal::top();
+        };
+        let t = &t;
+        if let Some(text) = t.num_lit() {
+            self.pos += 1;
+            return match parse_num(text) {
+                Some(v) => AbsVal::constant(v),
+                None => AbsVal::top(),
+            };
+        }
+        if t.str_lit().is_some() {
+            self.pos += 1;
+            return AbsVal::top();
+        }
+        if t.is_punct('(') {
+            let close = matching(self.tokens, self.pos, self.end, '(', ')');
+            self.pos += 1;
+            let v = self.expr();
+            if self.pos != close {
+                // Unmodeled content inside the parens (tuples, comparisons).
+                self.pos = (close + 1).min(self.end);
+                return AbsVal::top();
+            }
+            self.pos = (close + 1).min(self.end);
+            return v;
+        }
+        if let Some(id) = t.ident() {
+            if id == "true" {
+                self.pos += 1;
+                return AbsVal::constant(1.0);
+            }
+            if id == "false" {
+                self.pos += 1;
+                return AbsVal::constant(0.0);
+            }
+            // Path segments `a::b::c` consume to the final atom.
+            let mut j = self.pos;
+            while self
+                .tokens
+                .get(j + 1)
+                .filter(|_| j + 1 < self.end)
+                .is_some_and(|n| n.is_punct(':'))
+                && self
+                    .tokens
+                    .get(j + 2)
+                    .filter(|_| j + 2 < self.end)
+                    .is_some_and(|n| n.is_punct(':'))
+                && self
+                    .tokens
+                    .get(j + 3)
+                    .filter(|_| j + 3 < self.end)
+                    .is_some_and(|n| n.ident().is_some())
+            {
+                j += 3;
+            }
+            if j != self.pos {
+                // Qualified path: a call or associated const — unknown.
+                self.pos = j + 1;
+                if self.peek().is_some_and(|n| n.is_punct('(')) {
+                    let close = matching(self.tokens, self.pos, self.end, '(', ')');
+                    self.pos = (close + 1).min(self.end);
+                }
+                return AbsVal::top();
+            }
+            if self.peek_at(1).is_some_and(|n| n.is_punct('(')) {
+                // Free call: consume arguments, unknown result.
+                let close = matching(self.tokens, self.pos + 1, self.end, '(', ')');
+                self.pos = (close + 1).min(self.end);
+                return AbsVal::top();
+            }
+            self.pos += 1;
+            if let Some(v) = self.env.get(id) {
+                return v.clone();
+            }
+            return AbsVal::top();
+        }
+        // Unknown token: consume it, fail open.
+        self.pos += 1;
+        AbsVal::top()
+    }
+
+    /// Resolves the first argument of an accessor call (`"name"` or a
+    /// registered const ident) against the knob table.
+    fn knob_arg(&self, s: usize, e: usize) -> Option<KnobDef> {
+        let first = self.tokens.get(s).filter(|_| s < e)?;
+        if let Some(lit) = first.str_lit() {
+            return self.table.knobs.get(lit).cloned();
+        }
+        // Const ident, possibly path-qualified: take the last ident
+        // before the closing paren / comma.
+        let mut last: Option<&str> = None;
+        for j in s..e {
+            if let Some(id) = self.tokens[j].ident() {
+                last = Some(id);
+            } else if self.tokens[j].is_punct(',') {
+                break;
+            }
+        }
+        let name = self.table.consts.get(last?)?;
+        self.table.knobs.get(name).cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic
+// ---------------------------------------------------------------------------
+
+/// Clamps a computed interval to a sane form (NaN → unbounded).
+fn sane(lo: f64, hi: f64) -> (f64, f64) {
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Joins units for additive operations: equal units survive, a unitless
+/// side inherits the other, conflicting units report K5 and drop.
+fn unit_join(a: &AbsVal, b: &AbsVal, line: u32, out: &mut Analysis) -> Option<String> {
+    match (a.unit.as_deref(), b.unit.as_deref()) {
+        (Some(ua), Some(ub)) => {
+            let (na, nb) = (normalize_unit(ua), normalize_unit(ub));
+            if na == nb {
+                a.unit.clone()
+            } else {
+                if na != "?" && nb != "?" {
+                    out.findings.push((RuleId::KnobUnit, line));
+                }
+                None
+            }
+        }
+        (Some(_), None) => a.unit.clone(),
+        (None, Some(_)) => b.unit.clone(),
+        (None, None) => None,
+    }
+}
+
+/// Abstract addition.
+pub fn add_vals(a: &AbsVal, b: &AbsVal, line: u32, out: &mut Analysis) -> AbsVal {
+    let (lo, hi) = sane(a.lo + b.lo, a.hi + b.hi);
+    let unit = unit_join(a, b, line, out);
+    let sym = match (&a.sym, &b.sym) {
+        (
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+            _,
+        ) if b.is_const() => Sym::Knob {
+            name: name.clone(),
+            scale: *scale,
+            offset: offset + b.lo,
+        },
+        (
+            _,
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+        ) if a.is_const() => Sym::Knob {
+            name: name.clone(),
+            scale: *scale,
+            offset: offset + a.lo,
+        },
+        _ => Sym::Top,
+    };
+    AbsVal { lo, hi, unit, sym }
+}
+
+/// Abstract subtraction.
+pub fn sub_vals(a: &AbsVal, b: &AbsVal, line: u32, out: &mut Analysis) -> AbsVal {
+    let (lo, hi) = sane(a.lo - b.hi, a.hi - b.lo);
+    let unit = unit_join(a, b, line, out);
+    let sym = match (&a.sym, &b.sym) {
+        (
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+            _,
+        ) if b.is_const() => Sym::Knob {
+            name: name.clone(),
+            scale: *scale,
+            offset: offset - b.lo,
+        },
+        (
+            _,
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+        ) if a.is_const() => Sym::Knob {
+            name: name.clone(),
+            scale: -scale,
+            offset: a.lo - offset,
+        },
+        _ => Sym::Top,
+    };
+    AbsVal { lo, hi, unit, sym }
+}
+
+/// Abstract multiplication. A product of two distinct knobs records a
+/// [`CrossKind::Product`] fact.
+pub fn mul_vals(a: &AbsVal, b: &AbsVal, line: u32, out: &mut Analysis) -> AbsVal {
+    let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+    let (lo, hi) = if corners.iter().any(|c| c.is_nan()) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    } else {
+        sane(
+            corners.iter().copied().fold(f64::INFINITY, f64::min),
+            corners.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        )
+    };
+    let sym = match (&a.sym, &b.sym) {
+        (
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+            _,
+        ) if b.is_const() => Sym::Knob {
+            name: name.clone(),
+            scale: scale * b.lo,
+            offset: offset * b.lo,
+        },
+        (
+            _,
+            Sym::Knob {
+                name,
+                scale,
+                offset,
+            },
+        ) if a.is_const() => Sym::Knob {
+            name: name.clone(),
+            scale: scale * a.lo,
+            offset: offset * a.lo,
+        },
+        (
+            Sym::Knob {
+                name: na,
+                scale: sa,
+                offset: oa,
+            },
+            Sym::Knob {
+                name: nb,
+                scale: sb,
+                offset: ob,
+            },
+        ) if na != nb && *oa == 0.0 && *ob == 0.0 => {
+            if !na.starts_with('$') && !nb.starts_with('$') {
+                out.crosses.push(CrossFact {
+                    a: na.clone().min(nb.clone()),
+                    b: na.clone().max(nb.clone()),
+                    kind: CrossKind::Product,
+                    hard: false,
+                    line,
+                });
+            }
+            Sym::Product {
+                a: na.clone(),
+                b: nb.clone(),
+                scale: sa * sb,
+            }
+        }
+        _ => Sym::Top,
+    };
+    AbsVal {
+        lo,
+        hi,
+        unit: None,
+        sym,
+    }
+}
+
+/// Abstract division. Division by a nonzero constant scales; a divisor
+/// interval containing zero fails open.
+pub fn div_vals(a: &AbsVal, b: &AbsVal) -> AbsVal {
+    if b.is_const() && b.lo != 0.0 {
+        let inv = AbsVal::constant(1.0 / b.lo);
+        let mut scratch = Analysis::default();
+        let mut v = mul_vals(a, &inv, 0, &mut scratch);
+        v.unit = None;
+        return v;
+    }
+    if b.lo > 0.0 || b.hi < 0.0 {
+        let corners = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi];
+        if corners.iter().any(|c| c.is_nan()) {
+            return AbsVal::top();
+        }
+        let (lo, hi) = sane(
+            corners.iter().copied().fold(f64::INFINITY, f64::min),
+            corners.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        return AbsVal {
+            lo,
+            hi,
+            unit: None,
+            sym: Sym::Top,
+        };
+    }
+    AbsVal::top()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CrateIndex;
+    use crate::config::DEFAULT_PROTOCOL;
+    use crate::knobs::extract_table;
+    use crate::lexer::lex;
+    use crate::rules::prepare;
+
+    const PARAMS: &str = r#"
+pub fn space() -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::int("exec_mem_mb", 512, 16384, 2048, "executor memory").with_unit("MB"),
+        ParamSpec::int("executors", 1, 64, 4, "executor count"),
+        ParamSpec::float("fraction", 0.1, 0.9, 0.5, "share"),
+        ParamSpec::int("wait_ms", 0, 10000, 3000, "locality wait").with_unit("ms"),
+        ParamSpec::int("parallelism", 1, 128, 8, "task parallelism"),
+    ]
+}
+"#;
+
+    fn table() -> KnobTable {
+        let lexed = lex(PARAMS);
+        extract_table([("crates/sim/src/fixture/params.rs", lexed.tokens.as_slice())].into_iter())
+    }
+
+    fn analyze(src: &str) -> Analysis {
+        analyze_with_index(src, &CrateIndex::default())
+    }
+
+    fn analyze_with_index(src: &str, index: &CrateIndex) -> Analysis {
+        let p = prepare("crates/sim/src/fixture/engine.rs", src).expect("classified");
+        analyze_file(&p, &table(), index)
+    }
+
+    #[test]
+    fn accessor_reads_carry_domain_and_unit() {
+        let t = table();
+        let p = prepare(
+            "crates/sim/src/fixture/engine.rs",
+            r#"fn f(c: &C) { let m = c.f64("exec_mem_mb"); }"#,
+        )
+        .expect("ok");
+        let mut out = Analysis::default();
+        let mut env = Env::new();
+        let (bs, be) = p.tree.items[0].body_span.expect("body");
+        scan_block(
+            &p.lexed.tokens,
+            &p.mask,
+            bs,
+            be,
+            &mut env,
+            &t,
+            &CrateIndex::default(),
+            &mut out,
+        );
+        let v = &env["m"];
+        assert_eq!((v.lo, v.hi), (512.0, 16384.0));
+        assert_eq!(v.unit.as_deref(), Some("MB"));
+        assert!(is_identity_knob(v));
+    }
+
+    #[test]
+    fn arithmetic_tracks_scale_and_offset() {
+        let t = table();
+        let src = r#"fn f(c: &C) { let x = c.f64("exec_mem_mb") * 2.0 + 10.0; if x < 2000.0 { panic!("too small"); } }"#;
+        let p = prepare("crates/sim/src/fixture/engine.rs", src).expect("ok");
+        let a = analyze_file(&p, &t, &CrateIndex::default());
+        // x < 2000 protective → feasible 2*k + 10 >= 2000 → k >= 995.
+        assert_eq!(a.findings, vec![]);
+        assert_eq!(a.narrows.len(), 1);
+        let n = &a.narrows[0];
+        assert_eq!(n.knob, "exec_mem_mb");
+        assert_eq!(n.lo, 995.0);
+        assert_eq!(n.hi, 16384.0);
+        assert!(n.hard);
+    }
+
+    #[test]
+    fn k4_fires_on_always_false_assert() {
+        // Declared max 16384; assert requires > 100000 → always false.
+        let a = analyze(r#"fn f(c: &C) { let m = c.f64("exec_mem_mb"); assert!(m > 100000.0); }"#);
+        assert_eq!(a.findings, vec![(RuleId::KnobNarrow, 1)]);
+    }
+
+    #[test]
+    fn k4_fires_on_always_true_protective_guard() {
+        // m <= 16384 always → the panic always fires.
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let m = c.f64("exec_mem_mb");
+    if m <= 16384.0 { panic!("bad"); }
+}"#,
+        );
+        assert_eq!(a.findings, vec![(RuleId::KnobNarrow, 3)]);
+    }
+
+    #[test]
+    fn live_guards_produce_facts_not_findings() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let m = c.f64("exec_mem_mb");
+    assert!(m >= 1024.0);
+    if m > 8192.0 { shrink(); }
+}"#,
+        );
+        assert!(a.findings.is_empty());
+        assert_eq!(a.narrows.len(), 2);
+        assert_eq!((a.narrows[0].lo, a.narrows[0].hi), (1024.0, 16384.0));
+        assert!(a.narrows[0].hard);
+        // Live branch condition: soft fact.
+        assert!(!a.narrows[1].hard);
+    }
+
+    #[test]
+    fn k5_fires_on_mixed_unit_comparison_and_suffix_conflict() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let m = c.f64("exec_mem_mb");
+    let w = c.f64("wait_ms");
+    if m > w { tune(); }
+}"#,
+        );
+        assert_eq!(a.findings, vec![(RuleId::KnobUnit, 4)]);
+
+        let b = analyze(r#"fn f(c: &C) { let wait_s = c.f64("wait_ms"); }"#);
+        assert_eq!(b.findings, vec![(RuleId::KnobUnit, 1)]);
+
+        let ok = analyze(r#"fn f(c: &C) { let wait_ms = c.f64("wait_ms"); }"#);
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn k6_product_and_bound_facts() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let total = c.f64("exec_mem_mb") * c.f64("executors");
+    assert!(total <= 65536.0);
+}"#,
+        );
+        assert!(a.findings.is_empty());
+        assert_eq!(a.crosses.len(), 2);
+        assert_eq!(a.crosses[0].kind, CrossKind::Product);
+        assert_eq!(a.crosses[1].kind, CrossKind::ProductLe(65536.0));
+    }
+
+    #[test]
+    fn k6_fires_on_statically_constant_cross_comparison() {
+        // fraction in [0.1, 0.9], exec_mem in [512, 16384]: disjoint.
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let fr = c.f64("fraction");
+    let m = c.f64("exec_mem_mb");
+    assert!(fr < m);
+}"#,
+        );
+        assert_eq!(a.findings, vec![(RuleId::KnobCross, 4)]);
+    }
+
+    #[test]
+    fn cross_le_factor_from_live_comparison() {
+        // executors [1,64] and parallelism [1,128] overlap, so the
+        // comparison is live: no K6, just a dependency fact.
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let e = c.f64("executors");
+    let p = c.f64("parallelism");
+    if e <= p { balance(); }
+}"#,
+        );
+        assert_eq!(a.findings, vec![]);
+        let cross: Vec<_> = a
+            .crosses
+            .iter()
+            .filter(|c| matches!(c.kind, CrossKind::LeFactor(_)))
+            .collect();
+        assert_eq!(cross.len(), 1);
+        assert_eq!(cross[0].a, "executors");
+        assert_eq!(cross[0].b, "parallelism");
+    }
+
+    #[test]
+    fn unsupported_ops_fail_open() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let m = helper(c.f64("exec_mem_mb"));
+    assert!(m > 1e12);
+    let n = c.f64("exec_mem_mb").sqrt();
+    assert!(n > 1e12);
+}"#,
+        );
+        // Both asserts are over ⊤ values: no findings, no facts.
+        assert!(a.findings.is_empty());
+        assert!(a.narrows.is_empty());
+    }
+
+    #[test]
+    fn reassignment_kills_binding() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let mut m = c.f64("exec_mem_mb");
+    m = recompute();
+    assert!(m > 1e12);
+}"#,
+        );
+        assert!(a.findings.is_empty());
+    }
+
+    #[test]
+    fn branch_bindings_do_not_leak() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    if cond() {
+        let m = c.f64("exec_mem_mb");
+        touch(m);
+    }
+    let m = other();
+    assert!(m > 1e12);
+}"#,
+        );
+        assert!(a.findings.is_empty());
+    }
+
+    #[test]
+    fn interprocedural_guard_narrows_and_fires_k4() {
+        // Build an index whose `check_mem` demands its arg >= 1024 (live)
+        // and `check_big` demands >= 1e9 (dead vs the declared domain).
+        let callee_src = r#"
+fn check_mem(mb: f64) { assert!(mb >= 1024.0); }
+fn check_big(mb: f64) { assert!(mb >= 1000000000.0); }
+"#;
+        let lexed = lex(callee_src);
+        let tree = crate::parser::parse(&lexed.tokens);
+        let mask = vec![false; lexed.tokens.len()];
+        let mut index = CrateIndex::default();
+        index.add_file(&tree, &lexed.tokens, &mask, &DEFAULT_PROTOCOL);
+        assert!(index.guards.contains_key("check_mem"), "guards extracted");
+
+        let a = analyze_with_index(
+            r#"fn f(c: &C) { check_mem(c.f64("exec_mem_mb")); }"#,
+            &index,
+        );
+        assert!(a.findings.is_empty());
+        assert_eq!(a.narrows.len(), 1);
+        assert_eq!((a.narrows[0].lo, a.narrows[0].hi), (1024.0, 16384.0));
+        assert!(a.narrows[0].hard);
+
+        let bad = analyze_with_index(
+            r#"fn f(c: &C) { check_big(c.f64("exec_mem_mb")); }"#,
+            &index,
+        );
+        assert_eq!(bad.findings, vec![(RuleId::KnobNarrow, 1)]);
+    }
+
+    #[test]
+    fn integer_domains_tighten_strict_bounds() {
+        let a = analyze(
+            r#"fn f(c: &C) {
+    let e = c.i64("executors") as f64;
+    if e > 32.0 { cap(); }
+}"#,
+        );
+        assert_eq!(a.narrows.len(), 1);
+        // e > 32 over an Int domain → e >= 33.
+        assert_eq!(a.narrows[0].lo, 33.0);
+    }
+}

@@ -58,6 +58,14 @@ pub fn prepare(rel_path: &str, src: &str) -> Option<Prepared> {
     })
 }
 
+/// Like [`finding_at`], but with a caller-supplied message (used where a
+/// rule's static message is enriched with the specific knob involved).
+pub fn finding_with_message(p: &Prepared, rule: RuleId, line: u32, message: String) -> Finding {
+    let mut f = finding_at(p, rule, line);
+    f.message = message;
+    f
+}
+
 /// Builds the finding for `rule` at `line` in the prepared file.
 pub fn finding_at(p: &Prepared, rule: RuleId, line: u32) -> Finding {
     Finding {
@@ -133,6 +141,17 @@ pub fn scan_prepared_indexed(
     if let Some(table) = table {
         if rule_applies(RuleId::KnobUnknown, &p.ctx) {
             knobs::check_consumers(&p.lexed.tokens, &p.mask, table, &mut raw);
+        }
+        // K4–K6 share one scope; the interval/unit propagation only runs
+        // where its findings could land.
+        if rule_applies(RuleId::KnobNarrow, &p.ctx) {
+            let analysis = crate::dataflow::analyze_file(p, table, index);
+            raw.extend(
+                analysis
+                    .findings
+                    .into_iter()
+                    .filter(|(rule, _)| rule_applies(*rule, &p.ctx)),
+            );
         }
     }
 
@@ -218,7 +237,7 @@ pub fn scan_sources(files: &[(String, String)]) -> crate::report::Report {
             findings.push(finding_at(p, RuleId::LockOrder, line));
         }
     }
-    for (file, rule, line) in knobs::unused_knobs(&table, streams()) {
+    for (file, rule, line, knob) in knobs::unused_knobs(&table, streams()) {
         let Some(p) = prepared.iter().find(|p| p.rel == file) else {
             continue;
         };
@@ -231,7 +250,11 @@ pub fn scan_sources(files: &[(String, String)]) -> crate::report::Report {
         if p.directives.iter().any(|d| d.covers(rule.id(), line)) {
             continue;
         }
-        findings.push(finding_at(p, rule, line));
+        // The finding points at the knob's ParamSpec def site, so name it.
+        let message = format!(
+            "knob `{knob}` (defined here) is never referenced by any tuner, engine, or scenario; wire it up or drop it"
+        );
+        findings.push(finding_with_message(p, rule, line, message));
     }
     crate::report::Report::new(findings, files.len())
 }

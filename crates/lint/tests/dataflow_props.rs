@@ -1,0 +1,178 @@
+//! Property tests for the K4–K6 interval propagation: for randomly
+//! generated arithmetic over a knob read followed by a random guard, any
+//! concrete knob value that *survives* the guard at runtime must lie
+//! inside the hard narrowed interval the dataflow derives — the
+//! constraints compiler shrinks search bounds from these facts, so an
+//! unsound interval would exclude live configurations. Unsupported
+//! operations (squaring, opaque calls) must fail open to ⊤, which the
+//! same property covers: no fact, nothing excluded.
+
+use autotune_lint::callgraph::CrateIndex;
+use autotune_lint::dataflow::analyze_file;
+use autotune_lint::knobs;
+use autotune_lint::rules::prepare;
+use proptest::prelude::*;
+
+/// One arithmetic step applied to the tracked value.
+#[derive(Debug, Clone)]
+enum Op {
+    Mul(f64),
+    Add(f64),
+    Sub(f64),
+    /// Unsupported by the affine tracker: must fail open, never produce
+    /// an unsound fact.
+    Square,
+}
+
+impl Op {
+    fn render(&self, expr: &str) -> String {
+        match self {
+            Op::Mul(k) => format!("({expr}) * {k:?}"),
+            Op::Add(k) => format!("({expr}) + {k:?}"),
+            Op::Sub(k) => format!("({expr}) - {k:?}"),
+            Op::Square => format!("({expr}) * ({expr})"),
+        }
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        match self {
+            Op::Mul(k) => x * k,
+            Op::Add(k) => x + k,
+            Op::Sub(k) => x - k,
+            Op::Square => x * x,
+        }
+    }
+}
+
+/// A guard over the derived value: `assert!(x CMP t)` (feasible region
+/// is where the condition holds) or `if x CMP t { panic!() }` (feasible
+/// region is the complement).
+#[derive(Debug, Clone)]
+struct Guard {
+    cmp: &'static str,
+    threshold: f64,
+    protective: bool,
+}
+
+impl Guard {
+    fn render(&self) -> String {
+        if self.protective {
+            format!(
+                "if x {} {:?} {{ panic!(\"bad\"); }}",
+                self.cmp, self.threshold
+            )
+        } else {
+            format!("assert!(x {} {:?});", self.cmp, self.threshold)
+        }
+    }
+
+    /// Whether a concrete derived value survives the guard.
+    fn survives(&self, x: f64) -> bool {
+        let holds = match self.cmp {
+            "<" => x < self.threshold,
+            "<=" => x <= self.threshold,
+            ">" => x > self.threshold,
+            ">=" => x >= self.threshold,
+            _ => unreachable!("generator emits only the four comparisons"),
+        };
+        if self.protective {
+            !holds
+        } else {
+            holds
+        }
+    }
+}
+
+fn op() -> BoxedStrategy<Op> {
+    prop_oneof![
+        (0.25f64..8.0).prop_map(Op::Mul),
+        (-16.0f64..16.0).prop_map(Op::Mul), // negative scales flip the interval
+        (-500.0f64..500.0).prop_map(Op::Add),
+        (-500.0f64..500.0).prop_map(Op::Sub),
+        Just(Op::Square),
+    ]
+    .boxed()
+}
+
+fn guard() -> BoxedStrategy<Guard> {
+    (
+        prop_oneof![Just("<"), Just("<="), Just(">"), Just(">=")],
+        -5000.0f64..50000.0,
+        0u32..2,
+    )
+        .prop_map(|(cmp, threshold, coin)| Guard {
+            cmp,
+            threshold,
+            protective: coin == 1,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hard_narrow_facts_never_exclude_surviving_values(
+        lo in 1.0f64..1000.0,
+        width in 1.0f64..10000.0,
+        ops in proptest::collection::vec(op(), 0..3),
+        g in guard(),
+    ) {
+        let hi = lo + width;
+        let params = format!(
+            r#"
+pub fn space() -> Vec<ParamSpec> {{
+    vec![ParamSpec::float("probe_knob", {lo:?}, {hi:?}, {lo:?}, "probe")]
+}}
+"#
+        );
+        let mut expr = "m".to_string();
+        for o in &ops {
+            expr = o.render(&expr);
+        }
+        let engine = format!(
+            r#"
+pub fn run(c: &Configuration) {{
+    let m = c.f64("probe_knob");
+    let x = {expr};
+    {}
+}}
+"#,
+            g.render()
+        );
+
+        let pp = prepare("crates/sim/src/fixture/params.rs", &params)
+            .expect("params prepares");
+        let pe = prepare("crates/sim/src/fixture/engine.rs", &engine)
+            .expect("engine prepares");
+        let table = knobs::extract_table(
+            [&pp, &pe]
+                .iter()
+                .map(|p| (p.rel.as_str(), p.lexed.tokens.as_slice())),
+        );
+        let analysis = analyze_file(&pe, &table, &CrateIndex::default());
+
+        // Soundness: every concrete domain value whose derived `x`
+        // survives the guard must sit inside every hard narrow fact
+        // (facts claim "values outside this interval cannot survive").
+        let eval = |v: f64| ops.iter().fold(v, |acc, o| o.eval(acc));
+        for n in analysis.narrows.iter().filter(|n| n.hard) {
+            prop_assert_eq!(&n.knob, "probe_knob");
+            for i in 0..=64u32 {
+                let v = lo + (hi - lo) * f64::from(i) / 64.0;
+                if g.survives(eval(v)) {
+                    // Tolerance scaled to the magnitudes involved: the
+                    // tracker divides by the accumulated scale.
+                    let tol = 1e-6 * (1.0 + v.abs() + n.lo.abs() + n.hi.abs());
+                    prop_assert!(
+                        v >= n.lo - tol && v <= n.hi + tol,
+                        "surviving value {v} outside hard narrow [{}, {}]\n\
+                         ops: {ops:?}\nguard: {g:?}\nengine:\n{engine}",
+                        n.lo,
+                        n.hi,
+                    );
+                }
+            }
+        }
+    }
+}

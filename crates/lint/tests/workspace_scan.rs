@@ -91,11 +91,26 @@ fn new_rules_fire_at_expected_lines() {
         (&fixtures::K1_BAD_MULTI, "K1", 4),
         (&fixtures::K2_SET_BAD_MULTI, "K2", 3),
         (&fixtures::K3_BAD_MULTI, "K3", 10),
+        (&fixtures::K4_BAD_MULTI, "K4", 4),
+        (&fixtures::K4_CALL_BAD_MULTI, "K4", 4),
+        (&fixtures::K5_BAD_MULTI, "K5", 5),
+        (&fixtures::K6_BAD_MULTI, "K6", 5),
     ] {
         let report = scan_multi(fx);
         assert_eq!(report.findings.len(), 1, "fixture `{}`", fx.label);
         assert_eq!(report.findings[0].rule, rule, "fixture `{}`", fx.label);
         assert_eq!(report.findings[0].line, line, "fixture `{}`", fx.label);
+    }
+    // The dataflow findings land in the consumer file (for the
+    // interprocedural case: at the call site whose argument feeds the
+    // dead guard), not in the params module that declared the knob.
+    for fx in [&fixtures::K4_BAD_MULTI, &fixtures::K4_CALL_BAD_MULTI] {
+        let report = scan_multi(fx);
+        assert_eq!(
+            report.findings[0].file, "crates/sim/src/fixture/engine.rs",
+            "fixture `{}`",
+            fx.label
+        );
     }
     // C1 across files: the cycle's witnesses are the helper call site
     // (whose lock set comes from the other file's summary) and the
@@ -227,6 +242,56 @@ fn sarif_snapshot_for_c_series_finding() {
     assert!(
         sarif.contains(expected),
         "SARIF C4 result shape changed:\n{sarif}"
+    );
+}
+
+#[test]
+fn sarif_snapshot_for_k_series_dataflow_finding() {
+    let report = scan_multi(&fixtures::K4_BAD_MULTI);
+    let sarif = report.sarif();
+    // The knob-semantics rules appear in the auto-derived rule catalog …
+    for (id, name) in [
+        ("K4", "knob-narrow"),
+        ("K5", "knob-unit"),
+        ("K6", "knob-cross"),
+    ] {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{id}\"")),
+            "missing catalog entry for {id}:\n{sarif}"
+        );
+        assert!(
+            sarif.contains(&format!("\"name\": \"{name}\"")),
+            "missing catalog name for {id}:\n{sarif}"
+        );
+    }
+    // … and the K4 result block is byte-exact.
+    let expected = r#"      "results": [
+        {
+          "ruleId": "K4",
+          "level": "error",
+          "message": {
+            "text": "knob guard is statically dead against the declared domain; fix the bound or the domain"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/sim/src/fixture/engine.rs"
+                },
+                "region": {
+                  "startLine": 4,
+                  "snippet": {
+                    "text": "assert!(m > 100000.0);"
+                  }
+                }
+              }
+            }
+          ]
+        }
+      ]"#;
+    assert!(
+        sarif.contains(expected),
+        "SARIF K4 result shape changed:\n{sarif}"
     );
 }
 

@@ -447,6 +447,7 @@ mod tests {
                 noise: "none".into(),
                 warm_start: false,
                 surrogate: "auto".into(),
+                constraints: String::new(),
             },
             warm_source: None,
             created_unix_ms: 0,

@@ -7,6 +7,12 @@
 //! the search tuners that benefit from a service (GP-based and the random
 //! baseline) are exposed; one-shot rule/cost tuners have no use for a
 //! persistent session.
+//!
+//! A spec may name a knob-constraint artifact (`"constraints":
+//! "bench_results/knob_constraints.json"`); the session's tuner then
+//! searches the statically-reduced space with rule-derived prior seeds.
+//! The empty string (the default) keeps the unconstrained search and its
+//! bit-identical trajectories.
 
 use crate::{ServeError, ServeResult};
 use autotune_core::{Configuration, Objective, Observation, Tuner};
@@ -14,6 +20,7 @@ use autotune_math::surrogate::SurrogateConfig;
 use autotune_sim::noise::NoiseModel;
 use autotune_sim::{DbmsSimulator, HadoopSimulator, SparkSimulator};
 use autotune_tuners::baselines::RandomSearchTuner;
+use autotune_tuners::util::SearchConstraints;
 use autotune_tuners::warm::{best_k_configs, warm_started_ituned, warm_started_ottertune};
 use autotune_tuners::{experiment::ITunedTuner, ml::OtterTuneTuner, ml::WorkloadRepository};
 use serde::{Deserialize, Serialize};
@@ -46,6 +53,10 @@ pub struct SessionSpec {
     /// GP surrogate backend for the model-based tuners
     /// (`exact | sod | nystrom | auto`); ignored by `random`.
     pub surrogate: String,
+    /// Path to a knob-constraint artifact (`autotune-lint
+    /// --emit-constraints` output), or empty for an unconstrained search;
+    /// ignored by `random`.
+    pub constraints: String,
 }
 
 impl Deserialize for SessionSpec {
@@ -57,6 +68,10 @@ impl Deserialize for SessionSpec {
             Some((_, sv)) => String::from_value(sv)?,
             None => "auto".to_string(),
         };
+        let constraints = match map.iter().find(|(k, _)| k == "constraints") {
+            Some((_, cv)) => String::from_value(cv)?,
+            None => String::new(),
+        };
         Ok(SessionSpec {
             system: serde::__field(map, "system", "SessionSpec")?,
             tuner: serde::__field(map, "tuner", "SessionSpec")?,
@@ -65,6 +80,7 @@ impl Deserialize for SessionSpec {
             noise: serde::__field(map, "noise", "SessionSpec")?,
             warm_start: serde::__field(map, "warm_start", "SessionSpec")?,
             surrogate,
+            constraints,
         })
     }
 }
@@ -96,6 +112,33 @@ impl SessionSpec {
                 self.surrogate
             ))
         })
+    }
+
+    /// Loads and resolves the knob-constraint artifact this spec names,
+    /// or `None` for the (default) unconstrained search. A missing file,
+    /// a stale artifact version, or an unknown platform fails at create
+    /// time like every other bad spec field.
+    pub fn search_constraints(&self) -> ServeResult<Option<SearchConstraints>> {
+        if self.constraints.is_empty() {
+            return Ok(None);
+        }
+        let space = match self.platform() {
+            "dbms" => autotune_sim::dbms::dbms_space(),
+            "hadoop" => autotune_sim::hadoop::hadoop_space(),
+            "spark" => autotune_sim::spark::spark_space(),
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "no constraint support for platform '{other}'"
+                )))
+            }
+        };
+        SearchConstraints::load(
+            std::path::Path::new(&self.constraints),
+            self.platform(),
+            &space,
+        )
+        .map(Some)
+        .map_err(|e| ServeError::BadRequest(format!("constraints: {e}")))
     }
 }
 
@@ -135,21 +178,26 @@ pub fn build_tuner(
     warm: Option<(&str, &[Observation])>,
 ) -> ServeResult<Box<dyn Tuner + Send>> {
     let surrogate = spec.surrogate_config()?;
+    let constraints = spec.search_constraints()?;
     Ok(match spec.tuner.as_str() {
-        "ituned" => match warm {
-            Some((_, past)) => {
-                Box::new(warm_started_ituned(past, WARM_SEED_CONFIGS).with_surrogate(surrogate))
-            }
-            None => Box::new(ITunedTuner::new().with_surrogate(surrogate)),
-        },
-        "ottertune" => match warm {
-            Some((id, past)) => {
-                Box::new(warm_started_ottertune(id, past).with_surrogate(surrogate))
-            }
-            None => {
-                Box::new(OtterTuneTuner::new(WorkloadRepository::new()).with_surrogate(surrogate))
-            }
-        },
+        "ituned" => {
+            let mut t = match warm {
+                Some((_, past)) => {
+                    warm_started_ituned(past, WARM_SEED_CONFIGS).with_surrogate(surrogate)
+                }
+                None => ITunedTuner::new().with_surrogate(surrogate),
+            };
+            t.constraints = constraints;
+            Box::new(t)
+        }
+        "ottertune" => {
+            let mut t = match warm {
+                Some((id, past)) => warm_started_ottertune(id, past).with_surrogate(surrogate),
+                None => OtterTuneTuner::new(WorkloadRepository::new()).with_surrogate(surrogate),
+            };
+            t.constraints = constraints;
+            Box::new(t)
+        }
         "random" => Box::new(RandomSearchTuner),
         other => {
             return Err(ServeError::BadRequest(format!(
@@ -178,6 +226,7 @@ mod tests {
             noise: "none".into(),
             warm_start: false,
             surrogate: "auto".into(),
+            constraints: String::new(),
         }
     }
 
@@ -214,6 +263,35 @@ mod tests {
         let s: SessionSpec = serde_json::from_str(legacy).expect("legacy spec");
         assert_eq!(s.surrogate, "auto");
         assert_eq!(s, spec("dbms-oltp", "ituned"));
+    }
+
+    #[test]
+    fn constraints_field_validates_and_defaults_empty() {
+        // No `constraints` key → empty string → unconstrained (back-compat).
+        let legacy = r#"{"system":"dbms-oltp","tuner":"ituned","seed":1,
+                         "budget":5,"noise":"none","warm_start":false}"#;
+        let s: SessionSpec = serde_json::from_str(legacy).expect("legacy spec");
+        assert!(s.constraints.is_empty());
+        assert!(s.search_constraints().expect("unconstrained").is_none());
+
+        // A nonexistent artifact path fails at create time.
+        let mut bad = spec("dbms-oltp", "ituned");
+        bad.constraints = "/no/such/artifact.json".into();
+        assert!(bad.validate().is_err());
+
+        // The committed workspace artifact resolves for every platform.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../bench_results/knob_constraints.json"
+        );
+        if std::path::Path::new(path).exists() {
+            for sys in ["dbms-oltp", "hadoop-terasort", "spark-agg"] {
+                let mut c = spec(sys, "ituned");
+                c.constraints = path.into();
+                c.validate().expect("artifact resolves");
+                assert!(c.search_constraints().expect("loads").is_some());
+            }
+        }
     }
 
     #[test]

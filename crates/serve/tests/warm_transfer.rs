@@ -24,6 +24,7 @@ fn spec(seed: u64, budget: usize, warm: bool) -> SessionSpec {
         noise: "none".into(),
         warm_start: warm,
         surrogate: "auto".into(),
+        constraints: String::new(),
     }
 }
 
@@ -187,6 +188,7 @@ fn warm_lookup_ignores_other_platforms_and_unfinished_sessions() {
             noise: "none".into(),
             warm_start: false,
             surrogate: "auto".into(),
+            constraints: String::new(),
         },
         warm_source: None,
         created_unix_ms: 0,

@@ -8,7 +8,9 @@
 //! This is the tutorial's flagship experiment-driven approach and the
 //! backbone of the Table 1/Table 2 comparisons.
 
-use crate::util::{argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache};
+use crate::util::{
+    argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache, SearchConstraints,
+};
 use autotune_core::{
     Configuration, History, Recommendation, SurrogateStats, Tuner, TunerFamily, TuningContext,
 };
@@ -45,6 +47,11 @@ pub struct ITunedTuner {
     /// default `auto` stays on the exact GP below its threshold, so
     /// default trajectories are unchanged from the pre-surrogate code.
     pub surrogate: SurrogateConfig,
+    /// Static knob knowledge from the lint-compiled constraint artifact:
+    /// reduced per-knob boxes, dependency filters, and prior seed
+    /// configurations. `None` (the default) leaves every trajectory
+    /// bit-identical to the unconstrained tuner.
+    pub constraints: Option<SearchConstraints>,
     init_plan: Vec<Vec<f64>>,
     planned: bool,
     cache: Option<GpCache>,
@@ -61,6 +68,7 @@ impl Default for ITunedTuner {
             hyper_interval: 5,
             seed_configs: Vec::new(),
             surrogate: SurrogateConfig::default(),
+            constraints: None,
             init_plan: Vec::new(),
             planned: false,
             cache: None,
@@ -115,6 +123,14 @@ impl ITunedTuner {
     /// or the size-triggered auto policy).
     pub fn with_surrogate(mut self, config: SurrogateConfig) -> Self {
         self.surrogate = config;
+        self
+    }
+
+    /// Applies static knob knowledge (reduced bounds, dependencies, prior
+    /// seeds) from the lint-compiled constraint artifact. Opt-in: without
+    /// this call the tuner's trajectories are unchanged.
+    pub fn with_constraints(mut self, constraints: SearchConstraints) -> Self {
+        self.constraints = Some(constraints);
         self
     }
 
@@ -182,6 +198,27 @@ impl Tuner for ITunedTuner {
                     *slot = ctx.space.encode(cfg);
                 }
             }
+            if let Some(cons) = &self.constraints {
+                // Prior-derived seed configs take the slots after the
+                // caller's seeds — capped at three so they inform the
+                // design without displacing its space-filling rows. Every
+                // initial point is then pulled into the reduced boxes (the
+                // default stays reachable — the boxes are widened to
+                // contain it) and projected onto the dependency-feasible
+                // region, so a sliver-thin feasible set doesn't swallow
+                // the whole initial budget on infeasible rows.
+                let first = 1 + self.seed_configs.len();
+                for (slot, seed) in (first..).zip(cons.seeds().iter().take(3)) {
+                    let Some(s) = self.init_plan.get_mut(slot) else {
+                        break;
+                    };
+                    *s = ctx.space.encode(seed);
+                }
+                for p in self.init_plan.iter_mut() {
+                    cons.clamp_point(p);
+                    cons.repair_point(&ctx.space, p);
+                }
+            }
             self.planned = true;
         }
         let step = history.len();
@@ -204,8 +241,20 @@ impl Tuner for ITunedTuner {
         let gp = &cache.gp;
         let y_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
 
-        let anchors = best_anchors(history, &ctx.space, 3);
+        let mut anchors = best_anchors(history, &ctx.space, 3);
+        if let Some(cons) = &self.constraints {
+            // The combined rule-of-thumb config stays an anchor for EI
+            // perturbations: the priors' neighbourhood remains reachable
+            // even when the incumbents sit elsewhere.
+            if let Some(seed) = cons.seeds().first() {
+                anchors.push(ctx.space.encode(seed));
+            }
+        }
         let pool = candidate_pool(dim, self.pool_size, &anchors, 40, 0.1, rng);
+        let pool = match &self.constraints {
+            Some(cons) => cons.apply_to_pool(&ctx.space, pool),
+            None => pool,
+        };
         // Batched EI over the whole pool: one cross-covariance + multi-RHS
         // solve per chunk instead of a triangular solve per candidate.
         match argmax_ei(gp, &pool, y_best, self.xi) {

@@ -15,7 +15,9 @@
 //!    data plus the target's own observations, Expected Improvement on the
 //!    top-ranked knobs.
 
-use crate::util::{argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache};
+use crate::util::{
+    argmax_ei, best_anchors, candidate_pool, log_runtimes, GpCache, SearchConstraints,
+};
 use autotune_core::{
     ConfigSpace, Configuration, History, KnobRanking, Metrics, Observation, Recommendation,
     SurrogateStats, Tuner, TunerFamily, TuningContext,
@@ -267,6 +269,10 @@ pub struct OtterTuneTuner {
     /// historical trajectories, and goes Nyström for large mapped
     /// repositories.
     pub surrogate: SurrogateConfig,
+    /// Static knob knowledge from the lint-compiled constraint artifact.
+    /// `None` (the default) leaves trajectories bit-identical to the
+    /// unconstrained tuner.
+    pub constraints: Option<SearchConstraints>,
     init_plan: Vec<Vec<f64>>,
     planned: bool,
     pruned_metrics: Vec<String>,
@@ -295,6 +301,7 @@ impl OtterTuneTuner {
             xi: 0.01,
             hyper_interval: 5,
             surrogate: SurrogateConfig::default(),
+            constraints: None,
             init_plan: Vec::new(),
             planned: false,
             pruned_metrics: Vec::new(),
@@ -321,6 +328,14 @@ impl OtterTuneTuner {
     /// or the size-triggered auto policy).
     pub fn with_surrogate(mut self, config: SurrogateConfig) -> Self {
         self.surrogate = config;
+        self
+    }
+
+    /// Applies static knob knowledge (reduced bounds, dependencies, prior
+    /// seeds) from the lint-compiled constraint artifact. Opt-in: without
+    /// this call the tuner's trajectories are unchanged.
+    pub fn with_constraints(mut self, constraints: SearchConstraints) -> Self {
+        self.constraints = Some(constraints);
         self
     }
 }
@@ -353,6 +368,22 @@ impl Tuner for OtterTuneTuner {
             self.init_plan = maximin_lhs(self.init_samples.max(2), dim, 8, rng);
             if let Some(first) = self.init_plan.first_mut() {
                 *first = ctx.space.encode(&ctx.space.default_config());
+            }
+            if let Some(cons) = &self.constraints {
+                // Prior seed configs fill the slots after the default
+                // (capped so they don't displace the space-filling rows);
+                // all initial points are pulled into the reduced boxes and
+                // projected onto the dependency-feasible region.
+                for (i, seed) in cons.seeds().iter().take(2).enumerate() {
+                    let Some(slot) = self.init_plan.get_mut(1 + i) else {
+                        break;
+                    };
+                    *slot = ctx.space.encode(seed);
+                }
+                for p in self.init_plan.iter_mut() {
+                    cons.clamp_point(p);
+                    cons.repair_point(&ctx.space, p);
+                }
             }
             self.pruned_metrics = prune_metrics(&self.repository, self.metric_clusters, rng);
             self.planned = true;
@@ -476,6 +507,10 @@ impl Tuner for OtterTuneTuner {
         pool.extend(candidate_pool(dim, 0, &anchors, 40, 0.08, rng));
         // The transferred configurations themselves are candidates too.
         pool.extend(anchors.iter().skip(1).cloned());
+        let pool = match &self.constraints {
+            Some(cons) => cons.apply_to_pool(&ctx.space, pool),
+            None => pool,
+        };
 
         // Batched EI over the whole pool (bit-identical to the old
         // per-point loop, first index winning ties).

@@ -161,6 +161,13 @@ impl RuleBook {
         self.rules.is_empty()
     }
 
+    /// The rules, in application order (later rules override earlier
+    /// ones). Exposed so knowledge compilers (`autotune-lint
+    /// --emit-constraints`) can turn rule actions into priors.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
     /// Applies every matching rule on top of the defaults, clamping values
     /// into each knob's domain. Returns the configuration and the audit
     /// trail of applied rules.

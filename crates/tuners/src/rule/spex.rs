@@ -119,6 +119,16 @@ impl Constraint {
     }
 }
 
+/// Deployment budgets that instantiate the constraint books: how many
+/// concurrent sessions charge the per-session memory pools, how many
+/// nodes the cluster has, and whether executor overhead is budgeted at
+/// its worst case (safety/repair) or its default (search prior).
+struct InferBudget {
+    sessions: f64,
+    nodes: f64,
+    worst_case_overhead: bool,
+}
+
 /// Inferred constraint set for one system, plus check/repair operations.
 #[derive(Debug, Clone, Default)]
 pub struct ConstraintSet {
@@ -145,6 +155,12 @@ impl ConstraintSet {
     /// Whether empty.
     pub fn is_empty(&self) -> bool {
         self.constraints.is_empty()
+    }
+
+    /// The constraints themselves, for knowledge compilers that export
+    /// them (`autotune-lint --emit-constraints`).
+    pub fn all(&self) -> &[Constraint] {
+        &self.constraints
     }
 
     /// All violations in a configuration.
@@ -198,19 +214,61 @@ impl ConstraintSet {
 
     /// "Mines" constraints from a system's knob space and profile — the
     /// SPEX idea of extracting constraints from source/docs, instantiated
-    /// for the resource knobs our simulators expose.
+    /// for the resource knobs our simulators expose. Deployment-agnostic:
+    /// budgets assume a generic busy deployment (64 concurrent DBMS
+    /// sessions, 8 worker nodes, worst-case executor overhead).
     pub fn infer_for(space: &ConfigSpace) -> Self {
+        Self::infer_with(
+            space,
+            &InferBudget {
+                sessions: 64.0,
+                nodes: 8.0,
+                worst_case_overhead: true,
+            },
+        )
+    }
+
+    /// Like [`ConstraintSet::infer_for`], but instantiated against an
+    /// actual deployment. The constraint *shapes* are identical — only the
+    /// budgets change: concurrent-session estimates come from the workload
+    /// class and core count (an analytic workload runs ~one heavy query
+    /// per core; a transactional one multiplexes many short sessions per
+    /// core), the cluster size comes from the profile, and executor
+    /// overhead is budgeted at the space's default rather than its
+    /// worst case — the compiled artifact is a search prior, not an
+    /// admission check, so it budgets the typical config it recommends.
+    pub fn infer_for_profile(space: &ConfigSpace, profile: &SystemProfile) -> Self {
+        use autotune_core::WorkloadClass;
+        let cores = profile.cores_per_node.max(1) as f64;
+        let sessions = match profile.workload {
+            WorkloadClass::Olap | WorkloadClass::Batch | WorkloadClass::Iterative => cores,
+            WorkloadClass::Mixed => cores * 2.0,
+            WorkloadClass::Oltp | WorkloadClass::Streaming => cores * 8.0,
+        };
+        Self::infer_with(
+            space,
+            &InferBudget {
+                sessions: sessions.max(1.0),
+                nodes: profile.nodes.max(1) as f64,
+                worst_case_overhead: false,
+            },
+        )
+    }
+
+    fn infer_with(space: &ConfigSpace, budget: &InferBudget) -> Self {
         let has = |k: &str| space.spec(k).is_some();
         let mut set = ConstraintSet::new();
-        // DBMS memory books.
+        // DBMS memory books: the per-session pools are charged once per
+        // concurrently active operation — roughly half the sessions sort
+        // at once, a quarter touch temp tables.
         if has("shared_buffers_mb") && has("work_mem_mb") {
             set = set.with(Constraint::MemorySum {
                 terms: vec![
                     ("shared_buffers_mb".into(), 1.0),
-                    ("work_mem_mb".into(), 32.0), // ~concurrent sorts
+                    ("work_mem_mb".into(), (budget.sessions * 0.5).max(1.0)),
                     ("maintenance_work_mem_mb".into(), 1.0),
                     ("wal_buffers_mb".into(), 1.0),
-                    ("temp_buffers_mb".into(), 16.0), // ~concurrent sessions
+                    ("temp_buffers_mb".into(), (budget.sessions * 0.25).max(1.0)),
                 ],
                 limit_fraction: 0.9,
                 why: "DBMS memory pools must fit in RAM".into(),
@@ -244,20 +302,27 @@ impl ConstraintSet {
         // Spark allocation books.
         if has("executor_instances") && has("executor_memory_mb") {
             // The cluster manager charges executor memory multiplied by
-            // (1 + overhead factor); budget for the largest overhead the
-            // space allows so no repaired config can overcommit.
-            let overhead_max = space
+            // (1 + overhead factor). The safety budget (repair engine)
+            // assumes the largest overhead the space allows so no repaired
+            // config can overcommit; the prior budget assumes the default
+            // overhead, which is what a recommended config actually runs.
+            let overhead = space
                 .spec("memory_overhead_factor")
                 .and_then(|s| match s.domain {
-                    autotune_core::ParamDomain::Float { max, .. } => Some(max),
+                    autotune_core::ParamDomain::Float { min: _, max, .. } => {
+                        if budget.worst_case_overhead {
+                            Some(max)
+                        } else {
+                            s.default.as_f64()
+                        }
+                    }
                     _ => None,
                 })
                 .unwrap_or(0.0);
             set = set.with(Constraint::ProductUnderMemory {
                 a: "executor_instances".into(),
                 b: "executor_memory_mb".into(),
-                // cluster-wide ≈ nodes × node mem; conservative 8-node assumption
-                limit_fraction: 0.95 * 8.0 / (1.0 + overhead_max),
+                limit_fraction: 0.95 * budget.nodes / (1.0 + overhead),
                 why: "executors × (memory + overhead) must fit in the cluster".into(),
             });
         }

@@ -2,7 +2,10 @@
 //! penalized objective extraction from history, and the incremental
 //! Gaussian-process surrogate cache shared by iTuned and OtterTune.
 
-use autotune_core::{ConfigSpace, History, SurrogateStats};
+use autotune_core::{
+    ConfigSpace, Configuration, Dependency, History, ParamDomain, ParamValue, SurrogateStats,
+    SystemConstraints,
+};
 use autotune_math::batch::{argmax_first, chunked_scores};
 use autotune_math::surrogate::{Surrogate, SurrogateConfig, SurrogateModel};
 use rand::rngs::StdRng;
@@ -137,6 +140,315 @@ pub fn candidate_pool(
     pool
 }
 
+/// A pairwise/linear dependency with knob names resolved to dimension
+/// indices of one concrete space.
+#[derive(Debug, Clone)]
+enum ResolvedDep {
+    /// `raw[a] <= factor * raw[b]`.
+    LeFactor { a: usize, b: usize, factor: f64 },
+    /// `Π raw[i]^1 * weight_i ... <= limit` (weights multiply each term).
+    ProductLe {
+        terms: Vec<(usize, f64)>,
+        limit: f64,
+    },
+    /// `Σ weight_i * raw[i] <= limit`.
+    SumLe {
+        terms: Vec<(usize, f64)>,
+        limit: f64,
+    },
+}
+
+/// Static knowledge from the knob-constraint artifact
+/// (`bench_results/knob_constraints.json`), compiled by `autotune-lint
+/// --emit-constraints` and resolved against one configuration space.
+///
+/// Consumers are strictly opt-in: a tuner without constraints follows the
+/// exact historical code path, so seeded trajectories stay bit-identical.
+/// With constraints, candidate generation is clamped into per-knob reduced
+/// boxes (widened to keep the vendor default reachable), dependency-violating
+/// candidates are filtered out (failing open when the filter would empty the
+/// pool), and rule-derived priors become seed configurations for the
+/// initial design.
+#[derive(Debug, Clone)]
+pub struct SearchConstraints {
+    /// Per-dimension unit-cube boxes `[lo, hi]`.
+    boxes: Vec<(f64, f64)>,
+    deps: Vec<ResolvedDep>,
+    seeds: Vec<Configuration>,
+}
+
+/// Unit-cube coordinate of a raw numeric value under a domain (clamped;
+/// categorical raw values are choice indices).
+fn unit_of(domain: &ParamDomain, raw: f64) -> f64 {
+    let lerp = |lo: f64, hi: f64, v: f64| {
+        if hi > lo {
+            ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    };
+    match domain {
+        ParamDomain::Int { min, max, log } => {
+            let v = raw.clamp(*min as f64, *max as f64);
+            if *log {
+                lerp((*min as f64).ln(), (*max as f64).ln(), v.ln())
+            } else {
+                lerp(*min as f64, *max as f64, v)
+            }
+        }
+        ParamDomain::Float { min, max, log } => {
+            let v = raw.clamp(*min, *max);
+            if *log {
+                lerp(min.ln(), max.ln(), v.ln())
+            } else {
+                lerp(*min, *max, v)
+            }
+        }
+        ParamDomain::Bool => raw.clamp(0.0, 1.0),
+        ParamDomain::Categorical { choices } => {
+            lerp(0.0, choices.len().saturating_sub(1) as f64, raw)
+        }
+    }
+}
+
+/// Raw numeric value of a parameter decoded from a unit coordinate
+/// (categoricals map to their choice index).
+fn raw_of(domain: &ParamDomain, u: f64) -> f64 {
+    match (domain, domain.decode(u)) {
+        (ParamDomain::Categorical { choices }, ParamValue::Str(s)) => {
+            choices.iter().position(|c| c == &s).unwrap_or(0) as f64
+        }
+        (_, v) => v.as_f64().unwrap_or(0.0),
+    }
+}
+
+/// A raw numeric value turned back into a domain-typed `ParamValue`.
+fn value_of(domain: &ParamDomain, raw: f64) -> ParamValue {
+    match domain {
+        ParamDomain::Int { min, max, .. } => {
+            ParamValue::Int((raw.round() as i64).clamp(*min, *max))
+        }
+        ParamDomain::Float { min, max, .. } => ParamValue::Float(raw.clamp(*min, *max)),
+        ParamDomain::Bool => ParamValue::Bool(raw >= 0.5),
+        ParamDomain::Categorical { choices } => {
+            let i = (raw.round() as usize).min(choices.len().saturating_sub(1));
+            ParamValue::Str(choices[i].clone())
+        }
+    }
+}
+
+impl SearchConstraints {
+    /// Resolves one system's artifact entry against a concrete space.
+    /// Knobs or dependencies naming parameters the space does not have are
+    /// dropped (fail open), never invented.
+    pub fn from_artifact(sys: &SystemConstraints, space: &ConfigSpace) -> Self {
+        let default_point = space.encode(&space.default_config());
+        let mut boxes = Vec::with_capacity(space.dim());
+        for (i, spec) in space.params().iter().enumerate() {
+            let boxed = sys.knobs.get(&spec.name).map(|k| {
+                let lo = unit_of(&spec.domain, k.reduced_lo);
+                let hi = unit_of(&spec.domain, k.reduced_hi);
+                // The vendor default must stay reachable: the default config
+                // anchors every initial design.
+                let d = default_point.get(i).copied().unwrap_or(0.5);
+                (lo.min(d), hi.max(d))
+            });
+            boxes.push(match boxed {
+                Some((lo, hi)) if lo <= hi => (lo, hi),
+                _ => (0.0, 1.0),
+            });
+        }
+
+        let resolve = |name: &str| space.index_of(name);
+        let mut deps = Vec::new();
+        for d in &sys.deps {
+            let resolved = match d {
+                Dependency::LeFactor { a, b, factor, .. } => {
+                    resolve(a)
+                        .zip(resolve(b))
+                        .map(|(a, b)| ResolvedDep::LeFactor {
+                            a,
+                            b,
+                            factor: *factor,
+                        })
+                }
+                Dependency::ProductLe { terms, limit, .. } => terms
+                    .iter()
+                    .map(|(n, w)| resolve(n).map(|i| (i, *w)))
+                    .collect::<Option<Vec<_>>>()
+                    .map(|terms| ResolvedDep::ProductLe {
+                        terms,
+                        limit: *limit,
+                    }),
+                Dependency::SumLe { terms, limit, .. } => terms
+                    .iter()
+                    .map(|(n, w)| resolve(n).map(|i| (i, *w)))
+                    .collect::<Option<Vec<_>>>()
+                    .map(|terms| ResolvedDep::SumLe {
+                        terms,
+                        limit: *limit,
+                    }),
+            };
+            if let Some(r) = resolved {
+                deps.push(r);
+            }
+        }
+
+        // Seed configurations: first the combined rule-of-thumb config
+        // (every knob at its strongest prior), then one config per knob
+        // that moves only that knob — the iTuned "use available
+        // information" designs.
+        let mut seeds = Vec::new();
+        let mut combined = space.default_config();
+        let mut singles = Vec::new();
+        for spec in space.params() {
+            let Some(k) = sys.knobs.get(&spec.name) else {
+                continue;
+            };
+            let Some(best) = k
+                .priors
+                .iter()
+                .filter(|p| p.weight >= 1.0)
+                .max_by(|a, b| a.weight.total_cmp(&b.weight))
+            else {
+                continue;
+            };
+            let value = value_of(&spec.domain, best.value);
+            combined.set(&spec.name, value.clone());
+            let mut single = space.default_config();
+            single.set(&spec.name, value);
+            singles.push(single);
+        }
+        if !singles.is_empty() {
+            seeds.push(combined);
+            seeds.extend(singles);
+        }
+
+        SearchConstraints { boxes, deps, seeds }
+    }
+
+    /// Loads the committed artifact and resolves the named system.
+    /// `Err` carries a human-readable reason (missing file, bad version,
+    /// unknown system).
+    pub fn load(path: &std::path::Path, system: &str, space: &ConfigSpace) -> Result<Self, String> {
+        let artifact = autotune_core::KnobConstraints::load(path)?;
+        let sys = artifact
+            .system(system)
+            .ok_or_else(|| format!("no system `{system}` in {}", path.display()))?;
+        Ok(Self::from_artifact(sys, space))
+    }
+
+    /// Prior-derived seed configurations (combined rule-of-thumb first).
+    pub fn seeds(&self) -> &[Configuration] {
+        &self.seeds
+    }
+
+    /// Clamps a unit-cube point into the per-knob reduced boxes.
+    pub fn clamp_point(&self, point: &mut [f64]) {
+        for (v, &(lo, hi)) in point.iter_mut().zip(&self.boxes) {
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    /// Whether a unit-cube point satisfies every resolved dependency.
+    pub fn satisfies(&self, space: &ConfigSpace, point: &[f64]) -> bool {
+        if self.deps.is_empty() {
+            return true;
+        }
+        let raw: Vec<f64> = space
+            .params()
+            .iter()
+            .zip(point)
+            .map(|(spec, &u)| raw_of(&spec.domain, u))
+            .collect();
+        self.deps.iter().all(|d| match d {
+            ResolvedDep::LeFactor { a, b, factor } => raw[*a] <= factor * raw[*b] + 1e-9,
+            ResolvedDep::ProductLe { terms, limit } => {
+                terms.iter().map(|&(i, w)| raw[i] * w).product::<f64>() <= limit + 1e-9
+            }
+            ResolvedDep::SumLe { terms, limit } => {
+                terms.iter().map(|&(i, w)| raw[i] * w).sum::<f64>() <= limit + 1e-9
+            }
+        })
+    }
+
+    /// Projects a unit-cube point onto the dependency-feasible region by
+    /// scaling violating terms down in raw space (the standard repair for
+    /// budget-style constraints: a product or sum over the limit shrinks
+    /// multiplicatively toward the feasible surface; `a ≤ f·b` clamps
+    /// `a`). Domain minima are respected, so a contradictory dependency
+    /// leaves the point where the domain floor forces it — repair is best
+    /// effort, never a panic.
+    pub fn repair_point(&self, space: &ConfigSpace, point: &mut [f64]) {
+        if self.deps.is_empty() {
+            return;
+        }
+        let mut raw: Vec<f64> = space
+            .params()
+            .iter()
+            .zip(point.iter())
+            .map(|(spec, &u)| raw_of(&spec.domain, u))
+            .collect();
+        let floor = |spec: &autotune_core::ParamSpec, v: f64| match &spec.domain {
+            ParamDomain::Int { min, .. } => v.max(*min as f64),
+            ParamDomain::Float { min, .. } => v.max(*min),
+            _ => v,
+        };
+        let mut changed = false;
+        for d in &self.deps {
+            match d {
+                ResolvedDep::LeFactor { a, b, factor } => {
+                    let cap = factor * raw[*b];
+                    if raw[*a] > cap + 1e-9 {
+                        raw[*a] = floor(&space.params()[*a], cap);
+                        changed = true;
+                    }
+                }
+                ResolvedDep::ProductLe { terms, limit } => {
+                    let p: f64 = terms.iter().map(|&(i, w)| raw[i] * w).product();
+                    if p > *limit + 1e-9 && p > 0.0 && *limit > 0.0 {
+                        let s = (limit / p).powf(1.0 / terms.len() as f64);
+                        for &(i, _) in terms {
+                            raw[i] = floor(&space.params()[i], raw[i] * s);
+                        }
+                        changed = true;
+                    }
+                }
+                ResolvedDep::SumLe { terms, limit } => {
+                    let s: f64 = terms.iter().map(|&(i, w)| raw[i] * w).sum();
+                    if s > *limit + 1e-9 && s > 0.0 && *limit > 0.0 {
+                        let scale = limit / s;
+                        for &(i, _) in terms {
+                            raw[i] = floor(&space.params()[i], raw[i] * scale);
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            for (i, spec) in space.params().iter().enumerate() {
+                point[i] = unit_of(&spec.domain, raw[i]);
+            }
+            self.clamp_point(point);
+        }
+    }
+
+    /// Applies the constraints to a candidate pool: every point is clamped
+    /// into the reduced boxes and projected onto the dependency-feasible
+    /// region. Projection (rather than rejection) keeps the pool's size
+    /// and diversity even when the feasible region is a sliver of the
+    /// declared space, and a contradictory dependency degrades to the
+    /// clamped pool — constraints never empty a search.
+    pub fn apply_to_pool(&self, space: &ConfigSpace, mut pool: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        for p in pool.iter_mut() {
+            self.clamp_point(p);
+            self.repair_point(space, p);
+        }
+        pool
+    }
+}
+
 /// Unit-cube encodings of the `k` best (lowest-runtime) observations.
 pub fn best_anchors(history: &History, space: &ConfigSpace, k: usize) -> Vec<Vec<f64>> {
     let mut obs: Vec<_> = history.all().iter().collect();
@@ -208,6 +520,105 @@ mod tests {
         assert_eq!(anchors.len(), 2);
         assert!((anchors[0][0] - 0.5).abs() < 1e-9);
         assert!((anchors[1][0] - 0.9).abs() < 1e-9);
+    }
+
+    fn artifact() -> SystemConstraints {
+        use autotune_core::{KnobConstraint, Prior};
+        let mut knobs = std::collections::BTreeMap::new();
+        knobs.insert(
+            "x".to_string(),
+            KnobConstraint {
+                declared_lo: 0.0,
+                declared_hi: 1.0,
+                reduced_lo: 0.25,
+                reduced_hi: 0.75,
+                log_scale: false,
+                default: Some(0.5),
+                unit: None,
+                priors: vec![Prior {
+                    value: 0.7,
+                    weight: 1.0,
+                    source: "bestpractice:test".into(),
+                }],
+                sources: vec![],
+            },
+        );
+        SystemConstraints {
+            knobs,
+            deps: vec![Dependency::SumLe {
+                terms: vec![("x".into(), 1.0), ("y".into(), 1.0)],
+                limit: 1.2,
+                source: "spex:test".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn constraints_clamp_into_reduced_boxes() {
+        let s = space();
+        let c = SearchConstraints::from_artifact(&artifact(), &s);
+        let mut p = vec![0.9, 0.9];
+        c.clamp_point(&mut p);
+        assert_eq!(p, vec![0.75, 0.9]); // y unnamed → full box
+                                        // The default (0.5) stays reachable even if reduction excluded it.
+        let mut q = vec![0.5, 0.5];
+        c.clamp_point(&mut q);
+        assert_eq!(q, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn dependencies_project_instead_of_rejecting() {
+        let s = space();
+        let c = SearchConstraints::from_artifact(&artifact(), &s);
+        // x + y <= 1.2: a satisfying point is untouched, a violator is
+        // scaled down onto the feasible surface — never dropped.
+        assert!(c.satisfies(&s, &[0.3, 0.3]));
+        assert!(!c.satisfies(&s, &[0.7, 0.9]));
+        let pool = vec![vec![0.3, 0.3], vec![0.7, 0.9]];
+        let out = c.apply_to_pool(&s, pool);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![0.3, 0.3]);
+        assert!(c.satisfies(&s, &out[1]), "violator projected to feasible");
+        let sum: f64 = out[1].iter().sum();
+        assert!((sum - 1.2).abs() < 1e-6, "lands on the surface, got {sum}");
+        // A contradictory dependency (limit below any reachable value)
+        // cannot be repaired — the point degrades to clamped, unfiltered.
+        let mut sys = artifact();
+        sys.deps = vec![Dependency::SumLe {
+            terms: vec![("x".into(), 1.0), ("y".into(), 1.0)],
+            limit: -1.0,
+            source: "test".into(),
+        }];
+        let c = SearchConstraints::from_artifact(&sys, &s);
+        let out = c.apply_to_pool(&s, vec![vec![0.3, 0.3], vec![0.9, 0.9]]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], vec![0.75, 0.9]); // still clamped
+    }
+
+    #[test]
+    fn prior_seeds_include_combined_config() {
+        let s = space();
+        let c = SearchConstraints::from_artifact(&artifact(), &s);
+        let seeds = c.seeds();
+        assert_eq!(seeds.len(), 2); // combined + one single-knob seed
+        let enc = s.encode(&seeds[0]);
+        assert!((enc[0] - 0.7).abs() < 1e-9);
+        assert!((enc[1] - 0.5).abs() < 1e-9); // y stays at default
+    }
+
+    #[test]
+    fn unknown_knobs_and_deps_are_dropped() {
+        let s = space();
+        let mut sys = artifact();
+        sys.deps = vec![Dependency::LeFactor {
+            a: "x".into(),
+            b: "not_a_knob".into(),
+            factor: 1.0,
+            source: "test".into(),
+        }];
+        let c = SearchConstraints::from_artifact(&sys, &s);
+        // Unresolvable dependency dropped → everything satisfies.
+        assert!(c.satisfies(&s, &[0.9, 0.9]));
     }
 
     #[test]
