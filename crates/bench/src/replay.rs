@@ -175,6 +175,8 @@ mod tests {
                 warm_start: false,
                 surrogate: "auto".into(),
                 constraints: String::new(),
+                adaptive: Default::default(),
+                drift: Default::default(),
             },
             warm_source: None,
             created_unix_ms: 0,

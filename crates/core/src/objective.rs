@@ -137,6 +137,15 @@ pub trait Objective {
     /// Runs the system under `config` and reports what happened.
     fn evaluate(&mut self, config: &Configuration, rng: &mut StdRng) -> Observation;
 
+    /// Positions the objective at evaluation `step` (0-based) before
+    /// `evaluate` is called for that step. Most objectives are stateless
+    /// across evaluations and ignore this; time-varying objectives (a
+    /// workload that shifts mid-session) use it so their phase is a pure
+    /// function of the observation index — crash recovery replays
+    /// observations without re-evaluating, and an internal call counter
+    /// would desynchronize from the replayed history.
+    fn seek(&mut self, _step: u64) {}
+
     /// Human-readable objective name.
     fn name(&self) -> &str {
         "objective"

@@ -97,6 +97,9 @@ impl<'a> TuningSession<'a> {
                     .expect("contains_config checked")
                     .clone()
             } else {
+                // Position time-varying objectives at the observation index
+                // before evaluating (no-op for stateless objectives).
+                self.objective.seek(history.len() as u64);
                 self.objective.evaluate(&config, &mut rng)
             };
             evaluations += 1;

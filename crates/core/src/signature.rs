@@ -1,0 +1,337 @@
+//! WAter-style workload-signature compression: deterministic reduction of
+//! a metric vector to a low-dimensional signature.
+//!
+//! Workload mapping (OtterTune §2.2) and drift detection both compare
+//! metric vectors by Euclidean distance. As systems expose more internal
+//! metrics the vectors grow, and every comparison — and every ball-tree
+//! node — pays for the full dimensionality even though most metrics are
+//! redundant or constant. WAter's observation is that a cheap two-stage
+//! summary preserves the comparisons that matter:
+//!
+//! 1. **Feature selection**: rank dimensions by variance across the
+//!    fitted population and drop the flat ones — a constant column
+//!    contributes nothing to any distance.
+//! 2. **Projection**: map the surviving features to `out_dim` components
+//!    with a sparse random projection (Achlioptas 2003: entries
+//!    `±√(3/out_dim)` with probability 1/6 each, else 0). By the
+//!    Johnson–Lindenstrauss lemma pairwise distances are preserved up to
+//!    a small multiplicative error with high probability, so
+//!    nearest-neighbour answers on compressed signatures agree with the
+//!    full-signature answers almost always (the recall gap is quantified
+//!    in `bench_results/drift_recovery.json`).
+//!
+//! Determinism is load-bearing: the serve layer replays sessions
+//! byte-identically through crashes, so the projection matrix must be a
+//! pure function of `(seed, i, j)` — each entry is derived by hashing its
+//! coordinates with SplitMix64, never by drawing from a stateful RNG
+//! whose output would depend on iteration order.
+
+/// SplitMix64 (Steele et al.) — the standard seed-spreading finalizer.
+/// Duplicated from `autotune-serve` because `core` sits below it in the
+/// crate graph; both copies are pinned by tests to the reference vector.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fitted signature compressor: variance-ranked feature selection plus
+/// a seeded sparse random projection. Cloneable and cheap — the
+/// projection matrix is recomputed entry-by-entry from the seed, so the
+/// struct stores only the selection and the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureSummarizer {
+    /// Dimensionality the summarizer was fitted over.
+    input_dim: usize,
+    /// Surviving input dimensions, ascending index order.
+    selected: Vec<usize>,
+    /// Target dimensionality of [`Self::compress`] when projecting.
+    out_dim: usize,
+    /// Seed of the projection matrix.
+    seed: u64,
+    /// Whether compression projects (`selected.len() > out_dim`) or just
+    /// gathers the selected features.
+    project: bool,
+}
+
+impl SignatureSummarizer {
+    /// Fits a summarizer over a population of signature vectors (rows must
+    /// share one dimension; ragged rows read missing entries as 0).
+    ///
+    /// Feature selection keeps the `4 × out_dim` highest-variance
+    /// dimensions (ties break toward the lower index); zero-variance
+    /// dimensions are kept only to fill that quota. With fewer than two
+    /// rows there is no variance information, so every dimension survives
+    /// in index order and only the projection stage compresses.
+    pub fn fit(rows: &[Vec<f64>], out_dim: usize, seed: u64) -> Self {
+        let out_dim = out_dim.max(1);
+        let input_dim = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut selected: Vec<usize> = (0..input_dim).collect();
+        if rows.len() >= 2 {
+            let n = rows.len() as f64;
+            let variance: Vec<f64> = (0..input_dim)
+                .map(|d| {
+                    let mean = rows
+                        .iter()
+                        .map(|r| r.get(d).copied().unwrap_or(0.0))
+                        .sum::<f64>()
+                        / n;
+                    rows.iter()
+                        .map(|r| {
+                            let x = r.get(d).copied().unwrap_or(0.0) - mean;
+                            x * x
+                        })
+                        .sum::<f64>()
+                        / n
+                })
+                .collect();
+            selected.sort_by(|&a, &b| variance[b].total_cmp(&variance[a]).then(a.cmp(&b)));
+            selected.truncate((4 * out_dim).max(out_dim).min(input_dim));
+            // Restore index order: distances don't care about feature
+            // order, and a no-projection compress then passes the
+            // selected sub-vector through unpermuted.
+            selected.sort_unstable();
+        }
+        let project = selected.len() > out_dim;
+        SignatureSummarizer {
+            input_dim,
+            selected,
+            out_dim,
+            seed,
+            project,
+        }
+    }
+
+    /// An identity summarizer over `dim` dimensions — what `fit` produces
+    /// when no compression is warranted (`dim ≤ out_dim`).
+    pub fn identity(dim: usize) -> Self {
+        SignatureSummarizer {
+            input_dim: dim,
+            selected: (0..dim).collect(),
+            out_dim: dim.max(1),
+            seed: 0,
+            project: false,
+        }
+    }
+
+    /// Dimensionality [`Self::compress`] produces.
+    pub fn output_dim(&self) -> usize {
+        if self.project {
+            self.out_dim
+        } else {
+            self.selected.len()
+        }
+    }
+
+    /// Dimensionality the summarizer was fitted over.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Whether compression actually projects (vs merely gathering the
+    /// selected features).
+    pub fn is_projecting(&self) -> bool {
+        self.project
+    }
+
+    /// One entry of the sparse projection matrix — a pure function of
+    /// `(seed, row, column)`, so the matrix never has to be materialized
+    /// or serialized.
+    fn entry(&self, row: usize, col: usize) -> f64 {
+        let h = splitmix64(splitmix64(self.seed ^ (row as u64 + 1)) ^ (col as u64 + 1));
+        // Achlioptas weights: ±√3 with probability 1/6 each, else 0,
+        // scaled by 1/√out_dim for the JL norm guarantee.
+        let scale = (3.0 / self.out_dim as f64).sqrt();
+        match h % 6 {
+            0 => scale,
+            1 => -scale,
+            _ => 0.0,
+        }
+    }
+
+    /// Compresses one signature vector (entries beyond the fitted
+    /// dimensionality are ignored; missing entries read as 0).
+    pub fn compress(&self, v: &[f64]) -> Vec<f64> {
+        if !self.project {
+            return self
+                .selected
+                .iter()
+                .map(|&d| v.get(d).copied().unwrap_or(0.0))
+                .collect();
+        }
+        (0..self.out_dim)
+            .map(|i| {
+                self.selected
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &d)| self.entry(i, j) * v.get(d).copied().unwrap_or(0.0))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random value in [0, 1).
+    fn unit(seed: u64, i: u64) -> f64 {
+        (splitmix64(seed ^ splitmix64(i)) % 1_000_000) as f64 / 1e6
+    }
+
+    fn population(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| {
+                (0..dim)
+                    .map(|d| unit(seed, (r * dim + d) as u64) * (d as f64 + 1.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Same constant the serve-layer copy is pinned to.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn fit_is_deterministic_and_row_order_insensitive() {
+        let rows = population(50, 40, 7);
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        let a = SignatureSummarizer::fit(&rows, 8, 42);
+        let b = SignatureSummarizer::fit(&reversed, 8, 42);
+        assert_eq!(a, b);
+        let v = &rows[3];
+        assert_eq!(a.compress(v), b.compress(v));
+        assert_eq!(a.output_dim(), 8);
+        assert!(a.is_projecting());
+    }
+
+    #[test]
+    fn small_inputs_pass_through_unprojected() {
+        let rows = population(10, 4, 1);
+        let s = SignatureSummarizer::fit(&rows, 8, 0);
+        assert!(!s.is_projecting());
+        assert_eq!(s.output_dim(), 4);
+        assert_eq!(s.compress(&rows[0]), rows[0]);
+        let id = SignatureSummarizer::identity(3);
+        assert_eq!(id.compress(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(id.input_dim(), 3);
+    }
+
+    #[test]
+    fn flat_dimensions_are_dropped_first() {
+        // 20 informative dims + 20 constant dims; out_dim 4 keeps 16
+        // selected dims, all of which must be informative.
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|r| {
+                let mut v: Vec<f64> = (0..20).map(|d| unit(3, (r * 20 + d) as u64)).collect();
+                v.extend(std::iter::repeat_n(5.0, 20));
+                v
+            })
+            .collect();
+        let s = SignatureSummarizer::fit(&rows, 4, 9);
+        assert!(s.selected.iter().all(|&d| d < 20), "{:?}", s.selected);
+        assert_eq!(s.selected.len(), 16);
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let rows = population(20, 64, 5);
+        let s = SignatureSummarizer::fit(&rows, 8, 11);
+        let a = &rows[0];
+        let b = &rows[1];
+        let diff: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+        let ca = s.compress(a);
+        let cb = s.compress(b);
+        let cd = s.compress(&diff);
+        for i in 0..8 {
+            assert!((ca[i] - cb[i] - cd[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compression_roughly_preserves_distances() {
+        // JL sanity: over a modest population the compressed/full distance
+        // ratio stays within a loose band for the overwhelming majority of
+        // pairs. out_dim 16 from 64 input dims.
+        let rows = population(40, 64, 13);
+        let s = SignatureSummarizer::fit(&rows, 16, 17);
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                let full = dist(&rows[i], &rows[j]);
+                let comp = dist(&s.compress(&rows[i]), &s.compress(&rows[j]));
+                total += 1;
+                if comp > 0.4 * full && comp < 1.9 * full {
+                    ok += 1;
+                }
+            }
+        }
+        let frac = ok as f64 / total as f64;
+        assert!(frac > 0.95, "distance preservation too weak: {frac}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Compressed nearest-neighbour agrees with full-signature
+        /// nearest-neighbour whenever the query matches a corpus member:
+        /// the projection is linear, so a zero difference vector
+        /// compresses to exactly zero and the true neighbour keeps
+        /// distance 0 in the compressed space — no JL distortion can
+        /// demote it. (The recall gap for *perturbed* queries is
+        /// quantified in the serve-layer ann tests and the
+        /// drift_recovery bench.)
+        #[test]
+        fn member_queries_agree_with_full_nn(
+            seed in 0u64..512,
+            n in 4usize..24,
+            dim in 33usize..72,
+            pick in 0usize..64,
+        ) {
+            let rows = population(n, dim, seed);
+            let s = SignatureSummarizer::fit(&rows, 16, seed ^ 0xA5A5);
+            let q = &rows[pick % n];
+            let dist = |a: &[f64], b: &[f64]| {
+                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+            };
+            let argmin = |ds: Vec<f64>| {
+                ds.iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            };
+            let full = argmin(rows.iter().map(|r| dist(q, r)).collect());
+            let cq = s.compress(q);
+            let comp = argmin(rows.iter().map(|r| dist(&cq, &s.compress(r))).collect());
+            proptest::prop_assert_eq!(full, pick % n);
+            proptest::prop_assert_eq!(comp, full);
+            proptest::prop_assert!(dist(&cq, &s.compress(&rows[pick % n])) == 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_ragged_inputs_are_safe() {
+        let s = SignatureSummarizer::fit(&[], 4, 0);
+        assert_eq!(s.output_dim(), 0);
+        assert!(s.compress(&[1.0, 2.0]).is_empty());
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![1.0]];
+        let s = SignatureSummarizer::fit(&rows, 2, 0);
+        // Ragged short row reads missing dims as 0; no panic.
+        let _ = s.compress(&[5.0]);
+    }
+}

@@ -528,6 +528,24 @@ mod tests {
         assert!(rule_applies(RuleId::HashIter, &ann));
         assert!(rule_applies(RuleId::Unwrap, &ann));
         assert!(rule_applies(RuleId::UnseededRng, &ann));
+
+        // The drift detector and the signature summarizer carry the same
+        // determinism contract as the recovery path they feed: detector
+        // state and projection matrices must be pure functions of seeds,
+        // so the full D-series (and for drift.rs the C-series lock rules)
+        // is pinned to both modules.
+        let drift = classify("crates/serve/src/drift.rs").expect("classified");
+        assert!(rule_applies(RuleId::WallClock, &drift));
+        assert!(rule_applies(RuleId::HashIter, &drift));
+        assert!(rule_applies(RuleId::Unwrap, &drift));
+        assert!(rule_applies(RuleId::UnseededRng, &drift));
+        assert!(rule_applies(RuleId::NanOrd, &drift));
+        assert!(rule_applies(RuleId::LockOrder, &drift));
+        let sig = classify("crates/core/src/signature.rs").expect("classified");
+        assert!(rule_applies(RuleId::UnseededRng, &sig));
+        assert!(rule_applies(RuleId::HashIter, &sig));
+        assert!(rule_applies(RuleId::Unwrap, &sig));
+        assert!(rule_applies(RuleId::NanOrd, &sig));
     }
 
     #[test]

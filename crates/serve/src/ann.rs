@@ -22,10 +22,24 @@
 //! distance, so dropping it never changes the argmin (the linear scan in
 //! [`crate::repo::nearest_signature`] keeps such dimensions; both pick
 //! the same winner).
+//!
+//! **Wide signatures.** When the union of metric names exceeds
+//! [`COMPRESS_ABOVE_DIM`](crate::drift::COMPRESS_ABOVE_DIM), the index
+//! compresses every normalized signature to
+//! [`COMPRESS_TARGET_DIM`](crate::drift::COMPRESS_TARGET_DIM) components
+//! with a seeded [`SignatureSummarizer`] (WAter-style feature selection +
+//! sparse random projection) before building the tree, and queries are
+//! compressed the same way. In that regime the index trades exactness for
+//! per-distance cost: by Johnson–Lindenstrauss the nearest-neighbour
+//! answer matches the full-signature scan almost always (the recall gap
+//! is quantified by a test below and by the `drift_recovery` bench).
+//! Every built-in simulator reports well under 32 metrics, so their
+//! lookups stay exact.
 
+use crate::drift::{COMPRESS_ABOVE_DIM, COMPRESS_TARGET_DIM};
 use crate::repo::WorkloadSignature;
 use crate::session::splitmix64;
-use autotune_core::SessionId;
+use autotune_core::{SessionId, SignatureSummarizer};
 use autotune_math::matrix::dist2;
 use autotune_math::stats::std_dev;
 use std::collections::BTreeMap;
@@ -270,6 +284,9 @@ fn project(p: &[f64], origin: &[f64], dir: &[f64]) -> f64 {
 pub struct PlatformIndex {
     names: Vec<String>,
     scales: Vec<f64>,
+    /// Wide-signature compressor; `None` below the dimension threshold
+    /// (the exact regime).
+    summarizer: Option<SignatureSummarizer>,
     tree: BallTree,
 }
 
@@ -305,22 +322,42 @@ impl PlatformIndex {
                 }
             })
             .collect();
+        // Seed from the candidate set so equal sets build equal trees —
+        // and equal projections — regardless of insertion history (XOR is
+        // commutative, so the fold is order-insensitive).
+        let seed = splitmix64(
+            sigs.iter()
+                .map(|s| splitmix64(s.id.value()))
+                .fold(0u64, |acc, h| acc ^ h),
+        );
+        let normalized: Vec<Vec<f64>> = vectors
+            .iter()
+            .map(|v| v.iter().zip(&scales).map(|(x, sc)| x / sc).collect())
+            .collect();
+        let summarizer = if names.len() > COMPRESS_ABOVE_DIM {
+            Some(SignatureSummarizer::fit(
+                &normalized,
+                COMPRESS_TARGET_DIM,
+                seed,
+            ))
+        } else {
+            None
+        };
         let points: Vec<(SessionId, Vec<f64>)> = sigs
             .iter()
-            .zip(&vectors)
+            .zip(&normalized)
             .map(|(s, v)| {
-                let normalized = v.iter().zip(&scales).map(|(x, sc)| x / sc).collect();
-                (s.id, normalized)
+                let v = match &summarizer {
+                    Some(su) => su.compress(v),
+                    None => v.clone(),
+                };
+                (s.id, v)
             })
             .collect();
-        // Seed from the candidate set so equal sets build equal trees
-        // regardless of insertion history.
-        let seed = sigs
-            .iter()
-            .fold(0u64, |acc, s| splitmix64(acc ^ s.id.value()));
         PlatformIndex {
             names,
             scales,
+            summarizer,
             tree: BallTree::build(points, seed),
         }
     }
@@ -335,14 +372,26 @@ impl PlatformIndex {
         self.tree.is_empty()
     }
 
-    /// Normalized query vector over the index's dimensions (query-only
-    /// metric names are dropped; see module docs for why that is safe).
+    /// Normalized (and, for wide indexes, compressed) query vector in the
+    /// tree's space. Query-only metric names are dropped; see module docs
+    /// for why that is safe.
     pub fn vectorize(&self, query: &BTreeMap<String, f64>) -> Vec<f64> {
-        self.names
+        let v: Vec<f64> = self
+            .names
             .iter()
             .zip(&self.scales)
             .map(|(n, sc)| query.get(n).copied().unwrap_or(0.0) / sc)
-            .collect()
+            .collect();
+        match &self.summarizer {
+            Some(su) => su.compress(&v),
+            None => v,
+        }
+    }
+
+    /// Whether the index compresses signatures before comparing them
+    /// (wide metric vectors only; approximate in that regime).
+    pub fn is_compressing(&self) -> bool {
+        self.summarizer.is_some()
     }
 
     /// The indexed signature nearest to `query`, skipping `exclude` —
@@ -477,6 +526,95 @@ mod tests {
         let q = sig(0, &[("a", 0.5)]).metrics;
         assert_eq!(one.nearest(&q, None), Some(SessionId::new(1)));
         assert_eq!(one.nearest(&q, Some(SessionId::new(1))), None);
+    }
+
+    /// Deterministic wide-signature population (`dim` metric names).
+    fn wide_population(n: usize, dim: usize, seed: u64) -> Vec<WorkloadSignature> {
+        (0..n)
+            .map(|i| {
+                let h = |k: u64| {
+                    let x = splitmix64(seed ^ splitmix64(i as u64 * 31 + k));
+                    (x % 10_000) as f64 / 10_000.0
+                };
+                WorkloadSignature {
+                    id: SessionId::new(i as u64 + 1),
+                    metrics: (0..dim)
+                        .map(|d| (format!("m{d:03}"), h(d as u64) * (1.0 + d as f64).powf(1.5)))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn narrow_indexes_stay_exact_across_populations() {
+        // Property over many random populations: at or below the
+        // compression threshold the tree answer equals the linear scan on
+        // every query — compression must never engage.
+        for seed in 0..8 {
+            let sigs = wide_population(80, COMPRESS_ABOVE_DIM, seed);
+            let index = PlatformIndex::build(&sigs);
+            assert!(!index.is_compressing());
+            for q in wide_population(20, COMPRESS_ABOVE_DIM, seed + 100) {
+                assert_eq!(
+                    index.nearest(&q.metrics, None),
+                    nearest_signature(&q.metrics, &sigs),
+                    "seed {seed}: exact regime diverged from linear scan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_indexes_compress_with_high_recall() {
+        // Above the threshold the index projects to COMPRESS_TARGET_DIM;
+        // quantify the recall gap against the full-signature scan.
+        // Queries are perturbed candidates — the workload-mapping case,
+        // where the true neighbour is well-separated. (On uniformly
+        // random points all pairwise distances concentrate and *no*
+        // fixed-distortion projection can rank them; that regime is not
+        // what the index serves.)
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for seed in 0..4u64 {
+            let sigs = wide_population(120, 64, seed);
+            let index = PlatformIndex::build(&sigs);
+            assert!(index.is_compressing());
+            for i in 0..50usize {
+                let target = &sigs[(i * 7) % sigs.len()];
+                let q: BTreeMap<String, f64> = target
+                    .metrics
+                    .iter()
+                    .enumerate()
+                    .map(|(d, (k, v))| {
+                        let w = splitmix64(seed ^ splitmix64((i * 64 + d) as u64 + 1));
+                        let jitter = 1.0 + ((w % 200) as f64 - 100.0) / 100.0 * 0.02;
+                        (k.clone(), v * jitter)
+                    })
+                    .collect();
+                let scan = nearest_signature(&q, &sigs);
+                let tree = index.nearest(&q, None);
+                total += 1;
+                if tree == scan {
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.9, "compressed recall@1 too low: {recall}");
+    }
+
+    #[test]
+    fn compressed_index_is_deterministic() {
+        let sigs = wide_population(64, 48, 9);
+        let mut reversed = sigs.clone();
+        reversed.reverse();
+        let a = PlatformIndex::build(&sigs);
+        let b = PlatformIndex::build(&reversed);
+        assert!(a.is_compressing() && b.is_compressing());
+        for q in wide_population(16, 48, 77) {
+            assert_eq!(a.nearest(&q.metrics, None), b.nearest(&q.metrics, None));
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ann;
+pub mod drift;
 pub mod group;
 pub mod http;
 pub mod metrics;

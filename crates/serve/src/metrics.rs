@@ -33,6 +33,11 @@ pub struct SessionMetrics {
     /// lifetime fit count); absent for tuners without a surrogate or
     /// before the first model fit.
     pub surrogate: Option<SurrogateStats>,
+    /// Current drift epoch (0 until the first detected drift; always 0
+    /// for sessions with detection off).
+    pub drift_epoch: u32,
+    /// Drift events detected over the session's lifetime.
+    pub drifts: usize,
 }
 
 /// Latency summary of one endpoint family.
@@ -77,6 +82,8 @@ pub struct MetricsReport {
     /// hyper-parameter fit (labelled `surrogate_fit`); absent until the
     /// first such fit.
     pub surrogate_fit: Option<EndpointLatency>,
+    /// Drift events detected across all live sessions.
+    pub drifts_total: usize,
 }
 
 /// Endpoint families tracked by the latency histograms.
@@ -254,6 +261,8 @@ mod tests {
                     active: 64,
                     fits: 4,
                 }),
+                drift_epoch: 1,
+                drifts: 1,
             }],
             queue_depth: 0,
             workers: 2,
@@ -264,6 +273,7 @@ mod tests {
             endpoints: Vec::new(),
             group_commit: None,
             surrogate_fit: None,
+            drifts_total: 1,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"best_runtime\":null"), "{json}");

@@ -320,7 +320,9 @@ impl SessionRepository {
     }
 
     /// Every session id referenced as a warm-start source by any session
-    /// still on disk. These must survive retention eviction: recovering a
+    /// still on disk — either at create time (`meta.json`) or by a
+    /// recorded drift event (an epoch re-matched onto a new source mid
+    /// run). These must survive retention eviction: recovering a
     /// warm-started session rebuilds its tuner from the source's
     /// observation log, so deleting the source would break recovery.
     pub fn warm_source_refs(&self) -> ServeResult<std::collections::BTreeSet<SessionId>> {
@@ -329,6 +331,9 @@ impl SessionRepository {
             if let Ok(meta) = self.read_meta(id) {
                 if let Some(src) = meta.warm_source {
                     refs.insert(src);
+                }
+                if let Ok(recovered) = self.recover_session(id) {
+                    refs.extend(recovered.drift_events.iter().filter_map(|e| e.warm_source));
                 }
             }
         }
@@ -528,6 +533,8 @@ mod tests {
                 warm_start: false,
                 surrogate: "auto".into(),
                 constraints: String::new(),
+                adaptive: Default::default(),
+                drift: Default::default(),
             },
             warm_source: None,
             created_unix_ms: 1_700_000_000_000,

@@ -43,6 +43,7 @@
 //! killing the daemon at any point and restarting it on the same data
 //! directory recovers every session.
 
+use crate::drift::DriftEvent;
 use crate::group::GroupCommitWal;
 use crate::http::{read_request, Request, Response};
 use crate::metrics::{
@@ -176,6 +177,10 @@ pub struct SessionDetail {
     pub warm_source: Option<SessionId>,
     /// Final recommendation once finished.
     pub recommendation: Option<Recommendation>,
+    /// Current drift epoch (0 until the first detected drift).
+    pub epoch: u32,
+    /// Every drift the session has detected, oldest first.
+    pub drift_events: Vec<DriftEvent>,
 }
 
 /// Advance-coalescing state of one session (see module docs).
@@ -683,6 +688,8 @@ fn session_detail(state: &DaemonState, id: SessionId) -> ServeResult<Response> {
         best_runtime: s.best_runtime(),
         warm_source: s.meta.warm_source,
         recommendation: s.recommendation().cloned(),
+        epoch: s.epoch(),
+        drift_events: s.drift_events().to_vec(),
     };
     Ok(Response::json(200, &detail))
 }
@@ -1011,6 +1018,8 @@ fn metrics(state: &DaemonState) -> ServeResult<Response> {
                 best_runtime: s.best_runtime(),
                 wal_bytes: s.wal_bytes(),
                 surrogate: s.surrogate_stats(),
+                drift_epoch: s.epoch(),
+                drifts: s.drift_events().len(),
             }
         }));
     }
@@ -1038,6 +1047,7 @@ fn metrics(state: &DaemonState) -> ServeResult<Response> {
         endpoints: state.endpoint_stats.report(),
         group_commit: state.group.as_ref().map(|g| g.stats()),
         surrogate_fit: state.fit_stats.summary_labeled("surrogate_fit"),
+        drifts_total: rows.iter().map(|r| r.drifts).sum(),
         sessions: rows,
     };
     Ok(Response::json(200, &report))

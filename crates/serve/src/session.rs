@@ -22,6 +22,7 @@
 //! only on its step index — the recovered session continues producing
 //! byte-for-byte the observations the uninterrupted run would have.
 
+use crate::drift::{DriftDetector, DriftEvent};
 use crate::repo::{SessionMeta, SessionRepository};
 use crate::spec::{build_objective, build_tuner};
 use crate::wal::{self, Durability, SessionStatus, Snapshot, WalRecord, WalSink};
@@ -45,11 +46,26 @@ pub fn eval_seed(session_seed: u64, step: u64) -> u64 {
     splitmix64(session_seed ^ splitmix64(step))
 }
 
+/// Seed of the propose stream for `epoch`. Epoch 0 is the raw session
+/// seed, so sessions that never drift keep their exact historical
+/// streams; each later epoch reseeds deterministically from (seed, epoch)
+/// alone, which is all recovery has.
+pub fn epoch_seed(session_seed: u64, epoch: u32) -> u64 {
+    if epoch == 0 {
+        session_seed
+    } else {
+        splitmix64(session_seed ^ splitmix64(0xD21F_7000_u64 + epoch as u64))
+    }
+}
+
 /// One session held in memory by the daemon, backed by its on-disk log.
 pub struct LiveSession {
     /// Immutable metadata (spec, warm source).
     pub meta: SessionMeta,
     dir: PathBuf,
+    /// Repository handle, kept for drift re-matching (warm-source lookup
+    /// against the ball-tree index) and epoch tuner rebuilds.
+    repo: SessionRepository,
     objective: Box<dyn Objective + Send>,
     tuner: Box<dyn Tuner + Send>,
     ctx: TuningContext,
@@ -68,6 +84,25 @@ pub struct LiveSession {
     last_ticket: u64,
     /// Corruption note from recovery, if the WAL scan stopped early.
     recovery_corruption: Option<String>,
+    /// Online drift detector (`None` when the spec turns detection off —
+    /// the bit-identical legacy configuration).
+    detector: Option<DriftDetector>,
+    /// Current epoch (0 until the first drift).
+    epoch: u32,
+    /// History index of the current epoch's baseline probe. Dedup replay
+    /// and detector state are scoped to `history[epoch_start..]`, so a
+    /// configuration measured before a drift is re-measured after it.
+    epoch_start: usize,
+    /// The current epoch's slice of `history`, maintained in parallel so
+    /// the tuner trains and recommends on post-drift data only — handing
+    /// it the full history would quietly re-poison a restarted model with
+    /// stale pre-drift measurements. Identical to `history` until the
+    /// first drift.
+    epoch_history: History,
+    /// Every drift this session has detected, in order.
+    drift_events: Vec<DriftEvent>,
+    /// Detector statistic of an alarm `advance` has not yet handled.
+    drift_pending: Option<f64>,
 }
 
 impl LiveSession {
@@ -115,10 +150,12 @@ impl LiveSession {
             space: objective.space().clone(),
             profile: objective.profile(),
         };
+        let detector = meta.spec.drift.build_detector(meta.spec.seed)?;
         let mut session = LiveSession {
             propose_rng: StdRng::seed_from_u64(meta.spec.seed),
             meta,
             dir,
+            repo: repo.clone(),
             objective,
             tuner,
             ctx,
@@ -131,13 +168,17 @@ impl LiveSession {
             journal_pending: 0,
             last_ticket: 0,
             recovery_corruption: None,
+            detector,
+            epoch: 0,
+            epoch_start: 0,
+            epoch_history: History::new(),
+            drift_events: Vec::new(),
+            drift_pending: None,
         };
 
         // Baseline probe: evaluate the vendor default as observation 0.
         // Its metric vector is the session's workload signature.
-        let default = session.ctx.space.default_config();
-        let mut rng = StdRng::seed_from_u64(eval_seed(session.meta.spec.seed, 0));
-        let probe = session.objective.evaluate(&default, &mut rng);
+        let probe = session.eval_default(0);
         session.apply(probe)?;
         Ok(session)
     }
@@ -190,33 +231,77 @@ impl LiveSession {
         for record in journal_tail {
             wal::apply_record(&mut recovered, record);
         }
+        let mut drift_events = recovered.drift_events;
+        drift_events.sort_by_key(|e| e.at_seq);
         let ctx = TuningContext {
             space: objective.space().clone(),
             profile: objective.profile(),
         };
         let mut propose_rng = StdRng::seed_from_u64(meta.spec.seed);
+        let mut detector = meta.spec.drift.build_detector(meta.spec.seed)?;
         let mut history = History::new();
+        let mut epoch_history = History::new();
+        let mut epoch = 0u32;
+        let mut epoch_start = 0usize;
+        let mut drift_pending = None;
         let replay_tuner = recovered.status == SessionStatus::Running;
         for (i, obs) in recovered.observations.into_iter().enumerate() {
+            if let Some(ev) = drift_events.iter().find(|e| e.at_seq == i as u64) {
+                // A drift opened an epoch at this index: rebuild the tuner
+                // from the *recorded* warm source (not a fresh ball-tree
+                // query — the index may have changed since) and reseed the
+                // propose stream, exactly as the live session did.
+                if replay_tuner {
+                    let warm = match ev.warm_source {
+                        Some(src) => Some((src.to_string(), repo.load_observations(src)?)),
+                        None => None,
+                    };
+                    tuner = build_tuner(
+                        &meta.spec,
+                        warm.as_ref().map(|(id, o)| (id.as_str(), o.as_slice())),
+                    )?;
+                    propose_rng = StdRng::seed_from_u64(epoch_seed(meta.spec.seed, ev.epoch));
+                    drift_pending = None;
+                }
+                epoch = ev.epoch;
+                epoch_start = i;
+                epoch_history = History::new();
+            }
+            let canary = detector.is_some()
+                && i > epoch_start
+                && (i - epoch_start).is_multiple_of(meta.spec.drift.probe_every);
             if replay_tuner {
-                if i > 0 {
+                if i > 0 && i != epoch_start && !canary {
                     // The recorded observation answers this proposal; the
-                    // draw itself restores the propose stream.
-                    let _ = tuner.propose(&ctx, &history, &mut propose_rng);
+                    // draw itself restores the propose stream — trained on
+                    // the epoch's slice only, exactly as the live session
+                    // proposed it. Epoch probes (i == epoch_start) and
+                    // scheduled canaries were never proposed.
+                    let _ = tuner.propose(&ctx, &epoch_history, &mut propose_rng);
                 }
                 tuner.observe(&obs);
+                if let Some(det) = detector.as_mut() {
+                    if i == epoch_start {
+                        det.reset(&obs.metrics);
+                    } else if canary && drift_pending.is_none() {
+                        drift_pending = det.feed(&obs.metrics);
+                    }
+                }
             }
+            epoch_history.push(obs.clone());
             history.push(obs);
         }
 
-        Ok(LiveSession {
+        let mut session = LiveSession {
             dir: repo.session_dir(meta.id),
             meta,
+            repo: repo.clone(),
             objective,
             tuner,
             ctx,
             propose_rng,
             history,
+            epoch_history,
             status: recovered.status,
             recommendation: recovered.recommendation,
             snapshot_every: snapshot_every.max(1),
@@ -225,7 +310,31 @@ impl LiveSession {
             journal_pending: 0,
             last_ticket: 0,
             recovery_corruption: recovered.corruption,
-        })
+            detector,
+            epoch,
+            epoch_start,
+            drift_events,
+            drift_pending,
+        };
+
+        // Dangling drift event: the crash fell between the Drift record
+        // and its re-probe observation. The event already fixes everything
+        // the re-probe needs (step index, epoch seed, warm source), so
+        // redo it deterministically now.
+        if session.status == SessionStatus::Running {
+            let dangling = session
+                .drift_events
+                .iter()
+                .find(|e| e.at_seq == session.history.len() as u64)
+                .cloned();
+            if let Some(ev) = dangling {
+                session.drift_pending = None;
+                session.reset_for_epoch(&ev)?;
+                let probe = session.eval_default(ev.at_seq);
+                session.apply(probe)?;
+            }
+        }
+        Ok(session)
     }
 
     /// Swaps the WAL sink (the daemon rewires recovered sessions onto the
@@ -257,18 +366,98 @@ impl LiveSession {
         Ok(())
     }
 
-    /// Logs an observation durably, then applies it in memory.
+    /// Whether observation index `idx` is a canary probe of the current
+    /// epoch: a scheduled default-configuration evaluation whose metric
+    /// vector is the only kind the drift detector consumes (config held
+    /// fixed, so signature change is workload change).
+    fn is_canary(&self, idx: usize) -> bool {
+        self.detector.is_some()
+            && idx > self.epoch_start
+            && (idx - self.epoch_start).is_multiple_of(self.meta.spec.drift.probe_every)
+    }
+
+    /// Logs an observation durably, then applies it in memory, routing
+    /// canary metric vectors through the drift detector.
     fn apply(&mut self, obs: Observation) -> ServeResult<()> {
+        let seq = self.history.len();
         self.log(&WalRecord::Obs {
-            seq: self.history.len() as u64,
+            seq: seq as u64,
             obs: obs.clone(),
         })?;
         self.tuner.observe(&obs);
+        let canary = self.is_canary(seq);
+        if let Some(det) = self.detector.as_mut() {
+            if seq == self.epoch_start {
+                // The epoch's baseline probe is the reference signature.
+                det.reset(&obs.metrics);
+            } else if canary && self.drift_pending.is_none() {
+                self.drift_pending = det.feed(&obs.metrics);
+            }
+        }
+        self.epoch_history.push(obs.clone());
         self.history.push(obs);
         if self.history.len() as u64 - self.snapshot_seq >= self.snapshot_every as u64 {
             self.write_snapshot()?;
         }
         Ok(())
+    }
+
+    /// Evaluates the vendor-default configuration as observation `step` —
+    /// the baseline probe of an epoch.
+    fn eval_default(&mut self, step: u64) -> Observation {
+        self.objective.seek(step);
+        let default = self.ctx.space.default_config();
+        let mut rng = StdRng::seed_from_u64(eval_seed(self.meta.spec.seed, step));
+        self.objective.evaluate(&default, &mut rng)
+    }
+
+    /// Applies a drift event's epoch reset: a fresh tuner (warm-started
+    /// from the event's recorded source), a reseeded propose stream, and
+    /// an epoch scope starting at the event's re-probe index.
+    fn reset_for_epoch(&mut self, event: &DriftEvent) -> ServeResult<()> {
+        let warm = match event.warm_source {
+            Some(src) => Some((src.to_string(), self.repo.load_observations(src)?)),
+            None => None,
+        };
+        self.tuner = build_tuner(
+            &self.meta.spec,
+            warm.as_ref().map(|(id, o)| (id.as_str(), o.as_slice())),
+        )?;
+        self.propose_rng = StdRng::seed_from_u64(epoch_seed(self.meta.spec.seed, event.epoch));
+        self.epoch = event.epoch;
+        self.epoch_start = event.at_seq as usize;
+        self.epoch_history = History::new();
+        Ok(())
+    }
+
+    /// Handles a detector alarm: re-probe the workload, re-match a warm
+    /// source against the new signature, restart the search, and make the
+    /// whole decision durable *before* the re-probe observation so
+    /// recovery replays it identically. Consumes one evaluation.
+    fn handle_drift(&mut self, stat: f64) -> ServeResult<()> {
+        let at_seq = self.history.len() as u64;
+        // The re-probe's signature is what the workload looks like *now*;
+        // match the new epoch's warm source against it.
+        let probe = self.eval_default(at_seq);
+        let warm_source = if self.meta.spec.warm_start {
+            let platform = self.meta.spec.platform().to_string();
+            self.repo
+                .nearest_finished(&platform, &probe.metrics, Some(self.meta.id))?
+        } else {
+            None
+        };
+        let event = DriftEvent {
+            at_seq,
+            epoch: self.epoch + 1,
+            stat,
+            warm_source,
+        };
+        self.log(&WalRecord::Drift {
+            event: event.clone(),
+        })?;
+        self.reset_for_epoch(&event)?;
+        self.drift_events.push(event);
+        self.apply(probe)
     }
 
     /// Runs up to `steps` tuner-driven evaluations, finishing the session
@@ -283,13 +472,30 @@ impl LiveSession {
         }
         let mut ran = 0;
         while ran < steps && self.evaluations() < self.meta.spec.budget {
+            if let Some(stat) = self.drift_pending.take() {
+                // Detector alarm from the previous canary: spend this
+                // step on the epoch re-probe instead of a proposal.
+                self.handle_drift(stat)?;
+                ran += 1;
+                continue;
+            }
+            let next = self.history.len();
+            if self.is_canary(next) {
+                // Scheduled canary: re-run the vendor default so the
+                // detector compares like with like.
+                let obs = self.eval_default(next as u64);
+                self.apply(obs)?;
+                ran += 1;
+                continue;
+            }
             let config = self
                 .tuner
-                .propose(&self.ctx, &self.history, &mut self.propose_rng);
+                .propose(&self.ctx, &self.epoch_history, &mut self.propose_rng);
             // Re-proposed configuration: replay the stored measurement
-            // (same dedup rule as core::TuningSession).
+            // (same dedup rule as core::TuningSession). Scoped to the
+            // current epoch — pre-drift measurements are stale.
             let prev = self
-                .history
+                .epoch_history
                 .all()
                 .iter()
                 .find(|o| o.config == config)
@@ -298,6 +504,7 @@ impl LiveSession {
                 Some(prev) => prev,
                 None => {
                     let step = self.history.len() as u64;
+                    self.objective.seek(step);
                     let mut rng = StdRng::seed_from_u64(eval_seed(self.meta.spec.seed, step));
                     self.objective.evaluate(&config, &mut rng)
                 }
@@ -313,7 +520,7 @@ impl LiveSession {
 
     /// Finishes the session: computes and logs the final recommendation.
     fn finish(&mut self) -> ServeResult<()> {
-        let recommendation = self.tuner.recommend(&self.ctx, &self.history);
+        let recommendation = self.tuner.recommend(&self.ctx, &self.epoch_history);
         self.log(&WalRecord::Finished {
             recommendation: recommendation.clone(),
         })?;
@@ -344,6 +551,7 @@ impl LiveSession {
             history: self.history.clone(),
             status: self.status,
             recommendation: self.recommendation.clone(),
+            drift_events: self.drift_events.clone(),
         };
         // Group sinks stage the snapshot and let the committer make it
         // durable (fsync + rename + retention release) once the covering
@@ -415,6 +623,22 @@ impl LiveSession {
         wal::wal_bytes(&self.dir)
     }
 
+    /// Current drift epoch (0 until the first detected drift).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Every drift event this session has detected, oldest first.
+    pub fn drift_events(&self) -> &[DriftEvent] {
+        &self.drift_events
+    }
+
+    /// Whether the session's drift detector compresses signatures (wide
+    /// metric vectors only); `None` when detection is off.
+    pub fn drift_detector(&self) -> Option<&DriftDetector> {
+        self.detector.as_ref()
+    }
+
     /// Observability snapshot of the tuner's GP surrogate: backend kind,
     /// training-set / active sizes, lifetime full-fit count. `None` for
     /// tuners without a surrogate or before the first model fit.
@@ -448,6 +672,8 @@ mod tests {
                 warm_start: false,
                 surrogate: "auto".into(),
                 constraints: String::new(),
+                adaptive: Default::default(),
+                drift: Default::default(),
             },
             warm_source: None,
             created_unix_ms: 0,

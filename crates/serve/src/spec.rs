@@ -14,11 +14,15 @@
 //! The empty string (the default) keeps the unconstrained search and its
 //! bit-identical trajectories.
 
+use crate::drift::{DetectorKind, DriftDetector};
 use crate::{ServeError, ServeResult};
 use autotune_core::{Configuration, Objective, Observation, Tuner};
 use autotune_math::surrogate::SurrogateConfig;
 use autotune_sim::noise::NoiseModel;
-use autotune_sim::{DbmsSimulator, HadoopSimulator, SparkSimulator};
+use autotune_sim::{
+    ClusterSpec, DbmsSimulator, FlippingObjective, HadoopSimulator, MultiTenantDbms, SparkSimulator,
+};
+use autotune_tuners::adaptive::{ColtTuner, TempoTuner};
 use autotune_tuners::baselines::RandomSearchTuner;
 use autotune_tuners::util::SearchConstraints;
 use autotune_tuners::warm::{best_k_configs, warm_started_ituned, warm_started_ottertune};
@@ -27,6 +31,131 @@ use serde::{Deserialize, Serialize};
 
 /// How many transferred configurations seed a warm-started iTuned session.
 pub const WARM_SEED_CONFIGS: usize = 2;
+
+/// Knobs of the adaptive tuner family (`colt` / `tempo`), all optional in
+/// request bodies. Defaults match the tuners' own defaults, so a spec
+/// without an `adaptive` object behaves exactly like the CLI tuners.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdaptiveSpec {
+    /// COLT: seconds one reconfiguration costs (a trial is adopted only
+    /// when its gain exceeds this).
+    pub reconfig_cost: f64,
+    /// COLT perturbation radius / Tempo reallocation fraction.
+    pub step: f64,
+}
+
+impl Default for AdaptiveSpec {
+    fn default() -> Self {
+        AdaptiveSpec {
+            reconfig_cost: 0.0,
+            step: 0.25,
+        }
+    }
+}
+
+impl Deserialize for AdaptiveSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for AdaptiveSpec"))?;
+        let mut spec = AdaptiveSpec::default();
+        if let Some((_, rv)) = map.iter().find(|(k, _)| k == "reconfig_cost") {
+            spec.reconfig_cost = f64::from_value(rv)?;
+        }
+        if let Some((_, sv)) = map.iter().find(|(k, _)| k == "step") {
+            spec.step = f64::from_value(sv)?;
+        }
+        Ok(spec)
+    }
+}
+
+/// Drift-detection settings of a session, all optional in request bodies.
+/// The default detector is `"off"`: sessions without a `drift` object keep
+/// their pre-drift bit-identical trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DriftSpec {
+    /// Detector kind: `off` (default), `ph` (Page–Hinkley), or `cusum`.
+    pub detector: String,
+    /// Alarm threshold on the detector statistic.
+    pub threshold: f64,
+    /// Slack term δ: drift magnitude the detector ignores.
+    pub delta: f64,
+    /// Per-epoch canary probes used to calibrate the baseline signature
+    /// distance before the detector arms.
+    pub min_obs: usize,
+    /// Canary cadence: every `probe_every` evaluations the session spends
+    /// one step re-running the vendor-default configuration and feeds
+    /// *only* that observation to the detector. Holding the configuration
+    /// fixed is what makes the statistic identifiable — trial configs sit
+    /// at wildly varying distances from the reference, so feeding every
+    /// observation conflates config-induced and workload-induced change.
+    pub probe_every: usize,
+}
+
+impl Default for DriftSpec {
+    fn default() -> Self {
+        DriftSpec {
+            detector: "off".to_string(),
+            threshold: 1.0,
+            delta: 0.1,
+            min_obs: 1,
+            probe_every: 5,
+        }
+    }
+}
+
+impl Deserialize for DriftSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for DriftSpec"))?;
+        let mut spec = DriftSpec::default();
+        if let Some((_, dv)) = map.iter().find(|(k, _)| k == "detector") {
+            spec.detector = String::from_value(dv)?;
+        }
+        if let Some((_, tv)) = map.iter().find(|(k, _)| k == "threshold") {
+            spec.threshold = f64::from_value(tv)?;
+        }
+        if let Some((_, dv)) = map.iter().find(|(k, _)| k == "delta") {
+            spec.delta = f64::from_value(dv)?;
+        }
+        if let Some((_, mv)) = map.iter().find(|(k, _)| k == "min_obs") {
+            spec.min_obs = usize::from_value(mv)?;
+        }
+        if let Some((_, pv)) = map.iter().find(|(k, _)| k == "probe_every") {
+            spec.probe_every = usize::from_value(pv)?;
+        }
+        Ok(spec)
+    }
+}
+
+impl DriftSpec {
+    /// Whether drift detection is on for this session.
+    pub fn is_enabled(&self) -> bool {
+        self.detector != "off"
+    }
+
+    /// Builds the session's detector (`None` when off); unknown detector
+    /// names fail at create time like every other bad spec field.
+    pub fn build_detector(&self, seed: u64) -> ServeResult<Option<DriftDetector>> {
+        if !self.is_enabled() {
+            return Ok(None);
+        }
+        let kind = DetectorKind::parse(&self.detector).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "unknown drift detector '{}' (expected off|ph|cusum)",
+                self.detector
+            ))
+        })?;
+        Ok(Some(DriftDetector::new(
+            kind,
+            self.threshold,
+            self.delta,
+            self.min_obs,
+            seed,
+        )))
+    }
+}
 
 /// Everything needed to (re)build one tuning session deterministically.
 ///
@@ -38,9 +167,10 @@ pub const WARM_SEED_CONFIGS: usize = 2;
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SessionSpec {
     /// Target system name (`dbms-oltp`, `dbms-olap`, `hadoop-terasort`,
-    /// `spark-agg`).
+    /// `spark-agg`, `mtdbms-three`, or a mid-run workload flip like
+    /// `dbms-flip@20`).
     pub system: String,
-    /// Tuner name (`ituned`, `ottertune`, `random`).
+    /// Tuner name (`ituned`, `ottertune`, `random`, `colt`, `tempo`).
     pub tuner: String,
     /// RNG seed; same spec + same seed → same recommendation.
     pub seed: u64,
@@ -57,6 +187,10 @@ pub struct SessionSpec {
     /// --emit-constraints` output), or empty for an unconstrained search;
     /// ignored by `random`.
     pub constraints: String,
+    /// Adaptive-family tuner knobs; defaults when absent.
+    pub adaptive: AdaptiveSpec,
+    /// Drift-detection settings; detection off when absent.
+    pub drift: DriftSpec,
 }
 
 impl Deserialize for SessionSpec {
@@ -72,6 +206,14 @@ impl Deserialize for SessionSpec {
             Some((_, cv)) => String::from_value(cv)?,
             None => String::new(),
         };
+        let adaptive = match map.iter().find(|(k, _)| k == "adaptive") {
+            Some((_, av)) => AdaptiveSpec::from_value(av)?,
+            None => AdaptiveSpec::default(),
+        };
+        let drift = match map.iter().find(|(k, _)| k == "drift") {
+            Some((_, dv)) => DriftSpec::from_value(dv)?,
+            None => DriftSpec::default(),
+        };
         Ok(SessionSpec {
             system: serde::__field(map, "system", "SessionSpec")?,
             tuner: serde::__field(map, "tuner", "SessionSpec")?,
@@ -81,6 +223,8 @@ impl Deserialize for SessionSpec {
             warm_start: serde::__field(map, "warm_start", "SessionSpec")?,
             surrogate,
             constraints,
+            adaptive,
+            drift,
         })
     }
 }
@@ -91,6 +235,13 @@ impl SessionSpec {
     pub fn validate(&self) -> ServeResult<()> {
         build_objective(self)?;
         build_tuner(self, None)?;
+        self.drift.build_detector(self.seed)?;
+        if self.drift.is_enabled() && self.drift.probe_every < 2 {
+            return Err(ServeError::BadRequest(
+                "drift.probe_every must be at least 2 (1 would leave no steps for proposals)"
+                    .into(),
+            ));
+        }
         if self.budget == 0 {
             return Err(ServeError::BadRequest("budget must be positive".into()));
         }
@@ -155,17 +306,72 @@ pub fn build_noise(name: &str) -> ServeResult<NoiseModel> {
     }
 }
 
+/// Parses a mid-run workload-flip system name (`dbms-flip@20` →
+/// `("dbms", 20)`): the named platform's canonical workload pair with the
+/// flip at evaluation index `N`.
+pub fn parse_flip_system(system: &str) -> Option<(&str, u64)> {
+    let (platform, rest) = system.split_once("-flip@")?;
+    let at = rest.parse::<u64>().ok()?;
+    Some((platform, at))
+}
+
 /// Builds the simulated objective a spec names.
 pub fn build_objective(spec: &SessionSpec) -> ServeResult<Box<dyn Objective + Send>> {
     let noise = build_noise(&spec.noise)?;
+    if let Some((platform, at)) = parse_flip_system(&spec.system) {
+        // Each platform's canonical drift scenario: the first workload
+        // flips to a sibling that shares the knob space but stresses the
+        // system differently.
+        let (before, after): (Box<dyn Objective + Send>, Box<dyn Objective + Send>) = match platform
+        {
+            "dbms" => (
+                Box::new(DbmsSimulator::oltp_default().with_noise(noise)),
+                Box::new(DbmsSimulator::olap_default().with_noise(noise)),
+            ),
+            "hadoop" => (
+                Box::new(HadoopSimulator::terasort_default().with_noise(noise)),
+                // The batch window changes character entirely: a
+                // shuffle-heavy join over 4× the data on a heterogeneous
+                // cluster, so the stale terasort model actively misleads.
+                Box::new(
+                    HadoopSimulator::new(
+                        ClusterSpec::heterogeneous(8),
+                        autotune_sim::hadoop::HadoopJob::join(131_072.0),
+                    )
+                    .with_noise(noise),
+                ),
+            ),
+            "spark" => (
+                Box::new(SparkSimulator::aggregation_default().with_noise(noise)),
+                // Same story for spark: a wide shuffle sort over 4× the
+                // data on a heterogeneous cluster replaces the in-memory
+                // aggregation.
+                Box::new(
+                    SparkSimulator::new(
+                        ClusterSpec::heterogeneous(8),
+                        autotune_sim::spark::SparkApp::sort(131_072.0),
+                    )
+                    .with_noise(noise),
+                ),
+            ),
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown flip platform '{other}' (expected dbms|hadoop|spark)"
+                )))
+            }
+        };
+        return Ok(Box::new(FlippingObjective::new(before, after, at)));
+    }
     Ok(match spec.system.as_str() {
         "dbms-oltp" => Box::new(DbmsSimulator::oltp_default().with_noise(noise)),
         "dbms-olap" => Box::new(DbmsSimulator::olap_default().with_noise(noise)),
         "hadoop-terasort" => Box::new(HadoopSimulator::terasort_default().with_noise(noise)),
         "spark-agg" => Box::new(SparkSimulator::aggregation_default().with_noise(noise)),
+        "mtdbms-three" => Box::new(MultiTenantDbms::standard_three_tenants().with_noise(noise)),
         other => {
             return Err(ServeError::BadRequest(format!(
-                "unknown system '{other}' (expected dbms-oltp|dbms-olap|hadoop-terasort|spark-agg)"
+                "unknown system '{other}' (expected dbms-oltp|dbms-olap|hadoop-terasort|\
+                 spark-agg|mtdbms-three|<platform>-flip@N)"
             )))
         }
     })
@@ -199,9 +405,19 @@ pub fn build_tuner(
             Box::new(t)
         }
         "random" => Box::new(RandomSearchTuner),
+        // The adaptive family (§6): online tuners that never stray far
+        // from the incumbent. They model-free ignore surrogate and warm
+        // observations — a warm source still matters for drift re-matching
+        // bookkeeping, but contributes no search state here.
+        "colt" => Box::new(
+            ColtTuner::new()
+                .with_reconfig_cost(spec.adaptive.reconfig_cost)
+                .with_step(spec.adaptive.step),
+        ),
+        "tempo" => Box::new(TempoTuner::new().with_step(spec.adaptive.step)),
         other => {
             return Err(ServeError::BadRequest(format!(
-                "unknown tuner '{other}' (expected ituned|ottertune|random)"
+                "unknown tuner '{other}' (expected ituned|ottertune|random|colt|tempo)"
             )))
         }
     })
@@ -227,6 +443,8 @@ mod tests {
             warm_start: false,
             surrogate: "auto".into(),
             constraints: String::new(),
+            adaptive: AdaptiveSpec::default(),
+            drift: DriftSpec::default(),
         }
     }
 

@@ -53,6 +53,7 @@
 //! predates the latest snapshot (possible if a crash lands between
 //! `rename` and `truncate`) is deduplicated instead of double-applied.
 
+use crate::drift::DriftEvent;
 use crate::{ServeError, ServeResult};
 use autotune_core::{History, Observation, Recommendation, SessionId};
 use serde::{Deserialize, Serialize};
@@ -147,6 +148,15 @@ pub enum WalRecord {
     },
     /// Client cancelled the session.
     Cancelled,
+    /// Workload drift detected: the tuner was reset and re-warm-started,
+    /// and the observation at `event.at_seq` (logged next) is the new
+    /// epoch's baseline re-probe. Logged *before* that observation so
+    /// recovery applies the reset at exactly the live position.
+    Drift {
+        /// The drift event (trigger statistic, new epoch, re-matched
+        /// warm source).
+        event: DriftEvent,
+    },
 }
 
 /// One frame of the shared journal: a [`WalRecord`] tagged with its
@@ -160,7 +170,12 @@ pub struct JournalEntry {
 }
 
 /// Compacted state of a session: everything up to `seq` observations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written: snapshots written before the drift
+/// subsystem carry no `drift_events` key and must keep parsing (reading
+/// as an empty list), and the vendored serde derive has no field
+/// defaults.
+#[derive(Debug, Clone, Serialize)]
 pub struct Snapshot {
     /// Number of observations folded into this snapshot.
     pub seq: u64,
@@ -170,6 +185,27 @@ pub struct Snapshot {
     pub status: SessionStatus,
     /// Final recommendation, once the session finished.
     pub recommendation: Option<Recommendation>,
+    /// Drift events up to compaction time, oldest first.
+    pub drift_events: Vec<DriftEvent>,
+}
+
+impl Deserialize for Snapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Snapshot"))?;
+        let drift_events = match map.iter().find(|(k, _)| k == "drift_events") {
+            Some((_, dv)) => Vec::<DriftEvent>::from_value(dv)?,
+            None => Vec::new(), // pre-drift snapshot
+        };
+        Ok(Snapshot {
+            seq: serde::__field(map, "seq", "Snapshot")?,
+            history: serde::__field(map, "history", "Snapshot")?,
+            status: serde::__field(map, "status", "Snapshot")?,
+            recommendation: serde::__field(map, "recommendation", "Snapshot")?,
+            drift_events,
+        })
+    }
 }
 
 /// State reassembled from disk: latest snapshot (if any) plus the WAL
@@ -185,6 +221,9 @@ pub struct Recovered {
     /// Observation count covered by the snapshot (0 when none) — the
     /// starting point for the next compaction.
     pub snapshot_seq: u64,
+    /// Drift events in order of occurrence (`at_seq` ascending), from the
+    /// snapshot plus any surviving WAL/journal records.
+    pub drift_events: Vec<DriftEvent>,
     /// Set when the WAL scan stopped at an invalid frame (torn write or
     /// bit-flip). Recovery is still sound — every record before the bad
     /// frame was independently checksummed — but the event is surfaced so
@@ -499,20 +538,22 @@ pub fn recover(dir: &Path) -> ServeResult<Recovered> {
         Err(e) => return Err(e.into()),
     };
 
-    let (observations, status, recommendation, snapshot_seq) = match snapshot {
+    let (observations, status, recommendation, snapshot_seq, drift_events) = match snapshot {
         Some(s) => (
             s.history.into_observations(),
             s.status,
             s.recommendation,
             s.seq,
+            s.drift_events,
         ),
-        None => (Vec::new(), SessionStatus::Running, None, 0),
+        None => (Vec::new(), SessionStatus::Running, None, 0, Vec::new()),
     };
     let mut recovered = Recovered {
         observations,
         status,
         recommendation,
         snapshot_seq,
+        drift_events,
         corruption: None,
     };
 
@@ -547,6 +588,18 @@ pub fn apply_record(recovered: &mut Recovered, record: WalRecord) {
             recovered.recommendation = Some(r);
         }
         WalRecord::Cancelled => recovered.status = SessionStatus::Cancelled,
+        WalRecord::Drift { event } => {
+            // Same dedup rule as observations: the snapshot (or the
+            // per-session WAL, when the journal echoes it) may already
+            // carry this event.
+            if recovered
+                .drift_events
+                .iter()
+                .all(|e| e.at_seq != event.at_seq)
+            {
+                recovered.drift_events.push(event);
+            }
+        }
     }
 }
 
@@ -701,6 +754,7 @@ mod tests {
                 history,
                 status: SessionStatus::Running,
                 recommendation: None,
+                drift_events: Vec::new(),
             },
             Durability::Flush,
         )
@@ -739,6 +793,7 @@ mod tests {
                 history,
                 status: SessionStatus::Finished,
                 recommendation: None,
+                drift_events: Vec::new(),
             },
             Durability::Fsync,
         )
@@ -763,6 +818,85 @@ mod tests {
         assert!(rec.status.is_terminal());
         assert_eq!(SessionStatus::Running.label(), "running");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_records_recover_in_order_and_dedupe() {
+        let dir = tmpdir("drift");
+        let event = |at_seq: u64, epoch: u32| DriftEvent {
+            at_seq,
+            epoch,
+            stat: 1.5,
+            warm_source: Some(SessionId::new(7)),
+        };
+        append_record(&dir, &obs_record(0), Durability::Flush).unwrap();
+        append_record(&dir, &obs_record(1), Durability::Flush).unwrap();
+        append_record(
+            &dir,
+            &WalRecord::Drift { event: event(2, 1) },
+            Durability::Flush,
+        )
+        .unwrap();
+        append_record(&dir, &obs_record(2), Durability::Flush).unwrap();
+        // A journal echo of the same drift event must not double-apply.
+        append_record(
+            &dir,
+            &WalRecord::Drift { event: event(2, 1) },
+            Durability::Flush,
+        )
+        .unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.observations.len(), 3);
+        assert_eq!(rec.drift_events, vec![event(2, 1)]);
+
+        // Snapshot folds the events; recovery reads them back.
+        let mut history = History::new();
+        for i in 0..3 {
+            history.push(obs(i as f64));
+        }
+        write_snapshot(
+            &dir,
+            &Snapshot {
+                seq: 3,
+                history,
+                status: SessionStatus::Running,
+                recommendation: None,
+                drift_events: vec![event(2, 1)],
+            },
+            Durability::Flush,
+        )
+        .unwrap();
+        append_record(
+            &dir,
+            &WalRecord::Drift { event: event(5, 2) },
+            Durability::Flush,
+        )
+        .unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.drift_events, vec![event(2, 1), event(5, 2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_drift_snapshots_still_parse() {
+        // A snapshot written before the drift subsystem existed has no
+        // `drift_events` key; it must read back as an empty list.
+        let mut history = History::new();
+        history.push(obs(1.0));
+        let with = Snapshot {
+            seq: 1,
+            history,
+            status: SessionStatus::Finished,
+            recommendation: None,
+            drift_events: Vec::new(),
+        };
+        let json = serde_json::to_string(&with).unwrap();
+        let legacy = json.replace(",\"drift_events\":[]", "");
+        assert_ne!(json, legacy, "test must actually strip the field");
+        let back: Snapshot = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.seq, 1);
+        assert!(back.drift_events.is_empty());
+        assert_eq!(back.status, SessionStatus::Finished);
     }
 
     #[test]

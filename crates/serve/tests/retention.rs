@@ -28,6 +28,8 @@ fn spec(seed: u64, budget: usize, warm: bool) -> SessionSpec {
         warm_start: warm,
         surrogate: "auto".into(),
         constraints: String::new(),
+        adaptive: Default::default(),
+        drift: Default::default(),
     }
 }
 

@@ -28,6 +28,8 @@ fn spec(tuner: &str, seed: u64, budget: usize) -> SessionSpec {
         warm_start: false,
         surrogate: "auto".into(),
         constraints: String::new(),
+        adaptive: Default::default(),
+        drift: Default::default(),
     }
 }
 

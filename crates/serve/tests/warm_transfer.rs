@@ -25,6 +25,8 @@ fn spec(seed: u64, budget: usize, warm: bool) -> SessionSpec {
         warm_start: warm,
         surrogate: "auto".into(),
         constraints: String::new(),
+        adaptive: Default::default(),
+        drift: Default::default(),
     }
 }
 
@@ -189,6 +191,8 @@ fn warm_lookup_ignores_other_platforms_and_unfinished_sessions() {
             warm_start: false,
             surrogate: "auto".into(),
             constraints: String::new(),
+            adaptive: Default::default(),
+            drift: Default::default(),
         },
         warm_source: None,
         created_unix_ms: 0,

@@ -1,0 +1,168 @@
+//! Time-varying objectives: a workload that flips mid-session.
+//!
+//! [`FlippingObjective`] wraps two phases that share one knob space (e.g.
+//! the OLTP and OLAP DBMS workloads) and switches from the first to the
+//! second at a fixed evaluation index. The phase is a pure function of
+//! the *observation index* delivered through [`Objective::seek`], never
+//! of an internal call counter: the serve layer's crash recovery replays
+//! recorded observations without re-evaluating, so a counter would
+//! desynchronize the phase after recovery while `seek` keeps it exact.
+//!
+//! This is the drift-detection test fixture: a session tuning a flipping
+//! objective sees its workload signature shift at the flip, and a drift
+//! detector should notice and re-probe (`serve::drift`,
+//! `bench_results/drift_recovery.json`).
+
+use autotune_core::{ConfigSpace, Configuration, Objective, Observation, SystemProfile};
+use rand::rngs::StdRng;
+
+/// Two-phase objective flipping from `before` to `after` at a fixed
+/// evaluation index.
+pub struct FlippingObjective {
+    before: Box<dyn Objective + Send>,
+    after: Box<dyn Objective + Send>,
+    /// First evaluation index (0-based) served by the `after` phase.
+    flip_at: u64,
+    /// Current evaluation index, set by [`Objective::seek`].
+    step: u64,
+    name: String,
+}
+
+impl FlippingObjective {
+    /// Wraps two objectives; both must expose the same knob space (checked
+    /// by parameter count — the phases are meant to be two workloads of
+    /// one simulator).
+    pub fn new(
+        before: Box<dyn Objective + Send>,
+        after: Box<dyn Objective + Send>,
+        flip_at: u64,
+    ) -> Self {
+        assert_eq!(
+            before.space().dim(),
+            after.space().dim(),
+            "flip phases must share a knob space"
+        );
+        let name = format!("{}-flip@{}-{}", before.name(), flip_at, after.name());
+        FlippingObjective {
+            before,
+            after,
+            flip_at,
+            step: 0,
+            name,
+        }
+    }
+
+    /// The evaluation index at which the workload flips.
+    pub fn flip_at(&self) -> u64 {
+        self.flip_at
+    }
+
+    /// Whether the objective is currently in the post-flip phase.
+    pub fn flipped(&self) -> bool {
+        self.step >= self.flip_at
+    }
+
+    fn active(&mut self) -> &mut (dyn Objective + Send) {
+        if self.step >= self.flip_at {
+            self.after.as_mut()
+        } else {
+            self.before.as_mut()
+        }
+    }
+}
+
+impl Objective for FlippingObjective {
+    fn space(&self) -> &ConfigSpace {
+        // Identical in both phases (asserted at construction).
+        self.before.space()
+    }
+
+    fn profile(&self) -> SystemProfile {
+        if self.step >= self.flip_at {
+            self.after.profile()
+        } else {
+            self.before.profile()
+        }
+    }
+
+    fn seek(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    fn evaluate(&mut self, config: &Configuration, rng: &mut StdRng) -> Observation {
+        self.active().evaluate(config, rng)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::DbmsSimulator;
+    use rand::SeedableRng;
+
+    fn flip(at: u64) -> FlippingObjective {
+        FlippingObjective::new(
+            Box::new(DbmsSimulator::oltp_default().with_noise(NoiseModel::none())),
+            Box::new(DbmsSimulator::olap_default().with_noise(NoiseModel::none())),
+            at,
+        )
+    }
+
+    #[test]
+    fn phase_follows_seek_not_call_count() {
+        let mut f = flip(3);
+        let cfg = f.space().default_config();
+        let mut rng = StdRng::seed_from_u64(0);
+        f.seek(0);
+        let pre = f.evaluate(&cfg, &mut rng);
+        f.seek(3);
+        let post = f.evaluate(&cfg, &mut rng);
+        assert_ne!(
+            pre.runtime_secs, post.runtime_secs,
+            "phases must actually differ"
+        );
+        // Seeking backwards restores the pre-flip phase exactly — the
+        // recovery property: phase is a pure function of the index.
+        f.seek(0);
+        let pre_again = f.evaluate(&cfg, &mut rng);
+        assert_eq!(pre.runtime_secs, pre_again.runtime_secs);
+        assert!(!f.flipped());
+        f.seek(99);
+        assert!(f.flipped());
+        assert_eq!(f.flip_at(), 3);
+    }
+
+    #[test]
+    fn signature_shifts_at_flip() {
+        // The drift-detection premise: default-config metrics differ
+        // meaningfully across the flip.
+        let mut f = flip(1);
+        let cfg = f.space().default_config();
+        let mut rng = StdRng::seed_from_u64(1);
+        f.seek(0);
+        let a = f.evaluate(&cfg, &mut rng);
+        f.seek(1);
+        let b = f.evaluate(&cfg, &mut rng);
+        let diff = a
+            .metrics
+            .iter()
+            .filter(|(k, v)| b.metrics.get(*k).map(|w| (*v - w).abs() > 1e-9) == Some(true))
+            .count();
+        assert!(diff >= 2, "only {diff} metrics moved across the flip");
+    }
+
+    #[test]
+    #[should_panic(expected = "share a knob space")]
+    fn mismatched_spaces_are_rejected() {
+        let _ = FlippingObjective::new(
+            Box::new(DbmsSimulator::oltp_default()),
+            Box::new(crate::HadoopSimulator::terasort_default()),
+            1,
+        );
+    }
+}

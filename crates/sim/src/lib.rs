@@ -16,6 +16,7 @@
 
 pub mod cluster;
 pub mod dbms;
+pub mod flip;
 pub mod hadoop;
 pub mod multitenant;
 pub mod noise;
@@ -25,6 +26,7 @@ pub mod trace;
 
 pub use cluster::{ClusterSpec, NodeSpec};
 pub use dbms::DbmsSimulator;
+pub use flip::FlippingObjective;
 pub use hadoop::HadoopSimulator;
 pub use multitenant::{MultiTenantDbms, TenantSpec};
 pub use noise::NoiseModel;

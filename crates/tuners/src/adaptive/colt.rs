@@ -71,6 +71,13 @@ impl ColtTuner {
         self.reconfig_cost_secs = secs;
         self
     }
+
+    /// Sets the perturbation radius in unit-cube coordinates (builder
+    /// style).
+    pub fn with_step(mut self, step: f64) -> Self {
+        self.step = step;
+        self
+    }
 }
 
 impl Tuner for ColtTuner {

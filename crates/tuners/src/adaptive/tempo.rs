@@ -43,6 +43,13 @@ impl TempoTuner {
         Self::default()
     }
 
+    /// Sets the fraction of the donor's share moved per epoch (builder
+    /// style).
+    pub fn with_step(mut self, step: f64) -> Self {
+        self.step = step;
+        self
+    }
+
     /// The `slo_ratio_*` metrics of an observation as (tenant, ratio).
     fn ratios(obs: &Observation) -> Vec<(String, f64)> {
         obs.metrics

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test for the autotune-serve daemon: boot on a random port, drive a
-# full tuning session over HTTP, check /metrics and CSV export, then verify
-# graceful SIGTERM shutdown and crash-free recovery on restart.
+# full tuning session and an adaptive drift-detecting session over HTTP,
+# check /metrics and CSV export, then verify graceful SIGTERM shutdown and
+# crash-free recovery (including the drift epoch) on restart.
 #
 # Usage: scripts/serve_smoke.sh [path-to-autotune-serve-binary]
 set -euo pipefail
@@ -87,6 +88,27 @@ CSV="$(curl -fsS "http://$ADDR/sessions/$SID/csv")"
 LINES="$(echo "$CSV" | grep -c .)"
 [[ "$LINES" -eq 8 ]] || fail "CSV expected 8 lines, got $LINES"
 
+# Adaptive session with drift detection: a COLT tuner on a workload that
+# flips at evaluation 12. Canary probes run every 10 evaluations with no
+# noise, so the post-flip canary at 20 trips Page-Hinkley deterministically
+# and the session opens epoch 1 before finishing within its budget.
+ADAPTIVE_SPEC='{"system":"dbms-flip@12","tuner":"colt","seed":7,"budget":24,"noise":"none","warm_start":false,"drift":{"detector":"ph","threshold":0.05,"delta":0.01,"min_obs":1,"probe_every":10}}'
+ACREATE="$(curl -fsS -X POST "http://$ADDR/sessions" -d "$ADAPTIVE_SPEC")"
+echo "adaptive create: $ACREATE"
+ASID="$(echo "$ACREATE" | grep -o 's-[0-9]*' | head -1)"
+[[ -n "$ASID" ]] || fail "adaptive create carried no session id: $ACREATE"
+
+AADVANCE="$(curl -fsS -X POST "http://$ADDR/sessions/$ASID/advance" -d '{"steps":24}')"
+echo "adaptive advance: $AADVANCE"
+echo "$AADVANCE" | grep -q '"finished"' || fail "adaptive session did not finish: $AADVANCE"
+
+ADETAIL="$(curl -fsS "http://$ADDR/sessions/$ASID")"
+echo "$ADETAIL" | grep -q '"epoch": *1' || fail "adaptive session never left epoch 0: $ADETAIL"
+echo "$ADETAIL" | grep -q '"drift_events": *\[ *{' || fail "adaptive session recorded no drift events: $ADETAIL"
+
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '"drifts_total": *[1-9]' || fail "metrics missing detected drift: $METRICS"
+
 kill -TERM "$DAEMON_PID"
 for _ in $(seq 1 100); do
     kill -0 "$DAEMON_PID" 2>/dev/null || break
@@ -97,12 +119,16 @@ wait "$DAEMON_PID" 2>/dev/null || true
 grep -q "shutdown complete" "$LOG" || fail "daemon did not shut down gracefully"
 DAEMON_PID=""
 
-# Restart on the same data dir: the finished session must recover from disk.
+# Restart on the same data dir: both finished sessions must recover from
+# disk, and the adaptive one must replay its drift event into epoch 1.
 start_daemon
 LIST="$(curl -fsS "http://$ADDR/sessions")"
 echo "recovered: $LIST"
 echo "$LIST" | grep -q "$SID" || fail "restart lost session $SID: $LIST"
 echo "$LIST" | grep -q '"finished"' || fail "recovered session not finished: $LIST"
+echo "$LIST" | grep -q "$ASID" || fail "restart lost adaptive session $ASID: $LIST"
+ADETAIL="$(curl -fsS "http://$ADDR/sessions/$ASID")"
+echo "$ADETAIL" | grep -q '"epoch": *1' || fail "recovered adaptive session lost its drift epoch: $ADETAIL"
 curl -fsS -X POST "http://$ADDR/shutdown" >/dev/null
 for _ in $(seq 1 100); do
     kill -0 "$DAEMON_PID" 2>/dev/null || break
